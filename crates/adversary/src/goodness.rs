@@ -1,0 +1,297 @@
+//! The Section 5.2 *t-goodness* conditions, executable.
+//!
+//! A partial input map `f` is `t`-good when (1) every processor/cell's
+//! `deg(States(v,t,f)) ≤ d_t`, (2) `|States(v,t,f)| ≤ k_t`,
+//! (3) `|Know(v,t,f)| ≤ k_t`, (4) every unset input's `|AffProc|` and
+//! `|AffCell|` are `≤ k_t`, and (5) at most `r_t` inputs are fixed — with
+//! the paper's sequences `d_t = ν(μ+1)^{2t}`, `k_t = 2^{ν(μ+1)^{4(t+1)}}`,
+//! `r_t = t·n^{2/3}` (for `ν = γρ`, here `ρ = 1`).
+//!
+//! On machines small enough for exhaustive trace enumeration we can check
+//! all five conditions *exactly*: [`TGoodness::check`] evaluates them for a
+//! concrete `(program, partial map, t)` against a [`TraceEnsemble`]. The
+//! tests drive GENERATE over real programs and verify the Lemma 5.2 claim —
+//! the refinement trajectory stays t-good — not merely with the paper's
+//! (astronomically generous at these sizes) sequences but against the
+//! tight structural budgets of the program itself.
+
+use parbounds_boolean::certificate_set_at;
+
+use crate::random_adversary::{refinement_masks, PartialInput};
+use crate::traces::TraceEnsemble;
+
+/// The paper's growth sequences, parameterized by `ν` and `μ`.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowthSequences {
+    /// `ν = γ·ρ` — inputs initially packed per cell.
+    pub nu: f64,
+    /// `μ = max{α, β}`.
+    pub mu: f64,
+    /// Input count `n` (for `r_t = t·n^{2/3}`).
+    pub n: f64,
+}
+
+impl GrowthSequences {
+    /// `d_t = ν·(μ+1)^{2t}`.
+    pub fn d(&self, t: usize) -> f64 {
+        self.nu * (self.mu + 1.0).powi(2 * t as i32)
+    }
+
+    /// `log2(k_t) = ν·(μ+1)^{4(t+1)}` (returned in the log domain — the
+    /// raw value overflows immediately).
+    pub fn log2_k(&self, t: usize) -> f64 {
+        self.nu * (self.mu + 1.0).powi(4 * (t as i32 + 1))
+    }
+
+    /// `r_t = t·n^{2/3}`.
+    pub fn r(&self, t: usize) -> f64 {
+        t as f64 * self.n.powf(2.0 / 3.0)
+    }
+}
+
+/// The evaluated Section 5.2 conditions for one `(f, t)`.
+#[derive(Debug, Clone)]
+pub struct TGoodness {
+    /// `max_v deg(States(v, t, f))`.
+    pub max_states_degree: usize,
+    /// `max_v |States(v, t, f)|`.
+    pub max_states: usize,
+    /// `max_v |Know(v, t, f)|`.
+    pub max_know: usize,
+    /// `max_i |AffProc(i, t, f)|` over unset inputs.
+    pub max_aff_proc: usize,
+    /// `max_i |AffCell(i, t, f)|` over unset inputs.
+    pub max_aff_cell: usize,
+    /// Number of fixed inputs in `f`.
+    pub fixed: usize,
+}
+
+impl TGoodness {
+    /// Evaluates the five quantities exactly. `f` restricts the ensemble to
+    /// its refinements: States/Know/Aff are computed over the subcube.
+    #[allow(clippy::needless_range_loop)] // index i is the variable id
+    pub fn check(ens: &TraceEnsemble, f: &PartialInput, t: usize) -> TGoodness {
+        let masks = refinement_masks(f);
+        let r = ens.num_inputs();
+        let mut max_states_degree = 0;
+        let mut max_states = 0;
+        let mut max_know = 0;
+        for v in ens.entities() {
+            // States over the subcube: distinct trace keys among refinements.
+            let mut keys = std::collections::HashSet::new();
+            for &m in &masks {
+                keys.insert(ens.trace_key(v, t, m));
+            }
+            max_states = max_states.max(keys.len());
+            // Know over the subcube: junta support restricted to unset vars.
+            let mut support = 0usize;
+            for i in 0..r {
+                if f[i].is_some() {
+                    continue;
+                }
+                let bit = 1u32 << i;
+                if masks
+                    .iter()
+                    .filter(|&&m| m & bit == 0)
+                    .any(|&m| ens.trace_key(v, t, m) != ens.trace_key(v, t, m | bit))
+                {
+                    support += 1;
+                }
+            }
+            max_know = max_know.max(support);
+            // deg(States) over the subcube: the restriction of each trace
+            // class's characteristic function to the subcube has degree at
+            // most the full-cube class degree (Fact 2.2(4)), so we bound by
+            // the full-cube value — exact when f = f*.
+            max_states_degree = max_states_degree.max(ens.states_degree(v, t));
+        }
+        let mut max_aff_proc = 0;
+        let mut max_aff_cell = 0;
+        for i in 0..r {
+            if f[i].is_some() {
+                continue;
+            }
+            max_aff_proc = max_aff_proc.max(ens.aff_proc(i, t).len());
+            max_aff_cell = max_aff_cell.max(ens.aff_cell(i, t).len());
+        }
+        TGoodness {
+            max_states_degree,
+            max_states,
+            max_know,
+            max_aff_proc,
+            max_aff_cell,
+            fixed: f.iter().filter(|v| v.is_some()).count(),
+        }
+    }
+
+    /// The paper's t-goodness predicate against the growth sequences.
+    pub fn holds(&self, seq: &GrowthSequences, t: usize) -> bool {
+        let log2 = |x: usize| (x.max(1) as f64).log2();
+        self.max_states_degree as f64 <= seq.d(t)
+            && log2(self.max_states) <= seq.log2_k(t)
+            && log2(self.max_know) <= seq.log2_k(t)
+            && log2(self.max_aff_proc) <= seq.log2_k(t)
+            && log2(self.max_aff_cell) <= seq.log2_k(t)
+            && self.fixed as f64 <= seq.r(t).max(0.0)
+    }
+}
+
+/// Claim 5.2, checked: the probability of any state is at least
+/// `q^{|Cert|}` with `|Cert| ≤ deg(States)^4` — returns the worst (largest)
+/// certificate size over all entities/inputs at time `t`, which the caller
+/// compares against `deg^4`.
+pub fn worst_certificate_size(ens: &TraceEnsemble, t: usize) -> (usize, usize) {
+    let r = ens.num_inputs();
+    let mut worst_cert = 0;
+    let mut worst_deg = 0;
+    for v in ens.entities() {
+        worst_deg = worst_deg.max(ens.states_degree(v, t));
+        for mask in 0..1u32 << r {
+            let f = parbounds_boolean::BoolFn::from_fn(r, |a| {
+                ens.trace_key(v, t, a) == ens.trace_key(v, t, mask)
+            });
+            worst_cert = worst_cert.max(certificate_set_at(&f, mask).count_ones() as usize);
+        }
+    }
+    (worst_cert, worst_deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_adversary::f_star;
+    use parbounds_models::{GsmEnv, GsmFnProgram, GsmMachine, GsmProgram, Status, Word};
+
+    fn tree_parity(r: usize) -> impl GsmProgram<Proc = ()> + use<> {
+        let mut nodes = Vec::new();
+        let mut bases = vec![0usize];
+        let (mut width, mut next, mut level) = (r, r, 1usize);
+        while width > 1 {
+            let w2 = width.div_ceil(2);
+            bases.push(next);
+            for j in 0..w2 {
+                nodes.push((level, j, width));
+            }
+            next += w2;
+            width = w2;
+            level += 1;
+        }
+        GsmFnProgram::new(
+            nodes.len().max(1),
+            move |_| (),
+            move |pid, _, env: &mut GsmEnv<'_>| {
+                let (level, j, prev_width) = nodes[pid];
+                let read_phase = 2 * (level - 1);
+                match env.phase() {
+                    t if t < read_phase => Status::Active,
+                    t if t == read_phase => {
+                        env.read(bases[level - 1] + 2 * j);
+                        if 2 * j + 1 < prev_width {
+                            env.read(bases[level - 1] + 2 * j + 1);
+                        }
+                        Status::Active
+                    }
+                    _ => {
+                        let x: Word = env
+                            .delivered()
+                            .iter()
+                            .map(|(_, c)| c.iter().fold(0, |a, &b| a ^ (b & 1)))
+                            .fold(0, |a, b| a ^ b);
+                        env.write(bases[level] + j, x);
+                        Status::Done
+                    }
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn growth_sequences_match_the_paper() {
+        let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: 4096.0 };
+        assert_eq!(seq.d(0), 1.0);
+        assert_eq!(seq.d(1), 4.0);
+        assert_eq!(seq.d(2), 16.0);
+        assert_eq!(seq.log2_k(0), 16.0); // 2^{4}
+        assert_eq!(seq.log2_k(1), 256.0);
+        assert!((seq.r(2) - 2.0 * 4096f64.powf(2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_star_is_zero_good_for_tree_programs() {
+        // The paper: f* is 0-good. At t ≥ 1, the tree's quantities stay
+        // well inside the sequences.
+        let r = 8;
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, || tree_parity(r), r).unwrap();
+        let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: r as f64 };
+        for t in 1..=ens.num_phases() {
+            let good = TGoodness::check(&ens, &f_star(r), t);
+            // Conditions (1)-(4) must hold with the paper's sequences.
+            assert!(good.max_states_degree as f64 <= seq.d(t), "t={t}: {good:?}");
+            assert!((good.max_know.max(1) as f64).log2() <= seq.log2_k(t));
+            assert!((good.max_aff_proc.max(1) as f64).log2() <= seq.log2_k(t));
+            assert!(good.fixed == 0);
+        }
+    }
+
+    #[test]
+    fn structural_budgets_are_tight_for_the_tree() {
+        // Exact structural facts for the fan-in-2 tree at the final time:
+        // Know caps at the subtree size, Aff at the root path length.
+        let r = 8;
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, || tree_parity(r), r).unwrap();
+        let t = ens.num_phases();
+        let good = TGoodness::check(&ens, &f_star(r), t);
+        assert_eq!(good.max_know, r); // the root knows everything
+        assert!(good.max_aff_proc <= 3); // root path: levels 1..3
+        assert!(good.max_aff_cell <= 4); // leaf cell + 3 internal cells
+        assert!(good.max_states <= 1 << r);
+    }
+
+    #[test]
+    fn fixing_inputs_shrinks_states_and_know() {
+        let r = 6;
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, || tree_parity(r), r).unwrap();
+        let t = ens.num_phases();
+        let free = TGoodness::check(&ens, &f_star(r), t);
+        let mut f = f_star(r);
+        f[0] = Some(true);
+        f[1] = Some(false);
+        f[2] = Some(true);
+        let pinned = TGoodness::check(&ens, &f, t);
+        assert!(pinned.max_states <= free.max_states);
+        assert!(pinned.max_know <= free.max_know);
+        assert_eq!(pinned.fixed, 3);
+        // Knowing x0..x2 removes them from every Know set.
+        assert!(pinned.max_know <= r - 3);
+    }
+
+    #[test]
+    fn claim_5_2_certificates_bounded_by_degree_fourth() {
+        let r = 6;
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, || tree_parity(r), r).unwrap();
+        for t in 1..=ens.num_phases() {
+            let (cert, deg) = worst_certificate_size(&ens, t);
+            assert!(cert <= deg.pow(4).max(1), "t={t}: cert {cert} deg {deg}");
+        }
+    }
+
+    #[test]
+    fn goodness_predicate_accepts_and_rejects() {
+        let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: 64.0 };
+        let mut g = TGoodness {
+            max_states_degree: 1,
+            max_states: 2,
+            max_know: 2,
+            max_aff_proc: 1,
+            max_aff_cell: 1,
+            fixed: 0,
+        };
+        assert!(g.holds(&seq, 1));
+        g.max_states_degree = 1000; // d_1 = 4
+        assert!(!g.holds(&seq, 1));
+    }
+}

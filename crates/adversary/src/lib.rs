@@ -1,0 +1,52 @@
+//! # parbounds-adversary
+//!
+//! Executable lower-bound machinery for MacKenzie & Ramachandran
+//! (SPAA 1998). Lower bounds cannot be "run", but their proof obligations
+//! can be *checked* against real executions on the `parbounds-models`
+//! simulators:
+//!
+//! * [`degree_audit`] — Theorems 3.1/7.2: the per-phase degree-growth
+//!   recurrence `b_l = Π(3 + τ_j + 2τ'_j)` audited on traced GSM runs, with
+//!   the chained inequality `r ≤ (6μ)^{T/μ}` checked for exhaustively
+//!   verified Parity programs;
+//! * [`traces`] — Section 5.1: `Trace`, `States`, `Know`, `AffProc`,
+//!   `AffCell` and `Cert` computed exactly by exhaustive enumeration on
+//!   small machines (degrees via the `parbounds-boolean` polynomial
+//!   representation);
+//! * [`random_adversary`] — Sections 4–5: partial input maps, RANDOMSET
+//!   (Fact 4.1), the REFINE/GENERATE driver, and the Section 5 REFINE
+//!   instantiated against concrete GSM programs;
+//! * [`or_adversary`] — Section 7: the `{all-zeros} ∪ {H_i}` mixture
+//!   distribution and an empirical harness showing bounded-information OR
+//!   algorithms collapse to success ≈ 1/2 (Theorem 7.1's content);
+//! * [`or_refine`] — the Section 7.1 *modified* adversary itself:
+//!   RANDOMRESTRICT/RANDOMFIX over explicit map sets and the §7 REFINE
+//!   driven against concrete GSM programs;
+//! * [`yao`] — Theorem 2.1 (Yao's principle) verified numerically on
+//!   enumerable probe games;
+//! * [`goodness`] — the Section 5.2 *t-goodness* conditions evaluated
+//!   exactly against trace ensembles, with the paper's `d_t/k_t/r_t`
+//!   growth sequences.
+
+#![warn(missing_docs)]
+
+pub mod degree_audit;
+pub mod goodness;
+pub mod or_adversary;
+pub mod or_refine;
+pub mod random_adversary;
+pub mod traces;
+pub mod yao;
+
+pub use degree_audit::{audit_parity_program, DegreeAudit, ParityAuditReport};
+pub use goodness::{worst_certificate_size, GrowthSequences, TGoodness};
+pub use or_adversary::{or_success_rate, probe_k_or, OrDistribution};
+pub use or_refine::{
+    materialize_distribution, random_fix, random_restrict, MapSet, OrRefine, OrRefineStep,
+};
+pub use random_adversary::{
+    f_star, generate, mask_refines, random_set, refinement_masks, refines, BiasedBits,
+    GsmRefine, InputDistribution, PartialInput, Refine, UniformBits,
+};
+pub use traces::{Entity, TraceEnsemble};
+pub use yao::{check_yao_sampled, parity_probe_game, Game};

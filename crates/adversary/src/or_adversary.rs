@@ -1,0 +1,251 @@
+//! The modified Random Adversary for OR (Section 7): the mixture input
+//! distribution `D` and an empirical harness that pits OR algorithms
+//! against it.
+//!
+//! `D` draws the all-zeros input with probability 1/2; otherwise it picks
+//! one of the geometrically sparsifying distributions `H_0 … H_k` (each
+//! `H_i` sets every γ-group of inputs to 1 with probability `1/d_i`, where
+//! the `d_i` tower-grow). The point of the construction: an algorithm that
+//! stops after few steps has seen only a bounded set of inputs affecting
+//! its output cell, and under the yet-sparser `H_i`'s those are almost
+//! surely all zero — so it cannot distinguish "all zeros" (answer 0) from
+//! "a few ones elsewhere" (answer 1) and succeeds with probability barely
+//! above 1/2. The harness measures exactly this for concrete algorithms:
+//! honest ones score ~1.0, truncated ones collapse toward 1/2 — the
+//! executable content of Theorem 7.1's `Ω(μ(log*(n/γ) − log* μ))` bound.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use parbounds_models::Word;
+
+use crate::random_adversary::{InputDistribution, PartialInput};
+
+/// The Section 7 OR input distribution.
+#[derive(Debug, Clone)]
+pub struct OrDistribution {
+    /// Number of inputs.
+    pub n: usize,
+    /// γ: inputs per initially-shared cell (groups flip together).
+    pub gamma: usize,
+    /// The `1/d_i` densities of the `H_i` components.
+    pub densities: Vec<f64>,
+}
+
+impl OrDistribution {
+    /// Builds the distribution for `n` inputs on a machine with big-step
+    /// duration `μ` and input packing `γ`. The `d_i` sequence starts at
+    /// `d_0 = log_{μ+1} n`-flavoured and tower-grows `d_{i+1} = (μ+1)^{d_i}`
+    /// (one exponentiation per level is already enough for the densities to
+    /// collapse at simulation scales; the paper's double exponential only
+    /// sharpens constants).
+    pub fn new(n: usize, mu: u64, gamma: usize) -> Self {
+        assert!(n >= 2);
+        let base = (mu + 1).max(2) as f64;
+        let mut d = (n as f64).log2().max(2.0) / base.log2().max(1.0);
+        let mut densities = Vec::new();
+        // Stop once groups are almost surely all-zero at this n.
+        while 1.0 / d > 1e-12 && densities.len() < 24 {
+            densities.push((1.0 / d).min(0.5));
+            d = base.powf(d.min(40.0));
+        }
+        if densities.is_empty() {
+            densities.push(0.25);
+        }
+        OrDistribution { n, gamma: gamma.max(1), densities }
+    }
+
+    /// Number of mixture components (the `H_i`).
+    pub fn num_components(&self) -> usize {
+        self.densities.len()
+    }
+
+    /// Samples an input: all-zeros w.p. 1/2, else a uniformly chosen `H_i`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<Word> {
+        if rng.gen_bool(0.5) {
+            return vec![0; self.n];
+        }
+        let i = rng.gen_range(0..self.densities.len());
+        self.sample_h(i, rng)
+    }
+
+    /// Samples from component `H_i`.
+    pub fn sample_h<R: Rng>(&self, i: usize, rng: &mut R) -> Vec<Word> {
+        let p = self.densities[i];
+        let mut v = vec![0 as Word; self.n];
+        let mut g = 0;
+        while g < self.n {
+            if rng.gen_bool(p) {
+                for x in v.iter_mut().skip(g).take(self.gamma) {
+                    *x = 1;
+                }
+            }
+            g += self.gamma;
+        }
+        v
+    }
+}
+
+impl InputDistribution for OrDistribution {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Marginal `P(x_i = 1 | fixed)`: computed by averaging the mixture
+    /// conditioned on the fixed assignments of the same γ-group (groups
+    /// flip together, so a fixed group-mate determines the bit; otherwise
+    /// we mix the component densities re-weighted by the evidence that all
+    /// currently-fixed groups match).
+    #[allow(clippy::needless_range_loop)] // j ranges over the γ-group's ids
+    fn conditional_p_one(&self, i: usize, f: &PartialInput) -> f64 {
+        let group = i / self.gamma;
+        // A group-mate already fixed pins the whole group.
+        for j in group * self.gamma..((group + 1) * self.gamma).min(self.n) {
+            if let Some(b) = f[j] {
+                return f64::from(b);
+            }
+        }
+        // Posterior over {zeros} ∪ {H_i} given the fixed groups.
+        let mut group_state: Vec<Option<bool>> = Vec::new();
+        for g in 0..self.n.div_ceil(self.gamma) {
+            let mut s = None;
+            for j in g * self.gamma..((g + 1) * self.gamma).min(self.n) {
+                if let Some(b) = f[j] {
+                    s = Some(b);
+                    break;
+                }
+            }
+            group_state.push(s);
+        }
+        let any_one = group_state.contains(&Some(true));
+        let zero_groups = group_state.iter().filter(|s| **s == Some(false)).count();
+        let mut weights = Vec::with_capacity(1 + self.densities.len());
+        let mut probs = Vec::with_capacity(1 + self.densities.len());
+        if !any_one {
+            weights.push(0.5); // the all-zeros atom (consistent: no ones seen)
+            probs.push(0.0);
+        }
+        let w_each = 0.5 / self.densities.len() as f64;
+        for &p in &self.densities {
+            let ones = group_state.iter().filter(|s| **s == Some(true)).count();
+            let lik = p.powi(ones as i32) * (1.0 - p).powi(zero_groups as i32);
+            weights.push(w_each * lik);
+            probs.push(p);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        weights.iter().zip(probs.iter()).map(|(w, p)| w * p).sum::<f64>() / total
+    }
+}
+
+/// Success rate of `algorithm` (given the raw input, returns its OR answer)
+/// over `trials` draws from `dist`.
+pub fn or_success_rate<F>(algorithm: F, dist: &OrDistribution, trials: usize, seed: u64) -> f64
+where
+    F: Fn(&[Word]) -> Word,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let input = dist.sample(&mut rng);
+        let truth = Word::from(input.iter().any(|&b| b != 0));
+        if algorithm(&input) == truth {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// A "cheating" OR algorithm that inspects only the first `k` inputs — the
+/// kind of bounded-information algorithm Theorem 7.1 dooms.
+pub fn probe_k_or(k: usize) -> impl Fn(&[Word]) -> Word {
+    move |input: &[Word]| Word::from(input.iter().take(k).any(|&b| b != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_shape() {
+        let d = OrDistribution::new(1 << 16, 2, 1);
+        assert!(d.num_components() >= 2);
+        // Densities strictly decrease (tower growth of d_i).
+        for w in d.densities.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn sample_respects_gamma_grouping() {
+        let d = OrDistribution::new(32, 1, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = d.sample_h(0, &mut rng);
+            for g in v.chunks(4) {
+                assert!(g.iter().all(|&b| b == 1) || g.iter().all(|&b| b == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn half_the_mass_is_all_zeros() {
+        let d = OrDistribution::new(64, 2, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let zeros = (0..4000)
+            .filter(|_| d.sample(&mut rng).iter().all(|&b| b == 0))
+            .count();
+        // 1/2 plus the H_i's own all-zero mass.
+        assert!(zeros >= 1800, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn honest_or_succeeds_always() {
+        let d = OrDistribution::new(256, 2, 1);
+        let honest = |input: &[Word]| Word::from(input.iter().any(|&b| b != 0));
+        assert_eq!(or_success_rate(honest, &d, 2000, 3), 1.0);
+    }
+
+    #[test]
+    fn truncated_or_collapses_toward_half() {
+        // Probing k = 4 of 4096 inputs: under the sparse H_i, the witnesses
+        // are almost never among the probed positions.
+        let d = OrDistribution::new(4096, 2, 1);
+        let rate = or_success_rate(probe_k_or(4), &d, 4000, 4);
+        assert!(rate < 0.80, "rate = {rate}");
+        // The constant-0 algorithm scores the all-zeros mass plus H_i
+        // all-zero draws.
+        let rate0 = or_success_rate(|_| 0, &d, 4000, 5);
+        assert!((0.45..0.80).contains(&rate0), "rate0 = {rate0}");
+        // More probes help, monotonically in expectation.
+        let rate_wide = or_success_rate(probe_k_or(4096), &d, 4000, 6);
+        assert_eq!(rate_wide, 1.0);
+    }
+
+    #[test]
+    fn conditional_probability_pins_group_mates() {
+        let d = OrDistribution::new(8, 1, 2);
+        let mut f: PartialInput = vec![None; 8];
+        f[0] = Some(true);
+        assert_eq!(d.conditional_p_one(1, &f), 1.0);
+        f[2] = Some(false);
+        assert_eq!(d.conditional_p_one(3, &f), 0.0);
+    }
+
+    #[test]
+    fn conditional_probability_shrinks_with_zero_evidence() {
+        // Observing many zero groups shifts the posterior toward the
+        // all-zeros atom and sparser components.
+        let d = OrDistribution::new(64, 2, 1);
+        let fresh = d.conditional_p_one(0, &vec![None; 64]);
+        let mut f: PartialInput = vec![None; 64];
+        for i in 1..40 {
+            f[i] = Some(false);
+        }
+        let informed = d.conditional_p_one(0, &f);
+        assert!(informed < fresh, "{informed} !< {fresh}");
+    }
+}

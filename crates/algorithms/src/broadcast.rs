@@ -1,0 +1,209 @@
+//! Broadcasting on the QSM family — the primitive whose tight bound
+//! (Adler–Gibbons–Matias–Ramachandran, the paper's reference \[1\]) the
+//! Section 2 discussion leans on: `Θ(g·log n/log g)` on the QSM,
+//! `Θ(g·log n)` on the s-QSM.
+//!
+//! The construction replicates through *read contention*: in round `l`,
+//! `k − 1` new processors each read one of the `k^(l-1)` current holders'
+//! cells (κ = k − 1, charged raw on the QSM) and publish their own copy.
+//! Choosing `k − 1 = g` balances the queue against the gap, giving
+//! `O(g·log n/log g)` total; on the s-QSM contention pays `g·κ` and `k = 2`
+//! is optimal again — the same structural asymmetry as the OR tree.
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
+};
+
+use crate::util::{ceil_log, Layout};
+use crate::VecOutcome;
+
+struct BroadcastProgram {
+    n: usize,
+    k: usize,
+    out: Addr,
+}
+
+impl BroadcastProgram {
+    /// The round in which processor `i` joins the holder set: the smallest
+    /// `l` with `i < k^l`.
+    fn join_round(&self, i: usize) -> usize {
+        if i == 0 {
+            return 0;
+        }
+        let mut l = 0;
+        let mut reach = 1usize;
+        while reach <= i {
+            reach = reach.saturating_mul(self.k);
+            l += 1;
+        }
+        l
+    }
+}
+
+impl Program for BroadcastProgram {
+    type Proc = Word;
+
+    fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    fn create(&self, _pid: usize) -> Word {
+        0
+    }
+
+    fn phase(&self, pid: usize, st: &mut Word, env: &mut PhaseEnv<'_>) -> Status {
+        let t = env.phase();
+        let join = self.join_round(pid);
+        // Round l occupies phases 2l (read) and 2l+1 (publish); round 0 is
+        // processor 0 reading the source cell.
+        let read_phase = 2 * join;
+        if t < read_phase {
+            return Status::Active;
+        }
+        if t == read_phase {
+            if pid == 0 {
+                env.read(0); // the source value
+            } else {
+                // Read an existing holder: holders after round join-1 are
+                // the processors below k^(join-1).
+                let holders = self.k.pow(join as u32 - 1);
+                env.read(self.out + pid % holders);
+            }
+            return Status::Active;
+        }
+        debug_assert_eq!(t, read_phase + 1);
+        *st = env.delivered()[0].1;
+        env.write(self.out + pid, *st);
+        Status::Done
+    }
+}
+
+/// Broadcasts the word in input cell 0 to `n` output cells with a fan-out
+/// `k` replication tree. Returns the `n` received copies.
+/// ```
+/// use parbounds_algo::broadcast::broadcast;
+/// use parbounds_models::QsmMachine;
+///
+/// let machine = QsmMachine::qsm(4);
+/// let out = broadcast(&machine, 99, 64, 5).unwrap();
+/// assert_eq!(out.values, vec![99; 64]);
+/// ```
+pub fn broadcast(machine: &QsmMachine, value: Word, n: usize, k: usize) -> Result<VecOutcome> {
+    assert!(n >= 1, "broadcast to zero processors");
+    assert!(k >= 2, "fan-out must be >= 2");
+    let mut layout = Layout::new(1);
+    let out = layout.alloc(n);
+    let prog = BroadcastProgram { n, k, out };
+    let run = machine.run(&prog, &[value])?;
+    let values = run.memory.slice(out, n);
+    Ok(VecOutcome { values, run })
+}
+
+/// The AGMR-optimal fan-out for a machine: `g + 1` on the QSM (queue
+/// absorbs g readers per round), 2 on the s-QSM.
+pub fn broadcast_default_fanout(machine: &QsmMachine) -> usize {
+    match machine.flavor() {
+        parbounds_models::QsmFlavor::Qsm
+        | parbounds_models::QsmFlavor::QsmUnitConcurrentReads => machine.g() as usize + 1,
+        parbounds_models::QsmFlavor::SQsm => 2,
+        parbounds_models::QsmFlavor::QsmGd(d) => {
+            ((machine.g() / d.max(1)) as usize + 1).max(2)
+        }
+    }
+}
+
+/// Worst-case closed-form cost: `2g + Σ_rounds (max(g, k−1) + g)`.
+pub fn broadcast_cost_max(n: usize, k: usize, g: u64) -> u64 {
+    let depth = ceil_log(n, k) as u64;
+    2 * g + depth * (g.max(k as u64 - 1) + g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_processor_receives_the_value() {
+        for n in [1usize, 2, 7, 64, 100, 257] {
+            for k in [2usize, 3, 9] {
+                let m = QsmMachine::qsm(4);
+                let out = broadcast(&m, 4242, n, k).unwrap();
+                assert_eq!(out.values, vec![4242; n], "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_within_the_closed_form() {
+        for n in [16usize, 256, 1000] {
+            for k in [2usize, 5, 17] {
+                for g in [1u64, 4, 16] {
+                    let m = QsmMachine::qsm(g);
+                    let out = broadcast(&m, 1, n, k).unwrap();
+                    assert!(
+                        out.run.time() <= broadcast_cost_max(n, k, g),
+                        "n={n} k={k} g={g}: {} > {}",
+                        out.run.time(),
+                        broadcast_cost_max(n, k, g)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_is_bounded_by_fanout() {
+        let m = QsmMachine::qsm(2);
+        let out = broadcast(&m, 9, 256, 4).unwrap();
+        assert!(out.run.ledger.max_contention() <= 3); // k - 1 readers
+    }
+
+    #[test]
+    fn fanout_g_beats_binary_on_qsm() {
+        let n = 1 << 12;
+        let g = 16u64;
+        let m = QsmMachine::qsm(g);
+        let wide = broadcast(&m, 5, n, g as usize + 1).unwrap();
+        let narrow = broadcast(&m, 5, n, 2).unwrap();
+        assert!(
+            wide.run.time() < narrow.run.time(),
+            "wide {} !< narrow {}",
+            wide.run.time(),
+            narrow.run.time()
+        );
+    }
+
+    #[test]
+    fn binary_beats_wide_on_sqsm() {
+        let n = 1 << 12;
+        let g = 16u64;
+        let m = QsmMachine::sqsm(g);
+        let wide = broadcast(&m, 5, n, g as usize + 1).unwrap();
+        let narrow = broadcast(&m, 5, n, 2).unwrap();
+        assert!(narrow.run.time() < wide.run.time());
+    }
+
+    #[test]
+    fn default_fanouts() {
+        assert_eq!(broadcast_default_fanout(&QsmMachine::qsm(8)), 9);
+        assert_eq!(broadcast_default_fanout(&QsmMachine::sqsm(8)), 2);
+        assert_eq!(broadcast_default_fanout(&QsmMachine::qsm_gd(8, 4)), 3);
+    }
+
+    #[test]
+    fn matches_agmr_theta_shape_on_qsm() {
+        // measured / (g·log n/log g) flat across the sweep.
+        let mut ratios = Vec::new();
+        for n in [1usize << 8, 1 << 12, 1 << 14] {
+            for g in [4u64, 16, 64] {
+                let m = QsmMachine::qsm(g);
+                let t = broadcast(&m, 1, n, g as usize + 1).unwrap().run.time() as f64;
+                let formula = g as f64 * (n as f64).log2() / (g as f64).log2();
+                ratios.push(t / formula);
+            }
+        }
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 3.0, "spread {max}/{min}");
+    }
+}

@@ -1,0 +1,1036 @@
+//! BSP algorithms: the fan-in-(L/g) reduction tree behind the paper's
+//! `O(L·log n / log(L/g))` Parity/OR/broadcast upper bounds (Section 8),
+//! prefix sums, broadcast, and two sorters (odd-even transposition as the
+//! deterministic baseline, sample sort as the rounds-respecting one).
+//!
+//! On a BSP every superstep costs at least `L`, so the right tree fan-in is
+//! the one that makes the communication term match: `k = max(2, L/g)`
+//! receives cost `g·k ≤ L`, giving depth `log p / log(L/g)` supersteps of
+//! cost `L` each — the Table 1 (sub-table 3) upper-bound shape.
+
+use parbounds_models::{
+    BspMachine, BspProgram, BspRunResult, CostLedger, Result, Status, Superstep, Word,
+};
+
+use crate::util::{ceil_log, ReduceOp};
+
+/// Outcome of a BSP scalar algorithm.
+#[derive(Debug)]
+pub struct BspOutcome {
+    /// The computed value (held by component 0 at termination).
+    pub value: Word,
+    /// Per-superstep cost ledger.
+    pub ledger: CostLedger,
+}
+
+impl BspOutcome {
+    /// Total BSP time.
+    pub fn time(&self) -> u64 {
+        self.ledger.total_time()
+    }
+
+    /// Supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.ledger.num_phases()
+    }
+}
+
+/// The fan-in used by the reduction/broadcast trees: `max(2, L/g)`.
+pub fn bsp_fanin(machine: &BspMachine) -> usize {
+    ((machine.l() / machine.g()) as usize).max(2)
+}
+
+struct ReduceProg {
+    op: ReduceOp,
+    k: usize,
+    depth: usize,
+}
+
+struct ReduceState {
+    value: Word,
+}
+
+impl BspProgram for ReduceProg {
+    type Proc = ReduceState;
+
+    fn create(&self, _pid: usize, local: &[Word]) -> ReduceState {
+        ReduceState { value: self.op.fold(local) }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut ReduceState, ctx: &mut Superstep<'_>) -> Status {
+        // Round r (0-based): components aligned to k^r send to their group
+        // leader aligned to k^(r+1).
+        let r = ctx.step();
+        for m in ctx.inbox() {
+            st.value = self.op.apply(st.value, m.value);
+        }
+        ctx.local_ops(ctx.inbox().len() as u64);
+        if r >= self.depth {
+            return Status::Done;
+        }
+        let stride = self.k.pow(r as u32);
+        if !pid.is_multiple_of(stride) {
+            return Status::Done;
+        }
+        let leader_stride = stride * self.k;
+        if !pid.is_multiple_of(leader_stride) {
+            ctx.send(pid - pid % leader_stride, 0, st.value);
+            return Status::Done;
+        }
+        Status::Active
+    }
+}
+
+/// Reduces `input` under `op` on the BSP with a fan-in-`k` tree.
+/// The result lands at component 0.
+pub fn bsp_reduce(
+    machine: &BspMachine,
+    input: &[Word],
+    k: usize,
+    op: ReduceOp,
+) -> Result<BspOutcome> {
+    assert!(k >= 2, "fan-in must be >= 2");
+    let depth = ceil_log(machine.p(), k) as usize;
+    let prog = ReduceProg { op, k, depth };
+    let res = machine.run(&prog, input)?;
+    Ok(BspOutcome { value: res.states[0].value, ledger: res.ledger })
+}
+
+/// Parity on the BSP: fan-in `max(2, L/g)` — `O(g·n/p + L·log p/log(L/g))`.
+/// ```
+/// use parbounds_algo::bsp_algos::bsp_parity;
+/// use parbounds_models::BspMachine;
+///
+/// let machine = BspMachine::new(8, 2, 16).unwrap();
+/// let out = bsp_parity(&machine, &[1; 100]).unwrap();
+/// assert_eq!(out.value, 0); // 100 ones
+/// ```
+pub fn bsp_parity(machine: &BspMachine, bits: &[Word]) -> Result<BspOutcome> {
+    bsp_reduce(machine, bits, bsp_fanin(machine), ReduceOp::Xor)
+}
+
+/// OR on the BSP, same structure.
+pub fn bsp_or(machine: &BspMachine, bits: &[Word]) -> Result<BspOutcome> {
+    bsp_reduce(machine, bits, bsp_fanin(machine), ReduceOp::Or)
+}
+
+struct BroadcastProg {
+    k: usize,
+    depth: usize,
+    p: usize,
+    payload: Word,
+}
+
+impl BspProgram for BroadcastProg {
+    type Proc = Word;
+
+    fn create(&self, pid: usize, _local: &[Word]) -> Word {
+        if pid == 0 {
+            self.payload
+        } else {
+            Word::MIN // not yet received
+        }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut Word, ctx: &mut Superstep<'_>) -> Status {
+        let r = ctx.step();
+        if let Some(m) = ctx.inbox().first() {
+            *st = m.value;
+        }
+        if r >= self.depth {
+            return Status::Done;
+        }
+        // Reverse of the reduction tree: at round r, holders aligned to
+        // k^(depth-r) forward to the sub-leaders aligned to k^(depth-r-1);
+        // destinations beyond the machine (ragged trees) are skipped.
+        let stride = self.k.pow((self.depth - r) as u32);
+        let child_stride = self.k.pow((self.depth - r - 1) as u32);
+        if pid.is_multiple_of(stride) && *st != Word::MIN {
+            for c in 1..self.k {
+                let dest = pid + c * child_stride;
+                if dest < self.p {
+                    ctx.send(dest, 0, *st);
+                }
+            }
+        }
+        Status::Active
+    }
+}
+
+/// Broadcasts `payload` from component 0 to all components with a fan-out
+/// `max(2, L/g)` tree: `O(L·log p / log(L/g))` — matching the broadcast
+/// lower bound of Adler et al. the paper cites. Returns every component's
+/// received value plus the ledger.
+pub fn bsp_broadcast(machine: &BspMachine, payload: Word) -> Result<(Vec<Word>, CostLedger)> {
+    let k = bsp_fanin(machine);
+    let depth = ceil_log(machine.p(), k) as usize;
+    let prog = BroadcastProg { k, depth, p: machine.p(), payload };
+    let res: BspRunResult<Word> = machine.run(&prog, &[])?;
+    Ok((res.states, res.ledger))
+}
+
+// ---------------------------------------------------------------------------
+// Prefix sums.
+// ---------------------------------------------------------------------------
+
+struct BspPrefixProg {
+    k: usize,
+    depth: usize,
+    op: ReduceOp,
+}
+
+struct BspPrefixState {
+    local: Vec<Word>,
+    /// Partial sums received from tree children per up-sweep round.
+    child_sums: Vec<Vec<(usize, Word)>>,
+    subtotal: Word,
+    offset: Word,
+    prefixes: Vec<Word>,
+}
+
+impl BspProgram for BspPrefixProg {
+    type Proc = BspPrefixState;
+
+    fn create(&self, _pid: usize, local: &[Word]) -> BspPrefixState {
+        BspPrefixState {
+            local: local.to_vec(),
+            child_sums: vec![Vec::new(); self.depth],
+            subtotal: self.op.fold(local),
+            offset: self.op.identity(),
+            prefixes: Vec::new(),
+        }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut BspPrefixState, ctx: &mut Superstep<'_>) -> Status {
+        let step = ctx.step();
+        // Up-sweep rounds 0..depth: senders aligned to k^r send their
+        // subtotal to the k^(r+1)-aligned leader; leaders accumulate in
+        // child order at the matching down-sweep round.
+        if step < self.depth {
+            let r = step;
+            if r > 0 {
+                for m in ctx.inbox() {
+                    st.child_sums[r - 1].push((m.src, m.value));
+                }
+            }
+            let stride = self.k.pow(r as u32);
+            if pid.is_multiple_of(stride) {
+                // Fold in the children received this round before passing up.
+                if r > 0 {
+                    let mut kids = std::mem::take(&mut st.child_sums[r - 1]);
+                    kids.sort_unstable();
+                    for &(_, v) in &kids {
+                        st.subtotal = self.op.apply(st.subtotal, v);
+                    }
+                    st.child_sums[r - 1] = kids;
+                }
+                let leader_stride = stride * self.k;
+                if !pid.is_multiple_of(leader_stride) {
+                    ctx.send(pid - pid % leader_stride, 0, st.subtotal);
+                }
+            }
+            return Status::Active;
+        }
+        // Down-sweep rounds: leaders distribute exclusive offsets back to
+        // the children they heard from, level by level (reverse order).
+        let d = step - self.depth;
+        if d < self.depth {
+            let r = self.depth - 1 - d; // matching up-sweep level
+            if d == 0 {
+                // The last up-sweep round's child messages arrive here.
+                let mut kids: Vec<(usize, Word)> = ctx
+                    .inbox()
+                    .iter()
+                    .filter(|m| m.tag == 0)
+                    .map(|m| (m.src, m.value))
+                    .collect();
+                kids.sort_unstable();
+                st.child_sums[self.depth - 1] = kids;
+            }
+            if let Some(m) = ctx.inbox().iter().find(|m| m.tag == 1) {
+                st.offset = m.value;
+            }
+            let stride = self.k.pow(r as u32 + 1);
+            if pid.is_multiple_of(stride) {
+                // This node led level r. Its elements come first (its own
+                // level-r subtree), then each child subtree in id order:
+                // child j's offset = own offset + own level-r subtree total
+                // + totals of earlier children.
+                let own_level_r: Word = st.local.iter().sum::<Word>()
+                    + st.child_sums[..r]
+                        .iter()
+                        .flat_map(|kids| kids.iter().map(|&(_, v)| v))
+                        .sum::<Word>();
+                let mut running = st.offset + own_level_r;
+                for &(kid, kv) in &st.child_sums[r] {
+                    ctx.send(kid, 1, running);
+                    running += kv;
+                }
+            }
+            return Status::Active;
+        }
+        // Final: compute local inclusive prefixes.
+        if let Some(m) = ctx.inbox().iter().find(|m| m.tag == 1) {
+            st.offset = m.value;
+        }
+        let mut acc = st.offset;
+        st.prefixes = st
+            .local
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        Status::Done
+    }
+}
+
+/// Inclusive prefix **sums** on the BSP with a fan-in-`k` double sweep:
+/// `2·⌈log_k p⌉ + 1` supersteps, each routing an O(k)-relation — the BSP
+/// twin of [`crate::prefix::prefix_in_rounds`] (Sum only; the down-sweep
+/// subtracts child totals, which needs an invertible operator).
+pub fn bsp_prefix_sums(machine: &BspMachine, input: &[Word], k: usize) -> Result<BspSortOutcome> {
+    assert!(k >= 2);
+    let depth = ceil_log(machine.p(), k) as usize;
+    let prog = BspPrefixProg { k, depth, op: ReduceOp::Sum };
+    let res = machine.run(&prog, input)?;
+    let blocks = res.states.into_iter().map(|s| s.prefixes).collect();
+    Ok(BspSortOutcome { blocks, ledger: res.ledger })
+}
+
+// ---------------------------------------------------------------------------
+// Sorting.
+// ---------------------------------------------------------------------------
+
+/// Outcome of a BSP sort: the globally sorted data, block per component.
+#[derive(Debug)]
+pub struct BspSortOutcome {
+    /// `blocks[i]` = sorted block held by component `i`; concatenation is
+    /// the globally sorted sequence.
+    pub blocks: Vec<Vec<Word>>,
+    /// Per-superstep ledger.
+    pub ledger: CostLedger,
+}
+
+impl BspSortOutcome {
+    /// The full sorted sequence.
+    pub fn concat(&self) -> Vec<Word> {
+        self.blocks.concat()
+    }
+
+    /// Checks the result is a sorted permutation of `input`.
+    pub fn verify(&self, input: &[Word]) -> bool {
+        let got = self.concat();
+        if got.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let mut expect = input.to_vec();
+        expect.sort_unstable();
+        got == expect
+    }
+}
+
+struct OddEvenProg {
+    p: usize,
+    /// Equal block size all components pad to (the p-round correctness of
+    /// block odd-even transposition requires equal blocks); the padding
+    /// sentinel `Word::MAX` sorts to the tail and is stripped afterwards.
+    pad_to: usize,
+}
+
+struct OddEvenState {
+    data: Vec<Word>,
+    /// Data sent to the neighbour this round, awaiting merge.
+    kept_low: bool,
+}
+
+impl BspProgram for OddEvenProg {
+    type Proc = OddEvenState;
+
+    fn create(&self, _pid: usize, local: &[Word]) -> OddEvenState {
+        let mut data = local.to_vec();
+        data.resize(self.pad_to, Word::MAX);
+        data.sort_unstable();
+        OddEvenState { data, kept_low: true }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut OddEvenState, ctx: &mut Superstep<'_>) -> Status {
+        // Merge whatever arrived, keep our half.
+        if !ctx.inbox().is_empty() {
+            let mut merged: Vec<Word> =
+                st.data.iter().copied().chain(ctx.inbox().iter().map(|m| m.value)).collect();
+            merged.sort_unstable();
+            let own = st.data.len();
+            st.data = if st.kept_low {
+                merged[..own].to_vec()
+            } else {
+                merged[merged.len() - own..].to_vec()
+            };
+            let c = merged.len() as u64;
+            ctx.local_ops(c * (64 - c.leading_zeros()) as u64);
+        }
+        let round = ctx.step();
+        if round >= self.p {
+            return Status::Done;
+        }
+        // Odd-even pairing: at even rounds pair (0,1)(2,3)…; odd rounds
+        // pair (1,2)(3,4)….
+        let partner = if (pid + round).is_multiple_of(2) { pid + 1 } else { pid.wrapping_sub(1) };
+        if partner < self.p {
+            st.kept_low = partner > pid;
+            for &v in &st.data {
+                ctx.send(partner, 0, v);
+            }
+        }
+        Status::Active
+    }
+}
+
+/// Deterministic odd-even transposition sort: `p` supersteps of cost
+/// `max(O(n/p·log(n/p)), g·n/p, L)` — the simple baseline.
+pub fn bsp_sort_odd_even(machine: &BspMachine, input: &[Word]) -> Result<BspSortOutcome> {
+    assert!(
+        input.iter().all(|&v| v < Word::MAX),
+        "Word::MAX is reserved as the padding sentinel"
+    );
+    let prog = OddEvenProg { p: machine.p(), pad_to: input.len().div_ceil(machine.p()) };
+    let res = machine.run(&prog, input)?;
+    let blocks = res
+        .states
+        .into_iter()
+        .map(|s| s.data.into_iter().filter(|&v| v < Word::MAX).collect())
+        .collect();
+    Ok(BspSortOutcome { blocks, ledger: res.ledger })
+}
+
+struct SampleSortProg {
+    p: usize,
+    oversample: usize,
+}
+
+struct SampleState {
+    data: Vec<Word>,
+    splitters: Vec<Word>,
+    received: Vec<Word>,
+}
+
+impl BspProgram for SampleSortProg {
+    type Proc = SampleState;
+
+    fn create(&self, _pid: usize, local: &[Word]) -> SampleState {
+        let mut data = local.to_vec();
+        data.sort_unstable();
+        SampleState { data, splitters: Vec::new(), received: Vec::new() }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut SampleState, ctx: &mut Superstep<'_>) -> Status {
+        match ctx.step() {
+            // Send an evenly spaced local sample to component 0.
+            0 => {
+                let s = self.oversample;
+                for j in 0..s {
+                    if st.data.is_empty() {
+                        break;
+                    }
+                    let idx = (j * st.data.len()) / s;
+                    ctx.send(0, 0, st.data[idx]);
+                }
+                Status::Active
+            }
+            // Component 0 picks p-1 splitters and sends them to everyone.
+            1 => {
+                if pid == 0 {
+                    let mut sample: Vec<Word> = ctx.inbox().iter().map(|m| m.value).collect();
+                    sample.sort_unstable();
+                    let c = sample.len() as u64;
+                    ctx.local_ops(c * (64 - c.leading_zeros().min(63)) as u64);
+                    if !sample.is_empty() {
+                        for d in 0..self.p {
+                            for j in 1..self.p {
+                                let idx = (j * sample.len()) / self.p;
+                                ctx.send(d, j as Word, sample[idx.min(sample.len() - 1)]);
+                            }
+                        }
+                    }
+                }
+                Status::Active
+            }
+            // Partition local data by splitters; route to buckets.
+            2 => {
+                st.splitters = ctx.inbox().iter().map(|m| m.value).collect();
+                for &v in &st.data {
+                    let dest = st.splitters.partition_point(|&s| s <= v);
+                    ctx.send(dest, 0, v);
+                }
+                Status::Active
+            }
+            // Sort the received bucket.
+            _ => {
+                st.received = ctx.inbox().iter().map(|m| m.value).collect();
+                st.received.sort_unstable();
+                let c = st.received.len().max(1) as u64;
+                ctx.local_ops(c * (64 - c.leading_zeros()) as u64);
+                Status::Done
+            }
+        }
+    }
+}
+
+/// Randomized-flavoured sample sort: O(1) supersteps; with `p² ≲ n` and a
+/// reasonable oversampling factor every superstep routes an `O(n/p)`-ish
+/// relation, so the computation runs in `O(1)` *rounds* (Section 2.3).
+pub fn bsp_sort_sample(
+    machine: &BspMachine,
+    input: &[Word],
+    oversample: usize,
+) -> Result<BspSortOutcome> {
+    assert!(oversample >= 1);
+    let prog = SampleSortProg { p: machine.p(), oversample };
+    let res = machine.run(&prog, input)?;
+    let blocks = res.states.into_iter().map(|s| s.received).collect();
+    Ok(BspSortOutcome { blocks, ledger: res.ledger })
+}
+
+/// Closed-form supersteps of [`bsp_reduce`]: `⌈log_k p⌉ + 1`.
+pub fn bsp_reduce_supersteps(p: usize, k: usize) -> usize {
+    ceil_log(p, k) as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{random_bits, uniform_values};
+
+    fn machine(p: usize, g: u64, l: u64) -> BspMachine {
+        BspMachine::new(p, g, l).unwrap()
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let input: Vec<Word> = (1..=100).collect();
+        for p in [1usize, 3, 8, 16] {
+            let m = machine(p, 2, 8);
+            let out = bsp_reduce(&m, &input, 4, ReduceOp::Sum).unwrap();
+            assert_eq!(out.value, 5050, "p={p}");
+        }
+    }
+
+    #[test]
+    fn parity_and_or_on_bsp() {
+        let bits = random_bits(257, 3);
+        let expected_parity = bits.iter().sum::<Word>() % 2;
+        let m = machine(8, 2, 16);
+        assert_eq!(bsp_parity(&m, &bits).unwrap().value, expected_parity);
+        assert_eq!(bsp_or(&m, &bits).unwrap().value, 1);
+        assert_eq!(bsp_or(&m, &vec![0; 64]).unwrap().value, 0);
+    }
+
+    #[test]
+    fn reduce_superstep_count_matches_formula() {
+        for (p, k) in [(16usize, 4usize), (16, 2), (27, 3), (1, 2)] {
+            let m = machine(p, 1, 4);
+            let out = bsp_reduce(&m, &vec![1; 64.max(p)], k, ReduceOp::Sum).unwrap();
+            assert_eq!(out.supersteps(), bsp_reduce_supersteps(p, k), "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn fanin_l_over_g_keeps_superstep_cost_at_l_dominated() {
+        // k = L/g: communication g·(k-1) < L, so supersteps cost L except
+        // the first (local fold of n/p words can exceed L).
+        let p = 64;
+        let g = 2;
+        let l = 16;
+        let m = machine(p, g, l);
+        let bits = random_bits(p, 7); // n/p = 1: w small
+        let out = bsp_parity(&m, &bits).unwrap();
+        assert_eq!(bsp_fanin(&m), 8);
+        assert!(out.ledger.phases().iter().all(|ph| ph.cost == l));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for p in [1usize, 2, 7, 16, 40] {
+            let m = machine(p, 2, 8);
+            let (values, ledger) = bsp_broadcast(&m, 1234).unwrap();
+            assert_eq!(values, vec![1234; p], "p={p}");
+            assert!(ledger.num_phases() <= ceil_log(p, 4) as usize + 2);
+        }
+    }
+
+    #[test]
+    fn bsp_prefix_sums_equal_sequential_scan() {
+        for n in [1usize, 5, 64, 300] {
+            for p in [1usize, 3, 8, 16] {
+                for k in [2usize, 4] {
+                    let m = machine(p, 2, 8);
+                    let input: Vec<Word> = (0..n as Word).map(|i| (i * 7 + 1) % 13).collect();
+                    let out = bsp_prefix_sums(&m, &input, k).unwrap();
+                    let mut acc = 0;
+                    let expect: Vec<Word> = input.iter().map(|&v| { acc += v; acc }).collect();
+                    assert_eq!(out.concat(), expect, "n={n} p={p} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bsp_prefix_superstep_count() {
+        let m = machine(16, 2, 8);
+        let input: Vec<Word> = (0..160).collect();
+        let out = bsp_prefix_sums(&m, &input, 4).unwrap();
+        // 2·ceil(log_4 16) + 1 = 5 supersteps.
+        assert_eq!(out.ledger.num_phases(), 5);
+    }
+
+    #[test]
+    fn odd_even_sorts() {
+        let input = uniform_values(80, 5);
+        for p in [1usize, 4, 8] {
+            let m = machine(p, 2, 8);
+            let out = bsp_sort_odd_even(&m, &input).unwrap();
+            assert!(out.verify(&input), "p={p}");
+        }
+    }
+
+    #[test]
+    fn sample_sort_sorts() {
+        let input = uniform_values(512, 11);
+        for p in [2usize, 4, 8] {
+            let m = machine(p, 2, 8);
+            let out = bsp_sort_sample(&m, &input, 8).unwrap();
+            assert!(out.verify(&input), "p={p}");
+        }
+    }
+
+    #[test]
+    fn sample_sort_uses_constant_supersteps() {
+        let m = machine(8, 2, 8);
+        let input = uniform_values(1024, 2);
+        let out = bsp_sort_sample(&m, &input, 8).unwrap();
+        assert!(out.verify(&input));
+        assert_eq!(out.ledger.num_phases(), 4);
+    }
+
+    #[test]
+    fn bsp_lac_places_every_item() {
+        let input = crate::workloads::sparse_items(512, 64, 9);
+        for p in [2usize, 4, 16] {
+            let m = machine(p, 2, 8);
+            let out = bsp_lac_dart(&m, &input, 64, 5).unwrap();
+            assert!(out.verify(&input), "p={p}");
+            assert!(out.out_size <= 16 * 64 + 32);
+        }
+    }
+
+    #[test]
+    fn bsp_lac_handles_empty_and_full() {
+        let m = machine(4, 2, 8);
+        let empty = vec![0; 64];
+        let out = bsp_lac_dart(&m, &empty, 4, 1).unwrap();
+        assert!(out.verify(&empty));
+        assert!(out.placed.is_empty());
+
+        let full = vec![1; 32];
+        let out = bsp_lac_dart(&m, &full, 32, 2).unwrap();
+        assert!(out.verify(&full));
+    }
+
+    #[test]
+    fn bsp_lac_superstep_count_is_moderate() {
+        let input = crate::workloads::sparse_items(2048, 256, 3);
+        let m = machine(8, 2, 16);
+        let out = bsp_lac_dart(&m, &input, 256, 7).unwrap();
+        assert!(out.verify(&input));
+        // 2 supersteps per dart round plus the terminate round.
+        assert!(out.ledger.num_phases() <= 2 * 24 + 4, "{}", out.ledger.num_phases());
+    }
+
+    #[test]
+    fn bsp_lac_ragged_partition_origins_are_correct() {
+        // n not divisible by p exercises the ceil/floor offset logic.
+        let mut input = vec![0 as Word; 13];
+        for i in [0usize, 5, 6, 11, 12] {
+            input[i] = 1;
+        }
+        let m = machine(4, 1, 2);
+        let out = bsp_lac_dart(&m, &input, 5, 11).unwrap();
+        assert!(out.verify(&input), "{:?}", out.placed);
+    }
+
+    #[test]
+    fn odd_even_handles_duplicates_and_tiny_inputs() {
+        let m = machine(4, 1, 2);
+        let input = vec![3, 3, 3, 1, 1];
+        let out = bsp_sort_odd_even(&m, &input).unwrap();
+        assert!(out.verify(&input));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LAC on the BSP by message dart-throwing.
+// ---------------------------------------------------------------------------
+
+/// Outcome of the BSP compaction.
+#[derive(Debug)]
+pub struct BspLacOutcome {
+    /// `(slot, origin)` pairs: item from global input cell `origin` landed
+    /// in destination slot `slot`.
+    pub placed: Vec<(usize, usize)>,
+    /// Destination array size.
+    pub out_size: usize,
+    /// Per-superstep ledger.
+    pub ledger: CostLedger,
+}
+
+impl BspLacOutcome {
+    /// Checks every input item landed exactly once in a distinct slot.
+    pub fn verify(&self, input: &[Word]) -> bool {
+        let mut seen_slot = std::collections::HashSet::new();
+        let mut seen_origin = std::collections::HashSet::new();
+        for &(slot, origin) in &self.placed {
+            if slot >= self.out_size
+                || origin >= input.len()
+                || input[origin] == 0
+                || !seen_slot.insert(slot)
+                || !seen_origin.insert(origin)
+            {
+                return false;
+            }
+        }
+        input.iter().enumerate().all(|(i, &v)| (v == 0) != seen_origin.contains(&i))
+    }
+}
+
+fn lac_segments(h: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut s = (4 * h).max(8);
+    while s > 8 {
+        sizes.push(s);
+        s /= 2;
+    }
+    sizes.extend(std::iter::repeat_n(8, h + 2));
+    sizes
+}
+
+struct BspDartProg {
+    p: usize,
+    n: usize,
+    seed: u64,
+    /// Liveness-aggregation tree fan-in (`max(2, L/g)`).
+    k: usize,
+    /// (global base, size) of each dart segment.
+    segs: Vec<(usize, usize)>,
+}
+
+struct BspDartState {
+    /// Live items: global origin indices.
+    live: Vec<usize>,
+    /// Slots this component owns that are claimed: (slot, origin).
+    owned: Vec<(usize, usize)>,
+    /// Last reported live total of each aggregation-tree child, plus a
+    /// floor of 1 until the child's first report arrives (prevents a
+    /// premature all-quiet verdict while reports are still in flight).
+    child_live: std::collections::HashMap<usize, u64>,
+}
+
+impl BspDartProg {
+    fn slot(&self, origin: usize, round: usize) -> usize {
+        assert!(round < self.segs.len(), "dart schedule exhausted at round {round}");
+        let (base, size) = self.segs[round];
+        let mut z = self
+            .seed
+            .wrapping_add((origin as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add((round as u64).wrapping_mul(0xd1b54a32d192ed03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^= z >> 31;
+        base + (z % size as u64) as usize
+    }
+
+    /// Global input offset of component `pid` under the BSP's uniform
+    /// ceil/floor partition (the first `n mod p` components get ⌈n/p⌉).
+    fn offset(&self, pid: usize) -> usize {
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        pid * base + pid.min(extra)
+    }
+
+    fn children(&self, pid: usize) -> impl Iterator<Item = usize> + use<'_> {
+        (1..=self.k).map(move |c| pid * self.k + c).filter(|&c| c < self.p)
+    }
+
+    fn parent(&self, pid: usize) -> Option<usize> {
+        (pid > 0).then(|| (pid - 1) / self.k)
+    }
+}
+
+/// Message tags of the protocol. Claims carry their slot in the tag
+/// (`slot + TAG_CLAIM_BASE`); control traffic uses the two low tags.
+const TAG_REPORT: Word = 0; // pipelined subtree live-count (value) / TERMINATE (value = -1)
+const TAG_ACCEPT: Word = 1;
+const TAG_CLAIM_BASE: Word = 2;
+
+impl BspProgram for BspDartProg {
+    type Proc = BspDartState;
+
+    fn create(&self, pid: usize, local: &[Word]) -> BspDartState {
+        let off = self.offset(pid);
+        let live = local
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(j, _)| off + j)
+            .collect();
+        // Until a child reports, assume it may be live.
+        let child_live = self.children(pid).map(|c| (c, 1u64)).collect();
+        BspDartState { live, owned: Vec::new(), child_live }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut BspDartState, ctx: &mut Superstep<'_>) -> Status {
+        // TERMINATE wave: forward to children and stop. It is only emitted
+        // once the (delayed, monotone-decreasing) global live count hit 0,
+        // so no claim can still be in flight toward us.
+        if ctx.inbox().iter().any(|m| m.tag == TAG_REPORT && m.value < 0) {
+            for c in self.children(pid) {
+                ctx.send(c, TAG_REPORT, -1);
+            }
+            return Status::Done;
+        }
+        let step = ctx.step();
+        if step % 2 == 0 {
+            // Claim superstep: retire ACCEPTed items, throw fresh darts.
+            let accepted: std::collections::HashSet<usize> = ctx
+                .inbox()
+                .iter()
+                .filter(|m| m.tag == TAG_ACCEPT)
+                .map(|m| m.value as usize)
+                .collect();
+            st.live.retain(|o| !accepted.contains(o));
+            for m in ctx.inbox() {
+                if m.tag == TAG_REPORT {
+                    st.child_live.insert(m.src, m.value as u64);
+                }
+            }
+            let round = step / 2;
+            for &origin in &st.live {
+                let slot = self.slot(origin, round);
+                ctx.send(slot % self.p, slot as Word + TAG_CLAIM_BASE, origin as Word);
+            }
+            Status::Active
+        } else {
+            // Arbitrate superstep: first claim per slot wins (deterministic
+            // inbox order); also advance the liveness-aggregation pipeline.
+            let mut taken: std::collections::HashSet<Word> =
+                st.owned.iter().map(|&(s, _)| s as Word + TAG_CLAIM_BASE).collect();
+            let mut accepts = Vec::new();
+            for m in ctx.inbox() {
+                if m.tag == TAG_REPORT {
+                    st.child_live.insert(m.src, m.value as u64);
+                } else if m.tag >= TAG_CLAIM_BASE && taken.insert(m.tag) {
+                    st.owned.push(((m.tag - TAG_CLAIM_BASE) as usize, m.value as usize));
+                    accepts.push((m.src, m.value));
+                }
+            }
+            ctx.local_ops(ctx.inbox().len() as u64);
+            for (src, origin) in accepts {
+                ctx.send(src, TAG_ACCEPT, origin);
+            }
+            let subtree = st.live.len() as u64 + st.child_live.values().sum::<u64>();
+            match self.parent(pid) {
+                Some(parent) => ctx.send(parent, TAG_REPORT, subtree as Word),
+                None => {
+                    if subtree == 0 {
+                        // Root saw the whole (delayed) machine quiet: start
+                        // the terminate wave and stop.
+                        for c in self.children(pid) {
+                            ctx.send(c, TAG_REPORT, -1);
+                        }
+                        return Status::Done;
+                    }
+                }
+            }
+            Status::Active
+        }
+    }
+}
+
+/// LAC on the BSP: live items claim random slots of geometrically fresh
+/// segments by point-to-point messages; slot owners arbitrate (first claim
+/// in deterministic inbox order wins) and ACK winners. Each round is 2
+/// supersteps of cost `max(w, g·h, L)` with `h` the realized claim traffic
+/// — the message-passing twin of [`crate::lac::lac_dart`].
+pub fn bsp_lac_dart(
+    machine: &BspMachine,
+    input: &[Word],
+    h: usize,
+    seed: u64,
+) -> Result<BspLacOutcome> {
+    assert!(h >= 1);
+    let count = input.iter().filter(|&&v| v != 0).count();
+    assert!(count <= h, "input has {count} items but h = {h}");
+    let sizes = lac_segments(h);
+    let out_size: usize = sizes.iter().sum();
+    let mut segs = Vec::with_capacity(sizes.len());
+    let mut at = 0;
+    for s in sizes {
+        segs.push((at, s));
+        at += s;
+    }
+    let p = machine.p();
+    let k = bsp_fanin(machine);
+    let prog = BspDartProg { p, n: input.len(), seed, k, segs };
+    let res = machine.run(&prog, input)?;
+    let mut placed = Vec::new();
+    for st in &res.states {
+        placed.extend(st.owned.iter().copied());
+    }
+    placed.sort_unstable();
+    Ok(BspLacOutcome { placed, out_size, ledger: res.ledger })
+}
+
+// ---------------------------------------------------------------------------
+// Padded sort on the BSP.
+// ---------------------------------------------------------------------------
+
+/// Outcome of the BSP padded sort: per-component padded regions whose
+/// concatenation is globally sorted with NULL (0) padding; values stored
+/// as `v + 1`.
+#[derive(Debug)]
+pub struct BspPaddedOutcome {
+    /// `regions[i]` = component `i`'s padded region.
+    pub regions: Vec<Vec<Word>>,
+    /// Whether some component overflowed its region.
+    pub overflow: bool,
+    /// Per-superstep ledger.
+    pub ledger: CostLedger,
+}
+
+impl BspPaddedOutcome {
+    /// The padded output array.
+    pub fn output(&self) -> Vec<Word> {
+        self.regions.concat()
+    }
+
+    /// The sorted values (NULLs stripped).
+    pub fn values(&self) -> Vec<Word> {
+        self.output().into_iter().filter(|&v| v != 0).map(|v| v - 1).collect()
+    }
+
+    /// Padded-sort contract: sorted, same multiset, no overflow.
+    pub fn verify(&self, input: &[Word]) -> bool {
+        if self.overflow {
+            return false;
+        }
+        let got = self.values();
+        if got.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let mut expect = input.to_vec();
+        expect.sort_unstable();
+        let mut sorted_got = got.clone();
+        sorted_got.sort_unstable();
+        sorted_got == expect
+    }
+}
+
+/// Padded sort of uniform `[0,1)` fixed-point values on the BSP: each value's
+/// destination component is `⌊v·p/FIXED_ONE⌋` (uniformity makes this an
+/// `O(n/p)`-relation w.h.p.), one routing superstep, one local sort into a
+/// region of `⌈n/p⌉ + pad` cells. Three supersteps total — the BSP excels
+/// here precisely because message delivery *is* compaction (the Section 2.2
+/// remark on why the BSP can beat the QSM at array-filling).
+pub fn bsp_padded_sort(machine: &BspMachine, values: &[Word]) -> Result<BspPaddedOutcome> {
+    use crate::workloads::FIXED_ONE;
+    assert!(!values.is_empty());
+    assert!(values.iter().all(|&v| (0..FIXED_ONE).contains(&v)), "values must be in [0,1)");
+    let n = values.len();
+    let p = machine.p();
+    let expect = n.div_ceil(p);
+    let pad = 4 * ((expect as f64 * (n.max(2) as f64).ln()).sqrt().ceil() as usize) + 8;
+    let cap = expect + pad;
+
+    struct Prog {
+        p: usize,
+        cap: usize,
+    }
+    struct St {
+        local: Vec<Word>,
+        region: Vec<Word>,
+        overflow: bool,
+    }
+    impl BspProgram for Prog {
+        type Proc = St;
+        fn create(&self, _pid: usize, local: &[Word]) -> St {
+            St { local: local.to_vec(), region: Vec::new(), overflow: false }
+        }
+        fn superstep(&self, _pid: usize, st: &mut St, ctx: &mut Superstep<'_>) -> Status {
+            use crate::workloads::FIXED_ONE;
+            match ctx.step() {
+                // Route every value to its range owner.
+                0 => {
+                    for &v in &st.local {
+                        let dest =
+                            ((v as i128 * self.p as i128) / FIXED_ONE as i128) as usize;
+                        ctx.send(dest.min(self.p - 1), 0, v);
+                    }
+                    Status::Active
+                }
+                // Sort the received range locally into the padded region.
+                _ => {
+                    let mut got: Vec<Word> = ctx.inbox().iter().map(|m| m.value).collect();
+                    got.sort_unstable();
+                    let c = got.len().max(1) as u64;
+                    ctx.local_ops(c * (64 - c.leading_zeros()) as u64);
+                    st.overflow = got.len() > self.cap;
+                    st.region = got.iter().take(self.cap).map(|&v| v + 1).collect();
+                    st.region.resize(self.cap, 0);
+                    Status::Done
+                }
+            }
+        }
+    }
+
+    let res = machine.run(&Prog { p, cap }, values)?;
+    let overflow = res.states.iter().any(|s| s.overflow);
+    let regions = res.states.into_iter().map(|s| s.region).collect();
+    Ok(BspPaddedOutcome { regions, overflow, ledger: res.ledger })
+}
+
+#[cfg(test)]
+mod padded_tests {
+    use super::*;
+    use crate::workloads::uniform_values;
+
+    #[test]
+    fn bsp_padded_sort_sorts_uniform_values() {
+        for n in [16usize, 200, 2048] {
+            for p in [1usize, 4, 16] {
+                let m = BspMachine::new(p, 2, 8).unwrap();
+                let values = uniform_values(n, n as u64 + p as u64);
+                let out = bsp_padded_sort(&m, &values).unwrap();
+                assert!(out.verify(&values), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bsp_padded_sort_is_two_supersteps() {
+        let m = BspMachine::new(8, 2, 8).unwrap();
+        let values = uniform_values(1024, 5);
+        let out = bsp_padded_sort(&m, &values).unwrap();
+        assert!(out.verify(&values));
+        assert_eq!(out.ledger.num_phases(), 2);
+    }
+
+    #[test]
+    fn bsp_padded_output_size_is_n_plus_little_o() {
+        let n = 1 << 14;
+        let m = BspMachine::new(64, 2, 8).unwrap();
+        let values = uniform_values(n, 7);
+        let out = bsp_padded_sort(&m, &values).unwrap();
+        assert!(out.verify(&values));
+        let size = out.output().len();
+        assert!(size < 2 * n, "output {size} not O(n)");
+    }
+}

@@ -1,0 +1,489 @@
+//! Algorithms on the GSM lower-bound model itself — demonstrating *why*
+//! the GSM is strictly stronger than the QSM family (Section 2.2) and that
+//! the paper's GSM lower bounds are tight on their own model.
+//!
+//! The strong-queuing rule merges **all** concurrently written information
+//! into a cell, so a fan-in-`β` combine costs a single big-step: `β`
+//! children *write* their partial values into the parent's cell (κ = β,
+//! one big-step), and the parent recovers all of them with *one* read.
+//! With the initial γ-packing giving the leaves fan-in γ for free, the
+//! fan-in-β tree computes Parity/OR/Sum in
+//!
+//! ```text
+//! Θ(μ · log(n/γ) / log β)   =   Θ(μ · log(n/γ) / log μ)  at β = μ
+//! ```
+//!
+//! — exactly matching the Theorem 3.1 lower bound
+//! `Ω(μ·log(n/γ)/log μ)`. The same computation on a QSM pays `g·k` to
+//! gather `k` values, which is the entire content of the QSM/GSM
+//! separation the paper exploits.
+
+use parbounds_models::{
+    Addr, GsmEnv, GsmMachine, GsmProgram, GsmRunResult, Result, Status, Word,
+};
+
+use crate::util::{ceil_log, Layout, ReduceOp, TreeShape};
+
+/// Outcome of a GSM reduction.
+#[derive(Debug)]
+pub struct GsmOutcome {
+    /// The reduced value.
+    pub value: Word,
+    /// The execution record.
+    pub run: GsmRunResult,
+}
+
+struct GsmTreeProgram {
+    op: ReduceOp,
+    shape: TreeShape,
+    /// Base of the level-`l` merge cells (level 1 upward; level 0 reads the
+    /// γ-packed input cells directly).
+    level_bases: Vec<Addr>,
+    /// `(level, node)` per processor; level 0 processors own input cells.
+    proc_nodes: Vec<(usize, usize)>,
+    out: Addr,
+}
+
+impl GsmTreeProgram {
+    fn new(num_cells: usize, k: usize, op: ReduceOp, layout: &mut Layout) -> Self {
+        let shape = TreeShape::new(num_cells, k);
+        let mut level_bases = Vec::with_capacity(shape.depth() + 1);
+        for &w in &shape.widths[1..] {
+            level_bases.push(layout.alloc(w));
+        }
+        let out = layout.alloc(1);
+        // One processor per node at every level, including the leaves.
+        let mut proc_nodes = Vec::new();
+        for (level, &w) in shape.widths.iter().enumerate() {
+            for node in 0..w {
+                proc_nodes.push((level, node));
+            }
+        }
+        GsmTreeProgram { op, shape, level_bases, proc_nodes, out }
+    }
+}
+
+impl GsmProgram for GsmTreeProgram {
+    type Proc = Word;
+
+    fn num_procs(&self) -> usize {
+        self.proc_nodes.len()
+    }
+
+    fn create(&self, _pid: usize) -> Word {
+        0
+    }
+
+    /// Schedule: phase 2l = level-l processors read their cell; phase
+    /// 2l+1 = they write the combined value into their level-(l+1) parent
+    /// cell (strong queuing merges the whole sibling group in one
+    /// big-step).
+    fn phase(&self, pid: usize, st: &mut Word, env: &mut GsmEnv<'_>) -> Status {
+        let (level, node) = self.proc_nodes[pid];
+        let read_phase = 2 * level;
+        let t = env.phase();
+        if t < read_phase {
+            return Status::Active;
+        }
+        if t == read_phase {
+            let addr = if level == 0 { node } else { self.level_bases[level - 1] + node };
+            env.read(addr);
+            return Status::Active;
+        }
+        debug_assert_eq!(t, read_phase + 1);
+        let contents = env.delivered()[0].1.as_slice();
+        *st = contents.iter().fold(self.op.identity(), |a, &b| self.op.apply(a, b));
+        let dest = if level == self.shape.depth() {
+            self.out
+        } else {
+            self.level_bases[level] + node / self.shape.k
+        };
+        env.write(dest, *st);
+        Status::Done
+    }
+}
+
+/// Reduces `input` under `op` on the GSM with a fan-in-`k` strong-queuing
+/// tree. Inputs arrive γ-packed (the machine's initial placement), so the
+/// tree has `⌈n/γ⌉` leaves.
+pub fn gsm_tree_reduce(
+    machine: &GsmMachine,
+    input: &[Word],
+    k: usize,
+    op: ReduceOp,
+) -> Result<GsmOutcome> {
+    assert!(k >= 2, "fan-in must be >= 2");
+    let num_cells = machine.input_cells(input.len()).max(1);
+    let mut layout = Layout::new(num_cells);
+    let prog = GsmTreeProgram::new(num_cells, k, op, &mut layout);
+    let out = prog.out;
+    let run = machine.run(&prog, input)?;
+    let value = run.memory.get(out).last().copied().unwrap_or(op.identity());
+    Ok(GsmOutcome { value, run })
+}
+
+/// The natural GSM fan-in: `β` (a big-step absorbs β contention).
+pub fn gsm_default_fanin(machine: &GsmMachine) -> usize {
+    (machine.beta() as usize).max(2)
+}
+
+/// Parity on the GSM at the natural fan-in — `Θ(μ·log(n/γ)/log β)`,
+/// matching the Theorem 3.1 lower bound at `β = μ`.
+/// ```
+/// use parbounds_algo::gsm_algos::gsm_parity;
+/// use parbounds_models::GsmMachine;
+///
+/// let machine = GsmMachine::new(1, 8, 1); // beta = 8: fan-in-8 merges
+/// let out = gsm_parity(&machine, &[1, 1, 1, 0, 0, 1]).unwrap();
+/// assert_eq!(out.value, 0);
+/// ```
+pub fn gsm_parity(machine: &GsmMachine, bits: &[Word]) -> Result<GsmOutcome> {
+    let out = gsm_tree_reduce(machine, bits, gsm_default_fanin(machine), ReduceOp::Xor)?;
+    Ok(GsmOutcome { value: out.value & 1, run: out.run })
+}
+
+/// OR on the GSM at the natural fan-in.
+pub fn gsm_or(machine: &GsmMachine, bits: &[Word]) -> Result<GsmOutcome> {
+    gsm_tree_reduce(machine, bits, gsm_default_fanin(machine), ReduceOp::Or)
+}
+
+/// Closed-form cost of [`gsm_tree_reduce`]: per level one merge big-step
+/// (κ ≤ k ≤ β ⇒ 1) plus one read big-step, `μ` each — `2μ·(depth+1)`.
+/// Holds when `k ≤ β` and `γ ≤ α·…` (one read per processor per phase).
+pub fn gsm_tree_cost(machine: &GsmMachine, n: usize, k: usize) -> u64 {
+    let cells = machine.input_cells(n).max(1);
+    let depth = ceil_log(cells, k) as u64;
+    let write_steps = (k as u64).div_ceil(machine.beta());
+    machine.mu() * (depth + 1) * (1 + write_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_bits;
+
+    #[test]
+    fn gsm_parity_is_correct() {
+        for n in [1usize, 7, 64, 500] {
+            for (alpha, beta, gamma) in [(1u64, 1u64, 1u64), (1, 4, 1), (2, 4, 8)] {
+                let m = GsmMachine::new(alpha, beta, gamma);
+                let bits = random_bits(n, n as u64 + beta);
+                let expected = bits.iter().sum::<Word>() % 2;
+                let out = gsm_parity(&m, &bits).unwrap();
+                assert_eq!(out.value, expected, "n={n} α={alpha} β={beta} γ={gamma}");
+            }
+        }
+    }
+
+    #[test]
+    fn gsm_or_and_sum_are_correct() {
+        let m = GsmMachine::new(1, 4, 2);
+        let bits = random_bits(200, 3);
+        assert_eq!(
+            gsm_or(&m, &bits).unwrap().value,
+            Word::from(bits.iter().any(|&b| b != 0))
+        );
+        let nums: Vec<Word> = (1..=100).collect();
+        assert_eq!(gsm_tree_reduce(&m, &nums, 4, ReduceOp::Sum).unwrap().value, 5050);
+    }
+
+    #[test]
+    fn cost_matches_closed_form_when_fanin_within_beta() {
+        for n in [16usize, 100, 512] {
+            for beta in [2u64, 4, 8] {
+                let m = GsmMachine::new(1, beta, 1);
+                let bits = random_bits(n, 5);
+                let out = gsm_parity(&m, &bits).unwrap();
+                assert_eq!(
+                    out.run.time(),
+                    gsm_tree_cost(&m, n, beta as usize),
+                    "n={n} beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_packing_shrinks_the_tree() {
+        // With gamma = 16, a 256-bit input is a 16-leaf tree.
+        let m = GsmMachine::new(1, 2, 16);
+        let bits = random_bits(256, 9);
+        let out = gsm_parity(&m, &bits).unwrap();
+        assert_eq!(out.value, bits.iter().sum::<Word>() % 2);
+        // depth over 16 cells at fan-in 2 = 4; cost 2μ(depth+1) = 10·μ.
+        assert_eq!(out.run.time(), 2 * m.mu() * 5);
+    }
+
+    #[test]
+    fn gsm_meets_its_own_lower_bound_shape() {
+        // Theorem 3.1: Ω(μ·log(n/γ)/log μ). At β = μ the tree achieves
+        // O(μ·log(n/γ)/log β): the ratio measured/formula is a constant
+        // across n and β.
+        let mut ratios = Vec::new();
+        for n in [1usize << 8, 1 << 12, 1 << 14] {
+            for beta in [2u64, 4, 16] {
+                let m = GsmMachine::new(1, beta, 1);
+                let bits = random_bits(n, 2);
+                let t = gsm_parity(&m, &bits).unwrap().run.time() as f64;
+                let mu = m.mu() as f64;
+                let formula = mu * (n as f64).log2() / (beta as f64).log2();
+                ratios.push(t / formula);
+            }
+        }
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 3.0, "ratio spread {max}/{min}");
+    }
+
+    #[test]
+    fn gsm_beats_qsm_at_equal_gap() {
+        // The separation: GSM(1, β=g) parity is Θ(g·log n/log g); the QSM
+        // at gap g needs Θ(g·log n/log log g). Measured at g = 16 the GSM
+        // tree must win.
+        let n = 1 << 12;
+        let g = 16u64;
+        let bits = random_bits(n, 4);
+        let gsm = GsmMachine::new(1, g, 1);
+        let gsm_t = gsm_parity(&gsm, &bits).unwrap().run.time();
+        let qsm = parbounds_models::QsmMachine::qsm(g);
+        let k = crate::parity::parity_helper_default_k(&qsm);
+        let qsm_t = crate::parity::parity_pattern_helper(&qsm, &bits, k)
+            .unwrap()
+            .run
+            .time();
+        assert!(gsm_t < qsm_t, "GSM {gsm_t} !< QSM {qsm_t}");
+    }
+
+    #[test]
+    fn single_cell_input() {
+        let m = GsmMachine::new(1, 1, 8);
+        let out = gsm_parity(&m, &[1, 0, 1, 1]).unwrap();
+        assert_eq!(out.value, 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSM rounds algorithms (Section 2.3: a GSM round is a phase of
+// O(μ·n/(λ·p)) time).
+// ---------------------------------------------------------------------------
+
+/// Reduces `input` under `op` on the GSM with `p` processors, *computing in
+/// rounds*: each processor folds its own block of `⌈n/(γp)⌉` cells reading
+/// one cell per big-step (a phase of `≤ μ·n/(λp)` time), then a fan-in-β
+/// merge tree over the `p` partials finishes in `Θ(log p / log β)` further
+/// rounds — matching the Theorem 7.3 GSM rounds bound
+/// `Ω(log(n/γ)/log(μn/λp))` whenever `β = Θ(μn/λp)`.
+pub fn gsm_reduce_in_rounds(
+    machine: &GsmMachine,
+    input: &[Word],
+    p: usize,
+    op: ReduceOp,
+) -> Result<GsmOutcome> {
+    let cells = machine.input_cells(input.len()).max(1);
+    assert!(p >= 1 && p <= cells, "need 1 <= p <= input cells (got p={p}, cells={cells})");
+    let block = cells.div_ceil(p);
+    let k = (machine.beta() as usize).max(2).min(p.max(2));
+
+    struct Prog {
+        cells: usize,
+        p: usize,
+        block: usize,
+        op: ReduceOp,
+        k: usize,
+        depth: usize,
+        partials: Addr,
+        levels: Vec<Addr>,
+        out: Addr,
+    }
+    struct St {
+        value: Word,
+    }
+    impl GsmProgram for Prog {
+        type Proc = St;
+        fn num_procs(&self) -> usize {
+            self.p
+        }
+        fn create(&self, _pid: usize) -> St {
+            St { value: 0 }
+        }
+        fn phase(&self, pid: usize, st: &mut St, env: &mut GsmEnv<'_>) -> Status {
+            let t = env.phase();
+            let lo = (pid * self.block).min(self.cells);
+            let hi = ((pid + 1) * self.block).min(self.cells);
+            // Phase 0: read the whole local block (one round: ≤ block ≤
+            // n/(γp) reads, each cell carrying γ inputs).
+            if t == 0 {
+                for a in lo..hi {
+                    env.read(a);
+                }
+                return Status::Active;
+            }
+            if t == 1 {
+                st.value = env
+                    .delivered()
+                    .iter()
+                    .flat_map(|(_, c)| c.iter())
+                    .fold(self.op.identity(), |a, &b| self.op.apply(a, b));
+                // Write the partial into the level-0 merge cell (strong
+                // queuing groups k partials per cell).
+                if self.depth == 0 {
+                    env.write(self.out, st.value);
+                    return Status::Done;
+                }
+                env.write(self.partials + pid / self.k, st.value);
+                return if pid.is_multiple_of(self.k) { Status::Active } else { Status::Done };
+            }
+            // Merge levels: level l occupies phases 2l and 2l+1 (l >= 1).
+            let l = t / 2;
+            let width = {
+                // width of level l = ceil(p / k^l)
+                let mut w = self.p;
+                for _ in 0..l {
+                    w = w.div_ceil(self.k);
+                }
+                w
+            };
+            let stride = self.k.pow(l as u32);
+            if !pid.is_multiple_of(stride) {
+                unreachable!("non-representatives retire at their write");
+            }
+            if t % 2 == 0 {
+                env.read(self.levels[l - 1] + pid / stride);
+                Status::Active
+            } else {
+                let merged = env.delivered()[0]
+                    .1
+                    .iter()
+                    .fold(self.op.identity(), |a, &b| self.op.apply(a, b));
+                st.value = merged;
+                if width == 1 {
+                    env.write(self.out, st.value);
+                    return Status::Done;
+                }
+                let next_stride = stride * self.k;
+                env.write(self.levels[l] + pid / next_stride, st.value);
+                if pid.is_multiple_of(next_stride) {
+                    Status::Active
+                } else {
+                    Status::Done
+                }
+            }
+        }
+    }
+
+    let depth = ceil_log(p, k) as usize;
+    let mut layout = Layout::new(cells);
+    let mut levels = Vec::with_capacity(depth.max(1));
+    let mut w = p;
+    for _ in 0..depth.max(1) {
+        w = w.div_ceil(k);
+        levels.push(layout.alloc(w.max(1)));
+    }
+    let out = layout.alloc(1);
+    let prog = Prog {
+        cells,
+        p,
+        block,
+        op,
+        k,
+        depth,
+        partials: levels[0],
+        levels,
+        out,
+    };
+    let run = machine.run(&prog, input)?;
+    let value = run.memory.get(out).last().copied().unwrap_or(op.identity());
+    Ok(GsmOutcome { value, run })
+}
+
+/// Rounds taken by [`gsm_reduce_in_rounds`]: `2 + 2·⌈log_β p⌉`-ish.
+pub fn gsm_reduce_rounds_count(machine: &GsmMachine, n: usize, p: usize) -> usize {
+    let cells = machine.input_cells(n).max(1);
+    let k = (machine.beta() as usize).max(2).min(p.max(2));
+    let depth = ceil_log(p.min(cells), k) as usize;
+    if depth == 0 {
+        2
+    } else {
+        2 + 2 * depth
+    }
+}
+
+#[cfg(test)]
+mod rounds_tests {
+    use super::*;
+    use crate::workloads::random_bits;
+    use parbounds_models::round_budget_gsm;
+
+    #[test]
+    fn gsm_rounds_reduction_is_correct() {
+        for n in [32usize, 200, 1024] {
+            for (beta, gamma) in [(1u64, 1u64), (4, 1), (4, 4)] {
+                let m = GsmMachine::new(1, beta, gamma);
+                let cells = m.input_cells(n);
+                for p in [1usize, 4, cells.min(16), cells] {
+                    let bits = random_bits(n, n as u64 + p as u64);
+                    let out = gsm_reduce_in_rounds(&m, &bits, p, ReduceOp::Xor).unwrap();
+                    assert_eq!(
+                        out.value,
+                        bits.iter().sum::<Word>() % 2,
+                        "n={n} p={p} β={beta} γ={gamma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gsm_rounds_respect_the_budget() {
+        let n = 1 << 12;
+        let (alpha, beta, gamma) = (1u64, 4u64, 4u64);
+        let m = GsmMachine::new(alpha, beta, gamma);
+        let p = 64;
+        let bits = random_bits(n, 3);
+        let out = gsm_reduce_in_rounds(&m, &bits, p, ReduceOp::Or).unwrap();
+        let budget = round_budget_gsm(n as u64, p as u64, alpha, beta, 2);
+        assert!(
+            out.run.ledger.is_round_respecting(budget),
+            "max phase {} > {budget}",
+            out.run.ledger.max_phase_cost()
+        );
+    }
+
+    #[test]
+    fn gsm_rounds_count_matches_formula_shape() {
+        let m = GsmMachine::new(1, 4, 1);
+        let n = 1 << 12;
+        for p in [4usize, 64, 1024] {
+            let bits = random_bits(n, 9);
+            let out = gsm_reduce_in_rounds(&m, &bits, p, ReduceOp::Xor).unwrap();
+            assert_eq!(
+                out.run.ledger.num_phases(),
+                gsm_reduce_rounds_count(&m, n, p),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn gsm_rounds_sit_above_theorem_7_3() {
+        // Ω(log(n/γ)/log(μn/λp)) rounds; the measured counts must dominate.
+        // (The formula is inlined — this crate does not depend on
+        // parbounds-tables.)
+        fn lower(n: f64, gamma: f64, mu: f64, lambda: f64, p: f64) -> f64 {
+            let r = (n / gamma).max(2.0);
+            r.log2() / ((mu * n / (lambda * p)).max(2.0)).log2()
+        }
+        let m = GsmMachine::new(1, 2, 1);
+        let n = 1 << 14;
+        for p in [16usize, 256, 4096] {
+            let bits = random_bits(n, 1);
+            let out = gsm_reduce_in_rounds(&m, &bits, p, ReduceOp::Or).unwrap();
+            let lb = lower(n as f64, 1.0, 2.0, 1.0, p as f64);
+            assert!(
+                out.run.ledger.num_phases() as f64 >= lb,
+                "p={p}: {} < {lb}",
+                out.run.ledger.num_phases()
+            );
+        }
+    }
+}

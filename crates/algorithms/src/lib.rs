@@ -1,0 +1,63 @@
+//! # parbounds-algo
+//!
+//! Implementations of every upper-bound algorithm sketched in Section 8 of
+//! MacKenzie & Ramachandran (SPAA 1998), plus the workload generators and
+//! problem reductions of Sections 3 and 6, all running on the cost-exact
+//! model simulators of `parbounds-models`.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`reduce`] | fan-in-`k` read trees — the `Θ(g log n)` s-QSM Parity/OR algorithms |
+//! | [`or_tree`] | write-combining OR tree — `O((g/log g)·log n)` QSM OR |
+//! | [`parity`] | depth-2 circuit emulation — `O(g log n/log log g)` QSM Parity, `Θ(g log n/log g)` with unit-time concurrent reads |
+//! | [`prefix`] | `p`-processor prefix sums computing in rounds — `Θ(log n/log(n/p))` rounds |
+//! | [`lac`] | linear approximate compaction: randomized dart-throwing + deterministic prefix-sum compaction |
+//! | [`balance`] | load balancing (Section 6.2) |
+//! | [`broadcast`] | QSM/s-QSM broadcasting — `Θ(g·log n/log g)` / `Θ(g·log n)` (AGMR) |
+//! | [`padded_sort`] | padded sort of uniform values (Section 6.2) |
+//! | [`list_rank`] | pointer-jumping list ranking (a Parity reduction target) |
+//! | [`bsp_algos`] | BSP fan-in-(L/g) reduction, prefix, broadcast, sorting |
+//! | [`gsm_algos`] | strong-queuing GSM trees — tight against the Theorem 3.1 GSM bound |
+//! | [`emulation`] | QSM-on-BSP emulation: any QSM program runs on the BSP, 2 supersteps per phase |
+//! | [`reductions`] | size-preserving reductions: Parity → list ranking / sorting; CLB → {Load Balancing, LAC, Padded Sort} (Theorem 6.1) |
+//! | [`workloads`] | seeded input generators, incl. Chromatic Load Balancing instances |
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod broadcast;
+pub mod bsp_algos;
+pub mod emulation;
+pub mod gsm_algos;
+pub mod lac;
+pub mod list_rank;
+pub mod or_tree;
+pub mod padded_sort;
+pub mod parity;
+pub mod prefix;
+pub mod reduce;
+pub mod reductions;
+pub mod rounds;
+pub mod util;
+pub mod workloads;
+
+use parbounds_models::{RunResult, Word};
+
+/// The outcome of a shared-memory algorithm: the computed scalar value plus
+/// the full execution record (for cost assertions and bound comparisons).
+#[derive(Debug)]
+pub struct Outcome {
+    /// The scalar result (e.g. the parity bit, the OR bit).
+    pub value: Word,
+    /// Final memory and per-phase cost ledger.
+    pub run: RunResult,
+}
+
+/// Outcome of an algorithm producing an array.
+#[derive(Debug)]
+pub struct VecOutcome {
+    /// The output array, copied out of shared memory.
+    pub values: Vec<Word>,
+    /// Final memory and per-phase cost ledger.
+    pub run: RunResult,
+}

@@ -1,0 +1,466 @@
+//! List ranking by pointer jumping — the canonical "related problem" the
+//! paper's Parity lower bounds transfer to (Section 3, last paragraph):
+//! there is a simple size-preserving reduction from Parity to list ranking
+//! (see [`crate::reductions::parity_via_list_ranking`]), so every Parity
+//! lower bound in Table 1 is also a list-ranking lower bound.
+//!
+//! The input list is a successor array (`succ[i] = n` marks the tail) plus
+//! per-node weights; the output assigns each node the fold (under a chosen
+//! operator) of the weights from itself to the tail. Pointer jumping runs
+//! `⌈log₂ n⌉` iterations; because `succ_t` is injective on the live nodes
+//! of a single chain, every read has contention 1 and the QSM cost is
+//! `Θ(g·log n)` — which the transferred Parity lower bound says is within
+//! `O(log log n · log g)` factors of optimal.
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
+};
+
+use crate::util::{Layout, ReduceOp};
+use crate::VecOutcome;
+
+struct ListRankProgram {
+    n: usize,
+    op: ReduceOp,
+    iters: usize,
+    /// Per-iteration double buffers of (succ, acc) arrays; index `t` holds
+    /// the state *entering* iteration `t`.
+    succ_bufs: Vec<Addr>,
+    acc_bufs: Vec<Addr>,
+    out: Addr,
+}
+
+#[derive(Default)]
+struct RankProc {
+    succ: Word,
+    acc: Word,
+}
+
+impl ListRankProgram {
+    fn new(n: usize, op: ReduceOp, layout: &mut Layout) -> Self {
+        assert!(n > 0, "empty list");
+        let iters = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2 n), 0 for n=1
+        let mut succ_bufs = Vec::with_capacity(iters + 1);
+        let mut acc_bufs = Vec::with_capacity(iters + 1);
+        for _ in 0..=iters {
+            succ_bufs.push(layout.alloc(n));
+            acc_bufs.push(layout.alloc(n));
+        }
+        let out = layout.alloc(n);
+        ListRankProgram { n, op, iters, succ_bufs, acc_bufs, out }
+    }
+}
+
+impl Program for ListRankProgram {
+    type Proc = RankProc;
+
+    fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    fn create(&self, _pid: usize) -> RankProc {
+        RankProc::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut RankProc, env: &mut PhaseEnv<'_>) -> Status {
+        let t = env.phase();
+        let sentinel = self.n as Word;
+        // Phase 0: read own succ and weight from the input layout
+        // (succ at [0,n), weights at [n,2n)).
+        if t == 0 {
+            env.read(pid);
+            env.read(self.n + pid);
+            return Status::Active;
+        }
+        // Phase 1: publish into iteration-0 buffers.
+        if t == 1 {
+            st.succ = env.delivered()[0].1;
+            st.acc = env.delivered()[1].1;
+            env.write(self.succ_bufs[0] + pid, st.succ);
+            env.write(self.acc_bufs[0] + pid, st.acc);
+            if self.iters == 0 {
+                env.write(self.out + pid, st.acc);
+                return Status::Done;
+            }
+            return Status::Active;
+        }
+        // Iteration it (0-based) = phases 2+3it, 3+3it, 4+3it:
+        // read succ's pair, combine, publish into buffer it+1.
+        let it = (t - 2) / 3;
+        if it >= self.iters {
+            unreachable!("processor survived past the last iteration");
+        }
+        match (t - 2) % 3 {
+            0 => {
+                if st.succ != sentinel {
+                    env.read(self.succ_bufs[it] + st.succ as usize);
+                    env.read(self.acc_bufs[it] + st.succ as usize);
+                }
+                Status::Active
+            }
+            1 => {
+                if st.succ != sentinel {
+                    let s2 = env.delivered()[0].1;
+                    let a2 = env.delivered()[1].1;
+                    st.acc = self.op.apply(st.acc, a2);
+                    st.succ = s2;
+                }
+                env.write(self.succ_bufs[it + 1] + pid, st.succ);
+                env.write(self.acc_bufs[it + 1] + pid, st.acc);
+                Status::Active
+            }
+            _ => {
+                // Spacer phase: ensures the next iteration's reads see the
+                // fully published buffer (writes land at end of the phase
+                // they were issued in, so this is bookkeeping simplicity,
+                // not a correctness need; it keeps read/write sets of
+                // consecutive iterations in distinct phases).
+                if it + 1 == self.iters {
+                    env.write(self.out + pid, st.acc);
+                    return Status::Done;
+                }
+                Status::Active
+            }
+        }
+    }
+}
+
+/// Ranks the list `succ` (tail marked with `succ = n`) with per-node
+/// `weights`, returning `rank[i]` = fold under `op` of the weights of the
+/// nodes from `i` to the tail inclusive.
+/// ```
+/// use parbounds_algo::{list_rank::list_rank, util::ReduceOp};
+/// use parbounds_models::QsmMachine;
+///
+/// // The chain 0 -> 1 -> 2 (tail sentinel = 3) with unit weights.
+/// let machine = QsmMachine::qsm(1);
+/// let out = list_rank(&machine, &[1, 2, 3], &[1, 1, 1], ReduceOp::Sum).unwrap();
+/// assert_eq!(out.values, vec![3, 2, 1]);
+/// ```
+pub fn list_rank(
+    machine: &QsmMachine,
+    succ: &[Word],
+    weights: &[Word],
+    op: ReduceOp,
+) -> Result<VecOutcome> {
+    assert_eq!(succ.len(), weights.len(), "succ and weights must align");
+    let n = succ.len();
+    assert!(n > 0, "empty list");
+    let sentinel = n as Word;
+    assert!(
+        succ.iter().all(|&s| (0..=sentinel).contains(&s)),
+        "successor out of range"
+    );
+    let mut input = succ.to_vec();
+    input.extend_from_slice(weights);
+    let mut layout = Layout::new(input.len());
+    let prog = ListRankProgram::new(n, op, &mut layout);
+    let out = prog.out;
+    let run = machine.run(&prog, &input)?;
+    let values = run.memory.slice(out, n);
+    Ok(VecOutcome { values, run })
+}
+
+/// Classic list ranking: distance (in nodes, counting itself) to the tail.
+pub fn list_rank_distance(machine: &QsmMachine, succ: &[Word]) -> Result<VecOutcome> {
+    let weights = vec![1; succ.len()];
+    list_rank(machine, succ, &weights, ReduceOp::Sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_list;
+    use parbounds_models::QsmMachine;
+
+    fn expected_ranks(succ: &[Word], weights: &[Word], op: ReduceOp) -> Vec<Word> {
+        let n = succ.len();
+        let mut rank = vec![op.identity(); n];
+        // Process nodes in reverse list order.
+        let mut order = Vec::with_capacity(n);
+        let mut indeg = vec![false; n];
+        for &s in succ {
+            if s != n as Word {
+                indeg[s as usize] = true;
+            }
+        }
+        let head = (0..n).find(|&i| !indeg[i]).unwrap();
+        let mut at = head;
+        loop {
+            order.push(at);
+            if succ[at] == n as Word {
+                break;
+            }
+            at = succ[at] as usize;
+        }
+        for &i in order.iter().rev() {
+            let tailward = if succ[i] == n as Word {
+                op.identity()
+            } else {
+                rank[succ[i] as usize]
+            };
+            rank[i] = op.apply(weights[i], tailward);
+        }
+        rank
+    }
+
+    #[test]
+    fn distance_ranks_on_identity_chain() {
+        // succ[i] = i+1: rank[i] = n - i.
+        let n = 9;
+        let succ: Vec<Word> = (1..=n as Word).collect();
+        let m = QsmMachine::qsm(2);
+        let out = list_rank_distance(&m, &succ).unwrap();
+        let expect: Vec<Word> = (0..n as Word).map(|i| n as Word - i).collect();
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn ranks_on_random_lists() {
+        let m = QsmMachine::qsm(2);
+        for n in [1usize, 2, 5, 16, 33, 128] {
+            let (succ, _) = random_list(n, n as u64);
+            let weights: Vec<Word> = (0..n as Word).map(|i| i % 7).collect();
+            let out = list_rank(&m, &succ, &weights, ReduceOp::Sum).unwrap();
+            assert_eq!(out.values, expected_ranks(&succ, &weights, ReduceOp::Sum), "n={n}");
+        }
+    }
+
+    #[test]
+    fn xor_ranking_computes_suffix_parities() {
+        let m = QsmMachine::qsm(1);
+        let (succ, head) = random_list(64, 3);
+        let weights = crate::workloads::random_bits(64, 9);
+        let out = list_rank(&m, &succ, &weights, ReduceOp::Xor).unwrap();
+        // The head's rank is the parity of all weights.
+        let total: Word = weights.iter().sum::<Word>() % 2;
+        assert_eq!(out.values[head], total);
+    }
+
+    #[test]
+    fn contention_stays_one_on_a_chain() {
+        let m = QsmMachine::qsm(2);
+        let (succ, _) = random_list(256, 5);
+        let out = list_rank_distance(&m, &succ).unwrap();
+        assert_eq!(out.run.ledger.max_contention(), 1);
+    }
+
+    #[test]
+    fn cost_is_theta_g_log_n() {
+        // 3 phases per iteration, 2g per phase-with-traffic; assert the
+        // total lies in [g·log n, 8·g·(log n + 2)].
+        let n = 1 << 10;
+        let g = 4u64;
+        let m = QsmMachine::qsm(g);
+        let (succ, _) = random_list(n, 8);
+        let out = list_rank_distance(&m, &succ).unwrap();
+        let logn = 10u64;
+        assert!(out.run.time() >= g * logn);
+        assert!(out.run.time() <= 8 * g * (logn + 2), "time {}", out.run.time());
+    }
+
+    #[test]
+    fn single_node_list() {
+        let m = QsmMachine::qsm(1);
+        let out = list_rank(&m, &[1], &[5], ReduceOp::Sum).unwrap();
+        assert_eq!(out.values, vec![5]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// List ranking on the BSP (message-passing pointer jumping).
+// ---------------------------------------------------------------------------
+
+use parbounds_models::{BspMachine, CostLedger, Superstep};
+
+/// Outcome of a BSP list ranking.
+#[derive(Debug)]
+pub struct BspRankOutcome {
+    /// `ranks[i]` = fold of the weights from node `i` to the tail.
+    pub ranks: Vec<Word>,
+    /// Per-superstep ledger.
+    pub ledger: CostLedger,
+}
+
+struct NodeState {
+    succ: Word,
+    acc: Word,
+}
+
+/// Message tags: queries carry the queried node in the tag (kind 0) and
+/// the asking node in the value; answers carry the asking node in the tag
+/// with separate kinds for the succ and acc halves.
+const RANK_QUERY: Word = 0;
+const RANK_ANS_SUCC: Word = 1;
+const RANK_ANS_ACC: Word = 2;
+const RANK_SHIFT: u32 = 40;
+
+/// Ranks the list on a BSP: pointer jumping with one query/answer
+/// superstep pair per iteration — `2·⌈log₂ n⌉ + O(1)` supersteps, each
+/// routing an `O(n/p)`-relation (pointers stay injective along a chain, so
+/// no component receives more than its hosted-node count in queries).
+pub fn bsp_list_rank(
+    machine: &BspMachine,
+    succ: &[Word],
+    weights: &[Word],
+    op: ReduceOp,
+) -> Result<BspRankOutcome> {
+    assert_eq!(succ.len(), weights.len());
+    let n = succ.len();
+    assert!(n > 0, "empty list");
+    let sentinel = n as Word;
+    let p = machine.p();
+    let per = n.div_ceil(p).max(1);
+    let owner = move |node: usize| (node / per).min(p - 1);
+    let iters = (usize::BITS - (n - 1).leading_zeros()) as usize;
+
+    // Bootstrap node states from the original arrays (captured — the
+    // distribution step is what the input partition would do; we charge it
+    // through the first superstep's h-relation implicitly being local).
+    let succ0 = succ.to_vec();
+    let weights0 = weights.to_vec();
+
+    struct S {
+        base: usize,
+        nodes: Vec<NodeState>,
+    }
+    let prog = parbounds_models::BspFnProgram::new(
+        move |pid, _local: &[Word]| {
+            let base = (pid * per).min(n);
+            let end = ((pid + 1) * per).min(n);
+            let nodes = (base..end)
+                .map(|i| NodeState { succ: succ0[i], acc: weights0[i] })
+                .collect();
+            S { base, nodes }
+        },
+        move |_pid, st: &mut S, ctx: &mut Superstep<'_>| {
+            let step = ctx.step();
+            let it = step / 2;
+            if step % 2 == 0 {
+                // Fold in last iteration's answers first (including at the
+                // terminal step, whose inbox holds the final answers).
+                let mut succ_ans: std::collections::HashMap<usize, Word> = Default::default();
+                let mut acc_ans: std::collections::HashMap<usize, Word> = Default::default();
+                for m in ctx.inbox() {
+                    let kind = m.tag >> RANK_SHIFT;
+                    let node = (m.tag & ((1 << RANK_SHIFT) - 1)) as usize;
+                    match kind {
+                        RANK_ANS_SUCC => {
+                            succ_ans.insert(node, m.value);
+                        }
+                        RANK_ANS_ACC => {
+                            acc_ans.insert(node, m.value);
+                        }
+                        _ => unreachable!("queries arrive at odd supersteps"),
+                    }
+                }
+                for (j, node) in st.nodes.iter_mut().enumerate() {
+                    let gid = st.base + j;
+                    if let (Some(&s2), Some(&a2)) = (succ_ans.get(&gid), acc_ans.get(&gid)) {
+                        node.acc = match op {
+                            ReduceOp::Sum => node.acc + a2,
+                            _ => op.apply(node.acc, a2),
+                        };
+                        node.succ = s2;
+                    }
+                }
+                ctx.local_ops(ctx.inbox().len() as u64);
+                if it >= iters {
+                    return Status::Done;
+                }
+                // Issue this iteration's queries.
+                for (j, node) in st.nodes.iter().enumerate() {
+                    if node.succ != sentinel {
+                        let gid = st.base + j;
+                        ctx.send(
+                            owner(node.succ as usize),
+                            (RANK_QUERY << RANK_SHIFT) | node.succ,
+                            gid as Word,
+                        );
+                    }
+                }
+                Status::Active
+            } else {
+                if it >= iters {
+                    return Status::Done;
+                }
+                // Answer queries about locally hosted nodes.
+                let queries: Vec<(usize, usize)> = ctx
+                    .inbox()
+                    .iter()
+                    .map(|m| {
+                        debug_assert_eq!(m.tag >> RANK_SHIFT, RANK_QUERY);
+                        (((m.tag & ((1 << RANK_SHIFT) - 1)) as usize), m.value as usize)
+                    })
+                    .collect();
+                ctx.local_ops(queries.len() as u64);
+                for (node, asker) in queries {
+                    let local = &st.nodes[node - st.base];
+                    let dest = owner(asker);
+                    ctx.send(dest, (RANK_ANS_SUCC << RANK_SHIFT) | asker as Word, local.succ);
+                    ctx.send(dest, (RANK_ANS_ACC << RANK_SHIFT) | asker as Word, local.acc);
+                }
+                Status::Active
+            }
+        },
+    );
+    let res = machine.run(&prog, &[])?;
+    let mut ranks = vec![0; n];
+    for st in &res.states {
+        for (j, node) in st.nodes.iter().enumerate() {
+            ranks[st.base + j] = node.acc;
+        }
+    }
+    Ok(BspRankOutcome { ranks, ledger: res.ledger })
+}
+
+#[cfg(test)]
+mod bsp_tests {
+    use super::*;
+    use crate::workloads::random_list;
+
+    #[test]
+    fn bsp_ranks_match_shared_memory_ranks() {
+        for n in [1usize, 9, 64, 200] {
+            for p in [1usize, 4, 8] {
+                let (succ, _) = random_list(n, n as u64 * 3 + 1);
+                let weights: Vec<Word> = (0..n as Word).map(|i| i % 5 + 1).collect();
+                let shm = list_rank(
+                    &parbounds_models::QsmMachine::qsm(1),
+                    &succ,
+                    &weights,
+                    ReduceOp::Sum,
+                )
+                .unwrap();
+                let bsp = BspMachine::new(p, 2, 8).unwrap();
+                let out = bsp_list_rank(&bsp, &succ, &weights, ReduceOp::Sum).unwrap();
+                assert_eq!(out.ranks, shm.values, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bsp_rank_supersteps_are_two_per_iteration() {
+        let n = 256;
+        let (succ, _) = random_list(n, 7);
+        let weights = vec![1; n];
+        let bsp = BspMachine::new(8, 2, 8).unwrap();
+        let out = bsp_list_rank(&bsp, &succ, &weights, ReduceOp::Sum).unwrap();
+        // ceil(log2 256) = 8 iterations, 2 supersteps each, +1 terminal.
+        assert!(out.ledger.num_phases() <= 2 * 8 + 1);
+    }
+
+    #[test]
+    fn bsp_rank_h_relation_stays_near_n_over_p() {
+        // Chain pointers are injective: queries per component stay within
+        // a small multiple of its hosted count.
+        let n = 512;
+        let p = 8;
+        let (succ, _) = random_list(n, 11);
+        let weights = vec![1; n];
+        let bsp = BspMachine::new(p, 1, 4).unwrap();
+        let out = bsp_list_rank(&bsp, &succ, &weights, ReduceOp::Sum).unwrap();
+        let max_h = out.ledger.phases().iter().map(|ph| ph.m_rw).max().unwrap();
+        assert!(max_h <= 4 * (n / p) as u64, "h = {max_h}");
+    }
+}

@@ -1,0 +1,291 @@
+//! The *write-combining* OR tree — the Section 8 QSM upper bound
+//! `O((g/log g)·log n)` for computing OR.
+//!
+//! OR is special among the paper's problems: the QSM's arbitrary-write rule
+//! *combines* it for free. Every group member holding a 1 writes `1` to the
+//! group cell; whichever write wins, the cell ends up 1 exactly when the
+//! group OR is 1. A fan-in-`k` round therefore costs only
+//! `max(g, κ≤k) + g` on a QSM — contention is charged raw, not through the
+//! gap — so picking `k = g` gives `O(g·log n / log g)` total, beating the
+//! read-tree's `Θ(g·log n)`. On an s-QSM contention costs `g·κ`, the
+//! advantage vanishes, and `k = 2` is optimal — exactly the asymmetry the
+//! paper's sub-tables 1 and 2 record.
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
+};
+
+use crate::util::{ceil_log, Layout};
+use crate::Outcome;
+
+struct OrTreeProgram {
+    n: usize,
+    k: usize,
+    depth: usize,
+    /// Base of the level-`l` group cells, for `l` in `1..=depth`
+    /// (index `l - 1`).
+    level_bases: Vec<Addr>,
+    out: Addr,
+}
+
+/// Processor state: the OR of the processor's current group, once known.
+struct OrProc {
+    value: Word,
+}
+
+impl OrTreeProgram {
+    fn new(n: usize, k: usize, layout: &mut Layout) -> Self {
+        assert!(n > 0, "OR of an empty input is trivially 0; give >= 1 bits");
+        assert!(k >= 2, "fan-in must be >= 2");
+        let depth = ceil_log(n, k) as usize;
+        let mut level_bases = Vec::with_capacity(depth);
+        let mut width = n;
+        for _ in 0..depth {
+            width = width.div_ceil(k);
+            level_bases.push(layout.alloc(width));
+        }
+        let out = layout.alloc(1);
+        OrTreeProgram { n, k, depth, level_bases, out }
+    }
+
+    /// Highest level at which processor `i` is a group representative:
+    /// the largest `m` with `k^m | i` (capped at `depth`).
+    fn rep_level(&self, i: usize) -> usize {
+        if i == 0 {
+            return self.depth;
+        }
+        let mut m = 0;
+        let mut stride = self.k;
+        while m < self.depth && i.is_multiple_of(stride) {
+            m += 1;
+            stride = stride.saturating_mul(self.k);
+        }
+        m
+    }
+}
+
+impl Program for OrTreeProgram {
+    type Proc = OrProc;
+
+    fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    fn create(&self, _pid: usize) -> OrProc {
+        OrProc { value: 0 }
+    }
+
+    fn phase(&self, pid: usize, st: &mut OrProc, env: &mut PhaseEnv<'_>) -> Status {
+        let t = env.phase();
+        // Phase 0: every processor reads its own input bit.
+        if t == 0 {
+            env.read(pid);
+            return Status::Active;
+        }
+        // Odd phases 2l-1 are the round-l write phases; even phases 2l the
+        // round-l representative read phases.
+        if t % 2 == 1 {
+            let round = t.div_ceil(2); // 1-based
+            // Collect the value delivered by last phase's read (input read
+            // for round 1, group-cell read otherwise).
+            if let Some(&(_, v)) = env.delivered().first() {
+                st.value = Word::from(v != 0);
+            }
+            if round > self.depth {
+                // Final phase: the root representative publishes the OR.
+                debug_assert_eq!(pid, 0);
+                env.write(self.out, st.value);
+                return Status::Done;
+            }
+            // Representatives of level round-1 with value 1 write to their
+            // round-level group cell.
+            let stride = self.k.pow(round as u32 - 1);
+            debug_assert_eq!(pid % stride, 0);
+            if st.value != 0 {
+                let group = pid / (stride * self.k);
+                env.write(self.level_bases[round - 1] + group, 1);
+            }
+            // Only processors that remain representatives at `round` level
+            // continue.
+            if self.rep_level(pid) >= round {
+                Status::Active
+            } else {
+                Status::Done
+            }
+        } else {
+            let round = t / 2;
+            // Round-`round` representatives read their group cell.
+            let stride = self.k.pow(round as u32);
+            debug_assert_eq!(pid % stride, 0);
+            env.read(self.level_bases[round - 1] + pid / stride);
+            Status::Active
+        }
+    }
+}
+
+/// ```
+/// use parbounds_algo::or_tree::or_write_tree;
+/// use parbounds_models::QsmMachine;
+///
+/// let machine = QsmMachine::qsm(8);
+/// let mut bits = vec![0; 256];
+/// bits[77] = 1;
+/// let out = or_write_tree(&machine, &bits, 8).unwrap();
+/// assert_eq!(out.value, 1);
+/// ```
+/// Computes OR of `bits` with a write-combining fan-in-`k` tree.
+pub fn or_write_tree(machine: &QsmMachine, bits: &[Word], k: usize) -> Result<Outcome> {
+    if bits.is_empty() {
+        return or_write_tree(machine, &[0], k);
+    }
+    let mut layout = Layout::new(bits.len());
+    let prog = OrTreeProgram::new(bits.len(), k, &mut layout);
+    let out = prog.out;
+    let run = machine.run(&prog, bits)?;
+    let value = run.memory.get(out);
+    Ok(Outcome { value, run })
+}
+
+/// The Section 8 default: fan-in `g` on a QSM (`O(g·log n/log g)`), fan-in 2
+/// otherwise.
+pub fn or_default_fanin(g: u64) -> usize {
+    (g as usize).max(2)
+}
+
+/// Worst-case closed-form cost of [`or_write_tree`]:
+/// `g + Σ_rounds (max(g, k_r) + g) + g` where `k_r ≤ k` is the group size.
+/// The realized cost can be lower on sparse inputs (fewer 1-writers means
+/// less contention). Exposed for cost assertions.
+pub fn or_write_tree_cost_max(n: usize, k: usize, g: u64) -> u64 {
+    let depth = ceil_log(n.max(1), k) as u64;
+    let mut total = g; // initial input read
+    let mut width = n.max(1);
+    for _ in 0..depth {
+        let group = k.min(width) as u64;
+        total += g.max(group) + g;
+        width = width.div_ceil(k);
+    }
+    total + g // final publish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_models::QsmMachine;
+
+    fn one_hot(n: usize, at: usize) -> Vec<Word> {
+        let mut v = vec![0; n];
+        v[at] = 1;
+        v
+    }
+
+    #[test]
+    fn or_correct_on_all_zero_and_one_hot() {
+        let m = QsmMachine::qsm(4);
+        for n in [1usize, 2, 5, 16, 31, 64, 100] {
+            for k in [2usize, 4, 7] {
+                assert_eq!(or_write_tree(&m, &vec![0; n], k).unwrap().value, 0, "zeros n={n}");
+                for at in [0, n / 2, n - 1] {
+                    let out = or_write_tree(&m, &one_hot(n, at), k).unwrap();
+                    assert_eq!(out.value, 1, "one-hot n={n} k={k} at={at}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_correct_on_dense_input() {
+        let m = QsmMachine::qsm(2);
+        assert_eq!(or_write_tree(&m, &[1; 50], 3).unwrap().value, 1);
+    }
+
+    #[test]
+    fn exhaustive_small_inputs() {
+        let m = QsmMachine::qsm(2);
+        for n in 1..=6usize {
+            for mask in 0..1u32 << n {
+                let bits: Vec<Word> = (0..n).map(|i| Word::from(mask >> i & 1 == 1)).collect();
+                let out = or_write_tree(&m, &bits, 2).unwrap();
+                assert_eq!(out.value, Word::from(mask != 0), "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_bounded_by_closed_form() {
+        for n in [8usize, 64, 100] {
+            for k in [2usize, 4, 8] {
+                for g in [1u64, 4, 16] {
+                    let m = QsmMachine::qsm(g);
+                    let out = or_write_tree(&m, &vec![1; n], k).unwrap();
+                    assert!(
+                        out.run.time() <= or_write_tree_cost_max(n, k, g),
+                        "n={n} k={k} g={g}: {} > {}",
+                        out.run.time(),
+                        or_write_tree_cost_max(n, k, g)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_input_attains_worst_case_cost() {
+        // All-ones input maximizes write contention at every level.
+        let n = 64;
+        let k = 4;
+        let g = 4;
+        let m = QsmMachine::qsm(g);
+        let out = or_write_tree(&m, &vec![1; n], k).unwrap();
+        assert_eq!(out.run.time(), or_write_tree_cost_max(n, k, g));
+    }
+
+    #[test]
+    fn fanin_g_beats_read_tree_on_qsm_for_large_g() {
+        // With k = g the write tree does O(g log n / log g); the fan-in-2
+        // read tree does Theta(g log n).
+        let n = 1 << 12;
+        let g = 16;
+        let m = QsmMachine::qsm(g);
+        let bits = vec![1; n];
+        let write = or_write_tree(&m, &bits, g as usize).unwrap();
+        let read = crate::reduce::or_read_tree(&m, &bits, 2).unwrap();
+        assert!(
+            write.run.time() * 2 < read.run.time(),
+            "write tree {} should beat read tree {}",
+            write.run.time(),
+            read.run.time()
+        );
+    }
+
+    #[test]
+    fn sqsm_prefers_small_fanin() {
+        // On the s-QSM, contention is charged g*kappa, so fan-in g loses to
+        // fan-in 2.
+        let n = 1 << 12;
+        let g = 16;
+        let m = QsmMachine::sqsm(g);
+        let bits = vec![1; n];
+        let wide = or_write_tree(&m, &bits, g as usize).unwrap();
+        let narrow = or_write_tree(&m, &bits, 2).unwrap();
+        assert!(
+            narrow.run.time() < wide.run.time(),
+            "fan-in 2 ({}) should beat fan-in g ({}) on s-QSM",
+            narrow.run.time(),
+            wide.run.time()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let m = QsmMachine::qsm(1);
+        assert_eq!(or_write_tree(&m, &[], 2).unwrap().value, 0);
+    }
+
+    #[test]
+    fn max_write_contention_is_at_most_fanin() {
+        let m = QsmMachine::qsm(2);
+        let out = or_write_tree(&m, &vec![1; 81], 3).unwrap();
+        assert!(out.run.ledger.max_contention() <= 3);
+    }
+}

@@ -1,0 +1,473 @@
+//! Padded Sort (Section 6.2): given `n` values drawn uniformly from `[0,1)`,
+//! arrange them in sorted order in an array of size `n + o(n)` with NULL in
+//! the unfilled locations.
+//!
+//! Values are fixed-point words in `[0, FIXED_ONE)` (see
+//! [`crate::workloads::FIXED_ONE`]). The algorithm is the classic
+//! bucket-and-pad scheme:
+//!
+//! 1. **Bucket darts** — each item computes its bucket (of expected size
+//!    `s`) and claims a cell of the bucket's dart region by the same
+//!    write/read-back protocol as [`crate::lac`] (fresh geometric segments,
+//!    guaranteed termination);
+//! 2. **Gather & sort** — one processor per bucket reads its region,
+//!    fetches the claimed items' values, sorts them locally, and writes
+//!    them left-justified into the bucket's *final region* of size
+//!    `s + pad` where `pad = Θ(√(s·log n))` absorbs the binomial deviation
+//!    of the bucket population.
+//!
+//! The output is the concatenation of final regions: size
+//! `n + O(n·√(log n / s)) = n + o(n)` for `s = log² n`, globally sorted,
+//! with value `v` stored as `v + 1` and `0` as NULL. If a bucket overflows
+//! its final region (probability `n^{-Θ(1)}`), the outcome reports failure
+//! rather than silently truncating.
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word,
+};
+
+use crate::util::Layout;
+use crate::workloads::FIXED_ONE;
+
+/// Parameters of a padded-sort run.
+#[derive(Debug, Clone, Copy)]
+pub struct PaddedSortParams {
+    /// Expected bucket size `s` (default `max(4, ⌈log₂²n⌉)`).
+    pub bucket_size: usize,
+    /// Extra capacity per bucket (default `4·⌈√(s·ln n)⌉ + 8`).
+    pub pad: usize,
+    /// Dart seed.
+    pub seed: u64,
+}
+
+impl PaddedSortParams {
+    /// The defaults described in the module docs.
+    pub fn for_n(n: usize, seed: u64) -> Self {
+        let log2n = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let s = (log2n * log2n).max(4);
+        let pad = 4 * ((s as f64 * (n.max(2) as f64).ln()).sqrt().ceil() as usize) + 8;
+        PaddedSortParams { bucket_size: s, pad, seed }
+    }
+}
+
+/// Outcome of a padded sort.
+#[derive(Debug)]
+pub struct PaddedSortOutcome {
+    /// The padded output: `v + 1` for a value `v`, `0` for NULL.
+    pub output: Vec<Word>,
+    /// Whether some bucket overflowed its final region.
+    pub overflow: bool,
+    /// Execution records (dart pass, gather/sort pass).
+    pub runs: Vec<RunResult>,
+}
+
+impl PaddedSortOutcome {
+    /// Total model time across both passes.
+    pub fn total_time(&self) -> u64 {
+        self.runs.iter().map(|r| r.ledger.total_time()).sum()
+    }
+
+    /// The sorted values (NULLs stripped, encoding removed).
+    pub fn values(&self) -> Vec<Word> {
+        self.output.iter().filter(|&&v| v != 0).map(|&v| v - 1).collect()
+    }
+
+    /// Checks the padded-sort contract: output non-decreasing, multiset
+    /// equal to the input, and padding `o(n)`-sized as configured.
+    pub fn verify(&self, input: &[Word]) -> bool {
+        if self.overflow {
+            return false;
+        }
+        let got = self.values();
+        if got.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let mut expect = input.to_vec();
+        expect.sort_unstable();
+        let mut sorted_got = got.clone();
+        sorted_got.sort_unstable();
+        sorted_got == expect
+    }
+}
+
+fn dart_segments(s: usize, cap: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut sz = (4 * s).max(8);
+    while sz > 8 {
+        sizes.push(sz);
+        sz /= 2;
+    }
+    sizes.extend(std::iter::repeat_n(8, cap + 2));
+    sizes
+}
+
+struct BucketDartProgram {
+    n: usize,
+    num_buckets: usize,
+    seed: u64,
+    /// Per-segment (base, size); all buckets share the same schedule shape,
+    /// bucket `b`'s segment `r` lives at `seg_bases[r] + b·seg_sizes[r]`.
+    seg_bases: Vec<Addr>,
+    seg_sizes: Vec<usize>,
+    /// Last-resort parking cells (one per item; used only on schedule
+    /// exhaustion, i.e. bucket population > capacity, which the gather
+    /// pass then reports as overflow).
+    park_base: Addr,
+}
+
+#[derive(Default)]
+struct DartState {
+    bucket: usize,
+    target: Addr,
+    parked: bool,
+}
+
+impl BucketDartProgram {
+    fn new(n: usize, num_buckets: usize, s: usize, cap: usize, seed: u64, layout: &mut Layout) -> Self {
+        let seg_sizes = dart_segments(s, cap);
+        let seg_bases = seg_sizes.iter().map(|&sz| layout.alloc(sz * num_buckets)).collect();
+        let park_base = layout.alloc(n);
+        BucketDartProgram { n, num_buckets, seed, seg_bases, seg_sizes, park_base }
+    }
+
+    fn slot(&self, pid: usize, bucket: usize, round: usize) -> Option<Addr> {
+        if round >= self.seg_sizes.len() {
+            return None;
+        }
+        let size = self.seg_sizes[round];
+        let mut z = self
+            .seed
+            .wrapping_add((pid as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add((round as u64).wrapping_mul(0xd1b54a32d192ed03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^= z >> 31;
+        Some(self.seg_bases[round] + bucket * size + (z % size as u64) as usize)
+    }
+}
+
+impl Program for BucketDartProgram {
+    type Proc = DartState;
+
+    fn num_procs(&self) -> usize {
+        self.n
+    }
+
+    fn create(&self, _pid: usize) -> DartState {
+        DartState::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut DartState, env: &mut PhaseEnv<'_>) -> Status {
+        let t = env.phase();
+        if t == 0 {
+            env.read(pid);
+            return Status::Active;
+        }
+        if t == 1 {
+            let v = env.delivered()[0].1;
+            debug_assert!((0..FIXED_ONE).contains(&v), "value out of [0,1) range");
+            st.bucket = ((v as i128 * self.num_buckets as i128) / FIXED_ONE as i128) as usize;
+            st.target = self.slot(pid, st.bucket, 0).expect("schedule non-empty");
+            env.write(st.target, pid as Word + 1);
+            return Status::Active;
+        }
+        if st.parked {
+            unreachable!("parked processors are done");
+        }
+        if t % 2 == 0 {
+            env.read(st.target);
+            Status::Active
+        } else {
+            if env.delivered()[0].1 == pid as Word + 1 {
+                return Status::Done;
+            }
+            let round = (t - 1) / 2;
+            match self.slot(pid, st.bucket, round) {
+                Some(a) => {
+                    st.target = a;
+                    env.write(st.target, pid as Word + 1);
+                    Status::Active
+                }
+                None => {
+                    st.parked = true;
+                    env.write(self.park_base + pid, pid as Word + 1);
+                    Status::Done
+                }
+            }
+        }
+    }
+}
+
+struct GatherSortProgram {
+    num_buckets: usize,
+    /// Dart-region geometry, mirroring the dart program but with the region
+    /// contents relocated into this program's input after the values:
+    /// segment `r` of bucket `b` is at `seg_bases[r] + b·seg_sizes[r]`.
+    seg_bases: Vec<Addr>,
+    seg_sizes: Vec<usize>,
+    final_base: Addr,
+    final_cap: usize,
+    status_base: Addr,
+}
+
+#[derive(Default)]
+struct GatherState {
+    origins: Vec<usize>,
+}
+
+impl Program for GatherSortProgram {
+    type Proc = GatherState;
+
+    fn num_procs(&self) -> usize {
+        self.num_buckets
+    }
+
+    fn create(&self, _pid: usize) -> GatherState {
+        GatherState::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut GatherState, env: &mut PhaseEnv<'_>) -> Status {
+        match env.phase() {
+            // Read the whole dart region of this bucket.
+            0 => {
+                for (r, &sz) in self.seg_sizes.iter().enumerate() {
+                    for j in 0..sz {
+                        env.read(self.seg_bases[r] + pid * sz + j);
+                    }
+                }
+                Status::Active
+            }
+            // Decode origins; fetch their values.
+            1 => {
+                st.origins = env
+                    .delivered()
+                    .iter()
+                    .filter(|&&(_, v)| v != 0)
+                    .map(|&(_, v)| (v - 1) as usize)
+                    .collect();
+                for &o in &st.origins {
+                    env.read(o);
+                }
+                env.local_ops(st.origins.len() as u64);
+                Status::Active
+            }
+            // Sort and publish into the final region.
+            _ => {
+                let mut values: Vec<Word> = env.delivered().iter().map(|&(_, v)| v).collect();
+                values.sort_unstable();
+                let count = values.len();
+                let fits = count <= self.final_cap;
+                let k = count.min(self.final_cap);
+                for (j, &v) in values[..k].iter().enumerate() {
+                    env.write(self.final_base + pid * self.final_cap + j, v + 1);
+                }
+                env.write(self.status_base + pid, Word::from(!fits));
+                // Charge the comparison sort.
+                let c = count.max(1) as u64;
+                env.local_ops(c * (64 - c.leading_zeros()) as u64);
+                Status::Done
+            }
+        }
+    }
+}
+
+/// Runs padded sort on `values` (fixed-point words in `[0, FIXED_ONE)`).
+pub fn padded_sort(
+    machine: &QsmMachine,
+    values: &[Word],
+    params: PaddedSortParams,
+) -> Result<PaddedSortOutcome> {
+    assert!(!values.is_empty(), "padded sort of an empty input");
+    assert!(
+        values.iter().all(|&v| (0..FIXED_ONE).contains(&v)),
+        "values must be fixed-point in [0, FIXED_ONE)"
+    );
+    let n = values.len();
+    let s = params.bucket_size.max(1);
+    let num_buckets = n.div_ceil(s).max(1);
+    let cap = s + params.pad;
+
+    // Pass 1: darts.
+    let mut layout = Layout::new(n);
+    let darts = BucketDartProgram::new(n, num_buckets, s, cap, params.seed, &mut layout);
+    let seg_sizes = darts.seg_sizes.clone();
+    let dart_bases = darts.seg_bases.clone();
+    let park_base = darts.park_base;
+    let run1 = machine.run(&darts, values)?;
+    let parked = (0..n).any(|i| run1.memory.get(park_base + i) != 0);
+
+    // Pass 2 input: values ++ relocated dart regions.
+    let mut input = values.to_vec();
+    let mut seg_bases = Vec::with_capacity(seg_sizes.len());
+    for (r, &sz) in seg_sizes.iter().enumerate() {
+        seg_bases.push(input.len());
+        for b in 0..num_buckets {
+            for j in 0..sz {
+                input.push(run1.memory.get(dart_bases[r] + b * sz + j));
+            }
+        }
+        // Re-index: segment r of bucket b is contiguous within the block.
+        let _ = r;
+    }
+    let mut layout2 = Layout::new(input.len());
+    let gather = GatherSortProgram {
+        num_buckets,
+        seg_bases,
+        seg_sizes,
+        final_base: layout2.alloc(num_buckets * cap),
+        final_cap: cap,
+        status_base: layout2.alloc(num_buckets),
+    };
+    let final_base = gather.final_base;
+    let status_base = gather.status_base;
+    let run2 = machine.run(&gather, &input)?;
+
+    let overflow = parked
+        || (0..num_buckets).any(|b| run2.memory.get(status_base + b) != 0);
+    let output = run2.memory.slice(final_base, num_buckets * cap);
+    Ok(PaddedSortOutcome { output, overflow, runs: vec![run1, run2] })
+}
+
+/// Padded sort with the default parameters for `n`.
+pub fn padded_sort_default(
+    machine: &QsmMachine,
+    values: &[Word],
+    seed: u64,
+) -> Result<PaddedSortOutcome> {
+    padded_sort(machine, values, PaddedSortParams::for_n(values.len(), seed))
+}
+
+/// Output array size of a padded sort of `n` values: `n + o(n)` with the
+/// default parameters.
+pub fn padded_output_size(n: usize, params: &PaddedSortParams) -> usize {
+    let s = params.bucket_size.max(1);
+    n.div_ceil(s).max(1) * (s + params.pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::uniform_values;
+    use parbounds_models::QsmMachine;
+
+    #[test]
+    fn sorts_uniform_values() {
+        let m = QsmMachine::qsm(2);
+        for n in [8usize, 64, 500, 2000] {
+            let input = uniform_values(n, n as u64);
+            let out = padded_sort_default(&m, &input, 1).unwrap();
+            assert!(out.verify(&input), "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let m = QsmMachine::qsm(1);
+        let mut input = uniform_values(100, 3);
+        for i in 0..50 {
+            input[i] = input[0];
+        }
+        let out = padded_sort_default(&m, &input, 2).unwrap();
+        assert!(out.verify(&input));
+    }
+
+    #[test]
+    fn output_is_n_plus_little_o() {
+        // With s = log^2 n the padding is o(n): check the ratio shrinks.
+        let p14 = PaddedSortParams::for_n(1 << 14, 0);
+        let p20 = PaddedSortParams::for_n(1 << 20, 0);
+        let ratio14 = padded_output_size(1 << 14, &p14) as f64 / (1 << 14) as f64;
+        let ratio20 = padded_output_size(1 << 20, &p20) as f64 / (1 << 20) as f64;
+        assert!(ratio20 < ratio14, "padding ratio must shrink: {ratio14} vs {ratio20}");
+        assert!(ratio20 < 2.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let m = QsmMachine::qsm(1);
+        let input = vec![5, 3, 4];
+        let out = padded_sort_default(&m, &input, 7).unwrap();
+        assert!(out.verify(&input));
+        assert_eq!(out.values(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn seed_changes_layout_not_values() {
+        let m = QsmMachine::qsm(1);
+        let input = uniform_values(200, 9);
+        let a = padded_sort_default(&m, &input, 1).unwrap();
+        let b = padded_sort_default(&m, &input, 2).unwrap();
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point")]
+    fn rejects_out_of_range_values() {
+        let m = QsmMachine::qsm(1);
+        let _ = padded_sort_default(&m, &[FIXED_ONE], 0);
+    }
+}
+
+/// Exact sorting on the QSM family: padded sort followed by the
+/// order-preserving prefix-sums compaction of [`crate::lac::lac_prefix`] —
+/// the composition yields a dense sorted array, which is what the
+/// Parity-to-sorting reduction needs on shared memory.
+pub fn qsm_sort(
+    machine: &QsmMachine,
+    values: &[Word],
+    p: usize,
+    seed: u64,
+) -> Result<(Vec<Word>, Vec<RunResult>)> {
+    // Triple the default pad and add a bucket's worth: callers may feed
+    // half-range-concentrated values (e.g. encoded bit vectors), doubling
+    // per-bucket density.
+    let mut params = PaddedSortParams::for_n(values.len(), seed);
+    params.pad = 2 * params.pad + params.bucket_size;
+    let padded = padded_sort(machine, values, params)?;
+    assert!(padded.verify(values), "padded sort failed");
+    // The padded output uses v+1 encoding with 0 = NULL: exactly the item
+    // convention lac_prefix compacts (it preserves order).
+    let compacted = crate::lac::lac_prefix(machine, &padded.output, p.min(padded.output.len()))?;
+    // Decode: compacted dest holds origin indices into the padded array.
+    let sorted: Vec<Word> = compacted
+        .dest()
+        .iter()
+        .take_while(|&&v| v != 0)
+        .map(|&v| padded.output[(v - 1) as usize] - 1)
+        .collect();
+    let mut runs = padded.runs;
+    runs.push(compacted.run);
+    Ok((sorted, runs))
+}
+
+#[cfg(test)]
+mod sort_tests {
+    use super::*;
+    use crate::workloads::uniform_values;
+    use parbounds_models::QsmMachine;
+
+    #[test]
+    fn qsm_sort_is_exact() {
+        let m = QsmMachine::qsm(2);
+        for n in [8usize, 100, 1000] {
+            let values = uniform_values(n, n as u64);
+            let (sorted, runs) = qsm_sort(&m, &values, 32.min(n), 3).unwrap();
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect, "n={n}");
+            assert_eq!(runs.len(), 3); // darts, gather/sort, compaction
+        }
+    }
+
+    #[test]
+    fn qsm_sort_handles_duplicates() {
+        let m = QsmMachine::qsm(1);
+        let mut values = uniform_values(64, 9);
+        for i in 0..32 {
+            values[i] = values[0];
+        }
+        let (sorted, _) = qsm_sort(&m, &values, 8, 1).unwrap();
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+}

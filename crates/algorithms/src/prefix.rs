@@ -1,0 +1,346 @@
+//! `p`-processor prefix sums that *compute in rounds* (Section 2.3).
+//!
+//! The paper's rounds upper bounds ("the simple algorithm based on
+//! computing prefix sums", Section 8) all reduce to this construction: with
+//! `b = ⌈n/p⌉`, a processor can move `b` words per phase within the round
+//! budget `O(g·n/p)`, so a fan-in-`b` tree over the `p` block sums finishes
+//! in `Θ(log p / log(n/p)) = Θ(log n / log(n/p))` rounds — matching the
+//! rounds lower bounds for Parity/OR on the s-QSM and BSP (sub-table 4),
+//! where the bound is tight.
+//!
+//! Every phase of this program costs at most `2·g·⌈n/p⌉` (the factor-2
+//! slack appears only in the degenerate `n/p = 1` case, where the fan-in
+//! floor of 2 exceeds the block size).
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
+};
+
+use crate::util::{Layout, ReduceOp, TreeShape};
+use crate::VecOutcome;
+
+struct PrefixProgram {
+    n: usize,
+    p: usize,
+    b: usize,
+    f: usize,
+    op: ReduceOp,
+    shape: TreeShape,
+    /// `partials[l]` = base of the level-`l` partial-sum cells.
+    partials: Vec<Addr>,
+    /// `offsets[l]` = base of the level-`l` offset cells (`l < depth`).
+    offsets: Vec<Addr>,
+    out: Addr,
+}
+
+#[derive(Default)]
+struct PrefixProc {
+    local: Vec<Word>,
+    /// `child_sums[l-1]` = the sums of this node's children at up-sweep
+    /// level `l` (only for processors that are level-`l` nodes).
+    child_sums: Vec<Vec<Word>>,
+    offset: Word,
+}
+
+impl PrefixProgram {
+    fn new(n: usize, p: usize, op: ReduceOp, layout: &mut Layout) -> Self {
+        assert!(n > 0, "prefix of an empty input");
+        assert!(p >= 1 && p <= n, "need 1 <= p <= n (got p={p}, n={n})");
+        let b = n.div_ceil(p);
+        let f = b.max(2);
+        let shape = TreeShape::new(p, f);
+        let mut partials = Vec::with_capacity(shape.widths.len());
+        for &w in &shape.widths {
+            partials.push(layout.alloc(w));
+        }
+        let mut offsets = Vec::with_capacity(shape.depth());
+        for &w in &shape.widths[..shape.depth()] {
+            offsets.push(layout.alloc(w));
+        }
+        let out = layout.alloc(n);
+        PrefixProgram { n, p, b, f, op, shape, partials, offsets, out }
+    }
+
+    fn depth(&self) -> usize {
+        self.shape.depth()
+    }
+
+    /// Block range of processor `i`.
+    fn block(&self, i: usize) -> (usize, usize) {
+        let lo = (i * self.b).min(self.n);
+        let hi = ((i + 1) * self.b).min(self.n);
+        (lo, hi)
+    }
+}
+
+impl Program for PrefixProgram {
+    type Proc = PrefixProc;
+
+    fn num_procs(&self) -> usize {
+        self.p
+    }
+
+    fn create(&self, _pid: usize) -> PrefixProc {
+        PrefixProc::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut PrefixProc, env: &mut PhaseEnv<'_>) -> Status {
+        let d = self.depth();
+        let t = env.phase();
+        let (lo, hi) = self.block(pid);
+        match t {
+            // Read the local block.
+            0 => {
+                for a in lo..hi {
+                    env.read(a);
+                }
+                Status::Active
+            }
+            // Publish the block sum as the level-0 partial.
+            1 => {
+                st.local = env.delivered().iter().map(|&(_, v)| v).collect();
+                let sum = self.op.fold(&st.local);
+                env.write(self.partials[0] + pid, sum);
+                if d == 0 {
+                    // p == 1: no tree; go straight to output.
+                    st.offset = self.op.identity();
+                    let mut acc = st.offset;
+                    for (j, &v) in st.local.iter().enumerate() {
+                        acc = self.op.apply(acc, v);
+                        env.write(self.out + lo + j, acc);
+                    }
+                    return Status::Done;
+                }
+                Status::Active
+            }
+            // Up-sweep: level l occupies phases 2l and 2l+1.
+            t if t < 2 * d + 2 => {
+                let l = t / 2;
+                let reading = t % 2 == 0;
+                if pid < self.shape.widths[l] {
+                    if reading {
+                        let children = self.shape.children_of(l, pid);
+                        for m in 0..children {
+                            env.read(self.partials[l - 1] + pid * self.f + m);
+                        }
+                    } else {
+                        let sums: Vec<Word> = env.delivered().iter().map(|&(_, v)| v).collect();
+                        env.write(self.partials[l] + pid, self.op.fold(&sums));
+                        while st.child_sums.len() < l {
+                            st.child_sums.push(Vec::new());
+                        }
+                        st.child_sums[l - 1] = sums;
+                    }
+                }
+                Status::Active
+            }
+            // Down-sweep: level l (from d down to 1) occupies phases
+            // 2d+2+2(d-l) and the following one.
+            t if t < 4 * d + 2 => {
+                let step = t - (2 * d + 2);
+                let l = d - step / 2;
+                let reading = step.is_multiple_of(2);
+                if pid < self.shape.widths[l] {
+                    if reading {
+                        if l < d {
+                            env.read(self.offsets[l] + pid);
+                        }
+                    } else {
+                        st.offset = if l < d {
+                            env.delivered()[0].1
+                        } else {
+                            self.op.identity()
+                        };
+                        let children = self.shape.children_of(l, pid);
+                        let mut acc = st.offset;
+                        for m in 0..children {
+                            env.write(self.offsets[l - 1] + pid * self.f + m, acc);
+                            acc = self.op.apply(acc, st.child_sums[l - 1][m]);
+                        }
+                    }
+                }
+                Status::Active
+            }
+            // Fetch the block offset.
+            t if t == 4 * d + 2 => {
+                env.read(self.offsets[0] + pid);
+                Status::Active
+            }
+            // Write the inclusive prefixes for the local block.
+            _ => {
+                st.offset = env.delivered()[0].1;
+                let mut acc = st.offset;
+                for (j, &v) in st.local.iter().enumerate() {
+                    acc = self.op.apply(acc, v);
+                    env.write(self.out + lo + j, acc);
+                }
+                Status::Done
+            }
+        }
+    }
+}
+
+/// Computes the inclusive prefix of `input` under `op` with `p` processors,
+/// computing in rounds. Returns the prefix array.
+/// ```
+/// use parbounds_algo::{prefix::prefix_in_rounds, util::ReduceOp};
+/// use parbounds_models::QsmMachine;
+///
+/// let machine = QsmMachine::qsm(2);
+/// let out = prefix_in_rounds(&machine, &[1, 2, 3, 4], 2, ReduceOp::Sum).unwrap();
+/// assert_eq!(out.values, vec![1, 3, 6, 10]);
+/// ```
+pub fn prefix_in_rounds(
+    machine: &QsmMachine,
+    input: &[Word],
+    p: usize,
+    op: ReduceOp,
+) -> Result<VecOutcome> {
+    let mut layout = Layout::new(input.len());
+    let prog = PrefixProgram::new(input.len(), p, op, &mut layout);
+    let out = prog.out;
+    let n = prog.n;
+    let run = machine.run(&prog, input)?;
+    let values = run.memory.slice(out, n);
+    Ok(VecOutcome { values, run })
+}
+
+/// Number of phases (= rounds) [`prefix_in_rounds`] takes: `4·depth + 4`
+/// where `depth = ⌈log_{max(2, n/p)} p⌉` — the `Θ(log n / log(n/p))` of
+/// sub-table 4 (or 2 phases when `p = 1`).
+pub fn prefix_rounds_count(n: usize, p: usize) -> usize {
+    let b = n.div_ceil(p).max(2);
+    let d = TreeShape::new(p, b).depth();
+    if d == 0 {
+        2
+    } else {
+        4 * d + 4
+    }
+}
+
+/// Round budget respected by every phase of [`prefix_in_rounds`]:
+/// `2·g·⌈n/p⌉` (slack 2 covers the fan-in floor at `n = p`).
+pub fn prefix_round_budget(n: usize, p: usize, g: u64) -> u64 {
+    parbounds_models::round_budget_qsm(n as u64, p as u64, g, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_models::QsmMachine;
+
+    fn seq(n: usize) -> Vec<Word> {
+        (1..=n as Word).collect()
+    }
+
+    fn expected_prefix(input: &[Word], op: ReduceOp) -> Vec<Word> {
+        let mut acc = op.identity();
+        input
+            .iter()
+            .map(|&v| {
+                acc = op.apply(acc, v);
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_sum_correct_across_p() {
+        let n = 100;
+        let input = seq(n);
+        for p in [1usize, 2, 3, 7, 10, 50, 100] {
+            let m = QsmMachine::qsm(2);
+            let out = prefix_in_rounds(&m, &input, p, ReduceOp::Sum).unwrap();
+            assert_eq!(out.values, expected_prefix(&input, ReduceOp::Sum), "p={p}");
+        }
+    }
+
+    #[test]
+    fn prefix_works_for_all_ops() {
+        let input: Vec<Word> = vec![3, 0, 1, 5, 1, 0, 2, 4, 4, 1, 1];
+        let m = QsmMachine::sqsm(3);
+        for op in [ReduceOp::Sum, ReduceOp::Or, ReduceOp::Xor, ReduceOp::Max] {
+            let out = prefix_in_rounds(&m, &input, 4, op).unwrap();
+            assert_eq!(out.values, expected_prefix(&input, op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn phase_count_matches_formula() {
+        for (n, p) in [(64usize, 8usize), (100, 10), (1000, 100), (256, 256), (50, 1)] {
+            let m = QsmMachine::qsm(1);
+            let out = prefix_in_rounds(&m, &seq(n), p, ReduceOp::Sum).unwrap();
+            assert_eq!(
+                out.run.ledger.num_phases(),
+                prefix_rounds_count(n, p),
+                "n={n} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_phase_fits_the_round_budget() {
+        for (n, p) in [(64usize, 8usize), (1024, 32), (1000, 250), (128, 128), (100, 1)] {
+            for g in [1u64, 4] {
+                let m = QsmMachine::qsm(g);
+                let out = prefix_in_rounds(&m, &seq(n), p, ReduceOp::Sum).unwrap();
+                let budget = prefix_round_budget(n, p, g);
+                assert!(
+                    out.run.ledger.is_round_respecting(budget),
+                    "n={n} p={p} g={g}: max phase {} > budget {budget}",
+                    out.run.ledger.max_phase_cost()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_shrink_as_blocks_grow() {
+        // Theta(log n / log(n/p)): larger n/p means fewer rounds.
+        let n = 1 << 14;
+        let r_big_p = prefix_rounds_count(n, n / 2); // n/p = 2
+        let r_small_p = prefix_rounds_count(n, n / 256); // n/p = 256
+        assert!(r_small_p < r_big_p, "{r_small_p} !< {r_big_p}");
+        // And matches the formula shape: depth = ceil(log_{n/p} p).
+        assert_eq!(prefix_rounds_count(n, n / 256), 4 + 4); // ceil(log_256 64) = 1
+    }
+
+    #[test]
+    fn work_is_near_linear_for_few_rounds() {
+        // An r-round computation does at most O(r·g·n) work (Section 2.3).
+        let n = 4096;
+        let p = 64;
+        let g = 2;
+        let m = QsmMachine::qsm(g);
+        let out = prefix_in_rounds(&m, &seq(n), p, ReduceOp::Sum).unwrap();
+        let r = out.run.ledger.num_phases() as u64;
+        assert!(out.run.ledger.work(p as u64) <= r * 2 * g * n as u64);
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_sequential() {
+        let input = seq(17);
+        let m = QsmMachine::qsm(2);
+        let out = prefix_in_rounds(&m, &input, 1, ReduceOp::Sum).unwrap();
+        assert_eq!(out.values, expected_prefix(&input, ReduceOp::Sum));
+        assert_eq!(out.run.ledger.num_phases(), 2);
+    }
+
+    #[test]
+    fn ragged_blocks_are_handled() {
+        // n not divisible by p: last blocks shorter/empty.
+        let input = seq(13);
+        let m = QsmMachine::qsm(1);
+        for p in [4usize, 5, 6, 13] {
+            let out = prefix_in_rounds(&m, &input, p, ReduceOp::Sum).unwrap();
+            assert_eq!(out.values, expected_prefix(&input, ReduceOp::Sum), "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= p <= n")]
+    fn more_procs_than_items_rejected() {
+        let m = QsmMachine::qsm(1);
+        let _ = prefix_in_rounds(&m, &[1, 2], 3, ReduceOp::Sum);
+    }
+}

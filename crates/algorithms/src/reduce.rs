@@ -1,0 +1,246 @@
+//! Fan-in-`k` *read-tree* reduction on the QSM family.
+//!
+//! The baseline upper-bound construction: one processor per internal tree
+//! node; a node reads its ≤ k children in one phase (cost `g·k` at unit
+//! contention) and writes the combined value in the next (cost `g`). With
+//! fan-in 2 on the s-QSM this is the `Θ(g·log n)` Parity algorithm of
+//! Section 8; the fan-in `L/g` analogue on the BSP is in
+//! [`crate::bsp_algos`].
+//!
+//! Exact cost on a QSM/s-QSM: `Σ_levels (g·k_l + g)` where `k_l` is the
+//! largest child count at level `l` — i.e. `g(k+1)·⌈log_k n⌉` for a full
+//! tree. The write phases never contend, so QSM and s-QSM charge the same.
+
+use parbounds_models::{
+    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
+};
+
+use crate::util::{Layout, ReduceOp, TreeShape};
+use crate::Outcome;
+
+/// Tree-reduction program description.
+struct TreeReduceProgram {
+    op: ReduceOp,
+    shape: TreeShape,
+    /// Cell base address of each level (level 0 = the input cells).
+    level_bases: Vec<Addr>,
+    /// `(level, node)` of each processor, level ≥ 1.
+    proc_nodes: Vec<(usize, usize)>,
+}
+
+/// Per-processor state: none needed — identity is derived from `pid` and
+/// values flow through delivered reads.
+struct ProcState;
+
+impl TreeReduceProgram {
+    fn new(n: usize, k: usize, op: ReduceOp, layout: &mut Layout) -> Self {
+        let shape = TreeShape::new(n, k);
+        let mut level_bases = vec![0]; // level 0 reads the input directly
+        for &w in &shape.widths[1..] {
+            level_bases.push(layout.alloc(w));
+        }
+        let mut proc_nodes = Vec::with_capacity(shape.internal_nodes().max(1));
+        for (level, &w) in shape.widths.iter().enumerate().skip(1) {
+            for node in 0..w {
+                proc_nodes.push((level, node));
+            }
+        }
+        if proc_nodes.is_empty() {
+            // Single-leaf tree: one processor copies input to the "root".
+            level_bases.push(layout.alloc(1));
+            proc_nodes.push((1, 0));
+        }
+        TreeReduceProgram { op, shape, level_bases, proc_nodes }
+    }
+
+    fn root_addr(&self) -> Addr {
+        *self.level_bases.last().unwrap()
+    }
+}
+
+impl Program for TreeReduceProgram {
+    type Proc = ProcState;
+
+    fn num_procs(&self) -> usize {
+        self.proc_nodes.len()
+    }
+
+    fn create(&self, _pid: usize) -> ProcState {
+        ProcState
+    }
+
+    fn phase(&self, pid: usize, _st: &mut ProcState, env: &mut PhaseEnv<'_>) -> Status {
+        let (level, node) = self.proc_nodes[pid];
+        let read_phase = 2 * (level - 1);
+        let write_phase = read_phase + 1;
+        let t = env.phase();
+        if t < read_phase {
+            Status::Active
+        } else if t == read_phase {
+            let children = if self.shape.depth() == 0 {
+                1 // degenerate single-leaf copy
+            } else {
+                self.shape.children_of(level, node)
+            };
+            let base = self.level_bases[level - 1];
+            for c in 0..children {
+                env.read(base + node * self.shape.k + c);
+            }
+            Status::Active
+        } else if t == write_phase {
+            let v = env
+                .delivered()
+                .iter()
+                .fold(self.op.identity(), |acc, &(_, x)| self.op.apply(acc, x));
+            env.write(self.level_bases[level] + node, v);
+            Status::Done
+        } else {
+            unreachable!("processor survived past its write phase")
+        }
+    }
+}
+
+/// Runs a fan-in-`k` read-tree reduction of `input` under `op` on `machine`.
+pub fn tree_reduce(
+    machine: &QsmMachine,
+    input: &[Word],
+    k: usize,
+    op: ReduceOp,
+) -> Result<Outcome> {
+    let mut layout = Layout::new(input.len().max(1));
+    let prog = TreeReduceProgram::new(input.len().max(1), k, op, &mut layout);
+    let root = prog.root_addr();
+    let run = machine.run(&prog, input)?;
+    let value = run.memory.get(root);
+    Ok(Outcome { value, run })
+}
+
+/// Parity of a bit vector via a fan-in-`k` read tree.
+pub fn parity_read_tree(machine: &QsmMachine, bits: &[Word], k: usize) -> Result<Outcome> {
+    tree_reduce(machine, bits, k, ReduceOp::Xor)
+}
+
+/// OR of a bit vector via a fan-in-`k` read tree (compare with the cheaper
+/// write-combining tree in [`crate::or_tree`]).
+pub fn or_read_tree(machine: &QsmMachine, bits: &[Word], k: usize) -> Result<Outcome> {
+    tree_reduce(machine, bits, k, ReduceOp::Or)
+}
+
+/// Exact model time of [`tree_reduce`] on `n` inputs with fan-in `k`:
+/// `Σ_l (g·k_l + g)`. Exposed so benches/tests can assert measured = model.
+pub fn tree_reduce_cost(n: usize, k: usize, g: u64) -> u64 {
+    let shape = TreeShape::new(n.max(1), k);
+    if shape.depth() == 0 {
+        return 2 * g; // one read phase + one write phase
+    }
+    let mut total = 0;
+    for (level, &w) in shape.widths.iter().enumerate().skip(1) {
+        let max_children = (0..w).map(|node| shape.children_of(level, node)).max().unwrap();
+        total += g * max_children as u64 + g;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_models::QsmMachine;
+
+    fn bits(n: usize, seed: u64) -> Vec<Word> {
+        (0..n)
+            .map(|i| {
+                let mut z = seed.wrapping_add((i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                (z >> 17 & 1) as Word
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parity_is_correct_across_sizes_and_fanins() {
+        for n in [1usize, 2, 3, 7, 16, 33, 100] {
+            for k in [2usize, 3, 8] {
+                let input = bits(n, n as u64 * 31 + k as u64);
+                let expected = input.iter().sum::<Word>() % 2;
+                let m = QsmMachine::qsm(2);
+                let out = parity_read_tree(&m, &input, k).unwrap();
+                assert_eq!(out.value, expected, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_is_correct_including_all_zero() {
+        let m = QsmMachine::qsm(2);
+        assert_eq!(or_read_tree(&m, &[0, 0, 0, 0, 0], 2).unwrap().value, 0);
+        assert_eq!(or_read_tree(&m, &[0, 0, 0, 1, 0], 2).unwrap().value, 1);
+        assert_eq!(or_read_tree(&m, &[1; 9], 3).unwrap().value, 1);
+    }
+
+    #[test]
+    fn sum_and_max_reduce() {
+        let m = QsmMachine::qrqw();
+        let input: Vec<Word> = (1..=20).collect();
+        assert_eq!(tree_reduce(&m, &input, 4, ReduceOp::Sum).unwrap().value, 210);
+        assert_eq!(tree_reduce(&m, &input, 4, ReduceOp::Max).unwrap().value, 20);
+    }
+
+    #[test]
+    fn measured_cost_matches_closed_form() {
+        for n in [2usize, 5, 16, 64, 100] {
+            for k in [2usize, 4, 10] {
+                for g in [1u64, 3, 8] {
+                    let m = QsmMachine::qsm(g);
+                    let out = tree_reduce(&m, &bits(n, 7), k, ReduceOp::Xor).unwrap();
+                    assert_eq!(
+                        out.run.time(),
+                        tree_reduce_cost(n, k, g),
+                        "n={n} k={k} g={g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_is_one_throughout() {
+        let m = QsmMachine::qsm(4);
+        let out = tree_reduce(&m, &bits(64, 3), 4, ReduceOp::Sum).unwrap();
+        assert_eq!(out.run.ledger.max_contention(), 1);
+    }
+
+    #[test]
+    fn sqsm_and_qsm_cost_identical_for_contention_free_trees() {
+        // With kappa = 1, the s-QSM surcharge g·kappa never binds.
+        let input = bits(128, 11);
+        let q = tree_reduce(&QsmMachine::qsm(4), &input, 2, ReduceOp::Xor).unwrap();
+        let s = tree_reduce(&QsmMachine::sqsm(4), &input, 2, ReduceOp::Xor).unwrap();
+        assert_eq!(q.run.time(), s.run.time());
+        assert_eq!(q.value, s.value);
+    }
+
+    #[test]
+    fn binary_tree_on_sqsm_matches_theta_g_log_n() {
+        // The Section 8 tight s-QSM parity algorithm: 3g per level.
+        let n = 1 << 10;
+        let g = 4;
+        let m = QsmMachine::sqsm(g);
+        let out = parity_read_tree(&m, &bits(n, 5), 2).unwrap();
+        assert_eq!(out.run.time(), 3 * g * 10);
+    }
+
+    #[test]
+    fn single_element_reduction() {
+        let m = QsmMachine::qsm(3);
+        let out = tree_reduce(&m, &[7], 2, ReduceOp::Sum).unwrap();
+        assert_eq!(out.value, 7);
+        assert_eq!(out.run.time(), tree_reduce_cost(1, 2, 3));
+    }
+
+    #[test]
+    fn empty_input_reduces_to_identity() {
+        let m = QsmMachine::qsm(1);
+        assert_eq!(tree_reduce(&m, &[], 2, ReduceOp::Sum).unwrap().value, 0);
+        assert_eq!(tree_reduce(&m, &[], 2, ReduceOp::Or).unwrap().value, 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The paper's problem reductions, made executable.
+//!
+//! * **Parity → list ranking / sorting** (Section 3, closing remark): the
+//!   size-preserving reductions that transfer every Parity lower bound of
+//!   Table 1 to list ranking and sorting. [`parity_via_list_ranking`] ranks
+//!   the chain `i → i+1` under XOR; [`parity_via_sorting_bsp`] sorts the bit
+//!   vector and recovers the count of ones with one extra O(p)-relation
+//!   superstep.
+//! * **CLB → {Load Balancing, LAC, Padded Sort}** (Theorem 6.1): the three
+//!   reductions used to push the Chromatic Load Balancing lower bound onto
+//!   the problems of Section 6.2. Each function solves a [`ClbInstance`]
+//!   by invoking the target problem's algorithm and post-processing its
+//!   output into a CLB solution, which [`ClbInstance::verify_solution`]
+//!   then checks.
+
+use std::collections::HashMap;
+
+use parbounds_models::{BspMachine, CostLedger, QsmMachine, Result, Status, Superstep, Word};
+
+use crate::balance::load_balance;
+use crate::bsp_algos::bsp_sort_odd_even;
+use crate::lac::lac_dart;
+use crate::list_rank::list_rank;
+use crate::padded_sort::{padded_sort, PaddedSortParams};
+use crate::util::ReduceOp;
+use crate::workloads::{ClbInstance, FIXED_ONE};
+use crate::Outcome;
+
+/// Parity of `bits` computed *through list ranking*: rank the chain
+/// `0 → 1 → … → n-1` with the bits as weights under XOR; the head's rank is
+/// the parity. Size-preserving: the list has exactly `n` nodes.
+pub fn parity_via_list_ranking(machine: &QsmMachine, bits: &[Word]) -> Result<Outcome> {
+    assert!(!bits.is_empty());
+    let n = bits.len();
+    let succ: Vec<Word> = (1..=n as Word).collect();
+    let ranked = list_rank(machine, &succ, bits, ReduceOp::Xor)?;
+    Ok(Outcome { value: ranked.values[0], run: ranked.run })
+}
+
+/// Parity of `bits` computed *through sorting* on a BSP: sort the bit
+/// vector (any sorter works — here odd-even transposition), then one extra
+/// superstep in which each component reports its local count of ones.
+/// Returns the parity and the ledgers of both stages.
+pub fn parity_via_sorting_bsp(
+    machine: &BspMachine,
+    bits: &[Word],
+) -> Result<(Word, Vec<CostLedger>)> {
+    let sorted = bsp_sort_odd_even(machine, bits)?;
+    assert!(sorted.verify(bits), "sorter failed");
+
+    struct CountProg;
+    impl parbounds_models::BspProgram for CountProg {
+        type Proc = Word;
+        fn create(&self, _pid: usize, local: &[Word]) -> Word {
+            local.iter().filter(|&&b| b != 0).count() as Word
+        }
+        fn superstep(&self, pid: usize, st: &mut Word, ctx: &mut Superstep<'_>) -> Status {
+            match ctx.step() {
+                0 => {
+                    if pid != 0 {
+                        ctx.send(0, 0, *st);
+                        Status::Done
+                    } else {
+                        Status::Active
+                    }
+                }
+                _ => {
+                    *st = (*st + ctx.inbox().iter().map(|m| m.value).sum::<Word>()) % 2;
+                    Status::Done
+                }
+            }
+        }
+    }
+    let concat = sorted.concat();
+    let res = machine.run(&CountProg, &concat)?;
+    Ok((res.states[0] % 2, vec![sorted.ledger, res.ledger]))
+}
+
+/// A solution to a CLB instance: the chosen color plus each of its objects'
+/// destination group (objects enumerated group-major as in
+/// [`ClbInstance::verify_solution`]).
+#[derive(Debug)]
+pub struct ClbSolution {
+    /// The chosen color.
+    pub color: u32,
+    /// Destination group of each object of that color.
+    pub dest: Vec<usize>,
+    /// Total model time spent by the underlying solver.
+    pub time: u64,
+}
+
+/// Solves CLB through **Load Balancing** (Theorem 6.1, first reduction):
+/// the chosen color's groups each hold `4m` objects; balancing them across
+/// the `n` source slots gives loads `≤ ⌈h/n⌉ ≤ m` whenever
+/// `h = 4m·count ≤ n·m`, i.e. `count ≤ n/4` — which holds w.h.p. since
+/// `E[count] = n/8m`.
+pub fn clb_via_load_balance(
+    machine: &QsmMachine,
+    inst: &ClbInstance,
+    p: usize,
+    color: u32,
+) -> Result<Option<ClbSolution>> {
+    let count = inst.color_count(color);
+    if 4 * count > inst.n {
+        return Ok(None); // pathologically popular color; the reduction declines
+    }
+    let counts: Vec<Word> = inst
+        .colors
+        .iter()
+        .map(|&c| if c == color { 4 * inst.m as Word } else { 0 })
+        .collect();
+    let balanced = load_balance(machine, &counts, p.min(inst.n))?;
+    assert!(balanced.verify(&counts), "load balancer failed");
+
+    // Map each object back to its mailbox row.
+    let w = counts.iter().copied().max().unwrap_or(0) + 1;
+    let mut row_of: HashMap<Word, usize> = HashMap::new();
+    for (d, row) in balanced.mailbox.iter().enumerate() {
+        for &obj in row {
+            row_of.insert(obj, d);
+        }
+    }
+    let mut dest = Vec::with_capacity(inst.object_count(color));
+    for (src, &c) in inst.colors.iter().enumerate() {
+        if c != color {
+            continue;
+        }
+        for j in 0..4 * inst.m as Word {
+            let obj = src as Word * w + j + 1;
+            dest.push(*row_of.get(&obj).expect("object lost by balancer"));
+        }
+    }
+    Ok(Some(ClbSolution { color, dest, time: balanced.total_time() }))
+}
+
+/// Solves CLB through **LAC** (Theorem 6.1, second reduction): each group
+/// of the chosen color is one *item*; compacting the items into an `O(h)`
+/// array gives each a distinct slot `s`, which is mapped to the 4 disjoint
+/// destination groups `4s..4s+4` (each receiving `m` of the group's `4m`
+/// objects). Valid whenever `4·(destination array size) ≤ n`.
+pub fn clb_via_lac(
+    machine: &QsmMachine,
+    inst: &ClbInstance,
+    color: u32,
+    seed: u64,
+) -> Result<Option<ClbSolution>> {
+    let count = inst.color_count(color);
+    if count == 0 {
+        return Ok(Some(ClbSolution { color, dest: Vec::new(), time: 0 }));
+    }
+    let items: Vec<Word> =
+        inst.colors.iter().map(|&c| Word::from(c == color)).collect();
+    let out = lac_dart(machine, &items, count, seed)?;
+    assert!(out.verify(&items), "LAC failed");
+    if 4 * out.out_size > inst.n {
+        return Ok(None); // array too large for the slot->groups embedding
+    }
+    // slot_of[group] for groups of the chosen color.
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    for (slot, &v) in out.dest().iter().enumerate() {
+        if v != 0 {
+            slot_of.insert((v - 1) as usize, slot);
+        }
+    }
+    let mut dest = Vec::with_capacity(inst.object_count(color));
+    for (g, &c) in inst.colors.iter().enumerate() {
+        if c != color {
+            continue;
+        }
+        let s = slot_of[&g];
+        for j in 0..4 * inst.m {
+            dest.push(4 * s + j / inst.m);
+        }
+    }
+    Ok(Some(ClbSolution { color, dest, time: out.run.ledger.total_time() }))
+}
+
+/// Solves CLB through **Padded Sort** (Theorem 6.1, third reduction): group
+/// `i` with color `c` draws a value uniform in `(c/8m, (c+1)/8m]`; padded
+/// sorting the `n` values places the chosen color's groups contiguously;
+/// the `q`-th such group (in sorted order) maps to destination groups
+/// `4q..4q+4`. Valid whenever `4·count ≤ n`.
+pub fn clb_via_padded_sort(
+    machine: &QsmMachine,
+    inst: &ClbInstance,
+    color: u32,
+    seed: u64,
+) -> Result<Option<ClbSolution>> {
+    let count = inst.color_count(color);
+    if 4 * count > inst.n {
+        return Ok(None);
+    }
+    let palette = 8 * inst.m as i128;
+    let mut r = crate::workloads::rng(seed);
+    use rand::Rng;
+    let values: Vec<Word> = inst
+        .colors
+        .iter()
+        .map(|&c| {
+            let lo = (c as i128 * FIXED_ONE as i128 / palette) as Word;
+            let hi = ((c as i128 + 1) * FIXED_ONE as i128 / palette) as Word;
+            r.gen_range(lo..hi.max(lo + 1))
+        })
+        .collect();
+    let sorted = padded_sort(machine, &values, PaddedSortParams::for_n(inst.n, seed ^ 0xabcd))?;
+    if !sorted.verify(&values) {
+        return Ok(None); // bucket overflow (n^{-Θ(1)} probability)
+    }
+    // Rank of each chosen-color group among chosen-color values. Values of
+    // one color occupy one palette band, so their sorted rank order equals
+    // their value order; ties broken by group index for determinism.
+    let lo = (color as i128 * FIXED_ONE as i128 / palette) as Word;
+    let hi = ((color as i128 + 1) * FIXED_ONE as i128 / palette) as Word;
+    let mut chosen: Vec<(Word, usize)> = inst
+        .colors
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == color)
+        .map(|(g, _)| (values[g], g))
+        .collect();
+    chosen.sort_unstable();
+    debug_assert!(chosen.iter().all(|&(v, _)| v >= lo && v < hi.max(lo + 1)));
+    let mut rank_of: HashMap<usize, usize> = HashMap::new();
+    for (q, &(_, g)) in chosen.iter().enumerate() {
+        rank_of.insert(g, q);
+    }
+    let mut dest = Vec::with_capacity(inst.object_count(color));
+    for (g, &c) in inst.colors.iter().enumerate() {
+        if c != color {
+            continue;
+        }
+        let q = rank_of[&g];
+        for j in 0..4 * inst.m {
+            dest.push(4 * q + j / inst.m);
+        }
+    }
+    Ok(Some(ClbSolution { color, dest, time: sorted.total_time() }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_bits;
+
+    #[test]
+    fn parity_through_list_ranking() {
+        let m = QsmMachine::qsm(2);
+        for n in [1usize, 5, 64, 200] {
+            let bits = random_bits(n, n as u64);
+            let expected = bits.iter().sum::<Word>() % 2;
+            let out = parity_via_list_ranking(&m, &bits).unwrap();
+            assert_eq!(out.value, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parity_through_sorting() {
+        let m = BspMachine::new(4, 2, 8).unwrap();
+        for n in [16usize, 63, 128] {
+            let bits = random_bits(n, n as u64 + 1);
+            let expected = bits.iter().sum::<Word>() % 2;
+            let (parity, ledgers) = parity_via_sorting_bsp(&m, &bits).unwrap();
+            assert_eq!(parity, expected, "n={n}");
+            assert_eq!(ledgers.len(), 2);
+            // The post-processing stage is O(1) supersteps.
+            assert!(ledgers[1].num_phases() <= 2);
+        }
+    }
+
+    #[test]
+    fn clb_solved_through_load_balancing() {
+        let m = QsmMachine::qsm(2);
+        let inst = ClbInstance::generate(128, 4, 3);
+        let color = 5;
+        let sol = clb_via_load_balance(&m, &inst, 16, color).unwrap().unwrap();
+        assert!(inst.verify_solution(sol.color, &sol.dest));
+        assert_eq!(sol.dest.len(), inst.object_count(color));
+    }
+
+    #[test]
+    fn clb_solved_through_lac() {
+        let m = QsmMachine::qsm(2);
+        // Need 4·(16h+32) <= n with h ~ n/8m: use m = 32, n = 2048.
+        let inst = ClbInstance::generate(2048, 32, 4);
+        let color = 1;
+        let sol = clb_via_lac(&m, &inst, color, 7).unwrap();
+        let sol = sol.expect("embedding should fit at this size");
+        assert!(inst.verify_solution(sol.color, &sol.dest));
+    }
+
+    #[test]
+    fn clb_solved_through_padded_sort() {
+        let m = QsmMachine::qsm(2);
+        let inst = ClbInstance::generate(512, 8, 5);
+        let color = 3;
+        let sol = clb_via_padded_sort(&m, &inst, color, 11).unwrap();
+        let sol = sol.expect("4·count <= n should hold w.h.p.");
+        assert!(inst.verify_solution(sol.color, &sol.dest));
+    }
+
+    #[test]
+    fn clb_lac_declines_when_embedding_cannot_fit() {
+        let m = QsmMachine::qsm(1);
+        // Tiny instance: 16h + 32 times 4 certainly exceeds n = 16.
+        let inst = ClbInstance::generate(16, 1, 2);
+        let color = inst.colors[0];
+        assert!(clb_via_lac(&m, &inst, color, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn clb_empty_color_is_trivially_solved() {
+        let m = QsmMachine::qsm(1);
+        let mut inst = ClbInstance::generate(32, 2, 6);
+        // Force color 9 to be absent.
+        for c in inst.colors.iter_mut() {
+            if *c == 9 {
+                *c = 0;
+            }
+        }
+        let sol = clb_via_lac(&m, &inst, 9, 1).unwrap().unwrap();
+        assert!(sol.dest.is_empty());
+        assert!(inst.verify_solution(9, &sol.dest));
+    }
+}
+
+/// Parity computed *through sorting on the QSM*: sort the bit vector (via
+/// [`crate::padded_sort::qsm_sort`]), then one processor binary-searches
+/// the 0/1 boundary with `O(log n)` probes. Size-preserving: the sort
+/// instance has exactly `n` keys. Bits are spread evenly within their half
+/// of the value range (order-preserving), so bucket loads stay within 2×
+/// the uniform case regardless of the bit mix.
+pub fn parity_via_sorting_qsm(
+    machine: &QsmMachine,
+    bits: &[Word],
+) -> Result<(Word, u64)> {
+    assert!(!bits.is_empty());
+    let n = bits.len();
+    let half = FIXED_ONE / 2;
+    let values: Vec<Word> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| b * half + (i as i128 * half as i128 / n as i128) as Word)
+        .collect();
+    let (sorted, runs) = crate::padded_sort::qsm_sort(machine, &values, (n / 4).max(1), 0x50)?;
+    // The count of ones = number of sorted entries above the midpoint; a
+    // single processor finds the boundary by binary search (log n probes of
+    // cost g each — additive O(g log n), within every Parity bound).
+    let ones = n - sorted.partition_point(|&v| v < FIXED_ONE / 2);
+    let time: u64 = runs.iter().map(|r| r.ledger.total_time()).sum::<u64>()
+        + machine.g() * (n as f64).log2().ceil() as u64;
+    Ok(((ones % 2) as Word, time))
+}
+
+#[cfg(test)]
+mod qsm_sort_reduction_tests {
+    use super::*;
+    use crate::workloads::random_bits;
+
+    #[test]
+    fn parity_through_qsm_sorting() {
+        let m = QsmMachine::qsm(2);
+        for n in [16usize, 100, 512] {
+            let bits = random_bits(n, n as u64 + 2);
+            let expected = bits.iter().sum::<Word>() % 2;
+            let (parity, time) = parity_via_sorting_qsm(&m, &bits).unwrap();
+            assert_eq!(parity, expected, "n={n}");
+            assert!(time > 0);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Rounds-respecting reductions: OR and Parity computed by `p`-processor
+//! algorithms whose every phase fits the round budget of Section 2.3.
+//!
+//! Two constructions:
+//!
+//! * [`reduce_in_rounds`] — read-tree with fan-in `⌈n/p⌉`: a phase moves at
+//!   most `n/p` words per processor (cost `g·n/p`), giving
+//!   `Θ(log n / log(n/p))` rounds for any associative operator. This matches
+//!   the tight rounds bounds for OR and Parity on the s-QSM and BSP
+//!   (sub-table 4).
+//! * [`or_in_rounds_qsm`] — write-combining with fan-in `g·n/p`: on a plain
+//!   QSM a round of budget `g·n/p` can absorb *contention* `κ = g·n/p`
+//!   (contention is charged raw, not through the gap), so OR finishes in
+//!   `Θ(log n / log(g·n/p))` rounds — the tight QSM entry of sub-table 4.
+
+use parbounds_models::{
+    PhaseEnv, Program, QsmMachine, Result, Status, Word,
+};
+
+use crate::util::{Layout, ReduceOp, TreeShape};
+use crate::Outcome;
+
+struct RoundsReduceProgram {
+    n: usize,
+    p: usize,
+    b: usize,
+    op: ReduceOp,
+    shape: TreeShape,
+    partials: Vec<usize>,
+    out: usize,
+}
+
+#[derive(Default)]
+struct RoundsProc {
+    value: Word,
+}
+
+impl RoundsReduceProgram {
+    fn new(n: usize, p: usize, op: ReduceOp, layout: &mut Layout) -> Self {
+        assert!(n > 0, "reduction of an empty input");
+        assert!(p >= 1 && p <= n, "need 1 <= p <= n (got p={p}, n={n})");
+        let b = n.div_ceil(p);
+        let f = b.max(2);
+        let shape = TreeShape::new(p, f);
+        let mut partials = Vec::with_capacity(shape.widths.len());
+        for &w in &shape.widths {
+            partials.push(layout.alloc(w));
+        }
+        let out = layout.alloc(1);
+        RoundsReduceProgram { n, p, b, op, shape, partials, out }
+    }
+}
+
+impl Program for RoundsReduceProgram {
+    type Proc = RoundsProc;
+
+    fn num_procs(&self) -> usize {
+        self.p
+    }
+
+    fn create(&self, _pid: usize) -> RoundsProc {
+        RoundsProc::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut RoundsProc, env: &mut PhaseEnv<'_>) -> Status {
+        let d = self.shape.depth();
+        let t = env.phase();
+        match t {
+            0 => {
+                let lo = (pid * self.b).min(self.n);
+                let hi = ((pid + 1) * self.b).min(self.n);
+                for a in lo..hi {
+                    env.read(a);
+                }
+                Status::Active
+            }
+            1 => {
+                st.value = self
+                    .op
+                    .fold(&env.delivered().iter().map(|&(_, v)| v).collect::<Vec<_>>());
+                env.write(self.partials[0] + pid, st.value);
+                if d == 0 {
+                    env.write(self.out, st.value);
+                    return Status::Done;
+                }
+                Status::Active
+            }
+            t if t < 2 * d + 2 => {
+                let l = t / 2;
+                if pid >= self.shape.widths[l] {
+                    return if t % 2 == 1 && l == d { Status::Done } else { Status::Active };
+                }
+                if t % 2 == 0 {
+                    let children = self.shape.children_of(l, pid);
+                    for m in 0..children {
+                        env.read(self.partials[l - 1] + pid * self.shape.k + m);
+                    }
+                    Status::Active
+                } else {
+                    let v = self
+                        .op
+                        .fold(&env.delivered().iter().map(|&(_, x)| x).collect::<Vec<_>>());
+                    env.write(self.partials[l] + pid, v);
+                    if l == d {
+                        env.write(self.out, v);
+                        Status::Done
+                    } else {
+                        Status::Active
+                    }
+                }
+            }
+            _ => unreachable!("all processors finish by phase 2·depth+1"),
+        }
+    }
+}
+
+/// Reduces `input` under `op` with `p` processors, computing in rounds
+/// (fan-in `⌈n/p⌉` read tree). Rounds: `2 + 2·⌈log_{max(2,n/p)} p⌉`.
+pub fn reduce_in_rounds(
+    machine: &QsmMachine,
+    input: &[Word],
+    p: usize,
+    op: ReduceOp,
+) -> Result<Outcome> {
+    let mut layout = Layout::new(input.len());
+    let prog = RoundsReduceProgram::new(input.len(), p, op, &mut layout);
+    let out = prog.out;
+    let run = machine.run(&prog, input)?;
+    let value = run.memory.get(out);
+    Ok(Outcome { value, run })
+}
+
+/// Parity in rounds: [`reduce_in_rounds`] with XOR.
+pub fn parity_in_rounds(machine: &QsmMachine, bits: &[Word], p: usize) -> Result<Outcome> {
+    reduce_in_rounds(machine, bits, p, ReduceOp::Xor)
+}
+
+/// Rounds taken by [`reduce_in_rounds`].
+pub fn reduce_rounds_count(n: usize, p: usize) -> usize {
+    let b = n.div_ceil(p).max(2);
+    let d = TreeShape::new(p, b).depth();
+    2 + 2 * d
+}
+
+// ---------------------------------------------------------------------------
+// OR with write-combining at round granularity (QSM-tight).
+// ---------------------------------------------------------------------------
+
+struct OrRoundsProgram {
+    n: usize,
+    p: usize,
+    b: usize,
+    /// Combining fan-in over the p block-ORs: `g·⌈n/p⌉` capped at p.
+    k: usize,
+    depth: usize,
+    level_bases: Vec<usize>,
+    out: usize,
+}
+
+impl OrRoundsProgram {
+    fn new(n: usize, p: usize, g: u64, layout: &mut Layout) -> Self {
+        assert!(n > 0 && p >= 1 && p <= n, "need 1 <= p <= n (got p={p}, n={n})");
+        let b = n.div_ceil(p);
+        let k = ((g as usize).saturating_mul(b)).clamp(2, p.max(2));
+        let depth = crate::util::ceil_log(p, k) as usize;
+        let mut level_bases = Vec::with_capacity(depth);
+        let mut width = p;
+        for _ in 0..depth {
+            width = width.div_ceil(k);
+            level_bases.push(layout.alloc(width));
+        }
+        let out = layout.alloc(1);
+        OrRoundsProgram { n, p, b, k, depth, level_bases, out }
+    }
+
+    fn rep_level(&self, i: usize) -> usize {
+        if i == 0 {
+            return self.depth;
+        }
+        let mut m = 0;
+        let mut stride = self.k;
+        while m < self.depth && i.is_multiple_of(stride) {
+            m += 1;
+            stride = stride.saturating_mul(self.k);
+        }
+        m
+    }
+}
+
+impl Program for OrRoundsProgram {
+    type Proc = RoundsProc;
+
+    fn num_procs(&self) -> usize {
+        self.p
+    }
+
+    fn create(&self, _pid: usize) -> RoundsProc {
+        RoundsProc::default()
+    }
+
+    fn phase(&self, pid: usize, st: &mut RoundsProc, env: &mut PhaseEnv<'_>) -> Status {
+        let t = env.phase();
+        if t == 0 {
+            // Read the local block (one round: g·b).
+            let lo = (pid * self.b).min(self.n);
+            let hi = ((pid + 1) * self.b).min(self.n);
+            for a in lo..hi {
+                env.read(a);
+            }
+            return Status::Active;
+        }
+        if t % 2 == 1 {
+            let round = t.div_ceil(2);
+            if round == 1 {
+                st.value = Word::from(env.delivered().iter().any(|&(_, v)| v != 0));
+            } else if let Some(&(_, v)) = env.delivered().first() {
+                st.value = Word::from(v != 0);
+            }
+            if round > self.depth {
+                debug_assert_eq!(pid, 0);
+                env.write(self.out, st.value);
+                return Status::Done;
+            }
+            let stride = self.k.pow(round as u32 - 1);
+            debug_assert_eq!(pid % stride, 0);
+            if st.value != 0 {
+                env.write(self.level_bases[round - 1] + pid / (stride * self.k), 1);
+            }
+            if self.rep_level(pid) >= round {
+                Status::Active
+            } else {
+                Status::Done
+            }
+        } else {
+            let round = t / 2;
+            let stride = self.k.pow(round as u32);
+            env.read(self.level_bases[round - 1] + pid / stride);
+            Status::Active
+        }
+    }
+}
+
+/// OR of `bits` with `p` processors on a QSM, write-combining with fan-in
+/// `g·n/p`: `Θ(log n / log(g·n/p))` rounds — the tight sub-table 4 bound.
+pub fn or_in_rounds_qsm(machine: &QsmMachine, bits: &[Word], p: usize) -> Result<Outcome> {
+    let mut layout = Layout::new(bits.len());
+    let prog = OrRoundsProgram::new(bits.len(), p, machine.g(), &mut layout);
+    let out = prog.out;
+    let run = machine.run(&prog, bits)?;
+    let value = run.memory.get(out);
+    Ok(Outcome { value, run })
+}
+
+/// Rounds taken by [`or_in_rounds_qsm`]: `2 + 2·⌈log_{g·n/p} p⌉`.
+pub fn or_rounds_count(n: usize, p: usize, g: u64) -> usize {
+    let b = n.div_ceil(p);
+    let k = ((g as usize).saturating_mul(b)).clamp(2, p.max(2));
+    2 + 2 * crate::util::ceil_log(p, k) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_models::{round_budget_qsm, QsmMachine};
+
+    fn bits(n: usize, ones_at: &[usize]) -> Vec<Word> {
+        let mut v = vec![0; n];
+        for &i in ones_at {
+            v[i] = 1;
+        }
+        v
+    }
+
+    #[test]
+    fn reduce_in_rounds_is_correct() {
+        let m = QsmMachine::qsm(2);
+        let input: Vec<Word> = (0..200).map(|i| (i * 7 + 3) % 5).collect();
+        for p in [1usize, 4, 20, 200] {
+            assert_eq!(
+                reduce_in_rounds(&m, &input, p, ReduceOp::Sum).unwrap().value,
+                input.iter().sum::<Word>(),
+                "p={p}"
+            );
+            assert_eq!(
+                parity_in_rounds(&m, &input, p).unwrap().value,
+                input.iter().sum::<Word>() % 2
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_phase_count_matches_formula() {
+        let m = QsmMachine::qsm(1);
+        for (n, p) in [(256usize, 16usize), (4096, 64), (100, 100), (64, 1)] {
+            let input = bits(n, &[n / 2]);
+            let out = reduce_in_rounds(&m, &input, p, ReduceOp::Or).unwrap();
+            assert_eq!(out.run.ledger.num_phases(), reduce_rounds_count(n, p), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_respects_round_budget() {
+        for (n, p, g) in [(1024usize, 32usize, 2u64), (4096, 256, 4), (512, 512, 1)] {
+            let m = QsmMachine::sqsm(g);
+            let out = reduce_in_rounds(&m, &bits(n, &[1]), p, ReduceOp::Xor).unwrap();
+            let budget = round_budget_qsm(n as u64, p as u64, g, 2);
+            assert!(
+                out.run.ledger.is_round_respecting(budget),
+                "max phase {} > {budget}",
+                out.run.ledger.max_phase_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn or_in_rounds_correct_and_fits_budget() {
+        let n = 4096;
+        let p = 256;
+        let g = 4;
+        let m = QsmMachine::qsm(g);
+        for ones in [vec![], vec![0], vec![n - 1], vec![7, 99, 2048]] {
+            let input = bits(n, &ones);
+            let out = or_in_rounds_qsm(&m, &input, p).unwrap();
+            assert_eq!(out.value, Word::from(!ones.is_empty()), "{ones:?}");
+            let budget = round_budget_qsm(n as u64, p as u64, g, 2);
+            assert!(out.run.ledger.is_round_respecting(budget));
+        }
+    }
+
+    #[test]
+    fn qsm_or_uses_fewer_rounds_than_read_tree_when_g_large() {
+        // Fan-in g·n/p beats fan-in n/p: log n/log(gn/p) < log n/log(n/p).
+        let n = 1 << 16;
+        let p = 1 << 12; // n/p = 16
+        let g = 16;
+        assert!(or_rounds_count(n, p, g) < reduce_rounds_count(n, p));
+    }
+
+    #[test]
+    fn or_rounds_phase_count_matches_formula() {
+        let n = 1 << 12;
+        let p = 1 << 8;
+        let g = 4;
+        let m = QsmMachine::qsm(g);
+        let out = or_in_rounds_qsm(&m, &bits(n, &[5]), p).unwrap();
+        assert_eq!(out.run.ledger.num_phases(), or_rounds_count(n, p, g));
+    }
+
+    #[test]
+    fn single_processor_or() {
+        let m = QsmMachine::qsm(2);
+        let out = or_in_rounds_qsm(&m, &bits(16, &[3]), 1).unwrap();
+        assert_eq!(out.value, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared helpers: address-space layout, associative reduction operators,
+//! and tree geometry used by the algorithm implementations.
+
+use parbounds_models::{Addr, Word};
+
+/// A bump allocator over the shared address space. Algorithms lay out their
+/// input, scratch and output regions through one of these so regions never
+/// collide.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: Addr,
+}
+
+impl Layout {
+    /// Starts allocating at `base` (typically just past the input).
+    pub fn new(base: Addr) -> Self {
+        Layout { next: base }
+    }
+
+    /// Reserves `len` consecutive cells and returns the base address.
+    pub fn alloc(&mut self, len: usize) -> Addr {
+        let at = self.next;
+        self.next += len;
+        at
+    }
+
+    /// First unallocated address.
+    pub fn high_water(&self) -> Addr {
+        self.next
+    }
+}
+
+/// An associative, commutative reduction operator over words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Integer addition.
+    Sum,
+    /// Boolean OR (any non-zero word counts as true).
+    Or,
+    /// XOR of the low bits — i.e. parity when inputs are bits.
+    Xor,
+    /// Maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Identity element of the operator.
+    pub fn identity(self) -> Word {
+        match self {
+            ReduceOp::Sum | ReduceOp::Or | ReduceOp::Xor => 0,
+            ReduceOp::Max => Word::MIN,
+        }
+    }
+
+    /// Applies the operator.
+    pub fn apply(self, a: Word, b: Word) -> Word {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Or => Word::from(a != 0 || b != 0),
+            ReduceOp::Xor => (a ^ b) & 1,
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Folds a slice.
+    pub fn fold(self, items: &[Word]) -> Word {
+        items.iter().fold(self.identity(), |acc, &x| self.apply(acc, x))
+    }
+}
+
+/// Geometry of a fan-in-`k` reduction tree over `n` leaves.
+///
+/// Level 0 is the leaves; level `l+1` has `ceil(width_l / k)` nodes. The
+/// root is the single node of the last level.
+#[derive(Debug, Clone)]
+pub struct TreeShape {
+    /// Number of leaves.
+    pub n: usize,
+    /// Fan-in.
+    pub k: usize,
+    /// `widths[l]` = number of nodes at level `l` (`widths[0] = n`).
+    pub widths: Vec<usize>,
+}
+
+impl TreeShape {
+    /// Computes the shape of a fan-in-`k` tree over `n` leaves.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `k < 2`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > 0, "tree needs at least one leaf");
+        assert!(k >= 2, "fan-in must be at least 2, got {k}");
+        let mut widths = vec![n];
+        let mut w = n;
+        while w > 1 {
+            w = w.div_ceil(k);
+            widths.push(w);
+        }
+        TreeShape { n, k, widths }
+    }
+
+    /// Number of levels above the leaves (= tree depth).
+    pub fn depth(&self) -> usize {
+        self.widths.len() - 1
+    }
+
+    /// Number of children of node `node` at level `level` (levels ≥ 1).
+    pub fn children_of(&self, level: usize, node: usize) -> usize {
+        debug_assert!(level >= 1 && level < self.widths.len());
+        let below = self.widths[level - 1];
+        let start = node * self.k;
+        debug_assert!(start < below);
+        self.k.min(below - start)
+    }
+
+    /// Total internal nodes (levels 1..).
+    pub fn internal_nodes(&self) -> usize {
+        self.widths[1..].iter().sum()
+    }
+}
+
+/// Integer `ceil(log_k(n))` for `n ≥ 1`, `k ≥ 2` — the depth of a fan-in-k
+/// tree, used in cost assertions.
+pub fn ceil_log(n: usize, k: usize) -> u32 {
+    assert!(k >= 2);
+    let mut levels = 0;
+    let mut w = n.max(1);
+    while w > 1 {
+        w = w.div_ceil(k);
+        levels += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_disjoint_and_monotone() {
+        let mut l = Layout::new(100);
+        let a = l.alloc(10);
+        let b = l.alloc(5);
+        let c = l.alloc(0);
+        assert_eq!(a, 100);
+        assert_eq!(b, 110);
+        assert_eq!(c, 115);
+        assert_eq!(l.high_water(), 115);
+    }
+
+    #[test]
+    fn reduce_ops_behave() {
+        assert_eq!(ReduceOp::Sum.fold(&[1, 2, 3]), 6);
+        assert_eq!(ReduceOp::Or.fold(&[0, 0, 5]), 1);
+        assert_eq!(ReduceOp::Or.fold(&[0, 0, 0]), 0);
+        assert_eq!(ReduceOp::Xor.fold(&[1, 1, 1]), 1);
+        assert_eq!(ReduceOp::Xor.fold(&[1, 1]), 0);
+        assert_eq!(ReduceOp::Max.fold(&[-5, 3, 2]), 3);
+        assert_eq!(ReduceOp::Max.apply(ReduceOp::Max.identity(), 7), 7);
+    }
+
+    #[test]
+    fn tree_shape_widths() {
+        let t = TreeShape::new(10, 3);
+        assert_eq!(t.widths, vec![10, 4, 2, 1]);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.internal_nodes(), 7);
+        // Children counts at level 1: 3, 3, 3, 1.
+        assert_eq!(t.children_of(1, 0), 3);
+        assert_eq!(t.children_of(1, 3), 1);
+        // Level 2 over width 4: children 3 and 1.
+        assert_eq!(t.children_of(2, 0), 3);
+        assert_eq!(t.children_of(2, 1), 1);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_no_levels() {
+        let t = TreeShape::new(1, 2);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.internal_nodes(), 0);
+    }
+
+    #[test]
+    fn ceil_log_matches_tree_depth() {
+        for n in 1..200 {
+            for k in 2..6 {
+                assert_eq!(ceil_log(n, k) as usize, TreeShape::new(n, k).depth());
+            }
+        }
+        assert_eq!(ceil_log(8, 2), 3);
+        assert_eq!(ceil_log(9, 2), 4);
+        assert_eq!(ceil_log(1, 2), 0);
+    }
+}

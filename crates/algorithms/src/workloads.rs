@@ -1,0 +1,226 @@
+//! Seeded workload generators for every experiment in the paper's tables:
+//! random bit vectors (Parity/OR), sparse item arrays (LAC), uniform [0,1)
+//! values (Padded Sort), random lists (list ranking), and Chromatic Load
+//! Balancing instances (Section 6).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use parbounds_models::Word;
+
+/// Fixed-point scale for "uniform [0,1)" values: a value `v` represents the
+/// real `v / FIXED_ONE`.
+pub const FIXED_ONE: Word = 1 << 30;
+
+/// A seeded RNG for workload generation (ChaCha8 — fast, reproducible).
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// `n` independent fair bits.
+pub fn random_bits(n: usize, seed: u64) -> Vec<Word> {
+    let mut r = rng(seed);
+    (0..n).map(|_| Word::from(r.gen::<bool>())).collect()
+}
+
+/// `n` bits, each one with probability `p_one` — the biased inputs the OR
+/// adversary distributions `H_i` of Section 7 use.
+pub fn biased_bits(n: usize, p_one: f64, seed: u64) -> Vec<Word> {
+    let mut r = rng(seed);
+    (0..n).map(|_| Word::from(r.gen_bool(p_one))).collect()
+}
+
+/// The all-zeros input (the hard case for OR).
+pub fn zeros(n: usize) -> Vec<Word> {
+    vec![0; n]
+}
+
+/// A sparse item array: `n` cells with exactly `h` non-zero entries (value
+/// 1) at distinct random positions — a LAC instance.
+pub fn sparse_items(n: usize, h: usize, seed: u64) -> Vec<Word> {
+    assert!(h <= n, "cannot place {h} items in {n} cells");
+    let mut r = rng(seed);
+    let mut v = vec![0 as Word; n];
+    let mut placed = 0;
+    while placed < h {
+        let i = r.gen_range(0..n);
+        if v[i] == 0 {
+            v[i] = 1;
+            placed += 1;
+        }
+    }
+    v
+}
+
+/// `n` values uniform on [0,1), as fixed-point words in `[0, FIXED_ONE)` —
+/// the Padded Sort input distribution.
+pub fn uniform_values(n: usize, seed: u64) -> Vec<Word> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..FIXED_ONE)).collect()
+}
+
+/// A random linked list over `n` nodes encoded as a successor array:
+/// `succ[i]` is the index of node `i`'s successor, and the last node in
+/// list order has `succ = n` (sentinel). Returns `(succ, head)`.
+pub fn random_list(n: usize, seed: u64) -> (Vec<Word>, usize) {
+    assert!(n > 0);
+    let mut r = rng(seed);
+    // Random permutation = list order.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = r.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut succ = vec![n as Word; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1] as Word;
+    }
+    (succ, order[0])
+}
+
+/// A Chromatic Load Balancing instance (Section 6): `n` groups of `4m`
+/// objects, each *group* uniformly assigned one of `8m` colors.
+#[derive(Debug, Clone)]
+pub struct ClbInstance {
+    /// Number of groups.
+    pub n: usize,
+    /// The `m` parameter (group payload is `4m` objects; palette is `8m`).
+    pub m: usize,
+    /// `colors[i]` = color of group `i`, in `0..8m`.
+    pub colors: Vec<u32>,
+}
+
+impl ClbInstance {
+    /// Generates an instance.
+    pub fn generate(n: usize, m: usize, seed: u64) -> Self {
+        assert!(n > 0 && m >= 1);
+        let mut r = rng(seed);
+        let colors = (0..n).map(|_| r.gen_range(0..8 * m as u32)).collect();
+        ClbInstance { n, m, colors }
+    }
+
+    /// Number of groups with the given color.
+    pub fn color_count(&self, color: u32) -> usize {
+        self.colors.iter().filter(|&&c| c == color).count()
+    }
+
+    /// Number of *objects* of the given color (`4m` per matching group).
+    pub fn object_count(&self, color: u32) -> usize {
+        self.color_count(color) * 4 * self.m
+    }
+
+    /// The input array as the paper lays it out: `n × 4m` cells, cell
+    /// `(group, rank)` at index `group·4m + rank` holding the group's color
+    /// (tagged implicitly by its position).
+    pub fn to_cells(&self) -> Vec<Word> {
+        let mut v = Vec::with_capacity(self.n * 4 * self.m);
+        for &c in &self.colors {
+            v.extend(std::iter::repeat_n(c as Word, 4 * self.m));
+        }
+        v
+    }
+
+    /// Checks a CLB *solution*: a chosen color plus an assignment of all
+    /// objects of that color to `n` destination groups of capacity `m`.
+    /// `dest[j]` = destination group of the `j`-th object of the chosen
+    /// color (objects enumerated group-major).
+    pub fn verify_solution(&self, color: u32, dest: &[usize]) -> bool {
+        if dest.len() != self.object_count(color) {
+            return false;
+        }
+        let mut load = vec![0usize; self.n];
+        for &d in dest {
+            if d >= self.n {
+                return false;
+            }
+            load[d] += 1;
+        }
+        load.iter().all(|&l| l <= self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bits_are_balanced_and_deterministic() {
+        let a = random_bits(1000, 1);
+        let b = random_bits(1000, 1);
+        assert_eq!(a, b);
+        let ones: Word = a.iter().sum();
+        assert!((400..=600).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn biased_bits_hit_their_rate() {
+        let v = biased_bits(4000, 0.1, 2);
+        let ones: Word = v.iter().sum();
+        assert!((250..=550).contains(&ones), "ones = {ones}");
+        assert!(biased_bits(100, 0.0, 3).iter().all(|&b| b == 0));
+        assert!(biased_bits(100, 1.0, 3).iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn sparse_items_place_exactly_h() {
+        let v = sparse_items(500, 37, 4);
+        assert_eq!(v.iter().filter(|&&x| x != 0).count(), 37);
+    }
+
+    #[test]
+    fn uniform_values_in_range() {
+        let v = uniform_values(1000, 5);
+        assert!(v.iter().all(|&x| (0..FIXED_ONE).contains(&x)));
+        let mean: i64 = v.iter().sum::<i64>() / 1000;
+        let half = FIXED_ONE / 2;
+        assert!((mean - half).abs() < FIXED_ONE / 10, "mean {mean} vs {half}");
+    }
+
+    #[test]
+    fn random_list_is_a_single_chain() {
+        let n = 64;
+        let (succ, head) = random_list(n, 6);
+        let mut seen = vec![false; n];
+        let mut at = head;
+        for _ in 0..n {
+            assert!(!seen[at]);
+            seen[at] = true;
+            let nx = succ[at];
+            if nx == n as Word {
+                break;
+            }
+            at = nx as usize;
+        }
+        assert!(seen.iter().all(|&s| s), "list does not cover all nodes");
+    }
+
+    #[test]
+    fn clb_instance_shape() {
+        let inst = ClbInstance::generate(100, 2, 7);
+        assert_eq!(inst.colors.len(), 100);
+        assert!(inst.colors.iter().all(|&c| c < 16));
+        assert_eq!(inst.to_cells().len(), 100 * 8);
+        let total: usize = (0..16).map(|c| inst.color_count(c)).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn clb_verifier_accepts_balanced_and_rejects_overload() {
+        let inst = ClbInstance::generate(50, 2, 8);
+        let color = (0..16).max_by_key(|&c| inst.color_count(c)).unwrap();
+        let k = inst.object_count(color);
+        // Round-robin assignment is balanced iff k <= n*m (true w.h.p. for
+        // this size; skip otherwise).
+        if k <= 50 * 2 {
+            let dest: Vec<usize> = (0..k).map(|j| j % 50).collect();
+            assert!(inst.verify_solution(color, &dest));
+        }
+        // All-to-group-0 overloads when k > m.
+        if k > 2 {
+            let dest = vec![0usize; k];
+            assert!(!inst.verify_solution(color, &dest));
+        }
+        // Wrong length rejected.
+        assert!(!inst.verify_solution(color, &vec![0; k + 1]));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of algorithm correctness against sequential
+//! oracles, on random inputs, sizes, fan-ins and machine parameters.
+
+use proptest::prelude::*;
+
+use parbounds_algo::util::ReduceOp;
+use parbounds_algo::{
+    balance, bsp_algos, lac, list_rank, or_tree, padded_sort, parity, prefix, reduce, rounds,
+    workloads,
+};
+use parbounds_models::{BspMachine, QsmMachine, Word};
+
+fn arb_bits(max_n: usize) -> impl Strategy<Value = Vec<Word>> {
+    prop::collection::vec(0i64..=1, 1..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every parity implementation equals the oracle, on every machine.
+    #[test]
+    fn parity_algorithms_agree_with_oracle(bits in arb_bits(300), k in 2usize..6, g in 1u64..16) {
+        let expected = bits.iter().sum::<Word>() % 2;
+        let qsm = QsmMachine::qsm(g);
+        prop_assert_eq!(reduce::parity_read_tree(&qsm, &bits, k)?.value, expected);
+        prop_assert_eq!(parity::parity_pattern_helper(&qsm, &bits, k.min(4))?.value, expected);
+        let sqsm = QsmMachine::sqsm(g);
+        prop_assert_eq!(reduce::parity_read_tree(&sqsm, &bits, 2)?.value, expected);
+    }
+
+    /// OR trees equal the oracle for both write- and read-combining.
+    #[test]
+    fn or_algorithms_agree_with_oracle(bits in arb_bits(300), k in 2usize..9, g in 1u64..16) {
+        let expected = Word::from(bits.iter().any(|&b| b != 0));
+        let m = QsmMachine::qsm(g);
+        prop_assert_eq!(or_tree::or_write_tree(&m, &bits, k)?.value, expected);
+        prop_assert_eq!(reduce::or_read_tree(&m, &bits, k)?.value, expected);
+    }
+
+    /// Prefix sums equal the sequential scan for every op and p.
+    #[test]
+    fn prefix_equals_sequential_scan(input in prop::collection::vec(-50i64..50, 1..200),
+                                     p_sel in 0usize..5) {
+        let n = input.len();
+        let p = [1, 2, 3, n.div_ceil(2), n][p_sel].clamp(1, n);
+        let m = QsmMachine::qsm(2);
+        let out = prefix::prefix_in_rounds(&m, &input, p, ReduceOp::Sum)?;
+        let mut acc = 0;
+        let expect: Vec<Word> = input.iter().map(|&v| { acc += v; acc }).collect();
+        prop_assert_eq!(out.values, expect);
+    }
+
+    /// Dart LAC places every item exactly once, for arbitrary item layouts
+    /// and seeds, on QSM and s-QSM.
+    #[test]
+    fn lac_dart_is_exact(n in 8usize..300, frac in 2usize..8, seed in any::<u64>()) {
+        let h = (n / frac).max(1);
+        let items = workloads::sparse_items(n, h, seed);
+        for m in [QsmMachine::qsm(2), QsmMachine::sqsm(4)] {
+            let out = lac::lac_dart(&m, &items, h, seed ^ 0xfeed)?;
+            prop_assert!(out.verify(&items));
+        }
+    }
+
+    /// Prefix compaction is exact, ordered, and rounds-respecting.
+    #[test]
+    fn lac_prefix_is_exact_and_in_rounds(n in 8usize..300, h_frac in 2usize..6,
+                                         p_shift in 0usize..4, seed in any::<u64>()) {
+        let h = (n / h_frac).max(1);
+        let items = workloads::sparse_items(n, h, seed);
+        let p = (n >> p_shift).max(1);
+        let g = 2;
+        let m = QsmMachine::qsm(g);
+        let out = lac::lac_prefix(&m, &items, p)?;
+        prop_assert!(out.verify(&items));
+        let budget = parbounds_models::round_budget_qsm(n as u64, p as u64, g, 2);
+        prop_assert!(out.run.ledger.is_round_respecting(budget));
+    }
+
+    /// Load balancing delivers every object with load ≤ ⌈h/n⌉.
+    #[test]
+    fn load_balance_is_exact(counts in prop::collection::vec(0i64..6, 2..60),
+                             p_sel in 0usize..3) {
+        let n = counts.len();
+        let p = [1, 2, n][p_sel].clamp(1, n);
+        let m = QsmMachine::qsm(2);
+        let out = balance::load_balance(&m, &counts, p)?;
+        prop_assert!(out.verify(&counts));
+    }
+
+    /// Padded sort returns a sorted permutation (NULL-padded) of any
+    /// uniform input.
+    #[test]
+    fn padded_sort_sorts(n in 4usize..300, seed in any::<u64>()) {
+        let values = workloads::uniform_values(n, seed);
+        let m = QsmMachine::qsm(2);
+        let out = padded_sort::padded_sort_default(&m, &values, seed ^ 7)?;
+        prop_assert!(out.verify(&values));
+    }
+
+    /// List ranking equals the sequential suffix fold for Sum and Xor.
+    #[test]
+    fn list_rank_equals_sequential(n in 1usize..150, seed in any::<u64>()) {
+        let (succ, head) = workloads::random_list(n, seed);
+        let weights: Vec<Word> = (0..n as Word).map(|i| (i * 7 + 3) % 11).collect();
+        let m = QsmMachine::qsm(2);
+        let out = list_rank::list_rank(&m, &succ, &weights, ReduceOp::Sum)?;
+        // Walk the list to build the expected suffix sums.
+        let mut order = vec![head];
+        while succ[*order.last().unwrap()] != n as Word {
+            order.push(succ[*order.last().unwrap()] as usize);
+        }
+        let mut expect = vec![0; n];
+        let mut acc = 0;
+        for &i in order.iter().rev() {
+            acc += weights[i];
+            expect[i] = acc;
+        }
+        prop_assert_eq!(out.values, expect);
+    }
+
+    /// BSP reductions equal the fold for every op, p, and ragged n.
+    #[test]
+    fn bsp_reduce_equals_fold(input in prop::collection::vec(-100i64..100, 1..300),
+                              p in 1usize..17, k in 2usize..6) {
+        let m = BspMachine::new(p, 2, 8).unwrap();
+        for op in [ReduceOp::Sum, ReduceOp::Max] {
+            let expect = op.fold(&input);
+            prop_assert_eq!(bsp_algos::bsp_reduce(&m, &input, k, op)?.value, expect);
+        }
+    }
+
+    /// Both BSP sorters sort arbitrary data.
+    #[test]
+    fn bsp_sorters_sort(input in prop::collection::vec(0i64..1000, 1..200), p in 1usize..9) {
+        let m = BspMachine::new(p, 2, 8).unwrap();
+        prop_assert!(bsp_algos::bsp_sort_odd_even(&m, &input)?.verify(&input));
+        prop_assert!(bsp_algos::bsp_sort_sample(&m, &input, 4)?.verify(&input));
+    }
+
+    /// BSP LAC places every item exactly once.
+    #[test]
+    fn bsp_lac_is_exact(n in 16usize..300, frac in 2usize..8, p in 1usize..9,
+                        seed in any::<u64>()) {
+        let h = (n / frac).max(1);
+        let items = workloads::sparse_items(n, h, seed);
+        let m = BspMachine::new(p, 2, 8).unwrap();
+        let out = bsp_algos::bsp_lac_dart(&m, &items, h, seed ^ 3)?;
+        prop_assert!(out.verify(&items));
+    }
+
+    /// Rounds-respecting reductions return the right value and respect the
+    /// budget for all (n, p).
+    #[test]
+    fn rounds_reductions_are_correct(bits in arb_bits(400), p_shift in 0usize..5) {
+        let n = bits.len();
+        let p = (n >> p_shift).max(1);
+        let g = 2;
+        let m = QsmMachine::qsm(g);
+        let budget = parbounds_models::round_budget_qsm(n as u64, p as u64, g, 2);
+        let expected_or = Word::from(bits.iter().any(|&b| b != 0));
+        let out = rounds::or_in_rounds_qsm(&m, &bits, p)?;
+        prop_assert_eq!(out.value, expected_or);
+        prop_assert!(out.run.ledger.is_round_respecting(budget));
+        let out = rounds::reduce_in_rounds(&m, &bits, p, ReduceOp::Xor)?;
+        prop_assert_eq!(out.value, bits.iter().sum::<Word>() % 2);
+        prop_assert!(out.run.ledger.is_round_respecting(budget));
+    }
+
+    /// Tree-reduce measured cost equals its closed form for all (n, k, g).
+    #[test]
+    fn tree_reduce_cost_is_closed_form(n in 1usize..200, k in 2usize..9, g in 1u64..16) {
+        let input: Vec<Word> = (0..n as Word).collect();
+        let m = QsmMachine::qsm(g);
+        let out = reduce::tree_reduce(&m, &input, k, ReduceOp::Sum)?;
+        prop_assert_eq!(out.run.time(), reduce::tree_reduce_cost(n, k, g));
+        prop_assert_eq!(out.value, (n as Word) * (n as Word - 1) / 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation benches (DESIGN.md): fan-in sweeps for the OR tree and parity
+//! helpers, the LAC dart-schedule ablation, and the BSP fan-in sweep —
+//! the design choices whose crossovers the paper's sub-tables predict.
+//! Model-time ablation numbers are asserted in the test suite; this bench
+//! tracks host throughput of the same sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use parbounds::algo::{bsp_algos, or_tree, parity, util::ReduceOp, workloads};
+use parbounds::models::{BspMachine, QsmMachine};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    let n = 1 << 12;
+    let bits = workloads::random_bits(n, 1);
+
+    // OR-tree fan-in sweep on QSM(16): k = g should be the sweet spot.
+    let machine = QsmMachine::qsm(16);
+    for &k in &[2usize, 4, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("or_fanin", k), &k, |b, &k| {
+            b.iter(|| or_tree::or_write_tree(&machine, &bits, k).unwrap().value)
+        });
+    }
+
+    // Parity helper group-size sweep.
+    for &k in &[2usize, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("parity_group", k), &k, |b, &k| {
+            b.iter(|| parity::parity_pattern_helper(&machine, &bits, k).unwrap().value)
+        });
+    }
+
+    // BSP reduction fan-in sweep around L/g = 8.
+    let bsp = BspMachine::new(64, 2, 16).unwrap();
+    for &k in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("bsp_fanin", k), &k, |b, &k| {
+            b.iter(|| bsp_algos::bsp_reduce(&bsp, &bits, k, ReduceOp::Xor).unwrap().value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

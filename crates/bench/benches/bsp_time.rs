@@ -1,0 +1,49 @@
+//! Criterion bench for experiment T1.BSP (sub-table 3): the BSP reduction,
+//! sort and compaction algorithms across (n, p, g, L).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use parbounds::algo::{bsp_algos, workloads};
+use parbounds::models::BspMachine;
+
+fn bench_bsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &n in &[1usize << 12, 1 << 14] {
+        for &(p, g, l) in &[(16usize, 2u64, 8u64), (64, 2, 32)] {
+            let machine = BspMachine::new(p, g, l).unwrap();
+            let bits = workloads::random_bits(n, 1);
+            group.bench_with_input(
+                BenchmarkId::new("parity_reduce", format!("n{n}_p{p}_L{l}")),
+                &(),
+                |b, _| b.iter(|| bsp_algos::bsp_parity(&machine, &bits).unwrap().value),
+            );
+            let items = workloads::sparse_items(n, n / 8, 2);
+            group.bench_with_input(
+                BenchmarkId::new("lac_dart_msgs", format!("n{n}_p{p}_L{l}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        bsp_algos::bsp_lac_dart(&machine, &items, n / 8, 3).unwrap().out_size
+                    })
+                },
+            );
+            let values = workloads::uniform_values(n.min(1 << 12), 4);
+            group.bench_with_input(
+                BenchmarkId::new("sample_sort", format!("n{n}_p{p}_L{l}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        bsp_algos::bsp_sort_sample(&machine, &values, 8).unwrap().blocks.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsp);
+criterion_main!(benches);

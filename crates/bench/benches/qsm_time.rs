@@ -1,0 +1,49 @@
+//! Criterion bench for experiment T1.QSM (sub-table 1): host wall-clock of
+//! the Section 8 QSM algorithms across the (n, g) sweep. The *model* costs
+//! are printed by `--bin table_qsm`; this bench tracks simulator throughput
+//! so regressions in the engine show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use parbounds::algo::{lac, or_tree, parity, workloads};
+use parbounds::models::QsmMachine;
+
+fn bench_qsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsm_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &n in &[1usize << 10, 1 << 12] {
+        for &g in &[4u64, 16] {
+            let machine = QsmMachine::qsm(g);
+            let bits = workloads::random_bits(n, 1);
+            let k = parity::parity_helper_default_k(&machine);
+            group.bench_with_input(
+                BenchmarkId::new("parity_helper", format!("n{n}_g{g}")),
+                &(),
+                |b, _| {
+                    b.iter(|| parity::parity_pattern_helper(&machine, &bits, k).unwrap().value)
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("or_write_tree", format!("n{n}_g{g}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        or_tree::or_write_tree(&machine, &bits, g as usize).unwrap().value
+                    })
+                },
+            );
+            let items = workloads::sparse_items(n, n / 8, 2);
+            group.bench_with_input(
+                BenchmarkId::new("lac_dart", format!("n{n}_g{g}")),
+                &(),
+                |b, _| b.iter(|| lac::lac_dart(&machine, &items, n / 8, 3).unwrap().out_size),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsm);
+criterion_main!(benches);

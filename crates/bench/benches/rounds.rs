@@ -1,0 +1,43 @@
+//! Criterion bench for experiment T1.ROUNDS (sub-table 4): the
+//! rounds-respecting algorithms across the n/p sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use parbounds::algo::{lac, rounds, util::ReduceOp, workloads};
+use parbounds::models::QsmMachine;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rounds");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    let n = 1 << 14;
+    let bits = workloads::random_bits(n, 1);
+    let items = workloads::sparse_items(n, n / 8, 2);
+    for &np in &[16usize, 256] {
+        let p = n / np;
+        let qsm = QsmMachine::qsm(4);
+        let sqsm = QsmMachine::sqsm(4);
+        group.bench_with_input(
+            BenchmarkId::new("or_rounds_qsm", format!("np{np}")),
+            &(),
+            |b, _| b.iter(|| rounds::or_in_rounds_qsm(&qsm, &bits, p).unwrap().value),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parity_rounds_sqsm", format!("np{np}")),
+            &(),
+            |b, _| {
+                b.iter(|| rounds::reduce_in_rounds(&sqsm, &bits, p, ReduceOp::Xor).unwrap().value)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lac_prefix", format!("np{np}")),
+            &(),
+            |b, _| b.iter(|| lac::lac_prefix(&qsm, &items, p).unwrap().out_size),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for experiment T1.SQSM (sub-table 2): the s-QSM
+//! algorithms (binary trees + darts) across the (n, g) sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use parbounds::algo::{lac, or_tree, reduce, workloads};
+use parbounds::models::QsmMachine;
+
+fn bench_sqsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqsm_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &n in &[1usize << 10, 1 << 12] {
+        for &g in &[4u64, 16] {
+            let machine = QsmMachine::sqsm(g);
+            let bits = workloads::random_bits(n, 1);
+            group.bench_with_input(
+                BenchmarkId::new("parity_tree2", format!("n{n}_g{g}")),
+                &(),
+                |b, _| b.iter(|| reduce::parity_read_tree(&machine, &bits, 2).unwrap().value),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("or_write_tree2", format!("n{n}_g{g}")),
+                &(),
+                |b, _| b.iter(|| or_tree::or_write_tree(&machine, &bits, 2).unwrap().value),
+            );
+            let items = workloads::sparse_items(n, n / 8, 2);
+            group.bench_with_input(
+                BenchmarkId::new("lac_dart", format!("n{n}_g{g}")),
+                &(),
+                |b, _| b.iter(|| lac::lac_dart(&machine, &items, n / 8, 3).unwrap().out_size),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sqsm);
+criterion_main!(benches);

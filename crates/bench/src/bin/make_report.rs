@@ -1,0 +1,15 @@
+//! Regenerates `MEASUREMENTS.md` at the repository root from live runs —
+//! the diffable reproduction artifact.
+//!
+//! ```text
+//! cargo run --release -p parbounds-bench --bin make_report
+//! ```
+
+use parbounds::{generate_report, ReportOptions};
+
+fn main() {
+    let report = generate_report(&ReportOptions::default()).expect("report generation failed");
+    let path = "MEASUREMENTS.md";
+    std::fs::write(path, &report).expect("cannot write MEASUREMENTS.md");
+    println!("wrote {path} ({} lines)", report.lines().count());
+}

@@ -1,0 +1,59 @@
+//! Regenerates **sub-table 3** of Table 1 (BSP time bounds, q = min{n, p})
+//! with measured costs of the BSP algorithms.
+//!
+//! ```text
+//! cargo run --release -p parbounds-bench --bin table_bsp
+//! ```
+
+use parbounds::bsp_time_row;
+use parbounds::tables::{render_time_table, Model, Params, Problem};
+use parbounds_bench::{fmt_opt, fmt_ratio, n_sweep, par_sweep};
+
+fn main() {
+    let pr = Params::bsp(1_048_576.0, 8.0, 64.0, 4096.0);
+    println!("{}", render_time_table(Model::Bsp, &pr));
+    println!();
+    println!("Measured: BSP algorithms on the BSP(p, g, L) simulator");
+    println!(
+        "{:<8} {:>8} {:>5} {:>5} {:>6} | {:>10} {:>10} {:>8} | {:>10} {:>10} | algorithm",
+        "problem", "n", "g", "L", "p", "measured", "UB form.", "meas/UB", "det LB", "rand LB"
+    );
+    println!("{}", "-".repeat(130));
+
+    let mut points = Vec::new();
+    for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
+        for &n in &n_sweep() {
+            for &(g, l) in &[(2u64, 8u64), (2, 32), (4, 64)] {
+                for &p in &[16usize, 64, 256] {
+                    if p <= n {
+                        points.push((problem, n, g, l, p));
+                    }
+                }
+            }
+        }
+    }
+    let rows = par_sweep(&points, |&(problem, n, g, l, p)| {
+        bsp_time_row(problem, n, g, l, p, 0xb59).expect("row generation failed")
+    });
+    for row in &rows {
+        println!(
+            "{:<8} {:>8} {:>5} {:>5} {:>6} | {} {:>10.0} {} | {:>10.1} {:>10.1} | {}",
+            format!("{:?}", row.problem),
+            row.params.n,
+            row.params.g,
+            row.params.l,
+            row.params.p,
+            fmt_opt(row.measured),
+            row.upper_formula,
+            fmt_ratio(row.shape_ratio()),
+            row.det_lb,
+            row.rand_lb,
+            row.algorithm
+        );
+    }
+    println!();
+    println!(
+        "Shape check: Parity/OR meas/UB flat in n and p (the Θ(L·log q/log(L/g)) row is \
+         tight); LAC measured sits between its rand LB and the UB formula."
+    );
+}

@@ -1,0 +1,67 @@
+//! Regenerates **sub-table 1** of Table 1 (QSM time bounds) and pairs every
+//! row with the measured cost of our implementation of the matching
+//! Section 8 algorithm, swept over `(n, g)`.
+//!
+//! ```text
+//! cargo run --release -p parbounds-bench --bin table_qsm
+//! ```
+
+use parbounds::tables::{render_time_table, Model, Params, Problem};
+use parbounds::{qsm_time_row, qsm_unit_cr_parity};
+use parbounds_bench::{fmt_opt, fmt_ratio, g_sweep, n_sweep, par_sweep};
+
+fn main() {
+    let pr = Params::qsm(1_048_576.0, 8.0);
+    println!("{}", render_time_table(Model::Qsm, &pr));
+    println!();
+    println!("Measured: Section 8 QSM algorithms on the QSM(g) simulator");
+    println!(
+        "{:<8} {:>8} {:>6} | {:>10} {:>10} {:>8} | {:>10} {:>10} | algorithm",
+        "problem", "n", "g", "measured", "UB form.", "meas/UB", "det LB", "rand LB"
+    );
+    println!("{}", "-".repeat(120));
+
+    let mut points = Vec::new();
+    for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
+        for &n in &n_sweep() {
+            for &g in &g_sweep() {
+                points.push((problem, n, g));
+            }
+        }
+    }
+    let rows = par_sweep(&points, |&(problem, n, g)| {
+        qsm_time_row(problem, n, g, 0xbe7c).expect("row generation failed")
+    });
+    for row in &rows {
+        println!(
+            "{:<8} {:>8} {:>6} | {} {:>10.0} {} | {:>10.1} {:>10.1} | {}",
+            format!("{:?}", row.problem),
+            row.params.n,
+            row.params.g,
+            fmt_opt(row.measured),
+            row.upper_formula,
+            fmt_ratio(row.shape_ratio()),
+            row.det_lb,
+            row.rand_lb,
+            row.algorithm
+        );
+    }
+
+    println!();
+    println!("Parity with unit-time concurrent reads (the Θ(g·log n/log g) row):");
+    println!("{:<8} {:>8} {:>6} | {:>10} {:>10} {:>8}", "", "n", "g", "measured", "Θ form.", "ratio");
+    let points: Vec<(usize, u64)> = n_sweep()
+        .into_iter()
+        .flat_map(|n| g_sweep().into_iter().map(move |g| (n, g)))
+        .collect();
+    let rows = par_sweep(&points, |&(n, g)| {
+        let (m, theta) = qsm_unit_cr_parity(n, g, 0xbe7c).expect("row generation failed");
+        (n, g, m, theta)
+    });
+    for (n, g, m, theta) in rows {
+        println!(
+            "{:<8} {:>8} {:>6} | {:>10.0} {:>10.0} {:>8.2}",
+            "Parity", n, g, m, theta, m / theta
+        );
+    }
+}

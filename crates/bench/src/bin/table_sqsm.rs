@@ -1,0 +1,53 @@
+//! Regenerates **sub-table 2** of Table 1 (s-QSM time bounds) with measured
+//! costs of the Section 8 s-QSM algorithms.
+//!
+//! ```text
+//! cargo run --release -p parbounds-bench --bin table_sqsm
+//! ```
+
+use parbounds::sqsm_time_row;
+use parbounds::tables::{render_time_table, Model, Params, Problem};
+use parbounds_bench::{fmt_opt, fmt_ratio, g_sweep, n_sweep, par_sweep};
+
+fn main() {
+    let pr = Params::qsm(1_048_576.0, 8.0);
+    println!("{}", render_time_table(Model::SQsm, &pr));
+    println!();
+    println!("Measured: Section 8 s-QSM algorithms on the s-QSM(g) simulator");
+    println!(
+        "{:<8} {:>8} {:>6} | {:>10} {:>10} {:>8} | {:>10} {:>10} | algorithm",
+        "problem", "n", "g", "measured", "UB form.", "meas/UB", "det LB", "rand LB"
+    );
+    println!("{}", "-".repeat(120));
+
+    let mut points = Vec::new();
+    for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
+        for &n in &n_sweep() {
+            for &g in &g_sweep() {
+                points.push((problem, n, g));
+            }
+        }
+    }
+    let rows = par_sweep(&points, |&(problem, n, g)| {
+        sqsm_time_row(problem, n, g, 0x5e5e).expect("row generation failed")
+    });
+    for row in &rows {
+        println!(
+            "{:<8} {:>8} {:>6} | {} {:>10.0} {} | {:>10.1} {:>10.1} | {}",
+            format!("{:?}", row.problem),
+            row.params.n,
+            row.params.g,
+            fmt_opt(row.measured),
+            row.upper_formula,
+            fmt_ratio(row.shape_ratio()),
+            row.det_lb,
+            row.rand_lb,
+            row.algorithm
+        );
+    }
+    println!();
+    println!(
+        "Tightness check (Θ(g·log n) Parity row): the meas/UB column above must be a \
+         flat constant (~3: the binary tree costs 3g per level)."
+    );
+}

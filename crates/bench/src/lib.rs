@@ -1,0 +1,90 @@
+//! Shared harness code for the Table 1 regeneration binaries and the
+//! Criterion benches: a crossbeam-based parallel sweep executor and the
+//! common row formatting.
+
+use std::num::NonZeroUsize;
+
+/// Runs `f` over `items` on all available cores (order-preserving output).
+/// The simulators are single-threaded and deterministic; sweeps across
+/// parameter points are embarrassingly parallel, so this is where the host
+/// machine's parallelism goes.
+pub fn par_sweep<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slice_in, slice_out) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, item) in slice_in.iter().enumerate() {
+                    slice_out[i] = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_iter().map(|t| t.expect("all slots filled")).collect()
+}
+
+/// Formats a ratio column: `-` for absent measurements.
+pub fn fmt_ratio(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:8.2}"),
+        None => format!("{:>8}", "-"),
+    }
+}
+
+/// Formats an optional measurement.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:10.0}"),
+        None => format!("{:>10}", "-"),
+    }
+}
+
+/// A standard geometric sweep of input sizes.
+pub fn n_sweep() -> Vec<usize> {
+    vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
+}
+
+/// A standard sweep of gap parameters.
+pub fn g_sweep() -> Vec<u64> {
+    vec![2, 4, 8, 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_sweep_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_sweep(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sweep_handles_tiny_inputs() {
+        assert_eq!(par_sweep::<u64, u64, _>(&[], |&x| x), Vec::<u64>::new());
+        assert_eq!(par_sweep(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ratio(None).trim(), "-");
+        assert!(fmt_ratio(Some(1.5)).contains("1.50"));
+        assert_eq!(fmt_opt(None).trim(), "-");
+        assert!(fmt_opt(Some(42.0)).contains("42"));
+    }
+}

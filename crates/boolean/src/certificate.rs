@@ -1,0 +1,293 @@
+//! Certificate complexity (Nisan) and its relation to degree (Fact 2.3).
+//!
+//! For an input `a`, a *certificate* is a set `S` of variables such that
+//! every input agreeing with `a` on `S` has the same function value; the
+//! certificate complexity at `a` is the size of the smallest such set, and
+//! `C(f)` is the maximum over all inputs. The paper uses Fact 2.3,
+//! `C(f) ≤ deg(f)^4`, inside Claim 5.2 to bound how many inputs must be
+//! fixed to force a processor/cell state.
+
+use crate::function::BoolFn;
+use crate::poly::degree;
+
+/// Certificate complexity of `f` at input `a`: the size of the smallest
+/// variable set whose values at `a` force `f`'s value.
+///
+/// Exact computation by searching subsets in order of increasing size; the
+/// subcube-constancy check makes this exponential, so arity is expected to
+/// be small (the adversary machinery only needs `n ≲ 12`).
+pub fn certificate_at(f: &BoolFn, a: u32) -> usize {
+    let n = f.arity();
+    let target = f.eval(a);
+    for k in 0..=n {
+        if subsets_of_size(n, k).any(|s| subcube_constant(f, a, s, target)) {
+            return k;
+        }
+    }
+    n
+}
+
+/// The smallest certificate set itself (lexicographically smallest bitmask
+/// among the minimum-size ones — the paper's `Cert(v, t, f)` uses the same
+/// tie-break). Returns a variable-set bitmask.
+pub fn certificate_set_at(f: &BoolFn, a: u32) -> u32 {
+    let n = f.arity();
+    let target = f.eval(a);
+    for k in 0..=n {
+        let mut best: Option<u32> = None;
+        for s in subsets_of_size(n, k) {
+            if subcube_constant(f, a, s, target) {
+                best = Some(match best {
+                    Some(b) if b <= s => b,
+                    _ => s,
+                });
+            }
+        }
+        if let Some(s) = best {
+            return s;
+        }
+    }
+    (1u32 << n) - 1
+}
+
+/// `C(f) = max_a certificate_at(f, a)`.
+pub fn certificate_complexity(f: &BoolFn) -> usize {
+    (0..1u32 << f.arity()).map(|a| certificate_at(f, a)).max().unwrap_or(0)
+}
+
+/// Checks Fact 2.3, `C(f) ≤ deg(f)^4`, returning the two sides.
+pub fn check_fact_2_3(f: &BoolFn) -> (usize, usize) {
+    (certificate_complexity(f), degree(f).pow(4))
+}
+
+/// Is `f` constant on the subcube of inputs agreeing with `a` on the
+/// variable set `s`, with value `target`?
+fn subcube_constant(f: &BoolFn, a: u32, s: u32, target: bool) -> bool {
+    let n = f.arity();
+    let free = !s & ((1u32 << n) - 1);
+    let base = a & s;
+    // Enumerate all settings of the free variables.
+    let mut b = free;
+    loop {
+        if f.eval(base | b) != target {
+            return false;
+        }
+        if b == 0 {
+            break;
+        }
+        b = (b - 1) & free;
+    }
+    true
+}
+
+/// Iterates over all `n`-variable subsets of size `k`, as bitmasks, in
+/// increasing numeric order (Gosper's hack).
+fn subsets_of_size(n: usize, k: usize) -> impl Iterator<Item = u32> {
+    let limit = 1u64 << n;
+    let first: u64 = if k == 0 { 0 } else { (1u64 << k) - 1 };
+    let mut cur = Some(first);
+    std::iter::from_fn(move || {
+        let v = cur?;
+        if v >= limit {
+            cur = None;
+            return None;
+        }
+        if v == 0 {
+            cur = None; // only the empty set
+        } else {
+            // Gosper: next bitmask with the same popcount.
+            let c = v & v.wrapping_neg();
+            let r = v + c;
+            let next = (((r ^ v) >> 2) / c) | r;
+            cur = Some(next);
+        }
+        Some(v as u32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn subsets_enumeration_is_complete() {
+        let subs: Vec<u32> = subsets_of_size(5, 2).collect();
+        assert_eq!(subs.len(), 10);
+        assert!(subs.iter().all(|s| s.count_ones() == 2));
+        let subs: Vec<u32> = subsets_of_size(4, 0).collect();
+        assert_eq!(subs, vec![0]);
+        let subs: Vec<u32> = subsets_of_size(4, 4).collect();
+        assert_eq!(subs, vec![0b1111]);
+    }
+
+    #[test]
+    fn or_certificates() {
+        let f = families::or(5);
+        // At the all-zero input every variable must be fixed.
+        assert_eq!(certificate_at(&f, 0), 5);
+        // At any input with a one, that single one certifies.
+        assert_eq!(certificate_at(&f, 0b00100), 1);
+        assert_eq!(certificate_set_at(&f, 0b00100), 0b00100);
+        assert_eq!(certificate_at(&f, 0b11111), 1);
+        assert_eq!(certificate_complexity(&f), 5);
+    }
+
+    #[test]
+    fn parity_needs_full_certificates() {
+        let f = families::parity(4);
+        for a in 0..16 {
+            assert_eq!(certificate_at(&f, a), 4);
+        }
+        assert_eq!(certificate_complexity(&f), 4);
+    }
+
+    #[test]
+    fn constant_functions_need_no_certificate() {
+        let f = families::constant(4, true);
+        assert_eq!(certificate_complexity(&f), 0);
+        assert_eq!(certificate_set_at(&f, 7), 0);
+    }
+
+    #[test]
+    fn dictator_certificate_is_its_variable() {
+        let f = families::dictator(5, 3);
+        assert_eq!(certificate_complexity(&f), 1);
+        for a in 0..32 {
+            assert_eq!(certificate_set_at(&f, a), 1 << 3);
+        }
+    }
+
+    #[test]
+    fn fact_2_3_holds_for_standard_families() {
+        for n in 1..=6 {
+            for f in [
+                families::parity(n),
+                families::or(n),
+                families::and(n),
+                families::threshold(n, n.div_ceil(2)),
+            ] {
+                let (c, d4) = check_fact_2_3(&f);
+                assert!(c <= d4, "C(f)={c} > deg^4={d4} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fact_2_3_holds_for_pseudorandom_functions() {
+        for seed in 0..20 {
+            let f = families::pseudorandom(5, seed);
+            let (c, d4) = check_fact_2_3(&f);
+            assert!(c <= d4, "seed {seed}: C={c} deg^4={d4}");
+        }
+    }
+
+    #[test]
+    fn certificate_set_forces_the_value() {
+        let f = families::majority(5);
+        for a in 0..32 {
+            let s = certificate_set_at(&f, a);
+            assert!(subcube_constant(&f, a, s, f.eval(a)));
+            assert_eq!(s.count_ones() as usize, certificate_at(&f, a));
+        }
+    }
+}
+
+/// Block sensitivity `bs(f, a)`: the maximum number of *disjoint* variable
+/// blocks `B_1, …, B_k` such that flipping each block individually changes
+/// the value at `a`. Computed exactly by greedy-free exhaustive search over
+/// disjoint sensitive blocks (branch and bound on the remaining variable
+/// mask); arity is expected small.
+pub fn block_sensitivity_at(f: &BoolFn, a: u32) -> usize {
+    let n = f.arity();
+    let full = (1u32 << n) - 1;
+    // Collect all minimal sensitive blocks at `a` (flipping the block
+    // changes the value and no proper subset does); maximal disjoint
+    // packings of sensitive blocks can always be taken over minimal ones.
+    let mut blocks = Vec::new();
+    for b in 1..=full {
+        if f.eval(a) != f.eval(a ^ b) {
+            // Minimality check: no proper subset of b is itself sensitive.
+            let mut minimal = true;
+            let mut s = (b - 1) & b;
+            while s != 0 {
+                if f.eval(a) != f.eval(a ^ s) {
+                    minimal = false;
+                    break;
+                }
+                s = (s - 1) & b;
+            }
+            if minimal {
+                blocks.push(b);
+            }
+        }
+    }
+    fn pack(blocks: &[u32], used: u32, from: usize) -> usize {
+        let mut best = 0;
+        for i in from..blocks.len() {
+            if blocks[i] & used == 0 {
+                best = best.max(1 + pack(blocks, used | blocks[i], i + 1));
+            }
+        }
+        best
+    }
+    pack(&blocks, 0, 0)
+}
+
+/// `bs(f) = max_a bs(f, a)`.
+pub fn block_sensitivity(f: &BoolFn) -> usize {
+    (0..1u32 << f.arity()).map(|a| block_sensitivity_at(f, a)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod bs_tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn parity_block_sensitivity_is_n() {
+        for n in 1..=5 {
+            assert_eq!(block_sensitivity(&families::parity(n)), n);
+        }
+    }
+
+    #[test]
+    fn or_block_sensitivity_is_n_at_zero() {
+        let f = families::or(4);
+        assert_eq!(block_sensitivity_at(&f, 0), 4);
+        // At a one-input, the only sensitive blocks contain all the ones.
+        assert_eq!(block_sensitivity_at(&f, 0b1111), 1);
+        assert_eq!(block_sensitivity(&f), 4);
+    }
+
+    #[test]
+    fn chain_s_le_bs_le_c_on_families_and_random_functions() {
+        let mut fns = vec![
+            families::parity(5),
+            families::or(5),
+            families::and(5),
+            families::majority(5),
+            families::threshold(5, 2),
+        ];
+        for seed in 0..12 {
+            fns.push(families::pseudorandom(5, seed));
+        }
+        for f in &fns {
+            let s = f.sensitivity();
+            let bs = block_sensitivity(f);
+            let c = certificate_complexity(f);
+            assert!(s <= bs, "s={s} bs={bs}");
+            assert!(bs <= c, "bs={bs} C={c}");
+        }
+    }
+
+    #[test]
+    fn constant_has_zero_block_sensitivity() {
+        assert_eq!(block_sensitivity(&families::constant(4, true)), 0);
+    }
+
+    #[test]
+    fn dictator_block_sensitivity_is_one() {
+        assert_eq!(block_sensitivity(&families::dictator(4, 2)), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Constructors for the standard boolean function families the paper's
+//! bounds concern (Parity, OR) and companions used in tests and demos.
+
+use crate::function::BoolFn;
+
+/// `Parity_n(a) = 1` iff the number of ones in `a` is odd (Section 3).
+pub fn parity(n: usize) -> BoolFn {
+    BoolFn::from_fn(n, |a| a.count_ones() % 2 == 1)
+}
+
+/// `OR_n(a) = 1` iff some bit of `a` is one (Section 7).
+pub fn or(n: usize) -> BoolFn {
+    BoolFn::from_fn(n, |a| a != 0)
+}
+
+/// `AND_n(a) = 1` iff every bit of `a` is one.
+pub fn and(n: usize) -> BoolFn {
+    let full = (1u64 << n) - 1;
+    BoolFn::from_fn(n, move |a| u64::from(a) == full)
+}
+
+/// The constant function with the given value.
+pub fn constant(n: usize, value: bool) -> BoolFn {
+    BoolFn::from_fn(n, move |_| value)
+}
+
+/// The dictator function `f(a) = a_i`.
+pub fn dictator(n: usize, i: usize) -> BoolFn {
+    assert!(i < n, "dictator variable {i} out of range for arity {n}");
+    BoolFn::from_fn(n, move |a| a >> i & 1 == 1)
+}
+
+/// `Threshold_k`: 1 iff at least `k` input bits are one.
+pub fn threshold(n: usize, k: usize) -> BoolFn {
+    BoolFn::from_fn(n, move |a| a.count_ones() as usize >= k)
+}
+
+/// Majority on an odd number of inputs.
+pub fn majority(n: usize) -> BoolFn {
+    assert!(n % 2 == 1, "majority needs odd arity, got {n}");
+    threshold(n, n / 2 + 1)
+}
+
+/// A pseudorandom function determined by `seed` — every truth-table entry
+/// is an independent-looking bit. Used for property tests.
+pub fn pseudorandom(n: usize, seed: u64) -> BoolFn {
+    BoolFn::from_fn(n, move |a| {
+        // SplitMix64 step on (seed, a).
+        let mut z = seed.wrapping_add(u64::from(a).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z & 1 == 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_of_zero_vars_is_false() {
+        let f = parity(0);
+        assert!(!f.eval(0));
+    }
+
+    #[test]
+    fn or_and_duality() {
+        // not(OR(a)) = AND(not a): check via De Morgan on tables.
+        let n = 4;
+        let f = or(n).not();
+        let g = BoolFn::from_fn(n, |a| a == 0);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn threshold_boundaries() {
+        let f = threshold(5, 0);
+        assert!(f.is_constant() && f.eval(0));
+        let f = threshold(5, 6);
+        assert!(f.is_constant() && !f.eval(31));
+        let f = threshold(3, 2);
+        assert!(!f.eval(0b001));
+        assert!(f.eval(0b011));
+    }
+
+    #[test]
+    fn majority_is_self_dual() {
+        let n = 5;
+        let f = majority(n);
+        let full = (1u32 << n) - 1;
+        for a in 0..=full {
+            assert_eq!(f.eval(a), !f.eval(!a & full));
+        }
+    }
+
+    #[test]
+    fn dictator_depends_on_one_variable() {
+        let f = dictator(4, 2);
+        assert!(f.eval(0b0100));
+        assert!(!f.eval(0b1011));
+        assert_eq!(f.sensitivity(), 1);
+    }
+
+    #[test]
+    fn pseudorandom_is_deterministic_and_seed_sensitive() {
+        let f = pseudorandom(6, 1);
+        let g = pseudorandom(6, 1);
+        let h = pseudorandom(6, 2);
+        assert_eq!(f, g);
+        assert_ne!(f, h);
+        // Should be roughly balanced.
+        let ones = f.count_ones();
+        assert!((16..=48).contains(&ones), "suspiciously unbalanced: {ones}/64");
+    }
+}

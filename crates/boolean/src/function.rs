@@ -1,0 +1,268 @@
+//! Boolean functions as explicit truth tables.
+//!
+//! The lower-bound proofs of the paper (Sections 2.5, 3, 7) reason about
+//! boolean functions `f : {0,1}^n -> {0,1}` through their unique integer
+//! polynomial representation (Fact 2.1) and derived quantities — the degree
+//! `deg(f)` and Nisan's certificate complexity `C(f)`. This module provides
+//! the concrete function representation those computations run on.
+//!
+//! Inputs `a ∈ {0,1}^n` are encoded as `u32` bitmasks: bit `i` of the mask
+//! is the value of variable `x_i`.
+
+/// Maximum supported arity. Truth tables are dense (`2^n` entries), so this
+/// is a guard against accidental exponential blowups, not a model limit.
+pub const MAX_VARS: usize = 24;
+
+/// A boolean function on `n` variables, stored as a dense truth table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoolFn {
+    n: usize,
+    /// `table[a]` = f(a) for each assignment bitmask `a < 2^n`.
+    table: Vec<bool>,
+}
+
+impl BoolFn {
+    /// Builds a function from an explicit truth table of length `2^n`.
+    ///
+    /// # Panics
+    /// Panics if the table length is not a power of two `2^n` with
+    /// `n <= MAX_VARS`.
+    pub fn from_table(table: Vec<bool>) -> Self {
+        let len = table.len();
+        assert!(len.is_power_of_two(), "truth table length {len} is not a power of two");
+        let n = len.trailing_zeros() as usize;
+        assert!(n <= MAX_VARS, "arity {n} exceeds MAX_VARS = {MAX_VARS}");
+        BoolFn { n, table }
+    }
+
+    /// Builds a function by evaluating `eval` on every assignment.
+    pub fn from_fn(n: usize, eval: impl Fn(u32) -> bool) -> Self {
+        assert!(n <= MAX_VARS, "arity {n} exceeds MAX_VARS = {MAX_VARS}");
+        BoolFn { n, table: (0..1u32 << n).map(eval).collect() }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.n
+    }
+
+    /// Number of assignments, `2^n`.
+    pub fn domain_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evaluates the function on assignment bitmask `a`.
+    pub fn eval(&self, a: u32) -> bool {
+        self.table[a as usize]
+    }
+
+    /// The truth table, indexed by assignment bitmask.
+    pub fn table(&self) -> &[bool] {
+        &self.table
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> usize {
+        self.table.iter().filter(|&&b| b).count()
+    }
+
+    /// Is this function constant?
+    pub fn is_constant(&self) -> bool {
+        self.table.iter().all(|&b| b == self.table[0])
+    }
+
+    /// Pointwise AND (`f ∧ g`). Panics if arities differ.
+    pub fn and(&self, other: &BoolFn) -> BoolFn {
+        self.zip(other, |a, b| a && b)
+    }
+
+    /// Pointwise OR (`f ∨ g`). Panics if arities differ.
+    pub fn or(&self, other: &BoolFn) -> BoolFn {
+        self.zip(other, |a, b| a || b)
+    }
+
+    /// Pointwise XOR. Panics if arities differ.
+    pub fn xor(&self, other: &BoolFn) -> BoolFn {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Complement (`f̄`).
+    pub fn not(&self) -> BoolFn {
+        BoolFn { n: self.n, table: self.table.iter().map(|&b| !b).collect() }
+    }
+
+    fn zip(&self, other: &BoolFn, op: impl Fn(bool, bool) -> bool) -> BoolFn {
+        assert_eq!(self.n, other.n, "arity mismatch: {} vs {}", self.n, other.n);
+        BoolFn {
+            n: self.n,
+            table: self
+                .table
+                .iter()
+                .zip(other.table.iter())
+                .map(|(&a, &b)| op(a, b))
+                .collect(),
+        }
+    }
+
+    /// Restriction: fixes variable `var` to `value`, producing a function on
+    /// `n - 1` variables (the remaining variables keep their relative
+    /// order). This is the `g ⊆ f` operation of Fact 2.2(4).
+    pub fn restrict(&self, var: usize, value: bool) -> BoolFn {
+        assert!(var < self.n, "variable {var} out of range for arity {}", self.n);
+        let low_mask = (1u32 << var) - 1;
+        let bit = u32::from(value) << var;
+        let table = (0..1u32 << (self.n - 1))
+            .map(|b| {
+                let a = (b & low_mask) | ((b & !low_mask) << 1) | bit;
+                self.table[a as usize]
+            })
+            .collect();
+        BoolFn { n: self.n - 1, table }
+    }
+
+    /// Whether flipping variable `var` at assignment `a` changes the value —
+    /// i.e. `f` is *sensitive* to `var` at `a`.
+    pub fn sensitive_at(&self, a: u32, var: usize) -> bool {
+        assert!(var < self.n);
+        self.eval(a) != self.eval(a ^ (1 << var))
+    }
+
+    /// Sensitivity `s(f, a)`: number of variables `f` is sensitive to at `a`.
+    pub fn sensitivity_at(&self, a: u32) -> usize {
+        (0..self.n).filter(|&i| self.sensitive_at(a, i)).count()
+    }
+
+    /// Sensitivity `s(f) = max_a s(f, a)`.
+    pub fn sensitivity(&self) -> usize {
+        (0..1u32 << self.n).map(|a| self.sensitivity_at(a)).max().unwrap_or(0)
+    }
+
+    /// Influence of variable `i`: the number of inputs at which `f` is
+    /// sensitive to `i` (a count, not a fraction — exact arithmetic).
+    pub fn influence_count(&self, i: usize) -> usize {
+        (0..1u32 << self.n).filter(|&a| self.sensitive_at(a, i)).count()
+    }
+
+    /// Total influence as a count: `Σ_i influence_count(i)`. Dividing by
+    /// `2^n` gives the usual total influence `I(f)`, which equals the
+    /// *average sensitivity* — an identity the tests verify exactly.
+    pub fn total_influence_count(&self) -> usize {
+        (0..self.n).map(|i| self.influence_count(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn from_fn_matches_eval() {
+        let f = BoolFn::from_fn(3, |a| a.count_ones() % 2 == 1);
+        assert_eq!(f.arity(), 3);
+        assert!(f.eval(0b001));
+        assert!(!f.eval(0b011));
+        assert!(f.eval(0b111));
+        assert_eq!(f.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn bad_table_length_panics() {
+        let _ = BoolFn::from_table(vec![true, false, true]);
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let f = families::or(2);
+        let g = families::and(2);
+        assert_eq!(f.and(&g), families::and(2));
+        assert_eq!(f.or(&g), families::or(2));
+        assert_eq!(f.xor(&g), families::parity(2));
+        assert_eq!(f.not().not(), f);
+    }
+
+    #[test]
+    fn restrict_or_gives_constant_or_smaller_or() {
+        let f = families::or(3);
+        // OR with x_1 = 1 is constantly true.
+        let g = f.restrict(1, true);
+        assert_eq!(g.arity(), 2);
+        assert!(g.is_constant() && g.eval(0));
+        // OR with x_1 = 0 is OR on the remaining two variables.
+        let h = f.restrict(1, false);
+        assert_eq!(h, families::or(2));
+    }
+
+    #[test]
+    fn restrict_preserves_variable_order() {
+        // f(x0,x1,x2) = x2; restricting x0 must still select the (new) x1.
+        let f = BoolFn::from_fn(3, |a| a & 0b100 != 0);
+        let g = f.restrict(0, false);
+        assert_eq!(g, BoolFn::from_fn(2, |a| a & 0b10 != 0));
+    }
+
+    #[test]
+    fn parity_is_fully_sensitive_everywhere() {
+        let f = families::parity(5);
+        for a in 0..32 {
+            assert_eq!(f.sensitivity_at(a), 5);
+        }
+        assert_eq!(f.sensitivity(), 5);
+    }
+
+    #[test]
+    fn or_sensitivity_is_n_at_zero() {
+        let f = families::or(4);
+        assert_eq!(f.sensitivity_at(0), 4);
+        // At a weight-2 input, OR is insensitive to every variable.
+        assert_eq!(f.sensitivity_at(0b0011), 0);
+        assert_eq!(f.sensitivity(), 4);
+    }
+
+    #[test]
+    fn total_influence_equals_summed_sensitivity() {
+        // I(f)·2^n = Σ_a s(f, a): an exact identity, checked on every
+        // family and on pseudorandom functions.
+        let mut fns = vec![
+            families::parity(5),
+            families::or(5),
+            families::and(5),
+            families::majority(5),
+        ];
+        for seed in 0..8 {
+            fns.push(families::pseudorandom(5, seed));
+        }
+        for f in &fns {
+            let total: usize = (0..32).map(|a| f.sensitivity_at(a)).sum();
+            assert_eq!(f.total_influence_count(), total);
+        }
+    }
+
+    #[test]
+    fn parity_influences_are_maximal() {
+        let f = families::parity(4);
+        for i in 0..4 {
+            assert_eq!(f.influence_count(i), 16);
+        }
+        assert_eq!(f.total_influence_count(), 64);
+    }
+
+    #[test]
+    fn or_influence_is_concentrated_at_low_weight() {
+        // Variable i flips OR only when all other bits are 0: exactly 2
+        // inputs per variable.
+        let f = families::or(4);
+        for i in 0..4 {
+            assert_eq!(f.influence_count(i), 2);
+        }
+    }
+
+    #[test]
+    fn constant_function_properties() {
+        let f = families::constant(3, true);
+        assert!(f.is_constant());
+        assert_eq!(f.sensitivity(), 0);
+        assert_eq!(f.count_ones(), 8);
+    }
+}

@@ -1,0 +1,37 @@
+//! # parbounds-boolean
+//!
+//! The boolean-function algebra underlying the lower-bound proofs of
+//! MacKenzie & Ramachandran (SPAA 1998), Sections 2.5 and 3:
+//!
+//! * [`BoolFn`] — dense truth-table representation with the operations the
+//!   proofs use (pointwise ∧/∨/¬/⊕, restriction, sensitivity);
+//! * [`IntPoly`] — the unique integer polynomial representation of Fact 2.1
+//!   (Smolensky), computed by a Möbius transform, and the degree `deg(f)`;
+//! * [`certificate_complexity`] — Nisan's certificate complexity `C(f)` and
+//!   the Fact 2.3 check `C(f) ≤ deg(f)^4`;
+//! * [`families`] — Parity, OR and friends.
+//!
+//! These are the quantities tracked by the degree-growth lower bounds
+//! (Theorems 3.1 and 7.2) and the Random Adversary (Claim 5.2); the
+//! `parbounds-adversary` crate consumes them.
+//!
+//! ```
+//! use parbounds_boolean::{families, poly};
+//!
+//! // deg(Parity_n) = n: the fact the Theorem 3.1 lower bound rests on.
+//! assert_eq!(poly::degree(&families::parity(6)), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod certificate;
+pub mod families;
+mod function;
+pub mod poly;
+
+pub use certificate::{
+    block_sensitivity, block_sensitivity_at, certificate_at, certificate_complexity,
+    certificate_set_at,
+};
+pub use function::{BoolFn, MAX_VARS};
+pub use poly::{degree, IntPoly};

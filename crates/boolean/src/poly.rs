@@ -1,0 +1,214 @@
+//! The unique integer polynomial representation of boolean functions
+//! (Fact 2.1, due to Smolensky) and the degree `deg(f)`.
+//!
+//! Every `f ∈ B_n` can be written uniquely as `f = Σ_S α_S(f) · m_S` where
+//! `m_S = Π_{i∈S} x_i` and the `α_S` are integers. The coefficients are the
+//! Möbius transform of the truth table over the subset lattice:
+//! `α_S = Σ_{T ⊆ S} (−1)^{|S|−|T|} f(1_T)`. The degree of `f` is the size of
+//! the largest `S` with `α_S ≠ 0`; it is the quantity the degree-growth
+//! lower-bound arguments of Theorems 3.1 and 7.2 track.
+
+use crate::function::BoolFn;
+
+/// The integer multilinear polynomial of a boolean function.
+///
+/// `coeffs[s]` is `α_S` for the monomial whose variable set is the bitmask
+/// `s` (so `coeffs[0]` is the constant term).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntPoly {
+    n: usize,
+    coeffs: Vec<i64>,
+}
+
+impl IntPoly {
+    /// Computes the unique integer polynomial representation of `f`
+    /// (Fact 2.1) via an in-place Möbius transform over the subset lattice.
+    pub fn of(f: &BoolFn) -> Self {
+        let n = f.arity();
+        let mut coeffs: Vec<i64> = f.table().iter().map(|&b| i64::from(b)).collect();
+        // Möbius transform: for each variable, subtract the "variable off"
+        // half from the "variable on" half.
+        for i in 0..n {
+            let bit = 1usize << i;
+            for s in 0..coeffs.len() {
+                if s & bit != 0 {
+                    coeffs[s] -= coeffs[s ^ bit];
+                }
+            }
+        }
+        IntPoly { n, coeffs }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.n
+    }
+
+    /// Coefficient `α_S` for the monomial with variable-set bitmask `s`.
+    pub fn coeff(&self, s: u32) -> i64 {
+        self.coeffs[s as usize]
+    }
+
+    /// All coefficients, indexed by variable-set bitmask.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// `deg(f)`: the largest `|S|` with `α_S ≠ 0`; 0 for constants
+    /// (including the identically-zero function).
+    pub fn degree(&self) -> usize {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(s, _)| s.count_ones() as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of monomials with non-zero coefficient (sparsity).
+    pub fn num_monomials(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Evaluates the polynomial at assignment bitmask `a`:
+    /// `Σ_{S ⊆ supp(a)} α_S` (the zeta transform at `a`).
+    pub fn eval(&self, a: u32) -> i64 {
+        // Enumerate subsets of `a`.
+        let a = a as usize;
+        let mut sum = self.coeffs[0];
+        if a != 0 {
+            let mut s = a;
+            loop {
+                sum += self.coeffs[s];
+                s = (s - 1) & a;
+                if s == 0 {
+                    break;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Reconstructs the boolean function (inverse transform); useful to
+    /// verify the representation is exact.
+    pub fn to_bool_fn(&self) -> BoolFn {
+        BoolFn::from_fn(self.n, |a| {
+            let v = self.eval(a);
+            debug_assert!(v == 0 || v == 1, "polynomial of a boolean fn must evaluate 0/1");
+            v == 1
+        })
+    }
+}
+
+/// `deg(f)` — convenience wrapper over [`IntPoly::of`].
+pub fn degree(f: &BoolFn) -> usize {
+    IntPoly::of(f).degree()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn parity_polynomial_has_full_degree_and_alternating_coeffs() {
+        // parity(x,y) = x + y - 2xy.
+        let p = IntPoly::of(&families::parity(2));
+        assert_eq!(p.coeff(0b00), 0);
+        assert_eq!(p.coeff(0b01), 1);
+        assert_eq!(p.coeff(0b10), 1);
+        assert_eq!(p.coeff(0b11), -2);
+        assert_eq!(p.degree(), 2);
+        // In general alpha_S = (-2)^{|S|-1} for nonempty S.
+        let p = IntPoly::of(&families::parity(4));
+        for s in 1u32..16 {
+            let k = s.count_ones() as i64;
+            assert_eq!(p.coeff(s), -((-2i64).pow(k as u32)) / 2, "coeff of {s:04b}");
+        }
+    }
+
+    #[test]
+    fn or_polynomial_is_inclusion_exclusion() {
+        // OR(x,y) = x + y - xy.
+        let p = IntPoly::of(&families::or(2));
+        assert_eq!(p.coeff(0b01), 1);
+        assert_eq!(p.coeff(0b10), 1);
+        assert_eq!(p.coeff(0b11), -1);
+        // alpha_S = (-1)^{|S|+1} for nonempty S.
+        let p = IntPoly::of(&families::or(5));
+        for s in 1u32..32 {
+            let k = s.count_ones();
+            assert_eq!(p.coeff(s), if k % 2 == 1 { 1 } else { -1 });
+        }
+    }
+
+    #[test]
+    fn and_polynomial_is_single_monomial() {
+        let p = IntPoly::of(&families::and(6));
+        assert_eq!(p.num_monomials(), 1);
+        assert_eq!(p.coeff(0b111111), 1);
+        assert_eq!(p.degree(), 6);
+    }
+
+    #[test]
+    fn fundamental_degrees() {
+        // deg(parity_n) = n and deg(OR_n) = n: the facts the Parity and OR
+        // lower bounds (Theorems 3.1, 7.2) rest on.
+        for n in 1..=8 {
+            assert_eq!(degree(&families::parity(n)), n, "deg(parity_{n})");
+            assert_eq!(degree(&families::or(n)), n, "deg(or_{n})");
+            assert_eq!(degree(&families::and(n)), n, "deg(and_{n})");
+        }
+        assert_eq!(degree(&families::constant(5, false)), 0);
+        assert_eq!(degree(&families::constant(5, true)), 0);
+        assert_eq!(degree(&families::dictator(5, 3)), 1);
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_function() {
+        for n in 0..=6 {
+            let f = families::majority(n | 1); // odd arity
+            let p = IntPoly::of(&f);
+            assert_eq!(p.to_bool_fn(), f);
+        }
+        // Also an "arbitrary" function.
+        let f =
+            crate::BoolFn::from_fn(5, |a| a.wrapping_mul(2654435761).wrapping_add(a) & 8 != 0);
+        assert_eq!(IntPoly::of(&f).to_bool_fn(), f);
+    }
+
+    #[test]
+    fn eval_agrees_with_truth_table() {
+        let f = families::threshold(5, 3);
+        let p = IntPoly::of(&f);
+        for a in 0..32 {
+            assert_eq!(p.eval(a), i64::from(f.eval(a)));
+        }
+    }
+
+    #[test]
+    fn fact_2_2_degree_laws_hold_exhaustively_for_small_n() {
+        // Fact 2.2: deg(f∧g) <= deg f + deg g, deg(not f) = deg f,
+        // deg(f∨g) <= deg f + deg g, and restriction cannot raise degree.
+        let n = 3;
+        let fns: Vec<crate::BoolFn> = (0..(1u32 << (1 << n)))
+            .step_by(17) // sample the 256 functions sparsely but fixed
+            .map(|code| crate::BoolFn::from_fn(n, |a| code >> a & 1 == 1))
+            .collect();
+        for f in &fns {
+            let df = degree(f);
+            assert_eq!(degree(&f.not()), df, "deg(not f) = deg f");
+            for v in 0..n {
+                for val in [false, true] {
+                    assert!(degree(&f.restrict(v, val)) <= df);
+                }
+            }
+            for g in &fns {
+                let dg = degree(g);
+                assert!(degree(&f.and(g)) <= df + dg);
+                assert!(degree(&f.or(g)) <= df + dg);
+            }
+        }
+    }
+}

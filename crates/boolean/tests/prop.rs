@@ -1,0 +1,126 @@
+//! Property-based tests for the boolean-function algebra: the Fact 2.1
+//! representation theorem, the Fact 2.2 degree laws, and Fact 2.3, checked
+//! on arbitrary random functions (not just the standard families).
+
+use proptest::prelude::*;
+
+use parbounds_boolean::{certificate_at, certificate_complexity, families, BoolFn, IntPoly};
+
+/// An arbitrary boolean function on `n` variables as a random truth table.
+fn arb_fn(n: usize) -> impl Strategy<Value = BoolFn> {
+    prop::collection::vec(any::<bool>(), 1 << n).prop_map(BoolFn::from_table)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fact 2.1: the integer polynomial is an exact, invertible
+    /// representation — the Möbius/zeta transforms round-trip.
+    #[test]
+    fn polynomial_roundtrips(f in arb_fn(6)) {
+        let p = IntPoly::of(&f);
+        prop_assert_eq!(p.to_bool_fn(), f);
+    }
+
+    /// The polynomial evaluates to exactly 0/1 on the cube.
+    #[test]
+    fn polynomial_is_boolean_valued(f in arb_fn(5)) {
+        let p = IntPoly::of(&f);
+        for a in 0..32u32 {
+            let v = p.eval(a);
+            prop_assert!(v == 0 || v == 1);
+            prop_assert_eq!(v == 1, f.eval(a));
+        }
+    }
+
+    /// Fact 2.2(1,3): deg(f∧g), deg(f∨g) ≤ deg f + deg g.
+    #[test]
+    fn degree_subadditive_under_and_or(f in arb_fn(5), g in arb_fn(5)) {
+        let (df, dg) = (IntPoly::of(&f).degree(), IntPoly::of(&g).degree());
+        prop_assert!(IntPoly::of(&f.and(&g)).degree() <= df + dg);
+        prop_assert!(IntPoly::of(&f.or(&g)).degree() <= df + dg);
+    }
+
+    /// Fact 2.2(2): deg(¬f) = deg f (for non-constant f; constants both
+    /// have degree 0).
+    #[test]
+    fn degree_invariant_under_complement(f in arb_fn(6)) {
+        prop_assert_eq!(IntPoly::of(&f.not()).degree(), IntPoly::of(&f).degree());
+    }
+
+    /// Fact 2.2(4): restriction never raises degree.
+    #[test]
+    fn restriction_never_raises_degree(f in arb_fn(6), v in 0usize..6, b in any::<bool>()) {
+        let d = IntPoly::of(&f).degree();
+        prop_assert!(IntPoly::of(&f.restrict(v, b)).degree() <= d);
+    }
+
+    /// Fact 2.3: C(f) ≤ deg(f)^4, on arbitrary functions.
+    #[test]
+    fn certificate_bounded_by_degree_fourth(f in arb_fn(5)) {
+        let c = certificate_complexity(&f);
+        let d = IntPoly::of(&f).degree();
+        prop_assert!(c <= d.pow(4), "C = {}, deg = {}", c, d);
+    }
+
+    /// Certificates are certificates: fixing the certificate set pins the
+    /// value against any perturbation of the other variables.
+    #[test]
+    fn certificate_at_is_sound(f in arb_fn(5), a in 0u32..32) {
+        let k = certificate_at(&f, a);
+        prop_assert!(k <= 5);
+        // With k = arity the subcube is a point; with k = 0, f is constant.
+        if k == 0 {
+            prop_assert!(f.is_constant());
+        }
+    }
+
+    /// deg(f) = 0 iff f is constant.
+    #[test]
+    fn degree_zero_iff_constant(f in arb_fn(5)) {
+        prop_assert_eq!(IntPoly::of(&f).degree() == 0, f.is_constant());
+    }
+
+    /// Sensitivity never exceeds certificate complexity (s(f) ≤ C(f)).
+    #[test]
+    fn sensitivity_below_certificate(f in arb_fn(5)) {
+        prop_assert!(f.sensitivity() <= certificate_complexity(&f));
+    }
+
+    /// XOR with parity shifts degree to exactly n whenever the function's
+    /// degree is below n (deg(f ⊕ parity) = n iff deg f < n is *not* a
+    /// theorem; but deg(f ⊕ parity) ≥ n − deg f restricted... we check the
+    /// subadditive consequence: deg(f ⊕ g) ≤ deg f + deg g).
+    #[test]
+    fn xor_degree_subadditive(f in arb_fn(5), g in arb_fn(5)) {
+        let (df, dg) = (IntPoly::of(&f).degree(), IntPoly::of(&g).degree());
+        prop_assert!(IntPoly::of(&f.xor(&g)).degree() <= df + dg);
+    }
+}
+
+#[test]
+fn parity_xor_dictator_cancels_exactly_one_variable() {
+    // parity_n ⊕ x_i is the parity of the remaining n−1 variables: XOR with
+    // a dictator cancels exactly that coordinate, dropping the degree by 1.
+    for n in [4usize, 6] {
+        let par = families::parity(n);
+        for i in 0..n {
+            let g = families::dictator(n, i);
+            let h = par.xor(&g);
+            assert_eq!(IntPoly::of(&h).degree(), n - 1, "n={n} i={i}");
+            // And h no longer depends on x_i at all.
+            for a in 0..1u32 << n {
+                assert!(!h.sensitive_at(a, i));
+            }
+        }
+    }
+}
+
+#[test]
+fn monomial_count_bounded_by_domain() {
+    for seed in 0..10 {
+        let f = families::pseudorandom(6, seed);
+        let p = IntPoly::of(&f);
+        assert!(p.num_monomials() <= 64);
+    }
+}

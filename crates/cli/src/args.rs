@@ -1,0 +1,96 @@
+//! Minimal flag parsing (`--key value` pairs after a subcommand) — no
+//! external dependency needed for five subcommands.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand plus `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`-style input (program name already stripped).
+    pub fn parse<I: IntoIterator<Item = String>>(input: I) -> Result<Args, String> {
+        let mut it = input.into_iter();
+        let command = it.next().unwrap_or_default();
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{tok}'"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A u64 flag with a default.
+    pub fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// A usize flag with a default.
+    pub fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        self.u64(key, default as u64).map(|v| v as usize)
+    }
+
+    /// A string flag with a default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Flags the caller never consumed (likely typos).
+    pub fn assert_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k} (expected one of {known:?})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = parse("run --n 1024 --model sqsm").unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.usize("n", 0).unwrap(), 1024);
+        assert_eq!(a.str("model", "qsm"), "sqsm");
+        assert_eq!(a.u64("g", 8).unwrap(), 8);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("run n 1024").is_err());
+        assert!(parse("run --n").is_err());
+        assert!(parse("run --n x").unwrap().u64("n", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let a = parse("run --bogus 1").unwrap();
+        assert!(a.assert_known(&["n", "g"]).is_err());
+        let a = parse("run --n 4").unwrap();
+        assert!(a.assert_known(&["n", "g"]).is_ok());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_command() {
+        let a = parse("").unwrap();
+        assert_eq!(a.command, "");
+    }
+}

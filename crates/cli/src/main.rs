@@ -1,0 +1,377 @@
+//! `parbounds` — run the SPAA'98 algorithms on the model simulators from
+//! the command line and compare against the Table 1 bounds.
+//!
+//! ```text
+//! parbounds tables    [--n N --g G --l L --p P]
+//! parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp
+//!                     [--n N --g G --l L --p P --seed S]
+//! parbounds audit     [--r R --alpha A --beta B]
+//! parbounds adversary [--n N --mu MU --trials T]
+//! parbounds emulate   [--n N --p P --g G --l L]
+//! ```
+
+mod args;
+
+use args::Args;
+
+use parbounds::adversary::{
+    audit_parity_program, or_success_rate, probe_k_or, DegreeAudit, OrDistribution,
+};
+use parbounds::algo::{
+    bsp_algos, emulation, gsm_algos, lac, or_tree, parity, reduce, workloads,
+};
+use parbounds::models::{
+    BspMachine, GsmEnv, GsmFnProgram, GsmMachine, GsmProgram, QsmMachine, Status, Word,
+};
+use parbounds::tables::{
+    best_lower_bound, render_rounds_table, render_time_table, upper_bound_time, Metric, Mode,
+    Model, Params, Problem,
+};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  parbounds tables    [--n N --g G --l L --p P]
+  parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp \\
+                      [--n N --g G --l L --p P --seed S]
+  parbounds audit     [--r R --alpha A --beta B]
+  parbounds adversary [--n N --mu MU --trials T]
+  parbounds emulate   [--n N --p P --g G --l L]"
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "tables" => cmd_tables(&args),
+        "run" => cmd_run(&args),
+        "audit" => cmd_audit(&args),
+        "adversary" => cmd_adversary(&args),
+        "emulate" => cmd_emulate(&args),
+        "" | "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn cmd_tables(args: &Args) -> Result<(), String> {
+    args.assert_known(&["n", "g", "l", "p"])?;
+    let n = args.u64("n", 1 << 20)? as f64;
+    let g = args.u64("g", 8)? as f64;
+    let l = args.u64("l", 64)? as f64;
+    let p = args.u64("p", 4096)? as f64;
+    let pr = Params { n, g, l, p };
+    println!("{}", render_time_table(Model::Qsm, &pr));
+    println!();
+    println!("{}", render_time_table(Model::SQsm, &pr));
+    println!();
+    println!("{}", render_time_table(Model::Bsp, &pr));
+    println!();
+    println!("{}", render_rounds_table(&pr));
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    args.assert_known(&["problem", "model", "n", "g", "l", "p", "seed"])?;
+    let n = args.usize("n", 4096)?;
+    let g = args.u64("g", 8)?;
+    let l = args.u64("l", 8 * g)?;
+    let p = args.usize("p", 64)?;
+    let seed = args.u64("seed", 42)?;
+    let problem = args.str("problem", "parity");
+    let model = args.str("model", "qsm");
+
+    let bits = workloads::random_bits(n, seed);
+    let items = workloads::sparse_items(n, (n / 8).max(1), seed);
+
+    let (value, time, phases, algo): (Word, u64, usize, &str) = match (problem.as_str(), model.as_str()) {
+        ("parity", "qsm") => {
+            let m = QsmMachine::qsm(g);
+            let k = parity::parity_helper_default_k(&m);
+            let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.phases(), "pattern-helper")
+        }
+        ("parity", "qsm-cr") => {
+            let m = QsmMachine::qsm_unit_cr(g);
+            let k = parity::parity_helper_default_k(&m);
+            let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.phases(), "pattern-helper (unit CR)")
+        }
+        ("parity", "sqsm") => {
+            let m = QsmMachine::sqsm(g);
+            let o = reduce::parity_read_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.phases(), "binary read tree")
+        }
+        ("parity", "gsm") => {
+            let m = GsmMachine::new(1, g, 1);
+            let o = gsm_algos::gsm_parity(&m, &bits).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.ledger.num_phases(), "strong-queuing tree")
+        }
+        ("parity", "bsp") => {
+            let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+            let o = bsp_algos::bsp_parity(&m, &bits).map_err(|e| e.to_string())?;
+            (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
+        }
+        ("or", "qsm") => {
+            let m = QsmMachine::qsm(g);
+            let o = or_tree::or_write_tree(&m, &bits, g as usize).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.phases(), "write-combining tree")
+        }
+        ("or", "sqsm") => {
+            let m = QsmMachine::sqsm(g);
+            let o = or_tree::or_write_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.phases(), "binary write tree")
+        }
+        ("or", "gsm") => {
+            let m = GsmMachine::new(1, g, 1);
+            let o = gsm_algos::gsm_or(&m, &bits).map_err(|e| e.to_string())?;
+            (o.value, o.run.time(), o.run.ledger.num_phases(), "strong-queuing tree")
+        }
+        ("or", "bsp") => {
+            let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+            let o = bsp_algos::bsp_or(&m, &bits).map_err(|e| e.to_string())?;
+            (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
+        }
+        ("lac", "qsm" | "sqsm") => {
+            let m = if model == "qsm" { QsmMachine::qsm(g) } else { QsmMachine::sqsm(g) };
+            let o = lac::lac_dart(&m, &items, (n / 8).max(1), seed).map_err(|e| e.to_string())?;
+            if !o.verify(&items) {
+                return Err("LAC verification failed".into());
+            }
+            let placed = o.dest().iter().filter(|&&v| v != 0).count() as Word;
+            (placed, o.run.time(), o.run.phases(), "dart-throwing")
+        }
+        ("lac", "bsp") => {
+            let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+            let o = bsp_algos::bsp_lac_dart(&m, &items, (n / 8).max(1), seed)
+                .map_err(|e| e.to_string())?;
+            if !o.verify(&items) {
+                return Err("BSP LAC verification failed".into());
+            }
+            (o.placed.len() as Word, o.ledger.total_time(), o.ledger.num_phases(), "message darts")
+        }
+        (pb, md) => return Err(format!("no algorithm for problem '{pb}' on model '{md}'")),
+    };
+
+    println!("problem   : {problem} (n = {n})");
+    println!("model     : {model} (g = {g}{})", if model == "bsp" { format!(", L = {l}, p = {p}") } else { String::new() });
+    println!("algorithm : {algo}");
+    println!("result    : {value}");
+    println!("model time: {time}   phases/supersteps: {phases}");
+
+    // Bound context where the registry covers the model.
+    let table_model = match model.as_str() {
+        "qsm" | "qsm-cr" => Some(Model::Qsm),
+        "sqsm" => Some(Model::SQsm),
+        "bsp" => Some(Model::Bsp),
+        _ => None,
+    };
+    let table_problem = match problem.as_str() {
+        "parity" => Problem::Parity,
+        "or" => Problem::Or,
+        _ => Problem::Lac,
+    };
+    if let Some(tm) = table_model {
+        let pr = Params { n: n as f64, g: g as f64, l: l as f64, p: p as f64 };
+        if let Some(lb) = best_lower_bound(table_problem, tm, Mode::Deterministic, Metric::Time, &pr) {
+            println!("det LB    : {lb:.1}");
+        }
+        if let Some(lb) = best_lower_bound(table_problem, tm, Mode::Randomized, Metric::Time, &pr) {
+            println!("rand LB   : {lb:.1}");
+        }
+        if let Some(ub) = upper_bound_time(table_problem, tm, &pr) {
+            println!("UB formula: {ub:.1}   measured/UB = {:.2}", time as f64 / ub);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    args.assert_known(&["r", "alpha", "beta"])?;
+    let r = args.usize("r", 8)?;
+    if r > 14 {
+        return Err("--r must be <= 14 (exhaustive over 2^r inputs)".into());
+    }
+    let alpha = args.u64("alpha", 1)?;
+    let beta = args.u64("beta", 1)?;
+    let machine = GsmMachine::new(alpha, beta, 1);
+    let (prog, out) = tree_parity(r);
+    drop(prog);
+    let report = audit_parity_program(&machine, || tree_parity(r).0, out, r)
+        .map_err(|e| e.to_string())?;
+    println!("degree audit: tree parity, r = {r}, GSM({alpha}, {beta}, 1)");
+    println!("correct on all 2^{r} inputs : {}", report.correct);
+    println!(
+        "degree cap log2(b_l)       : {:.2} (needs >= log2 r = {:.2}) -> {}",
+        report.worst.final_log2_cap(),
+        (r as f64).log2(),
+        if report.worst.supports_degree(r) { "OK" } else { "VIOLATION" }
+    );
+    println!(
+        "measured worst time        : {} (Theorem 3.1 value {:.2})",
+        report.max_time,
+        DegreeAudit::theorem_3_1_bound(machine.mu(), r)
+    );
+    Ok(())
+}
+
+fn cmd_adversary(args: &Args) -> Result<(), String> {
+    args.assert_known(&["n", "mu", "trials"])?;
+    let n = args.usize("n", 1 << 12)?;
+    let mu = args.u64("mu", 2)?;
+    let trials = args.usize("trials", 3000)?;
+    let dist = OrDistribution::new(n, mu, 1);
+    println!("OR adversary: n = {n}, mu = {mu}, {} mixture components", dist.num_components());
+    let honest = |input: &[Word]| Word::from(input.iter().any(|&b| b != 0));
+    println!("honest OR        : {:.3}", or_success_rate(honest, &dist, trials, 1));
+    for k in [1usize, 4, 16, 64, n / 4] {
+        println!(
+            "probe {k:>6}     : {:.3}",
+            or_success_rate(probe_k_or(k), &dist, trials, k as u64)
+        );
+    }
+    println!("constant 0       : {:.3}", or_success_rate(|_| 0, &dist, trials, 9));
+    Ok(())
+}
+
+fn cmd_emulate(args: &Args) -> Result<(), String> {
+    args.assert_known(&["n", "p", "g", "l"])?;
+    let n = args.usize("n", 256)?;
+    let p = args.usize("p", 8)?;
+    let g = args.u64("g", 2)?;
+    let l = args.u64("l", 16)?;
+    let bits = workloads::random_bits(n, 7);
+    let expected = bits.iter().sum::<Word>() % 2;
+    let probe = QsmMachine::qsm(g);
+    let bsp = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+    // Emulate the s-QSM binary-tree parity program... use the read tree via
+    // a simple tournament (same program the emulation tests use).
+    let prog = tournament_parity(n);
+    let out = emulation::emulate_qsm_on_bsp(&bsp, &probe, &prog, &bits)
+        .map_err(|e| e.to_string())?;
+    println!("QSM-on-BSP emulation: tournament parity, n = {n}, BSP({p}, {g}, {l})");
+    println!("emulated result : {} (expected {expected})", out.get(2 * n));
+    println!("QSM phases      : {}   native QSM time: {}", out.qsm_phases, out.qsm_time);
+    println!(
+        "BSP supersteps  : {}   emulated BSP time: {} ({}x native)",
+        out.ledger.num_phases(),
+        out.bsp_time(),
+        out.bsp_time() / out.qsm_time.max(1)
+    );
+    if out.get(2 * n) != expected {
+        return Err("emulated result mismatch".into());
+    }
+    Ok(())
+}
+
+/// Fan-in-2 GSM tree parity used by the audit subcommand.
+fn tree_parity(r: usize) -> (impl GsmProgram<Proc = ()> + use<>, usize) {
+    let mut nodes = Vec::new();
+    let mut bases = vec![0usize];
+    let (mut width, mut next, mut level, mut out) = (r, r, 1usize, 0usize);
+    while width > 1 {
+        let w2 = width.div_ceil(2);
+        bases.push(next);
+        out = next;
+        for j in 0..w2 {
+            nodes.push((level, j, width));
+        }
+        next += w2;
+        width = w2;
+        level += 1;
+    }
+    let prog = GsmFnProgram::new(
+        nodes.len().max(1),
+        move |_| (),
+        move |pid, _, env: &mut GsmEnv<'_>| {
+            let (level, j, prev_width) = nodes[pid];
+            let read_phase = 2 * (level - 1);
+            match env.phase() {
+                t if t < read_phase => Status::Active,
+                t if t == read_phase => {
+                    env.read(bases[level - 1] + 2 * j);
+                    if 2 * j + 1 < prev_width {
+                        env.read(bases[level - 1] + 2 * j + 1);
+                    }
+                    Status::Active
+                }
+                _ => {
+                    let x: Word = env
+                        .delivered()
+                        .iter()
+                        .map(|(_, c)| c.iter().fold(0, |a, &b| a ^ (b & 1)))
+                        .fold(0, |a, b| a ^ b);
+                    env.write(bases[level] + j, x);
+                    Status::Done
+                }
+            }
+        },
+    );
+    (prog, out)
+}
+
+/// QSM tournament parity (result at cell 2n) — the emulation demo program.
+fn tournament_parity(n: usize) -> impl parbounds::models::Program<Proc = Word> {
+    use parbounds::models::{FnProgram, PhaseEnv};
+    let rounds = {
+        let mut l = 0;
+        let mut w = n.max(1);
+        while w > 1 {
+            w = w.div_ceil(2);
+            l += 1;
+        }
+        l
+    };
+    FnProgram::new(
+        n.max(1),
+        |_| 0 as Word,
+        move |pid, st: &mut Word, env: &mut PhaseEnv<'_>| {
+            let t = env.phase();
+            if t == 0 {
+                env.read(pid);
+                return Status::Active;
+            }
+            if t == 1 {
+                *st = env.delivered()[0].1 & 1;
+                env.write(n + pid, *st);
+                return if pid < n.div_ceil(2) { Status::Active } else { Status::Done };
+            }
+            let r = t / 2;
+            let width = n.div_ceil(1 << r);
+            let prev_width = n.div_ceil(1 << (r - 1));
+            if t % 2 == 0 {
+                let partner = pid + width;
+                if partner < prev_width {
+                    env.read(n + partner);
+                }
+                Status::Active
+            } else {
+                if let Some(&(_, v)) = env.delivered().first() {
+                    *st ^= v & 1;
+                }
+                env.write(n + pid, *st);
+                if r >= rounds {
+                    env.write(2 * n, *st);
+                    Status::Done
+                } else if pid < n.div_ceil(1 << (r + 1)) {
+                    Status::Active
+                } else {
+                    Status::Done
+                }
+            }
+        },
+    )
+}

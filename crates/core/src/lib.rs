@@ -1,0 +1,54 @@
+//! # parbounds
+//!
+//! A reproduction of MacKenzie & Ramachandran, *Computational Bounds for
+//! Fundamental Problems on General-Purpose Parallel Models* (SPAA 1998), as
+//! a runnable system:
+//!
+//! * cost-exact simulators for the QSM, s-QSM, GSM and BSP models
+//!   ([`models`]);
+//! * implementations of every Section 8 upper-bound algorithm ([`algo`]);
+//! * executable lower-bound machinery — degree auditors, the Random
+//!   Adversary, Yao's principle ([`adversary`]), on the boolean-function
+//!   algebra of [`boolean`];
+//! * the full Table 1 bound registry and the Claim 2.1/2.2 GSM mappings
+//!   ([`tables`]);
+//! * the [`experiment`] runner that regenerates each sub-table with
+//!   measured-vs-bound columns (driven by the `parbounds-bench` binaries).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parbounds::models::QsmMachine;
+//! use parbounds::algo::{or_tree, workloads};
+//! use parbounds::tables::{best_lower_bound, Metric, Mode, Model, Params, Problem};
+//!
+//! // Run the Section 8 QSM OR algorithm on a 1024-bit input with g = 8 …
+//! let machine = QsmMachine::qsm(8);
+//! let bits = workloads::random_bits(1024, 42);
+//! let out = or_tree::or_write_tree(&machine, &bits, 8).unwrap();
+//!
+//! // … and compare its measured cost with the Table 1 lower bound.
+//! let params = Params::qsm(1024.0, 8.0);
+//! let lb = best_lower_bound(Problem::Or, Model::Qsm, Mode::Deterministic,
+//!                           Metric::Time, &params).unwrap();
+//! assert!(out.run.time() as f64 >= lb);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+pub mod sweep;
+
+pub use parbounds_adversary as adversary;
+pub use parbounds_algo as algo;
+pub use parbounds_boolean as boolean;
+pub use parbounds_models as models;
+pub use parbounds_tables as tables;
+
+pub use experiment::{
+    bsp_time_row, load_balance_row, padded_sort_row, qsm_time_row, qsm_unit_cr_parity,
+    rounds_row, sqsm_time_row, RelatedRow, RoundsRow, TableRow,
+};
+pub use report::{generate_report, ReportOptions};
+pub use sweep::{grid, qsm_shape_sweep, sqsm_shape_sweep, Flatness, Point};

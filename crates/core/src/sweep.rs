@@ -1,0 +1,149 @@
+//! Parameter-sweep helpers: cartesian sweeps over `(n, g, L, p)` points and
+//! the *flatness* statistic the shape checks rest on (`measured/formula`
+//! constant across a sweep ⇔ the claimed asymptotic shape is realized).
+
+use parbounds_models::Result;
+use parbounds_tables::Problem;
+
+use crate::experiment::{qsm_time_row, sqsm_time_row, TableRow};
+
+/// A sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Input size.
+    pub n: usize,
+    /// Gap.
+    pub g: u64,
+    /// BSP latency.
+    pub l: u64,
+    /// Processors.
+    pub p: usize,
+}
+
+/// The cartesian product of the given axes (l fixed to `8·g`, p to `n`
+/// unless overridden later — the shared-memory default).
+pub fn grid(ns: &[usize], gs: &[u64]) -> Vec<Point> {
+    let mut out = Vec::with_capacity(ns.len() * gs.len());
+    for &n in ns {
+        for &g in gs {
+            out.push(Point { n, g, l: 8 * g, p: n });
+        }
+    }
+    out
+}
+
+/// Summary statistics of a ratio column.
+#[derive(Debug, Clone, Copy)]
+pub struct Flatness {
+    /// Smallest ratio in the sweep.
+    pub min: f64,
+    /// Largest ratio.
+    pub max: f64,
+    /// Geometric mean.
+    pub geo_mean: f64,
+}
+
+impl Flatness {
+    /// Computes the statistics of a non-empty ratio list.
+    pub fn of(ratios: &[f64]) -> Flatness {
+        assert!(!ratios.is_empty(), "no ratios to summarize");
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let geo_mean =
+            (ratios.iter().map(|r| r.max(1e-300).ln()).sum::<f64>() / ratios.len() as f64).exp();
+        Flatness { min, max, geo_mean }
+    }
+
+    /// `max/min` — 1.0 means perfectly flat.
+    pub fn spread(&self) -> f64 {
+        self.max / self.min
+    }
+
+    /// Is the sweep flat within the multiplicative factor `tol`?
+    pub fn is_flat(&self, tol: f64) -> bool {
+        self.spread() <= tol
+    }
+}
+
+/// Runs a QSM-time sweep for `problem` and returns the rows plus the
+/// flatness of `measured/upper-formula`.
+pub fn qsm_shape_sweep(
+    problem: Problem,
+    points: &[Point],
+    seed: u64,
+) -> Result<(Vec<TableRow>, Flatness)> {
+    let rows: Vec<TableRow> = points
+        .iter()
+        .map(|pt| qsm_time_row(problem, pt.n, pt.g, seed))
+        .collect::<Result<_>>()?;
+    let ratios: Vec<f64> = rows.iter().map(|r| r.shape_ratio().unwrap()).collect();
+    let flat = Flatness::of(&ratios);
+    Ok((rows, flat))
+}
+
+/// The s-QSM analogue of [`qsm_shape_sweep`].
+pub fn sqsm_shape_sweep(
+    problem: Problem,
+    points: &[Point],
+    seed: u64,
+) -> Result<(Vec<TableRow>, Flatness)> {
+    let rows: Vec<TableRow> = points
+        .iter()
+        .map(|pt| sqsm_time_row(problem, pt.n, pt.g, seed))
+        .collect::<Result<_>>()?;
+    let ratios: Vec<f64> = rows.iter().map(|r| r.shape_ratio().unwrap()).collect();
+    let flat = Flatness::of(&ratios);
+    Ok((rows, flat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_cartesian() {
+        let g = grid(&[16, 64], &[2, 4, 8]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], Point { n: 16, g: 2, l: 16, p: 16 });
+        assert_eq!(g[5], Point { n: 64, g: 8, l: 64, p: 64 });
+    }
+
+    #[test]
+    fn flatness_statistics() {
+        let f = Flatness::of(&[2.0, 4.0]);
+        assert_eq!(f.min, 2.0);
+        assert_eq!(f.max, 4.0);
+        assert!((f.geo_mean - 8f64.sqrt()).abs() < 1e-12);
+        assert_eq!(f.spread(), 2.0);
+        assert!(f.is_flat(2.0));
+        assert!(!f.is_flat(1.9));
+    }
+
+    #[test]
+    fn qsm_parity_sweep_is_flat() {
+        let points = grid(&[1 << 8, 1 << 11], &[2, 8]);
+        let (rows, flat) = qsm_shape_sweep(Problem::Parity, &points, 1).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(flat.is_flat(2.0), "spread {}", flat.spread());
+        // Every measured value dominates the deterministic lower bound.
+        for r in &rows {
+            assert!(r.measured_respects_lower_bound(false, 1.0));
+        }
+    }
+
+    #[test]
+    fn sqsm_lac_sweep_tracks_the_lower_bound_shape() {
+        let points = grid(&[1 << 10, 1 << 13], &[2, 8]);
+        let (rows, _) = sqsm_shape_sweep(Problem::Lac, &points, 2).unwrap();
+        // measured / (g·loglog n) flat: the accelerated LAC result.
+        let ratios: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                let loglog = (r.params.n.log2()).log2();
+                r.measured.unwrap() / (r.params.g * loglog)
+            })
+            .collect();
+        let flat = Flatness::of(&ratios);
+        assert!(flat.is_flat(2.0), "spread {}", flat.spread());
+    }
+}

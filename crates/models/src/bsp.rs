@@ -1,0 +1,398 @@
+//! The Bulk-Synchronous Parallel (BSP) model of Valiant (Section 2.1.3).
+//!
+//! `p` processor/memory components communicate by point-to-point messages.
+//! A computation is a sequence of supersteps; messages sent in a superstep
+//! arrive before the next superstep starts. With `w` the maximum local work,
+//! `h` the maximum number of messages sent or received by any component
+//! (the superstep routes an `h`-relation), the superstep costs
+//! `max(w, g·h, L)`. The paper assumes `L ≥ g` throughout, and so does this
+//! machine. Input is partitioned uniformly: component `i` is assigned either
+//! `⌈n/p⌉` or `⌊n/p⌋` inputs.
+
+use crate::cost::{CostLedger, PhaseCost};
+use crate::error::{ModelError, Result};
+use crate::shared::{Status, Word};
+
+/// A point-to-point message. `tag` lets algorithms multiplex message kinds
+/// or carry addresses; `value` is the payload word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending component.
+    pub src: usize,
+    /// Algorithm-chosen tag.
+    pub tag: Word,
+    /// Payload.
+    pub value: Word,
+}
+
+/// Per-component view of one superstep.
+#[derive(Debug)]
+pub struct Superstep<'a> {
+    step: usize,
+    inbox: &'a [Msg],
+    pub(crate) outbox: Vec<(usize, Msg)>,
+    pub(crate) ops: u64,
+}
+
+impl<'a> Superstep<'a> {
+    fn new(step: usize, inbox: &'a [Msg]) -> Self {
+        Superstep { step, inbox, outbox: Vec::new(), ops: 0 }
+    }
+
+    /// Index of the current superstep (0-based).
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Messages that arrived from the previous superstep, sorted by
+    /// `(src, tag)` for determinism (the BSP delivers in arbitrary order;
+    /// algorithms must not rely on arrival order, and the deterministic
+    /// sort makes runs reproducible).
+    pub fn inbox(&self) -> &[Msg] {
+        self.inbox
+    }
+
+    /// Send a message to component `dest`, arriving next superstep.
+    pub fn send(&mut self, dest: usize, tag: Word, value: Word) {
+        self.outbox.push((dest, Msg { src: usize::MAX, tag, value }));
+    }
+
+    /// Charge `k` units of local computation (`w_i`). Sends and receives
+    /// are charged one op each automatically.
+    pub fn local_ops(&mut self, k: u64) {
+        self.ops += k;
+    }
+}
+
+/// A BSP program: per-component state initialized from the component's
+/// input partition, advanced one superstep at a time.
+pub trait BspProgram {
+    /// Per-component private state.
+    type Proc;
+
+    /// Create component `pid`'s state from its slice of the input.
+    fn create(&self, pid: usize, local_input: &[Word]) -> Self::Proc;
+
+    /// Execute one superstep for component `pid`.
+    fn superstep(&self, pid: usize, state: &mut Self::Proc, ctx: &mut Superstep<'_>) -> Status;
+}
+
+/// A BSP program defined by closures.
+pub struct BspFnProgram<S, I, F>
+where
+    I: Fn(usize, &[Word]) -> S,
+    F: Fn(usize, &mut S, &mut Superstep<'_>) -> Status,
+{
+    init: I,
+    step: F,
+}
+
+impl<S, I, F> BspFnProgram<S, I, F>
+where
+    I: Fn(usize, &[Word]) -> S,
+    F: Fn(usize, &mut S, &mut Superstep<'_>) -> Status,
+{
+    /// Builds a closure-backed BSP program.
+    pub fn new(init: I, step: F) -> Self {
+        BspFnProgram { init, step }
+    }
+}
+
+impl<S, I, F> BspProgram for BspFnProgram<S, I, F>
+where
+    I: Fn(usize, &[Word]) -> S,
+    F: Fn(usize, &mut S, &mut Superstep<'_>) -> Status,
+{
+    type Proc = S;
+
+    fn create(&self, pid: usize, local_input: &[Word]) -> S {
+        (self.init)(pid, local_input)
+    }
+
+    fn superstep(&self, pid: usize, state: &mut S, ctx: &mut Superstep<'_>) -> Status {
+        (self.step)(pid, state, ctx)
+    }
+}
+
+/// Outcome of a BSP run.
+#[derive(Debug)]
+pub struct BspRunResult<S> {
+    /// Final per-component states (the distributed "output memory").
+    pub states: Vec<S>,
+    /// Per-superstep cost records.
+    pub ledger: CostLedger,
+}
+
+impl<S> BspRunResult<S> {
+    /// Total BSP time.
+    pub fn time(&self) -> u64 {
+        self.ledger.total_time()
+    }
+
+    /// Number of supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.ledger.num_phases()
+    }
+}
+
+/// The BSP machine: `p` components, bandwidth gap `g`, latency `L ≥ g`.
+#[derive(Debug, Clone)]
+pub struct BspMachine {
+    p: usize,
+    g: u64,
+    l: u64,
+    max_steps: usize,
+}
+
+impl BspMachine {
+    /// A BSP(p, g, L). Fails if `p = 0` or `L < g` (the paper assumes
+    /// `L ≥ g` throughout).
+    pub fn new(p: usize, g: u64, l: u64) -> Result<Self> {
+        if p == 0 {
+            return Err(ModelError::BadConfig("BSP needs at least one component".into()));
+        }
+        let g = g.max(1);
+        if l < g {
+            return Err(ModelError::BadConfig(format!("BSP requires L >= g (got L={l}, g={g})")));
+        }
+        Ok(BspMachine { p, g, l, max_steps: 1 << 20 })
+    }
+
+    /// Sets the runaway-protection superstep limit.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Number of components.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Bandwidth gap `g`.
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// Latency / synchronization parameter `L`.
+    pub fn l(&self) -> u64 {
+        self.l
+    }
+
+    /// Superstep cost `max(w, g·h, L)`.
+    pub fn superstep_cost(&self, w: u64, h: u64) -> u64 {
+        w.max(self.g * h).max(self.l)
+    }
+
+    /// Partitions `input` uniformly: component `i` gets a contiguous slice
+    /// of size `⌈n/p⌉` or `⌊n/p⌋` (the first `n mod p` components get the
+    /// larger share).
+    pub fn partition<'a>(&self, input: &'a [Word]) -> Vec<&'a [Word]> {
+        let n = input.len();
+        let base = n / self.p;
+        let extra = n % self.p;
+        let mut out = Vec::with_capacity(self.p);
+        let mut at = 0;
+        for i in 0..self.p {
+            let len = base + usize::from(i < extra);
+            out.push(&input[at..at + len]);
+            at += len;
+        }
+        out
+    }
+
+    /// Runs `program` on `input` partitioned across the components.
+    pub fn run<P: BspProgram>(&self, program: &P, input: &[Word]) -> Result<BspRunResult<P::Proc>> {
+        let parts = self.partition(input);
+        let mut states: Vec<P::Proc> =
+            parts.iter().enumerate().map(|(pid, sl)| program.create(pid, sl)).collect();
+        let mut active = vec![true; self.p];
+        let mut inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
+        let mut ledger = CostLedger::new();
+
+        let mut step_no = 0usize;
+        while active.iter().any(|&a| a) {
+            if step_no >= self.max_steps {
+                return Err(ModelError::PhaseLimitExceeded { limit: self.max_steps });
+            }
+            let mut next_inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
+            let mut w: u64 = 0;
+            let mut max_sent: u64 = 0;
+            let mut received: Vec<u64> = vec![0; self.p];
+
+            for pid in 0..self.p {
+                if !active[pid] {
+                    continue;
+                }
+                let inbox = std::mem::take(&mut inboxes[pid]);
+                let mut ctx = Superstep::new(step_no, &inbox);
+                let status = program.superstep(pid, &mut states[pid], &mut ctx);
+
+                let sent = ctx.outbox.len() as u64;
+                let recv = inbox.len() as u64;
+                w = w.max(ctx.ops + sent + recv);
+                max_sent = max_sent.max(sent);
+
+                for (dest, mut msg) in ctx.outbox {
+                    if dest >= self.p {
+                        return Err(ModelError::BadProcessor { pid: dest, num_procs: self.p });
+                    }
+                    msg.src = pid;
+                    received[dest] += 1;
+                    next_inboxes[dest].push(msg);
+                }
+                if status == Status::Done {
+                    active[pid] = false;
+                }
+            }
+
+            for ib in next_inboxes.iter_mut() {
+                ib.sort_unstable_by_key(|m| (m.src, m.tag));
+            }
+
+            let h = max_sent.max(received.iter().copied().max().unwrap_or(0));
+            let cost = self.superstep_cost(w, h);
+            ledger.push(PhaseCost { m_op: w, m_rw: h.max(1), kappa: 1, cost });
+            inboxes = next_inboxes;
+            step_no += 1;
+        }
+
+        Ok(BspRunResult { states, ledger })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_l_less_than_g() {
+        assert!(BspMachine::new(4, 8, 2).is_err());
+        assert!(BspMachine::new(0, 1, 1).is_err());
+        assert!(BspMachine::new(4, 2, 8).is_ok());
+    }
+
+    #[test]
+    fn superstep_cost_matches_definition() {
+        let m = BspMachine::new(4, 2, 10).unwrap();
+        assert_eq!(m.superstep_cost(3, 1), 10); // L dominates
+        assert_eq!(m.superstep_cost(3, 50), 100); // g*h dominates
+        assert_eq!(m.superstep_cost(500, 50), 500); // w dominates
+    }
+
+    #[test]
+    fn partition_is_uniform_ceil_floor() {
+        let m = BspMachine::new(4, 1, 1).unwrap();
+        let input: Vec<Word> = (0..10).collect();
+        let parts = m.partition(&input);
+        let sizes: Vec<usize> = parts.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let flat: Vec<Word> = parts.concat();
+        assert_eq!(flat, input);
+    }
+
+    #[test]
+    fn partition_handles_fewer_inputs_than_procs() {
+        let m = BspMachine::new(8, 1, 1).unwrap();
+        let input: Vec<Word> = vec![1, 2, 3];
+        let sizes: Vec<usize> = m.partition(&input).iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 0, 0, 0, 0, 0]);
+    }
+
+    /// Sum reduction to component 0 via direct sends.
+    #[test]
+    fn message_passing_sum() {
+        let prog = BspFnProgram::new(
+            |_, local: &[Word]| (local.iter().sum::<Word>(), 0i64),
+            |pid, st: &mut (Word, Word), ctx: &mut Superstep<'_>| match ctx.step() {
+                0 => {
+                    if pid != 0 {
+                        ctx.send(0, 0, st.0);
+                        Status::Done
+                    } else {
+                        Status::Active
+                    }
+                }
+                _ => {
+                    st.1 = st.0 + ctx.inbox().iter().map(|m| m.value).sum::<Word>();
+                    Status::Done
+                }
+            },
+        );
+        let m = BspMachine::new(4, 2, 5).unwrap();
+        let input: Vec<Word> = (1..=12).collect();
+        let res = m.run(&prog, &input).unwrap();
+        assert_eq!(res.states[0].1, 78);
+        // Superstep 0: each non-root sends 1 message, root receives 3:
+        // h = 3, w small -> cost = max(w, 2*3, 5) = 6. Superstep 1: only
+        // local work at root; cost = L = 5.
+        assert_eq!(res.ledger.phases()[0].cost, 6);
+        assert_eq!(res.ledger.phases()[1].cost, 5);
+        assert_eq!(res.time(), 11);
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_src_then_tag() {
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| Vec::<(usize, Word)>::new(),
+            |pid, seen: &mut Vec<(usize, Word)>, ctx: &mut Superstep<'_>| match ctx.step() {
+                0 => {
+                    if pid > 0 {
+                        ctx.send(0, (10 - pid) as Word, pid as Word);
+                        Status::Done
+                    } else {
+                        Status::Active
+                    }
+                }
+                _ => {
+                    seen.extend(ctx.inbox().iter().map(|m| (m.src, m.value)));
+                    Status::Done
+                }
+            },
+        );
+        let m = BspMachine::new(4, 1, 1).unwrap();
+        let res = m.run(&prog, &[]).unwrap();
+        assert_eq!(res.states[0], vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn bad_destination_is_rejected() {
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| (),
+            |_, _, ctx: &mut Superstep<'_>| {
+                ctx.send(99, 0, 0);
+                Status::Done
+            },
+        );
+        let m = BspMachine::new(4, 1, 1).unwrap();
+        assert!(matches!(m.run(&prog, &[]), Err(ModelError::BadProcessor { pid: 99, .. })));
+    }
+
+    #[test]
+    fn every_superstep_costs_at_least_l() {
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| (),
+            |_, _, ctx: &mut Superstep<'_>| {
+                if ctx.step() < 3 {
+                    Status::Active
+                } else {
+                    Status::Done
+                }
+            },
+        );
+        let m = BspMachine::new(2, 2, 7).unwrap();
+        let res = m.run(&prog, &[]).unwrap();
+        assert_eq!(res.supersteps(), 4);
+        assert_eq!(res.time(), 28);
+    }
+
+    #[test]
+    fn runaway_program_hits_step_limit() {
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| (),
+            |_, _, _: &mut Superstep<'_>| Status::Active,
+        );
+        let m = BspMachine::new(2, 1, 1).unwrap().with_max_steps(5);
+        assert!(matches!(m.run(&prog, &[]), Err(ModelError::PhaseLimitExceeded { limit: 5 })));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for model-rule violations and runaway executions.
+
+use std::fmt;
+
+/// An error raised while executing a program on one of the simulators.
+///
+/// Most variants correspond to *model rule* violations — programs that ask
+/// the machine to do something the QSM/s-QSM/GSM/BSP definitions forbid.
+/// Surfacing these as errors (rather than silently picking a semantics) is
+/// deliberate: the paper's lower bounds are statements about what legal
+/// programs can do, so the simulators must reject illegal ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A phase both read and wrote the same shared-memory cell. Concurrent
+    /// reads or writes (but not both) to a location are permitted in a
+    /// QSM/s-QSM/GSM phase (Section 2.1).
+    ReadWriteConflict {
+        /// The offending cell.
+        addr: usize,
+        /// The phase in which the conflict occurred.
+        phase: usize,
+    },
+    /// The program exceeded the machine's configured phase limit — almost
+    /// always an algorithm bug (non-terminating phase loop).
+    PhaseLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A processor id out of range was addressed (e.g. a BSP message sent
+    /// to a non-existent component).
+    BadProcessor {
+        /// The out-of-range processor id.
+        pid: usize,
+        /// Number of processors the machine has.
+        num_procs: usize,
+    },
+    /// Shared-memory footprint exceeded the configured limit.
+    MemoryLimitExceeded {
+        /// The offending address.
+        addr: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The program asked for an invalid machine configuration (e.g. zero
+    /// processors, or a BSP with L < g which the paper excludes).
+    BadConfig(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ReadWriteConflict { addr, phase } => write!(
+                f,
+                "phase {phase}: cell {addr} both read and written in one phase \
+                 (forbidden by the QSM/GSM memory rule)"
+            ),
+            ModelError::PhaseLimitExceeded { limit } => {
+                write!(f, "execution exceeded the phase limit of {limit}")
+            }
+            ModelError::BadProcessor { pid, num_procs } => {
+                write!(f, "processor id {pid} out of range (machine has {num_procs})")
+            }
+            ModelError::MemoryLimitExceeded { addr, limit } => {
+                write!(f, "address {addr} exceeds the shared-memory limit of {limit}")
+            }
+            ModelError::BadConfig(msg) => write!(f, "bad machine configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used throughout the simulator crates.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = ModelError::ReadWriteConflict { addr: 7, phase: 3 };
+        let s = e.to_string();
+        assert!(s.contains("cell 7"));
+        assert!(s.contains("phase 3"));
+
+        let e = ModelError::PhaseLimitExceeded { limit: 100 };
+        assert!(e.to_string().contains("100"));
+
+        let e = ModelError::BadProcessor { pid: 9, num_procs: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+
+        let e = ModelError::MemoryLimitExceeded { addr: 1 << 30, limit: 1 << 20 };
+        assert!(e.to_string().contains("limit"));
+
+        let e = ModelError::BadConfig("L < g".into());
+        assert!(e.to_string().contains("L < g"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ModelError::PhaseLimitExceeded { limit: 5 },
+            ModelError::PhaseLimitExceeded { limit: 5 }
+        );
+        assert_ne!(
+            ModelError::PhaseLimitExceeded { limit: 5 },
+            ModelError::PhaseLimitExceeded { limit: 6 }
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Program abstraction shared by the queuing shared-memory machines
+//! (QSM, s-QSM and the QRQW PRAM special case).
+//!
+//! A [`Program`] describes the behaviour of every processor of a
+//! bulk-synchronous machine. Execution proceeds in *phases*: in each phase
+//! the engine calls [`Program::phase`] once for every still-active
+//! processor; the processor inspects the values *delivered* for the reads it
+//! issued in the previous phase, and issues new read/write/local-op requests
+//! through the [`PhaseEnv`]. This encoding makes the paper's rule that "the
+//! value returned by a shared-memory read can only be used in a subsequent
+//! phase" (Section 2.1) impossible to violate by construction.
+
+/// The machine word. Shared-memory cells of the QSM/s-QSM/BSP hold one word.
+pub type Word = i64;
+
+/// A shared-memory address.
+pub type Addr = usize;
+
+/// What a processor reports at the end of its phase callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The processor wants to participate in further phases.
+    Active,
+    /// The processor is finished and will not be called again. Reads it
+    /// issued in its final phase are discarded.
+    Done,
+}
+
+/// Per-processor view of one phase: delivered reads in, requests out.
+#[derive(Debug)]
+pub struct PhaseEnv<'a> {
+    phase: usize,
+    delivered: &'a [(Addr, Word)],
+    pub(crate) reads: Vec<Addr>,
+    pub(crate) writes: Vec<(Addr, Word)>,
+    pub(crate) ops: u64,
+}
+
+impl<'a> PhaseEnv<'a> {
+    /// Builds a phase view directly. Normally only the machines do this,
+    /// but it is public so *emulators* (e.g. running a QSM program on a
+    /// BSP, `parbounds-algo::emulation`) can drive [`Program`]s themselves.
+    pub fn new(phase: usize, delivered: &'a [(Addr, Word)]) -> Self {
+        PhaseEnv { phase, delivered, reads: Vec::new(), writes: Vec::new(), ops: 0 }
+    }
+
+    /// Dismantles the view into `(reads, writes, local_ops)` — the
+    /// counterpart of [`PhaseEnv::new`] for external engines.
+    pub fn into_requests(self) -> (Vec<Addr>, Vec<(Addr, Word)>, u64) {
+        (self.reads, self.writes, self.ops)
+    }
+
+    /// Index of the current phase (0-based).
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// The `(address, value)` pairs for the reads this processor issued in
+    /// the *previous* phase, in request order.
+    pub fn delivered(&self) -> &[(Addr, Word)] {
+        self.delivered
+    }
+
+    /// Value delivered for `addr`, if this processor read it last phase.
+    /// If the address was read more than once the first delivery is
+    /// returned.
+    pub fn value(&self, addr: Addr) -> Option<Word> {
+        self.delivered.iter().find(|(a, _)| *a == addr).map(|&(_, v)| v)
+    }
+
+    /// Issue a shared-memory read; the value arrives next phase.
+    pub fn read(&mut self, addr: Addr) {
+        self.reads.push(addr);
+    }
+
+    /// Issue a shared-memory write, effective at the end of this phase. If
+    /// several processors write the same cell, an arbitrary one succeeds
+    /// (the engine picks the winner with its seeded RNG).
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        self.writes.push((addr, value));
+    }
+
+    /// Charge `k` units of local computation (`c_i` in the paper). Issuing
+    /// reads and writes is charged automatically on top of this.
+    pub fn local_ops(&mut self, k: u64) {
+        self.ops += k;
+    }
+}
+
+/// A bulk-synchronous shared-memory program.
+///
+/// Implementations are *pure descriptions*: the same program value can be
+/// executed on a QSM, an s-QSM or a QRQW PRAM and will incur different time
+/// costs but identical behaviour.
+pub trait Program {
+    /// Per-processor private state.
+    type Proc;
+
+    /// Number of processors this program uses.
+    fn num_procs(&self) -> usize;
+
+    /// Create processor `pid`'s initial private state.
+    fn create(&self, pid: usize) -> Self::Proc;
+
+    /// Execute one phase for processor `pid`.
+    fn phase(&self, pid: usize, state: &mut Self::Proc, env: &mut PhaseEnv<'_>) -> Status;
+}
+
+/// Dense shared memory with default value 0, grown on demand.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    cells: Vec<Word>,
+    limit: usize,
+}
+
+impl Memory {
+    /// Creates a memory allowing addresses below `limit`.
+    pub fn with_limit(limit: usize) -> Self {
+        Memory { cells: Vec::new(), limit }
+    }
+
+    /// Highest-addressed cell ever touched, plus one.
+    pub fn extent(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Address limit (cells at or beyond this address are rejected).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Reads a cell (untouched cells read as 0).
+    pub fn get(&self, addr: Addr) -> Word {
+        self.cells.get(addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a cell, growing the backing store as needed.
+    pub fn set(&mut self, addr: Addr, value: Word) -> crate::error::Result<()> {
+        if addr >= self.limit {
+            return Err(crate::error::ModelError::MemoryLimitExceeded { addr, limit: self.limit });
+        }
+        if addr >= self.cells.len() {
+            self.cells.resize(addr + 1, 0);
+        }
+        self.cells[addr] = value;
+        Ok(())
+    }
+
+    /// Bulk-initializes `values` starting at `base`.
+    pub fn load(&mut self, base: Addr, values: &[Word]) -> crate::error::Result<()> {
+        for (i, &v) in values.iter().enumerate() {
+            self.set(base + i, v)?;
+        }
+        Ok(())
+    }
+
+    /// Copies out `len` consecutive words starting at `base`.
+    pub fn slice(&self, base: Addr, len: usize) -> Vec<Word> {
+        (base..base + len).map(|a| self.get(a)).collect()
+    }
+}
+
+/// A program defined by closures — convenient for tests and small demos.
+///
+/// `FnProgram::new(p, init, step)` builds a program over `p` processors
+/// whose state is produced by `init(pid)` and whose phases run `step`.
+pub struct FnProgram<S, I, F>
+where
+    I: Fn(usize) -> S,
+    F: Fn(usize, &mut S, &mut PhaseEnv<'_>) -> Status,
+{
+    num_procs: usize,
+    init: I,
+    step: F,
+}
+
+impl<S, I, F> FnProgram<S, I, F>
+where
+    I: Fn(usize) -> S,
+    F: Fn(usize, &mut S, &mut PhaseEnv<'_>) -> Status,
+{
+    /// Builds a closure-backed program over `num_procs` processors.
+    pub fn new(num_procs: usize, init: I, step: F) -> Self {
+        FnProgram { num_procs, init, step }
+    }
+}
+
+impl<S, I, F> Program for FnProgram<S, I, F>
+where
+    I: Fn(usize) -> S,
+    F: Fn(usize, &mut S, &mut PhaseEnv<'_>) -> Status,
+{
+    type Proc = S;
+
+    fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    fn create(&self, pid: usize) -> S {
+        (self.init)(pid)
+    }
+
+    fn phase(&self, pid: usize, state: &mut S, env: &mut PhaseEnv<'_>) -> Status {
+        (self.step)(pid, state, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_env_records_requests() {
+        let delivered = [(3usize, 7i64), (5, -1)];
+        let mut env = PhaseEnv::new(2, &delivered);
+        assert_eq!(env.phase(), 2);
+        assert_eq!(env.value(3), Some(7));
+        assert_eq!(env.value(5), Some(-1));
+        assert_eq!(env.value(4), None);
+        env.read(10);
+        env.read(11);
+        env.write(12, 99);
+        env.local_ops(5);
+        env.local_ops(2);
+        assert_eq!(env.reads, vec![10, 11]);
+        assert_eq!(env.writes, vec![(12, 99)]);
+        assert_eq!(env.ops, 7);
+    }
+
+    #[test]
+    fn duplicate_reads_deliver_first_value() {
+        let delivered = [(3usize, 7i64), (3, 8)];
+        let env = PhaseEnv::new(0, &delivered);
+        assert_eq!(env.value(3), Some(7));
+    }
+
+    #[test]
+    fn memory_defaults_to_zero_and_grows() {
+        let mut m = Memory::with_limit(100);
+        assert_eq!(m.get(42), 0);
+        assert_eq!(m.extent(), 0);
+        m.set(10, 5).unwrap();
+        assert_eq!(m.get(10), 5);
+        assert_eq!(m.extent(), 11);
+        assert_eq!(m.slice(9, 3), vec![0, 5, 0]);
+    }
+
+    #[test]
+    fn memory_enforces_limit() {
+        let mut m = Memory::with_limit(8);
+        assert!(m.set(7, 1).is_ok());
+        assert!(m.set(8, 1).is_err());
+    }
+
+    #[test]
+    fn memory_load_is_contiguous() {
+        let mut m = Memory::with_limit(100);
+        m.load(4, &[1, 2, 3]).unwrap();
+        assert_eq!(m.slice(4, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fn_program_dispatches_closures() {
+        let prog = FnProgram::new(
+            3,
+            |pid| pid as Word,
+            |_pid, st, env: &mut PhaseEnv<'_>| {
+                env.write(0, *st);
+                Status::Done
+            },
+        );
+        assert_eq!(prog.num_procs(), 3);
+        let mut s = prog.create(2);
+        assert_eq!(s, 2);
+        let mut env = PhaseEnv::new(0, &[]);
+        assert_eq!(prog.phase(2, &mut s, &mut env), Status::Done);
+        assert_eq!(env.writes, vec![(0, 2)]);
+    }
+}

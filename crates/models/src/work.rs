@@ -1,0 +1,131 @@
+//! Work accounting and the Section 2.3 laws connecting *linear work* and
+//! *rounds*.
+//!
+//! The paper defines: a `p`-processor QSM/s-QSM algorithm performs linear
+//! work if its processor-time product is `O(g·n)` (on a GSM, `O(μn/λ)`);
+//! and observes two executable laws: (i) any linear-work algorithm must
+//! compute in rounds, and (ii) an `r`-round computation performs at most
+//! `O(r·g·n)` work (on a BSP, `O(r·(g·n + L·p))`). These functions evaluate
+//! both directions against concrete [`CostLedger`]s, and the test suites
+//! apply them to every rounds-respecting algorithm in the repository.
+
+use crate::cost::{round_budget_bsp, round_budget_qsm, CostLedger};
+
+/// Work of the execution on `p` processors, `p·T`.
+pub fn work(ledger: &CostLedger, p: u64) -> u64 {
+    ledger.work(p)
+}
+
+/// Is the execution linear-work on a QSM/s-QSM: `p·T ≤ slack·g·n`?
+pub fn is_linear_work_qsm(ledger: &CostLedger, p: u64, n: u64, g: u64, slack: u64) -> bool {
+    ledger.work(p) <= slack * g * n
+}
+
+/// Section 2.3, direction (i): **linear work ⇒ computes in rounds**.
+/// If `p·T ≤ c·g·n` then every phase (costing at most `T`) fits the round
+/// budget `c·g·n/p`. This function checks the implication on a concrete
+/// ledger: it returns `true` unless the ledger is linear-work (at `slack`)
+/// *and* some phase overruns the implied budget — which the law says is
+/// impossible, so a `false` here would witness an accounting bug.
+pub fn linear_work_implies_rounds(
+    ledger: &CostLedger,
+    p: u64,
+    n: u64,
+    g: u64,
+    slack: u64,
+) -> bool {
+    if !is_linear_work_qsm(ledger, p, n, g, slack) {
+        return true; // implication vacuous
+    }
+    let budget = round_budget_qsm(n, p, g, slack);
+    ledger.is_round_respecting(budget)
+}
+
+/// Section 2.3, direction (ii): an `r`-round computation performs at most
+/// `slack·r·g·n` work on a QSM/s-QSM. Checks the inequality for the
+/// ledger's realized round count at the given budget; `None` if the ledger
+/// does not compute in rounds at that budget.
+pub fn rounds_work_bound_qsm(
+    ledger: &CostLedger,
+    p: u64,
+    n: u64,
+    g: u64,
+    slack: u64,
+) -> Option<bool> {
+    let budget = round_budget_qsm(n, p, g, slack);
+    let r = ledger.rounds(budget)? as u64;
+    Some(ledger.work(p) <= slack * r * g * n.max(1))
+}
+
+/// BSP variant of direction (ii): `r` rounds ⇒ work ≤ `slack·r·(g·n + L·p)`.
+pub fn rounds_work_bound_bsp(
+    ledger: &CostLedger,
+    p: u64,
+    n: u64,
+    g: u64,
+    l: u64,
+    slack: u64,
+) -> Option<bool> {
+    let budget = round_budget_bsp(n, p, g, l, slack);
+    let r = ledger.rounds(budget)? as u64;
+    Some(ledger.work(p) <= slack * r * (g * n.max(1) + l * p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PhaseCost;
+
+    fn ledger_of(costs: &[u64]) -> CostLedger {
+        let mut l = CostLedger::new();
+        for &c in costs {
+            l.push(PhaseCost { m_op: 0, m_rw: 1, kappa: 1, cost: c });
+        }
+        l
+    }
+
+    #[test]
+    fn linear_work_detection() {
+        // p = 8, T = 24 -> work 192; g*n = 2*128 = 256.
+        let l = ledger_of(&[8, 8, 8]);
+        assert!(is_linear_work_qsm(&l, 8, 128, 2, 1));
+        assert!(!is_linear_work_qsm(&l, 16, 128, 2, 1));
+        assert!(is_linear_work_qsm(&l, 16, 128, 2, 2));
+    }
+
+    #[test]
+    fn linear_work_implies_rounds_law() {
+        // A linear-work ledger: every phase must fit c·g·n/p.
+        // p=4, n=64, g=1, slack=1: work cap 64, budget 16.
+        let ok = ledger_of(&[16, 16, 16, 16]); // work 256 > 64: vacuous
+        assert!(linear_work_implies_rounds(&ok, 4, 64, 1, 1));
+        let tight = ledger_of(&[8, 8]); // work 64 = cap; phases 8 <= 16 ✓
+        assert!(linear_work_implies_rounds(&tight, 4, 64, 1, 1));
+        // A ledger violating the law can only arise from a bookkeeping bug:
+        // work 64 (cap) but one phase of 60 > 16 would need the OTHER phase
+        // at 4 — total time 64 with p=1… construct p=1, n=64: budget 64;
+        // even a 60-cost phase fits. The law is an arithmetic identity, so
+        // only *inconsistent* ledgers can fail; simulate one:
+        let weird = ledger_of(&[60, 4]);
+        assert!(linear_work_implies_rounds(&weird, 1, 64, 1, 1));
+    }
+
+    #[test]
+    fn rounds_bound_work_law() {
+        // 3 rounds at budget 16 with p = 4, n = 64, g = 1:
+        // work <= 1·3·1·64 = 192; realized work = 4·(10+12+16) = 152 ✓.
+        let l = ledger_of(&[10, 12, 16]);
+        assert_eq!(rounds_work_bound_qsm(&l, 4, 64, 1, 1), Some(true));
+        // Not round-respecting at slack 1 if a phase overruns.
+        let l = ledger_of(&[10, 40]);
+        assert_eq!(rounds_work_bound_qsm(&l, 4, 64, 1, 1), None);
+    }
+
+    #[test]
+    fn bsp_rounds_work_bound_includes_latency_term() {
+        // p = 8, n = 64, g = 1, L = 16, slack 1: budget = 64/8 + 16 = 24.
+        let l = ledger_of(&[24, 24]);
+        // work = 8·48 = 384 <= 2·(64 + 128) = 384 ✓ (exactly at the bound).
+        assert_eq!(rounds_work_bound_bsp(&l, 8, 64, 1, 16, 1), Some(true));
+    }
+}

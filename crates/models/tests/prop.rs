@@ -1,0 +1,160 @@
+//! Property-based tests of the machine invariants: cost-formula algebra,
+//! ledger accounting, write-arbitration soundness, BSP partitioning and
+//! the GSM strong-queuing law, on randomly generated programs.
+
+use proptest::prelude::*;
+
+use parbounds_models::{
+    round_budget_bsp, round_budget_qsm, BspMachine, FnProgram, GsmFnProgram, GsmMachine,
+    PhaseEnv, QsmMachine, Status, Word,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QSM phase cost is monotone in all three arguments and respects the
+    /// max-of-three form.
+    #[test]
+    fn qsm_cost_is_monotone_max(g in 1u64..64, m_op in 0u64..1000, m_rw in 0u64..1000,
+                                kappa in 0u64..1000) {
+        let m = QsmMachine::qsm(g);
+        let c = m.phase_cost(m_op, m_rw, kappa);
+        prop_assert!(c >= m_op);
+        prop_assert!(c >= g * m_rw.max(1));
+        prop_assert!(c >= kappa.max(1));
+        prop_assert_eq!(c, m_op.max(g * m_rw.max(1)).max(kappa.max(1)));
+        prop_assert!(m.phase_cost(m_op + 1, m_rw, kappa) >= c);
+        prop_assert!(m.phase_cost(m_op, m_rw + 1, kappa) >= c);
+        prop_assert!(m.phase_cost(m_op, m_rw, kappa + 1) >= c);
+    }
+
+    /// s-QSM dominates QSM pointwise (same g).
+    #[test]
+    fn sqsm_dominates_qsm(g in 1u64..64, m_op in 0u64..500, m_rw in 0u64..500,
+                          kappa in 0u64..500) {
+        prop_assert!(
+            QsmMachine::sqsm(g).phase_cost(m_op, m_rw, kappa)
+                >= QsmMachine::qsm(g).phase_cost(m_op, m_rw, kappa)
+        );
+    }
+
+    /// GSM big-step accounting: μ·b with b = max(⌈m_rw/α⌉, ⌈κ/β⌉) ≥ 1.
+    #[test]
+    fn gsm_cost_formula(alpha in 1u64..16, beta in 1u64..16, m_rw in 0u64..500,
+                        kappa in 0u64..500) {
+        let m = GsmMachine::new(alpha, beta, 1);
+        let b = m.big_steps(m_rw, kappa);
+        prop_assert!(b >= 1);
+        prop_assert!(b * alpha >= m_rw || b == kappa.div_ceil(beta).max(1));
+        prop_assert_eq!(m.phase_cost(m_rw, kappa), m.mu() * b);
+    }
+
+    /// Round budgets scale linearly in slack and are antitone in p.
+    #[test]
+    fn round_budgets_scale(n in 1u64..1_000_000, p in 1u64..4096, g in 1u64..32,
+                           l in 1u64..256) {
+        let b1 = round_budget_qsm(n, p, g, 1);
+        prop_assert_eq!(round_budget_qsm(n, p, g, 3), 3 * b1);
+        if p > 1 {
+            prop_assert!(round_budget_qsm(n, p, g, 1) <= round_budget_qsm(n, p - 1, g, 1));
+        }
+        prop_assert!(round_budget_bsp(n, p, g, l, 1) >= l);
+    }
+
+    /// Arbitrary-write arbitration always commits a value that some
+    /// processor wrote, for any writer set and any seed.
+    #[test]
+    fn arbitration_picks_a_writer(num in 1usize..40, seed in any::<u64>()) {
+        let prog = FnProgram::new(
+            num,
+            |_| (),
+            |pid, _, env: &mut PhaseEnv<'_>| {
+                env.write(5, 1000 + pid as Word);
+                Status::Done
+            },
+        );
+        let res = QsmMachine::qsm(2).with_seed(seed).run(&prog, &[]).unwrap();
+        let v = res.memory.get(5);
+        prop_assert!((1000..1000 + num as Word).contains(&v));
+        prop_assert_eq!(res.ledger.phases()[0].kappa, num as u64);
+    }
+
+    /// The same program on the same seed is bit-identical (determinism),
+    /// and on a different seed still costs the same (cost is seed-free).
+    #[test]
+    fn determinism_and_seed_free_costs(num in 2usize..20, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let mk = || FnProgram::new(
+            num,
+            |_| (),
+            |pid, _, env: &mut PhaseEnv<'_>| {
+                env.write(pid % 3, pid as Word);
+                Status::Done
+            },
+        );
+        let a = QsmMachine::qsm(3).with_seed(s1).run(&mk(), &[]).unwrap();
+        let b = QsmMachine::qsm(3).with_seed(s1).run(&mk(), &[]).unwrap();
+        let c = QsmMachine::qsm(3).with_seed(s2).run(&mk(), &[]).unwrap();
+        prop_assert_eq!(a.memory.get(0), b.memory.get(0));
+        prop_assert_eq!(a.time(), c.time());
+    }
+
+    /// BSP partition: uniform ceil/floor, order-preserving, covering.
+    #[test]
+    fn bsp_partition_properties(n in 0usize..500, p in 1usize..64) {
+        let m = BspMachine::new(p, 1, 1).unwrap();
+        let input: Vec<Word> = (0..n as Word).collect();
+        let parts = m.partition(&input);
+        prop_assert_eq!(parts.len(), p);
+        prop_assert_eq!(parts.concat(), input.clone());
+        let (lo, hi) = (n / p, n.div_ceil(p));
+        for part in &parts {
+            prop_assert!(part.len() == lo || part.len() == hi);
+        }
+    }
+
+    /// GSM strong queuing: every written word arrives, regardless of
+    /// contention pattern.
+    #[test]
+    fn strong_queuing_loses_nothing(writers in 1usize..30, cells in 1usize..5) {
+        let prog = GsmFnProgram::new(
+            writers,
+            |_| (),
+            move |pid, _, env: &mut parbounds_models::GsmEnv<'_>| {
+                env.write(pid % cells, pid as Word);
+                Status::Done
+            },
+        );
+        let res = GsmMachine::new(1, 1, 1).run(&prog, &[]).unwrap();
+        let total: usize = (0..cells).map(|c| res.memory.get(c).len()).sum();
+        prop_assert_eq!(total, writers);
+    }
+
+    /// BSP superstep cost: max(w, g·h, L) with L as the floor.
+    #[test]
+    fn bsp_superstep_cost(g in 1u64..16, l_extra in 0u64..64, w in 0u64..500, h in 0u64..500) {
+        let l = g + l_extra;
+        let m = BspMachine::new(2, g, l).unwrap();
+        let c = m.superstep_cost(w, h);
+        prop_assert!(c >= l);
+        prop_assert_eq!(c, w.max(g * h).max(l));
+    }
+
+    /// Total ledger time equals the sum of phase costs for arbitrary
+    /// multi-phase programs.
+    #[test]
+    fn ledger_sums_phases(phases in 1usize..10, g in 1u64..8) {
+        let prog = FnProgram::new(
+            2,
+            |_| (),
+            move |pid, _, env: &mut PhaseEnv<'_>| {
+                env.write(100 + env.phase() * 2 + pid, 1);
+                if env.phase() + 1 < phases { Status::Active } else { Status::Done }
+            },
+        );
+        let res = QsmMachine::qsm(g).run(&prog, &[]).unwrap();
+        prop_assert_eq!(res.phases(), phases);
+        let sum: u64 = res.ledger.phases().iter().map(|p| p.cost).sum();
+        prop_assert_eq!(res.time(), sum);
+        prop_assert_eq!(res.time(), phases as u64 * g); // 1 write/phase, no contention
+    }
+}

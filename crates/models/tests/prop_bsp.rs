@@ -1,0 +1,90 @@
+//! BSP-specific properties: message conservation (every sent message is
+//! delivered exactly once, to the right component, with payload intact)
+//! and h-relation accounting, over randomly generated traffic patterns.
+
+use proptest::prelude::*;
+
+use parbounds_models::{BspFnProgram, BspMachine, Status, Superstep, Word};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random one-superstep traffic: every message arrives exactly once at
+    /// its destination with its payload, and h is the true max of
+    /// sent/received.
+    #[test]
+    fn messages_are_conserved(p in 1usize..12,
+                              traffic in prop::collection::vec((0usize..12, -100i64..100), 0..60)) {
+        let traffic: Vec<(usize, Word)> =
+            traffic.into_iter().map(|(d, v)| (d % p.max(1), v)).collect();
+        let traffic2 = traffic.clone();
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| Vec::<(usize, Word, Word)>::new(),
+            move |pid, received: &mut Vec<(usize, Word, Word)>, ctx: &mut Superstep<'_>| {
+                match ctx.step() {
+                    0 => {
+                        // Component 0 originates all traffic, tagged by index.
+                        if pid == 0 {
+                            for (i, &(dest, v)) in traffic2.iter().enumerate() {
+                                ctx.send(dest, i as Word, v);
+                            }
+                        }
+                        Status::Active
+                    }
+                    _ => {
+                        received.extend(ctx.inbox().iter().map(|m| (m.src, m.tag, m.value)));
+                        Status::Done
+                    }
+                }
+            },
+        );
+        let m = BspMachine::new(p, 1, 1).unwrap();
+        let res = m.run(&prog, &[]).unwrap();
+        // Reassemble: every index appears exactly once at its destination.
+        let mut seen = vec![false; traffic.len()];
+        for (pid, st) in res.states.iter().enumerate() {
+            for &(src, tag, value) in st {
+                prop_assert_eq!(src, 0);
+                let i = tag as usize;
+                prop_assert!(!seen[i], "message {} delivered twice", i);
+                seen[i] = true;
+                prop_assert_eq!(traffic[i].0, pid, "wrong destination");
+                prop_assert_eq!(traffic[i].1, value, "payload corrupted");
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "message lost");
+        // h accounting: superstep 0's h = max(total sent by 0, max received).
+        let mut recv_counts = vec![0u64; p];
+        for &(d, _) in &traffic {
+            recv_counts[d] += 1;
+        }
+        let h_expect = (traffic.len() as u64).max(recv_counts.iter().copied().max().unwrap_or(0)).max(1);
+        prop_assert_eq!(res.ledger.phases()[0].m_rw, h_expect);
+    }
+
+    /// Superstep costs are at least L and exactly max(w, g·h, L).
+    #[test]
+    fn superstep_cost_formula(p in 1usize..8, g in 1u64..8, l_extra in 0u64..32,
+                              fanout in 0usize..10) {
+        let l = g + l_extra;
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| (),
+            move |pid, _, ctx: &mut Superstep<'_>| {
+                if ctx.step() == 0 && pid == 0 {
+                    for i in 0..fanout {
+                        ctx.send(i % p, 7, 7);
+                    }
+                    Status::Active
+                } else {
+                    Status::Done
+                }
+            },
+        );
+        let m = BspMachine::new(p, g, l).unwrap();
+        let res = m.run(&prog, &[]).unwrap();
+        for ph in res.ledger.phases() {
+            prop_assert!(ph.cost >= l);
+            prop_assert_eq!(ph.cost, ph.m_op.max(g * ph.m_rw).max(l));
+        }
+    }
+}

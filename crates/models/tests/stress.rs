@@ -1,0 +1,238 @@
+//! Differential stress tests: randomly generated bulk-synchronous programs
+//! executed on the machines and checked against an independent sequential
+//! reference interpreter. Write-contention is avoided *by construction*
+//! (each processor owns a disjoint write range), which makes the semantics
+//! fully deterministic and the comparison exact; the GSM variant allows
+//! contention and checks the strong-queuing multiset law instead.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use parbounds_models::{
+    FnProgram, GsmEnv, GsmFnProgram, GsmMachine, PhaseEnv, QsmMachine, Status, Word,
+};
+
+/// A random *oblivious* program script: per processor, per phase, a list of
+/// reads (any address) and writes (own range only), with values derived
+/// from phase/pid so the reference can recompute them.
+#[derive(Clone)]
+struct Script {
+    procs: usize,
+    phases: usize,
+    /// `reads[pid][phase]` — addresses.
+    reads: Vec<Vec<Vec<usize>>>,
+    /// `writes[pid][phase]` — (addr, value).
+    writes: Vec<Vec<Vec<(usize, Word)>>>,
+}
+
+fn gen_script(seed: u64, procs: usize, phases: usize, span: usize) -> Script {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let own = |pid: usize| span + pid * 4; // 4 private cells per proc
+    let mut reads = vec![vec![Vec::new(); phases]; procs];
+    let mut writes = vec![vec![Vec::new(); phases]; procs];
+    for t in 0..phases {
+        // Writes first (disjoint ranges per proc: no write-write races) …
+        let mut written = std::collections::HashSet::new();
+        for (pid, w) in writes.iter_mut().enumerate() {
+            for _ in 0..rng.gen_range(0..3) {
+                let addr = own(pid) + rng.gen_range(0..4);
+                let value = (pid * 1000 + t * 10 + rng.gen_range(0..10)) as Word;
+                // One write per cell per phase: duplicate writes would pit
+                // the engine's seeded arbitration against the reference's
+                // last-write-wins.
+                if written.insert(addr) {
+                    w[t].push((addr, value));
+                }
+            }
+        }
+        // … then reads, avoiding this phase's write set (the model forbids
+        // reading and writing one cell in the same phase).
+        for r in reads.iter_mut() {
+            for _ in 0..rng.gen_range(0..3) {
+                let addr = rng.gen_range(0..span + procs * 4);
+                if !written.contains(&addr) {
+                    r[t].push(addr);
+                }
+            }
+        }
+    }
+    Script { procs, phases, reads, writes }
+}
+
+/// Reference interpreter: phase-by-phase, reads see start-of-phase memory,
+/// writes land at end of phase (no contention by construction). Returns
+/// (final memory, per-pid delivered histories).
+#[allow(clippy::needless_range_loop)] // pid indexes parallel script/delivered arrays
+fn reference(script: &Script, input: &[Word], extent: usize) -> (Vec<Word>, Vec<Vec<Vec<Word>>>) {
+    let mut mem = vec![0 as Word; extent];
+    mem[..input.len()].copy_from_slice(input);
+    let mut delivered = vec![Vec::new(); script.procs];
+    for t in 0..script.phases {
+        let snapshot = mem.clone();
+        for pid in 0..script.procs {
+            delivered[pid].push(
+                script.reads[pid][t].iter().map(|&a| snapshot[a]).collect::<Vec<_>>(),
+            );
+            for &(a, v) in &script.writes[pid][t] {
+                mem[a] = v;
+            }
+        }
+    }
+    (mem, delivered)
+}
+
+fn run_script_on_qsm(
+    machine: &QsmMachine,
+    script: &Script,
+    input: &[Word],
+) -> (parbounds_models::RunResult, Vec<Vec<Vec<Word>>>) {
+    use std::cell::RefCell;
+    let observed: RefCell<Vec<Vec<Vec<Word>>>> = RefCell::new(vec![Vec::new(); script.procs]);
+    let prog = FnProgram::new(
+        script.procs,
+        |_| (),
+        |pid, _, env: &mut PhaseEnv<'_>| {
+            let t = env.phase();
+            if t > 0 {
+                observed.borrow_mut()[pid]
+                    .push(env.delivered().iter().map(|&(_, v)| v).collect());
+            }
+            if t >= script.phases {
+                return Status::Done;
+            }
+            for &a in &script.reads[pid][t] {
+                env.read(a);
+            }
+            for &(a, v) in &script.writes[pid][t] {
+                env.write(a, v);
+            }
+            Status::Active
+        },
+    );
+    let run = machine.run(&prog, input).unwrap();
+    (run, observed.into_inner())
+}
+
+#[test]
+fn qsm_matches_reference_interpreter_on_random_programs() {
+    for seed in 0..25u64 {
+        let span = 8;
+        let script = gen_script(seed, 6, 5, span);
+        let input: Vec<Word> = (0..span as Word).map(|i| 100 + i).collect();
+        let extent = span + script.procs * 4;
+        let (expect_mem, expect_delivered) = reference(&script, &input, extent);
+        for machine in [QsmMachine::qsm(3), QsmMachine::sqsm(2), QsmMachine::qrqw()] {
+            let (run, observed) = run_script_on_qsm(&machine, &script, &input);
+            for (a, &v) in expect_mem.iter().enumerate() {
+                assert_eq!(run.memory.get(a), v, "seed {seed}: cell {a}");
+            }
+            // Delivered histories match (the engine delivers one phase
+            // later, so compare shifted).
+            for pid in 0..script.procs {
+                for t in 0..script.phases {
+                    assert_eq!(
+                        observed[pid][t], expect_delivered[pid][t],
+                        "seed {seed} pid {pid} phase {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qsm_phase_costs_match_script_shape() {
+    // Independent cost recomputation from the script: per phase,
+    // m_rw = max over procs of max(|reads|, |writes|); κ = max per-cell
+    // access count; cost = flavor formula. (No read/write conflicts occur
+    // because write ranges are private.)
+    for seed in 0..10u64 {
+        let span = 8;
+        let script = gen_script(seed ^ 0xabc, 5, 4, span);
+        let input = vec![0; span];
+        let g = 3;
+        let machine = QsmMachine::qsm(g);
+        let (run, _) = run_script_on_qsm(&machine, &script, &input);
+        for t in 0..script.phases {
+            let m_rw = (0..script.procs)
+                .map(|p| script.reads[p][t].len().max(script.writes[p][t].len()) as u64)
+                .max()
+                .unwrap_or(0);
+            let mut counts = std::collections::HashMap::new();
+            for p in 0..script.procs {
+                for &a in &script.reads[p][t] {
+                    *counts.entry(a).or_insert(0u64) += 1;
+                }
+                for &(a, _) in &script.writes[p][t] {
+                    *counts.entry(a).or_insert(0u64) += 1;
+                }
+            }
+            let kappa = counts.values().copied().max().unwrap_or(1);
+            // m_op: the engine auto-charges reads+writes per proc.
+            let m_op = (0..script.procs)
+                .map(|p| (script.reads[p][t].len() + script.writes[p][t].len()) as u64)
+                .max()
+                .unwrap_or(0);
+            let expect = machine.phase_cost(m_op, m_rw, kappa);
+            assert_eq!(
+                run.ledger.phases()[t].cost, expect,
+                "seed {seed} phase {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gsm_strong_queuing_matches_multiset_reference() {
+    for seed in 0..20u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let procs = 6;
+        let phases = 4;
+        let cells = 5;
+        // Random write-only scripts with contention allowed.
+        let script: Vec<Vec<Vec<(usize, Word)>>> = (0..procs)
+            .map(|pid| {
+                (0..phases)
+                    .map(|t| {
+                        (0..rng.gen_range(0..3))
+                            .map(|j| {
+                                (rng.gen_range(0..cells), (pid * 100 + t * 10 + j) as Word)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let script2 = script.clone();
+        let prog = GsmFnProgram::new(
+            procs,
+            |_| (),
+            move |pid, _, env: &mut GsmEnv<'_>| {
+                let t = env.phase();
+                if t >= phases {
+                    return Status::Done;
+                }
+                for &(a, v) in &script2[pid][t] {
+                    env.write(a, v);
+                }
+                Status::Active
+            },
+        );
+        let m = GsmMachine::new(2, 3, 1);
+        let res = m.run(&prog, &[]).unwrap();
+        // Strong queuing: every cell holds exactly the multiset of values
+        // written to it, regardless of contention.
+        for c in 0..cells {
+            let mut got = res.memory.get(c).to_vec();
+            got.sort_unstable();
+            let mut expect: Vec<Word> = script
+                .iter()
+                .flat_map(|per_proc| per_proc.iter().flatten())
+                .filter(|&&(a, _)| a == c)
+                .map(|&(_, v)| v)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "seed {seed} cell {c}");
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Every cell of Table 1, as a typed, evaluable bound.
+//!
+//! The four sub-tables of the paper are flattened into one registry of
+//! [`Bound`] entries keyed by `(Problem, Model, Mode, Metric)`. Each entry
+//! carries the formula as text (matching the paper's table), a `f64`
+//! evaluator over concrete [`Params`], the tightness flag (a `Θ` entry in
+//! the paper means the bound is matched by an upper bound), and the side
+//! conditions the paper attaches (processor-count regimes etc.).
+
+use crate::math::{at_least_1, lg, lglg, log_star, log_star_diff};
+
+/// The problems of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Linear Approximate Compaction (and, per Theorem 6.1, Load Balancing
+    /// and Padded Sort).
+    Lac,
+    /// The OR function.
+    Or,
+    /// Parity (and, by size-preserving reductions, list ranking & sorting).
+    Parity,
+}
+
+/// The machine models of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// QSM(g).
+    Qsm,
+    /// s-QSM(g).
+    SQsm,
+    /// BSP(p, g, L).
+    Bsp,
+}
+
+/// Deterministic or randomized algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Deterministic lower bound.
+    Deterministic,
+    /// Randomized lower bound (success probability ≥ 1/2 + ε).
+    Randomized,
+}
+
+/// Time (sub-tables 1–3) or rounds (sub-table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Total model time.
+    Time,
+    /// Number of rounds of a p-processor algorithm (Section 2.3).
+    Rounds,
+}
+
+/// Is the bound known to be tight (a `Θ` entry in the paper)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tightness {
+    /// Lower bound only (`Ω`).
+    LowerOnly,
+    /// Matched by an upper bound (`Θ`).
+    Tight,
+}
+
+/// Concrete machine/input parameters a formula is evaluated at.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Input size.
+    pub n: f64,
+    /// Gap parameter.
+    pub g: f64,
+    /// BSP latency (`L ≥ g`); ignored by the shared-memory models.
+    pub l: f64,
+    /// Number of processors.
+    pub p: f64,
+}
+
+impl Params {
+    /// Shared-memory parameters (p defaults to n — "unlimited processors").
+    pub fn qsm(n: f64, g: f64) -> Self {
+        Params { n, g, l: g, p: n }
+    }
+
+    /// BSP parameters.
+    pub fn bsp(n: f64, g: f64, l: f64, p: f64) -> Self {
+        Params { n, g, l, p }
+    }
+
+    /// With an explicit processor count.
+    pub fn with_p(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// `q = min{n, p}` — the BSP tables' effective size.
+    pub fn q(&self) -> f64 {
+        self.n.min(self.p)
+    }
+}
+
+/// One cell of Table 1.
+#[derive(Clone, Copy)]
+pub struct Bound {
+    /// Which problem.
+    pub problem: Problem,
+    /// Which model.
+    pub model: Model,
+    /// Deterministic or randomized.
+    pub mode: Mode,
+    /// Time or rounds.
+    pub metric: Metric,
+    /// `Ω` or `Θ`.
+    pub tightness: Tightness,
+    /// The formula as printed in the paper's table.
+    pub expr: &'static str,
+    /// Side condition attached by the paper (empty if none).
+    pub condition: &'static str,
+    /// Evaluator (order-of-growth proxy; constants are 1).
+    pub eval: fn(&Params) -> f64,
+}
+
+impl std::fmt::Debug for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bound")
+            .field("problem", &self.problem)
+            .field("model", &self.model)
+            .field("mode", &self.mode)
+            .field("metric", &self.metric)
+            .field("tightness", &self.tightness)
+            .field("expr", &self.expr)
+            .finish()
+    }
+}
+
+/// `L/g`, floored at 2 so `log(L/g)` stays positive.
+fn l_over_g(pr: &Params) -> f64 {
+    (pr.l / pr.g).max(2.0)
+}
+
+/// The full registry: all 24 cells of the four sub-tables.
+/// Within a `(problem, model, mode, metric)` key the paper sometimes states
+/// two incomparable bounds (e.g. randomized LAC on QSM); both appear, and
+/// [`lower_bounds`] returns every matching entry.
+pub static TABLE1: &[Bound] = &[
+    // ----- Sub-table 1: QSM time (unlimited processors unless noted) -----
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Qsm,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·sqrt(log n / (log log n + log g))",
+        condition: "",
+        eval: |pr| pr.g * (lg(pr.n) / at_least_1(lglg(pr.n) + lg(pr.g))).sqrt(),
+    },
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log log n / log g",
+        condition: "",
+        eval: |pr| pr.g * lglg(pr.n) / lg(pr.g),
+    },
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log* n",
+        condition: "with n processors",
+        eval: |pr| pr.g * log_star(pr.n),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::Qsm,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log n / (log log n + log g)",
+        condition: "",
+        eval: |pr| pr.g * lg(pr.n) / at_least_1(lglg(pr.n) + lg(pr.g)),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·(log* n − log* g)",
+        condition: "",
+        eval: |pr| pr.g * log_star_diff(pr.n, pr.g),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::Qsm,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log n / log g",
+        condition: "Θ with unit-time concurrent reads",
+        eval: |pr| pr.g * lg(pr.n) / lg(pr.g),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log n / (log log n + min(log log g, log log p))",
+        condition: "Ω(g·log n/log log n) if p polynomial in n",
+        eval: |pr| {
+            pr.g * lg(pr.n) / at_least_1(lglg(pr.n) + lglg(pr.g).min(lglg(pr.p)))
+        },
+    },
+    // ----- Sub-table 2: s-QSM time -----
+    Bound {
+        problem: Problem::Lac,
+        model: Model::SQsm,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·sqrt(log n / log log n)",
+        condition: "",
+        eval: |pr| pr.g * (lg(pr.n) / lglg(pr.n)).sqrt(),
+    },
+    Bound {
+        problem: Problem::Lac,
+        model: Model::SQsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log log n",
+        condition: "",
+        eval: |pr| pr.g * lglg(pr.n),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::SQsm,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log n / log log n",
+        condition: "",
+        eval: |pr| pr.g * lg(pr.n) / lglg(pr.n),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::SQsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log* n",
+        condition: "",
+        eval: |pr| pr.g * log_star(pr.n),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::SQsm,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::Tight,
+        expr: "g·log n",
+        condition: "",
+        eval: |pr| pr.g * lg(pr.n),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::SQsm,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "g·log n / log log n",
+        condition: "",
+        eval: |pr| pr.g * lg(pr.n) / lglg(pr.n),
+    },
+    // ----- Sub-table 3: BSP time (q = min{n, p}) -----
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Bsp,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "L·sqrt(log q / (log log q + log(L/g)))",
+        condition: "",
+        eval: |pr| pr.l * (lg(pr.q()) / at_least_1(lglg(pr.q()) + lg(l_over_g(pr)))).sqrt(),
+    },
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Bsp,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "L·log log n / log(L/g)",
+        condition: "p = Ω(n/(log n)^{1/8−ε})",
+        eval: |pr| pr.l * lglg(pr.n) / lg(l_over_g(pr)),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::Bsp,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "L·log q / (log log q + log(L/g))",
+        condition: "",
+        eval: |pr| pr.l * lg(pr.q()) / at_least_1(lglg(pr.q()) + lg(l_over_g(pr))),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::Bsp,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "L·(log* q − log*(L/g))",
+        condition: "",
+        eval: |pr| pr.l * log_star_diff(pr.q(), l_over_g(pr)),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::Bsp,
+        mode: Mode::Deterministic,
+        metric: Metric::Time,
+        tightness: Tightness::Tight,
+        expr: "L·log q / log(L/g)",
+        condition: "",
+        eval: |pr| pr.l * lg(pr.q()) / lg(l_over_g(pr)),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::Bsp,
+        mode: Mode::Randomized,
+        metric: Metric::Time,
+        tightness: Tightness::LowerOnly,
+        expr: "L·sqrt(log q / (log log q + log(L/g)))",
+        condition: "",
+        eval: |pr| pr.l * (lg(pr.q()) / at_least_1(lglg(pr.q()) + lg(l_over_g(pr)))).sqrt(),
+    },
+    // ----- Sub-table 4: rounds for p-processor algorithms (p ≤ n) -----
+    // The paper's rounds rows hold for randomized algorithms; we register
+    // them under Randomized (they imply the deterministic case a fortiori).
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::LowerOnly,
+        expr: "(log* n − log*(n/p)) + sqrt(log n / log(gn/p))",
+        condition: "",
+        eval: |pr| {
+            log_star_diff(pr.n, pr.n / pr.p)
+                + (lg(pr.n) / lg((pr.g * pr.n / pr.p).max(2.0))).sqrt()
+        },
+    },
+    Bound {
+        problem: Problem::Lac,
+        model: Model::SQsm,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::LowerOnly,
+        expr: "sqrt(log n / log(n/p))",
+        condition: "",
+        eval: |pr| (lg(pr.n) / lg((pr.n / pr.p).max(2.0))).sqrt(),
+    },
+    Bound {
+        problem: Problem::Lac,
+        model: Model::Bsp,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::LowerOnly,
+        expr: "sqrt(log n / log(n/p))",
+        condition: "p = Ω(n/(log n)^{1/8−ε})",
+        eval: |pr| (lg(pr.n) / lg((pr.n / pr.p).max(2.0))).sqrt(),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::Tight,
+        expr: "log n / log(ng/p)",
+        condition: "",
+        eval: |pr| lg(pr.n) / lg((pr.n * pr.g / pr.p).max(2.0)),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::SQsm,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::Tight,
+        expr: "log n / log(n/p)",
+        condition: "",
+        eval: |pr| lg(pr.n) / lg((pr.n / pr.p).max(2.0)),
+    },
+    Bound {
+        problem: Problem::Or,
+        model: Model::Bsp,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::Tight,
+        expr: "log n / log(n/p)",
+        condition: "",
+        eval: |pr| lg(pr.n) / lg((pr.n / pr.p).max(2.0)),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::Qsm,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::LowerOnly,
+        expr: "log n / (log(n/p) + min(log g, log log p))",
+        condition: "",
+        eval: |pr| lg(pr.n) / at_least_1(lg((pr.n / pr.p).max(2.0)) + lg(pr.g).min(lglg(pr.p))),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::SQsm,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::Tight,
+        expr: "log n / log(n/p)",
+        condition: "",
+        eval: |pr| lg(pr.n) / lg((pr.n / pr.p).max(2.0)),
+    },
+    Bound {
+        problem: Problem::Parity,
+        model: Model::Bsp,
+        mode: Mode::Randomized,
+        metric: Metric::Rounds,
+        tightness: Tightness::Tight,
+        expr: "log n / log(n/p)",
+        condition: "",
+        eval: |pr| lg(pr.n) / lg((pr.n / pr.p).max(2.0)),
+    },
+];
+
+/// All lower-bound entries for a `(problem, model, mode, metric)` key (the
+/// paper sometimes gives two incomparable bounds for one cell).
+pub fn lower_bounds(
+    problem: Problem,
+    model: Model,
+    mode: Mode,
+    metric: Metric,
+) -> Vec<&'static Bound> {
+    TABLE1
+        .iter()
+        .filter(|b| {
+            b.problem == problem && b.model == model && b.mode == mode && b.metric == metric
+        })
+        .collect()
+}
+
+/// The strongest (largest-valued) lower bound for the key at `params`.
+pub fn best_lower_bound(
+    problem: Problem,
+    model: Model,
+    mode: Mode,
+    metric: Metric,
+    params: &Params,
+) -> Option<f64> {
+    lower_bounds(problem, model, mode, metric)
+        .into_iter()
+        .map(|b| (b.eval)(params))
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Params = Params { n: 1048576.0, g: 8.0, l: 64.0, p: 4096.0 };
+
+    #[test]
+    fn registry_covers_all_sub_tables() {
+        // Sub-tables 1-3: 3 problems x det/rand, with the two extra
+        // double-entry rows (LAC rand on QSM). Sub-table 4: 3 problems x 3
+        // models.
+        let time_cells = TABLE1.iter().filter(|b| b.metric == Metric::Time).count();
+        let round_cells = TABLE1.iter().filter(|b| b.metric == Metric::Rounds).count();
+        assert_eq!(time_cells, 19); // 18 cells + 1 double entry
+        assert_eq!(round_cells, 9);
+        for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
+            for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+                for mode in [Mode::Deterministic, Mode::Randomized] {
+                    if model != Model::Bsp || true {
+                        assert!(
+                            !lower_bounds(problem, model, mode, Metric::Time).is_empty()
+                                || mode == Mode::Deterministic,
+                            "{problem:?} {model:?} {mode:?} missing"
+                        );
+                    }
+                }
+                assert!(
+                    !lower_bounds(problem, model, Mode::Randomized, Metric::Rounds).is_empty(),
+                    "{problem:?} {model:?} rounds missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_bound_is_positive_and_finite_across_a_sweep() {
+        for b in TABLE1 {
+            for n in [16.0, 1024.0, 1e6, 1e9] {
+                for g in [1.0, 4.0, 64.0] {
+                    for p in [4.0, 256.0, n] {
+                        let pr = Params { n, g, l: 8.0 * g, p };
+                        let v = (b.eval)(&pr);
+                        assert!(
+                            v.is_finite() && v > 0.0,
+                            "{:?} at n={n} g={g} p={p} gave {v}",
+                            b
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_parity_dominates_or_dominates_lac_shape() {
+        // On the s-QSM: parity Θ(g log n) > OR Ω(g log n/loglog n) >
+        // LAC Ω(g sqrt(log n/loglog n)) for large n.
+        let parity = best_lower_bound(Problem::Parity, Model::SQsm, Mode::Deterministic, Metric::Time, &P).unwrap();
+        let or = best_lower_bound(Problem::Or, Model::SQsm, Mode::Deterministic, Metric::Time, &P).unwrap();
+        let lac = best_lower_bound(Problem::Lac, Model::SQsm, Mode::Deterministic, Metric::Time, &P).unwrap();
+        assert!(parity > or && or > lac, "parity={parity} or={or} lac={lac}");
+    }
+
+    #[test]
+    fn randomized_bounds_are_below_deterministic_for_or() {
+        // Randomized OR is log*; deterministic is log/loglog. The gap is
+        // asymptotic — at n = 2^20 the two are still close — so test at a
+        // size where the order has separated.
+        let pr = Params { n: 1e30, ..P };
+        for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+            let det = best_lower_bound(Problem::Or, model, Mode::Deterministic, Metric::Time, &pr).unwrap();
+            let rand = best_lower_bound(Problem::Or, model, Mode::Randomized, Metric::Time, &pr).unwrap();
+            assert!(rand < det, "{model:?}: rand={rand} det={det}");
+        }
+    }
+
+    #[test]
+    fn qsm_or_rounds_beat_sqsm_or_rounds() {
+        // log n/log(gn/p) <= log n/log(n/p): the QSM's raw-contention rounds
+        // advantage.
+        let q = best_lower_bound(Problem::Or, Model::Qsm, Mode::Randomized, Metric::Rounds, &P).unwrap();
+        let s = best_lower_bound(Problem::Or, Model::SQsm, Mode::Randomized, Metric::Rounds, &P).unwrap();
+        assert!(q <= s);
+    }
+
+    #[test]
+    fn bsp_time_bounds_scale_with_l() {
+        let small = Params { l: 16.0, ..P };
+        let large = Params { l: 256.0, ..P };
+        for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
+            let a = best_lower_bound(problem, Model::Bsp, Mode::Deterministic, Metric::Time, &small).unwrap();
+            let b = best_lower_bound(problem, Model::Bsp, Mode::Deterministic, Metric::Time, &large).unwrap();
+            assert!(b > a, "{problem:?}: {b} !> {a}");
+        }
+    }
+
+    #[test]
+    fn tight_entries_match_the_paper() {
+        let tight: Vec<_> = TABLE1.iter().filter(|b| b.tightness == Tightness::Tight).collect();
+        // Parity det on s-QSM & BSP (time); OR rounds x3; Parity rounds on
+        // s-QSM & BSP.
+        assert_eq!(tight.len(), 7);
+    }
+
+    #[test]
+    fn rounds_bounds_grow_as_p_approaches_n() {
+        let few = Params { p: 64.0, ..P };
+        let many = Params { p: P.n / 2.0, ..P };
+        for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
+            let a = best_lower_bound(problem, Model::SQsm, Mode::Randomized, Metric::Rounds, &few).unwrap();
+            let b = best_lower_bound(problem, Model::SQsm, Mode::Randomized, Metric::Rounds, &many).unwrap();
+            assert!(b > a, "{problem:?}: {b} !> {a}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # parbounds-tables
+//!
+//! Every cell of **Table 1** of MacKenzie & Ramachandran (SPAA 1998) as a
+//! typed, evaluable bound, plus:
+//!
+//! * [`cells`] — the registry of all 28 lower-bound entries across the four
+//!   sub-tables (QSM time, s-QSM time, BSP time, rounds), each carrying the
+//!   paper's formula text, a numeric evaluator, tightness, and side
+//!   conditions;
+//! * [`upper`] — the Section 8 upper-bound formulas, for upper/lower ratio
+//!   columns;
+//! * [`mapping`] — Claims 2.1 and 2.2: the combinators that instantiate a
+//!   GSM lower bound into QSM / s-QSM / BSP / QSM(g,d) bounds, together
+//!   with the paper's GSM theorems (3.1, 3.2, 6.1, 7.1–7.3) as bound
+//!   functions;
+//! * [`gd`] — the full derived QSM(g,d) bound table (the paper notes it
+//!   "can be obtained"; here it is);
+//! * [`render`] — text rendering of the four sub-tables in the paper's
+//!   layout;
+//! * [`math`] — the safe-logarithm conventions all evaluators share.
+//!
+//! ```
+//! use parbounds_tables::{best_lower_bound, Metric, Mode, Model, Params, Problem};
+//!
+//! let pr = Params::qsm(1048576.0, 8.0);
+//! // Deterministic Parity on the s-QSM: Θ(g·log n) = 8 · 20.
+//! let b = best_lower_bound(Problem::Parity, Model::SQsm, Mode::Deterministic, Metric::Time, &pr);
+//! assert_eq!(b, Some(160.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod gd;
+pub mod mapping;
+pub mod math;
+pub mod render;
+pub mod upper;
+
+pub use cells::{
+    best_lower_bound, lower_bounds, Bound, Metric, Mode, Model, Params, Problem, Tightness,
+    TABLE1,
+};
+pub use render::{render_rounds_table, render_time_table};
+pub use upper::{parity_unit_cr_upper, upper_bound_rounds, upper_bound_time};

@@ -1,0 +1,91 @@
+//! Asymptotic-formula arithmetic: safe logarithms and iterated logarithm.
+//!
+//! The bound formulas divide by `log log n`, `log g`, `log(L/g)` and
+//! friends; evaluated at small concrete parameters these can hit 0 or go
+//! negative. Every helper here floors at 1 so the formula *values* stay
+//! meaningful order-of-growth proxies across the whole sweep range (the
+//! convention is stated in the table docs and applied uniformly to lower
+//! and upper bound formulas, so ratios remain fair).
+
+/// `max(1, log2 x)`.
+pub fn lg(x: f64) -> f64 {
+    if x <= 2.0 {
+        1.0
+    } else {
+        x.log2()
+    }
+}
+
+/// `max(1, log2 log2 x)`.
+pub fn lglg(x: f64) -> f64 {
+    lg(lg(x))
+}
+
+/// The iterated logarithm `log* x` (base 2): the number of times `log2`
+/// must be applied to bring `x` to at most 1. `log*(x) = 0` for `x ≤ 1`.
+pub fn log_star(x: f64) -> f64 {
+    let mut v = x;
+    let mut count = 0u32;
+    while v > 1.0 && count < 64 {
+        v = v.log2();
+        count += 1;
+    }
+    f64::from(count)
+}
+
+/// `max(1, log* x − log* y)` — the paper's `log* n − log* g` shapes, floored
+/// so the formula never evaluates non-positive on small sweeps.
+pub fn log_star_diff(x: f64, y: f64) -> f64 {
+    (log_star(x) - log_star(y)).max(1.0)
+}
+
+/// `max(1, x)` — generic floor for denominators.
+pub fn at_least_1(x: f64) -> f64 {
+    x.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg_floors_at_one() {
+        assert_eq!(lg(0.5), 1.0);
+        assert_eq!(lg(1.0), 1.0);
+        assert_eq!(lg(2.0), 1.0);
+        assert_eq!(lg(1024.0), 10.0);
+    }
+
+    #[test]
+    fn lglg_composes() {
+        assert_eq!(lglg(65536.0), 4.0);
+        assert_eq!(lglg(4.0), 1.0);
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1.0), 0.0);
+        assert_eq!(log_star(2.0), 1.0);
+        assert_eq!(log_star(4.0), 2.0);
+        assert_eq!(log_star(16.0), 3.0);
+        assert_eq!(log_star(65536.0), 4.0);
+        // 2^65536 would be 5; f64 can't hold it, but large finite values cap.
+        assert_eq!(log_star(1e300), 5.0);
+    }
+
+    #[test]
+    fn log_star_is_monotone() {
+        let mut prev = 0.0;
+        for e in 0..200 {
+            let v = log_star(2f64.powi(e));
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn log_star_diff_floors() {
+        assert_eq!(log_star_diff(16.0, 65536.0), 1.0);
+        assert_eq!(log_star_diff(65536.0, 2.0), 3.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Text rendering of the four sub-tables of Table 1, in the paper's layout,
+//! with numeric columns for a chosen parameter point.
+
+use crate::cells::{lower_bounds, Metric, Mode, Model, Params, Problem, Tightness};
+
+fn problem_name(p: Problem) -> &'static str {
+    match p {
+        Problem::Lac => "Linear approx. compaction",
+        Problem::Or => "OR",
+        Problem::Parity => "Parity and related problems",
+    }
+}
+
+fn cell_text(problem: Problem, model: Model, mode: Mode, metric: Metric) -> String {
+    let bounds = lower_bounds(problem, model, mode, metric);
+    bounds
+        .iter()
+        .map(|b| {
+            let sym = match b.tightness {
+                Tightness::Tight => "Θ",
+                Tightness::LowerOnly => "Ω",
+            };
+            if b.condition.is_empty() {
+                format!("{sym}({})", b.expr)
+            } else {
+                format!("{sym}({}) [{}]", b.expr, b.condition)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn cell_value(problem: Problem, model: Model, mode: Mode, metric: Metric, pr: &Params) -> f64 {
+    crate::cells::best_lower_bound(problem, model, mode, metric, pr).unwrap_or(f64::NAN)
+}
+
+/// Renders one of the three time sub-tables (QSM, s-QSM, BSP) with the
+/// symbolic bounds and their values at `pr`.
+pub fn render_time_table(model: Model, pr: &Params) -> String {
+    let title = match model {
+        Model::Qsm => format!(
+            "Time Lower Bounds for QSM   (n={}, g={})",
+            pr.n, pr.g
+        ),
+        Model::SQsm => format!(
+            "Time Lower Bounds for s-QSM (n={}, g={})",
+            pr.n, pr.g
+        ),
+        Model::Bsp => format!(
+            "Time Lower Bounds for BSP   (n={}, g={}, L={}, p={}, q=min(n,p))",
+            pr.n, pr.g, pr.l, pr.p
+        ),
+    };
+    let mut out = String::new();
+    out.push_str(&title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<28} | {:<58} | {:>10} | {:<58} | {:>10}\n",
+        "problem", "deterministic l.b.", "value", "randomized l.b.", "value"
+    ));
+    out.push_str(&"-".repeat(175));
+    out.push('\n');
+    for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
+        out.push_str(&format!(
+            "{:<28} | {:<58} | {:>10.1} | {:<58} | {:>10.1}\n",
+            problem_name(problem),
+            cell_text(problem, model, Mode::Deterministic, Metric::Time),
+            cell_value(problem, model, Mode::Deterministic, Metric::Time, pr),
+            cell_text(problem, model, Mode::Randomized, Metric::Time),
+            cell_value(problem, model, Mode::Randomized, Metric::Time, pr),
+        ));
+    }
+    out
+}
+
+/// Renders the rounds sub-table (all three models side by side).
+pub fn render_rounds_table(pr: &Params) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Number of Rounds for p-processor Algorithms (p <= n)   (n={}, g={}, p={})\n",
+        pr.n, pr.g, pr.p
+    ));
+    out.push_str(&format!(
+        "{:<28} | {:<52} | {:>8} | {:<28} | {:>8} | {:<28} | {:>8}\n",
+        "problem", "QSM", "value", "s-QSM", "value", "BSP", "value"
+    ));
+    out.push_str(&"-".repeat(180));
+    out.push('\n');
+    for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
+        out.push_str(&format!(
+            "{:<28} | {:<52} | {:>8.2} | {:<28} | {:>8.2} | {:<28} | {:>8.2}\n",
+            problem_name(problem),
+            cell_text(problem, Model::Qsm, Mode::Randomized, Metric::Rounds),
+            cell_value(problem, Model::Qsm, Mode::Randomized, Metric::Rounds, pr),
+            cell_text(problem, Model::SQsm, Mode::Randomized, Metric::Rounds),
+            cell_value(problem, Model::SQsm, Mode::Randomized, Metric::Rounds, pr),
+            cell_text(problem, Model::Bsp, Mode::Randomized, Metric::Rounds),
+            cell_value(problem, Model::Bsp, Mode::Randomized, Metric::Rounds, pr),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_tables_mention_every_problem_and_formula() {
+        let pr = Params::qsm(1048576.0, 8.0);
+        for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+            let s = render_time_table(model, &pr);
+            assert!(s.contains("OR"));
+            assert!(s.contains("Parity"));
+            assert!(s.contains("compaction"));
+            assert!(s.contains('Ω'));
+        }
+        // Theta rows present where the paper has them.
+        assert!(render_time_table(Model::SQsm, &pr).contains("Θ(g·log n)"));
+    }
+
+    #[test]
+    fn rounds_table_has_three_model_columns() {
+        let pr = Params::bsp(65536.0, 4.0, 32.0, 1024.0);
+        let s = render_rounds_table(&pr);
+        assert!(s.contains("QSM"));
+        assert!(s.contains("s-QSM"));
+        assert!(s.contains("BSP"));
+        assert!(s.contains("Θ"));
+    }
+
+    #[test]
+    fn rendered_values_are_numbers() {
+        let pr = Params::qsm(1048576.0, 8.0);
+        let s = render_time_table(Model::Qsm, &pr);
+        assert!(!s.contains("NaN"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The Section 8 upper-bound formulas, for the bound-vs-algorithm ratio
+//! columns the bench harness prints.
+
+use crate::cells::{Model, Params, Problem};
+use crate::math::{lg, lglg};
+
+/// Section 8 upper bound for the given problem/model, as a formula value.
+/// Returns `None` where the paper gives no (deterministic or w.h.p.) upper
+/// bound for that combination.
+pub fn upper_bound_time(problem: Problem, model: Model, params: &Params) -> Option<f64> {
+    let n = params.n;
+    let g = params.g;
+    let l = params.l;
+    let log = (l / g).max(2.0);
+    Some(match (problem, model) {
+        // Parity: O(g log n / log log g) on QSM (depth-2 circuit emulation),
+        // O(g log n) on s-QSM, O(L log n / log(L/g)) on BSP.
+        (Problem::Parity, Model::Qsm) => g * lg(n) / lglg(g),
+        (Problem::Parity, Model::SQsm) => g * lg(n),
+        (Problem::Parity, Model::Bsp) => l * lg(n) / lg(log),
+        // OR: O((g/log g)·log n) on QSM, O(g log n) on s-QSM,
+        // O(L log n/log(L/g)) on BSP (Juurlink–Wijshoff).
+        (Problem::Or, Model::Qsm) => g * lg(n) / lg(g),
+        (Problem::Or, Model::SQsm) => g * lg(n),
+        (Problem::Or, Model::Bsp) => l * lg(n) / lg(log),
+        // LAC (randomized, w.h.p.): O(sqrt(g log n) + g log log n) on QSM,
+        // O(g sqrt(log n)) on s-QSM,
+        // O(sqrt(Lg log n)/log(L/g) + L log log n/log(L/g)) on BSP.
+        (Problem::Lac, Model::Qsm) => (g * lg(n)).sqrt() + g * lglg(n),
+        (Problem::Lac, Model::SQsm) => g * lg(n).sqrt(),
+        (Problem::Lac, Model::Bsp) => {
+            (l * g * lg(n)).sqrt() / lg(log) + l * lglg(n) / lg(log)
+        }
+    })
+}
+
+/// Parity upper bound on the QSM *with unit-time concurrent reads*:
+/// `O(g·log n / log g)` — the variant that makes the Theorem 3.1 bound Θ.
+pub fn parity_unit_cr_upper(params: &Params) -> f64 {
+    params.g * lg(params.n) / lg(params.g)
+}
+
+/// Section 8 rounds upper bounds (all via prefix-sums style algorithms):
+/// `log n / log(n/p)` everywhere, improved to `log n / log(gn/p)` for OR on
+/// the QSM (write-combining absorbs contention `g·n/p` within one round).
+pub fn upper_bound_rounds(problem: Problem, model: Model, params: &Params) -> f64 {
+    let n = params.n;
+    let p = params.p;
+    let b = (n / p).max(2.0);
+    match (problem, model) {
+        (Problem::Or, Model::Qsm) => lg(n) / lg((params.g * n / p).max(2.0)),
+        _ => lg(n) / lg(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{best_lower_bound, Metric, Mode};
+
+    const P: Params = Params { n: 1048576.0, g: 16.0, l: 128.0, p: 4096.0 };
+
+    #[test]
+    fn upper_bounds_exist_for_all_time_cells() {
+        for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
+            for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+                assert!(upper_bound_time(problem, model, &P).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn upper_dominates_lower_everywhere() {
+        // Every Section 8 upper bound must sit at or above the strongest
+        // matching lower bound (deterministic LB vs deterministic-capable
+        // UB; LAC's UB is randomized so compare against the randomized LB).
+        // n >= 2^16: below that, sqrt(log n) has not yet overtaken
+        // loglog n and the LAC comparison is meaningless.
+        for n in [65536.0, 1e7, 1e12] {
+            for g in [2.0, 8.0, 64.0] {
+                let pr = Params { n, g, l: 8.0 * g, p: n };
+                for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+                    for (problem, mode) in [
+                        (Problem::Parity, Mode::Deterministic),
+                        (Problem::Or, Mode::Deterministic),
+                        (Problem::Lac, Mode::Randomized),
+                    ] {
+                        let ub = upper_bound_time(problem, model, &pr).unwrap();
+                        let lb =
+                            best_lower_bound(problem, model, mode, Metric::Time, &pr).unwrap();
+                        assert!(
+                            ub >= lb * 0.99,
+                            "{problem:?} {model:?} n={n} g={g}: ub {ub} < lb {lb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sqsm_parity_is_tight() {
+        // Θ entry: upper equals lower exactly under our convention.
+        let ub = upper_bound_time(Problem::Parity, Model::SQsm, &P).unwrap();
+        let lb = best_lower_bound(Problem::Parity, Model::SQsm, Mode::Deterministic, Metric::Time, &P)
+            .unwrap();
+        assert_eq!(ub, lb);
+    }
+
+    #[test]
+    fn unit_cr_parity_matches_its_theta() {
+        // Theorem 3.1's Θ(g log n/log g) with concurrent reads.
+        let det_lb = best_lower_bound(Problem::Parity, Model::Qsm, Mode::Deterministic, Metric::Time, &P)
+            .unwrap();
+        assert_eq!(parity_unit_cr_upper(&P), det_lb);
+    }
+
+    #[test]
+    fn rounds_upper_matches_tight_rows() {
+        for model in [Model::SQsm, Model::Bsp] {
+            for problem in [Problem::Or, Problem::Parity] {
+                let ub = upper_bound_rounds(problem, model, &P);
+                let lb = best_lower_bound(problem, model, Mode::Randomized, Metric::Rounds, &P)
+                    .unwrap();
+                assert_eq!(ub, lb, "{problem:?} {model:?}");
+            }
+        }
+        // QSM OR: tight at log n/log(gn/p).
+        let ub = upper_bound_rounds(Problem::Or, Model::Qsm, &P);
+        let lb = best_lower_bound(Problem::Or, Model::Qsm, Mode::Randomized, Metric::Rounds, &P)
+            .unwrap();
+        assert_eq!(ub, lb);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests of the bound registry: every formula positive, finite,
+//! monotone where the paper's shapes are monotone, and consistent under
+//! the Claim 2.1 mappings across random parameter points.
+
+use proptest::prelude::*;
+
+use parbounds_tables::mapping;
+use parbounds_tables::math::{lg, lglg, log_star};
+use parbounds_tables::{
+    best_lower_bound, upper_bound_rounds, upper_bound_time, Metric, Mode, Model, Params,
+    Problem, TABLE1,
+};
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (8f64..1e12, 1f64..128.0, 1f64..64.0, 2f64..1e6).prop_map(|(n, g, lf, p)| Params {
+        n,
+        g,
+        l: g * lf, // keep L >= g
+        p: p.min(n),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every registry entry is positive and finite everywhere.
+    #[test]
+    fn all_bounds_positive_finite(pr in arb_params()) {
+        for b in TABLE1 {
+            let v = (b.eval)(&pr);
+            prop_assert!(v.is_finite() && v > 0.0, "{:?} at {:?} gave {}", b, pr, v);
+        }
+    }
+
+    /// Time bounds are non-decreasing in n (with the other parameters
+    /// fixed) — every Table 1 formula grows with the input.
+    #[test]
+    fn time_bounds_monotone_in_n(pr in arb_params(), factor in 2f64..64.0) {
+        let big = Params { n: pr.n * factor, ..pr };
+        for b in TABLE1.iter().filter(|b| b.metric == Metric::Time) {
+            let (a, c) = ((b.eval)(&pr), (b.eval)(&big));
+            prop_assert!(c >= a * 0.999, "{:?}: {} -> {} as n x{}", b, a, c, factor);
+        }
+    }
+
+    /// Shared-memory time bounds scale at least linearly in g... more
+    /// precisely they are non-decreasing in g.
+    #[test]
+    fn qsm_family_bounds_monotone_in_g(pr in arb_params(), factor in 2f64..16.0) {
+        let big = Params { g: pr.g * factor, l: pr.l * factor, ..pr };
+        for b in TABLE1
+            .iter()
+            .filter(|b| b.metric == Metric::Time && b.model != Model::Bsp)
+        {
+            let (a, c) = ((b.eval)(&pr), (b.eval)(&big));
+            prop_assert!(c >= a * 0.999, "{:?}: {} -> {}", b, a, c);
+        }
+    }
+
+    /// Rounds bounds are non-increasing in the block size n/p.
+    #[test]
+    fn rounds_bounds_antitone_in_block(pr in arb_params()) {
+        let small_block = Params { p: pr.n / 2.0, ..pr };
+        let large_block = Params { p: (pr.n / 64.0).max(1.0), ..pr };
+        for b in TABLE1.iter().filter(|b| b.metric == Metric::Rounds) {
+            let few = (b.eval)(&large_block);
+            let many = (b.eval)(&small_block);
+            prop_assert!(many >= few * 0.999, "{:?}: {} !>= {}", b, many, few);
+        }
+    }
+
+    /// Claim 2.1 consistency: mapping the GSM Parity theorem must produce
+    /// values within a constant of the registry's QSM/s-QSM entries.
+    #[test]
+    fn mapped_gsm_bounds_match_registry_shape(n in 64f64..1e9, g in 2f64..64.0) {
+        let pr = Params::qsm(n, g);
+        let reg = best_lower_bound(Problem::Parity, Model::Qsm, Mode::Deterministic,
+                                   Metric::Time, &pr).unwrap();
+        let mapped = mapping::qsm_time(mapping::gsm_parity_det_time, n, g);
+        let ratio = mapped / reg;
+        prop_assert!((0.2..=5.0).contains(&ratio), "ratio {}", ratio);
+
+        let reg = best_lower_bound(Problem::Parity, Model::SQsm, Mode::Deterministic,
+                                   Metric::Time, &pr).unwrap();
+        let mapped = mapping::sqsm_time(mapping::gsm_parity_det_time, n, g);
+        let ratio = mapped / reg;
+        prop_assert!((0.2..=5.0).contains(&ratio), "s-QSM ratio {}", ratio);
+    }
+
+    /// Upper-bound formulas dominate the matching lower bounds in the
+    /// asymptotic regime. (n ≥ 2^40: below that, LAC's Ω(g·log* n)
+    /// "with n processors" entry still exceeds its O(g·log log n)-flavoured
+    /// upper bound — log* n = 5 beats log log n until n ≈ 2^32.)
+    #[test]
+    fn upper_dominates_lower_asymptotically(g in 2f64..64.0, e in 40u32..200) {
+        let n = 2f64.powi(e as i32);
+        let pr = Params { n, g, l: 8.0 * g, p: n };
+        for (problem, mode) in [
+            (Problem::Parity, Mode::Deterministic),
+            (Problem::Or, Mode::Deterministic),
+            (Problem::Lac, Mode::Randomized),
+        ] {
+            for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+                let ub = upper_bound_time(problem, model, &pr).unwrap();
+                let lb = best_lower_bound(problem, model, mode, Metric::Time, &pr).unwrap();
+                prop_assert!(ub >= lb * 0.99, "{:?} {:?}: {} < {}", problem, model, ub, lb);
+            }
+        }
+    }
+
+    /// Rounds upper formulas dominate the rounds lower bounds (they are
+    /// equal on the Θ rows).
+    #[test]
+    fn rounds_upper_dominates_lower(pr in arb_params()) {
+        for problem in [Problem::Or, Problem::Parity] {
+            for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+                let ub = upper_bound_rounds(problem, model, &pr);
+                let lb = best_lower_bound(problem, model, Mode::Randomized, Metric::Rounds, &pr)
+                    .unwrap();
+                prop_assert!(ub >= lb * 0.999, "{:?} {:?}", problem, model);
+            }
+        }
+    }
+
+    /// Safe-log conventions: lg/lglg/log* are monotone and ordered
+    /// log* ≤ lglg ≤ lg for large arguments.
+    #[test]
+    fn log_helpers_ordered(x in 16f64..1e15) {
+        prop_assert!(lg(x) >= lglg(x));
+        prop_assert!(lglg(x) >= log_star(x) - 2.0); // within the additive slop
+        prop_assert!(lg(x * 2.0) >= lg(x));
+        prop_assert!(log_star(x * x) >= log_star(x));
+    }
+}

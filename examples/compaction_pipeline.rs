@@ -1,0 +1,74 @@
+//! The Section 6 problem family end-to-end: a Chromatic Load Balancing
+//! instance solved three ways — through Load Balancing, through LAC, and
+//! through Padded Sort — exactly the three reductions of Theorem 6.1, with
+//! every solution verified against the CLB contract.
+//!
+//! ```text
+//! cargo run --release -p parbounds --example compaction_pipeline
+//! ```
+
+use parbounds::algo::reductions::{clb_via_lac, clb_via_load_balance, clb_via_padded_sort};
+use parbounds::algo::workloads::ClbInstance;
+use parbounds::algo::{lac, workloads};
+use parbounds::models::QsmMachine;
+
+fn main() {
+    let machine = QsmMachine::qsm(4);
+
+    // --- A raw LAC run first: n cells, h items, O(h) destination.
+    let (n, h) = (1 << 12, 1 << 9);
+    let items = workloads::sparse_items(n, h, 7);
+    let out = lac::lac_dart(&machine, &items, h, 99).unwrap();
+    assert!(out.verify(&items));
+    println!(
+        "LAC: {h} items from {n} cells into {} slots in {} phases, time {}, max contention {}",
+        out.out_size,
+        out.run.phases(),
+        out.run.time(),
+        out.run.ledger.max_contention()
+    );
+
+    // Deterministic exact compaction for comparison (computes in rounds).
+    let p = 256;
+    let exact = lac::lac_prefix(&machine, &items, p).unwrap();
+    assert!(exact.verify(&items));
+    println!(
+        "     prefix-sums exact compaction with p={p}: {} rounds, time {}",
+        exact.run.phases(),
+        exact.run.time()
+    );
+
+    // --- Theorem 6.1: one CLB instance, three solvers.
+    println!("\nChromatic Load Balancing (n groups of 4m objects, 8m colors):");
+    let inst = ClbInstance::generate(2048, 32, 5);
+    let color = 17;
+    println!(
+        "  instance: n={} m={} | color {} has {} groups = {} objects",
+        inst.n,
+        inst.m,
+        color,
+        inst.color_count(color),
+        inst.object_count(color)
+    );
+
+    let sol = clb_via_load_balance(&machine, &inst, 128, color)
+        .unwrap()
+        .expect("balanced regime");
+    assert!(inst.verify_solution(sol.color, &sol.dest));
+    println!("  via Load Balancing : {} objects placed, model time {}", sol.dest.len(), sol.time);
+
+    let sol = clb_via_lac(&machine, &inst, color, 11).unwrap().expect("embedding fits");
+    assert!(inst.verify_solution(sol.color, &sol.dest));
+    println!("  via LAC            : {} objects placed, model time {}", sol.dest.len(), sol.time);
+
+    let sol = clb_via_padded_sort(&machine, &inst, color, 13)
+        .unwrap()
+        .expect("no bucket overflow");
+    assert!(inst.verify_solution(sol.color, &sol.dest));
+    println!("  via Padded Sort    : {} objects placed, model time {}", sol.dest.len(), sol.time);
+
+    println!(
+        "\nAll three solvers satisfied the CLB contract — the executable content of the\n\
+         Theorem 6.1 reductions that transfer the CLB lower bound to all three problems."
+    );
+}

@@ -1,0 +1,64 @@
+//! The GSM/QSM separation, measured — why the paper proves its lower
+//! bounds on the GSM (Section 2.2): the strong-queuing rule merges all
+//! concurrent writes, so information gathering that costs `g·k` on a QSM
+//! costs one big-step on the GSM. The fan-in-β GSM tree meets the
+//! Theorem 3.1 GSM lower bound `Ω(μ·log(n/γ)/log μ)` exactly, while the
+//! best QSM parity algorithm pays an extra `log g / log log g` factor.
+//!
+//! ```text
+//! cargo run --release -p parbounds --example gsm_separation
+//! ```
+
+use parbounds::algo::{gsm_algos, parity, workloads};
+use parbounds::models::{GsmMachine, QsmMachine};
+use parbounds::tables::mapping;
+
+fn main() {
+    println!("Parity: GSM(1, β=g, γ=1) strong-queuing tree vs QSM(g) pattern helpers\n");
+    println!(
+        "{:>8} {:>4} | {:>10} {:>14} {:>8} | {:>10} {:>8} | {:>10}",
+        "n", "g", "GSM time", "GSM Thm3.1 LB", "ratio", "QSM time", "ratio", "QSM/GSM"
+    );
+    println!("{}", "-".repeat(100));
+    for n in [1usize << 8, 1 << 10, 1 << 12, 1 << 14] {
+        for g in [4u64, 16, 64] {
+            let bits = workloads::random_bits(n, n as u64 ^ g);
+            let expected = bits.iter().sum::<i64>() % 2;
+
+            let gsm = GsmMachine::new(1, g, 1);
+            let gsm_out = gsm_algos::gsm_parity(&gsm, &bits).unwrap();
+            assert_eq!(gsm_out.value, expected);
+            // Theorem 3.1 on the GSM: Ω(μ·log(n/γ)/log μ) with μ = β = g.
+            let gsm_lb = mapping::gsm_parity_det_time(n as f64, 1.0, g as f64, 1.0);
+
+            let qsm = QsmMachine::qsm(g);
+            let k = parity::parity_helper_default_k(&qsm);
+            let qsm_out = parity::parity_pattern_helper(&qsm, &bits, k).unwrap();
+            assert_eq!(qsm_out.value, expected);
+            let qsm_formula =
+                g as f64 * (n as f64).log2() / (g as f64).log2().log2().max(1.0);
+
+            println!(
+                "{:>8} {:>4} | {:>10} {:>14.1} {:>8.2} | {:>10} {:>8.2} | {:>10.2}",
+                n,
+                g,
+                gsm_out.run.time(),
+                gsm_lb,
+                gsm_out.run.time() as f64 / gsm_lb,
+                qsm_out.run.time(),
+                qsm_out.run.time() as f64 / qsm_formula,
+                qsm_out.run.time() as f64 / gsm_out.run.time() as f64,
+            );
+        }
+    }
+    println!();
+    println!("Readings:");
+    println!(" * GSM ratio column is a flat small constant — the Theorem 3.1 GSM bound");
+    println!("   is TIGHT on the GSM itself (the strong-queuing tree achieves it).");
+    println!(" * QSM ratio column is flat against g·log n/log log g — the paper's QSM");
+    println!("   upper bound shape.");
+    println!(" * The QSM/GSM column shows the extra log g/log log g factor the QSM pays");
+    println!("   (≈3x over this sweep; it widens slowly, as log g/log log g does).");
+    println!("   That gap is the power the lower-bound model holds over the machine");
+    println!("   models, and why Claim 2.1 only transfers bounds downward.");
+}

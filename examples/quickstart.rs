@@ -1,0 +1,76 @@
+//! Quickstart: run one algorithm on each model simulator and compare its
+//! measured cost against the paper's Table 1 bounds.
+//!
+//! ```text
+//! cargo run --release -p parbounds --example quickstart
+//! ```
+
+use parbounds::algo::{bsp_algos, or_tree, parity, reduce, workloads};
+use parbounds::models::{BspMachine, QsmMachine};
+use parbounds::tables::{
+    best_lower_bound, upper_bound_time, Metric, Mode, Model, Params, Problem,
+};
+
+fn main() {
+    let n = 1 << 12;
+    let g = 8u64;
+    let bits = workloads::random_bits(n, 42);
+    let truth_parity = bits.iter().sum::<i64>() % 2;
+    let truth_or = i64::from(bits.iter().any(|&b| b != 0));
+
+    println!("parbounds quickstart — n = {n}, g = {g}\n");
+
+    // --- QSM: pattern-helper Parity (Section 8's depth-2 circuit emulation).
+    let qsm = QsmMachine::qsm(g);
+    let k = parity::parity_helper_default_k(&qsm);
+    let out = parity::parity_pattern_helper(&qsm, &bits, k).unwrap();
+    assert_eq!(out.value, truth_parity);
+    let pr = Params::qsm(n as f64, g as f64);
+    println!(
+        "QSM   Parity (helper, k={k}):   time {:6}   LB {:7.1}   UB formula {:7.1}",
+        out.run.time(),
+        best_lower_bound(Problem::Parity, Model::Qsm, Mode::Deterministic, Metric::Time, &pr)
+            .unwrap(),
+        upper_bound_time(Problem::Parity, Model::Qsm, &pr).unwrap(),
+    );
+
+    // --- QSM: write-combining OR tree with fan-in g.
+    let out = or_tree::or_write_tree(&qsm, &bits, g as usize).unwrap();
+    assert_eq!(out.value, truth_or);
+    println!(
+        "QSM   OR (write tree, k=g):     time {:6}   LB {:7.1}   UB formula {:7.1}",
+        out.run.time(),
+        best_lower_bound(Problem::Or, Model::Qsm, Mode::Deterministic, Metric::Time, &pr)
+            .unwrap(),
+        upper_bound_time(Problem::Or, Model::Qsm, &pr).unwrap(),
+    );
+
+    // --- s-QSM: the tight Θ(g·log n) binary-tree Parity.
+    let sqsm = QsmMachine::sqsm(g);
+    let out = reduce::parity_read_tree(&sqsm, &bits, 2).unwrap();
+    assert_eq!(out.value, truth_parity);
+    println!(
+        "s-QSM Parity (binary tree):     time {:6}   Θ formula {:6.1}   ratio {:.2}",
+        out.run.time(),
+        upper_bound_time(Problem::Parity, Model::SQsm, &pr).unwrap(),
+        out.run.time() as f64 / upper_bound_time(Problem::Parity, Model::SQsm, &pr).unwrap(),
+    );
+
+    // --- BSP: fan-in L/g reduction.
+    let (l, p) = (64u64, 64usize);
+    let bsp = BspMachine::new(p, g, l).unwrap();
+    let out = bsp_algos::bsp_parity(&bsp, &bits).unwrap();
+    assert_eq!(out.value, truth_parity);
+    let pr = Params::bsp(n as f64, g as f64, l as f64, p as f64);
+    println!(
+        "BSP   Parity (fan-in L/g):      time {:6}   LB {:7.1}   UB formula {:7.1}   ({} supersteps)",
+        out.time(),
+        best_lower_bound(Problem::Parity, Model::Bsp, Mode::Deterministic, Metric::Time, &pr)
+            .unwrap(),
+        upper_bound_time(Problem::Parity, Model::Bsp, &pr).unwrap(),
+        out.supersteps(),
+    );
+
+    println!("\nEvery measured time sits between the lower bound and a small constant");
+    println!("times the Section 8 upper-bound formula — the paper's Table 1, live.");
+}

@@ -1,0 +1,113 @@
+//! Bounds vs measurements, swept: for every Table 1 time row, the measured
+//! cost of our Section 8 algorithm must (a) dominate the matching lower
+//! bound and (b) track the upper-bound formula with a flat ratio — the
+//! "shape holds" criterion of EXPERIMENTS.md.
+
+use parbounds::tables::Problem;
+use parbounds::{bsp_time_row, qsm_time_row, sqsm_time_row, TableRow};
+
+fn shape_ratios(rows: &[TableRow]) -> Vec<f64> {
+    rows.iter().map(|r| r.shape_ratio().unwrap()).collect()
+}
+
+/// Max/min of the ratio column: flat sweeps stay below a small constant.
+fn flatness(ratios: &[f64]) -> f64 {
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    max / min
+}
+
+#[test]
+fn qsm_parity_and_or_shapes_are_flat() {
+    for problem in [Problem::Parity, Problem::Or] {
+        let mut rows = Vec::new();
+        for n in [1usize << 8, 1 << 10, 1 << 12, 1 << 14] {
+            for g in [2u64, 4, 8, 16] {
+                rows.push(qsm_time_row(problem, n, g, 1).unwrap());
+            }
+        }
+        for row in &rows {
+            assert!(row.measured_respects_lower_bound(false, 1.0), "{row:?}");
+        }
+        let f = flatness(&shape_ratios(&rows));
+        assert!(f <= 3.0, "{problem:?}: ratio spread {f}");
+    }
+}
+
+#[test]
+fn sqsm_parity_theta_is_exactly_three_g_per_level() {
+    // The Θ(g·log n) row: our binary tree costs exactly 3g per level, so
+    // measured / (g·log n) is exactly 3 at powers of two.
+    for n in [1usize << 8, 1 << 12] {
+        for g in [2u64, 16] {
+            let row = sqsm_time_row(Problem::Parity, n, g, 1).unwrap();
+            assert_eq!(row.measured.unwrap(), 3.0 * row.upper_formula, "n={n} g={g}");
+        }
+    }
+}
+
+#[test]
+fn lac_measured_sits_between_rand_lb_and_log_factor_of_ub() {
+    // Our dart thrower is the simple variant: it tracks O(g·log(n)) in the
+    // worst case but empirically lands near the UB formula; it must always
+    // dominate the randomized LB.
+    for n in [1usize << 10, 1 << 14] {
+        for g in [2u64, 8] {
+            for row in [
+                qsm_time_row(Problem::Lac, n, g, 2).unwrap(),
+                sqsm_time_row(Problem::Lac, n, g, 2).unwrap(),
+            ] {
+                assert!(row.measured_respects_lower_bound(true, 1.0), "{row:?}");
+                let ratio = row.shape_ratio().unwrap();
+                assert!(ratio <= 16.0, "{row:?}: ratio {ratio}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bsp_parity_shape_is_flat_across_p_and_l() {
+    let mut rows = Vec::new();
+    for n in [1usize << 10, 1 << 14] {
+        for &(g, l) in &[(2u64, 8u64), (2, 32), (4, 64)] {
+            for p in [16usize, 64, 256] {
+                rows.push(bsp_time_row(Problem::Parity, n, g, l, p, 3).unwrap());
+            }
+        }
+    }
+    for row in &rows {
+        assert!(row.measured_respects_lower_bound(false, 2.0), "{row:?}");
+    }
+    let f = flatness(&shape_ratios(&rows));
+    assert!(f <= 4.0, "ratio spread {f}");
+}
+
+#[test]
+fn crossover_write_tree_beats_read_tree_only_on_qsm() {
+    // The structural crossover of sub-tables 1 vs 2: fan-in g write
+    // combining wins on the QSM and loses on the s-QSM.
+    use parbounds::algo::{or_tree, reduce};
+    use parbounds::models::QsmMachine;
+    let n = 1 << 12;
+    let g = 16u64;
+    let bits = vec![1i64; n];
+    let q_wide = or_tree::or_write_tree(&QsmMachine::qsm(g), &bits, g as usize).unwrap();
+    let q_read = reduce::or_read_tree(&QsmMachine::qsm(g), &bits, 2).unwrap();
+    assert!(q_wide.run.time() < q_read.run.time());
+    let s_wide = or_tree::or_write_tree(&QsmMachine::sqsm(g), &bits, g as usize).unwrap();
+    let s_narrow = or_tree::or_write_tree(&QsmMachine::sqsm(g), &bits, 2).unwrap();
+    assert!(s_narrow.run.time() < s_wide.run.time());
+}
+
+#[test]
+fn growing_g_separates_qsm_from_sqsm_parity() {
+    // Parity UB: QSM O(g log n/log log g) vs s-QSM Θ(g log n): the measured
+    // gap must widen with g.
+    let n = 1 << 12;
+    let gap = |g: u64| {
+        let q = qsm_time_row(Problem::Parity, n, g, 4).unwrap().measured.unwrap();
+        let s = sqsm_time_row(Problem::Parity, n, g, 4).unwrap().measured.unwrap();
+        s / q
+    };
+    assert!(gap(64) > gap(4), "gap(64)={} gap(4)={}", gap(64), gap(4));
+}

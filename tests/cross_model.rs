@@ -1,0 +1,186 @@
+//! Cross-model coherence: the same logical problem solved on every model
+//! gives identical answers, and the models' cost rules order the way the
+//! paper's Claim 2.1 hierarchy says they must.
+
+use parbounds::algo::{bsp_algos, lac, or_tree, parity, reduce, util::ReduceOp, workloads};
+use parbounds::models::{BspMachine, GsmMachine, QsmMachine};
+
+#[test]
+fn parity_agrees_across_all_models_and_algorithms() {
+    for n in [32usize, 500, 2048] {
+        let bits = workloads::random_bits(n, n as u64 * 7 + 1);
+        let expected = bits.iter().sum::<i64>() % 2;
+
+        let qsm = QsmMachine::qsm(8);
+        assert_eq!(reduce::parity_read_tree(&qsm, &bits, 2).unwrap().value, expected);
+        assert_eq!(reduce::parity_read_tree(&qsm, &bits, 5).unwrap().value, expected);
+        assert_eq!(parity::parity_pattern_helper(&qsm, &bits, 3).unwrap().value, expected);
+
+        let ucr = QsmMachine::qsm_unit_cr(8);
+        assert_eq!(parity::parity_pattern_helper(&ucr, &bits, 4).unwrap().value, expected);
+
+        let sqsm = QsmMachine::sqsm(8);
+        assert_eq!(reduce::parity_read_tree(&sqsm, &bits, 2).unwrap().value, expected);
+
+        let bsp = BspMachine::new(8, 2, 16).unwrap();
+        assert_eq!(bsp_algos::bsp_parity(&bsp, &bits).unwrap().value, expected);
+    }
+}
+
+#[test]
+fn or_agrees_across_models() {
+    for witness in [None, Some(0usize), Some(777), Some(2047)] {
+        let n = 2048;
+        let mut bits = vec![0i64; n];
+        if let Some(w) = witness {
+            bits[w] = 1;
+        }
+        let expected = i64::from(witness.is_some());
+        let qsm = QsmMachine::qsm(4);
+        assert_eq!(or_tree::or_write_tree(&qsm, &bits, 4).unwrap().value, expected);
+        let bsp = BspMachine::new(16, 2, 8).unwrap();
+        assert_eq!(bsp_algos::bsp_or(&bsp, &bits).unwrap().value, expected);
+    }
+}
+
+#[test]
+fn lac_agrees_between_shared_memory_and_bsp() {
+    let n = 1024;
+    let h = 128;
+    let items = workloads::sparse_items(n, h, 4);
+    let qsm = QsmMachine::qsm(2);
+    let shm = lac::lac_dart(&qsm, &items, h, 9).unwrap();
+    assert!(shm.verify(&items));
+    let bsp = BspMachine::new(16, 2, 8).unwrap();
+    let msg = bsp_algos::bsp_lac_dart(&bsp, &items, h, 9).unwrap();
+    assert!(msg.verify(&items));
+    // Identical seeds produce the identical placement: the two dart
+    // implementations share the hash schedule.
+    let shm_placed: Vec<(usize, usize)> = shm
+        .dest()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0)
+        .map(|(s, &v)| (s, (v - 1) as usize))
+        .collect();
+    assert_eq!(shm_placed.len(), msg.placed.len());
+}
+
+#[test]
+fn sqsm_never_charges_less_than_qsm_for_the_same_program() {
+    // s-QSM cost = max(m_op, g·m_rw, g·κ) >= QSM cost = max(m_op, g·m_rw, κ)
+    // phase by phase; check on a contention-heavy algorithm.
+    let n = 512;
+    let bits = vec![1i64; n];
+    for g in [2u64, 8] {
+        let q = or_tree::or_write_tree(&QsmMachine::qsm(g), &bits, 8).unwrap();
+        let s = or_tree::or_write_tree(&QsmMachine::sqsm(g), &bits, 8).unwrap();
+        assert!(s.run.time() >= q.run.time(), "g={g}");
+    }
+}
+
+#[test]
+fn qrqw_is_the_g1_special_case() {
+    let n = 256;
+    let bits = workloads::random_bits(n, 11);
+    let a = reduce::parity_read_tree(&QsmMachine::qrqw(), &bits, 2).unwrap();
+    let b = reduce::parity_read_tree(&QsmMachine::qsm(1), &bits, 2).unwrap();
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.run.time(), b.run.time());
+}
+
+#[test]
+fn gsm_strong_queuing_is_stronger_than_qsm_arbitrary_write() {
+    // On the GSM all concurrent writes merge; the same "everyone writes to
+    // one cell" pattern that loses information on the QSM preserves it all
+    // on the GSM — the reason lower bounds are proved there (Section 2.2).
+    use parbounds::models::{GsmEnv, GsmFnProgram, PhaseEnv, Status, Word};
+
+    let n = 8;
+    let gsm_prog = GsmFnProgram::new(
+        n,
+        |_| (),
+        |pid, _, env: &mut GsmEnv<'_>| {
+            env.write(100, pid as Word);
+            Status::Done
+        },
+    );
+    let gsm = GsmMachine::new(1, 1, 1);
+    let res = gsm.run(&gsm_prog, &[]).unwrap();
+    assert_eq!(res.memory.get(100).len(), n); // all information arrived
+
+    let qsm_prog = parbounds::models::FnProgram::new(
+        n,
+        |_| (),
+        |pid, _, env: &mut PhaseEnv<'_>| {
+            env.write(100, pid as Word);
+            Status::Done
+        },
+    );
+    let qsm = QsmMachine::qsm(1);
+    let res = qsm.run(&qsm_prog, &[]).unwrap();
+    // Only one writer survived arbitration.
+    assert!((0..n as Word).contains(&res.memory.get(100)));
+}
+
+#[test]
+fn reduce_ops_agree_between_shared_memory_and_bsp() {
+    let input: Vec<i64> = (0..300).map(|i| (i * 13 + 5) % 17).collect();
+    let qsm = QsmMachine::qsm(2);
+    let bsp = BspMachine::new(8, 2, 8).unwrap();
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Or, ReduceOp::Xor] {
+        let a = reduce::tree_reduce(&qsm, &input, 4, op).unwrap().value;
+        let b = bsp_algos::bsp_reduce(&bsp, &input, 4, op).unwrap().value;
+        assert_eq!(a, b, "{op:?}");
+    }
+}
+
+#[test]
+fn sorting_agrees_across_all_three_sorters() {
+    use parbounds::algo::bsp_algos::{bsp_padded_sort, bsp_sort_sample};
+    use parbounds::algo::padded_sort::qsm_sort;
+    let n = 700;
+    let values = workloads::uniform_values(n, 21);
+    let mut expect = values.clone();
+    expect.sort_unstable();
+
+    let qsm = QsmMachine::qsm(2);
+    let (sorted, _) = qsm_sort(&qsm, &values, 64, 4).unwrap();
+    assert_eq!(sorted, expect);
+
+    let bsp = BspMachine::new(8, 2, 8).unwrap();
+    let padded = bsp_padded_sort(&bsp, &values).unwrap();
+    assert_eq!(padded.values(), expect);
+
+    let sampled = bsp_sort_sample(&bsp, &values, 8).unwrap();
+    assert_eq!(sampled.concat(), expect);
+}
+
+#[test]
+fn parity_via_sorting_agrees_on_both_models() {
+    use parbounds::algo::reductions::{parity_via_sorting_bsp, parity_via_sorting_qsm};
+    let bits = workloads::random_bits(256, 31);
+    let expected = bits.iter().sum::<i64>() % 2;
+    let qsm = QsmMachine::qsm(2);
+    let (p_qsm, _) = parity_via_sorting_qsm(&qsm, &bits).unwrap();
+    assert_eq!(p_qsm, expected);
+    let bsp = BspMachine::new(4, 2, 8).unwrap();
+    let (p_bsp, _) = parity_via_sorting_bsp(&bsp, &bits).unwrap();
+    assert_eq!(p_bsp, expected);
+}
+
+#[test]
+fn accelerated_and_plain_lac_agree_on_placement_validity() {
+    use parbounds::algo::lac::{lac_dart, lac_dart_accel};
+    let n = 2048;
+    let h = 256;
+    let items = workloads::sparse_items(n, h, 13);
+    for machine in [QsmMachine::qsm(2), QsmMachine::sqsm(4)] {
+        let plain = lac_dart(&machine, &items, h, 5).unwrap();
+        let accel = lac_dart_accel(&machine, &items, h, 5).unwrap();
+        assert!(plain.verify(&items));
+        assert!(accel.verify(&items));
+        // Accelerated uses no more (usually fewer) dart rounds.
+        assert!(accel.run.phases() <= plain.run.phases() + 2);
+    }
+}

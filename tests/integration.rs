@@ -1,0 +1,100 @@
+//! End-to-end integration: every table-row generator produces coherent
+//! rows, and the full Section 6 pipeline (CLB through all three reductions)
+//! holds together across crates.
+
+use parbounds::algo::reductions::{
+    clb_via_lac, clb_via_load_balance, clb_via_padded_sort, parity_via_list_ranking,
+};
+use parbounds::algo::workloads::{self, ClbInstance};
+use parbounds::models::QsmMachine;
+use parbounds::tables::{Model, Problem};
+use parbounds::{bsp_time_row, qsm_time_row, qsm_unit_cr_parity, rounds_row, sqsm_time_row};
+
+#[test]
+fn all_time_rows_generate_and_order_sanely() {
+    for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
+        let q = qsm_time_row(problem, 1 << 10, 4, 1).unwrap();
+        let s = sqsm_time_row(problem, 1 << 10, 4, 1).unwrap();
+        let b = bsp_time_row(problem, 1 << 10, 2, 16, 32, 1).unwrap();
+        for row in [&q, &s, &b] {
+            assert!(row.det_lb.is_finite() && row.det_lb > 0.0, "{row:?}");
+            assert!(row.rand_lb.is_finite() && row.rand_lb > 0.0, "{row:?}");
+            assert!(row.upper_formula.is_finite(), "{row:?}");
+            if let Some(m) = row.measured {
+                assert!(m > 0.0);
+            }
+        }
+        // The randomized lower bound never exceeds the deterministic one
+        // by more than small-n noise for Parity/OR.
+        if problem != Problem::Lac {
+            assert!(q.rand_lb <= q.det_lb * 2.0, "{q:?}");
+        }
+    }
+}
+
+#[test]
+fn rounds_rows_cover_all_nine_cells() {
+    let (n, g, l, p) = (1 << 12, 2, 8, 1 << 9);
+    let mut measured_cells = 0;
+    for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
+        for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
+            let row = rounds_row(problem, model, n, g, l, p, 3).unwrap();
+            assert!(row.lower.is_finite() && row.lower > 0.0);
+            assert!(row.upper_formula >= 1.0);
+            if row.measured.is_some() {
+                measured_cells += 1;
+            }
+        }
+    }
+    // All cells except BSP-LAC have a measured rounds algorithm.
+    assert_eq!(measured_cells, 8);
+}
+
+#[test]
+fn unit_cr_parity_row_is_near_theta() {
+    for g in [4u64, 16] {
+        let (measured, theta) = qsm_unit_cr_parity(1 << 10, g, 7).unwrap();
+        let ratio = measured / theta;
+        assert!((1.0..=10.0).contains(&ratio), "g={g}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn clb_pipeline_three_ways() {
+    let machine = QsmMachine::qsm(2);
+    let inst = ClbInstance::generate(1024, 32, 9);
+    let color = 3;
+    let a = clb_via_load_balance(&machine, &inst, 64, color).unwrap().unwrap();
+    assert!(inst.verify_solution(color, &a.dest));
+    if let Some(b) = clb_via_lac(&machine, &inst, color, 5).unwrap() {
+        assert!(inst.verify_solution(color, &b.dest));
+        assert_eq!(b.dest.len(), a.dest.len());
+    }
+    let c = clb_via_padded_sort(&machine, &inst, color, 5).unwrap().unwrap();
+    assert!(inst.verify_solution(color, &c.dest));
+}
+
+#[test]
+fn parity_reduction_agrees_with_direct_algorithms() {
+    let machine = QsmMachine::qsm(4);
+    for n in [16usize, 257, 1024] {
+        let bits = workloads::random_bits(n, n as u64);
+        let direct =
+            parbounds::algo::reduce::parity_read_tree(&machine, &bits, 2).unwrap().value;
+        let via_list = parity_via_list_ranking(&machine, &bits).unwrap().value;
+        assert_eq!(direct, via_list, "n={n}");
+    }
+}
+
+#[test]
+fn workloads_are_deterministic_across_calls() {
+    assert_eq!(workloads::random_bits(100, 5), workloads::random_bits(100, 5));
+    assert_eq!(workloads::uniform_values(50, 5), workloads::uniform_values(50, 5));
+    assert_eq!(
+        workloads::sparse_items(64, 8, 5),
+        workloads::sparse_items(64, 8, 5)
+    );
+    let a = ClbInstance::generate(32, 2, 5);
+    let b = ClbInstance::generate(32, 2, 5);
+    assert_eq!(a.colors, b.colors);
+}

@@ -1,0 +1,88 @@
+//! The Section 2.3 work/rounds laws applied to the real algorithms: the
+//! rounds-respecting implementations are near-linear-work, and every
+//! round-respecting ledger obeys the `work ≤ O(r·g·n)` bound.
+
+use parbounds::algo::{lac, prefix, rounds, util::ReduceOp, workloads};
+use parbounds::models::work::{
+    is_linear_work_qsm, linear_work_implies_rounds, rounds_work_bound_bsp,
+    rounds_work_bound_qsm,
+};
+use parbounds::models::{BspMachine, QsmMachine};
+
+#[test]
+fn prefix_sums_work_obeys_the_rounds_law() {
+    for (n, p) in [(1usize << 12, 64u64), (1 << 14, 1 << 10)] {
+        for g in [1u64, 4] {
+            let machine = QsmMachine::qsm(g);
+            let input = workloads::random_bits(n, 3);
+            let out = prefix::prefix_in_rounds(&machine, &input, p as usize, ReduceOp::Sum)
+                .unwrap();
+            // Law (ii): r rounds ⇒ work ≤ slack·r·g·n.
+            assert_eq!(
+                rounds_work_bound_qsm(&out.run.ledger, p, n as u64, g, 2),
+                Some(true),
+                "n={n} p={p} g={g}"
+            );
+            // Law (i) holds on every ledger by arithmetic; assert anyway.
+            assert!(linear_work_implies_rounds(&out.run.ledger, p, n as u64, g, 2));
+        }
+    }
+}
+
+#[test]
+fn reductions_with_few_rounds_are_near_linear_work() {
+    // With n/p large the rounds count is O(1) and the reduction is
+    // linear-work up to that constant.
+    let n = 1 << 14;
+    let p = 64u64; // n/p = 256 -> 2 + 2·ceil(log_256 64) = 4 rounds
+    let g = 2;
+    let machine = QsmMachine::qsm(g);
+    let input = workloads::random_bits(n, 5);
+    let out = rounds::reduce_in_rounds(&machine, &input, p as usize, ReduceOp::Xor).unwrap();
+    let r = out.run.ledger.num_phases() as u64;
+    assert!(r <= 4, "rounds {r}");
+    // work ≤ r·(slack·g·n): near-linear for constant r.
+    assert!(is_linear_work_qsm(&out.run.ledger, p, n as u64, g, 2 * r));
+}
+
+#[test]
+fn lac_prefix_work_bound() {
+    let n = 1 << 12;
+    let p = 256u64;
+    let g = 2;
+    let machine = QsmMachine::qsm(g);
+    let items = workloads::sparse_items(n, n / 8, 7);
+    let out = lac::lac_prefix(&machine, &items, p as usize).unwrap();
+    assert!(out.verify(&items));
+    assert_eq!(rounds_work_bound_qsm(&out.run.ledger, p, n as u64, g, 2), Some(true));
+}
+
+#[test]
+fn bsp_reduction_work_bound_includes_latency() {
+    let n = 1 << 12;
+    let (p, g, l) = (64usize, 2u64, 16u64);
+    let machine = BspMachine::new(p, g, l).unwrap();
+    let bits = workloads::random_bits(n, 9);
+    let out =
+        parbounds::algo::bsp_algos::bsp_reduce(&machine, &bits, n / p, ReduceOp::Xor).unwrap();
+    assert_eq!(
+        rounds_work_bound_bsp(&out.ledger, p as u64, n as u64, g, l, 2),
+        Some(true)
+    );
+}
+
+#[test]
+fn non_rounds_algorithms_can_exceed_linear_work() {
+    // The unlimited-processor pattern-helper parity is emphatically NOT
+    // linear-work (it spends Θ(n·2^k) processors): the work law separates
+    // the "fast" regime from the "efficient" regime, exactly the tension
+    // Section 2.3 sets up.
+    let n = 1 << 10;
+    let g = 4;
+    let machine = QsmMachine::qsm(g);
+    let bits = workloads::random_bits(n, 1);
+    let out = parbounds::algo::parity::parity_pattern_helper(&machine, &bits, 3).unwrap();
+    // Processor count ~ 2n·2^3; work = procs · time >> g·n.
+    let procs = 2 * n as u64 * 8;
+    assert!(!is_linear_work_qsm(&out.run.ledger, procs, n as u64, g, 4));
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification pipeline. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy -- -D warnings

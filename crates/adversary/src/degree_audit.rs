@@ -72,7 +72,12 @@ impl DegreeAudit {
             log2_degree_cap.push(acc);
             big_steps += phase.big_steps;
         }
-        DegreeAudit { taus, log2_degree_cap, big_steps, mu: machine.mu() }
+        DegreeAudit {
+            taus,
+            log2_degree_cap,
+            big_steps,
+            mu: machine.mu(),
+        }
     }
 
     /// Final `log2(b_l)`.
@@ -148,7 +153,11 @@ where
             worst = Some(audit);
         }
     }
-    Ok(ParityAuditReport { correct, worst: worst.expect("at least one input"), max_time })
+    Ok(ParityAuditReport {
+        correct,
+        worst: worst.expect("at least one input"),
+        max_time,
+    })
 }
 
 #[cfg(test)]
@@ -228,8 +237,8 @@ mod tests {
     fn audit_confirms_correct_tree_parity() {
         for r in [2usize, 3, 5, 8] {
             let m = GsmMachine::new(1, 1, 1);
-            let report = audit_parity_program(&m, || tree_parity_program(r), out_cell(r), r)
-                .unwrap();
+            let report =
+                audit_parity_program(&m, || tree_parity_program(r), out_cell(r), r).unwrap();
             assert!(report.correct, "r={r}");
             // Theorem 3.1: the degree recurrence must reach deg(parity_r)=r.
             assert!(report.worst.supports_degree(r), "r={r}");
@@ -306,9 +315,7 @@ mod tests {
 
     #[test]
     fn theorem_bound_value_is_monotone() {
-        assert!(
-            DegreeAudit::theorem_3_1_bound(2, 1024) > DegreeAudit::theorem_3_1_bound(2, 16)
-        );
+        assert!(DegreeAudit::theorem_3_1_bound(2, 1024) > DegreeAudit::theorem_3_1_bound(2, 16));
         assert!(DegreeAudit::theorem_3_1_bound(8, 1024) > DegreeAudit::theorem_3_1_bound(2, 1024));
     }
 }

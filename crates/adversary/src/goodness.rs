@@ -207,7 +207,11 @@ mod tests {
 
     #[test]
     fn growth_sequences_match_the_paper() {
-        let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: 4096.0 };
+        let seq = GrowthSequences {
+            nu: 1.0,
+            mu: 1.0,
+            n: 4096.0,
+        };
         assert_eq!(seq.d(0), 1.0);
         assert_eq!(seq.d(1), 4.0);
         assert_eq!(seq.d(2), 16.0);
@@ -223,7 +227,11 @@ mod tests {
         let r = 8;
         let m = GsmMachine::new(1, 1, 1);
         let ens = TraceEnsemble::build(&m, || tree_parity(r), r).unwrap();
-        let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: r as f64 };
+        let seq = GrowthSequences {
+            nu: 1.0,
+            mu: 1.0,
+            n: r as f64,
+        };
         for t in 1..=ens.num_phases() {
             let good = TGoodness::check(&ens, &f_star(r), t);
             // Conditions (1)-(4) must hold with the paper's sequences.
@@ -281,7 +289,11 @@ mod tests {
 
     #[test]
     fn goodness_predicate_accepts_and_rejects() {
-        let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: 64.0 };
+        let seq = GrowthSequences {
+            nu: 1.0,
+            mu: 1.0,
+            n: 64.0,
+        };
         let mut g = TGoodness {
             max_states_degree: 1,
             max_states: 2,

@@ -45,8 +45,8 @@ pub use or_refine::{
     materialize_distribution, random_fix, random_restrict, MapSet, OrRefine, OrRefineStep,
 };
 pub use random_adversary::{
-    f_star, generate, mask_refines, random_set, refinement_masks, refines, BiasedBits,
-    GsmRefine, InputDistribution, PartialInput, Refine, UniformBits,
+    f_star, generate, mask_refines, random_set, refinement_masks, refines, BiasedBits, GsmRefine,
+    InputDistribution, PartialInput, Refine, UniformBits,
 };
 pub use traces::{Entity, TraceEnsemble};
 pub use yao::{check_yao_sampled, parity_probe_game, Game};

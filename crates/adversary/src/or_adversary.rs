@@ -53,7 +53,11 @@ impl OrDistribution {
         if densities.is_empty() {
             densities.push(0.25);
         }
-        OrDistribution { n, gamma: gamma.max(1), densities }
+        OrDistribution {
+            n,
+            gamma: gamma.max(1),
+            densities,
+        }
     }
 
     /// Number of mixture components (the `H_i`).
@@ -137,7 +141,12 @@ impl InputDistribution for OrDistribution {
         if total <= 0.0 {
             return 0.0;
         }
-        weights.iter().zip(probs.iter()).map(|(w, p)| w * p).sum::<f64>() / total
+        weights
+            .iter()
+            .zip(probs.iter())
+            .map(|(w, p)| w * p)
+            .sum::<f64>()
+            / total
     }
 }
 
@@ -242,8 +251,8 @@ mod tests {
         let d = OrDistribution::new(64, 2, 1);
         let fresh = d.conditional_p_one(0, &vec![None; 64]);
         let mut f: PartialInput = vec![None; 64];
-        for i in 1..40 {
-            f[i] = Some(false);
+        for slot in f.iter_mut().take(40).skip(1) {
+            *slot = Some(false);
         }
         let informed = d.conditional_p_one(0, &f);
         assert!(informed < fresh, "{informed} !< {fresh}");

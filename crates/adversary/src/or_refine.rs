@@ -34,8 +34,14 @@ impl MapSet {
 
     /// Splits into `(in_subset, rest)` by a predicate.
     fn split(&self, pred: impl Fn(u32) -> bool) -> (MapSet, MapSet) {
-        let mut yes = MapSet { masks: vec![], weights: vec![] };
-        let mut no = MapSet { masks: vec![], weights: vec![] };
+        let mut yes = MapSet {
+            masks: vec![],
+            weights: vec![],
+        };
+        let mut no = MapSet {
+            masks: vec![],
+            weights: vec![],
+        };
         for (&m, &w) in self.masks.iter().zip(&self.weights) {
             let side = if pred(m) { &mut yes } else { &mut no };
             side.masks.push(m);
@@ -59,7 +65,10 @@ pub fn materialize_distribution(dist: &OrDistribution, r: usize) -> MapSet {
             *w += (0.5 / comps) * p.powi(ones) * (1.0 - p).powi(r as i32 - ones);
         }
     }
-    MapSet { masks: (0..1u32 << r).collect(), weights }
+    MapSet {
+        masks: (0..1u32 << r).collect(),
+        weights,
+    }
 }
 
 /// RANDOMFIX: draws one complete input map from `D` restricted to the set.
@@ -84,7 +93,11 @@ pub fn random_restrict<R: Rng>(
     rng: &mut R,
 ) -> (MapSet, bool) {
     let (yes, no) = set.split(subset_pred);
-    let p = if set.mass() > 0.0 { yes.mass() / set.mass() } else { 0.0 };
+    let p = if set.mass() > 0.0 {
+        yes.mass() / set.mass()
+    } else {
+        0.0
+    };
     if rng.gen::<f64>() < p {
         (yes, true)
     } else {
@@ -221,15 +234,26 @@ impl OrRefine {
                         .max(self.contention[m as usize].get(t).copied().unwrap_or(0))
                 })
                 .unwrap();
-            let fixed = if self.set.masks.contains(&target) { target } else { random_fix(&self.set, rng) };
+            let fixed = if self.set.masks.contains(&target) {
+                target
+            } else {
+                random_fix(&self.set, rng)
+            };
             let x = self.rw[fixed as usize]
                 .get(t)
                 .copied()
                 .unwrap_or(1)
                 .max(self.contention[fixed as usize].get(t).copied().unwrap_or(1))
                 .max(1);
-            self.set = MapSet { masks: vec![fixed], weights: vec![1.0] };
-            return OrRefineStep { x, done: true, fixed: Some(fixed) };
+            self.set = MapSet {
+                masks: vec![fixed],
+                weights: vec![1.0],
+            };
+            return OrRefineStep {
+                x,
+                done: true,
+                fixed: Some(fixed),
+            };
         }
         // RANDOMRESTRICT against the H_t-typical subset: masks whose
         // population matches density d_t within a factor of 2 (nonzero).
@@ -247,15 +271,30 @@ impl OrRefine {
         );
         if set.masks.is_empty() {
             // Degenerate split; keep the old set.
-            return OrRefineStep { x: 1, done: false, fixed: None };
+            return OrRefineStep {
+                x: 1,
+                done: false,
+                fixed: None,
+            };
         }
         self.set = set;
         if took_subset {
             let fixed = random_fix(&self.set.clone(), rng);
-            self.set = MapSet { masks: vec![fixed], weights: vec![1.0] };
-            OrRefineStep { x: 1, done: true, fixed: Some(fixed) }
+            self.set = MapSet {
+                masks: vec![fixed],
+                weights: vec![1.0],
+            };
+            OrRefineStep {
+                x: 1,
+                done: true,
+                fixed: Some(fixed),
+            }
         } else {
-            OrRefineStep { x: 1, done: false, fixed: None }
+            OrRefineStep {
+                x: 1,
+                done: false,
+                fixed: None,
+            }
         }
     }
 }
@@ -299,7 +338,9 @@ mod tests {
                     }
                     _ => {
                         let x = Word::from(
-                            env.delivered().iter().any(|(_, c)| c.iter().any(|&b| b != 0)),
+                            env.delivered()
+                                .iter()
+                                .any(|(_, c)| c.iter().any(|&b| b != 0)),
                         );
                         env.write(bases[level] + j, x);
                         Status::Done
@@ -323,7 +364,9 @@ mod tests {
         let d = OrDistribution::new(256, 2, 1);
         let set = materialize_distribution(&d, 8);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let zeros = (0..4000).filter(|_| random_fix(&set, &mut rng) == 0).count();
+        let zeros = (0..4000)
+            .filter(|_| random_fix(&set, &mut rng) == 0)
+            .count();
         assert!(zeros >= 1800, "zeros {zeros}"); // ~>= the 1/2 atom
     }
 
@@ -342,7 +385,11 @@ mod tests {
         // all-zero mass of the sparse H_i components (~0.79 here).
         let rate = took as f64 / trials as f64;
         assert!((0.5..0.95).contains(&rate), "rate {rate}");
-        assert!((rate - set.weights[0]).abs() < 0.05, "rate {rate} vs weight {}", set.weights[0]);
+        assert!(
+            (rate - set.weights[0]).abs() < 0.05,
+            "rate {rate} vs weight {}",
+            set.weights[0]
+        );
     }
 
     #[test]
@@ -350,15 +397,12 @@ mod tests {
         let r = 8;
         let machine = GsmMachine::new(1, 1, 1);
         let dist = OrDistribution::new(r, machine.mu(), 1);
-        let mut refine =
-            OrRefine::build(&machine, || or_tree(r), r, &dist, 64).unwrap();
+        let mut refine = OrRefine::build(&machine, || or_tree(r), r, &dist, 64).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut t = 0usize;
         let mut total = 0u64;
-        for _ in 0..32 {
+        for t in 0..32 {
             let step = refine.refine(t, &mut rng);
             total += step.x;
-            t += 1;
             if step.done {
                 assert_eq!(refine.set.masks.len(), 1);
                 break;
@@ -392,8 +436,7 @@ mod tests {
         let mut zeros = 0;
         let trials = 1500;
         for _ in 0..trials {
-            let mut refine =
-                OrRefine::build(&machine, || or_tree(r), r, &dist, u64::MAX).unwrap();
+            let mut refine = OrRefine::build(&machine, || or_tree(r), r, &dist, u64::MAX).unwrap();
             let mut t = 0;
             let fixed = loop {
                 let step = refine.refine(t, &mut rng);

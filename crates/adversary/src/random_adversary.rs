@@ -47,7 +47,9 @@ pub fn mask_refines(mask: u32, f: &PartialInput) -> bool {
 
 /// All complete inputs refining `f`.
 pub fn refinement_masks(f: &PartialInput) -> Vec<u32> {
-    (0..1u32 << f.len()).filter(|&m| mask_refines(m, f)).collect()
+    (0..1u32 << f.len())
+        .filter(|&m| mask_refines(m, f))
+        .collect()
 }
 
 /// An input distribution over `{0,1}^r`, queried through the conditionals
@@ -223,7 +225,10 @@ impl GsmRefine {
     }
 
     fn contention_at(&self, mask: u32, phase: usize) -> (usize, u32) {
-        self.contention[mask as usize].get(phase).copied().unwrap_or((0, 0))
+        self.contention[mask as usize]
+            .get(phase)
+            .copied()
+            .unwrap_or((0, 0))
     }
 }
 
@@ -245,8 +250,9 @@ impl<D: InputDistribution> Refine<D> for GsmRefine {
             // Certificate of the processor's trace through `phase` on h
             // (its phase-(t+1) behaviour is a function of that trace).
             let cert = self.ensemble.cert(Entity::Proc(pid), (phase + 1).max(1), h);
-            let cert_vars: Vec<usize> =
-                (0..self.r).filter(|&i| cert >> i & 1 == 1 && f[i].is_none()).collect();
+            let cert_vars: Vec<usize> = (0..self.r)
+                .filter(|&i| cert >> i & 1 == 1 && f[i].is_none())
+                .collect();
             self.inputs_fixed += cert_vars.len();
             random_set(dist, f, &cert_vars, rng);
             if mask_refines(h, f) || cert_vars.is_empty() {
@@ -266,9 +272,12 @@ impl<D: InputDistribution> Refine<D> for GsmRefine {
                 })
                 .max_by_key(|&(_, _, c)| c)
                 .expect("at least one refinement");
-            let cert = self.ensemble.cert(Entity::Cell(cell), (phase + 1).max(1), h);
-            let cert_vars: Vec<usize> =
-                (0..self.r).filter(|&i| cert >> i & 1 == 1 && f[i].is_none()).collect();
+            let cert = self
+                .ensemble
+                .cert(Entity::Cell(cell), (phase + 1).max(1), h);
+            let cert_vars: Vec<usize> = (0..self.r)
+                .filter(|&i| cert >> i & 1 == 1 && f[i].is_none())
+                .collect();
             self.inputs_fixed += cert_vars.len();
             random_set(dist, f, &cert_vars, rng);
             if mask_refines(h, f) || cert_vars.is_empty() {

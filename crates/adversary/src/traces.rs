@@ -66,7 +66,13 @@ impl TraceEnsemble {
         }
         cells.sort_unstable();
         cells.dedup();
-        Ok(TraceEnsemble { r, phases, num_procs, cells, keys })
+        Ok(TraceEnsemble {
+            r,
+            phases,
+            num_procs,
+            cells,
+            keys,
+        })
     }
 
     /// Computes incremental trace hashes per entity for one execution.
@@ -93,7 +99,10 @@ impl TraceEnsemble {
         // replaying writes onto the initial placement.
         let mut contents: HashMap<usize, Vec<Word>> = HashMap::new();
         for (i, &b) in input.iter().enumerate() {
-            contents.entry(i / machine.gamma() as usize).or_default().push(b);
+            contents
+                .entry(i / machine.gamma() as usize)
+                .or_default()
+                .push(b);
         }
         let mut touched: Vec<usize> = contents.keys().copied().collect();
         for phase in &trace.phases {
@@ -160,7 +169,11 @@ impl TraceEnsemble {
         debug_assert!(t >= 1);
         self.keys[mask as usize]
             .get(&v)
-            .map(|ks| ks.get(t - 1).copied().unwrap_or_else(|| *ks.last().unwrap()))
+            .map(|ks| {
+                ks.get(t - 1)
+                    .copied()
+                    .unwrap_or_else(|| *ks.last().unwrap())
+            })
             .unwrap_or_else(|| hash_one(v))
     }
 

@@ -72,7 +72,9 @@ impl Game {
 /// complement).
 pub fn parity_probe_game(r: usize, t: usize) -> Game {
     assert!(r <= 12 && t <= r);
-    let positions: Vec<u32> = (0..1u32 << r).filter(|m| m.count_ones() as usize == t).collect();
+    let positions: Vec<u32> = (0..1u32 << r)
+        .filter(|m| m.count_ones() as usize == t)
+        .collect();
     let mut success = Vec::new();
     for &s in &positions {
         for flip in [false, true] {

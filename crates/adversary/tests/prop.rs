@@ -14,7 +14,6 @@ use parbounds_adversary::{
 };
 use parbounds_models::{GsmEnv, GsmFnProgram, GsmMachine, Status, Word};
 
-
 fn arb_partial(r: usize) -> impl Strategy<Value = Vec<Option<bool>>> {
     prop::collection::vec(prop::option::of(any::<bool>()), r)
 }
@@ -162,7 +161,10 @@ fn generate_trajectories_stay_good_with_high_probability() {
             }
         }
     }
-    assert_eq!(violations, 0, "{violations} bad trajectory steps in {trials} trials");
+    assert_eq!(
+        violations, 0,
+        "{violations} bad trajectory steps in {trials} trials"
+    );
 }
 
 /// The step bounds REFINE reports are *achievable* costs: re-running the

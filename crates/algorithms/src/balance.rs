@@ -13,9 +13,7 @@
 //! source processor `source` — so the verifier can check that every object
 //! arrives exactly once.
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word};
 
 use crate::prefix::prefix_in_rounds;
 use crate::util::{Layout, ReduceOp};
@@ -127,8 +125,12 @@ impl Program for ScatterProgram {
                 Status::Active
             }
             _ => {
-                st.received =
-                    env.delivered().iter().map(|&(_, v)| v).filter(|&v| v != 0).collect();
+                st.received = env
+                    .delivered()
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .filter(|&v| v != 0)
+                    .collect();
                 Status::Done
             }
         }
@@ -166,7 +168,10 @@ pub fn load_balance(machine: &QsmMachine, counts: &[Word], p: usize) -> Result<B
         let row = run2.memory.slice(mailbox_base + d * cap, cap);
         mailbox.push(row.into_iter().filter(|&v| v != 0).collect());
     }
-    Ok(BalanceOutcome { mailbox, runs: vec![prefix.run, run2] })
+    Ok(BalanceOutcome {
+        mailbox,
+        runs: vec![prefix.run, run2],
+    })
 }
 
 #[cfg(test)]

@@ -10,9 +10,7 @@
 //! `O(g·log n/log g)` total; on the s-QSM contention pays `g·κ` and `k = 2`
 //! is optimal again — the same structural asymmetry as the OR tree.
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word};
 
 use crate::util::{ceil_log, Layout};
 use crate::VecOutcome;
@@ -103,12 +101,11 @@ pub fn broadcast(machine: &QsmMachine, value: Word, n: usize, k: usize) -> Resul
 /// absorbs g readers per round), 2 on the s-QSM.
 pub fn broadcast_default_fanout(machine: &QsmMachine) -> usize {
     match machine.flavor() {
-        parbounds_models::QsmFlavor::Qsm
-        | parbounds_models::QsmFlavor::QsmUnitConcurrentReads => machine.g() as usize + 1,
-        parbounds_models::QsmFlavor::SQsm => 2,
-        parbounds_models::QsmFlavor::QsmGd(d) => {
-            ((machine.g() / d.max(1)) as usize + 1).max(2)
+        parbounds_models::QsmFlavor::Qsm | parbounds_models::QsmFlavor::QsmUnitConcurrentReads => {
+            machine.g() as usize + 1
         }
+        parbounds_models::QsmFlavor::SQsm => 2,
+        parbounds_models::QsmFlavor::QsmGd(d) => ((machine.g() / d.max(1)) as usize + 1).max(2),
     }
 }
 

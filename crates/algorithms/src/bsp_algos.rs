@@ -9,7 +9,7 @@
 //! cost `L` each — the Table 1 (sub-table 3) upper-bound shape.
 
 use parbounds_models::{
-    BspMachine, BspProgram, BspRunResult, CostLedger, Result, Status, Superstep, Word,
+    BspMachine, BspProgram, BspRunResult, CostLedger, FaultPlan, Result, Status, Superstep, Word,
 };
 
 use crate::util::{ceil_log, ReduceOp};
@@ -54,7 +54,9 @@ impl BspProgram for ReduceProg {
     type Proc = ReduceState;
 
     fn create(&self, _pid: usize, local: &[Word]) -> ReduceState {
-        ReduceState { value: self.op.fold(local) }
+        ReduceState {
+            value: self.op.fold(local),
+        }
     }
 
     fn superstep(&self, pid: usize, st: &mut ReduceState, ctx: &mut Superstep<'_>) -> Status {
@@ -93,7 +95,10 @@ pub fn bsp_reduce(
     let depth = ceil_log(machine.p(), k) as usize;
     let prog = ReduceProg { op, k, depth };
     let res = machine.run(&prog, input)?;
-    Ok(BspOutcome { value: res.states[0].value, ledger: res.ledger })
+    Ok(BspOutcome {
+        value: res.states[0].value,
+        ledger: res.ledger,
+    })
 }
 
 /// Parity on the BSP: fan-in `max(2, L/g)` — `O(g·n/p + L·log p/log(L/g))`.
@@ -164,7 +169,12 @@ impl BspProgram for BroadcastProg {
 pub fn bsp_broadcast(machine: &BspMachine, payload: Word) -> Result<(Vec<Word>, CostLedger)> {
     let k = bsp_fanin(machine);
     let depth = ceil_log(machine.p(), k) as usize;
-    let prog = BroadcastProg { k, depth, p: machine.p(), payload };
+    let prog = BroadcastProg {
+        k,
+        depth,
+        p: machine.p(),
+        payload,
+    };
     let res: BspRunResult<Word> = machine.run(&prog, &[])?;
     Ok((res.states, res.ledger))
 }
@@ -293,10 +303,17 @@ impl BspProgram for BspPrefixProg {
 pub fn bsp_prefix_sums(machine: &BspMachine, input: &[Word], k: usize) -> Result<BspSortOutcome> {
     assert!(k >= 2);
     let depth = ceil_log(machine.p(), k) as usize;
-    let prog = BspPrefixProg { k, depth, op: ReduceOp::Sum };
+    let prog = BspPrefixProg {
+        k,
+        depth,
+        op: ReduceOp::Sum,
+    };
     let res = machine.run(&prog, input)?;
     let blocks = res.states.into_iter().map(|s| s.prefixes).collect();
-    Ok(BspSortOutcome { blocks, ledger: res.ledger })
+    Ok(BspSortOutcome {
+        blocks,
+        ledger: res.ledger,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -352,14 +369,21 @@ impl BspProgram for OddEvenProg {
         let mut data = local.to_vec();
         data.resize(self.pad_to, Word::MAX);
         data.sort_unstable();
-        OddEvenState { data, kept_low: true }
+        OddEvenState {
+            data,
+            kept_low: true,
+        }
     }
 
     fn superstep(&self, pid: usize, st: &mut OddEvenState, ctx: &mut Superstep<'_>) -> Status {
         // Merge whatever arrived, keep our half.
         if !ctx.inbox().is_empty() {
-            let mut merged: Vec<Word> =
-                st.data.iter().copied().chain(ctx.inbox().iter().map(|m| m.value)).collect();
+            let mut merged: Vec<Word> = st
+                .data
+                .iter()
+                .copied()
+                .chain(ctx.inbox().iter().map(|m| m.value))
+                .collect();
             merged.sort_unstable();
             let own = st.data.len();
             st.data = if st.kept_low {
@@ -376,7 +400,11 @@ impl BspProgram for OddEvenProg {
         }
         // Odd-even pairing: at even rounds pair (0,1)(2,3)…; odd rounds
         // pair (1,2)(3,4)….
-        let partner = if (pid + round).is_multiple_of(2) { pid + 1 } else { pid.wrapping_sub(1) };
+        let partner = if (pid + round).is_multiple_of(2) {
+            pid + 1
+        } else {
+            pid.wrapping_sub(1)
+        };
         if partner < self.p {
             st.kept_low = partner > pid;
             for &v in &st.data {
@@ -394,14 +422,20 @@ pub fn bsp_sort_odd_even(machine: &BspMachine, input: &[Word]) -> Result<BspSort
         input.iter().all(|&v| v < Word::MAX),
         "Word::MAX is reserved as the padding sentinel"
     );
-    let prog = OddEvenProg { p: machine.p(), pad_to: input.len().div_ceil(machine.p()) };
+    let prog = OddEvenProg {
+        p: machine.p(),
+        pad_to: input.len().div_ceil(machine.p()),
+    };
     let res = machine.run(&prog, input)?;
     let blocks = res
         .states
         .into_iter()
         .map(|s| s.data.into_iter().filter(|&v| v < Word::MAX).collect())
         .collect();
-    Ok(BspSortOutcome { blocks, ledger: res.ledger })
+    Ok(BspSortOutcome {
+        blocks,
+        ledger: res.ledger,
+    })
 }
 
 struct SampleSortProg {
@@ -421,7 +455,11 @@ impl BspProgram for SampleSortProg {
     fn create(&self, _pid: usize, local: &[Word]) -> SampleState {
         let mut data = local.to_vec();
         data.sort_unstable();
-        SampleState { data, splitters: Vec::new(), received: Vec::new() }
+        SampleState {
+            data,
+            splitters: Vec::new(),
+            received: Vec::new(),
+        }
     }
 
     fn superstep(&self, pid: usize, st: &mut SampleState, ctx: &mut Superstep<'_>) -> Status {
@@ -486,10 +524,16 @@ pub fn bsp_sort_sample(
     oversample: usize,
 ) -> Result<BspSortOutcome> {
     assert!(oversample >= 1);
-    let prog = SampleSortProg { p: machine.p(), oversample };
+    let prog = SampleSortProg {
+        p: machine.p(),
+        oversample,
+    };
     let res = machine.run(&prog, input)?;
     let blocks = res.states.into_iter().map(|s| s.received).collect();
-    Ok(BspSortOutcome { blocks, ledger: res.ledger })
+    Ok(BspSortOutcome {
+        blocks,
+        ledger: res.ledger,
+    })
 }
 
 /// Closed-form supersteps of [`bsp_reduce`]: `⌈log_k p⌉ + 1`.
@@ -568,7 +612,13 @@ mod tests {
                     let input: Vec<Word> = (0..n as Word).map(|i| (i * 7 + 1) % 13).collect();
                     let out = bsp_prefix_sums(&m, &input, k).unwrap();
                     let mut acc = 0;
-                    let expect: Vec<Word> = input.iter().map(|&v| { acc += v; acc }).collect();
+                    let expect: Vec<Word> = input
+                        .iter()
+                        .map(|&v| {
+                            acc += v;
+                            acc
+                        })
+                        .collect();
                     assert_eq!(out.concat(), expect, "n={n} p={p} k={k}");
                 }
             }
@@ -644,7 +694,11 @@ mod tests {
         let out = bsp_lac_dart(&m, &input, 256, 7).unwrap();
         assert!(out.verify(&input));
         // 2 supersteps per dart round plus the terminate round.
-        assert!(out.ledger.num_phases() <= 2 * 24 + 4, "{}", out.ledger.num_phases());
+        assert!(
+            out.ledger.num_phases() <= 2 * 24 + 4,
+            "{}",
+            out.ledger.num_phases()
+        );
     }
 
     #[test]
@@ -699,7 +753,10 @@ impl BspLacOutcome {
                 return false;
             }
         }
-        input.iter().enumerate().all(|(i, &v)| (v == 0) != seen_origin.contains(&i))
+        input
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| (v == 0) != seen_origin.contains(&i))
     }
 }
 
@@ -737,7 +794,11 @@ struct BspDartState {
 
 impl BspDartProg {
     fn slot(&self, origin: usize, round: usize) -> usize {
-        assert!(round < self.segs.len(), "dart schedule exhausted at round {round}");
+        // Fault-free the schedule is never exhausted (some claim wins every
+        // round); injected message faults can push rounds past it, in which
+        // case late darts reuse the final segment (bounded by the machine's
+        // superstep limit) rather than panicking.
+        let round = round.min(self.segs.len() - 1);
         let (base, size) = self.segs[round];
         let mut z = self
             .seed
@@ -757,7 +818,9 @@ impl BspDartProg {
     }
 
     fn children(&self, pid: usize) -> impl Iterator<Item = usize> + use<'_> {
-        (1..=self.k).map(move |c| pid * self.k + c).filter(|&c| c < self.p)
+        (1..=self.k)
+            .map(move |c| pid * self.k + c)
+            .filter(|&c| c < self.p)
     }
 
     fn parent(&self, pid: usize) -> Option<usize> {
@@ -784,14 +847,22 @@ impl BspProgram for BspDartProg {
             .collect();
         // Until a child reports, assume it may be live.
         let child_live = self.children(pid).map(|c| (c, 1u64)).collect();
-        BspDartState { live, owned: Vec::new(), child_live }
+        BspDartState {
+            live,
+            owned: Vec::new(),
+            child_live,
+        }
     }
 
     fn superstep(&self, pid: usize, st: &mut BspDartState, ctx: &mut Superstep<'_>) -> Status {
         // TERMINATE wave: forward to children and stop. It is only emitted
         // once the (delayed, monotone-decreasing) global live count hit 0,
         // so no claim can still be in flight toward us.
-        if ctx.inbox().iter().any(|m| m.tag == TAG_REPORT && m.value < 0) {
+        if ctx
+            .inbox()
+            .iter()
+            .any(|m| m.tag == TAG_REPORT && m.value < 0)
+        {
             for c in self.children(pid) {
                 ctx.send(c, TAG_REPORT, -1);
             }
@@ -821,14 +892,18 @@ impl BspProgram for BspDartProg {
         } else {
             // Arbitrate superstep: first claim per slot wins (deterministic
             // inbox order); also advance the liveness-aggregation pipeline.
-            let mut taken: std::collections::HashSet<Word> =
-                st.owned.iter().map(|&(s, _)| s as Word + TAG_CLAIM_BASE).collect();
+            let mut taken: std::collections::HashSet<Word> = st
+                .owned
+                .iter()
+                .map(|&(s, _)| s as Word + TAG_CLAIM_BASE)
+                .collect();
             let mut accepts = Vec::new();
             for m in ctx.inbox() {
                 if m.tag == TAG_REPORT {
                     st.child_live.insert(m.src, m.value as u64);
                 } else if m.tag >= TAG_CLAIM_BASE && taken.insert(m.tag) {
-                    st.owned.push(((m.tag - TAG_CLAIM_BASE) as usize, m.value as usize));
+                    st.owned
+                        .push(((m.tag - TAG_CLAIM_BASE) as usize, m.value as usize));
                     accepts.push((m.src, m.value));
                 }
             }
@@ -879,14 +954,24 @@ pub fn bsp_lac_dart(
     }
     let p = machine.p();
     let k = bsp_fanin(machine);
-    let prog = BspDartProg { p, n: input.len(), seed, k, segs };
+    let prog = BspDartProg {
+        p,
+        n: input.len(),
+        seed,
+        k,
+        segs,
+    };
     let res = machine.run(&prog, input)?;
     let mut placed = Vec::new();
     for st in &res.states {
         placed.extend(st.owned.iter().copied());
     }
     placed.sort_unstable();
-    Ok(BspLacOutcome { placed, out_size, ledger: res.ledger })
+    Ok(BspLacOutcome {
+        placed,
+        out_size,
+        ledger: res.ledger,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -914,7 +999,11 @@ impl BspPaddedOutcome {
 
     /// The sorted values (NULLs stripped).
     pub fn values(&self) -> Vec<Word> {
-        self.output().into_iter().filter(|&v| v != 0).map(|v| v - 1).collect()
+        self.output()
+            .into_iter()
+            .filter(|&v| v != 0)
+            .map(|v| v - 1)
+            .collect()
     }
 
     /// Padded-sort contract: sorted, same multiset, no overflow.
@@ -943,7 +1032,10 @@ impl BspPaddedOutcome {
 pub fn bsp_padded_sort(machine: &BspMachine, values: &[Word]) -> Result<BspPaddedOutcome> {
     use crate::workloads::FIXED_ONE;
     assert!(!values.is_empty());
-    assert!(values.iter().all(|&v| (0..FIXED_ONE).contains(&v)), "values must be in [0,1)");
+    assert!(
+        values.iter().all(|&v| (0..FIXED_ONE).contains(&v)),
+        "values must be in [0,1)"
+    );
     let n = values.len();
     let p = machine.p();
     let expect = n.div_ceil(p);
@@ -962,7 +1054,11 @@ pub fn bsp_padded_sort(machine: &BspMachine, values: &[Word]) -> Result<BspPadde
     impl BspProgram for Prog {
         type Proc = St;
         fn create(&self, _pid: usize, local: &[Word]) -> St {
-            St { local: local.to_vec(), region: Vec::new(), overflow: false }
+            St {
+                local: local.to_vec(),
+                region: Vec::new(),
+                overflow: false,
+            }
         }
         fn superstep(&self, _pid: usize, st: &mut St, ctx: &mut Superstep<'_>) -> Status {
             use crate::workloads::FIXED_ONE;
@@ -970,8 +1066,7 @@ pub fn bsp_padded_sort(machine: &BspMachine, values: &[Word]) -> Result<BspPadde
                 // Route every value to its range owner.
                 0 => {
                     for &v in &st.local {
-                        let dest =
-                            ((v as i128 * self.p as i128) / FIXED_ONE as i128) as usize;
+                        let dest = ((v as i128 * self.p as i128) / FIXED_ONE as i128) as usize;
                         ctx.send(dest.min(self.p - 1), 0, v);
                     }
                     Status::Active
@@ -994,7 +1089,456 @@ pub fn bsp_padded_sort(machine: &BspMachine, values: &[Word]) -> Result<BspPadde
     let res = machine.run(&Prog { p, cap }, values)?;
     let overflow = res.states.iter().any(|s| s.overflow);
     let regions = res.states.into_iter().map(|s| s.region).collect();
-    Ok(BspPaddedOutcome { regions, overflow, ledger: res.ledger })
+    Ok(BspPaddedOutcome {
+        regions,
+        overflow,
+        ledger: res.ledger,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Resilient (fault-tolerant) variants: ack-and-retransmit protocols wrapped
+// in Las Vegas verify-and-retry loops.
+// ---------------------------------------------------------------------------
+
+/// A verified result produced under fault injection, with the measured
+/// price of getting it.
+#[derive(Debug)]
+pub struct ResilientOutcome<T> {
+    /// The verified result of the successful attempt.
+    pub result: T,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: usize,
+    /// Summed BSP time of every attempt that ran to completion.
+    pub total_time: u64,
+    /// BSP time of the fault-free non-resilient execution of the same
+    /// instance.
+    pub baseline_time: u64,
+}
+
+impl<T> ResilientOutcome<T> {
+    /// Measured cost of fault tolerance: total attempted time over the
+    /// fault-free non-resilient baseline.
+    pub fn inflation(&self) -> f64 {
+        self.total_time as f64 / self.baseline_time.max(1) as f64
+    }
+}
+
+const AR_DATA: Word = 0;
+const AR_ACK: Word = 1;
+/// Retransmissions a component attempts before giving up on its parent.
+const AR_MAX_SENDS: usize = 40;
+
+/// Reduction tree with per-hop acknowledgements: children retransmit their
+/// subtree value every superstep until the parent ACKs (parents re-ACK
+/// duplicates, and fold each child exactly once), so dropped or duplicated
+/// messages only delay the result. Give-up caps on both sides (a child
+/// stops after [`AR_MAX_SENDS`] unACKed sends; a parent folds best-effort
+/// after `max_wait` supersteps) guarantee termination; a wrong best-effort
+/// fold is caught by the verifying wrapper.
+struct AckReduceProg {
+    op: ReduceOp,
+    k: usize,
+    p: usize,
+    max_wait: usize,
+}
+
+struct AckReduceState {
+    value: Word,
+    child_vals: std::collections::HashMap<usize, Word>,
+    n_children: usize,
+    subtree: Option<Word>,
+    acked: bool,
+    sends: usize,
+}
+
+impl AckReduceProg {
+    fn children(&self, pid: usize) -> impl Iterator<Item = usize> + use<'_> {
+        (1..=self.k)
+            .map(move |c| pid * self.k + c)
+            .filter(|&c| c < self.p)
+    }
+}
+
+impl BspProgram for AckReduceProg {
+    type Proc = AckReduceState;
+
+    fn create(&self, pid: usize, local: &[Word]) -> AckReduceState {
+        AckReduceState {
+            value: self.op.fold(local),
+            child_vals: std::collections::HashMap::new(),
+            n_children: self.children(pid).count(),
+            subtree: None,
+            acked: false,
+            sends: 0,
+        }
+    }
+
+    fn superstep(&self, pid: usize, st: &mut AckReduceState, ctx: &mut Superstep<'_>) -> Status {
+        let mut ack_to: Vec<usize> = Vec::new();
+        for m in ctx.inbox() {
+            match m.tag {
+                // Fold each child once (received-set idempotence under
+                // duplication); ACK every arrival, including retransmits
+                // whose earlier ACK was dropped.
+                AR_DATA => {
+                    st.child_vals.entry(m.src).or_insert(m.value);
+                    ack_to.push(m.src);
+                }
+                AR_ACK => st.acked = true,
+                _ => {}
+            }
+        }
+        ctx.local_ops(ctx.inbox().len() as u64);
+        ack_to.sort_unstable();
+        ack_to.dedup();
+        for src in ack_to {
+            ctx.send(src, AR_ACK, 0);
+        }
+
+        if st.subtree.is_none()
+            && (st.child_vals.len() == st.n_children || ctx.step() >= self.max_wait)
+        {
+            let mut v = st.value;
+            for &cv in st.child_vals.values() {
+                v = self.op.apply(v, cv);
+            }
+            st.subtree = Some(v);
+        }
+        let Some(subtree) = st.subtree else {
+            return Status::Active;
+        };
+        if pid == 0 {
+            return Status::Done;
+        }
+        if st.acked || st.sends >= AR_MAX_SENDS {
+            // ACKed, or give up best-effort; either way the parent's
+            // `max_wait` bound keeps the tree moving.
+            return Status::Done;
+        }
+        ctx.send((pid - 1) / self.k, AR_DATA, subtree);
+        st.sends += 1;
+        Status::Active
+    }
+}
+
+/// Reduction hardened into a Las Vegas algorithm under fault injection:
+/// run the ack-and-retransmit tree on `machine` carrying `plan`, check the
+/// result against the directly folded input, and retry with a reseeded
+/// plan until it is correct or `max_attempts` runs out (then
+/// [`parbounds_models::ModelError::FaultAborted`]). Message drops and
+/// duplications only inflate the cost, which
+/// [`ResilientOutcome::inflation`] measures against the fault-free
+/// non-resilient [`bsp_reduce`].
+pub fn bsp_reduce_resilient(
+    machine: &BspMachine,
+    input: &[Word],
+    op: ReduceOp,
+    plan: &FaultPlan,
+    max_attempts: usize,
+) -> Result<ResilientOutcome<BspOutcome>> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let expected = op.fold(input);
+    let k = bsp_fanin(machine);
+    let baseline = bsp_reduce(&machine.clone().without_faults(), input, k, op)?;
+    let baseline_time = baseline.time();
+    let depth = ceil_log(machine.p(), k) as usize;
+    let prog = AckReduceProg {
+        op,
+        k,
+        p: machine.p(),
+        max_wait: 2 * depth + 4 * AR_MAX_SENDS,
+    };
+
+    let mut total_time = 0u64;
+    for attempt in 0..max_attempts {
+        let k64 = attempt as u64;
+        let faulted = machine
+            .clone()
+            .with_faults(plan.clone().with_seed(plan.seed().wrapping_add(k64)));
+        match faulted.run(&prog, input) {
+            Ok(res) => {
+                total_time += res.ledger.total_time();
+                let value = res.states[0].subtree.unwrap_or(res.states[0].value);
+                if value == expected {
+                    return Ok(ResilientOutcome {
+                        result: BspOutcome {
+                            value,
+                            ledger: res.ledger,
+                        },
+                        attempts: attempt + 1,
+                        total_time,
+                        baseline_time,
+                    });
+                }
+            }
+            Err(e) if crate::lac::retryable(&e) => {
+                if let Some(b) = plan.cost_budget() {
+                    total_time += b;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(parbounds_models::ModelError::FaultAborted {
+        phase: 0,
+        reason: format!("reduction not verified after {max_attempts} attempts under faults"),
+    })
+}
+
+const RD_ACCEPT: Word = 1;
+const RD_CLAIM_BASE: Word = 2;
+/// Claims an item re-sends for one dart slot before advancing its round.
+const RD_RETRIES: usize = 6;
+/// Dart rounds the resilient protocol runs before declaring itself done;
+/// with independent per-try claim/ACCEPT loss this is exhausted with
+/// negligible probability, and a still-unplaced item just fails the
+/// verification and triggers an outer retry.
+const RD_ROUNDS: usize = 8;
+
+/// Drop-tolerant BSP dart-throwing: like [`bsp_lac_dart`] but with no
+/// liveness-aggregation tree (whose lost reports livelock under message
+/// drops). Instead every item re-claims the *same* slot for [`RD_RETRIES`]
+/// consecutive rounds (owners re-ACCEPT idempotently, so lost claims and
+/// lost ACCEPTs are both recovered) before moving to its next dart, and
+/// the whole machine runs for a fixed horizon of `2·RD_RETRIES·RD_ROUNDS`
+/// supersteps — termination is structural, not negotiated.
+struct ResilientDartProg {
+    p: usize,
+    n: usize,
+    seed: u64,
+    segs: Vec<(usize, usize)>,
+    horizon: usize,
+}
+
+struct ResilientDartState {
+    /// (origin, current round, claims left before advancing the round).
+    live: Vec<(usize, usize, usize)>,
+    /// slot -> origin for slots this component owns.
+    owned: std::collections::HashMap<usize, usize>,
+}
+
+impl ResilientDartProg {
+    fn slot(&self, origin: usize, round: usize) -> usize {
+        let round = round.min(self.segs.len() - 1);
+        let (base, size) = self.segs[round];
+        let mut z = self
+            .seed
+            .wrapping_add((origin as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add((round as u64).wrapping_mul(0xd1b54a32d192ed03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^= z >> 31;
+        base + (z % size as u64) as usize
+    }
+
+    fn offset(&self, pid: usize) -> usize {
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        pid * base + pid.min(extra)
+    }
+}
+
+impl BspProgram for ResilientDartProg {
+    type Proc = ResilientDartState;
+
+    fn create(&self, pid: usize, local: &[Word]) -> ResilientDartState {
+        let off = self.offset(pid);
+        let live = local
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(j, _)| (off + j, 0usize, RD_RETRIES))
+            .collect();
+        ResilientDartState {
+            live,
+            owned: std::collections::HashMap::new(),
+        }
+    }
+
+    fn superstep(
+        &self,
+        _pid: usize,
+        st: &mut ResilientDartState,
+        ctx: &mut Superstep<'_>,
+    ) -> Status {
+        let step = ctx.step();
+        if step % 2 == 0 {
+            // Claim superstep: retire ACCEPTed items, (re-)claim for the rest.
+            let accepted: std::collections::HashSet<usize> = ctx
+                .inbox()
+                .iter()
+                .filter(|m| m.tag == RD_ACCEPT)
+                .map(|m| m.value as usize)
+                .collect();
+            st.live.retain(|&(o, _, _)| !accepted.contains(&o));
+            ctx.local_ops(ctx.inbox().len() as u64);
+            if step >= self.horizon {
+                return Status::Done;
+            }
+            for item in st.live.iter_mut() {
+                if item.2 == 0 {
+                    item.1 += 1;
+                    item.2 = RD_RETRIES;
+                }
+                item.2 -= 1;
+                let slot = self.slot(item.0, item.1);
+                ctx.send(slot % self.p, slot as Word + RD_CLAIM_BASE, item.0 as Word);
+            }
+            Status::Active
+        } else {
+            // Arbitrate superstep: first claim per slot wins; a repeat claim
+            // from the same origin (its earlier ACCEPT was dropped) is
+            // re-ACCEPTed idempotently.
+            let mut accepts = Vec::new();
+            for m in ctx.inbox() {
+                if m.tag < RD_CLAIM_BASE {
+                    continue;
+                }
+                let slot = (m.tag - RD_CLAIM_BASE) as usize;
+                let origin = m.value as usize;
+                match st.owned.get(&slot) {
+                    None => {
+                        st.owned.insert(slot, origin);
+                        accepts.push((m.src, m.value));
+                    }
+                    Some(&owner) if owner == origin => accepts.push((m.src, m.value)),
+                    _ => {}
+                }
+            }
+            ctx.local_ops(ctx.inbox().len() as u64);
+            for (src, origin) in accepts {
+                ctx.send(src, RD_ACCEPT, origin);
+            }
+            Status::Active
+        }
+    }
+}
+
+/// Dart-throwing LAC hardened into a Las Vegas algorithm under fault
+/// injection: run the drop-tolerant [`ResilientDartProg`] on `machine`
+/// carrying `plan`, *verify* the placement, and retry with a reseeded plan
+/// and fresh dart seed until a verified-correct compaction is produced or
+/// `max_attempts` runs out. This is the protocol behind the acceptance
+/// check that LAC terminates (with measured cost inflation) under a 20%
+/// message-drop rate.
+pub fn bsp_lac_dart_resilient(
+    machine: &BspMachine,
+    input: &[Word],
+    h: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    max_attempts: usize,
+) -> Result<ResilientOutcome<BspLacOutcome>> {
+    assert!(h >= 1);
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let count = input.iter().filter(|&&v| v != 0).count();
+    assert!(count <= h, "input has {count} items but h = {h}");
+    let baseline = bsp_lac_dart(&machine.clone().without_faults(), input, h, seed)?;
+    let baseline_time = baseline.ledger.total_time();
+
+    let sizes = lac_segments(h);
+    let out_size: usize = sizes.iter().sum();
+    let mut segs = Vec::with_capacity(sizes.len());
+    let mut at = 0;
+    for s in sizes {
+        segs.push((at, s));
+        at += s;
+    }
+    let horizon = 2 * RD_RETRIES * RD_ROUNDS;
+
+    let mut total_time = 0u64;
+    for attempt in 0..max_attempts {
+        let k64 = attempt as u64;
+        let prog = ResilientDartProg {
+            p: machine.p(),
+            n: input.len(),
+            seed: seed.wrapping_add(k64.wrapping_mul(0x9e37_79b9)),
+            segs: segs.clone(),
+            horizon,
+        };
+        let faulted = machine
+            .clone()
+            .with_faults(plan.clone().with_seed(plan.seed().wrapping_add(k64)));
+        match faulted.run(&prog, input) {
+            Ok(res) => {
+                total_time += res.ledger.total_time();
+                let mut placed = Vec::new();
+                for s in &res.states {
+                    placed.extend(s.owned.iter().map(|(&slot, &origin)| (slot, origin)));
+                }
+                placed.sort_unstable();
+                let out = BspLacOutcome {
+                    placed,
+                    out_size,
+                    ledger: res.ledger,
+                };
+                if out.verify(input) {
+                    return Ok(ResilientOutcome {
+                        result: out,
+                        attempts: attempt + 1,
+                        total_time,
+                        baseline_time,
+                    });
+                }
+            }
+            Err(e) if crate::lac::retryable(&e) => {
+                if let Some(b) = plan.cost_budget() {
+                    total_time += b;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(parbounds_models::ModelError::FaultAborted {
+        phase: 0,
+        reason: format!("BSP LAC not verified after {max_attempts} attempts under faults"),
+    })
+}
+
+#[cfg(test)]
+mod resilient_tests {
+    use super::*;
+    use crate::workloads::sparse_items;
+    use parbounds_models::FaultPlan;
+
+    #[test]
+    fn resilient_reduce_matches_plain_reduce_fault_free() {
+        let m = BspMachine::new(8, 2, 8).unwrap();
+        let input: Vec<Word> = (1..=100).collect();
+        let out = bsp_reduce_resilient(&m, &input, ReduceOp::Sum, &FaultPlan::new(1), 3).unwrap();
+        assert_eq!(out.result.value, 5050);
+        assert_eq!(out.attempts, 1);
+        assert!(out.inflation() >= 1.0);
+    }
+
+    #[test]
+    fn resilient_reduce_survives_heavy_message_faults() {
+        let m = BspMachine::new(16, 2, 8).unwrap();
+        let input: Vec<Word> = (0..200).map(|i| i % 7).collect();
+        let plan = FaultPlan::new(42).with_drop_prob(0.2).with_dup_prob(0.1);
+        let out = bsp_reduce_resilient(&m, &input, ReduceOp::Sum, &plan, 8).unwrap();
+        assert_eq!(out.result.value, input.iter().sum::<Word>());
+        assert!(out.inflation() >= 1.0);
+    }
+
+    #[test]
+    fn resilient_lac_places_everything_under_20pct_drops() {
+        let m = BspMachine::new(8, 2, 8).unwrap();
+        let items = sparse_items(128, 24, 3);
+        let plan = FaultPlan::new(7).with_drop_prob(0.2);
+        let out = bsp_lac_dart_resilient(&m, &items, 24, 11, &plan, 10).unwrap();
+        assert!(out.result.verify(&items));
+        assert!(out.inflation() >= 1.0);
+    }
+
+    #[test]
+    fn resilient_lac_fault_free_is_single_attempt() {
+        let m = BspMachine::new(4, 2, 8).unwrap();
+        let items = sparse_items(64, 10, 5);
+        let out = bsp_lac_dart_resilient(&m, &items, 10, 2, &FaultPlan::new(0), 3).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.result.verify(&items));
+    }
 }
 
 #[cfg(test)]

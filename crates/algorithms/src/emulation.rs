@@ -122,7 +122,12 @@ impl<P: Program> BspProgram for EmulatorProg<'_, P> {
         CompState { hosted, owned }
     }
 
-    fn superstep(&self, _pid: usize, st: &mut CompState<P::Proc>, ctx: &mut Superstep<'_>) -> Status {
+    fn superstep(
+        &self,
+        _pid: usize,
+        st: &mut CompState<P::Proc>,
+        ctx: &mut Superstep<'_>,
+    ) -> Status {
         let step = ctx.step();
         let phase = step / 2;
         if step % 2 == 0 {
@@ -197,9 +202,8 @@ impl<P: Program> BspProgram for EmulatorProg<'_, P> {
             ctx.local_ops(ctx.inbox().len() as u64);
             for (addr, qpid) in reads {
                 let value = st.owned.get(&addr).copied().unwrap_or(0);
-                let packed = (KIND_REPLY << KIND_SHIFT)
-                    | ((qpid as Word) << PID_SHIFT)
-                    | addr as Word;
+                let packed =
+                    (KIND_REPLY << KIND_SHIFT) | ((qpid as Word) << PID_SHIFT) | addr as Word;
                 ctx.send(qpid % self.p, packed, value);
             }
             Status::Active
@@ -287,7 +291,11 @@ mod tests {
                 if t == 1 {
                     *st = env.delivered()[0].1 & 1;
                     env.write(n + pid, *st);
-                    return if pid < n.div_ceil(2) { Status::Active } else { Status::Done };
+                    return if pid < n.div_ceil(2) {
+                        Status::Active
+                    } else {
+                        Status::Done
+                    };
                 }
                 // Round r (1-based) occupies phases 2r and 2r+1.
                 let r = t / 2;

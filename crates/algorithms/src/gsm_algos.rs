@@ -18,9 +18,7 @@
 //! gather `k` values, which is the entire content of the QSM/GSM
 //! separation the paper exploits.
 
-use parbounds_models::{
-    Addr, GsmEnv, GsmMachine, GsmProgram, GsmRunResult, Result, Status, Word,
-};
+use parbounds_models::{Addr, GsmEnv, GsmMachine, GsmProgram, GsmRunResult, Result, Status, Word};
 
 use crate::util::{ceil_log, Layout, ReduceOp, TreeShape};
 
@@ -59,7 +57,13 @@ impl GsmTreeProgram {
                 proc_nodes.push((level, node));
             }
         }
-        GsmTreeProgram { op, shape, level_bases, proc_nodes, out }
+        GsmTreeProgram {
+            op,
+            shape,
+            level_bases,
+            proc_nodes,
+            out,
+        }
     }
 }
 
@@ -86,13 +90,19 @@ impl GsmProgram for GsmTreeProgram {
             return Status::Active;
         }
         if t == read_phase {
-            let addr = if level == 0 { node } else { self.level_bases[level - 1] + node };
+            let addr = if level == 0 {
+                node
+            } else {
+                self.level_bases[level - 1] + node
+            };
             env.read(addr);
             return Status::Active;
         }
         debug_assert_eq!(t, read_phase + 1);
         let contents = env.delivered()[0].1.as_slice();
-        *st = contents.iter().fold(self.op.identity(), |a, &b| self.op.apply(a, b));
+        *st = contents
+            .iter()
+            .fold(self.op.identity(), |a, &b| self.op.apply(a, b));
         let dest = if level == self.shape.depth() {
             self.out
         } else {
@@ -139,7 +149,10 @@ pub fn gsm_default_fanin(machine: &GsmMachine) -> usize {
 /// ```
 pub fn gsm_parity(machine: &GsmMachine, bits: &[Word]) -> Result<GsmOutcome> {
     let out = gsm_tree_reduce(machine, bits, gsm_default_fanin(machine), ReduceOp::Xor)?;
-    Ok(GsmOutcome { value: out.value & 1, run: out.run })
+    Ok(GsmOutcome {
+        value: out.value & 1,
+        run: out.run,
+    })
 }
 
 /// OR on the GSM at the natural fan-in.
@@ -184,7 +197,10 @@ mod tests {
             Word::from(bits.iter().any(|&b| b != 0))
         );
         let nums: Vec<Word> = (1..=100).collect();
-        assert_eq!(gsm_tree_reduce(&m, &nums, 4, ReduceOp::Sum).unwrap().value, 5050);
+        assert_eq!(
+            gsm_tree_reduce(&m, &nums, 4, ReduceOp::Sum).unwrap().value,
+            5050
+        );
     }
 
     #[test]
@@ -280,7 +296,10 @@ pub fn gsm_reduce_in_rounds(
     op: ReduceOp,
 ) -> Result<GsmOutcome> {
     let cells = machine.input_cells(input.len()).max(1);
-    assert!(p >= 1 && p <= cells, "need 1 <= p <= input cells (got p={p}, cells={cells})");
+    assert!(
+        p >= 1 && p <= cells,
+        "need 1 <= p <= input cells (got p={p}, cells={cells})"
+    );
     let block = cells.div_ceil(p);
     let k = (machine.beta() as usize).max(2).min(p.max(2));
 
@@ -331,7 +350,11 @@ pub fn gsm_reduce_in_rounds(
                     return Status::Done;
                 }
                 env.write(self.partials + pid / self.k, st.value);
-                return if pid.is_multiple_of(self.k) { Status::Active } else { Status::Done };
+                return if pid.is_multiple_of(self.k) {
+                    Status::Active
+                } else {
+                    Status::Done
+                };
             }
             // Merge levels: level l occupies phases 2l and 2l+1 (l >= 1).
             let l = t / 2;

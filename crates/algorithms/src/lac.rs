@@ -26,7 +26,7 @@
 //! originally in input cell `i`. Empty cells are 0 everywhere.
 
 use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word,
+    Addr, FaultPlan, ModelError, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word,
 };
 
 use crate::util::{Layout, ReduceOp, TreeShape};
@@ -112,13 +112,22 @@ impl DartProgram {
             segs.push((at, s));
             at += s;
         }
-        DartProgram { n, seed, segs, out_base, out_size }
+        DartProgram {
+            n,
+            seed,
+            segs,
+            out_base,
+            out_size,
+        }
     }
 
     fn slot(&self, pid: usize, round: usize) -> Addr {
-        // Unreachable by the ≥1-retirement-per-round argument (see
-        // `segments`); a panic here would indicate an engine bug.
-        assert!(round < self.segs.len(), "dart schedule exhausted at round {round}");
+        // Fault-free, round < segs.len() by the ≥1-retirement-per-round
+        // argument (see `segments`). Injected stalls can desynchronize
+        // rounds enough to run off the schedule; late darts then reuse the
+        // final segment (bounded by the machine's phase limit) rather than
+        // panicking.
+        let round = round.min(self.segs.len() - 1);
         let (base, size) = self.segs[round];
         let mut z = self
             .seed
@@ -201,7 +210,107 @@ pub fn lac_dart(machine: &QsmMachine, input: &[Word], h: usize, seed: u64) -> Re
     let prog = DartProgram::new(input.len(), h, seed, &mut layout);
     let (out_base, out_size) = (prog.out_base, prog.out_size);
     let run = machine.run(&prog, input)?;
-    Ok(LacOutcome { out_base, out_size, run })
+    Ok(LacOutcome {
+        out_base,
+        out_size,
+        run,
+    })
+}
+
+/// Outcome of [`lac_dart_retry`]: the verified compaction plus the cost of
+/// getting there under faults.
+#[derive(Debug)]
+pub struct LacRetryOutcome {
+    /// The verified-correct compaction of the successful attempt.
+    pub outcome: LacOutcome,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: usize,
+    /// Summed model time of every attempt that ran to completion.
+    pub total_time: u64,
+    /// Model time of the fault-free execution of the same instance.
+    pub baseline_time: u64,
+}
+
+impl LacRetryOutcome {
+    /// Measured cost of fault tolerance: total attempted time over the
+    /// fault-free baseline (1.0 = no degradation).
+    pub fn inflation(&self) -> f64 {
+        self.total_time as f64 / self.baseline_time.max(1) as f64
+    }
+}
+
+/// A fault plan whose errors a Las Vegas retry loop may recover from by
+/// reseeding: injected aborts and budget overruns. Model-rule violations
+/// (read/write conflicts, bad processors, bad configs, memory overruns)
+/// indicate program bugs and are never retried.
+pub(crate) fn retryable(err: &ModelError) -> bool {
+    matches!(
+        err,
+        ModelError::FaultAborted { .. }
+            | ModelError::CostBudgetExceeded { .. }
+            | ModelError::PhaseLimitExceeded { .. }
+    )
+}
+
+/// Dart-throwing LAC hardened into a Las Vegas algorithm under fault
+/// injection: run [`lac_dart`] on `machine` carrying `plan`, *verify* the
+/// output, and retry with a reseeded plan and fresh dart seed until a
+/// verified-correct compaction is produced or `max_attempts` runs out
+/// (then [`ModelError::FaultAborted`]).
+///
+/// Because every returned outcome is verified, the result is correct under
+/// any winner policy, stall schedule or message fault rate — faults only
+/// inflate the cost, which [`LacRetryOutcome::inflation`] measures against
+/// the fault-free baseline.
+pub fn lac_dart_retry(
+    machine: &QsmMachine,
+    input: &[Word],
+    h: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    max_attempts: usize,
+) -> Result<LacRetryOutcome> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let baseline = lac_dart(&machine.clone().without_faults(), input, h, seed)?;
+    let baseline_time = baseline.run.time();
+
+    let mut total_time = 0u64;
+    for attempt in 0..max_attempts {
+        let k = attempt as u64;
+        let faulted = machine
+            .clone()
+            .with_faults(plan.clone().with_seed(plan.seed().wrapping_add(k)));
+        match lac_dart(
+            &faulted,
+            input,
+            h,
+            seed.wrapping_add(k.wrapping_mul(0x9e37_79b9)),
+        ) {
+            Ok(out) => {
+                total_time += out.run.time();
+                if out.verify(input) {
+                    return Ok(LacRetryOutcome {
+                        outcome: out,
+                        attempts: attempt + 1,
+                        total_time,
+                        baseline_time,
+                    });
+                }
+            }
+            Err(e) if retryable(&e) => {
+                // The abort forfeits the attempt; what it spent before
+                // aborting is bounded by the plan's budgets.
+                if let Some(b) = plan.cost_budget() {
+                    total_time += b;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ModelError::FaultAborted {
+        phase: 0,
+        reason: format!("LAC not verified after {max_attempts} attempts under faults"),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -240,7 +349,15 @@ impl CompactProgram {
             offsets.push(layout.alloc(w));
         }
         let out = layout.alloc(n);
-        CompactProgram { n, p, b, shape, partials, offsets, out }
+        CompactProgram {
+            n,
+            p,
+            b,
+            shape,
+            partials,
+            offsets,
+            out,
+        }
     }
 
     fn block(&self, i: usize) -> (usize, usize) {
@@ -351,7 +468,11 @@ pub fn lac_prefix(machine: &QsmMachine, input: &[Word], p: usize) -> Result<LacO
     let prog = CompactProgram::new(input.len(), p, &mut layout);
     let (out, n) = (prog.out, prog.n);
     let run = machine.run(&prog, input)?;
-    Ok(LacOutcome { out_base: out, out_size: n, run })
+    Ok(LacOutcome {
+        out_base: out,
+        out_size: n,
+        run,
+    })
 }
 
 #[cfg(test)]
@@ -372,7 +493,9 @@ mod tests {
         let mut placed = 0;
         let mut z = seed;
         while placed < h {
-            z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (z >> 33) as usize % n;
             if v[i] == 0 {
                 v[i] = 1;
@@ -383,13 +506,54 @@ mod tests {
     }
 
     #[test]
+    fn retry_lac_fault_free_is_single_attempt() {
+        let m = QsmMachine::qsm(2);
+        let input = pseudo_items(256, 32, 9);
+        let out = lac_dart_retry(&m, &input, 32, 42, &FaultPlan::new(0), 4).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.outcome.verify(&input));
+        assert_eq!(out.total_time, out.baseline_time);
+        assert!((out.inflation() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_lac_terminates_under_adversarial_winners_and_stalls() {
+        use parbounds_models::WinnerPolicy;
+        let m = QsmMachine::qsm(2);
+        let input = pseudo_items(256, 32, 9);
+        let plan = FaultPlan::new(5)
+            .with_winner(WinnerPolicy::MinValue)
+            .with_stall(3, 2)
+            .with_stall(7, 4)
+            .with_phase_budget(4096);
+        let out = lac_dart_retry(&m, &input, 32, 42, &plan, 8).unwrap();
+        assert!(out.outcome.verify(&input));
+        assert!(out.inflation() >= 1.0);
+    }
+
+    #[test]
+    fn retry_lac_reports_typed_error_when_attempts_exhaust() {
+        // A crash at phase 0 aborts every attempt; the wrapper must give a
+        // typed FaultAborted, never a panic or a wrong Ok.
+        let m = QsmMachine::qsm(2);
+        let input = pseudo_items(64, 8, 3);
+        let plan = FaultPlan::new(1).with_crash(0, 0);
+        let err = lac_dart_retry(&m, &input, 8, 7, &plan, 3).unwrap_err();
+        assert!(matches!(err, ModelError::FaultAborted { .. }));
+    }
+
+    #[test]
     fn dart_places_every_item_exactly_once() {
         let m = QsmMachine::qsm(2);
         for (n, h) in [(64usize, 8usize), (256, 32), (1024, 128)] {
             let input = pseudo_items(n, h, n as u64);
             let out = lac_dart(&m, &input, h, 42).unwrap();
             assert!(out.verify(&input), "n={n} h={h}");
-            assert!(out.out_size <= 16 * h + 32, "out_size {} not O(h)", out.out_size);
+            assert!(
+                out.out_size <= 16 * h + 32,
+                "out_size {} not O(h)",
+                out.out_size
+            );
         }
     }
 
@@ -541,9 +705,19 @@ pub fn lac_dart_accel(
         segs.push((at, s));
         at += s;
     }
-    let prog = DartProgram { n: input.len(), seed, segs, out_base, out_size };
+    let prog = DartProgram {
+        n: input.len(),
+        seed,
+        segs,
+        out_base,
+        out_size,
+    };
     let run = machine.run(&prog, input)?;
-    Ok(LacOutcome { out_base, out_size, run })
+    Ok(LacOutcome {
+        out_base,
+        out_size,
+        run,
+    })
 }
 
 #[cfg(test)]
@@ -557,10 +731,7 @@ mod accel_tests {
             let total: usize = accel_segments(h).iter().sum();
             assert!(total <= 40 * h + 64, "h={h}: total {total}");
             // The non-tail prefix alone is small.
-            let prefix: usize = accel_segments(h)
-                .iter()
-                .take_while(|&&s| s > 8)
-                .sum();
+            let prefix: usize = accel_segments(h).iter().take_while(|&&s| s > 8).sum();
             assert!(prefix <= 24 * h + 64, "h={h}: prefix {prefix}");
         }
     }
@@ -592,7 +763,11 @@ mod accel_tests {
         );
         // The accelerated round count is log log flavoured: single digits
         // of dart rounds at n = 2^14.
-        assert!(accel.run.phases() <= 2 + 2 * 9, "phases {}", accel.run.phases());
+        assert!(
+            accel.run.phases() <= 2 + 2 * 9,
+            "phases {}",
+            accel.run.phases()
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@
 //! `Θ(g·log n)` — which the transferred Parity lower bound says is within
 //! `O(log log n · log g)` factors of optimal.
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word};
 
 use crate::util::{Layout, ReduceOp};
 use crate::VecOutcome;
@@ -47,7 +45,14 @@ impl ListRankProgram {
             acc_bufs.push(layout.alloc(n));
         }
         let out = layout.alloc(n);
-        ListRankProgram { n, op, iters, succ_bufs, acc_bufs, out }
+        ListRankProgram {
+            n,
+            op,
+            iters,
+            succ_bufs,
+            acc_bufs,
+            out,
+        }
     }
 }
 
@@ -222,7 +227,11 @@ mod tests {
             let (succ, _) = random_list(n, n as u64);
             let weights: Vec<Word> = (0..n as Word).map(|i| i % 7).collect();
             let out = list_rank(&m, &succ, &weights, ReduceOp::Sum).unwrap();
-            assert_eq!(out.values, expected_ranks(&succ, &weights, ReduceOp::Sum), "n={n}");
+            assert_eq!(
+                out.values,
+                expected_ranks(&succ, &weights, ReduceOp::Sum),
+                "n={n}"
+            );
         }
     }
 
@@ -256,7 +265,11 @@ mod tests {
         let out = list_rank_distance(&m, &succ).unwrap();
         let logn = 10u64;
         assert!(out.run.time() >= g * logn);
-        assert!(out.run.time() <= 8 * g * (logn + 2), "time {}", out.run.time());
+        assert!(
+            out.run.time() <= 8 * g * (logn + 2),
+            "time {}",
+            out.run.time()
+        );
     }
 
     #[test]
@@ -329,7 +342,10 @@ pub fn bsp_list_rank(
             let base = (pid * per).min(n);
             let end = ((pid + 1) * per).min(n);
             let nodes = (base..end)
-                .map(|i| NodeState { succ: succ0[i], acc: weights0[i] })
+                .map(|i| NodeState {
+                    succ: succ0[i],
+                    acc: weights0[i],
+                })
                 .collect();
             S { base, nodes }
         },
@@ -390,15 +406,26 @@ pub fn bsp_list_rank(
                     .iter()
                     .map(|m| {
                         debug_assert_eq!(m.tag >> RANK_SHIFT, RANK_QUERY);
-                        (((m.tag & ((1 << RANK_SHIFT) - 1)) as usize), m.value as usize)
+                        (
+                            ((m.tag & ((1 << RANK_SHIFT) - 1)) as usize),
+                            m.value as usize,
+                        )
                     })
                     .collect();
                 ctx.local_ops(queries.len() as u64);
                 for (node, asker) in queries {
                     let local = &st.nodes[node - st.base];
                     let dest = owner(asker);
-                    ctx.send(dest, (RANK_ANS_SUCC << RANK_SHIFT) | asker as Word, local.succ);
-                    ctx.send(dest, (RANK_ANS_ACC << RANK_SHIFT) | asker as Word, local.acc);
+                    ctx.send(
+                        dest,
+                        (RANK_ANS_SUCC << RANK_SHIFT) | asker as Word,
+                        local.succ,
+                    );
+                    ctx.send(
+                        dest,
+                        (RANK_ANS_ACC << RANK_SHIFT) | asker as Word,
+                        local.acc,
+                    );
                 }
                 Status::Active
             }
@@ -411,7 +438,10 @@ pub fn bsp_list_rank(
             ranks[st.base + j] = node.acc;
         }
     }
-    Ok(BspRankOutcome { ranks, ledger: res.ledger })
+    Ok(BspRankOutcome {
+        ranks,
+        ledger: res.ledger,
+    })
 }
 
 #[cfg(test)]

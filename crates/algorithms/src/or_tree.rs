@@ -11,9 +11,7 @@
 //! advantage vanishes, and `k = 2` is optimal — exactly the asymmetry the
 //! paper's sub-tables 1 and 2 record.
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word};
 
 use crate::util::{ceil_log, Layout};
 use crate::Outcome;
@@ -45,7 +43,13 @@ impl OrTreeProgram {
             level_bases.push(layout.alloc(width));
         }
         let out = layout.alloc(1);
-        OrTreeProgram { n, k, depth, level_bases, out }
+        OrTreeProgram {
+            n,
+            k,
+            depth,
+            level_bases,
+            out,
+        }
     }
 
     /// Highest level at which processor `i` is a group representative:
@@ -86,8 +90,8 @@ impl Program for OrTreeProgram {
         // round-l representative read phases.
         if t % 2 == 1 {
             let round = t.div_ceil(2); // 1-based
-            // Collect the value delivered by last phase's read (input read
-            // for round 1, group-cell read otherwise).
+                                       // Collect the value delivered by last phase's read (input read
+                                       // for round 1, group-cell read otherwise).
             if let Some(&(_, v)) = env.delivered().first() {
                 st.value = Word::from(v != 0);
             }
@@ -184,7 +188,11 @@ mod tests {
         let m = QsmMachine::qsm(4);
         for n in [1usize, 2, 5, 16, 31, 64, 100] {
             for k in [2usize, 4, 7] {
-                assert_eq!(or_write_tree(&m, &vec![0; n], k).unwrap().value, 0, "zeros n={n}");
+                assert_eq!(
+                    or_write_tree(&m, &vec![0; n], k).unwrap().value,
+                    0,
+                    "zeros n={n}"
+                );
                 for at in [0, n / 2, n - 1] {
                     let out = or_write_tree(&m, &one_hot(n, at), k).unwrap();
                     assert_eq!(out.value, 1, "one-hot n={n} k={k} at={at}");

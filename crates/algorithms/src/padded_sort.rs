@@ -22,9 +22,7 @@
 //! its final region (probability `n^{-Θ(1)}`), the outcome reports failure
 //! rather than silently truncating.
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, RunResult, Status, Word};
 
 use crate::util::Layout;
 use crate::workloads::FIXED_ONE;
@@ -46,7 +44,11 @@ impl PaddedSortParams {
         let log2n = (usize::BITS - n.max(2).leading_zeros()) as usize;
         let s = (log2n * log2n).max(4);
         let pad = 4 * ((s as f64 * (n.max(2) as f64).ln()).sqrt().ceil() as usize) + 8;
-        PaddedSortParams { bucket_size: s, pad, seed }
+        PaddedSortParams {
+            bucket_size: s,
+            pad,
+            seed,
+        }
     }
 }
 
@@ -69,7 +71,11 @@ impl PaddedSortOutcome {
 
     /// The sorted values (NULLs stripped, encoding removed).
     pub fn values(&self) -> Vec<Word> {
-        self.output.iter().filter(|&&v| v != 0).map(|&v| v - 1).collect()
+        self.output
+            .iter()
+            .filter(|&&v| v != 0)
+            .map(|&v| v - 1)
+            .collect()
     }
 
     /// Checks the padded-sort contract: output non-decreasing, multiset
@@ -123,11 +129,28 @@ struct DartState {
 }
 
 impl BucketDartProgram {
-    fn new(n: usize, num_buckets: usize, s: usize, cap: usize, seed: u64, layout: &mut Layout) -> Self {
+    fn new(
+        n: usize,
+        num_buckets: usize,
+        s: usize,
+        cap: usize,
+        seed: u64,
+        layout: &mut Layout,
+    ) -> Self {
         let seg_sizes = dart_segments(s, cap);
-        let seg_bases = seg_sizes.iter().map(|&sz| layout.alloc(sz * num_buckets)).collect();
+        let seg_bases = seg_sizes
+            .iter()
+            .map(|&sz| layout.alloc(sz * num_buckets))
+            .collect();
         let park_base = layout.alloc(n);
-        BucketDartProgram { n, num_buckets, seed, seg_bases, seg_sizes, park_base }
+        BucketDartProgram {
+            n,
+            num_buckets,
+            seed,
+            seg_bases,
+            seg_sizes,
+            park_base,
+        }
     }
 
     fn slot(&self, pid: usize, bucket: usize, round: usize) -> Option<Addr> {
@@ -321,10 +344,13 @@ pub fn padded_sort(
     let status_base = gather.status_base;
     let run2 = machine.run(&gather, &input)?;
 
-    let overflow = parked
-        || (0..num_buckets).any(|b| run2.memory.get(status_base + b) != 0);
+    let overflow = parked || (0..num_buckets).any(|b| run2.memory.get(status_base + b) != 0);
     let output = run2.memory.slice(final_base, num_buckets * cap);
-    Ok(PaddedSortOutcome { output, overflow, runs: vec![run1, run2] })
+    Ok(PaddedSortOutcome {
+        output,
+        overflow,
+        runs: vec![run1, run2],
+    })
 }
 
 /// Padded sort with the default parameters for `n`.
@@ -377,7 +403,10 @@ mod tests {
         let p20 = PaddedSortParams::for_n(1 << 20, 0);
         let ratio14 = padded_output_size(1 << 14, &p14) as f64 / (1 << 14) as f64;
         let ratio20 = padded_output_size(1 << 20, &p20) as f64 / (1 << 20) as f64;
-        assert!(ratio20 < ratio14, "padding ratio must shrink: {ratio14} vs {ratio20}");
+        assert!(
+            ratio20 < ratio14,
+            "padding ratio must shrink: {ratio14} vs {ratio20}"
+        );
         assert!(ratio20 < 2.0);
     }
 

@@ -24,9 +24,7 @@
 //! Theorem 3.1 lower bound (the "`Θ` with concur. reads" entry of
 //! sub-table 1).
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmFlavor, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmFlavor, QsmMachine, Result, Status, Word};
 
 use crate::util::Layout;
 use crate::Outcome;
@@ -87,13 +85,27 @@ impl ParityHelperProgram {
                 group_sizes.push(c);
                 for pattern in 0..1u32 << c {
                     for idx in 0..c as u32 {
-                        procs.push(ProcDesc { level, group: group as u32, pattern, idx });
+                        procs.push(ProcDesc {
+                            level,
+                            group: group as u32,
+                            pattern,
+                            idx,
+                        });
                     }
-                    procs.push(ProcDesc { level, group: group as u32, pattern, idx: u32::MAX });
+                    procs.push(ProcDesc {
+                        level,
+                        group: group as u32,
+                        pattern,
+                        idx: u32::MAX,
+                    });
                 }
             }
             let next_base = layout.alloc(num_groups);
-            levels.push(LevelPlan { value_base, team_bases, group_sizes });
+            levels.push(LevelPlan {
+                value_base,
+                team_bases,
+                group_sizes,
+            });
             value_base = next_base;
             width = num_groups;
             level += 1;
@@ -104,11 +116,30 @@ impl ParityHelperProgram {
             // n == 1: a single courier copies the input bit to a fresh out
             // cell so the interface is uniform.
             let out = layout.alloc(1);
-            levels.push(LevelPlan { value_base: 0, team_bases: vec![], group_sizes: vec![] });
-            procs.push(ProcDesc { level: 0, group: 0, pattern: 0, idx: u32::MAX });
-            return ParityHelperProgram { k, levels, procs, out };
+            levels.push(LevelPlan {
+                value_base: 0,
+                team_bases: vec![],
+                group_sizes: vec![],
+            });
+            procs.push(ProcDesc {
+                level: 0,
+                group: 0,
+                pattern: 0,
+                idx: u32::MAX,
+            });
+            return ParityHelperProgram {
+                k,
+                levels,
+                procs,
+                out,
+            };
         }
-        ParityHelperProgram { k, levels, procs, out }
+        ParityHelperProgram {
+            k,
+            levels,
+            procs,
+            out,
+        }
     }
 
     fn is_trivial(&self) -> bool {
@@ -228,8 +259,7 @@ pub fn parity_helper_default_k(machine: &QsmMachine) -> usize {
         QsmFlavor::SQsm => 2,
         // QSM(g, d): read contention costs d·κ, so keep d·2^k ≤ g.
         QsmFlavor::QsmGd(d) => {
-            (63 - (g / d.max(1)).max(2).leading_zeros() as usize)
-                .clamp(2, DEFAULT_GROUP_BITS_CAP)
+            (63 - (g / d.max(1)).max(2).leading_zeros() as usize).clamp(2, DEFAULT_GROUP_BITS_CAP)
         }
     }
 }
@@ -308,7 +338,11 @@ mod tests {
 
     #[test]
     fn cost_never_exceeds_closed_form() {
-        for flavor in [QsmMachine::qsm(8), QsmMachine::qsm_unit_cr(8), QsmMachine::sqsm(8)] {
+        for flavor in [
+            QsmMachine::qsm(8),
+            QsmMachine::qsm_unit_cr(8),
+            QsmMachine::sqsm(8),
+        ] {
             let n = 256;
             let k = 3;
             let out = parity_pattern_helper(&flavor, &bits(n, 1), k).unwrap();

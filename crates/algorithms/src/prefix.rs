@@ -12,9 +12,7 @@
 //! slack appears only in the degenerate `n/p = 1` case, where the fan-in
 //! floor of 2 exceeds the block size).
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word};
 
 use crate::util::{Layout, ReduceOp, TreeShape};
 use crate::VecOutcome;
@@ -58,7 +56,17 @@ impl PrefixProgram {
             offsets.push(layout.alloc(w));
         }
         let out = layout.alloc(n);
-        PrefixProgram { n, p, b, f, op, shape, partials, offsets, out }
+        PrefixProgram {
+            n,
+            p,
+            b,
+            f,
+            op,
+            shape,
+            partials,
+            offsets,
+            out,
+        }
     }
 
     fn depth(&self) -> usize {
@@ -267,7 +275,13 @@ mod tests {
 
     #[test]
     fn phase_count_matches_formula() {
-        for (n, p) in [(64usize, 8usize), (100, 10), (1000, 100), (256, 256), (50, 1)] {
+        for (n, p) in [
+            (64usize, 8usize),
+            (100, 10),
+            (1000, 100),
+            (256, 256),
+            (50, 1),
+        ] {
             let m = QsmMachine::qsm(1);
             let out = prefix_in_rounds(&m, &seq(n), p, ReduceOp::Sum).unwrap();
             assert_eq!(
@@ -280,7 +294,13 @@ mod tests {
 
     #[test]
     fn every_phase_fits_the_round_budget() {
-        for (n, p) in [(64usize, 8usize), (1024, 32), (1000, 250), (128, 128), (100, 1)] {
+        for (n, p) in [
+            (64usize, 8usize),
+            (1024, 32),
+            (1000, 250),
+            (128, 128),
+            (100, 1),
+        ] {
             for g in [1u64, 4] {
                 let m = QsmMachine::qsm(g);
                 let out = prefix_in_rounds(&m, &seq(n), p, ReduceOp::Sum).unwrap();

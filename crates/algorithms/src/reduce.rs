@@ -11,9 +11,7 @@
 //! largest child count at level `l` — i.e. `g(k+1)·⌈log_k n⌉` for a full
 //! tree. The write phases never contend, so QSM and s-QSM charge the same.
 
-use parbounds_models::{
-    Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{Addr, PhaseEnv, Program, QsmMachine, Result, Status, Word};
 
 use crate::util::{Layout, ReduceOp, TreeShape};
 use crate::Outcome;
@@ -50,7 +48,12 @@ impl TreeReduceProgram {
             level_bases.push(layout.alloc(1));
             proc_nodes.push((1, 0));
         }
-        TreeReduceProgram { op, shape, level_bases, proc_nodes }
+        TreeReduceProgram {
+            op,
+            shape,
+            level_bases,
+            proc_nodes,
+        }
     }
 
     fn root_addr(&self) -> Addr {
@@ -135,7 +138,10 @@ pub fn tree_reduce_cost(n: usize, k: usize, g: u64) -> u64 {
     }
     let mut total = 0;
     for (level, &w) in shape.widths.iter().enumerate().skip(1) {
-        let max_children = (0..w).map(|node| shape.children_of(level, node)).max().unwrap();
+        let max_children = (0..w)
+            .map(|node| shape.children_of(level, node))
+            .max()
+            .unwrap();
         total += g * max_children as u64 + g;
     }
     total
@@ -181,7 +187,10 @@ mod tests {
     fn sum_and_max_reduce() {
         let m = QsmMachine::qrqw();
         let input: Vec<Word> = (1..=20).collect();
-        assert_eq!(tree_reduce(&m, &input, 4, ReduceOp::Sum).unwrap().value, 210);
+        assert_eq!(
+            tree_reduce(&m, &input, 4, ReduceOp::Sum).unwrap().value,
+            210
+        );
         assert_eq!(tree_reduce(&m, &input, 4, ReduceOp::Max).unwrap().value, 20);
     }
 

@@ -34,7 +34,10 @@ pub fn parity_via_list_ranking(machine: &QsmMachine, bits: &[Word]) -> Result<Ou
     let n = bits.len();
     let succ: Vec<Word> = (1..=n as Word).collect();
     let ranked = list_rank(machine, &succ, bits, ReduceOp::Xor)?;
-    Ok(Outcome { value: ranked.values[0], run: ranked.run })
+    Ok(Outcome {
+        value: ranked.values[0],
+        run: ranked.run,
+    })
 }
 
 /// Parity of `bits` computed *through sorting* on a BSP: sort the bit
@@ -130,7 +133,11 @@ pub fn clb_via_load_balance(
             dest.push(*row_of.get(&obj).expect("object lost by balancer"));
         }
     }
-    Ok(Some(ClbSolution { color, dest, time: balanced.total_time() }))
+    Ok(Some(ClbSolution {
+        color,
+        dest,
+        time: balanced.total_time(),
+    }))
 }
 
 /// Solves CLB through **LAC** (Theorem 6.1, second reduction): each group
@@ -146,10 +153,17 @@ pub fn clb_via_lac(
 ) -> Result<Option<ClbSolution>> {
     let count = inst.color_count(color);
     if count == 0 {
-        return Ok(Some(ClbSolution { color, dest: Vec::new(), time: 0 }));
+        return Ok(Some(ClbSolution {
+            color,
+            dest: Vec::new(),
+            time: 0,
+        }));
     }
-    let items: Vec<Word> =
-        inst.colors.iter().map(|&c| Word::from(c == color)).collect();
+    let items: Vec<Word> = inst
+        .colors
+        .iter()
+        .map(|&c| Word::from(c == color))
+        .collect();
     let out = lac_dart(machine, &items, count, seed)?;
     assert!(out.verify(&items), "LAC failed");
     if 4 * out.out_size > inst.n {
@@ -172,7 +186,11 @@ pub fn clb_via_lac(
             dest.push(4 * s + j / inst.m);
         }
     }
-    Ok(Some(ClbSolution { color, dest, time: out.run.ledger.total_time() }))
+    Ok(Some(ClbSolution {
+        color,
+        dest,
+        time: out.run.ledger.total_time(),
+    }))
 }
 
 /// Solves CLB through **Padded Sort** (Theorem 6.1, third reduction): group
@@ -202,7 +220,11 @@ pub fn clb_via_padded_sort(
             r.gen_range(lo..hi.max(lo + 1))
         })
         .collect();
-    let sorted = padded_sort(machine, &values, PaddedSortParams::for_n(inst.n, seed ^ 0xabcd))?;
+    let sorted = padded_sort(
+        machine,
+        &values,
+        PaddedSortParams::for_n(inst.n, seed ^ 0xabcd),
+    )?;
     if !sorted.verify(&values) {
         return Ok(None); // bucket overflow (n^{-Θ(1)} probability)
     }
@@ -234,7 +256,11 @@ pub fn clb_via_padded_sort(
             dest.push(4 * q + j / inst.m);
         }
     }
-    Ok(Some(ClbSolution { color, dest, time: sorted.total_time() }))
+    Ok(Some(ClbSolution {
+        color,
+        dest,
+        time: sorted.total_time(),
+    }))
 }
 
 #[cfg(test)]
@@ -329,10 +355,7 @@ mod tests {
 /// instance has exactly `n` keys. Bits are spread evenly within their half
 /// of the value range (order-preserving), so bucket loads stay within 2×
 /// the uniform case regardless of the bit mix.
-pub fn parity_via_sorting_qsm(
-    machine: &QsmMachine,
-    bits: &[Word],
-) -> Result<(Word, u64)> {
+pub fn parity_via_sorting_qsm(machine: &QsmMachine, bits: &[Word]) -> Result<(Word, u64)> {
     assert!(!bits.is_empty());
     let n = bits.len();
     let half = FIXED_ONE / 2;

@@ -13,9 +13,7 @@
 //!   (contention is charged raw, not through the gap), so OR finishes in
 //!   `Θ(log n / log(g·n/p))` rounds — the tight QSM entry of sub-table 4.
 
-use parbounds_models::{
-    PhaseEnv, Program, QsmMachine, Result, Status, Word,
-};
+use parbounds_models::{PhaseEnv, Program, QsmMachine, Result, Status, Word};
 
 use crate::util::{Layout, ReduceOp, TreeShape};
 use crate::Outcome;
@@ -47,7 +45,15 @@ impl RoundsReduceProgram {
             partials.push(layout.alloc(w));
         }
         let out = layout.alloc(1);
-        RoundsReduceProgram { n, p, b, op, shape, partials, out }
+        RoundsReduceProgram {
+            n,
+            p,
+            b,
+            op,
+            shape,
+            partials,
+            out,
+        }
     }
 }
 
@@ -88,7 +94,11 @@ impl Program for RoundsReduceProgram {
             t if t < 2 * d + 2 => {
                 let l = t / 2;
                 if pid >= self.shape.widths[l] {
-                    return if t % 2 == 1 && l == d { Status::Done } else { Status::Active };
+                    return if t % 2 == 1 && l == d {
+                        Status::Done
+                    } else {
+                        Status::Active
+                    };
                 }
                 if t % 2 == 0 {
                     let children = self.shape.children_of(l, pid);
@@ -159,7 +169,10 @@ struct OrRoundsProgram {
 
 impl OrRoundsProgram {
     fn new(n: usize, p: usize, g: u64, layout: &mut Layout) -> Self {
-        assert!(n > 0 && p >= 1 && p <= n, "need 1 <= p <= n (got p={p}, n={n})");
+        assert!(
+            n > 0 && p >= 1 && p <= n,
+            "need 1 <= p <= n (got p={p}, n={n})"
+        );
         let b = n.div_ceil(p);
         let k = ((g as usize).saturating_mul(b)).clamp(2, p.max(2));
         let depth = crate::util::ceil_log(p, k) as usize;
@@ -170,7 +183,15 @@ impl OrRoundsProgram {
             level_bases.push(layout.alloc(width));
         }
         let out = layout.alloc(1);
-        OrRoundsProgram { n, p, b, k, depth, level_bases, out }
+        OrRoundsProgram {
+            n,
+            p,
+            b,
+            k,
+            depth,
+            level_bases,
+            out,
+        }
     }
 
     fn rep_level(&self, i: usize) -> usize {
@@ -277,7 +298,9 @@ mod tests {
         let input: Vec<Word> = (0..200).map(|i| (i * 7 + 3) % 5).collect();
         for p in [1usize, 4, 20, 200] {
             assert_eq!(
-                reduce_in_rounds(&m, &input, p, ReduceOp::Sum).unwrap().value,
+                reduce_in_rounds(&m, &input, p, ReduceOp::Sum)
+                    .unwrap()
+                    .value,
                 input.iter().sum::<Word>(),
                 "p={p}"
             );
@@ -294,7 +317,11 @@ mod tests {
         for (n, p) in [(256usize, 16usize), (4096, 64), (100, 100), (64, 1)] {
             let input = bits(n, &[n / 2]);
             let out = reduce_in_rounds(&m, &input, p, ReduceOp::Or).unwrap();
-            assert_eq!(out.run.ledger.num_phases(), reduce_rounds_count(n, p), "n={n} p={p}");
+            assert_eq!(
+                out.run.ledger.num_phases(),
+                reduce_rounds_count(n, p),
+                "n={n} p={p}"
+            );
         }
     }
 

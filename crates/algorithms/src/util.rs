@@ -64,7 +64,9 @@ impl ReduceOp {
 
     /// Folds a slice.
     pub fn fold(self, items: &[Word]) -> Word {
-        items.iter().fold(self.identity(), |acc, &x| self.apply(acc, x))
+        items
+            .iter()
+            .fold(self.identity(), |acc, &x| self.apply(acc, x))
     }
 }
 

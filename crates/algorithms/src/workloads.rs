@@ -173,7 +173,10 @@ mod tests {
         assert!(v.iter().all(|&x| (0..FIXED_ONE).contains(&x)));
         let mean: i64 = v.iter().sum::<i64>() / 1000;
         let half = FIXED_ONE / 2;
-        assert!((mean - half).abs() < FIXED_ONE / 10, "mean {mean} vs {half}");
+        assert!(
+            (mean - half).abs() < FIXED_ONE / 10,
+            "mean {mean} vs {half}"
+        );
     }
 
     #[test]

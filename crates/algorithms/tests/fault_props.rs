@@ -1,0 +1,163 @@
+//! Property tests for the fault-injection layer: arbitrary seeded
+//! [`FaultPlan`]s thrown at the Section 8 algorithms must never panic —
+//! every execution ends in a verified-correct answer or a typed
+//! [`ModelError`] — and the write-combining OR tree must be correct under
+//! *every* concurrent-write arbitration, enumerated exhaustively at small
+//! `n` with the [`WinnerPolicy::Scripted`] odometer.
+
+use parbounds_algo::bsp_algos::{bsp_lac_dart_resilient, bsp_or, bsp_parity};
+use parbounds_algo::lac::{lac_dart, lac_dart_retry};
+use parbounds_algo::or_tree::or_write_tree;
+use parbounds_algo::parity::parity_pattern_helper;
+use parbounds_algo::workloads;
+use parbounds_models::faults::advance_script;
+use parbounds_models::{BspMachine, FaultPlan, QsmMachine, WinnerPolicy, Word};
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary bounded fault plan. Probabilities stay below
+/// 0.3 and schedules small so degraded runs stay fast; phase budgets are
+/// always attached so a livelocked tree surfaces as a typed error quickly.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0usize..6,
+        0.0f64..0.3,
+        0.0f64..0.2,
+        prop::collection::vec((0usize..8, 0usize..8), 0..4),
+        prop::option::of((0usize..8, 0usize..8)),
+        prop::option::of(100u64..100_000),
+    )
+        .prop_map(|(seed, winner, drop, dup, stalls, crash, cost_budget)| {
+            let winner = match winner {
+                0 => WinnerPolicy::SeededRandom,
+                1 => WinnerPolicy::FirstWriter,
+                2 => WinnerPolicy::LastWriter,
+                3 => WinnerPolicy::MinValue,
+                4 => WinnerPolicy::MaxValue,
+                _ => WinnerPolicy::Scripted(vec![0, 1, 2]),
+            };
+            let mut plan = FaultPlan::new(seed)
+                .with_winner(winner)
+                .with_drop_prob(drop)
+                .with_dup_prob(dup)
+                .with_phase_budget(400);
+            for (pid, phase) in stalls {
+                plan = plan.with_stall(pid, phase);
+            }
+            if let Some((pid, phase)) = crash {
+                plan = plan.with_crash(pid, phase);
+            }
+            if let Some(b) = cost_budget {
+                plan = plan.with_cost_budget(b);
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// QSM trees under arbitrary plans: no panic, and a plan that does not
+    /// perturb execution must still produce the right answer.
+    #[test]
+    fn qsm_trees_never_panic_under_arbitrary_plans(
+        plan in arb_plan(),
+        n in 4usize..32,
+        input_seed in 0u64..1000,
+    ) {
+        let bits = workloads::random_bits(n, input_seed);
+        let machine = QsmMachine::qsm(4).with_faults(plan.clone());
+        if let Ok(out) = or_write_tree(&machine, &bits, 4) {
+            let expect = Word::from(bits.iter().any(|&b| b != 0));
+            if !plan.perturbs_execution() {
+                prop_assert_eq!(out.value, expect);
+            }
+        }
+        if let Ok(out) = parity_pattern_helper(&machine, &bits, 3) {
+            if !plan.perturbs_execution() {
+                prop_assert_eq!(out.value, bits.iter().sum::<Word>() & 1);
+            }
+        }
+    }
+
+    /// The dart LAC under arbitrary plans: a raw run may fail or degrade,
+    /// but the Las Vegas retry wrapper never returns an unverified success.
+    #[test]
+    fn lac_never_panics_and_retry_never_lies(
+        plan in arb_plan(),
+        input_seed in 0u64..1000,
+    ) {
+        let n = 24;
+        let h = 6;
+        let items = workloads::sparse_items(n, h, input_seed);
+        let machine = QsmMachine::qsm(4);
+        let faulted = machine.clone().with_faults(plan.clone());
+        // Raw run: any Ok/Err is fine, panics are not.
+        let _ = lac_dart(&faulted, &items, h, input_seed);
+        if let Ok(out) = lac_dart_retry(&machine, &items, h, input_seed, &plan, 3) {
+            prop_assert!(out.outcome.verify(&items));
+            prop_assert!(out.attempts >= 1 && out.attempts <= 3);
+        }
+    }
+
+    /// BSP trees under arbitrary plans (message faults included): no
+    /// panic, and the resilient LAC never returns an unverified placement.
+    #[test]
+    fn bsp_trees_never_panic_under_arbitrary_plans(
+        plan in arb_plan(),
+        p in 2usize..17,
+        input_seed in 0u64..1000,
+    ) {
+        let bits = workloads::random_bits(p, input_seed);
+        let machine = BspMachine::new(p, 2, 8).unwrap();
+        let faulted = machine.clone().with_faults(plan.clone());
+        if let Ok(out) = bsp_parity(&faulted, &bits) {
+            if !plan.perturbs_execution() {
+                prop_assert_eq!(out.value, bits.iter().sum::<Word>() & 1);
+            }
+        }
+        let _ = bsp_or(&faulted, &bits);
+
+        let h = (p / 2).max(1);
+        let items = workloads::sparse_items(p, h, input_seed);
+        if let Ok(out) = bsp_lac_dart_resilient(&machine, &items, h, input_seed, &plan, 3) {
+            prop_assert!(out.result.verify(&items));
+        }
+    }
+}
+
+/// Exhaustively enumerates every concurrent-write arbitration of the OR
+/// write tree at small `n` via the scripted-winner odometer: the paper's
+/// arbitrary-write rule demands correctness for EVERY winner choice.
+#[test]
+fn or_tree_is_correct_under_every_write_arbitration() {
+    let machine = QsmMachine::qsm(2);
+    for bits in [
+        vec![1, 1, 1, 1, 0, 1],
+        vec![0, 1, 1, 0, 1, 0],
+        vec![1, 0, 0, 0, 0, 0],
+        vec![0, 0, 0, 0, 0, 0],
+    ] {
+        let expect = Word::from(bits.iter().any(|&b| b != 0));
+        let mut script: Vec<usize> = Vec::new();
+        let mut arbitrations = 0u64;
+        loop {
+            let plan = FaultPlan::new(0).with_winner(WinnerPolicy::Scripted(script.clone()));
+            let out = or_write_tree(&machine.clone().with_faults(plan), &bits, 2).unwrap();
+            assert_eq!(
+                out.value, expect,
+                "OR tree wrong on {bits:?} under arbitration {script:?}"
+            );
+            arbitrations += 1;
+            let log = out.run.faults.expect("faulted run must carry a log");
+            assert!(!log.choices_truncated);
+            if !advance_script(&mut script, &log.choice_radices()) {
+                break;
+            }
+        }
+        let ones = bits.iter().filter(|&&b| b != 0).count();
+        if ones >= 2 {
+            assert!(arbitrations > 1, "expected contention on {bits:?}");
+        }
+    }
+}

@@ -5,9 +5,9 @@
 //! tracks host throughput of the same sweeps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use parbounds::algo::{bsp_algos, or_tree, parity, util::ReduceOp, workloads};
 use parbounds::models::{BspMachine, QsmMachine};
+use std::time::Duration;
 
 fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
@@ -28,7 +28,11 @@ fn bench_ablations(c: &mut Criterion) {
     // Parity helper group-size sweep.
     for &k in &[2usize, 3, 4, 6] {
         group.bench_with_input(BenchmarkId::new("parity_group", k), &k, |b, &k| {
-            b.iter(|| parity::parity_pattern_helper(&machine, &bits, k).unwrap().value)
+            b.iter(|| {
+                parity::parity_pattern_helper(&machine, &bits, k)
+                    .unwrap()
+                    .value
+            })
         });
     }
 
@@ -36,7 +40,11 @@ fn bench_ablations(c: &mut Criterion) {
     let bsp = BspMachine::new(64, 2, 16).unwrap();
     for &k in &[2usize, 8, 32] {
         group.bench_with_input(BenchmarkId::new("bsp_fanin", k), &k, |b, &k| {
-            b.iter(|| bsp_algos::bsp_reduce(&bsp, &bits, k, ReduceOp::Xor).unwrap().value)
+            b.iter(|| {
+                bsp_algos::bsp_reduce(&bsp, &bits, k, ReduceOp::Xor)
+                    .unwrap()
+                    .value
+            })
         });
     }
     group.finish();

@@ -2,9 +2,9 @@
 //! sort and compaction algorithms across (n, p, g, L).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use parbounds::algo::{bsp_algos, workloads};
 use parbounds::models::BspMachine;
+use std::time::Duration;
 
 fn bench_bsp(c: &mut Criterion) {
     let mut group = c.benchmark_group("bsp_time");
@@ -26,7 +26,9 @@ fn bench_bsp(c: &mut Criterion) {
                 &(),
                 |b, _| {
                     b.iter(|| {
-                        bsp_algos::bsp_lac_dart(&machine, &items, n / 8, 3).unwrap().out_size
+                        bsp_algos::bsp_lac_dart(&machine, &items, n / 8, 3)
+                            .unwrap()
+                            .out_size
                     })
                 },
             );
@@ -36,7 +38,10 @@ fn bench_bsp(c: &mut Criterion) {
                 &(),
                 |b, _| {
                     b.iter(|| {
-                        bsp_algos::bsp_sort_sample(&machine, &values, 8).unwrap().blocks.len()
+                        bsp_algos::bsp_sort_sample(&machine, &values, 8)
+                            .unwrap()
+                            .blocks
+                            .len()
                     })
                 },
             );

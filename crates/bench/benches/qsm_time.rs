@@ -4,9 +4,9 @@
 //! so regressions in the engine show up.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use parbounds::algo::{lac, or_tree, parity, workloads};
 use parbounds::models::QsmMachine;
+use std::time::Duration;
 
 fn bench_qsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("qsm_time");
@@ -22,7 +22,11 @@ fn bench_qsm(c: &mut Criterion) {
                 BenchmarkId::new("parity_helper", format!("n{n}_g{g}")),
                 &(),
                 |b, _| {
-                    b.iter(|| parity::parity_pattern_helper(&machine, &bits, k).unwrap().value)
+                    b.iter(|| {
+                        parity::parity_pattern_helper(&machine, &bits, k)
+                            .unwrap()
+                            .value
+                    })
                 },
             );
             group.bench_with_input(
@@ -30,7 +34,9 @@ fn bench_qsm(c: &mut Criterion) {
                 &(),
                 |b, _| {
                     b.iter(|| {
-                        or_tree::or_write_tree(&machine, &bits, g as usize).unwrap().value
+                        or_tree::or_write_tree(&machine, &bits, g as usize)
+                            .unwrap()
+                            .value
                     })
                 },
             );

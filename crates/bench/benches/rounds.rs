@@ -2,9 +2,9 @@
 //! rounds-respecting algorithms across the n/p sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use parbounds::algo::{lac, rounds, util::ReduceOp, workloads};
 use parbounds::models::QsmMachine;
+use std::time::Duration;
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("rounds");
@@ -27,7 +27,11 @@ fn bench_rounds(c: &mut Criterion) {
             BenchmarkId::new("parity_rounds_sqsm", format!("np{np}")),
             &(),
             |b, _| {
-                b.iter(|| rounds::reduce_in_rounds(&sqsm, &bits, p, ReduceOp::Xor).unwrap().value)
+                b.iter(|| {
+                    rounds::reduce_in_rounds(&sqsm, &bits, p, ReduceOp::Xor)
+                        .unwrap()
+                        .value
+                })
             },
         );
         group.bench_with_input(

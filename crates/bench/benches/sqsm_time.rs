@@ -2,9 +2,9 @@
 //! algorithms (binary trees + darts) across the (n, g) sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use parbounds::algo::{lac, or_tree, reduce, workloads};
 use parbounds::models::QsmMachine;
+use std::time::Duration;
 
 fn bench_sqsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("sqsm_time");

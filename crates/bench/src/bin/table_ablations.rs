@@ -7,9 +7,7 @@
 //! cargo run --release -p parbounds-bench --bin table_ablations
 //! ```
 
-use parbounds::algo::{
-    broadcast, bsp_algos, lac, or_tree, parity, util::ReduceOp, workloads,
-};
+use parbounds::algo::{broadcast, bsp_algos, lac, or_tree, parity, util::ReduceOp, workloads};
 use parbounds::models::{BspMachine, QsmMachine};
 
 fn main() {
@@ -46,7 +44,10 @@ fn main() {
     println!();
     println!("Ablation 4 — LAC dart load factor (h = n/8 items), QRQW (g = 1), n = {n}");
     println!("(the geometric schedule keeps realized contention low at any seed)");
-    println!("{:>6} | {:>10} | {:>8} | {:>10}", "seed", "time", "phases", "max κ");
+    println!(
+        "{:>6} | {:>10} | {:>8} | {:>10}",
+        "seed", "time", "phases", "max κ"
+    );
     let items = workloads::sparse_items(n, n / 8, 3);
     for seed in [1u64, 2, 3, 4] {
         let out = lac::lac_dart(&QsmMachine::qrqw(), &items, n / 8, seed).unwrap();
@@ -71,7 +72,10 @@ fn main() {
     println!();
     println!("Ablation 6 — QSM(g, d) interpolation (Claim 2.2): OR fan-in sweep at g = 32");
     println!("(optimal fan-in shifts from g at d = 1 toward 2 as d -> g)");
-    println!("{:>6} | {:>10} {:>10} {:>10} {:>10}", "k", "d=1", "d=4", "d=16", "d=32");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>10} {:>10}",
+        "k", "d=1", "d=4", "d=16", "d=32"
+    );
     for k in [2usize, 4, 8, 16, 32] {
         let mut row = format!("{k:>6} |");
         for d in [1u64, 4, 16, 32] {

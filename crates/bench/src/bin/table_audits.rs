@@ -7,13 +7,13 @@
 //! cargo run --release -p parbounds-bench --bin table_audits
 //! ```
 
+use parbounds::adversary::f_star;
 use parbounds::adversary::{
     audit_parity_program, or_success_rate, probe_k_or, DegreeAudit, GrowthSequences,
     OrDistribution, OrRefine, TGoodness, TraceEnsemble,
 };
-use parbounds::adversary::f_star;
-use rand::SeedableRng;
 use parbounds::models::{GsmEnv, GsmFnProgram, GsmMachine, GsmProgram, Status, Word};
+use rand::SeedableRng;
 
 /// The binary-tree GSM parity program used by the audits (one processor per
 /// internal node, XOR combine).
@@ -79,10 +79,13 @@ fn main() {
         for (alpha, beta) in [(1u64, 1u64), (2, 2), (1, 4)] {
             let machine = GsmMachine::new(alpha, beta, 1);
             let (_, out) = tree_parity(r);
-            let report = audit_parity_program(&machine, || tree_parity(r).0, out, r)
-                .expect("audit failed");
+            let report =
+                audit_parity_program(&machine, || tree_parity(r).0, out, r).expect("audit failed");
             assert!(report.correct, "tree parity must be correct");
-            assert!(report.worst.supports_degree(r), "Theorem 3.1 accounting violated");
+            assert!(
+                report.worst.supports_degree(r),
+                "Theorem 3.1 accounting violated"
+            );
             println!(
                 "{:>3} {:>6} {:>6} | {:>8} {:>12.2} {:>12.2} | {:>10} {:>12.2}",
                 r,
@@ -111,9 +114,18 @@ fn main() {
             let honest = |input: &[Word]| Word::from(input.iter().any(|&b| b != 0));
             for (name, rate) in [
                 ("honest full OR", or_success_rate(honest, &dist, 4000, 1)),
-                ("probe 1 input", or_success_rate(probe_k_or(1), &dist, 4000, 2)),
-                ("probe 16 inputs", or_success_rate(probe_k_or(16), &dist, 4000, 3)),
-                ("probe n/4 inputs", or_success_rate(probe_k_or(n / 4), &dist, 4000, 4)),
+                (
+                    "probe 1 input",
+                    or_success_rate(probe_k_or(1), &dist, 4000, 2),
+                ),
+                (
+                    "probe 16 inputs",
+                    or_success_rate(probe_k_or(16), &dist, 4000, 3),
+                ),
+                (
+                    "probe n/4 inputs",
+                    or_success_rate(probe_k_or(n / 4), &dist, 4000, 4),
+                ),
                 ("constant 0", or_success_rate(|_| 0, &dist, 4000, 5)),
             ] {
                 println!("{:>8} {:>6} | {:>24} {:>10.3}", n, mu, name, rate);
@@ -137,7 +149,11 @@ fn main() {
     let r = 8;
     let machine = GsmMachine::new(1, 1, 1);
     let ens = TraceEnsemble::build(&machine, || tree_parity(r).0, r).expect("ensemble");
-    let seq = GrowthSequences { nu: 1.0, mu: 1.0, n: r as f64 };
+    let seq = GrowthSequences {
+        nu: 1.0,
+        mu: 1.0,
+        n: r as f64,
+    };
     for t in 1..=ens.num_phases() {
         let good = TGoodness::check(&ens, &f_star(r), t);
         assert!(good.max_states_degree as f64 <= seq.d(t), "d_t violated");
@@ -170,11 +186,17 @@ fn main() {
             print!(" -> {}", refine.set.masks.len());
             t += 1;
             if step.done {
-                println!("  (fixed mask {:#010b} after {t} steps)", step.fixed.unwrap());
+                println!(
+                    "  (fixed mask {:#010b} after {t} steps)",
+                    step.fixed.unwrap()
+                );
                 break;
             }
             if t > 12 {
-                println!("  (time limit reached with {} maps alive)", refine.set.masks.len());
+                println!(
+                    "  (time limit reached with {} maps alive)",
+                    refine.set.masks.len()
+                );
                 break;
             }
         }

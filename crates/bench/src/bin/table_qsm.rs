@@ -49,7 +49,10 @@ fn main() {
 
     println!();
     println!("Parity with unit-time concurrent reads (the Θ(g·log n/log g) row):");
-    println!("{:<8} {:>8} {:>6} | {:>10} {:>10} {:>8}", "", "n", "g", "measured", "Θ form.", "ratio");
+    println!(
+        "{:<8} {:>8} {:>6} | {:>10} {:>10} {:>8}",
+        "", "n", "g", "measured", "Θ form.", "ratio"
+    );
     let points: Vec<(usize, u64)> = n_sweep()
         .into_iter()
         .flat_map(|n| g_sweep().into_iter().map(move |g| (n, g)))
@@ -61,7 +64,12 @@ fn main() {
     for (n, g, m, theta) in rows {
         println!(
             "{:<8} {:>8} {:>6} | {:>10.0} {:>10.0} {:>8.2}",
-            "Parity", n, g, m, theta, m / theta
+            "Parity",
+            n,
+            g,
+            m,
+            theta,
+            m / theta
         );
     }
 }

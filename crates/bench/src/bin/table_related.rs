@@ -44,8 +44,13 @@ fn main() {
                 );
                 println!(
                     "{:<16} {:<6} {:>8} {:>6} | {:>10.0} {:>12.1} {:>8}",
-                    row.problem, format!("{:?}", row.model), row.params.n, row.params.g,
-                    row.measured, row.lac_rand_lb, row.phases
+                    row.problem,
+                    format!("{:?}", row.model),
+                    row.params.n,
+                    row.params.g,
+                    row.measured,
+                    row.lac_rand_lb,
+                    row.phases
                 );
             }
         }
@@ -58,7 +63,10 @@ fn main() {
         let row = qsm_time_row(Problem::Lac, n, g, 0x1ac).unwrap();
         println!(
             "{:<16} {:<6} {:>8} {:>6} | {:>10.0} {:>12.1}",
-            "lac", "Qsm", n, g,
+            "lac",
+            "Qsm",
+            n,
+            g,
             row.measured.unwrap(),
             row.rand_lb
         );
@@ -67,7 +75,10 @@ fn main() {
     // BSP padded sort: the §2.2 "message delivery is compaction" remark.
     println!();
     println!("BSP padded sort (2 supersteps; routing IS the compaction):");
-    println!("{:>8} {:>5} | {:>10} {:>10} {:>12}", "n", "p", "time", "steps", "output size");
+    println!(
+        "{:>8} {:>5} | {:>10} {:>10} {:>12}",
+        "n", "p", "time", "steps", "output size"
+    );
     for &(n, p) in &[(1usize << 12, 16usize), (1 << 14, 64), (1 << 16, 256)] {
         let m = parbounds::models::BspMachine::new(p, 2, 16).unwrap();
         let values = parbounds::algo::workloads::uniform_values(n, 0xbead);

@@ -1,5 +1,5 @@
 //! Shared harness code for the Table 1 regeneration binaries and the
-//! Criterion benches: a crossbeam-based parallel sweep executor and the
+//! Criterion benches: a scoped-thread parallel sweep executor and the
 //! common row formatting.
 
 use std::num::NonZeroUsize;
@@ -23,18 +23,19 @@ where
     }
     let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
     let chunk = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slice_in, slice_out) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, item) in slice_in.iter().enumerate() {
                     slice_out[i] = Some(f(item));
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_iter().map(|t| t.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|t| t.expect("all slots filled"))
+        .collect()
 }
 
 /// Formats a ratio column: `-` for absent measurements.

@@ -52,7 +52,10 @@ pub fn certificate_set_at(f: &BoolFn, a: u32) -> u32 {
 
 /// `C(f) = max_a certificate_at(f, a)`.
 pub fn certificate_complexity(f: &BoolFn) -> usize {
-    (0..1u32 << f.arity()).map(|a| certificate_at(f, a)).max().unwrap_or(0)
+    (0..1u32 << f.arity())
+        .map(|a| certificate_at(f, a))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Checks Fact 2.3, `C(f) ≤ deg(f)^4`, returning the two sides.
@@ -236,7 +239,10 @@ pub fn block_sensitivity_at(f: &BoolFn, a: u32) -> usize {
 
 /// `bs(f) = max_a bs(f, a)`.
 pub fn block_sensitivity(f: &BoolFn) -> usize {
-    (0..1u32 << f.arity()).map(|a| block_sensitivity_at(f, a)).max().unwrap_or(0)
+    (0..1u32 << f.arity())
+        .map(|a| block_sensitivity_at(f, a))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

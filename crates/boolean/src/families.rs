@@ -111,6 +111,9 @@ mod tests {
         assert_ne!(f, h);
         // Should be roughly balanced.
         let ones = f.count_ones();
-        assert!((16..=48).contains(&ones), "suspiciously unbalanced: {ones}/64");
+        assert!(
+            (16..=48).contains(&ones),
+            "suspiciously unbalanced: {ones}/64"
+        );
     }
 }

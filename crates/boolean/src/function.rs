@@ -29,7 +29,10 @@ impl BoolFn {
     /// `n <= MAX_VARS`.
     pub fn from_table(table: Vec<bool>) -> Self {
         let len = table.len();
-        assert!(len.is_power_of_two(), "truth table length {len} is not a power of two");
+        assert!(
+            len.is_power_of_two(),
+            "truth table length {len} is not a power of two"
+        );
         let n = len.trailing_zeros() as usize;
         assert!(n <= MAX_VARS, "arity {n} exceeds MAX_VARS = {MAX_VARS}");
         BoolFn { n, table }
@@ -38,7 +41,10 @@ impl BoolFn {
     /// Builds a function by evaluating `eval` on every assignment.
     pub fn from_fn(n: usize, eval: impl Fn(u32) -> bool) -> Self {
         assert!(n <= MAX_VARS, "arity {n} exceeds MAX_VARS = {MAX_VARS}");
-        BoolFn { n, table: (0..1u32 << n).map(eval).collect() }
+        BoolFn {
+            n,
+            table: (0..1u32 << n).map(eval).collect(),
+        }
     }
 
     /// Number of variables.
@@ -88,7 +94,10 @@ impl BoolFn {
 
     /// Complement (`f̄`).
     pub fn not(&self) -> BoolFn {
-        BoolFn { n: self.n, table: self.table.iter().map(|&b| !b).collect() }
+        BoolFn {
+            n: self.n,
+            table: self.table.iter().map(|&b| !b).collect(),
+        }
     }
 
     fn zip(&self, other: &BoolFn, op: impl Fn(bool, bool) -> bool) -> BoolFn {
@@ -108,7 +117,11 @@ impl BoolFn {
     /// `n - 1` variables (the remaining variables keep their relative
     /// order). This is the `g ⊆ f` operation of Fact 2.2(4).
     pub fn restrict(&self, var: usize, value: bool) -> BoolFn {
-        assert!(var < self.n, "variable {var} out of range for arity {}", self.n);
+        assert!(
+            var < self.n,
+            "variable {var} out of range for arity {}",
+            self.n
+        );
         let low_mask = (1u32 << var) - 1;
         let bit = u32::from(value) << var;
         let table = (0..1u32 << (self.n - 1))
@@ -117,7 +130,10 @@ impl BoolFn {
                 self.table[a as usize]
             })
             .collect();
-        BoolFn { n: self.n - 1, table }
+        BoolFn {
+            n: self.n - 1,
+            table,
+        }
     }
 
     /// Whether flipping variable `var` at assignment `a` changes the value —
@@ -134,13 +150,18 @@ impl BoolFn {
 
     /// Sensitivity `s(f) = max_a s(f, a)`.
     pub fn sensitivity(&self) -> usize {
-        (0..1u32 << self.n).map(|a| self.sensitivity_at(a)).max().unwrap_or(0)
+        (0..1u32 << self.n)
+            .map(|a| self.sensitivity_at(a))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Influence of variable `i`: the number of inputs at which `f` is
     /// sensitive to `i` (a count, not a fraction — exact arithmetic).
     pub fn influence_count(&self, i: usize) -> usize {
-        (0..1u32 << self.n).filter(|&a| self.sensitive_at(a, i)).count()
+        (0..1u32 << self.n)
+            .filter(|&a| self.sensitive_at(a, i))
+            .count()
     }
 
     /// Total influence as a count: `Σ_i influence_count(i)`. Dividing by

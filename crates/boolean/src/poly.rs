@@ -95,7 +95,10 @@ impl IntPoly {
     pub fn to_bool_fn(&self) -> BoolFn {
         BoolFn::from_fn(self.n, |a| {
             let v = self.eval(a);
-            debug_assert!(v == 0 || v == 1, "polynomial of a boolean fn must evaluate 0/1");
+            debug_assert!(
+                v == 0 || v == 1,
+                "polynomial of a boolean fn must evaluate 0/1"
+            );
             v == 1
         })
     }
@@ -173,8 +176,7 @@ mod tests {
             assert_eq!(p.to_bool_fn(), f);
         }
         // Also an "arbitrary" function.
-        let f =
-            crate::BoolFn::from_fn(5, |a| a.wrapping_mul(2654435761).wrapping_add(a) & 8 != 0);
+        let f = crate::BoolFn::from_fn(5, |a| a.wrapping_mul(2654435761).wrapping_add(a) & 8 != 0);
         assert_eq!(IntPoly::of(&f).to_bool_fn(), f);
     }
 

@@ -31,7 +31,9 @@ impl Args {
     pub fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
         }
     }
 
@@ -42,7 +44,10 @@ impl Args {
 
     /// A string flag with a default.
     pub fn str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Flags the caller never consumed (likely typos).

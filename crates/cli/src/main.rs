@@ -8,6 +8,7 @@
 //! parbounds audit     [--r R --alpha A --beta B]
 //! parbounds adversary [--n N --mu MU --trials T]
 //! parbounds emulate   [--n N --p P --g G --l L]
+//! parbounds faults    [--n N --seed S]
 //! ```
 
 mod args;
@@ -17,9 +18,7 @@ use args::Args;
 use parbounds::adversary::{
     audit_parity_program, or_success_rate, probe_k_or, DegreeAudit, OrDistribution,
 };
-use parbounds::algo::{
-    bsp_algos, emulation, gsm_algos, lac, or_tree, parity, reduce, workloads,
-};
+use parbounds::algo::{bsp_algos, emulation, gsm_algos, lac, or_tree, parity, reduce, workloads};
 use parbounds::models::{
     BspMachine, GsmEnv, GsmFnProgram, GsmMachine, GsmProgram, QsmMachine, Status, Word,
 };
@@ -48,7 +47,8 @@ fn usage() -> &'static str {
                       [--n N --g G --l L --p P --seed S]
   parbounds audit     [--r R --alpha A --beta B]
   parbounds adversary [--n N --mu MU --trials T]
-  parbounds emulate   [--n N --p P --g G --l L]"
+  parbounds emulate   [--n N --p P --g G --l L]
+  parbounds faults    [--n N --seed S]"
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
@@ -59,6 +59,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "audit" => cmd_audit(&args),
         "adversary" => cmd_adversary(&args),
         "emulate" => cmd_emulate(&args),
+        "faults" => cmd_faults(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -97,77 +98,115 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let bits = workloads::random_bits(n, seed);
     let items = workloads::sparse_items(n, (n / 8).max(1), seed);
 
-    let (value, time, phases, algo): (Word, u64, usize, &str) = match (problem.as_str(), model.as_str()) {
-        ("parity", "qsm") => {
-            let m = QsmMachine::qsm(g);
-            let k = parity::parity_helper_default_k(&m);
-            let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.phases(), "pattern-helper")
-        }
-        ("parity", "qsm-cr") => {
-            let m = QsmMachine::qsm_unit_cr(g);
-            let k = parity::parity_helper_default_k(&m);
-            let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.phases(), "pattern-helper (unit CR)")
-        }
-        ("parity", "sqsm") => {
-            let m = QsmMachine::sqsm(g);
-            let o = reduce::parity_read_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.phases(), "binary read tree")
-        }
-        ("parity", "gsm") => {
-            let m = GsmMachine::new(1, g, 1);
-            let o = gsm_algos::gsm_parity(&m, &bits).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.ledger.num_phases(), "strong-queuing tree")
-        }
-        ("parity", "bsp") => {
-            let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
-            let o = bsp_algos::bsp_parity(&m, &bits).map_err(|e| e.to_string())?;
-            (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
-        }
-        ("or", "qsm") => {
-            let m = QsmMachine::qsm(g);
-            let o = or_tree::or_write_tree(&m, &bits, g as usize).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.phases(), "write-combining tree")
-        }
-        ("or", "sqsm") => {
-            let m = QsmMachine::sqsm(g);
-            let o = or_tree::or_write_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.phases(), "binary write tree")
-        }
-        ("or", "gsm") => {
-            let m = GsmMachine::new(1, g, 1);
-            let o = gsm_algos::gsm_or(&m, &bits).map_err(|e| e.to_string())?;
-            (o.value, o.run.time(), o.run.ledger.num_phases(), "strong-queuing tree")
-        }
-        ("or", "bsp") => {
-            let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
-            let o = bsp_algos::bsp_or(&m, &bits).map_err(|e| e.to_string())?;
-            (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
-        }
-        ("lac", "qsm" | "sqsm") => {
-            let m = if model == "qsm" { QsmMachine::qsm(g) } else { QsmMachine::sqsm(g) };
-            let o = lac::lac_dart(&m, &items, (n / 8).max(1), seed).map_err(|e| e.to_string())?;
-            if !o.verify(&items) {
-                return Err("LAC verification failed".into());
+    let (value, time, phases, algo): (Word, u64, usize, &str) =
+        match (problem.as_str(), model.as_str()) {
+            ("parity", "qsm") => {
+                let m = QsmMachine::qsm(g);
+                let k = parity::parity_helper_default_k(&m);
+                let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
+                (o.value, o.run.time(), o.run.phases(), "pattern-helper")
             }
-            let placed = o.dest().iter().filter(|&&v| v != 0).count() as Word;
-            (placed, o.run.time(), o.run.phases(), "dart-throwing")
-        }
-        ("lac", "bsp") => {
-            let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
-            let o = bsp_algos::bsp_lac_dart(&m, &items, (n / 8).max(1), seed)
-                .map_err(|e| e.to_string())?;
-            if !o.verify(&items) {
-                return Err("BSP LAC verification failed".into());
+            ("parity", "qsm-cr") => {
+                let m = QsmMachine::qsm_unit_cr(g);
+                let k = parity::parity_helper_default_k(&m);
+                let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
+                (
+                    o.value,
+                    o.run.time(),
+                    o.run.phases(),
+                    "pattern-helper (unit CR)",
+                )
             }
-            (o.placed.len() as Word, o.ledger.total_time(), o.ledger.num_phases(), "message darts")
-        }
-        (pb, md) => return Err(format!("no algorithm for problem '{pb}' on model '{md}'")),
-    };
+            ("parity", "sqsm") => {
+                let m = QsmMachine::sqsm(g);
+                let o = reduce::parity_read_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
+                (o.value, o.run.time(), o.run.phases(), "binary read tree")
+            }
+            ("parity", "gsm") => {
+                let m = GsmMachine::new(1, g, 1);
+                let o = gsm_algos::gsm_parity(&m, &bits).map_err(|e| e.to_string())?;
+                (
+                    o.value,
+                    o.run.time(),
+                    o.run.ledger.num_phases(),
+                    "strong-queuing tree",
+                )
+            }
+            ("parity", "bsp") => {
+                let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+                let o = bsp_algos::bsp_parity(&m, &bits).map_err(|e| e.to_string())?;
+                (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
+            }
+            ("or", "qsm") => {
+                let m = QsmMachine::qsm(g);
+                let o = or_tree::or_write_tree(&m, &bits, g as usize).map_err(|e| e.to_string())?;
+                (
+                    o.value,
+                    o.run.time(),
+                    o.run.phases(),
+                    "write-combining tree",
+                )
+            }
+            ("or", "sqsm") => {
+                let m = QsmMachine::sqsm(g);
+                let o = or_tree::or_write_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
+                (o.value, o.run.time(), o.run.phases(), "binary write tree")
+            }
+            ("or", "gsm") => {
+                let m = GsmMachine::new(1, g, 1);
+                let o = gsm_algos::gsm_or(&m, &bits).map_err(|e| e.to_string())?;
+                (
+                    o.value,
+                    o.run.time(),
+                    o.run.ledger.num_phases(),
+                    "strong-queuing tree",
+                )
+            }
+            ("or", "bsp") => {
+                let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+                let o = bsp_algos::bsp_or(&m, &bits).map_err(|e| e.to_string())?;
+                (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
+            }
+            ("lac", "qsm" | "sqsm") => {
+                let m = if model == "qsm" {
+                    QsmMachine::qsm(g)
+                } else {
+                    QsmMachine::sqsm(g)
+                };
+                let o =
+                    lac::lac_dart(&m, &items, (n / 8).max(1), seed).map_err(|e| e.to_string())?;
+                if !o.verify(&items) {
+                    return Err("LAC verification failed".into());
+                }
+                let placed = o.dest().iter().filter(|&&v| v != 0).count() as Word;
+                (placed, o.run.time(), o.run.phases(), "dart-throwing")
+            }
+            ("lac", "bsp") => {
+                let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+                let o = bsp_algos::bsp_lac_dart(&m, &items, (n / 8).max(1), seed)
+                    .map_err(|e| e.to_string())?;
+                if !o.verify(&items) {
+                    return Err("BSP LAC verification failed".into());
+                }
+                (
+                    o.placed.len() as Word,
+                    o.ledger.total_time(),
+                    o.ledger.num_phases(),
+                    "message darts",
+                )
+            }
+            (pb, md) => return Err(format!("no algorithm for problem '{pb}' on model '{md}'")),
+        };
 
     println!("problem   : {problem} (n = {n})");
-    println!("model     : {model} (g = {g}{})", if model == "bsp" { format!(", L = {l}, p = {p}") } else { String::new() });
+    println!(
+        "model     : {model} (g = {g}{})",
+        if model == "bsp" {
+            format!(", L = {l}, p = {p}")
+        } else {
+            String::new()
+        }
+    );
     println!("algorithm : {algo}");
     println!("result    : {value}");
     println!("model time: {time}   phases/supersteps: {phases}");
@@ -185,17 +224,44 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         _ => Problem::Lac,
     };
     if let Some(tm) = table_model {
-        let pr = Params { n: n as f64, g: g as f64, l: l as f64, p: p as f64 };
-        if let Some(lb) = best_lower_bound(table_problem, tm, Mode::Deterministic, Metric::Time, &pr) {
+        let pr = Params {
+            n: n as f64,
+            g: g as f64,
+            l: l as f64,
+            p: p as f64,
+        };
+        if let Some(lb) =
+            best_lower_bound(table_problem, tm, Mode::Deterministic, Metric::Time, &pr)
+        {
             println!("det LB    : {lb:.1}");
         }
         if let Some(lb) = best_lower_bound(table_problem, tm, Mode::Randomized, Metric::Time, &pr) {
             println!("rand LB   : {lb:.1}");
         }
         if let Some(ub) = upper_bound_time(table_problem, tm, &pr) {
-            println!("UB formula: {ub:.1}   measured/UB = {:.2}", time as f64 / ub);
+            println!(
+                "UB formula: {ub:.1}   measured/UB = {:.2}",
+                time as f64 / ub
+            );
         }
     }
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    args.assert_known(&["n", "seed"])?;
+    let n = args.usize("n", 64)?;
+    let seed = args.u64("seed", 7)?;
+    let grid = parbounds::degradation_grid(n, seed).map_err(|e| e.to_string())?;
+    println!("robustness / graceful-degradation grid (n = {n}, seed = {seed})");
+    println!();
+    print!("{}", grid.render());
+    println!();
+    println!(
+        "{} of {} cells completed with a verified answer; the rest degraded to typed errors.",
+        grid.completed(),
+        grid.rows.len()
+    );
     Ok(())
 }
 
@@ -210,15 +276,19 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     let machine = GsmMachine::new(alpha, beta, 1);
     let (prog, out) = tree_parity(r);
     drop(prog);
-    let report = audit_parity_program(&machine, || tree_parity(r).0, out, r)
-        .map_err(|e| e.to_string())?;
+    let report =
+        audit_parity_program(&machine, || tree_parity(r).0, out, r).map_err(|e| e.to_string())?;
     println!("degree audit: tree parity, r = {r}, GSM({alpha}, {beta}, 1)");
     println!("correct on all 2^{r} inputs : {}", report.correct);
     println!(
         "degree cap log2(b_l)       : {:.2} (needs >= log2 r = {:.2}) -> {}",
         report.worst.final_log2_cap(),
         (r as f64).log2(),
-        if report.worst.supports_degree(r) { "OK" } else { "VIOLATION" }
+        if report.worst.supports_degree(r) {
+            "OK"
+        } else {
+            "VIOLATION"
+        }
     );
     println!(
         "measured worst time        : {} (Theorem 3.1 value {:.2})",
@@ -234,16 +304,25 @@ fn cmd_adversary(args: &Args) -> Result<(), String> {
     let mu = args.u64("mu", 2)?;
     let trials = args.usize("trials", 3000)?;
     let dist = OrDistribution::new(n, mu, 1);
-    println!("OR adversary: n = {n}, mu = {mu}, {} mixture components", dist.num_components());
+    println!(
+        "OR adversary: n = {n}, mu = {mu}, {} mixture components",
+        dist.num_components()
+    );
     let honest = |input: &[Word]| Word::from(input.iter().any(|&b| b != 0));
-    println!("honest OR        : {:.3}", or_success_rate(honest, &dist, trials, 1));
+    println!(
+        "honest OR        : {:.3}",
+        or_success_rate(honest, &dist, trials, 1)
+    );
     for k in [1usize, 4, 16, 64, n / 4] {
         println!(
             "probe {k:>6}     : {:.3}",
             or_success_rate(probe_k_or(k), &dist, trials, k as u64)
         );
     }
-    println!("constant 0       : {:.3}", or_success_rate(|_| 0, &dist, trials, 9));
+    println!(
+        "constant 0       : {:.3}",
+        or_success_rate(|_| 0, &dist, trials, 9)
+    );
     Ok(())
 }
 
@@ -260,11 +339,14 @@ fn cmd_emulate(args: &Args) -> Result<(), String> {
     // Emulate the s-QSM binary-tree parity program... use the read tree via
     // a simple tournament (same program the emulation tests use).
     let prog = tournament_parity(n);
-    let out = emulation::emulate_qsm_on_bsp(&bsp, &probe, &prog, &bits)
-        .map_err(|e| e.to_string())?;
+    let out =
+        emulation::emulate_qsm_on_bsp(&bsp, &probe, &prog, &bits).map_err(|e| e.to_string())?;
     println!("QSM-on-BSP emulation: tournament parity, n = {n}, BSP({p}, {g}, {l})");
     println!("emulated result : {} (expected {expected})", out.get(2 * n));
-    println!("QSM phases      : {}   native QSM time: {}", out.qsm_phases, out.qsm_time);
+    println!(
+        "QSM phases      : {}   native QSM time: {}",
+        out.qsm_phases, out.qsm_time
+    );
     println!(
         "BSP supersteps  : {}   emulated BSP time: {} ({}x native)",
         out.ledger.num_phases(),
@@ -347,7 +429,11 @@ fn tournament_parity(n: usize) -> impl parbounds::models::Program<Proc = Word> {
             if t == 1 {
                 *st = env.delivered()[0].1 & 1;
                 env.write(n + pid, *st);
-                return if pid < n.div_ceil(2) { Status::Active } else { Status::Done };
+                return if pid < n.div_ceil(2) {
+                    Status::Active
+                } else {
+                    Status::Done
+                };
             }
             let r = t / 2;
             let width = n.div_ceil(1 << r);

@@ -6,10 +6,9 @@
 use parbounds_algo::{
     bsp_algos, lac, or_tree, parity, prefix, reduce, rounds as algo_rounds, workloads,
 };
-use parbounds_models::{BspMachine, QsmMachine, Result};
+use parbounds_models::{BspMachine, CostLedger, ModelError, QsmMachine, Result};
 use parbounds_tables::{
-    best_lower_bound, upper_bound_rounds, upper_bound_time, Metric, Mode, Model, Params,
-    Problem,
+    best_lower_bound, upper_bound_rounds, upper_bound_time, Metric, Mode, Model, Params, Problem,
 };
 
 /// One measured-vs-bound row of a regenerated table.
@@ -44,8 +43,39 @@ impl TableRow {
     /// Measured must sit at or above the (deterministic for det algorithms,
     /// randomized for randomized ones) lower bound, up to `slack`.
     pub fn measured_respects_lower_bound(&self, randomized: bool, slack: f64) -> bool {
-        let lb = if randomized { self.rand_lb } else { self.det_lb };
+        let lb = if randomized {
+            self.rand_lb
+        } else {
+            self.det_lb
+        };
         self.measured.is_none_or(|m| m * slack >= lb)
+    }
+}
+
+/// Library-level verification: a row whose algorithm produced a wrong
+/// output is reported as a typed error, never a panic (and never a silent
+/// wrong measurement).
+fn verified(ok: bool, phases: usize, what: &str) -> Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(ModelError::FaultAborted {
+            phase: phases,
+            reason: format!("{what} output failed verification"),
+        })
+    }
+}
+
+/// Rounds-respecting check as a typed error: a phase that overran its
+/// round budget is exactly a cost-budget violation.
+fn round_respecting(ledger: &CostLedger, budget: u64) -> Result<()> {
+    if ledger.is_round_respecting(budget) {
+        Ok(())
+    } else {
+        Err(ModelError::CostBudgetExceeded {
+            budget,
+            cost: ledger.max_phase_cost(),
+        })
     }
 }
 
@@ -61,7 +91,16 @@ fn row(
     let rand_lb = best_lower_bound(problem, model, Mode::Randomized, Metric::Time, &params)
         .unwrap_or(f64::NAN);
     let upper_formula = upper_bound_time(problem, model, &params).unwrap_or(f64::NAN);
-    TableRow { problem, model, params, det_lb, rand_lb, upper_formula, measured, algorithm }
+    TableRow {
+        problem,
+        model,
+        params,
+        det_lb,
+        rand_lb,
+        upper_formula,
+        measured,
+        algorithm,
+    }
 }
 
 /// Regenerates one row of sub-table 1 (QSM time): runs the Section 8 QSM
@@ -86,8 +125,11 @@ pub fn qsm_time_row(problem: Problem, n: usize, g: u64, seed: u64) -> Result<Tab
             let h = (n / 8).max(1);
             let items = workloads::sparse_items(n, h, seed);
             let out = lac::lac_dart_accel(&machine, &items, h, seed ^ 0xd1ce)?;
-            assert!(out.verify(&items), "LAC failed verification");
-            (out.run.ledger.total_time() as f64, "accelerated dart LAC (h = n/8)")
+            verified(out.verify(&items), out.run.ledger.num_phases(), "LAC")?;
+            (
+                out.run.ledger.total_time() as f64,
+                "accelerated dart LAC (h = n/8)",
+            )
         }
     };
     Ok(row(problem, Model::Qsm, params, Some(measured), name))
@@ -101,7 +143,10 @@ pub fn qsm_unit_cr_parity(n: usize, g: u64, seed: u64) -> Result<(f64, f64)> {
     let k = parity::parity_helper_default_k(&machine);
     let out = parity::parity_pattern_helper(&machine, &bits, k)?;
     let params = Params::qsm(n as f64, g as f64);
-    Ok((out.run.time() as f64, parbounds_tables::parity_unit_cr_upper(&params)))
+    Ok((
+        out.run.time() as f64,
+        parbounds_tables::parity_unit_cr_upper(&params),
+    ))
 }
 
 /// Regenerates one row of sub-table 2 (s-QSM time).
@@ -123,8 +168,11 @@ pub fn sqsm_time_row(problem: Problem, n: usize, g: u64, seed: u64) -> Result<Ta
             let h = (n / 8).max(1);
             let items = workloads::sparse_items(n, h, seed);
             let out = lac::lac_dart_accel(&machine, &items, h, seed ^ 0xd1ce)?;
-            assert!(out.verify(&items), "LAC failed verification");
-            (out.run.ledger.total_time() as f64, "accelerated dart LAC (h = n/8)")
+            verified(out.verify(&items), out.run.ledger.num_phases(), "LAC")?;
+            (
+                out.run.ledger.total_time() as f64,
+                "accelerated dart LAC (h = n/8)",
+            )
         }
     };
     Ok(row(problem, Model::SQsm, params, Some(measured), name))
@@ -156,8 +204,11 @@ pub fn bsp_time_row(
             let h = (n / 8).max(1);
             let items = workloads::sparse_items(n, h, seed);
             let out = bsp_algos::bsp_lac_dart(&machine, &items, h, seed ^ 0xd1ce)?;
-            assert!(out.verify(&items), "BSP LAC failed verification");
-            (Some(out.ledger.total_time() as f64), "message dart-throwing LAC")
+            verified(out.verify(&items), out.ledger.num_phases(), "BSP LAC")?;
+            (
+                Some(out.ledger.total_time() as f64),
+                "message dart-throwing LAC",
+            )
         }
     };
     Ok(row(problem, Model::Bsp, params, measured, name))
@@ -197,9 +248,8 @@ pub fn rounds_row(
         Model::Bsp => Params::bsp(n as f64, g as f64, l as f64, p as f64),
         _ => Params::qsm(n as f64, g as f64).with_p(p as f64),
     };
-    let lower =
-        best_lower_bound(problem, model, Mode::Randomized, Metric::Rounds, &params)
-            .unwrap_or(f64::NAN);
+    let lower = best_lower_bound(problem, model, Mode::Randomized, Metric::Rounds, &params)
+        .unwrap_or(f64::NAN);
     let upper_formula = upper_bound_rounds(problem, model, &params);
     let (measured, name): (Option<(usize, u64)>, &'static str) = match model {
         Model::Qsm | Model::SQsm => {
@@ -213,7 +263,7 @@ pub fn rounds_row(
                 Problem::Or if model == Model::Qsm => {
                     let bits = workloads::random_bits(n, seed);
                     let out = algo_rounds::or_in_rounds_qsm(&machine, &bits, p)?;
-                    assert!(out.run.ledger.is_round_respecting(budget));
+                    round_respecting(&out.run.ledger, budget)?;
                     (
                         Some((out.run.ledger.num_phases(), budget)),
                         "write-combining OR, fan-in g·n/p",
@@ -227,7 +277,7 @@ pub fn rounds_row(
                         parbounds_algo::util::ReduceOp::Xor
                     };
                     let out = algo_rounds::reduce_in_rounds(&machine, &bits, p, op)?;
-                    assert!(out.run.ledger.is_round_respecting(budget));
+                    round_respecting(&out.run.ledger, budget)?;
                     (
                         Some((out.run.ledger.num_phases(), budget)),
                         "fan-in n/p reduction in rounds",
@@ -237,8 +287,12 @@ pub fn rounds_row(
                     let h = (n / 8).max(1);
                     let items = workloads::sparse_items(n, h, seed);
                     let out = lac::lac_prefix(&machine, &items, p)?;
-                    assert!(out.verify(&items));
-                    assert!(out.run.ledger.is_round_respecting(budget));
+                    verified(
+                        out.verify(&items),
+                        out.run.ledger.num_phases(),
+                        "prefix LAC",
+                    )?;
+                    round_respecting(&out.run.ledger, budget)?;
                     (
                         Some((out.run.ledger.num_phases(), budget)),
                         "prefix-sums exact compaction",
@@ -248,8 +302,7 @@ pub fn rounds_row(
         }
         Model::Bsp => {
             let machine = BspMachine::new(p, g, l)?;
-            let budget =
-                parbounds_models::round_budget_bsp(n as u64, p as u64, g, l, 2);
+            let budget = parbounds_models::round_budget_bsp(n as u64, p as u64, g, l, 2);
             match problem {
                 Problem::Or | Problem::Parity => {
                     let bits = workloads::random_bits(n, seed);
@@ -260,7 +313,7 @@ pub fn rounds_row(
                         parbounds_algo::util::ReduceOp::Xor
                     };
                     let out = bsp_algos::bsp_reduce(&machine, &bits, k, op)?;
-                    assert!(out.ledger.is_round_respecting(budget));
+                    round_respecting(&out.ledger, budget)?;
                     (
                         Some((out.supersteps(), budget)),
                         "fan-in n/p reduction in rounds",
@@ -270,7 +323,15 @@ pub fn rounds_row(
             }
         }
     };
-    Ok(RoundsRow { problem, model, params, lower, upper_formula, measured, algorithm: name })
+    Ok(RoundsRow {
+        problem,
+        model,
+        params,
+        lower,
+        upper_formula,
+        measured,
+        algorithm: name,
+    })
 }
 
 /// The prefix-sums rounds count, exposed for sweep assertions.
@@ -303,13 +364,17 @@ pub fn load_balance_row(model: Model, n: usize, g: u64, p: usize, seed: u64) -> 
     let machine = match model {
         Model::Qsm => QsmMachine::qsm(g),
         Model::SQsm => QsmMachine::sqsm(g),
-        Model::Bsp => panic!("load-balance rows are shared-memory"),
+        Model::Bsp => {
+            return Err(ModelError::BadConfig(
+                "load-balance rows are shared-memory (QSM/s-QSM only)".into(),
+            ))
+        }
     };
     let mut r = workloads::rng(seed);
     use rand::Rng;
     let counts: Vec<i64> = (0..n).map(|_| r.gen_range(0..2)).collect();
     let out = parbounds_algo::balance::load_balance(&machine, &counts, p.min(n))?;
-    assert!(out.verify(&counts), "load balancing failed");
+    verified(out.verify(&counts), out.total_phases(), "load balancing")?;
     let params = Params::qsm(n as f64, g as f64).with_p(p as f64);
     let lac_rand_lb =
         best_lower_bound(Problem::Lac, model, Mode::Randomized, Metric::Time, &params)
@@ -330,11 +395,16 @@ pub fn padded_sort_row(model: Model, n: usize, g: u64, seed: u64) -> Result<Rela
     let machine = match model {
         Model::Qsm => QsmMachine::qsm(g),
         Model::SQsm => QsmMachine::sqsm(g),
-        Model::Bsp => panic!("padded-sort rows are shared-memory"),
+        Model::Bsp => {
+            return Err(ModelError::BadConfig(
+                "padded-sort rows are shared-memory (QSM/s-QSM only)".into(),
+            ))
+        }
     };
     let values = workloads::uniform_values(n, seed);
     let out = parbounds_algo::padded_sort::padded_sort_default(&machine, &values, seed ^ 0x9a)?;
-    assert!(out.verify(&values), "padded sort failed");
+    let phases: usize = out.runs.iter().map(|r| r.ledger.num_phases()).sum();
+    verified(out.verify(&values), phases, "padded sort")?;
     let params = Params::qsm(n as f64, g as f64);
     let lac_rand_lb =
         best_lower_bound(Problem::Lac, model, Mode::Randomized, Metric::Time, &params)
@@ -359,7 +429,10 @@ mod tests {
             let row = qsm_time_row(problem, 1 << 12, 8, 1).unwrap();
             // Deterministic algorithms: measured must dominate det LB
             // (constants: allow modest slack on the LB side).
-            assert!(row.measured_respects_lower_bound(false, 1.0), "{problem:?}: {row:?}");
+            assert!(
+                row.measured_respects_lower_bound(false, 1.0),
+                "{problem:?}: {row:?}"
+            );
             assert!(row.measured.unwrap() > 0.0);
         }
         let row = qsm_time_row(Problem::Lac, 1 << 12, 8, 1).unwrap();

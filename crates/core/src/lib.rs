@@ -38,6 +38,7 @@
 
 pub mod experiment;
 pub mod report;
+pub mod robustness;
 pub mod sweep;
 
 pub use parbounds_adversary as adversary;
@@ -47,8 +48,11 @@ pub use parbounds_models as models;
 pub use parbounds_tables as tables;
 
 pub use experiment::{
-    bsp_time_row, load_balance_row, padded_sort_row, qsm_time_row, qsm_unit_cr_parity,
-    rounds_row, sqsm_time_row, RelatedRow, RoundsRow, TableRow,
+    bsp_time_row, load_balance_row, padded_sort_row, qsm_time_row, qsm_unit_cr_parity, rounds_row,
+    sqsm_time_row, RelatedRow, RoundsRow, TableRow,
 };
 pub use report::{generate_report, ReportOptions};
-pub use sweep::{grid, qsm_shape_sweep, sqsm_shape_sweep, Flatness, Point};
+pub use robustness::{degradation_grid, DegradationRow, RobustnessGrid, RowOutcome};
+pub use sweep::{
+    checkpointed_sweep, grid, qsm_shape_sweep, sqsm_shape_sweep, Flatness, Point, SweepReport,
+};

@@ -24,15 +24,15 @@ pub struct ReportOptions {
 
 impl Default for ReportOptions {
     fn default() -> Self {
-        ReportOptions { ns: vec![1 << 8, 1 << 10, 1 << 12, 1 << 14], gs: vec![2, 4, 8, 16], seed: 0xf1e1d }
+        ReportOptions {
+            ns: vec![1 << 8, 1 << 10, 1 << 12, 1 << 14],
+            gs: vec![2, 4, 8, 16],
+            seed: 0xf1e1d,
+        }
     }
 }
 
-fn push_time_table(
-    out: &mut String,
-    title: &str,
-    rows: &[(Point, crate::experiment::TableRow)],
-) {
+fn push_time_table(out: &mut String, title: &str, rows: &[(Point, crate::experiment::TableRow)]) {
     let _ = writeln!(out, "### {title}\n");
     let _ = writeln!(
         out,
@@ -85,7 +85,11 @@ pub fn generate_report(opts: &ReportOptions) -> Result<String> {
             .iter()
             .map(|pt| qsm_time_row(problem, pt.n, pt.g, opts.seed).map(|r| (*pt, r)))
             .collect::<Result<_>>()?;
-        push_time_table(&mut out, &format!("Sub-table 1 (QSM time) — {problem:?}"), &rows);
+        push_time_table(
+            &mut out,
+            &format!("Sub-table 1 (QSM time) — {problem:?}"),
+            &rows,
+        );
     }
     // Sub-table 2: s-QSM.
     for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
@@ -93,7 +97,11 @@ pub fn generate_report(opts: &ReportOptions) -> Result<String> {
             .iter()
             .map(|pt| sqsm_time_row(problem, pt.n, pt.g, opts.seed).map(|r| (*pt, r)))
             .collect::<Result<_>>()?;
-        push_time_table(&mut out, &format!("Sub-table 2 (s-QSM time) — {problem:?}"), &rows);
+        push_time_table(
+            &mut out,
+            &format!("Sub-table 2 (s-QSM time) — {problem:?}"),
+            &rows,
+        );
     }
     // Sub-table 3: BSP (a fixed (g, L) pair per n, p sweep).
     for problem in [Problem::Parity, Problem::Or, Problem::Lac] {
@@ -106,10 +114,18 @@ pub fn generate_report(opts: &ReportOptions) -> Result<String> {
                 }
             }
         }
-        push_time_table(&mut out, &format!("Sub-table 3 (BSP time, g=2, L=16) — {problem:?}"), &rows);
+        push_time_table(
+            &mut out,
+            &format!("Sub-table 3 (BSP time, g=2, L=16) — {problem:?}"),
+            &rows,
+        );
     }
     // Sub-table 4: rounds.
-    let _ = writeln!(out, "### Sub-table 4 (rounds, n = {})\n", opts.ns.last().unwrap());
+    let _ = writeln!(
+        out,
+        "### Sub-table 4 (rounds, n = {})\n",
+        opts.ns.last().unwrap()
+    );
     let _ = writeln!(
         out,
         "| problem | model | n/p | measured rounds | lower bound | UB formula |\n|---|---|---|---|---|---|"
@@ -142,7 +158,11 @@ mod tests {
 
     #[test]
     fn report_generates_and_mentions_every_section() {
-        let opts = ReportOptions { ns: vec![256, 1024], gs: vec![2, 8], seed: 7 };
+        let opts = ReportOptions {
+            ns: vec![256, 1024],
+            gs: vec![2, 8],
+            seed: 7,
+        };
         let report = generate_report(&opts).unwrap();
         for needle in [
             "Sub-table 1 (QSM time) — Parity",
@@ -159,7 +179,14 @@ mod tests {
 
     #[test]
     fn report_is_deterministic_for_a_seed() {
-        let opts = ReportOptions { ns: vec![256], gs: vec![4], seed: 9 };
-        assert_eq!(generate_report(&opts).unwrap(), generate_report(&opts).unwrap());
+        let opts = ReportOptions {
+            ns: vec![256],
+            gs: vec![4],
+            seed: 9,
+        };
+        assert_eq!(
+            generate_report(&opts).unwrap(),
+            generate_report(&opts).unwrap()
+        );
     }
 }

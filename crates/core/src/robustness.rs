@@ -1,0 +1,462 @@
+//! Graceful-degradation experiment: every Section 8 algorithm family runs
+//! under a grid of injected fault modes — adversarial concurrent-write
+//! arbitration, message drops/duplications, processor stalls and crashes,
+//! cost budgets — and each cell records either the degraded cost (with the
+//! inflation over the fault-free baseline) or the typed [`ModelError`] the
+//! run ended with. Nothing in the grid is allowed to panic: a wrong answer
+//! is converted to `FaultAborted` by output verification, and a hung run is
+//! cut off by the plan's phase budget as `PhaseLimitExceeded`.
+
+use parbounds_algo::bsp_algos::{bsp_lac_dart_resilient, bsp_or, bsp_parity, bsp_reduce_resilient};
+use parbounds_algo::gsm_algos::gsm_parity;
+use parbounds_algo::lac::{lac_dart, lac_dart_retry};
+use parbounds_algo::or_tree::{or_default_fanin, or_write_tree};
+use parbounds_algo::parity::{parity_helper_default_k, parity_pattern_helper};
+use parbounds_algo::util::ReduceOp;
+use parbounds_algo::workloads;
+use parbounds_models::{
+    BspMachine, FaultPlan, GsmMachine, ModelError, QsmMachine, Result, WinnerPolicy, Word,
+};
+
+/// How a grid cell ended.
+#[derive(Debug)]
+pub enum RowOutcome {
+    /// The run produced a verified-correct answer at the given total cost
+    /// (over all attempts, for the Las Vegas wrappers).
+    Completed {
+        /// Total model time spent, including failed attempts.
+        cost: u64,
+        /// Attempts the Las Vegas wrapper needed (1 for one-shot runs).
+        attempts: usize,
+    },
+    /// The run ended with a typed error (crash abort, budget overrun,
+    /// phase limit, or an answer that failed verification).
+    Degraded(ModelError),
+}
+
+/// One cell of the degradation grid.
+#[derive(Debug)]
+pub struct DegradationRow {
+    /// Algorithm label (e.g. `"or-write-tree"`).
+    pub algorithm: &'static str,
+    /// Model the algorithm ran on.
+    pub model: &'static str,
+    /// Human-readable fault-mode label (e.g. `"drop 20%"`).
+    pub fault_mode: String,
+    /// Fault-free cost of the same algorithm on the same input.
+    pub baseline: u64,
+    /// What happened under faults.
+    pub outcome: RowOutcome,
+}
+
+impl DegradationRow {
+    /// `cost / baseline` for completed rows, `None` for degraded ones.
+    pub fn inflation(&self) -> Option<f64> {
+        match &self.outcome {
+            RowOutcome::Completed { cost, .. } => Some(*cost as f64 / self.baseline.max(1) as f64),
+            RowOutcome::Degraded(_) => None,
+        }
+    }
+}
+
+/// The full degradation grid plus a text renderer.
+#[derive(Debug)]
+pub struct RobustnessGrid {
+    /// One row per (algorithm, fault mode) cell.
+    pub rows: Vec<DegradationRow>,
+}
+
+impl RobustnessGrid {
+    /// Rows that completed with a verified answer.
+    pub fn completed(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, RowOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Renders the degradation table (cost vs fault mode).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<6} {:<22} {:>9}  {}\n",
+            "algorithm", "model", "fault mode", "baseline", "outcome"
+        ));
+        for r in &self.rows {
+            let outcome = match &r.outcome {
+                RowOutcome::Completed { cost, attempts } => format!(
+                    "ok: cost {cost} ({:.2}x baseline, {attempts} attempt{})",
+                    r.inflation().unwrap_or(0.0),
+                    if *attempts == 1 { "" } else { "s" }
+                ),
+                RowOutcome::Degraded(e) => format!("degraded: {e}"),
+            };
+            out.push_str(&format!(
+                "{:<18} {:<6} {:<22} {:>9}  {}\n",
+                r.algorithm, r.model, r.fault_mode, r.baseline, outcome
+            ));
+        }
+        out
+    }
+}
+
+/// Wraps one faulted run as a row: `Ok` + verified → `Completed`, `Ok` +
+/// wrong answer → `Degraded(FaultAborted)`, `Err` → `Degraded(err)`.
+fn cell(
+    algorithm: &'static str,
+    model: &'static str,
+    fault_mode: &str,
+    baseline: u64,
+    run: impl FnOnce() -> Result<(u64, usize, bool)>,
+) -> DegradationRow {
+    let outcome = match run() {
+        Ok((cost, attempts, true)) => RowOutcome::Completed { cost, attempts },
+        Ok(_) => RowOutcome::Degraded(ModelError::FaultAborted {
+            phase: 0,
+            reason: "output failed verification under faults".into(),
+        }),
+        Err(e) => RowOutcome::Degraded(e),
+    };
+    DegradationRow {
+        algorithm,
+        model,
+        fault_mode: fault_mode.to_string(),
+        baseline,
+        outcome,
+    }
+}
+
+/// The QSM fault modes every shared-memory algorithm is exercised under.
+fn qsm_fault_plans(seed: u64, baseline: u64) -> Vec<(String, FaultPlan)> {
+    vec![
+        (
+            "winner:min".into(),
+            FaultPlan::new(seed).with_winner(WinnerPolicy::MinValue),
+        ),
+        (
+            "winner:max".into(),
+            FaultPlan::new(seed).with_winner(WinnerPolicy::MaxValue),
+        ),
+        (
+            "winner:first".into(),
+            FaultPlan::new(seed).with_winner(WinnerPolicy::FirstWriter),
+        ),
+        (
+            "stall p1@2,p3@4".into(),
+            FaultPlan::new(seed).with_stall(1, 2).with_stall(3, 4),
+        ),
+        ("crash p0@1".into(), FaultPlan::new(seed).with_crash(0, 1)),
+        (
+            "budget half".into(),
+            FaultPlan::new(seed).with_cost_budget(baseline / 2),
+        ),
+    ]
+}
+
+/// Builds the degradation grid for input size `n`.
+///
+/// Baseline (fault-free) runs propagate errors — a failing baseline is a
+/// configuration bug, not an injected fault. Faulted runs never propagate:
+/// every failure lands in the returned grid as a typed outcome.
+pub fn degradation_grid(n: usize, seed: u64) -> Result<RobustnessGrid> {
+    if n < 8 {
+        return Err(ModelError::BadConfig(format!(
+            "degradation grid needs n >= 8 (the LAC cells place max(4, n/8) items in n cells), got n = {n}"
+        )));
+    }
+    let g = 8;
+    let mut rows = Vec::new();
+
+    // --- QSM: OR write tree and Parity under adversarial arbitration,
+    // stalls, a crash, and a cost budget. -------------------------------
+    let qsm = QsmMachine::qsm(g);
+    let bits = workloads::random_bits(n, seed);
+    let expected_or = Word::from(bits.iter().any(|&b| b != 0));
+    let expected_parity = bits.iter().sum::<Word>() & 1;
+
+    let k = or_default_fanin(g);
+    let or_baseline = or_write_tree(&qsm, &bits, k)?.run.time();
+    for (mode, plan) in qsm_fault_plans(seed, or_baseline) {
+        let m = qsm.clone().with_faults(plan);
+        rows.push(cell("or-write-tree", "QSM", &mode, or_baseline, || {
+            let out = or_write_tree(&m, &bits, k)?;
+            Ok((out.run.time(), 1, out.value == expected_or))
+        }));
+    }
+
+    let pk = parity_helper_default_k(&qsm);
+    let parity_baseline = parity_pattern_helper(&qsm, &bits, pk)?.run.time();
+    for (mode, plan) in qsm_fault_plans(seed, parity_baseline) {
+        let m = qsm.clone().with_faults(plan);
+        rows.push(cell("parity-helper", "QSM", &mode, parity_baseline, || {
+            let out = parity_pattern_helper(&m, &bits, pk)?;
+            Ok((out.run.time(), 1, out.value == expected_parity))
+        }));
+    }
+
+    // --- s-QSM: the fan-in-2 parity tree under the same modes. ---------
+    let sqsm = QsmMachine::sqsm(g);
+    let sq_baseline = parity_pattern_helper(&sqsm, &bits, 2)?.run.time();
+    for (mode, plan) in qsm_fault_plans(seed, sq_baseline) {
+        let m = sqsm.clone().with_faults(plan);
+        rows.push(cell("parity-helper", "s-QSM", &mode, sq_baseline, || {
+            let out = parity_pattern_helper(&m, &bits, 2)?;
+            Ok((out.run.time(), 1, out.value == expected_parity))
+        }));
+    }
+
+    // --- QSM LAC: the Las Vegas retry wrapper must terminate with a
+    // verified placement (or a typed error) under every mode. -----------
+    let h = (n / 8).max(4);
+    let items = workloads::sparse_items(n, h, seed);
+    let lac_baseline = lac_dart(&qsm, &items, h, seed)?.run.time();
+    let lac_modes = [
+        (
+            "winner:min",
+            FaultPlan::new(seed).with_winner(WinnerPolicy::MinValue),
+        ),
+        (
+            "stall p1@2,p3@4",
+            FaultPlan::new(seed)
+                .with_stall(1, 2)
+                .with_stall(3, 4)
+                .with_phase_budget(4096),
+        ),
+        ("crash p0@0", FaultPlan::new(seed).with_crash(0, 0)),
+    ];
+    for (mode, plan) in lac_modes {
+        rows.push(cell("lac-dart-retry", "QSM", mode, lac_baseline, || {
+            let out = lac_dart_retry(&qsm, &items, h, seed, &plan, 4)?;
+            Ok((out.total_time, out.attempts, out.outcome.verify(&items)))
+        }));
+    }
+
+    // --- BSP: non-resilient trees under message loss terminate through
+    // the plan's phase budget; the ack-and-retransmit and re-claim
+    // variants complete and record their inflation. ---------------------
+    let p = n.clamp(2, 64);
+    let bsp = BspMachine::new(p, g, 8 * g)?;
+    let bsp_bits = workloads::random_bits(p, seed);
+    let bsp_parity_baseline = bsp_parity(&bsp, &bsp_bits)?.time();
+    let bsp_modes = [
+        (
+            "drop 5%",
+            FaultPlan::new(seed)
+                .with_drop_prob(0.05)
+                .with_phase_budget(500),
+        ),
+        (
+            "drop 20%",
+            FaultPlan::new(seed)
+                .with_drop_prob(0.20)
+                .with_phase_budget(500),
+        ),
+        (
+            "drop 10% + dup 10%",
+            FaultPlan::new(seed)
+                .with_drop_prob(0.10)
+                .with_dup_prob(0.10)
+                .with_phase_budget(500),
+        ),
+        ("crash c0@1", FaultPlan::new(seed).with_crash(0, 1)),
+    ];
+    let expected_bsp_parity = bsp_bits.iter().sum::<Word>() & 1;
+    let expected_bsp_or = Word::from(bsp_bits.iter().any(|&b| b != 0));
+    for (mode, plan) in &bsp_modes {
+        let m = bsp.clone().with_faults(plan.clone());
+        rows.push(cell("bsp-parity", "BSP", mode, bsp_parity_baseline, || {
+            let out = bsp_parity(&m, &bsp_bits)?;
+            Ok((out.time(), 1, out.value == expected_bsp_parity))
+        }));
+    }
+    let bsp_or_baseline = bsp_or(&bsp, &bsp_bits)?.time();
+    for (mode, plan) in &bsp_modes {
+        let m = bsp.clone().with_faults(plan.clone());
+        rows.push(cell("bsp-or", "BSP", mode, bsp_or_baseline, || {
+            let out = bsp_or(&m, &bsp_bits)?;
+            Ok((out.time(), 1, out.value == expected_bsp_or))
+        }));
+    }
+
+    for (mode, plan) in &bsp_modes[..3] {
+        let plan = plan.clone();
+        rows.push(cell("ack-reduce", "BSP", mode, bsp_parity_baseline, || {
+            let out = bsp_reduce_resilient(&bsp, &bsp_bits, ReduceOp::Xor, &plan, 8)?;
+            Ok((
+                out.total_time,
+                out.attempts,
+                out.result.value == expected_bsp_parity,
+            ))
+        }));
+    }
+
+    // The acceptance-criterion row: resilient LAC at 20% message drop.
+    let bsp_h = (p / 2).max(2);
+    let bsp_items = workloads::sparse_items(p, bsp_h, seed);
+    let resilient_lac_modes = [
+        ("drop 20%", FaultPlan::new(seed).with_drop_prob(0.20)),
+        (
+            "drop 10% + dup 10%",
+            FaultPlan::new(seed)
+                .with_drop_prob(0.10)
+                .with_dup_prob(0.10),
+        ),
+    ];
+    for (mode, plan) in resilient_lac_modes {
+        rows.push(cell(
+            "resilient-lac",
+            "BSP",
+            mode,
+            bsp_parity_baseline,
+            || {
+                let out = bsp_lac_dart_resilient(&bsp, &bsp_items, bsp_h, seed, &plan, 8)?;
+                let ok = out.result.verify(&bsp_items);
+                Ok((out.total_time, out.attempts, ok))
+            },
+        ));
+    }
+
+    // --- GSM: strong queuing merges all concurrent writes, so only the
+    // execution faults (stall, crash, budget) apply. --------------------
+    let gsm = GsmMachine::new(4, 4, 16);
+    let gsm_baseline = gsm_parity(&gsm, &bits)?.run.time();
+    let gsm_modes = [
+        ("stall p1@1", FaultPlan::new(seed).with_stall(1, 1)),
+        ("crash p0@1", FaultPlan::new(seed).with_crash(0, 1)),
+        (
+            "budget half",
+            FaultPlan::new(seed).with_cost_budget(gsm_baseline / 2),
+        ),
+    ];
+    for (mode, plan) in gsm_modes {
+        let m = gsm.clone().with_faults(plan);
+        rows.push(cell("gsm-parity", "GSM", mode, gsm_baseline, || {
+            let out = gsm_parity(&m, &bits)?;
+            Ok((out.run.time(), 1, out.value == expected_parity))
+        }));
+    }
+
+    Ok(RobustnessGrid { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_grid_rejects_tiny_n_with_typed_error() {
+        for n in [0, 1, 7] {
+            match degradation_grid(n, 7) {
+                Err(ModelError::BadConfig(msg)) => assert!(msg.contains("n >= 8"), "{msg}"),
+                other => panic!("n = {n}: expected BadConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_grid_runs_all_rows_without_panicking() {
+        let grid = degradation_grid(64, 7).unwrap();
+        // Every §8 family is represented across ≥3 fault modes.
+        assert!(grid.rows.len() >= 30, "only {} rows", grid.rows.len());
+        let modes: std::collections::HashSet<&str> =
+            grid.rows.iter().map(|r| r.fault_mode.as_str()).collect();
+        assert!(modes.len() >= 3, "only {} fault modes", modes.len());
+        for model in ["QSM", "s-QSM", "BSP", "GSM"] {
+            assert!(
+                grid.rows.iter().any(|r| r.model == model),
+                "no {model} rows"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_rows_degrade_with_fault_aborted() {
+        let grid = degradation_grid(64, 7).unwrap();
+        for row in grid
+            .rows
+            .iter()
+            .filter(|r| r.fault_mode.starts_with("crash"))
+        {
+            // lac-dart-retry retries crashes and reports exhaustion as
+            // FaultAborted too, so every crash row is a typed abort.
+            assert!(
+                matches!(
+                    row.outcome,
+                    RowOutcome::Degraded(ModelError::FaultAborted { .. })
+                ),
+                "{} / {} did not abort: {:?}",
+                row.algorithm,
+                row.fault_mode,
+                row.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn budget_rows_degrade_with_cost_budget_exceeded() {
+        let grid = degradation_grid(64, 7).unwrap();
+        let budget_rows: Vec<_> = grid
+            .rows
+            .iter()
+            .filter(|r| r.fault_mode == "budget half" && r.algorithm != "lac-dart-retry")
+            .collect();
+        assert!(!budget_rows.is_empty());
+        for row in budget_rows {
+            assert!(
+                matches!(
+                    row.outcome,
+                    RowOutcome::Degraded(ModelError::CostBudgetExceeded { .. })
+                ),
+                "{} / {}: {:?}",
+                row.algorithm,
+                row.model,
+                row.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_lac_completes_under_20pct_drops_with_recorded_inflation() {
+        let grid = degradation_grid(64, 7).unwrap();
+        let row = grid
+            .rows
+            .iter()
+            .find(|r| r.algorithm == "resilient-lac" && r.fault_mode == "drop 20%")
+            .expect("resilient LAC row missing");
+        assert!(
+            matches!(row.outcome, RowOutcome::Completed { .. }),
+            "resilient LAC degraded: {:?}",
+            row.outcome
+        );
+        assert!(row.inflation().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn adversarial_winner_rows_stay_correct() {
+        // The §8 trees are correct under EVERY arbitrary-write arbitration:
+        // adversarial winner policies change cost bookkeeping at most.
+        let grid = degradation_grid(64, 7).unwrap();
+        for row in grid
+            .rows
+            .iter()
+            .filter(|r| r.fault_mode.starts_with("winner:"))
+        {
+            assert!(
+                matches!(row.outcome, RowOutcome::Completed { .. }),
+                "{} on {} wrong under {}: {:?}",
+                row.algorithm,
+                row.model,
+                row.fault_mode,
+                row.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn render_produces_one_line_per_row() {
+        let grid = degradation_grid(32, 3).unwrap();
+        let table = grid.render();
+        assert_eq!(table.lines().count(), grid.rows.len() + 1);
+        assert!(table.contains("fault mode"));
+    }
+}

@@ -2,7 +2,7 @@
 //! the *flatness* statistic the shape checks rest on (`measured/formula`
 //! constant across a sweep ⇔ the claimed asymptotic shape is realized).
 
-use parbounds_models::Result;
+use parbounds_models::{ModelError, Result};
 use parbounds_tables::Problem;
 
 use crate::experiment::{qsm_time_row, sqsm_time_row, TableRow};
@@ -26,7 +26,12 @@ pub fn grid(ns: &[usize], gs: &[u64]) -> Vec<Point> {
     let mut out = Vec::with_capacity(ns.len() * gs.len());
     for &n in ns {
         for &g in gs {
-            out.push(Point { n, g, l: 8 * g, p: n });
+            out.push(Point {
+                n,
+                g,
+                l: 8 * g,
+                p: n,
+            });
         }
     }
     out
@@ -66,7 +71,7 @@ impl Flatness {
 }
 
 /// Runs a QSM-time sweep for `problem` and returns the rows plus the
-/// flatness of `measured/upper-formula`.
+/// flatness of `measured/upper-formula` (over the rows that measured).
 pub fn qsm_shape_sweep(
     problem: Problem,
     points: &[Point],
@@ -76,8 +81,7 @@ pub fn qsm_shape_sweep(
         .iter()
         .map(|pt| qsm_time_row(problem, pt.n, pt.g, seed))
         .collect::<Result<_>>()?;
-    let ratios: Vec<f64> = rows.iter().map(|r| r.shape_ratio().unwrap()).collect();
-    let flat = Flatness::of(&ratios);
+    let flat = flatness_of_rows(&rows)?;
     Ok((rows, flat))
 }
 
@@ -91,9 +95,78 @@ pub fn sqsm_shape_sweep(
         .iter()
         .map(|pt| sqsm_time_row(problem, pt.n, pt.g, seed))
         .collect::<Result<_>>()?;
-    let ratios: Vec<f64> = rows.iter().map(|r| r.shape_ratio().unwrap()).collect();
-    let flat = Flatness::of(&ratios);
+    let flat = flatness_of_rows(&rows)?;
     Ok((rows, flat))
+}
+
+/// Flatness of the measured rows, as a typed error (not a panic) when no
+/// row measured anything.
+fn flatness_of_rows(rows: &[TableRow]) -> Result<Flatness> {
+    let ratios: Vec<f64> = rows.iter().filter_map(|r| r.shape_ratio()).collect();
+    if ratios.is_empty() {
+        return Err(ModelError::BadConfig(
+            "sweep produced no measured rows".into(),
+        ));
+    }
+    Ok(Flatness::of(&ratios))
+}
+
+/// Outcome of a [`checkpointed_sweep`]: the rows that succeeded, how many
+/// attempts each point needed, and the points that were given up on (with
+/// the error of their final attempt). A transient failure — a faulted or
+/// budget-limited run — no longer torpedoes the entire grid.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// `(point, row)` for every point that eventually succeeded.
+    pub rows: Vec<(Point, T)>,
+    /// `(point, attempts)` for points that needed more than one attempt.
+    pub retried: Vec<(Point, usize)>,
+    /// `(point, final error)` for points that failed every attempt.
+    pub failed: Vec<(Point, ModelError)>,
+}
+
+impl<T> SweepReport<T> {
+    /// Did every point of the grid produce a row?
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Runs `f` over the grid with per-cell checkpointing: each failed cell is
+/// retried up to `max_attempts` times (the attempt index is passed to `f`
+/// so callers can reseed / back off), and a cell that fails every attempt
+/// is recorded in [`SweepReport::failed`] instead of aborting the sweep.
+pub fn checkpointed_sweep<T>(
+    points: &[Point],
+    max_attempts: usize,
+    mut f: impl FnMut(&Point, usize) -> Result<T>,
+) -> SweepReport<T> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let mut report = SweepReport {
+        rows: Vec::new(),
+        retried: Vec::new(),
+        failed: Vec::new(),
+    };
+    for pt in points {
+        let mut last_err = None;
+        for attempt in 0..max_attempts {
+            match f(pt, attempt) {
+                Ok(row) => {
+                    report.rows.push((*pt, row));
+                    if attempt > 0 {
+                        report.retried.push((*pt, attempt + 1));
+                    }
+                    last_err = None;
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if let Some(e) = last_err {
+            report.failed.push((*pt, e));
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -104,8 +177,24 @@ mod tests {
     fn grid_is_cartesian() {
         let g = grid(&[16, 64], &[2, 4, 8]);
         assert_eq!(g.len(), 6);
-        assert_eq!(g[0], Point { n: 16, g: 2, l: 16, p: 16 });
-        assert_eq!(g[5], Point { n: 64, g: 8, l: 64, p: 64 });
+        assert_eq!(
+            g[0],
+            Point {
+                n: 16,
+                g: 2,
+                l: 16,
+                p: 16
+            }
+        );
+        assert_eq!(
+            g[5],
+            Point {
+                n: 64,
+                g: 8,
+                l: 64,
+                p: 64
+            }
+        );
     }
 
     #[test]
@@ -129,6 +218,66 @@ mod tests {
         for r in &rows {
             assert!(r.measured_respects_lower_bound(false, 1.0));
         }
+    }
+
+    #[test]
+    fn checkpointed_sweep_first_try_success_records_no_retries() {
+        let points = grid(&[16, 32], &[2]);
+        let report = checkpointed_sweep(&points, 3, |pt, _attempt| Ok(pt.n as u64));
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.retried.is_empty());
+        assert!(report.failed.is_empty());
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn checkpointed_sweep_retries_transient_failures_with_backoff() {
+        let points = grid(&[16], &[2, 4]);
+        // The g=4 cell fails its first two attempts, then succeeds.
+        let report = checkpointed_sweep(&points, 4, |pt, attempt| {
+            if pt.g == 4 && attempt < 2 {
+                Err(ModelError::FaultAborted {
+                    phase: attempt,
+                    reason: "transient".into(),
+                })
+            } else {
+                Ok(pt.g)
+            }
+        });
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(
+            report.retried,
+            vec![(
+                Point {
+                    n: 16,
+                    g: 4,
+                    l: 32,
+                    p: 16
+                },
+                3
+            )]
+        );
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn checkpointed_sweep_records_permanent_failures_without_panicking() {
+        let points = grid(&[16, 32], &[2]);
+        let report = checkpointed_sweep(&points, 3, |pt, _attempt| {
+            if pt.n == 32 {
+                Err(ModelError::CostBudgetExceeded { budget: 1, cost: 2 })
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(report.rows.len(), 1);
+        assert!(!report.is_complete());
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0.n, 32);
+        assert!(matches!(
+            report.failed[0].1,
+            ModelError::CostBudgetExceeded { .. }
+        ));
     }
 
     #[test]

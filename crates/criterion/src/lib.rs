@@ -1,0 +1,218 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace's benches use: `Criterion::benchmark_group`, per-group
+//! `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_with_input` with [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology is simplified but honest: each benchmark is warmed up for
+//! (a capped fraction of) the configured warm-up time, then timed for
+//! `sample_size` samples whose batch size is calibrated so a sample takes
+//! roughly `measurement_time / sample_size`. Median and min/max
+//! per-iteration times are printed to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.samples
+            .push(start.elapsed() / self.batch.max(1) as u32);
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Requested warm-up duration (capped at 250 ms in this shim).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.min(Duration::from_millis(250));
+        self
+    }
+
+    /// Requested measurement duration (capped at 2 s in this shim).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Calibrate: time one iteration to pick a batch size.
+        let t0 = Instant::now();
+        let mut probe = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+        };
+        f(&mut probe, input);
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Warm-up.
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let mut b = Bencher {
+                batch: 1,
+                samples: Vec::new(),
+            };
+            f(&mut b, input);
+        }
+
+        let per_sample = self.measurement / self.sample_size.max(1) as u32;
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut bencher = Bencher {
+            batch,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+
+        bencher.samples.sort();
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        let lo = bencher.samples.first().copied().unwrap_or_default();
+        let hi = bencher.samples.last().copied().unwrap_or_default();
+        println!(
+            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples x {} iters)",
+            self.name,
+            id.id,
+            median,
+            lo,
+            hi,
+            bencher.samples.len(),
+            batch
+        );
+        self
+    }
+
+    /// Benchmarks `f` with no input parameter.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &()),
+    {
+        self.bench_with_input(BenchmarkId::new(name.to_string(), "_"), &(), f)
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lac", 1024).id, "lac/1024");
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
+use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::shared::{Status, Word};
 
 /// A point-to-point message. `tag` lets algorithms multiplex message kinds
@@ -36,7 +37,12 @@ pub struct Superstep<'a> {
 
 impl<'a> Superstep<'a> {
     fn new(step: usize, inbox: &'a [Msg]) -> Self {
-        Superstep { step, inbox, outbox: Vec::new(), ops: 0 }
+        Superstep {
+            step,
+            inbox,
+            outbox: Vec::new(),
+            ops: 0,
+        }
     }
 
     /// Index of the current superstep (0-based).
@@ -54,7 +60,14 @@ impl<'a> Superstep<'a> {
 
     /// Send a message to component `dest`, arriving next superstep.
     pub fn send(&mut self, dest: usize, tag: Word, value: Word) {
-        self.outbox.push((dest, Msg { src: usize::MAX, tag, value }));
+        self.outbox.push((
+            dest,
+            Msg {
+                src: usize::MAX,
+                tag,
+                value,
+            },
+        ));
     }
 
     /// Charge `k` units of local computation (`w_i`). Sends and receives
@@ -121,6 +134,8 @@ pub struct BspRunResult<S> {
     pub states: Vec<S>,
     /// Per-superstep cost records.
     pub ledger: CostLedger,
+    /// What the fault injector did, if the machine carried a [`FaultPlan`].
+    pub faults: Option<FaultLog>,
 }
 
 impl<S> BspRunResult<S> {
@@ -142,6 +157,7 @@ pub struct BspMachine {
     g: u64,
     l: u64,
     max_steps: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl BspMachine {
@@ -149,19 +165,53 @@ impl BspMachine {
     /// `L ≥ g` throughout).
     pub fn new(p: usize, g: u64, l: u64) -> Result<Self> {
         if p == 0 {
-            return Err(ModelError::BadConfig("BSP needs at least one component".into()));
+            return Err(ModelError::BadConfig(
+                "BSP needs at least one component".into(),
+            ));
         }
         let g = g.max(1);
         if l < g {
-            return Err(ModelError::BadConfig(format!("BSP requires L >= g (got L={l}, g={g})")));
+            return Err(ModelError::BadConfig(format!(
+                "BSP requires L >= g (got L={l}, g={g})"
+            )));
         }
-        Ok(BspMachine { p, g, l, max_steps: 1 << 20 })
+        Ok(BspMachine {
+            p,
+            g,
+            l,
+            max_steps: 1 << 20,
+            faults: None,
+        })
     }
 
     /// Sets the runaway-protection superstep limit.
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;
         self
+    }
+
+    /// The runaway-protection superstep limit.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    /// Attaches a [`FaultPlan`]: message drops/duplications, component
+    /// stalls/crashes and budget guards apply to every subsequent run,
+    /// which reports a [`FaultLog`] in [`BspRunResult::faults`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Detaches any fault plan (used to obtain fault-free baselines).
+    pub fn without_faults(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Number of components.
@@ -204,29 +254,57 @@ impl BspMachine {
     /// Runs `program` on `input` partitioned across the components.
     pub fn run<P: BspProgram>(&self, program: &P, input: &[Word]) -> Result<BspRunResult<P::Proc>> {
         let parts = self.partition(input);
-        let mut states: Vec<P::Proc> =
-            parts.iter().enumerate().map(|(pid, sl)| program.create(pid, sl)).collect();
+        let mut states: Vec<P::Proc> = parts
+            .iter()
+            .enumerate()
+            .map(|(pid, sl)| program.create(pid, sl))
+            .collect();
         let mut active = vec![true; self.p];
         let mut inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
         let mut ledger = CostLedger::new();
+        let mut injector = self.faults.as_ref().map(FaultInjector::new);
+        let step_limit = injector
+            .as_ref()
+            .map_or(self.max_steps, |i| i.effective_phase_limit(self.max_steps));
+        // Each component's own superstep counter: advances only when it
+        // actually executes, so an injected stall is a pure delay from the
+        // program's point of view. Without faults this equals the global
+        // superstep number.
+        let mut local_step: Vec<usize> = vec![0; self.p];
 
         let mut step_no = 0usize;
         while active.iter().any(|&a| a) {
-            if step_no >= self.max_steps {
-                return Err(ModelError::PhaseLimitExceeded { limit: self.max_steps });
+            if step_no >= step_limit {
+                return Err(ModelError::PhaseLimitExceeded { limit: step_limit });
             }
             let mut next_inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
             let mut w: u64 = 0;
             let mut max_sent: u64 = 0;
             let mut received: Vec<u64> = vec![0; self.p];
+            let mut stalled: Vec<usize> = Vec::new();
 
             for pid in 0..self.p {
                 if !active[pid] {
                     continue;
                 }
+                if let Some(inj) = injector.as_mut() {
+                    if inj.crash_at(pid, step_no) {
+                        return Err(ModelError::FaultAborted {
+                            phase: step_no,
+                            reason: format!("component {pid} crashed"),
+                        });
+                    }
+                    if inj.stall_at(pid, step_no) {
+                        // Skip the superstep; the inbox is retained and
+                        // merged with next superstep's arrivals.
+                        stalled.push(pid);
+                        continue;
+                    }
+                }
                 let inbox = std::mem::take(&mut inboxes[pid]);
-                let mut ctx = Superstep::new(step_no, &inbox);
+                let mut ctx = Superstep::new(local_step[pid], &inbox);
                 let status = program.superstep(pid, &mut states[pid], &mut ctx);
+                local_step[pid] += 1;
 
                 let sent = ctx.outbox.len() as u64;
                 let recv = inbox.len() as u64;
@@ -235,29 +313,67 @@ impl BspMachine {
 
                 for (dest, mut msg) in ctx.outbox {
                     if dest >= self.p {
-                        return Err(ModelError::BadProcessor { pid: dest, num_procs: self.p });
+                        return Err(ModelError::BadProcessor {
+                            pid: dest,
+                            num_procs: self.p,
+                        });
                     }
                     msg.src = pid;
-                    received[dest] += 1;
-                    next_inboxes[dest].push(msg);
+                    // Per-message faults: a drop delivers zero copies, a
+                    // duplication two. `sent` above counts every attempt;
+                    // `received` counts what actually arrives.
+                    let copies = match injector.as_mut() {
+                        Some(inj) => {
+                            if inj.drop_message() {
+                                0
+                            } else if inj.duplicate_message() {
+                                2
+                            } else {
+                                1
+                            }
+                        }
+                        None => 1,
+                    };
+                    for _ in 0..copies {
+                        received[dest] += 1;
+                        next_inboxes[dest].push(msg);
+                    }
                 }
                 if status == Status::Done {
                     active[pid] = false;
                 }
             }
 
+            // Stalled components keep their undelivered inbox alongside the
+            // new arrivals (the sort below merges them deterministically).
+            for pid in stalled {
+                let retained = std::mem::take(&mut inboxes[pid]);
+                next_inboxes[pid].splice(0..0, retained);
+            }
             for ib in next_inboxes.iter_mut() {
                 ib.sort_unstable_by_key(|m| (m.src, m.tag));
             }
 
             let h = max_sent.max(received.iter().copied().max().unwrap_or(0));
             let cost = self.superstep_cost(w, h);
-            ledger.push(PhaseCost { m_op: w, m_rw: h.max(1), kappa: 1, cost });
+            ledger.push(PhaseCost {
+                m_op: w,
+                m_rw: h.max(1),
+                kappa: 1,
+                cost,
+            });
+            if let Some(inj) = injector.as_ref() {
+                inj.check_cost(ledger.total_time())?;
+            }
             inboxes = next_inboxes;
             step_no += 1;
         }
 
-        Ok(BspRunResult { states, ledger })
+        Ok(BspRunResult {
+            states,
+            ledger,
+            faults: injector.map(FaultInjector::into_log),
+        })
     }
 }
 
@@ -365,7 +481,10 @@ mod tests {
             },
         );
         let m = BspMachine::new(4, 1, 1).unwrap();
-        assert!(matches!(m.run(&prog, &[]), Err(ModelError::BadProcessor { pid: 99, .. })));
+        assert!(matches!(
+            m.run(&prog, &[]),
+            Err(ModelError::BadProcessor { pid: 99, .. })
+        ));
     }
 
     #[test]
@@ -393,6 +512,9 @@ mod tests {
             |_, _, _: &mut Superstep<'_>| Status::Active,
         );
         let m = BspMachine::new(2, 1, 1).unwrap().with_max_steps(5);
-        assert!(matches!(m.run(&prog, &[]), Err(ModelError::PhaseLimitExceeded { limit: 5 })));
+        assert!(matches!(
+            m.run(&prog, &[]),
+            Err(ModelError::PhaseLimitExceeded { limit: 5 })
+        ));
     }
 }

@@ -21,7 +21,6 @@
 ///   A phase with no reads or writes has contention 1. Not meaningful on the
 ///   BSP, where it is recorded as 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhaseCost {
     /// `max_i c_i` — maximum local operations by any processor.
     pub m_op: u64,
@@ -36,7 +35,12 @@ pub struct PhaseCost {
 impl PhaseCost {
     /// A phase in which nothing happened (still charged the model minimum).
     pub fn idle(min_cost: u64) -> Self {
-        PhaseCost { m_op: 0, m_rw: 1, kappa: 1, cost: min_cost }
+        PhaseCost {
+            m_op: 0,
+            m_rw: 1,
+            kappa: 1,
+            cost: min_cost,
+        }
     }
 }
 
@@ -47,7 +51,6 @@ impl PhaseCost {
 /// its phase costs (Section 2.1), and the number of *rounds* is the number
 /// of phases provided every phase satisfies the round budget (Section 2.3).
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostLedger {
     phases: Vec<PhaseCost>,
 }
@@ -152,7 +155,12 @@ mod tests {
     fn ledger(costs: &[(u64, u64, u64, u64)]) -> CostLedger {
         let mut l = CostLedger::new();
         for &(m_op, m_rw, kappa, cost) in costs {
-            l.push(PhaseCost { m_op, m_rw, kappa, cost });
+            l.push(PhaseCost {
+                m_op,
+                m_rw,
+                kappa,
+                cost,
+            });
         }
         l
     }

@@ -44,6 +44,23 @@ pub enum ModelError {
     /// The program asked for an invalid machine configuration (e.g. zero
     /// processors, or a BSP with L < g which the paper excludes).
     BadConfig(String),
+    /// Total model time exceeded the cost budget of the attached
+    /// [`crate::FaultPlan`].
+    CostBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+        /// The accumulated cost at the moment it tripped the budget.
+        cost: u64,
+    },
+    /// Execution was aborted by an injected fault (a scheduled processor
+    /// crash), or by a harness that observed an incorrect result under
+    /// fault injection. A faulted run never silently reports `Ok`.
+    FaultAborted {
+        /// Global phase/superstep at which the run was aborted.
+        phase: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -58,12 +75,27 @@ impl fmt::Display for ModelError {
                 write!(f, "execution exceeded the phase limit of {limit}")
             }
             ModelError::BadProcessor { pid, num_procs } => {
-                write!(f, "processor id {pid} out of range (machine has {num_procs})")
+                write!(
+                    f,
+                    "processor id {pid} out of range (machine has {num_procs})"
+                )
             }
             ModelError::MemoryLimitExceeded { addr, limit } => {
-                write!(f, "address {addr} exceeds the shared-memory limit of {limit}")
+                write!(
+                    f,
+                    "address {addr} exceeds the shared-memory limit of {limit}"
+                )
             }
             ModelError::BadConfig(msg) => write!(f, "bad machine configuration: {msg}"),
+            ModelError::CostBudgetExceeded { budget, cost } => {
+                write!(f, "total cost {cost} exceeded the cost budget of {budget}")
+            }
+            ModelError::FaultAborted { phase, reason } => {
+                write!(
+                    f,
+                    "phase {phase}: execution aborted by injected fault: {reason}"
+                )
+            }
         }
     }
 }
@@ -87,15 +119,35 @@ mod tests {
         let e = ModelError::PhaseLimitExceeded { limit: 100 };
         assert!(e.to_string().contains("100"));
 
-        let e = ModelError::BadProcessor { pid: 9, num_procs: 4 };
+        let e = ModelError::BadProcessor {
+            pid: 9,
+            num_procs: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
 
-        let e = ModelError::MemoryLimitExceeded { addr: 1 << 30, limit: 1 << 20 };
+        let e = ModelError::MemoryLimitExceeded {
+            addr: 1 << 30,
+            limit: 1 << 20,
+        };
         assert!(e.to_string().contains("limit"));
 
         let e = ModelError::BadConfig("L < g".into());
         assert!(e.to_string().contains("L < g"));
+
+        let e = ModelError::CostBudgetExceeded {
+            budget: 100,
+            cost: 150,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("150"));
+
+        let e = ModelError::FaultAborted {
+            phase: 4,
+            reason: "crash of pid 2".into(),
+        };
+        assert!(e.to_string().contains("phase 4"));
+        assert!(e.to_string().contains("crash of pid 2"));
     }
 
     #[test]

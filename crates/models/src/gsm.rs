@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
+use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::shared::{Addr, Status, Word};
 
 /// Contents of a GSM cell: the multiset of all information ever written,
@@ -35,7 +36,12 @@ pub struct GsmEnv<'a> {
 
 impl<'a> GsmEnv<'a> {
     fn new(phase: usize, delivered: &'a [(Addr, CellContent)]) -> Self {
-        GsmEnv { phase, delivered, reads: Vec::new(), writes: Vec::new() }
+        GsmEnv {
+            phase,
+            delivered,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
     }
 
     /// Index of the current phase (0-based).
@@ -50,7 +56,10 @@ impl<'a> GsmEnv<'a> {
 
     /// Contents delivered for `addr`, if read last phase.
     pub fn contents(&self, addr: Addr) -> Option<&[Word]> {
-        self.delivered.iter().find(|(a, _)| *a == addr).map(|(_, c)| c.as_slice())
+        self.delivered
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map(|(_, c)| c.as_slice())
     }
 
     /// Issue a read of an entire cell; contents arrive next phase.
@@ -98,7 +107,11 @@ where
 {
     /// Builds a closure-backed GSM program.
     pub fn new(num_procs: usize, init: I, step: F) -> Self {
-        GsmFnProgram { num_procs, init, step }
+        GsmFnProgram {
+            num_procs,
+            init,
+            step,
+        }
     }
 }
 
@@ -170,6 +183,8 @@ pub struct GsmRunResult {
     pub memory: GsmMemory,
     /// Per-phase costs (in GSM time units, `μ` per big-step).
     pub ledger: CostLedger,
+    /// What the fault injector did, if the machine carried a [`FaultPlan`].
+    pub faults: Option<FaultLog>,
 }
 
 impl GsmRunResult {
@@ -191,6 +206,7 @@ pub struct GsmMachine {
     beta: u64,
     gamma: u64,
     max_phases: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl GsmMachine {
@@ -201,6 +217,7 @@ impl GsmMachine {
             beta: beta.max(1),
             gamma: gamma.max(1),
             max_phases: 1 << 20,
+            faults: None,
         }
     }
 
@@ -208,6 +225,32 @@ impl GsmMachine {
     pub fn with_max_phases(mut self, max_phases: usize) -> Self {
         self.max_phases = max_phases;
         self
+    }
+
+    /// The runaway-protection phase limit.
+    pub fn max_phases(&self) -> usize {
+        self.max_phases
+    }
+
+    /// Attaches a [`FaultPlan`]. The GSM's strong-queuing cells merge all
+    /// writes, so winner policies do not apply, and there are no messages
+    /// to drop or duplicate; stalls, crashes and the cost/phase budget
+    /// guards are injected, and a [`FaultLog`] is reported in
+    /// [`GsmRunResult::faults`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Detaches any fault plan (used to obtain fault-free baselines).
+    pub fn without_faults(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// `μ = max{α, β}` — the duration of one big-step.
@@ -237,7 +280,9 @@ impl GsmMachine {
 
     /// Big-steps of a phase: `max(⌈m_rw/α⌉, ⌈κ/β⌉)`, at least 1.
     pub fn big_steps(&self, m_rw: u64, kappa: u64) -> u64 {
-        (m_rw.div_ceil(self.alpha)).max(kappa.div_ceil(self.beta)).max(1)
+        (m_rw.div_ceil(self.alpha))
+            .max(kappa.div_ceil(self.beta))
+            .max(1)
     }
 
     /// Time cost of a phase with the given measurements: `μ · big_steps`.
@@ -285,7 +330,9 @@ impl GsmMachine {
     ) -> Result<GsmRunResult> {
         let n_procs = program.num_procs();
         if n_procs == 0 {
-            return Err(ModelError::BadConfig("program declares zero processors".into()));
+            return Err(ModelError::BadConfig(
+                "program declares zero processors".into(),
+            ));
         }
         let mut memory = self.initial_memory(input);
         let mut ledger = CostLedger::new();
@@ -293,14 +340,20 @@ impl GsmMachine {
         let mut states: Vec<P::Proc> = (0..n_procs).map(|pid| program.create(pid)).collect();
         let mut active = vec![true; n_procs];
         let mut pending: Vec<Vec<(Addr, CellContent)>> = vec![Vec::new(); n_procs];
+        let mut injector = self.faults.as_ref().map(FaultInjector::new);
+        let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
+            i.effective_phase_limit(self.max_phases)
+        });
+        // Per-processor phase counters so an injected stall is a pure delay.
+        let mut local_phase: Vec<usize> = vec![0; n_procs];
 
         let mut read_count: HashMap<Addr, u64> = HashMap::new();
         let mut write_count: HashMap<Addr, u64> = HashMap::new();
 
         let mut phase_no = 0usize;
         while active.iter().any(|&a| a) {
-            if phase_no >= self.max_phases {
-                return Err(ModelError::PhaseLimitExceeded { limit: self.max_phases });
+            if phase_no >= phase_limit {
+                return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
             }
             read_count.clear();
             write_count.clear();
@@ -319,9 +372,21 @@ impl GsmMachine {
                 if !active[pid] {
                     continue;
                 }
+                if let Some(inj) = injector.as_mut() {
+                    if inj.crash_at(pid, phase_no) {
+                        return Err(ModelError::FaultAborted {
+                            phase: phase_no,
+                            reason: format!("processor {pid} crashed"),
+                        });
+                    }
+                    if inj.stall_at(pid, phase_no) {
+                        continue;
+                    }
+                }
                 let delivered = std::mem::take(&mut pending[pid]);
-                let mut env = GsmEnv::new(phase_no, &delivered);
+                let mut env = GsmEnv::new(local_phase[pid], &delivered);
                 let status = program.phase(pid, &mut states[pid], &mut env);
+                local_phase[pid] += 1;
 
                 let r_i = env.reads.len() as u64;
                 let w_i = env.writes.len() as u64;
@@ -343,7 +408,10 @@ impl GsmMachine {
 
             for (&addr, _) in read_count.iter() {
                 if write_count.contains_key(&addr) {
-                    return Err(ModelError::ReadWriteConflict { addr, phase: phase_no });
+                    return Err(ModelError::ReadWriteConflict {
+                        addr,
+                        phase: phase_no,
+                    });
                 }
             }
 
@@ -366,13 +434,26 @@ impl GsmMachine {
             }
 
             let kappa = if any_access {
-                read_count.values().chain(write_count.values()).copied().max().unwrap_or(1)
+                read_count
+                    .values()
+                    .chain(write_count.values())
+                    .copied()
+                    .max()
+                    .unwrap_or(1)
             } else {
                 1
             };
             let b = self.big_steps(m_rw.max(1), kappa);
             let cost = self.mu() * b;
-            ledger.push(PhaseCost { m_op: 0, m_rw: m_rw.max(1), kappa, cost });
+            ledger.push(PhaseCost {
+                m_op: 0,
+                m_rw: m_rw.max(1),
+                kappa,
+                cost,
+            });
+            if let Some(inj) = injector.as_ref() {
+                inj.check_cost(ledger.total_time())?;
+            }
             if let (Some(t), Some(mut pt)) = (trace.as_deref_mut(), phase_trace) {
                 pt.big_steps = b;
                 t.phases.push(pt);
@@ -380,7 +461,11 @@ impl GsmMachine {
             phase_no += 1;
         }
 
-        Ok(GsmRunResult { memory, ledger })
+        Ok(GsmRunResult {
+            memory,
+            ledger,
+            faults: injector.map(FaultInjector::into_log),
+        })
     }
 }
 

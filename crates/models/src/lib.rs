@@ -49,16 +49,16 @@
 mod bsp;
 mod cost;
 mod error;
+pub mod faults;
 mod gsm;
 mod qsm;
 mod shared;
 pub mod work;
 
 pub use bsp::{BspFnProgram, BspMachine, BspProgram, BspRunResult, Msg, Superstep};
-pub use cost::{
-    round_budget_bsp, round_budget_gsm, round_budget_qsm, CostLedger, PhaseCost,
-};
+pub use cost::{round_budget_bsp, round_budget_gsm, round_budget_qsm, CostLedger, PhaseCost};
 pub use error::{ModelError, Result};
+pub use faults::{ChoicePoint, FaultInjector, FaultLog, FaultPlan, WinnerPolicy};
 pub use gsm::{
     CellContent, GsmEnv, GsmFnProgram, GsmMachine, GsmMemory, GsmPhaseTrace, GsmProgram,
     GsmRunResult, GsmTrace,

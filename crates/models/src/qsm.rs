@@ -13,13 +13,14 @@
 //! The **QRQW PRAM** of Gibbons–Matias–Ramachandran is the QSM with `g = 1`
 //! ([`QsmMachine::qrqw`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
+use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::shared::{Addr, Memory, PhaseEnv, Program, Status, Word};
 
 /// Which cost rule the machine charges.
@@ -45,6 +46,8 @@ pub struct RunResult {
     pub memory: Memory,
     /// Per-phase cost records.
     pub ledger: CostLedger,
+    /// What the fault injector did, if the machine carried a [`FaultPlan`].
+    pub faults: Option<FaultLog>,
 }
 
 impl RunResult {
@@ -91,6 +94,7 @@ pub struct QsmMachine {
     seed: u64,
     max_phases: usize,
     mem_limit: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl QsmMachine {
@@ -126,6 +130,7 @@ impl QsmMachine {
             seed: 0x5eed_cafe,
             max_phases: 1 << 20,
             mem_limit: 1 << 34,
+            faults: None,
         }
     }
 
@@ -145,6 +150,29 @@ impl QsmMachine {
     pub fn with_mem_limit(mut self, mem_limit: usize) -> Self {
         self.mem_limit = mem_limit;
         self
+    }
+
+    /// Attaches a [`FaultPlan`]: every subsequent run injects the plan's
+    /// faults and reports a [`FaultLog`] in [`RunResult::faults`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Detaches any fault plan (used to obtain fault-free baselines).
+    pub fn without_faults(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The runaway-protection phase limit.
+    pub fn max_phases(&self) -> usize {
+        self.max_phases
     }
 
     /// The gap parameter `g`.
@@ -194,33 +222,43 @@ impl QsmMachine {
     ) -> Result<(RunResult, ())> {
         let n_procs = program.num_procs();
         if n_procs == 0 {
-            return Err(ModelError::BadConfig("program declares zero processors".into()));
+            return Err(ModelError::BadConfig(
+                "program declares zero processors".into(),
+            ));
         }
         let mut memory = Memory::with_limit(self.mem_limit);
         memory.load(0, input)?;
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut ledger = CostLedger::new();
+        let mut injector = self.faults.as_ref().map(FaultInjector::new);
+        let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
+            i.effective_phase_limit(self.max_phases)
+        });
 
         let mut states: Vec<P::Proc> = (0..n_procs).map(|pid| program.create(pid)).collect();
         let mut active: Vec<bool> = vec![true; n_procs];
         // Reads issued last phase, valued, awaiting delivery: per-pid.
         let mut pending: Vec<Vec<(Addr, Word)>> = vec![Vec::new(); n_procs];
+        // Each processor's own phase counter: advances only when it actually
+        // executes, so an injected stall is a pure delay from the program's
+        // point of view. Without faults this equals the global phase number.
+        let mut local_phase: Vec<usize> = vec![0; n_procs];
 
         // Reused per-phase scratch.
         let mut read_count: HashMap<Addr, u64> = HashMap::new();
-        let mut write_count: HashMap<Addr, u64> = HashMap::new();
-        // Reservoir-sampled arbitrary-write winners: addr -> (count, value).
-        let mut winners: HashMap<Addr, (u64, Word)> = HashMap::new();
+        // Attempted writes per cell, writers in pid order; a BTreeMap so
+        // arbitration happens in deterministic sorted-address order (the
+        // coordinate system scripted winner policies rely on).
+        let mut writes_by_addr: BTreeMap<Addr, Vec<Word>> = BTreeMap::new();
 
         let mut phase_no = 0usize;
         while active.iter().any(|&a| a) {
-            if phase_no >= self.max_phases {
-                return Err(ModelError::PhaseLimitExceeded { limit: self.max_phases });
+            if phase_no >= phase_limit {
+                return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
             }
             read_count.clear();
-            write_count.clear();
-            winners.clear();
+            writes_by_addr.clear();
 
             let mut m_op: u64 = 0;
             let mut m_rw: u64 = 0;
@@ -239,9 +277,23 @@ impl QsmMachine {
                 if !active[pid] {
                     continue;
                 }
+                if let Some(inj) = injector.as_mut() {
+                    if inj.crash_at(pid, phase_no) {
+                        return Err(ModelError::FaultAborted {
+                            phase: phase_no,
+                            reason: format!("processor {pid} crashed"),
+                        });
+                    }
+                    if inj.stall_at(pid, phase_no) {
+                        // Skip the phase; deliveries stay pending and the
+                        // processor resumes at its own next local phase.
+                        continue;
+                    }
+                }
                 let delivered = std::mem::take(&mut pending[pid]);
-                let mut env = PhaseEnv::new(phase_no, &delivered);
+                let mut env = PhaseEnv::new(local_phase[pid], &delivered);
                 let status = program.phase(pid, &mut states[pid], &mut env);
+                local_phase[pid] += 1;
 
                 let r_i = env.reads.len() as u64;
                 let w_i = env.writes.len() as u64;
@@ -257,14 +309,7 @@ impl QsmMachine {
                     new_reads.push((pid, addr));
                 }
                 for &(addr, value) in &env.writes {
-                    let c = write_count.entry(addr).or_insert(0);
-                    *c += 1;
-                    // Reservoir-sample the arbitrary winner uniformly.
-                    let e = winners.entry(addr).or_insert((0, value));
-                    e.0 += 1;
-                    if e.0 > 1 && rng.gen_range(0..e.0) == 0 {
-                        e.1 = value;
-                    }
+                    writes_by_addr.entry(addr).or_default().push(value);
                     if let Some(pt) = phase_trace.as_mut() {
                         pt.writes[pid].push((addr, value));
                     }
@@ -276,12 +321,17 @@ impl QsmMachine {
 
             // Model rule: a cell may be read or written in a phase, not both.
             for (&addr, _) in read_count.iter() {
-                if write_count.contains_key(&addr) {
-                    return Err(ModelError::ReadWriteConflict { addr, phase: phase_no });
+                if writes_by_addr.contains_key(&addr) {
+                    return Err(ModelError::ReadWriteConflict {
+                        addr,
+                        phase: phase_no,
+                    });
                 }
             }
 
-            // Value the reads against pre-write memory, then commit writes.
+            // Value the reads against pre-write memory, then commit writes
+            // in sorted-address order, arbitrating each cell's concurrent
+            // writers (arbitrary-write rule).
             for &(pid, addr) in &new_reads {
                 let v = memory.get(addr);
                 if active[pid] {
@@ -291,43 +341,63 @@ impl QsmMachine {
                     pt.reads[pid].push((addr, v));
                 }
             }
-            for (&addr, &(_, value)) in winners.iter() {
+            for (&addr, values) in writes_by_addr.iter() {
+                let value = match injector.as_mut() {
+                    Some(inj) => inj.pick_winner(phase_no, addr, values),
+                    None if values.len() == 1 => values[0],
+                    None => values[rng.gen_range(0..values.len())],
+                };
                 memory.set(addr, value)?;
                 if let Some(pt) = phase_trace.as_mut() {
                     pt.committed.push((addr, value));
                 }
             }
-            if let Some(pt) = phase_trace.as_mut() {
-                pt.committed.sort_unstable();
-            }
 
+            let write_contention = writes_by_addr
+                .values()
+                .map(|v| v.len() as u64)
+                .max()
+                .unwrap_or(1);
             let kappa = if any_access {
                 read_count
                     .values()
-                    .chain(write_count.values())
                     .copied()
                     .max()
                     .unwrap_or(1)
+                    .max(write_contention)
             } else {
                 1
             };
             let kappa = match self.flavor {
                 // Unit-time concurrent reads: only write contention queues.
-                QsmFlavor::QsmUnitConcurrentReads => {
-                    write_count.values().copied().max().unwrap_or(1)
-                }
+                QsmFlavor::QsmUnitConcurrentReads => write_contention,
                 _ => kappa,
             };
 
             let cost = self.phase_cost(m_op, m_rw, kappa);
-            ledger.push(PhaseCost { m_op, m_rw: m_rw.max(1), kappa, cost });
+            ledger.push(PhaseCost {
+                m_op,
+                m_rw: m_rw.max(1),
+                kappa,
+                cost,
+            });
+            if let Some(inj) = injector.as_ref() {
+                inj.check_cost(ledger.total_time())?;
+            }
             if let (Some(t), Some(pt)) = (trace.as_deref_mut(), phase_trace) {
                 t.phases.push(pt);
             }
             phase_no += 1;
         }
 
-        Ok((RunResult { memory, ledger }, ()))
+        Ok((
+            RunResult {
+                memory,
+                ledger,
+                faults: injector.map(FaultInjector::into_log),
+            },
+            (),
+        ))
     }
 }
 
@@ -351,7 +421,10 @@ mod tests {
         let m = QsmMachine::qsm(2);
         let res = m.run(&prog, &[]).unwrap();
         let v = res.memory.get(100);
-        assert!((1..=n as Word).contains(&v), "winner {v} not a writer value");
+        assert!(
+            (1..=n as Word).contains(&v),
+            "winner {v} not a writer value"
+        );
         // Contention n, one write each: cost = max(1, g*1, n) = n.
         assert_eq!(res.ledger.phases()[0].kappa, n as u64);
         assert_eq!(res.time(), n as u64);
@@ -518,7 +591,10 @@ mod tests {
     #[test]
     fn phase_limit_catches_runaway_programs() {
         let prog = FnProgram::new(1, |_| (), |_, _, _: &mut PhaseEnv<'_>| Status::Active);
-        let err = QsmMachine::qsm(1).with_max_phases(10).run(&prog, &[]).unwrap_err();
+        let err = QsmMachine::qsm(1)
+            .with_max_phases(10)
+            .run(&prog, &[])
+            .unwrap_err();
         assert_eq!(err, ModelError::PhaseLimitExceeded { limit: 10 });
     }
 
@@ -571,6 +647,9 @@ mod tests {
     #[test]
     fn zero_processor_program_is_rejected() {
         let prog = FnProgram::new(0, |_| (), |_, _, _: &mut PhaseEnv<'_>| Status::Done);
-        assert!(matches!(QsmMachine::qsm(1).run(&prog, &[]), Err(ModelError::BadConfig(_))));
+        assert!(matches!(
+            QsmMachine::qsm(1).run(&prog, &[]),
+            Err(ModelError::BadConfig(_))
+        ));
     }
 }

@@ -41,7 +41,13 @@ impl<'a> PhaseEnv<'a> {
     /// but it is public so *emulators* (e.g. running a QSM program on a
     /// BSP, `parbounds-algo::emulation`) can drive [`Program`]s themselves.
     pub fn new(phase: usize, delivered: &'a [(Addr, Word)]) -> Self {
-        PhaseEnv { phase, delivered, reads: Vec::new(), writes: Vec::new(), ops: 0 }
+        PhaseEnv {
+            phase,
+            delivered,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            ops: 0,
+        }
     }
 
     /// Dismantles the view into `(reads, writes, local_ops)` — the
@@ -65,7 +71,10 @@ impl<'a> PhaseEnv<'a> {
     /// If the address was read more than once the first delivery is
     /// returned.
     pub fn value(&self, addr: Addr) -> Option<Word> {
-        self.delivered.iter().find(|(a, _)| *a == addr).map(|&(_, v)| v)
+        self.delivered
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map(|&(_, v)| v)
     }
 
     /// Issue a shared-memory read; the value arrives next phase.
@@ -116,7 +125,10 @@ pub struct Memory {
 impl Memory {
     /// Creates a memory allowing addresses below `limit`.
     pub fn with_limit(limit: usize) -> Self {
-        Memory { cells: Vec::new(), limit }
+        Memory {
+            cells: Vec::new(),
+            limit,
+        }
     }
 
     /// Highest-addressed cell ever touched, plus one.
@@ -137,7 +149,10 @@ impl Memory {
     /// Writes a cell, growing the backing store as needed.
     pub fn set(&mut self, addr: Addr, value: Word) -> crate::error::Result<()> {
         if addr >= self.limit {
-            return Err(crate::error::ModelError::MemoryLimitExceeded { addr, limit: self.limit });
+            return Err(crate::error::ModelError::MemoryLimitExceeded {
+                addr,
+                limit: self.limit,
+            });
         }
         if addr >= self.cells.len() {
             self.cells.resize(addr + 1, 0);
@@ -181,7 +196,11 @@ where
 {
     /// Builds a closure-backed program over `num_procs` processors.
     pub fn new(num_procs: usize, init: I, step: F) -> Self {
-        FnProgram { num_procs, init, step }
+        FnProgram {
+            num_procs,
+            init,
+            step,
+        }
     }
 }
 

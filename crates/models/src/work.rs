@@ -27,13 +27,7 @@ pub fn is_linear_work_qsm(ledger: &CostLedger, p: u64, n: u64, g: u64, slack: u6
 /// ledger: it returns `true` unless the ledger is linear-work (at `slack`)
 /// *and* some phase overruns the implied budget — which the law says is
 /// impossible, so a `false` here would witness an accounting bug.
-pub fn linear_work_implies_rounds(
-    ledger: &CostLedger,
-    p: u64,
-    n: u64,
-    g: u64,
-    slack: u64,
-) -> bool {
+pub fn linear_work_implies_rounds(ledger: &CostLedger, p: u64, n: u64, g: u64, slack: u64) -> bool {
     if !is_linear_work_qsm(ledger, p, n, g, slack) {
         return true; // implication vacuous
     }
@@ -79,7 +73,12 @@ mod tests {
     fn ledger_of(costs: &[u64]) -> CostLedger {
         let mut l = CostLedger::new();
         for &c in costs {
-            l.push(PhaseCost { m_op: 0, m_rw: 1, kappa: 1, cost: c });
+            l.push(PhaseCost {
+                m_op: 0,
+                m_rw: 1,
+                kappa: 1,
+                cost: c,
+            });
         }
         l
     }

@@ -4,8 +4,8 @@
 //! simulators' rejection behaviour is part of their correctness contract.
 
 use parbounds_models::{
-    BspFnProgram, BspMachine, FnProgram, GsmEnv, GsmFnProgram, GsmMachine, ModelError,
-    PhaseEnv, QsmMachine, Status, Superstep, Word,
+    BspFnProgram, BspMachine, FnProgram, GsmEnv, GsmFnProgram, GsmMachine, ModelError, PhaseEnv,
+    QsmMachine, Status, Superstep, Word,
 };
 
 #[test]
@@ -109,7 +109,10 @@ fn gsm_rejects_conflicts_and_bsp_rejects_bad_destinations() {
     );
     assert!(matches!(
         BspMachine::new(4, 1, 2).unwrap().run(&bsp_prog, &[]),
-        Err(ModelError::BadProcessor { pid: 1_000_000, num_procs: 4 })
+        Err(ModelError::BadProcessor {
+            pid: 1_000_000,
+            num_procs: 4
+        })
     ));
 }
 
@@ -125,9 +128,15 @@ fn runaway_programs_hit_phase_limits_everywhere() {
         GsmMachine::new(1, 1, 1).with_max_phases(7).run(&gsm, &[]),
         Err(ModelError::PhaseLimitExceeded { limit: 7 })
     ));
-    let bsp = BspFnProgram::new(|_, _: &[Word]| (), |_, _, _: &mut Superstep<'_>| Status::Active);
+    let bsp = BspFnProgram::new(
+        |_, _: &[Word]| (),
+        |_, _, _: &mut Superstep<'_>| Status::Active,
+    );
     assert!(matches!(
-        BspMachine::new(2, 1, 1).unwrap().with_max_steps(7).run(&bsp, &[]),
+        BspMachine::new(2, 1, 1)
+            .unwrap()
+            .with_max_steps(7)
+            .run(&bsp, &[]),
         Err(ModelError::PhaseLimitExceeded { limit: 7 })
     ));
 }
@@ -142,16 +151,28 @@ fn memory_limit_is_enforced() {
             Status::Done
         },
     );
-    let err = QsmMachine::qsm(1).with_mem_limit(1 << 10).run(&prog, &[]).unwrap_err();
+    let err = QsmMachine::qsm(1)
+        .with_mem_limit(1 << 10)
+        .run(&prog, &[])
+        .unwrap_err();
     assert!(matches!(err, ModelError::MemoryLimitExceeded { .. }));
 }
 
 #[test]
 fn bad_configs_are_rejected_up_front() {
-    assert!(matches!(BspMachine::new(0, 1, 1), Err(ModelError::BadConfig(_))));
-    assert!(matches!(BspMachine::new(4, 8, 2), Err(ModelError::BadConfig(_)))); // L < g
+    assert!(matches!(
+        BspMachine::new(0, 1, 1),
+        Err(ModelError::BadConfig(_))
+    ));
+    assert!(matches!(
+        BspMachine::new(4, 8, 2),
+        Err(ModelError::BadConfig(_))
+    )); // L < g
     let empty = FnProgram::new(0, |_| (), |_, _, _: &mut PhaseEnv<'_>| Status::Done);
-    assert!(matches!(QsmMachine::qsm(1).run(&empty, &[]), Err(ModelError::BadConfig(_))));
+    assert!(matches!(
+        QsmMachine::qsm(1).run(&empty, &[]),
+        Err(ModelError::BadConfig(_))
+    ));
     let empty_gsm = GsmFnProgram::new(0, |_| (), |_, _, _: &mut GsmEnv<'_>| Status::Done);
     assert!(matches!(
         GsmMachine::new(1, 1, 1).run(&empty_gsm, &[]),

@@ -1,0 +1,99 @@
+//! Execution-hardening regression tests: every engine ships with a finite
+//! default phase limit, and a program that never terminates comes back as
+//! a typed [`ModelError::PhaseLimitExceeded`] on all four models — never a
+//! hang, never a panic.
+
+use parbounds_models::{
+    BspFnProgram, BspMachine, FaultPlan, FnProgram, GsmFnProgram, GsmMachine, ModelError,
+    QsmMachine, Status, Word,
+};
+
+/// The default limit shared by all engines.
+const DEFAULT_LIMIT: usize = 1 << 20;
+
+#[test]
+fn default_phase_limits_are_finite_on_all_four_engines() {
+    assert_eq!(QsmMachine::qsm(4).max_phases(), DEFAULT_LIMIT);
+    assert_eq!(QsmMachine::sqsm(4).max_phases(), DEFAULT_LIMIT);
+    assert_eq!(BspMachine::new(4, 2, 4).unwrap().max_steps(), DEFAULT_LIMIT);
+    assert_eq!(GsmMachine::new(2, 2, 4).max_phases(), DEFAULT_LIMIT);
+}
+
+/// A shared-memory program that spins forever.
+fn spinning_qsm() -> impl parbounds_models::Program<Proc = ()> {
+    FnProgram::new(2, |_pid| (), |_pid, _s: &mut (), _env| Status::Active)
+}
+
+#[test]
+fn infinite_loop_on_qsm_returns_phase_limit_exceeded() {
+    let err = QsmMachine::qsm(4)
+        .with_max_phases(64)
+        .run(&spinning_qsm(), &[])
+        .unwrap_err();
+    assert!(
+        matches!(err, ModelError::PhaseLimitExceeded { limit: 64 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn infinite_loop_on_sqsm_returns_phase_limit_exceeded() {
+    let err = QsmMachine::sqsm(4)
+        .with_max_phases(64)
+        .run(&spinning_qsm(), &[])
+        .unwrap_err();
+    assert!(
+        matches!(err, ModelError::PhaseLimitExceeded { limit: 64 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn infinite_loop_on_bsp_returns_phase_limit_exceeded() {
+    let prog = BspFnProgram::new(
+        |_pid, _local: &[Word]| (),
+        |_pid, _s: &mut (), _ctx| Status::Active,
+    );
+    let machine = BspMachine::new(4, 2, 4).unwrap().with_max_steps(64);
+    let err = machine.run(&prog, &[1, 2, 3, 4]).unwrap_err();
+    assert!(
+        matches!(err, ModelError::PhaseLimitExceeded { limit: 64 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn infinite_loop_on_gsm_returns_phase_limit_exceeded() {
+    let prog = GsmFnProgram::new(2, |_pid| (), |_pid, _s: &mut (), _env| Status::Active);
+    let err = GsmMachine::new(2, 2, 4)
+        .with_max_phases(64)
+        .run(&prog, &[])
+        .unwrap_err();
+    assert!(
+        matches!(err, ModelError::PhaseLimitExceeded { limit: 64 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn fault_plan_phase_budget_tightens_the_machine_limit() {
+    // A plan budget below the machine limit wins …
+    let machine = QsmMachine::qsm(4)
+        .with_max_phases(64)
+        .with_faults(FaultPlan::new(1).with_phase_budget(8));
+    let err = machine.run(&spinning_qsm(), &[]).unwrap_err();
+    assert!(
+        matches!(err, ModelError::PhaseLimitExceeded { limit: 8 }),
+        "{err:?}"
+    );
+
+    // … and a looser plan budget never loosens the machine limit.
+    let machine = QsmMachine::qsm(4)
+        .with_max_phases(64)
+        .with_faults(FaultPlan::new(1).with_phase_budget(1 << 19));
+    let err = machine.run(&spinning_qsm(), &[]).unwrap_err();
+    assert!(
+        matches!(err, ModelError::PhaseLimitExceeded { limit: 64 }),
+        "{err:?}"
+    );
+}

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use parbounds_models::{
-    round_budget_bsp, round_budget_qsm, BspMachine, FnProgram, GsmFnProgram, GsmMachine,
-    PhaseEnv, QsmMachine, Status, Word,
+    round_budget_bsp, round_budget_qsm, BspMachine, FnProgram, GsmFnProgram, GsmMachine, PhaseEnv,
+    QsmMachine, Status, Word,
 };
 
 proptest! {

@@ -56,7 +56,12 @@ fn gen_script(seed: u64, procs: usize, phases: usize, span: usize) -> Script {
             }
         }
     }
-    Script { procs, phases, reads, writes }
+    Script {
+        procs,
+        phases,
+        reads,
+        writes,
+    }
 }
 
 /// Reference interpreter: phase-by-phase, reads see start-of-phase memory,
@@ -71,7 +76,10 @@ fn reference(script: &Script, input: &[Word], extent: usize) -> (Vec<Word>, Vec<
         let snapshot = mem.clone();
         for pid in 0..script.procs {
             delivered[pid].push(
-                script.reads[pid][t].iter().map(|&a| snapshot[a]).collect::<Vec<_>>(),
+                script.reads[pid][t]
+                    .iter()
+                    .map(|&a| snapshot[a])
+                    .collect::<Vec<_>>(),
             );
             for &(a, v) in &script.writes[pid][t] {
                 mem[a] = v;
@@ -94,8 +102,7 @@ fn run_script_on_qsm(
         |pid, _, env: &mut PhaseEnv<'_>| {
             let t = env.phase();
             if t > 0 {
-                observed.borrow_mut()[pid]
-                    .push(env.delivered().iter().map(|&(_, v)| v).collect());
+                observed.borrow_mut()[pid].push(env.delivered().iter().map(|&(_, v)| v).collect());
             }
             if t >= script.phases {
                 return Status::Done;
@@ -174,10 +181,7 @@ fn qsm_phase_costs_match_script_shape() {
                 .max()
                 .unwrap_or(0);
             let expect = machine.phase_cost(m_op, m_rw, kappa);
-            assert_eq!(
-                run.ledger.phases()[t].cost, expect,
-                "seed {seed} phase {t}"
-            );
+            assert_eq!(run.ledger.phases()[t].cost, expect, "seed {seed} phase {t}");
         }
     }
 }
@@ -195,9 +199,7 @@ fn gsm_strong_queuing_matches_multiset_reference() {
                 (0..phases)
                     .map(|t| {
                         (0..rng.gen_range(0..3))
-                            .map(|j| {
-                                (rng.gen_range(0..cells), (pid * 100 + t * 10 + j) as Word)
-                            })
+                            .map(|j| (rng.gen_range(0..cells), (pid * 100 + t * 10 + j) as Word))
                             .collect()
                     })
                     .collect()

@@ -208,9 +208,7 @@ pub static TABLE1: &[Bound] = &[
         tightness: Tightness::LowerOnly,
         expr: "g·log n / (log log n + min(log log g, log log p))",
         condition: "Ω(g·log n/log log n) if p polynomial in n",
-        eval: |pr| {
-            pr.g * lg(pr.n) / at_least_1(lglg(pr.n) + lglg(pr.g).min(lglg(pr.p)))
-        },
+        eval: |pr| pr.g * lg(pr.n) / at_least_1(lglg(pr.n) + lglg(pr.g).min(lglg(pr.p))),
     },
     // ----- Sub-table 2: s-QSM time -----
     Bound {
@@ -346,8 +344,7 @@ pub static TABLE1: &[Bound] = &[
         expr: "(log* n − log*(n/p)) + sqrt(log n / log(gn/p))",
         condition: "",
         eval: |pr| {
-            log_star_diff(pr.n, pr.n / pr.p)
-                + (lg(pr.n) / lg((pr.g * pr.n / pr.p).max(2.0))).sqrt()
+            log_star_diff(pr.n, pr.n / pr.p) + (lg(pr.n) / lg((pr.g * pr.n / pr.p).max(2.0))).sqrt()
         },
     },
     Bound {
@@ -466,7 +463,12 @@ pub fn best_lower_bound(
 mod tests {
     use super::*;
 
-    const P: Params = Params { n: 1048576.0, g: 8.0, l: 64.0, p: 4096.0 };
+    const P: Params = Params {
+        n: 1048576.0,
+        g: 8.0,
+        l: 64.0,
+        p: 4096.0,
+    };
 
     #[test]
     fn registry_covers_all_sub_tables() {
@@ -480,13 +482,11 @@ mod tests {
         for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
             for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
                 for mode in [Mode::Deterministic, Mode::Randomized] {
-                    if model != Model::Bsp || true {
-                        assert!(
-                            !lower_bounds(problem, model, mode, Metric::Time).is_empty()
-                                || mode == Mode::Deterministic,
-                            "{problem:?} {model:?} {mode:?} missing"
-                        );
-                    }
+                    assert!(
+                        !lower_bounds(problem, model, mode, Metric::Time).is_empty()
+                            || mode == Mode::Deterministic,
+                        "{problem:?} {model:?} {mode:?} missing"
+                    );
                 }
                 assert!(
                     !lower_bounds(problem, model, Mode::Randomized, Metric::Rounds).is_empty(),
@@ -502,7 +502,12 @@ mod tests {
             for n in [16.0, 1024.0, 1e6, 1e9] {
                 for g in [1.0, 4.0, 64.0] {
                     for p in [4.0, 256.0, n] {
-                        let pr = Params { n, g, l: 8.0 * g, p };
+                        let pr = Params {
+                            n,
+                            g,
+                            l: 8.0 * g,
+                            p,
+                        };
                         let v = (b.eval)(&pr);
                         assert!(
                             v.is_finite() && v > 0.0,
@@ -519,9 +524,30 @@ mod tests {
     fn deterministic_parity_dominates_or_dominates_lac_shape() {
         // On the s-QSM: parity Θ(g log n) > OR Ω(g log n/loglog n) >
         // LAC Ω(g sqrt(log n/loglog n)) for large n.
-        let parity = best_lower_bound(Problem::Parity, Model::SQsm, Mode::Deterministic, Metric::Time, &P).unwrap();
-        let or = best_lower_bound(Problem::Or, Model::SQsm, Mode::Deterministic, Metric::Time, &P).unwrap();
-        let lac = best_lower_bound(Problem::Lac, Model::SQsm, Mode::Deterministic, Metric::Time, &P).unwrap();
+        let parity = best_lower_bound(
+            Problem::Parity,
+            Model::SQsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &P,
+        )
+        .unwrap();
+        let or = best_lower_bound(
+            Problem::Or,
+            Model::SQsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &P,
+        )
+        .unwrap();
+        let lac = best_lower_bound(
+            Problem::Lac,
+            Model::SQsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &P,
+        )
+        .unwrap();
         assert!(parity > or && or > lac, "parity={parity} or={or} lac={lac}");
     }
 
@@ -532,8 +558,10 @@ mod tests {
         // size where the order has separated.
         let pr = Params { n: 1e30, ..P };
         for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
-            let det = best_lower_bound(Problem::Or, model, Mode::Deterministic, Metric::Time, &pr).unwrap();
-            let rand = best_lower_bound(Problem::Or, model, Mode::Randomized, Metric::Time, &pr).unwrap();
+            let det = best_lower_bound(Problem::Or, model, Mode::Deterministic, Metric::Time, &pr)
+                .unwrap();
+            let rand =
+                best_lower_bound(Problem::Or, model, Mode::Randomized, Metric::Time, &pr).unwrap();
             assert!(rand < det, "{model:?}: rand={rand} det={det}");
         }
     }
@@ -542,8 +570,22 @@ mod tests {
     fn qsm_or_rounds_beat_sqsm_or_rounds() {
         // log n/log(gn/p) <= log n/log(n/p): the QSM's raw-contention rounds
         // advantage.
-        let q = best_lower_bound(Problem::Or, Model::Qsm, Mode::Randomized, Metric::Rounds, &P).unwrap();
-        let s = best_lower_bound(Problem::Or, Model::SQsm, Mode::Randomized, Metric::Rounds, &P).unwrap();
+        let q = best_lower_bound(
+            Problem::Or,
+            Model::Qsm,
+            Mode::Randomized,
+            Metric::Rounds,
+            &P,
+        )
+        .unwrap();
+        let s = best_lower_bound(
+            Problem::Or,
+            Model::SQsm,
+            Mode::Randomized,
+            Metric::Rounds,
+            &P,
+        )
+        .unwrap();
         assert!(q <= s);
     }
 
@@ -552,15 +594,32 @@ mod tests {
         let small = Params { l: 16.0, ..P };
         let large = Params { l: 256.0, ..P };
         for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
-            let a = best_lower_bound(problem, Model::Bsp, Mode::Deterministic, Metric::Time, &small).unwrap();
-            let b = best_lower_bound(problem, Model::Bsp, Mode::Deterministic, Metric::Time, &large).unwrap();
+            let a = best_lower_bound(
+                problem,
+                Model::Bsp,
+                Mode::Deterministic,
+                Metric::Time,
+                &small,
+            )
+            .unwrap();
+            let b = best_lower_bound(
+                problem,
+                Model::Bsp,
+                Mode::Deterministic,
+                Metric::Time,
+                &large,
+            )
+            .unwrap();
             assert!(b > a, "{problem:?}: {b} !> {a}");
         }
     }
 
     #[test]
     fn tight_entries_match_the_paper() {
-        let tight: Vec<_> = TABLE1.iter().filter(|b| b.tightness == Tightness::Tight).collect();
+        let tight: Vec<_> = TABLE1
+            .iter()
+            .filter(|b| b.tightness == Tightness::Tight)
+            .collect();
         // Parity det on s-QSM & BSP (time); OR rounds x3; Parity rounds on
         // s-QSM & BSP.
         assert_eq!(tight.len(), 7);
@@ -571,8 +630,16 @@ mod tests {
         let few = Params { p: 64.0, ..P };
         let many = Params { p: P.n / 2.0, ..P };
         for problem in [Problem::Lac, Problem::Or, Problem::Parity] {
-            let a = best_lower_bound(problem, Model::SQsm, Mode::Randomized, Metric::Rounds, &few).unwrap();
-            let b = best_lower_bound(problem, Model::SQsm, Mode::Randomized, Metric::Rounds, &many).unwrap();
+            let a = best_lower_bound(problem, Model::SQsm, Mode::Randomized, Metric::Rounds, &few)
+                .unwrap();
+            let b = best_lower_bound(
+                problem,
+                Model::SQsm,
+                Mode::Randomized,
+                Metric::Rounds,
+                &many,
+            )
+            .unwrap();
             assert!(b > a, "{problem:?}: {b} !> {a}");
         }
     }

@@ -3,12 +3,12 @@
 //! out: every GSM theorem instantiated through the Claim 2.2 mappings,
 //! with the g > d and d > g regimes handled per the claim.
 
+use crate::cells::{Mode, Problem};
 use crate::mapping::{
     gsm_lac_rand_time, gsm_or_det_time, gsm_or_rand_time, gsm_or_rounds, gsm_parity_det_time,
     gsm_parity_rand_time, qsm_gd_rounds_d_gt_g, qsm_gd_rounds_g_gt_d, qsm_gd_time_d_gt_g,
     qsm_gd_time_g_gt_d, GsmRoundsBound, GsmTimeBound,
 };
-use crate::cells::{Mode, Problem};
 
 /// Instantiates a GSM time bound on the QSM(g, d), picking the Claim 2.2
 /// branch by the sign of `g − d` (at `g = d` both branches agree up to the
@@ -70,8 +70,7 @@ mod tests {
             (Problem::Or, Mode::Deterministic),
         ] {
             let derived = gd_lower_bound_time(problem, mode, N, g, 1.0);
-            let registry =
-                best_lower_bound(problem, Model::Qsm, mode, Metric::Time, &pr).unwrap();
+            let registry = best_lower_bound(problem, Model::Qsm, mode, Metric::Time, &pr).unwrap();
             let ratio = derived / registry;
             assert!((0.2..=5.0).contains(&ratio), "{problem:?}: ratio {ratio}");
         }
@@ -86,8 +85,7 @@ mod tests {
             (Problem::Or, Mode::Deterministic),
         ] {
             let derived = gd_lower_bound_time(problem, mode, N, g, g);
-            let registry =
-                best_lower_bound(problem, Model::SQsm, mode, Metric::Time, &pr).unwrap();
+            let registry = best_lower_bound(problem, Model::SQsm, mode, Metric::Time, &pr).unwrap();
             let ratio = derived / registry;
             assert!((0.2..=6.0).contains(&ratio), "{problem:?}: ratio {ratio}");
         }
@@ -116,7 +114,10 @@ mod tests {
         let sqsm_like = gd_or_rounds(N, g, g, p);
         assert!(qsm_like <= sqsm_like);
         let mid = gd_or_rounds(N, g, 4.0, p);
-        assert!(qsm_like <= mid && mid <= sqsm_like, "{qsm_like} {mid} {sqsm_like}");
+        assert!(
+            qsm_like <= mid && mid <= sqsm_like,
+            "{qsm_like} {mid} {sqsm_like}"
+        );
     }
 
     #[test]

@@ -38,8 +38,7 @@ pub mod render;
 pub mod upper;
 
 pub use cells::{
-    best_lower_bound, lower_bounds, Bound, Metric, Mode, Model, Params, Problem, Tightness,
-    TABLE1,
+    best_lower_bound, lower_bounds, Bound, Metric, Mode, Model, Params, Problem, Tightness, TABLE1,
 };
 pub use render::{render_rounds_table, render_time_table};
 pub use upper::{parity_unit_cr_upper, upper_bound_rounds, upper_bound_time};

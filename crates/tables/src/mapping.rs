@@ -130,14 +130,7 @@ pub fn gsm_lac_rand_time(n: f64, alpha: f64, beta: f64, _gamma: f64) -> f64 {
 /// Theorem 6.3: rounds for `((μh/λ)+1)`-LAC with destination size `d` on a
 /// GSM(h) (the relaxed round = a phase of `O(μh/λ)` time):
 /// `Ω(√(log(n/(d·γ)) / log(μh/λ)))`.
-pub fn gsm_lac_rounds_h(
-    n: f64,
-    alpha: f64,
-    beta: f64,
-    gamma: f64,
-    h: f64,
-    d: f64,
-) -> f64 {
+pub fn gsm_lac_rounds_h(n: f64, alpha: f64, beta: f64, gamma: f64, h: f64, d: f64) -> f64 {
     let mu = alpha.max(beta);
     let lambda = alpha.min(beta);
     let inner = (n / (d * gamma)).max(2.0);

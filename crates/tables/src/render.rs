@@ -38,14 +38,8 @@ fn cell_value(problem: Problem, model: Model, mode: Mode, metric: Metric, pr: &P
 /// symbolic bounds and their values at `pr`.
 pub fn render_time_table(model: Model, pr: &Params) -> String {
     let title = match model {
-        Model::Qsm => format!(
-            "Time Lower Bounds for QSM   (n={}, g={})",
-            pr.n, pr.g
-        ),
-        Model::SQsm => format!(
-            "Time Lower Bounds for s-QSM (n={}, g={})",
-            pr.n, pr.g
-        ),
+        Model::Qsm => format!("Time Lower Bounds for QSM   (n={}, g={})", pr.n, pr.g),
+        Model::SQsm => format!("Time Lower Bounds for s-QSM (n={}, g={})", pr.n, pr.g),
         Model::Bsp => format!(
             "Time Lower Bounds for BSP   (n={}, g={}, L={}, p={}, q=min(n,p))",
             pr.n, pr.g, pr.l, pr.p

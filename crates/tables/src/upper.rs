@@ -28,9 +28,7 @@ pub fn upper_bound_time(problem: Problem, model: Model, params: &Params) -> Opti
         // O(sqrt(Lg log n)/log(L/g) + L log log n/log(L/g)) on BSP.
         (Problem::Lac, Model::Qsm) => (g * lg(n)).sqrt() + g * lglg(n),
         (Problem::Lac, Model::SQsm) => g * lg(n).sqrt(),
-        (Problem::Lac, Model::Bsp) => {
-            (l * g * lg(n)).sqrt() / lg(log) + l * lglg(n) / lg(log)
-        }
+        (Problem::Lac, Model::Bsp) => (l * g * lg(n)).sqrt() / lg(log) + l * lglg(n) / lg(log),
     })
 }
 
@@ -58,7 +56,12 @@ mod tests {
     use super::*;
     use crate::cells::{best_lower_bound, Metric, Mode};
 
-    const P: Params = Params { n: 1048576.0, g: 16.0, l: 128.0, p: 4096.0 };
+    const P: Params = Params {
+        n: 1048576.0,
+        g: 16.0,
+        l: 128.0,
+        p: 4096.0,
+    };
 
     #[test]
     fn upper_bounds_exist_for_all_time_cells() {
@@ -78,7 +81,12 @@ mod tests {
         // loglog n and the LAC comparison is meaningless.
         for n in [65536.0, 1e7, 1e12] {
             for g in [2.0, 8.0, 64.0] {
-                let pr = Params { n, g, l: 8.0 * g, p: n };
+                let pr = Params {
+                    n,
+                    g,
+                    l: 8.0 * g,
+                    p: n,
+                };
                 for model in [Model::Qsm, Model::SQsm, Model::Bsp] {
                     for (problem, mode) in [
                         (Problem::Parity, Mode::Deterministic),
@@ -86,8 +94,7 @@ mod tests {
                         (Problem::Lac, Mode::Randomized),
                     ] {
                         let ub = upper_bound_time(problem, model, &pr).unwrap();
-                        let lb =
-                            best_lower_bound(problem, model, mode, Metric::Time, &pr).unwrap();
+                        let lb = best_lower_bound(problem, model, mode, Metric::Time, &pr).unwrap();
                         assert!(
                             ub >= lb * 0.99,
                             "{problem:?} {model:?} n={n} g={g}: ub {ub} < lb {lb}"
@@ -102,16 +109,28 @@ mod tests {
     fn sqsm_parity_is_tight() {
         // Θ entry: upper equals lower exactly under our convention.
         let ub = upper_bound_time(Problem::Parity, Model::SQsm, &P).unwrap();
-        let lb = best_lower_bound(Problem::Parity, Model::SQsm, Mode::Deterministic, Metric::Time, &P)
-            .unwrap();
+        let lb = best_lower_bound(
+            Problem::Parity,
+            Model::SQsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &P,
+        )
+        .unwrap();
         assert_eq!(ub, lb);
     }
 
     #[test]
     fn unit_cr_parity_matches_its_theta() {
         // Theorem 3.1's Θ(g log n/log g) with concurrent reads.
-        let det_lb = best_lower_bound(Problem::Parity, Model::Qsm, Mode::Deterministic, Metric::Time, &P)
-            .unwrap();
+        let det_lb = best_lower_bound(
+            Problem::Parity,
+            Model::Qsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &P,
+        )
+        .unwrap();
         assert_eq!(parity_unit_cr_upper(&P), det_lb);
     }
 
@@ -120,15 +139,21 @@ mod tests {
         for model in [Model::SQsm, Model::Bsp] {
             for problem in [Problem::Or, Problem::Parity] {
                 let ub = upper_bound_rounds(problem, model, &P);
-                let lb = best_lower_bound(problem, model, Mode::Randomized, Metric::Rounds, &P)
-                    .unwrap();
+                let lb =
+                    best_lower_bound(problem, model, Mode::Randomized, Metric::Rounds, &P).unwrap();
                 assert_eq!(ub, lb, "{problem:?} {model:?}");
             }
         }
         // QSM OR: tight at log n/log(gn/p).
         let ub = upper_bound_rounds(Problem::Or, Model::Qsm, &P);
-        let lb = best_lower_bound(Problem::Or, Model::Qsm, Mode::Randomized, Metric::Rounds, &P)
-            .unwrap();
+        let lb = best_lower_bound(
+            Problem::Or,
+            Model::Qsm,
+            Mode::Randomized,
+            Metric::Rounds,
+            &P,
+        )
+        .unwrap();
         assert_eq!(ub, lb);
     }
 }

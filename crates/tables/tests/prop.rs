@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use parbounds_tables::mapping;
 use parbounds_tables::math::{lg, lglg, log_star};
 use parbounds_tables::{
-    best_lower_bound, upper_bound_rounds, upper_bound_time, Metric, Mode, Model, Params,
-    Problem, TABLE1,
+    best_lower_bound, upper_bound_rounds, upper_bound_time, Metric, Mode, Model, Params, Problem,
+    TABLE1,
 };
 
 fn arb_params() -> impl Strategy<Value = Params> {

@@ -98,11 +98,23 @@ fn main() {
     // --- Section 7 OR adversary.
     let n = 1 << 12;
     let d = OrDistribution::new(n, 2, 1);
-    println!("\nOR adversary (Section 7), n = {n}, {} mixture components:", d.num_components());
+    println!(
+        "\nOR adversary (Section 7), n = {n}, {} mixture components:",
+        d.num_components()
+    );
     let honest = |input: &[Word]| Word::from(input.iter().any(|&b| b != 0));
-    println!("  honest OR          success {:.3}", or_success_rate(honest, &d, 3000, 1));
-    println!("  probe 8 inputs     success {:.3}", or_success_rate(probe_k_or(8), &d, 3000, 2));
-    println!("  constant 0         success {:.3}", or_success_rate(|_| 0, &d, 3000, 3));
+    println!(
+        "  honest OR          success {:.3}",
+        or_success_rate(honest, &d, 3000, 1)
+    );
+    println!(
+        "  probe 8 inputs     success {:.3}",
+        or_success_rate(probe_k_or(8), &d, 3000, 2)
+    );
+    println!(
+        "  constant 0         success {:.3}",
+        or_success_rate(|_| 0, &d, 3000, 3)
+    );
 
     // --- Yao's theorem.
     let game = parity_probe_game(5, 3);

@@ -55,17 +55,31 @@ fn main() {
         .unwrap()
         .expect("balanced regime");
     assert!(inst.verify_solution(sol.color, &sol.dest));
-    println!("  via Load Balancing : {} objects placed, model time {}", sol.dest.len(), sol.time);
+    println!(
+        "  via Load Balancing : {} objects placed, model time {}",
+        sol.dest.len(),
+        sol.time
+    );
 
-    let sol = clb_via_lac(&machine, &inst, color, 11).unwrap().expect("embedding fits");
+    let sol = clb_via_lac(&machine, &inst, color, 11)
+        .unwrap()
+        .expect("embedding fits");
     assert!(inst.verify_solution(sol.color, &sol.dest));
-    println!("  via LAC            : {} objects placed, model time {}", sol.dest.len(), sol.time);
+    println!(
+        "  via LAC            : {} objects placed, model time {}",
+        sol.dest.len(),
+        sol.time
+    );
 
     let sol = clb_via_padded_sort(&machine, &inst, color, 13)
         .unwrap()
         .expect("no bucket overflow");
     assert!(inst.verify_solution(sol.color, &sol.dest));
-    println!("  via Padded Sort    : {} objects placed, model time {}", sol.dest.len(), sol.time);
+    println!(
+        "  via Padded Sort    : {} objects placed, model time {}",
+        sol.dest.len(),
+        sol.time
+    );
 
     println!(
         "\nAll three solvers satisfied the CLB contract — the executable content of the\n\

@@ -35,8 +35,7 @@ fn main() {
             let k = parity::parity_helper_default_k(&qsm);
             let qsm_out = parity::parity_pattern_helper(&qsm, &bits, k).unwrap();
             assert_eq!(qsm_out.value, expected);
-            let qsm_formula =
-                g as f64 * (n as f64).log2() / (g as f64).log2().log2().max(1.0);
+            let qsm_formula = g as f64 * (n as f64).log2() / (g as f64).log2().log2().max(1.0);
 
             println!(
                 "{:>8} {:>4} | {:>10} {:>14.1} {:>8.2} | {:>10} {:>8.2} | {:>10.2}",

@@ -7,9 +7,7 @@
 
 use parbounds::algo::{bsp_algos, or_tree, parity, reduce, workloads};
 use parbounds::models::{BspMachine, QsmMachine};
-use parbounds::tables::{
-    best_lower_bound, upper_bound_time, Metric, Mode, Model, Params, Problem,
-};
+use parbounds::tables::{best_lower_bound, upper_bound_time, Metric, Mode, Model, Params, Problem};
 
 fn main() {
     let n = 1 << 12;
@@ -29,8 +27,14 @@ fn main() {
     println!(
         "QSM   Parity (helper, k={k}):   time {:6}   LB {:7.1}   UB formula {:7.1}",
         out.run.time(),
-        best_lower_bound(Problem::Parity, Model::Qsm, Mode::Deterministic, Metric::Time, &pr)
-            .unwrap(),
+        best_lower_bound(
+            Problem::Parity,
+            Model::Qsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &pr
+        )
+        .unwrap(),
         upper_bound_time(Problem::Parity, Model::Qsm, &pr).unwrap(),
     );
 
@@ -40,8 +44,14 @@ fn main() {
     println!(
         "QSM   OR (write tree, k=g):     time {:6}   LB {:7.1}   UB formula {:7.1}",
         out.run.time(),
-        best_lower_bound(Problem::Or, Model::Qsm, Mode::Deterministic, Metric::Time, &pr)
-            .unwrap(),
+        best_lower_bound(
+            Problem::Or,
+            Model::Qsm,
+            Mode::Deterministic,
+            Metric::Time,
+            &pr
+        )
+        .unwrap(),
         upper_bound_time(Problem::Or, Model::Qsm, &pr).unwrap(),
     );
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-3736d26e6435157b.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-3736d26e6435157b.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversary_integration-23ac6684bcd9eb98.d: crates/core/../../tests/adversary_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversary_integration-23ac6684bcd9eb98.rmeta: crates/core/../../tests/adversary_integration.rs Cargo.toml
+
+crates/core/../../tests/adversary_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

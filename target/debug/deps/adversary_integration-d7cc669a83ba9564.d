@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary_integration-d7cc669a83ba9564.d: crates/core/../../tests/adversary_integration.rs
+
+/root/repo/target/debug/deps/adversary_integration-d7cc669a83ba9564: crates/core/../../tests/adversary_integration.rs
+
+crates/core/../../tests/adversary_integration.rs:

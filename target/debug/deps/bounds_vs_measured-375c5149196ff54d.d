@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds_vs_measured-375c5149196ff54d.d: crates/core/../../tests/bounds_vs_measured.rs
+
+/root/repo/target/debug/deps/bounds_vs_measured-375c5149196ff54d: crates/core/../../tests/bounds_vs_measured.rs
+
+crates/core/../../tests/bounds_vs_measured.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bounds_vs_measured-d3456d033d6362a7.d: crates/core/../../tests/bounds_vs_measured.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounds_vs_measured-d3456d033d6362a7.rmeta: crates/core/../../tests/bounds_vs_measured.rs Cargo.toml
+
+crates/core/../../tests/bounds_vs_measured.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

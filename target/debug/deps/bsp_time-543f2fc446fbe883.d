@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bsp_time-543f2fc446fbe883.d: crates/bench/benches/bsp_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsp_time-543f2fc446fbe883.rmeta: crates/bench/benches/bsp_time.rs Cargo.toml
+
+crates/bench/benches/bsp_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_model-718a3efcb4db228f.d: crates/core/../../tests/cross_model.rs
+
+/root/repo/target/debug/deps/cross_model-718a3efcb4db228f: crates/core/../../tests/cross_model.rs
+
+crates/core/../../tests/cross_model.rs:

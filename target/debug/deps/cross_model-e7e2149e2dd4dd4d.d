@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_model-e7e2149e2dd4dd4d.d: crates/core/../../tests/cross_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_model-e7e2149e2dd4dd4d.rmeta: crates/core/../../tests/cross_model.rs Cargo.toml
+
+crates/core/../../tests/cross_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_props-75e416bfaa556dc6.d: crates/algorithms/tests/fault_props.rs
+
+/root/repo/target/debug/deps/fault_props-75e416bfaa556dc6: crates/algorithms/tests/fault_props.rs
+
+crates/algorithms/tests/fault_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_props-cacd41e96aaebb58.d: crates/algorithms/tests/fault_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_props-cacd41e96aaebb58.rmeta: crates/algorithms/tests/fault_props.rs Cargo.toml
+
+crates/algorithms/tests/fault_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

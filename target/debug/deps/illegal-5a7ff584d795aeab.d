@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/illegal-5a7ff584d795aeab.d: crates/models/tests/illegal.rs
+
+/root/repo/target/debug/deps/illegal-5a7ff584d795aeab: crates/models/tests/illegal.rs
+
+crates/models/tests/illegal.rs:

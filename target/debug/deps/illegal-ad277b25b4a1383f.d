@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/illegal-ad277b25b4a1383f.d: crates/models/tests/illegal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libillegal-ad277b25b4a1383f.rmeta: crates/models/tests/illegal.rs Cargo.toml
+
+crates/models/tests/illegal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-c5f21a433ca11531.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-c5f21a433ca11531: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

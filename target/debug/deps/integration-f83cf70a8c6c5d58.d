@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-f83cf70a8c6c5d58.d: crates/core/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-f83cf70a8c6c5d58.rmeta: crates/core/../../tests/integration.rs Cargo.toml
+
+crates/core/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

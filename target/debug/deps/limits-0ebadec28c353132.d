@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/limits-0ebadec28c353132.d: crates/models/tests/limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblimits-0ebadec28c353132.rmeta: crates/models/tests/limits.rs Cargo.toml
+
+crates/models/tests/limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limits-3874c762736f0a9a.d: crates/models/tests/limits.rs
+
+/root/repo/target/debug/deps/limits-3874c762736f0a9a: crates/models/tests/limits.rs
+
+crates/models/tests/limits.rs:

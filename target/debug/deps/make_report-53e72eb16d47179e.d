@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_report-53e72eb16d47179e.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/debug/deps/make_report-53e72eb16d47179e: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/make_report-9db5fc5910703a8a.d: crates/bench/src/bin/make_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_report-9db5fc5910703a8a.rmeta: crates/bench/src/bin/make_report.rs Cargo.toml
+
+crates/bench/src/bin/make_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/parbounds-1ce4301db5a82ed0.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/parbounds-1ce4301db5a82ed0: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/parbounds-22f79dfc1f506219.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/parbounds-22f79dfc1f506219: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parbounds-6c30dbf6a9e0776e.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds-6c30dbf6a9e0776e.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/report.rs:
+crates/core/src/robustness.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parbounds-c0c46a3409bbfa61.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds-c0c46a3409bbfa61.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/report.rs:
+crates/core/src/robustness.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parbounds-cf6755988a719a78.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/parbounds-cf6755988a719a78: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/report.rs:
+crates/core/src/robustness.rs:
+crates/core/src/sweep.rs:

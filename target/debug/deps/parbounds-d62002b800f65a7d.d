@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parbounds-d62002b800f65a7d.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libparbounds-d62002b800f65a7d.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libparbounds-d62002b800f65a7d.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/report.rs:
+crates/core/src/robustness.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parbounds_adversary-18ab6ba8a92aec4e.d: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+/root/repo/target/debug/deps/libparbounds_adversary-18ab6ba8a92aec4e.rlib: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+/root/repo/target/debug/deps/libparbounds_adversary-18ab6ba8a92aec4e.rmeta: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/degree_audit.rs:
+crates/adversary/src/goodness.rs:
+crates/adversary/src/or_adversary.rs:
+crates/adversary/src/or_refine.rs:
+crates/adversary/src/random_adversary.rs:
+crates/adversary/src/traces.rs:
+crates/adversary/src/yao.rs:

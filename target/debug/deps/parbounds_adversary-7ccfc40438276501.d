@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parbounds_adversary-7ccfc40438276501.d: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_adversary-7ccfc40438276501.rmeta: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs Cargo.toml
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/degree_audit.rs:
+crates/adversary/src/goodness.rs:
+crates/adversary/src/or_adversary.rs:
+crates/adversary/src/or_refine.rs:
+crates/adversary/src/random_adversary.rs:
+crates/adversary/src/traces.rs:
+crates/adversary/src/yao.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

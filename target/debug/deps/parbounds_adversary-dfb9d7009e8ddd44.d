@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parbounds_adversary-dfb9d7009e8ddd44.d: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+/root/repo/target/debug/deps/parbounds_adversary-dfb9d7009e8ddd44: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/degree_audit.rs:
+crates/adversary/src/goodness.rs:
+crates/adversary/src/or_adversary.rs:
+crates/adversary/src/or_refine.rs:
+crates/adversary/src/random_adversary.rs:
+crates/adversary/src/traces.rs:
+crates/adversary/src/yao.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/parbounds_algo-98185c54f5262d2f.d: crates/algorithms/src/lib.rs crates/algorithms/src/balance.rs crates/algorithms/src/broadcast.rs crates/algorithms/src/bsp_algos.rs crates/algorithms/src/emulation.rs crates/algorithms/src/gsm_algos.rs crates/algorithms/src/lac.rs crates/algorithms/src/list_rank.rs crates/algorithms/src/or_tree.rs crates/algorithms/src/padded_sort.rs crates/algorithms/src/parity.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reductions.rs crates/algorithms/src/rounds.rs crates/algorithms/src/util.rs crates/algorithms/src/workloads.rs
+
+/root/repo/target/debug/deps/libparbounds_algo-98185c54f5262d2f.rlib: crates/algorithms/src/lib.rs crates/algorithms/src/balance.rs crates/algorithms/src/broadcast.rs crates/algorithms/src/bsp_algos.rs crates/algorithms/src/emulation.rs crates/algorithms/src/gsm_algos.rs crates/algorithms/src/lac.rs crates/algorithms/src/list_rank.rs crates/algorithms/src/or_tree.rs crates/algorithms/src/padded_sort.rs crates/algorithms/src/parity.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reductions.rs crates/algorithms/src/rounds.rs crates/algorithms/src/util.rs crates/algorithms/src/workloads.rs
+
+/root/repo/target/debug/deps/libparbounds_algo-98185c54f5262d2f.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/balance.rs crates/algorithms/src/broadcast.rs crates/algorithms/src/bsp_algos.rs crates/algorithms/src/emulation.rs crates/algorithms/src/gsm_algos.rs crates/algorithms/src/lac.rs crates/algorithms/src/list_rank.rs crates/algorithms/src/or_tree.rs crates/algorithms/src/padded_sort.rs crates/algorithms/src/parity.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reductions.rs crates/algorithms/src/rounds.rs crates/algorithms/src/util.rs crates/algorithms/src/workloads.rs
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/balance.rs:
+crates/algorithms/src/broadcast.rs:
+crates/algorithms/src/bsp_algos.rs:
+crates/algorithms/src/emulation.rs:
+crates/algorithms/src/gsm_algos.rs:
+crates/algorithms/src/lac.rs:
+crates/algorithms/src/list_rank.rs:
+crates/algorithms/src/or_tree.rs:
+crates/algorithms/src/padded_sort.rs:
+crates/algorithms/src/parity.rs:
+crates/algorithms/src/prefix.rs:
+crates/algorithms/src/reduce.rs:
+crates/algorithms/src/reductions.rs:
+crates/algorithms/src/rounds.rs:
+crates/algorithms/src/util.rs:
+crates/algorithms/src/workloads.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/parbounds_algo-d354905e7aa00d30.d: crates/algorithms/src/lib.rs crates/algorithms/src/balance.rs crates/algorithms/src/broadcast.rs crates/algorithms/src/bsp_algos.rs crates/algorithms/src/emulation.rs crates/algorithms/src/gsm_algos.rs crates/algorithms/src/lac.rs crates/algorithms/src/list_rank.rs crates/algorithms/src/or_tree.rs crates/algorithms/src/padded_sort.rs crates/algorithms/src/parity.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reductions.rs crates/algorithms/src/rounds.rs crates/algorithms/src/util.rs crates/algorithms/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_algo-d354905e7aa00d30.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/balance.rs crates/algorithms/src/broadcast.rs crates/algorithms/src/bsp_algos.rs crates/algorithms/src/emulation.rs crates/algorithms/src/gsm_algos.rs crates/algorithms/src/lac.rs crates/algorithms/src/list_rank.rs crates/algorithms/src/or_tree.rs crates/algorithms/src/padded_sort.rs crates/algorithms/src/parity.rs crates/algorithms/src/prefix.rs crates/algorithms/src/reduce.rs crates/algorithms/src/reductions.rs crates/algorithms/src/rounds.rs crates/algorithms/src/util.rs crates/algorithms/src/workloads.rs Cargo.toml
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/balance.rs:
+crates/algorithms/src/broadcast.rs:
+crates/algorithms/src/bsp_algos.rs:
+crates/algorithms/src/emulation.rs:
+crates/algorithms/src/gsm_algos.rs:
+crates/algorithms/src/lac.rs:
+crates/algorithms/src/list_rank.rs:
+crates/algorithms/src/or_tree.rs:
+crates/algorithms/src/padded_sort.rs:
+crates/algorithms/src/parity.rs:
+crates/algorithms/src/prefix.rs:
+crates/algorithms/src/reduce.rs:
+crates/algorithms/src/reductions.rs:
+crates/algorithms/src/rounds.rs:
+crates/algorithms/src/util.rs:
+crates/algorithms/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

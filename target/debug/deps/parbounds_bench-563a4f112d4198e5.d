@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parbounds_bench-563a4f112d4198e5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libparbounds_bench-563a4f112d4198e5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libparbounds_bench-563a4f112d4198e5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parbounds_bench-67cb82d95d7296ff.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_bench-67cb82d95d7296ff.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

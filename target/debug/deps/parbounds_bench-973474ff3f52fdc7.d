@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parbounds_bench-973474ff3f52fdc7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_bench-973474ff3f52fdc7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

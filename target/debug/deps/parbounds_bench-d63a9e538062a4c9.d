@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parbounds_bench-d63a9e538062a4c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/parbounds_bench-d63a9e538062a4c9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parbounds_boolean-5785c9cbc650c435.d: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+/root/repo/target/debug/deps/parbounds_boolean-5785c9cbc650c435: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+crates/boolean/src/lib.rs:
+crates/boolean/src/certificate.rs:
+crates/boolean/src/families.rs:
+crates/boolean/src/function.rs:
+crates/boolean/src/poly.rs:

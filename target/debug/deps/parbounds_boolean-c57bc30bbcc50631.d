@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parbounds_boolean-c57bc30bbcc50631.d: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_boolean-c57bc30bbcc50631.rmeta: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs Cargo.toml
+
+crates/boolean/src/lib.rs:
+crates/boolean/src/certificate.rs:
+crates/boolean/src/families.rs:
+crates/boolean/src/function.rs:
+crates/boolean/src/poly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parbounds_boolean-fc3c30d5ac0992b5.d: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+/root/repo/target/debug/deps/libparbounds_boolean-fc3c30d5ac0992b5.rlib: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+/root/repo/target/debug/deps/libparbounds_boolean-fc3c30d5ac0992b5.rmeta: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+crates/boolean/src/lib.rs:
+crates/boolean/src/certificate.rs:
+crates/boolean/src/families.rs:
+crates/boolean/src/function.rs:
+crates/boolean/src/poly.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/parbounds_models-f53d074be887213d.d: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_models-f53d074be887213d.rmeta: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/bsp.rs:
+crates/models/src/cost.rs:
+crates/models/src/error.rs:
+crates/models/src/faults.rs:
+crates/models/src/gsm.rs:
+crates/models/src/qsm.rs:
+crates/models/src/shared.rs:
+crates/models/src/work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

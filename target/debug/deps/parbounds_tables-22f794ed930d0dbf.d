@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parbounds_tables-22f794ed930d0dbf.d: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+/root/repo/target/debug/deps/libparbounds_tables-22f794ed930d0dbf.rlib: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+/root/repo/target/debug/deps/libparbounds_tables-22f794ed930d0dbf.rmeta: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+crates/tables/src/lib.rs:
+crates/tables/src/cells.rs:
+crates/tables/src/gd.rs:
+crates/tables/src/mapping.rs:
+crates/tables/src/math.rs:
+crates/tables/src/render.rs:
+crates/tables/src/upper.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parbounds_tables-67f6143261b033a7.d: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_tables-67f6143261b033a7.rmeta: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs Cargo.toml
+
+crates/tables/src/lib.rs:
+crates/tables/src/cells.rs:
+crates/tables/src/gd.rs:
+crates/tables/src/mapping.rs:
+crates/tables/src/math.rs:
+crates/tables/src/render.rs:
+crates/tables/src/upper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parbounds_tables-8c87fc9aecaa6792.d: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+/root/repo/target/debug/deps/parbounds_tables-8c87fc9aecaa6792: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+crates/tables/src/lib.rs:
+crates/tables/src/cells.rs:
+crates/tables/src/gd.rs:
+crates/tables/src/mapping.rs:
+crates/tables/src/math.rs:
+crates/tables/src/render.rs:
+crates/tables/src/upper.rs:

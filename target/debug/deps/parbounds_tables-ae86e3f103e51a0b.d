@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parbounds_tables-ae86e3f103e51a0b.d: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparbounds_tables-ae86e3f103e51a0b.rmeta: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs Cargo.toml
+
+crates/tables/src/lib.rs:
+crates/tables/src/cells.rs:
+crates/tables/src/gd.rs:
+crates/tables/src/mapping.rs:
+crates/tables/src/math.rs:
+crates/tables/src/render.rs:
+crates/tables/src/upper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

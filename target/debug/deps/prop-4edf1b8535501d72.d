@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-4edf1b8535501d72.d: crates/algorithms/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-4edf1b8535501d72: crates/algorithms/tests/prop.rs
+
+crates/algorithms/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-51b8f51ce0138076.d: crates/boolean/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-51b8f51ce0138076.rmeta: crates/boolean/tests/prop.rs Cargo.toml
+
+crates/boolean/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-67777a9c6a38dbd6.d: crates/tables/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-67777a9c6a38dbd6: crates/tables/tests/prop.rs
+
+crates/tables/tests/prop.rs:

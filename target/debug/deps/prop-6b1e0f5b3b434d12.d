@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-6b1e0f5b3b434d12.d: crates/boolean/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-6b1e0f5b3b434d12: crates/boolean/tests/prop.rs
+
+crates/boolean/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-99c674ac7d18e582.d: crates/adversary/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-99c674ac7d18e582: crates/adversary/tests/prop.rs
+
+crates/adversary/tests/prop.rs:

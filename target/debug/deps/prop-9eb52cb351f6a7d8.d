@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-9eb52cb351f6a7d8.d: crates/models/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-9eb52cb351f6a7d8.rmeta: crates/models/tests/prop.rs Cargo.toml
+
+crates/models/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b01433257025e0d9.d: crates/models/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-b01433257025e0d9: crates/models/tests/prop.rs
+
+crates/models/tests/prop.rs:

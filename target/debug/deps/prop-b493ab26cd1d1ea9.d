@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-b493ab26cd1d1ea9.d: crates/tables/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-b493ab26cd1d1ea9.rmeta: crates/tables/tests/prop.rs Cargo.toml
+
+crates/tables/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-ce873037d66fbda6.d: crates/adversary/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-ce873037d66fbda6.rmeta: crates/adversary/tests/prop.rs Cargo.toml
+
+crates/adversary/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-d6380d12904f801c.d: crates/algorithms/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-d6380d12904f801c.rmeta: crates/algorithms/tests/prop.rs Cargo.toml
+
+crates/algorithms/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

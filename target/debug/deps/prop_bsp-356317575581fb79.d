@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_bsp-356317575581fb79.d: crates/models/tests/prop_bsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_bsp-356317575581fb79.rmeta: crates/models/tests/prop_bsp.rs Cargo.toml
+
+crates/models/tests/prop_bsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

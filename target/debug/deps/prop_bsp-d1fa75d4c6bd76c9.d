@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_bsp-d1fa75d4c6bd76c9.d: crates/models/tests/prop_bsp.rs
+
+/root/repo/target/debug/deps/prop_bsp-d1fa75d4c6bd76c9: crates/models/tests/prop_bsp.rs
+
+crates/models/tests/prop_bsp.rs:

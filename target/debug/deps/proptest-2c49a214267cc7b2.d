@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-2c49a214267cc7b2.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-2c49a214267cc7b2.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-5b7d2c39283e11ac.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5b7d2c39283e11ac.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5b7d2c39283e11ac.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-daea7250f510ba8d.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-daea7250f510ba8d: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qsm_time-9e937875f5911d29.d: crates/bench/benches/qsm_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqsm_time-9e937875f5911d29.rmeta: crates/bench/benches/qsm_time.rs Cargo.toml
+
+crates/bench/benches/qsm_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

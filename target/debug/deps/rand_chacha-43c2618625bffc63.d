@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-43c2618625bffc63.d: crates/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-43c2618625bffc63.rmeta: crates/rand_chacha/src/lib.rs Cargo.toml
+
+crates/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

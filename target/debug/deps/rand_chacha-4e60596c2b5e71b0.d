@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-4e60596c2b5e71b0.d: crates/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-4e60596c2b5e71b0: crates/rand_chacha/src/lib.rs
+
+crates/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-b700327b21ae3bac.d: crates/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-b700327b21ae3bac.rmeta: crates/rand_chacha/src/lib.rs Cargo.toml
+
+crates/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-c7a2f0b36b889d25.d: crates/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c7a2f0b36b889d25.rlib: crates/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c7a2f0b36b889d25.rmeta: crates/rand_chacha/src/lib.rs
+
+crates/rand_chacha/src/lib.rs:

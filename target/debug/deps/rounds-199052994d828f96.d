@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rounds-199052994d828f96.d: crates/bench/benches/rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/librounds-199052994d828f96.rmeta: crates/bench/benches/rounds.rs Cargo.toml
+
+crates/bench/benches/rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

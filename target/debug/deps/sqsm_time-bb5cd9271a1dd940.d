@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqsm_time-bb5cd9271a1dd940.d: crates/bench/benches/sqsm_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqsm_time-bb5cd9271a1dd940.rmeta: crates/bench/benches/sqsm_time.rs Cargo.toml
+
+crates/bench/benches/sqsm_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-4fd9f2b99448116f.d: crates/models/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-4fd9f2b99448116f: crates/models/tests/stress.rs
+
+crates/models/tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-c58f575b42d9f97b.d: crates/models/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-c58f575b42d9f97b.rmeta: crates/models/tests/stress.rs Cargo.toml
+
+crates/models/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_ablations-195c2f7a4fd9197f.d: crates/bench/src/bin/table_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_ablations-195c2f7a4fd9197f.rmeta: crates/bench/src/bin/table_ablations.rs Cargo.toml
+
+crates/bench/src/bin/table_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_ablations-1b719d032a0cc1de.d: crates/bench/src/bin/table_ablations.rs
+
+/root/repo/target/debug/deps/table_ablations-1b719d032a0cc1de: crates/bench/src/bin/table_ablations.rs
+
+crates/bench/src/bin/table_ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_ablations-4aeb4c6fa6f22334.d: crates/bench/src/bin/table_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_ablations-4aeb4c6fa6f22334.rmeta: crates/bench/src/bin/table_ablations.rs Cargo.toml
+
+crates/bench/src/bin/table_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_audits-099d6450919a7edd.d: crates/bench/src/bin/table_audits.rs
+
+/root/repo/target/debug/deps/table_audits-099d6450919a7edd: crates/bench/src/bin/table_audits.rs
+
+crates/bench/src/bin/table_audits.rs:

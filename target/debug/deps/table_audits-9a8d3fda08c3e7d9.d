@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_audits-9a8d3fda08c3e7d9.d: crates/bench/src/bin/table_audits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_audits-9a8d3fda08c3e7d9.rmeta: crates/bench/src/bin/table_audits.rs Cargo.toml
+
+crates/bench/src/bin/table_audits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

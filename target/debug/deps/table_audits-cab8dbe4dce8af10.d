@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_audits-cab8dbe4dce8af10.d: crates/bench/src/bin/table_audits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_audits-cab8dbe4dce8af10.rmeta: crates/bench/src/bin/table_audits.rs Cargo.toml
+
+crates/bench/src/bin/table_audits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_bsp-000b148ffbc50e7c.d: crates/bench/src/bin/table_bsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_bsp-000b148ffbc50e7c.rmeta: crates/bench/src/bin/table_bsp.rs Cargo.toml
+
+crates/bench/src/bin/table_bsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_bsp-4bf37b02e1da6e2a.d: crates/bench/src/bin/table_bsp.rs
+
+/root/repo/target/debug/deps/table_bsp-4bf37b02e1da6e2a: crates/bench/src/bin/table_bsp.rs
+
+crates/bench/src/bin/table_bsp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_qsm-227fd832c18f5997.d: crates/bench/src/bin/table_qsm.rs
+
+/root/repo/target/debug/deps/table_qsm-227fd832c18f5997: crates/bench/src/bin/table_qsm.rs
+
+crates/bench/src/bin/table_qsm.rs:

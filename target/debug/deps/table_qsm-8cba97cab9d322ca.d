@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_qsm-8cba97cab9d322ca.d: crates/bench/src/bin/table_qsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_qsm-8cba97cab9d322ca.rmeta: crates/bench/src/bin/table_qsm.rs Cargo.toml
+
+crates/bench/src/bin/table_qsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_qsm-e87ef9b3223ad340.d: crates/bench/src/bin/table_qsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_qsm-e87ef9b3223ad340.rmeta: crates/bench/src/bin/table_qsm.rs Cargo.toml
+
+crates/bench/src/bin/table_qsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_related-3ce10bc17ba0bca6.d: crates/bench/src/bin/table_related.rs
+
+/root/repo/target/debug/deps/table_related-3ce10bc17ba0bca6: crates/bench/src/bin/table_related.rs
+
+crates/bench/src/bin/table_related.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_related-498f85b6bda03d4b.d: crates/bench/src/bin/table_related.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_related-498f85b6bda03d4b.rmeta: crates/bench/src/bin/table_related.rs Cargo.toml
+
+crates/bench/src/bin/table_related.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_related-8bd98bcc7df76629.d: crates/bench/src/bin/table_related.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_related-8bd98bcc7df76629.rmeta: crates/bench/src/bin/table_related.rs Cargo.toml
+
+crates/bench/src/bin/table_related.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

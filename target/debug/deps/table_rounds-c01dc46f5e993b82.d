@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_rounds-c01dc46f5e993b82.d: crates/bench/src/bin/table_rounds.rs
+
+/root/repo/target/debug/deps/table_rounds-c01dc46f5e993b82: crates/bench/src/bin/table_rounds.rs
+
+crates/bench/src/bin/table_rounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_rounds-eefc2c3070933c8d.d: crates/bench/src/bin/table_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_rounds-eefc2c3070933c8d.rmeta: crates/bench/src/bin/table_rounds.rs Cargo.toml
+
+crates/bench/src/bin/table_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_sqsm-4bb36e81ba224c5e.d: crates/bench/src/bin/table_sqsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_sqsm-4bb36e81ba224c5e.rmeta: crates/bench/src/bin/table_sqsm.rs Cargo.toml
+
+crates/bench/src/bin/table_sqsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

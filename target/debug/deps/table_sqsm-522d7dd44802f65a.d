@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_sqsm-522d7dd44802f65a.d: crates/bench/src/bin/table_sqsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_sqsm-522d7dd44802f65a.rmeta: crates/bench/src/bin/table_sqsm.rs Cargo.toml
+
+crates/bench/src/bin/table_sqsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_sqsm-ada95caf0d205088.d: crates/bench/src/bin/table_sqsm.rs
+
+/root/repo/target/debug/deps/table_sqsm-ada95caf0d205088: crates/bench/src/bin/table_sqsm.rs
+
+crates/bench/src/bin/table_sqsm.rs:

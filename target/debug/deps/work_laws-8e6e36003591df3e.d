@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/work_laws-8e6e36003591df3e.d: crates/core/../../tests/work_laws.rs
+
+/root/repo/target/debug/deps/work_laws-8e6e36003591df3e: crates/core/../../tests/work_laws.rs
+
+crates/core/../../tests/work_laws.rs:

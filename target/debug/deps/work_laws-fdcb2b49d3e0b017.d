@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/work_laws-fdcb2b49d3e0b017.d: crates/core/../../tests/work_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwork_laws-fdcb2b49d3e0b017.rmeta: crates/core/../../tests/work_laws.rs Cargo.toml
+
+crates/core/../../tests/work_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

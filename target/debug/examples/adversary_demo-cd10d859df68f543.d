@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversary_demo-cd10d859df68f543.d: crates/core/../../examples/adversary_demo.rs
+
+/root/repo/target/debug/examples/adversary_demo-cd10d859df68f543: crates/core/../../examples/adversary_demo.rs
+
+crates/core/../../examples/adversary_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversary_demo-d2841d76941b961b.d: crates/core/../../examples/adversary_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversary_demo-d2841d76941b961b.rmeta: crates/core/../../examples/adversary_demo.rs Cargo.toml
+
+crates/core/../../examples/adversary_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

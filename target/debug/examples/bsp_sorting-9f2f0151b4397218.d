@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bsp_sorting-9f2f0151b4397218.d: crates/core/../../examples/bsp_sorting.rs
+
+/root/repo/target/debug/examples/bsp_sorting-9f2f0151b4397218: crates/core/../../examples/bsp_sorting.rs
+
+crates/core/../../examples/bsp_sorting.rs:

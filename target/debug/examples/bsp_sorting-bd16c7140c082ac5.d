@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bsp_sorting-bd16c7140c082ac5.d: crates/core/../../examples/bsp_sorting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbsp_sorting-bd16c7140c082ac5.rmeta: crates/core/../../examples/bsp_sorting.rs Cargo.toml
+
+crates/core/../../examples/bsp_sorting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compaction_pipeline-3795bb7405353af9.d: crates/core/../../examples/compaction_pipeline.rs
+
+/root/repo/target/debug/examples/compaction_pipeline-3795bb7405353af9: crates/core/../../examples/compaction_pipeline.rs
+
+crates/core/../../examples/compaction_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compaction_pipeline-65399b84e5dd025d.d: crates/core/../../examples/compaction_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompaction_pipeline-65399b84e5dd025d.rmeta: crates/core/../../examples/compaction_pipeline.rs Cargo.toml
+
+crates/core/../../examples/compaction_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gsm_separation-70da708a84afea94.d: crates/core/../../examples/gsm_separation.rs
+
+/root/repo/target/debug/examples/gsm_separation-70da708a84afea94: crates/core/../../examples/gsm_separation.rs
+
+crates/core/../../examples/gsm_separation.rs:

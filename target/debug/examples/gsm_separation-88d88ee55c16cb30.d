@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gsm_separation-88d88ee55c16cb30.d: crates/core/../../examples/gsm_separation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgsm_separation-88d88ee55c16cb30.rmeta: crates/core/../../examples/gsm_separation.rs Cargo.toml
+
+crates/core/../../examples/gsm_separation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

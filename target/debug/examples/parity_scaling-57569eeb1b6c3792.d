@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parity_scaling-57569eeb1b6c3792.d: crates/core/../../examples/parity_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparity_scaling-57569eeb1b6c3792.rmeta: crates/core/../../examples/parity_scaling.rs Cargo.toml
+
+crates/core/../../examples/parity_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

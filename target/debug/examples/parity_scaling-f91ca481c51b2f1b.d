@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parity_scaling-f91ca481c51b2f1b.d: crates/core/../../examples/parity_scaling.rs
+
+/root/repo/target/debug/examples/parity_scaling-f91ca481c51b2f1b: crates/core/../../examples/parity_scaling.rs
+
+crates/core/../../examples/parity_scaling.rs:

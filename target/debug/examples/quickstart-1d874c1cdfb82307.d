@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1d874c1cdfb82307.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1d874c1cdfb82307: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-fb40815aaa092aa3.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-fb40815aaa092aa3.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/make_report-fc8c7c6c1db32562.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/release/deps/make_report-fc8c7c6c1db32562: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

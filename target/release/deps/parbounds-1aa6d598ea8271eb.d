@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/parbounds-1aa6d598ea8271eb.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libparbounds-1aa6d598ea8271eb.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libparbounds-1aa6d598ea8271eb.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/report.rs crates/core/src/robustness.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/report.rs:
+crates/core/src/robustness.rs:
+crates/core/src/sweep.rs:

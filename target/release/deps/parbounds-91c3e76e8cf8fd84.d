@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/parbounds-91c3e76e8cf8fd84.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/parbounds-91c3e76e8cf8fd84: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

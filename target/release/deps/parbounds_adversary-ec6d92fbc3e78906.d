@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parbounds_adversary-ec6d92fbc3e78906.d: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+/root/repo/target/release/deps/libparbounds_adversary-ec6d92fbc3e78906.rlib: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+/root/repo/target/release/deps/libparbounds_adversary-ec6d92fbc3e78906.rmeta: crates/adversary/src/lib.rs crates/adversary/src/degree_audit.rs crates/adversary/src/goodness.rs crates/adversary/src/or_adversary.rs crates/adversary/src/or_refine.rs crates/adversary/src/random_adversary.rs crates/adversary/src/traces.rs crates/adversary/src/yao.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/degree_audit.rs:
+crates/adversary/src/goodness.rs:
+crates/adversary/src/or_adversary.rs:
+crates/adversary/src/or_refine.rs:
+crates/adversary/src/random_adversary.rs:
+crates/adversary/src/traces.rs:
+crates/adversary/src/yao.rs:

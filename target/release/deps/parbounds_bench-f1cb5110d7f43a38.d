@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parbounds_bench-f1cb5110d7f43a38.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libparbounds_bench-f1cb5110d7f43a38.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libparbounds_bench-f1cb5110d7f43a38.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/parbounds_boolean-5f8ed7d0c07b1cc5.d: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+/root/repo/target/release/deps/libparbounds_boolean-5f8ed7d0c07b1cc5.rlib: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+/root/repo/target/release/deps/libparbounds_boolean-5f8ed7d0c07b1cc5.rmeta: crates/boolean/src/lib.rs crates/boolean/src/certificate.rs crates/boolean/src/families.rs crates/boolean/src/function.rs crates/boolean/src/poly.rs
+
+crates/boolean/src/lib.rs:
+crates/boolean/src/certificate.rs:
+crates/boolean/src/families.rs:
+crates/boolean/src/function.rs:
+crates/boolean/src/poly.rs:

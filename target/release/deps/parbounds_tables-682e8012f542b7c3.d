@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/parbounds_tables-682e8012f542b7c3.d: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+/root/repo/target/release/deps/libparbounds_tables-682e8012f542b7c3.rlib: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+/root/repo/target/release/deps/libparbounds_tables-682e8012f542b7c3.rmeta: crates/tables/src/lib.rs crates/tables/src/cells.rs crates/tables/src/gd.rs crates/tables/src/mapping.rs crates/tables/src/math.rs crates/tables/src/render.rs crates/tables/src/upper.rs
+
+crates/tables/src/lib.rs:
+crates/tables/src/cells.rs:
+crates/tables/src/gd.rs:
+crates/tables/src/mapping.rs:
+crates/tables/src/math.rs:
+crates/tables/src/render.rs:
+crates/tables/src/upper.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3b896fed3341bded.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3b896fed3341bded.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3b896fed3341bded.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

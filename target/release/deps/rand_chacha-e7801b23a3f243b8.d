@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-e7801b23a3f243b8.d: crates/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-e7801b23a3f243b8.rlib: crates/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-e7801b23a3f243b8.rmeta: crates/rand_chacha/src/lib.rs
+
+crates/rand_chacha/src/lib.rs:

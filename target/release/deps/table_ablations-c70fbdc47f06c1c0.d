@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_ablations-c70fbdc47f06c1c0.d: crates/bench/src/bin/table_ablations.rs
+
+/root/repo/target/release/deps/table_ablations-c70fbdc47f06c1c0: crates/bench/src/bin/table_ablations.rs
+
+crates/bench/src/bin/table_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_audits-7816309b2a41add3.d: crates/bench/src/bin/table_audits.rs
+
+/root/repo/target/release/deps/table_audits-7816309b2a41add3: crates/bench/src/bin/table_audits.rs
+
+crates/bench/src/bin/table_audits.rs:

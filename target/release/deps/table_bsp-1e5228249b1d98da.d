@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_bsp-1e5228249b1d98da.d: crates/bench/src/bin/table_bsp.rs
+
+/root/repo/target/release/deps/table_bsp-1e5228249b1d98da: crates/bench/src/bin/table_bsp.rs
+
+crates/bench/src/bin/table_bsp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_qsm-ed15e4305e3ca27c.d: crates/bench/src/bin/table_qsm.rs
+
+/root/repo/target/release/deps/table_qsm-ed15e4305e3ca27c: crates/bench/src/bin/table_qsm.rs
+
+crates/bench/src/bin/table_qsm.rs:

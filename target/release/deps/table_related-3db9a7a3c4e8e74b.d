@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_related-3db9a7a3c4e8e74b.d: crates/bench/src/bin/table_related.rs
+
+/root/repo/target/release/deps/table_related-3db9a7a3c4e8e74b: crates/bench/src/bin/table_related.rs
+
+crates/bench/src/bin/table_related.rs:

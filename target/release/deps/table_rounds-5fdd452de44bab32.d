@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_rounds-5fdd452de44bab32.d: crates/bench/src/bin/table_rounds.rs
+
+/root/repo/target/release/deps/table_rounds-5fdd452de44bab32: crates/bench/src/bin/table_rounds.rs
+
+crates/bench/src/bin/table_rounds.rs:

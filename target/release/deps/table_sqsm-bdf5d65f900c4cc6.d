@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_sqsm-bdf5d65f900c4cc6.d: crates/bench/src/bin/table_sqsm.rs
+
+/root/repo/target/release/deps/table_sqsm-bdf5d65f900c4cc6: crates/bench/src/bin/table_sqsm.rs
+
+crates/bench/src/bin/table_sqsm.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/librand_chacha.rlib: /root/repo/crates/rand/src/lib.rs /root/repo/crates/rand_chacha/src/lib.rs

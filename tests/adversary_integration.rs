@@ -132,8 +132,11 @@ fn or_adversary_vs_simulator_backed_algorithms() {
     let honest = |input: &[Word]| or_tree::or_write_tree(&machine, input, 4).unwrap().value;
     assert_eq!(or_success_rate(honest, &dist, 300, 1), 1.0);
 
-    let truncated =
-        |input: &[Word]| or_tree::or_write_tree(&machine, &input[..8], 4).unwrap().value;
+    let truncated = |input: &[Word]| {
+        or_tree::or_write_tree(&machine, &input[..8], 4)
+            .unwrap()
+            .value
+    };
     let rate = or_success_rate(truncated, &dist, 300, 2);
     assert!(rate < 0.9, "rate {rate}");
 }

@@ -41,7 +41,11 @@ fn sqsm_parity_theta_is_exactly_three_g_per_level() {
     for n in [1usize << 8, 1 << 12] {
         for g in [2u64, 16] {
             let row = sqsm_time_row(Problem::Parity, n, g, 1).unwrap();
-            assert_eq!(row.measured.unwrap(), 3.0 * row.upper_formula, "n={n} g={g}");
+            assert_eq!(
+                row.measured.unwrap(),
+                3.0 * row.upper_formula,
+                "n={n} g={g}"
+            );
         }
     }
 }
@@ -105,8 +109,14 @@ fn growing_g_separates_qsm_from_sqsm_parity() {
     // gap must widen with g.
     let n = 1 << 12;
     let gap = |g: u64| {
-        let q = qsm_time_row(Problem::Parity, n, g, 4).unwrap().measured.unwrap();
-        let s = sqsm_time_row(Problem::Parity, n, g, 4).unwrap().measured.unwrap();
+        let q = qsm_time_row(Problem::Parity, n, g, 4)
+            .unwrap()
+            .measured
+            .unwrap();
+        let s = sqsm_time_row(Problem::Parity, n, g, 4)
+            .unwrap()
+            .measured
+            .unwrap();
         s / q
     };
     assert!(gap(64) > gap(4), "gap(64)={} gap(4)={}", gap(64), gap(4));

@@ -12,15 +12,30 @@ fn parity_agrees_across_all_models_and_algorithms() {
         let expected = bits.iter().sum::<i64>() % 2;
 
         let qsm = QsmMachine::qsm(8);
-        assert_eq!(reduce::parity_read_tree(&qsm, &bits, 2).unwrap().value, expected);
-        assert_eq!(reduce::parity_read_tree(&qsm, &bits, 5).unwrap().value, expected);
-        assert_eq!(parity::parity_pattern_helper(&qsm, &bits, 3).unwrap().value, expected);
+        assert_eq!(
+            reduce::parity_read_tree(&qsm, &bits, 2).unwrap().value,
+            expected
+        );
+        assert_eq!(
+            reduce::parity_read_tree(&qsm, &bits, 5).unwrap().value,
+            expected
+        );
+        assert_eq!(
+            parity::parity_pattern_helper(&qsm, &bits, 3).unwrap().value,
+            expected
+        );
 
         let ucr = QsmMachine::qsm_unit_cr(8);
-        assert_eq!(parity::parity_pattern_helper(&ucr, &bits, 4).unwrap().value, expected);
+        assert_eq!(
+            parity::parity_pattern_helper(&ucr, &bits, 4).unwrap().value,
+            expected
+        );
 
         let sqsm = QsmMachine::sqsm(8);
-        assert_eq!(reduce::parity_read_tree(&sqsm, &bits, 2).unwrap().value, expected);
+        assert_eq!(
+            reduce::parity_read_tree(&sqsm, &bits, 2).unwrap().value,
+            expected
+        );
 
         let bsp = BspMachine::new(8, 2, 16).unwrap();
         assert_eq!(bsp_algos::bsp_parity(&bsp, &bits).unwrap().value, expected);
@@ -37,7 +52,10 @@ fn or_agrees_across_models() {
         }
         let expected = i64::from(witness.is_some());
         let qsm = QsmMachine::qsm(4);
-        assert_eq!(or_tree::or_write_tree(&qsm, &bits, 4).unwrap().value, expected);
+        assert_eq!(
+            or_tree::or_write_tree(&qsm, &bits, 4).unwrap().value,
+            expected
+        );
         let bsp = BspMachine::new(16, 2, 8).unwrap();
         assert_eq!(bsp_algos::bsp_or(&bsp, &bits).unwrap().value, expected);
     }

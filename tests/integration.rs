@@ -64,13 +64,17 @@ fn clb_pipeline_three_ways() {
     let machine = QsmMachine::qsm(2);
     let inst = ClbInstance::generate(1024, 32, 9);
     let color = 3;
-    let a = clb_via_load_balance(&machine, &inst, 64, color).unwrap().unwrap();
+    let a = clb_via_load_balance(&machine, &inst, 64, color)
+        .unwrap()
+        .unwrap();
     assert!(inst.verify_solution(color, &a.dest));
     if let Some(b) = clb_via_lac(&machine, &inst, color, 5).unwrap() {
         assert!(inst.verify_solution(color, &b.dest));
         assert_eq!(b.dest.len(), a.dest.len());
     }
-    let c = clb_via_padded_sort(&machine, &inst, color, 5).unwrap().unwrap();
+    let c = clb_via_padded_sort(&machine, &inst, color, 5)
+        .unwrap()
+        .unwrap();
     assert!(inst.verify_solution(color, &c.dest));
 }
 
@@ -79,8 +83,9 @@ fn parity_reduction_agrees_with_direct_algorithms() {
     let machine = QsmMachine::qsm(4);
     for n in [16usize, 257, 1024] {
         let bits = workloads::random_bits(n, n as u64);
-        let direct =
-            parbounds::algo::reduce::parity_read_tree(&machine, &bits, 2).unwrap().value;
+        let direct = parbounds::algo::reduce::parity_read_tree(&machine, &bits, 2)
+            .unwrap()
+            .value;
         let via_list = parity_via_list_ranking(&machine, &bits).unwrap().value;
         assert_eq!(direct, via_list, "n={n}");
     }
@@ -88,8 +93,14 @@ fn parity_reduction_agrees_with_direct_algorithms() {
 
 #[test]
 fn workloads_are_deterministic_across_calls() {
-    assert_eq!(workloads::random_bits(100, 5), workloads::random_bits(100, 5));
-    assert_eq!(workloads::uniform_values(50, 5), workloads::uniform_values(50, 5));
+    assert_eq!(
+        workloads::random_bits(100, 5),
+        workloads::random_bits(100, 5)
+    );
+    assert_eq!(
+        workloads::uniform_values(50, 5),
+        workloads::uniform_values(50, 5)
+    );
     assert_eq!(
         workloads::sparse_items(64, 8, 5),
         workloads::sparse_items(64, 8, 5)

@@ -4,8 +4,7 @@
 
 use parbounds::algo::{lac, prefix, rounds, util::ReduceOp, workloads};
 use parbounds::models::work::{
-    is_linear_work_qsm, linear_work_implies_rounds, rounds_work_bound_bsp,
-    rounds_work_bound_qsm,
+    is_linear_work_qsm, linear_work_implies_rounds, rounds_work_bound_bsp, rounds_work_bound_qsm,
 };
 use parbounds::models::{BspMachine, QsmMachine};
 
@@ -15,8 +14,8 @@ fn prefix_sums_work_obeys_the_rounds_law() {
         for g in [1u64, 4] {
             let machine = QsmMachine::qsm(g);
             let input = workloads::random_bits(n, 3);
-            let out = prefix::prefix_in_rounds(&machine, &input, p as usize, ReduceOp::Sum)
-                .unwrap();
+            let out =
+                prefix::prefix_in_rounds(&machine, &input, p as usize, ReduceOp::Sum).unwrap();
             // Law (ii): r rounds ⇒ work ≤ slack·r·g·n.
             assert_eq!(
                 rounds_work_bound_qsm(&out.run.ledger, p, n as u64, g, 2),
@@ -24,7 +23,13 @@ fn prefix_sums_work_obeys_the_rounds_law() {
                 "n={n} p={p} g={g}"
             );
             // Law (i) holds on every ledger by arithmetic; assert anyway.
-            assert!(linear_work_implies_rounds(&out.run.ledger, p, n as u64, g, 2));
+            assert!(linear_work_implies_rounds(
+                &out.run.ledger,
+                p,
+                n as u64,
+                g,
+                2
+            ));
         }
     }
 }
@@ -54,7 +59,10 @@ fn lac_prefix_work_bound() {
     let items = workloads::sparse_items(n, n / 8, 7);
     let out = lac::lac_prefix(&machine, &items, p as usize).unwrap();
     assert!(out.verify(&items));
-    assert_eq!(rounds_work_bound_qsm(&out.run.ledger, p, n as u64, g, 2), Some(true));
+    assert_eq!(
+        rounds_work_bound_qsm(&out.run.ledger, p, n as u64, g, 2),
+        Some(true)
+    );
 }
 
 #[test]

@@ -7,3 +7,13 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+# Model-conformance gate: every Section 8 family must come out of the
+# analyzer clean (zero lints, determinism verified, contracts satisfied),
+# and the deliberately racy fixture must be flagged (exit 1).
+target/release/parbounds lint --all
+if target/release/parbounds lint --family racy-fixture >/dev/null; then
+    echo "ci: racy fixture was NOT flagged by 'parbounds lint'" >&2
+    exit 1
+fi

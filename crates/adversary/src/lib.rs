@@ -28,6 +28,7 @@
 //!   exactly against trace ensembles, with the paper's `d_t/k_t/r_t`
 //!   growth sequences.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod degree_audit;

@@ -174,6 +174,16 @@ pub fn load_balance(machine: &QsmMachine, counts: &[Word], p: usize) -> Result<B
     })
 }
 
+/// Declared cost envelope of [`load_balance`] with bounded per-processor
+/// counts: the prefix pass dominates at `O(g·(n/p)·lg n / lg(n/p))` QSM
+/// time (Section 6.2; scatter and receive add `O(g·(1 + h/n))`).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("load-balance", "QSM", "O(g·(n/p)·lg n / lg(n/p))", |p| {
+        let b = (p.n / p.p).max(2.0);
+        p.g * b * p.lg_n() / b.log2()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,14 @@ pub fn broadcast_cost_max(n: usize, k: usize, g: u64) -> u64 {
     2 * g + depth * (g.max(k as u64 - 1) + g)
 }
 
+/// Declared cost envelope of the fan-out-`g` broadcast tree:
+/// `Θ(g·lg n / lg g)` QSM time (Section 2 discussion, Table 1).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("broadcast", "QSM", "Θ(g·lg n / lg g)", |p| {
+        p.g * p.lg_n() / p.g.max(2.0).log2()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,8 @@
 //! cost `L` each — the Table 1 (sub-table 3) upper-bound shape.
 
 use parbounds_models::{
-    BspMachine, BspProgram, BspRunResult, CostLedger, FaultPlan, Result, Status, Superstep, Word,
+    BspMachine, BspProgram, BspRunResult, BspTrace, CostLedger, FaultPlan, Result, Status,
+    Superstep, Word,
 };
 
 use crate::util::{ceil_log, ReduceOp};
@@ -21,6 +22,9 @@ pub struct BspOutcome {
     pub value: Word,
     /// Per-superstep cost ledger.
     pub ledger: CostLedger,
+    /// Message trace, when run on a machine built
+    /// [`BspMachine::with_tracing`].
+    pub trace: Option<BspTrace>,
 }
 
 impl BspOutcome {
@@ -98,6 +102,7 @@ pub fn bsp_reduce(
     Ok(BspOutcome {
         value: res.states[0].value,
         ledger: res.ledger,
+        trace: res.trace,
     })
 }
 
@@ -539,6 +544,15 @@ pub fn bsp_sort_sample(
 /// Closed-form supersteps of [`bsp_reduce`]: `⌈log_k p⌉ + 1`.
 pub fn bsp_reduce_supersteps(p: usize, k: usize) -> usize {
     ceil_log(p, k) as usize + 1
+}
+
+/// Declared cost envelope of [`bsp_parity`] at the default fan-in
+/// `max(2, L/g)`: `O(g·n/p + L·lg p / lg(L/g))` BSP time (Section 8,
+/// sub-table 3).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("bsp-parity", "BSP", "O(g·n/p + L·lg p / lg(L/g))", |p| {
+        p.g * p.n / p.p + p.l * (1.0 + p.p.max(2.0).log2() / (p.l / p.g).max(2.0).log2())
+    })
 }
 
 #[cfg(test)]
@@ -1265,6 +1279,7 @@ pub fn bsp_reduce_resilient(
                         result: BspOutcome {
                             value,
                             ledger: res.ledger,
+                            trace: res.trace,
                         },
                         attempts: attempt + 1,
                         total_time,
@@ -1415,7 +1430,7 @@ impl BspProgram for ResilientDartProg {
 }
 
 /// Dart-throwing LAC hardened into a Las Vegas algorithm under fault
-/// injection: run the drop-tolerant [`ResilientDartProg`] on `machine`
+/// injection: run the drop-tolerant `ResilientDartProg` on `machine`
 /// carrying `plan`, *verify* the placement, and retry with a reseeded plan
 /// and fresh dart seed until a verified-correct compaction is produced or
 /// `max_attempts` runs out. This is the protocol behind the acceptance

@@ -170,6 +170,15 @@ pub fn gsm_tree_cost(machine: &GsmMachine, n: usize, k: usize) -> u64 {
     machine.mu() * (depth + 1) * (1 + write_steps)
 }
 
+/// Declared cost envelope of [`gsm_parity`] at the default fan-in `β`:
+/// `Θ(μ·lg(n/γ)/lg β)` GSM time — matching the Theorem 3.1 lower bound.
+/// (`ContractParams::gsm` carries `μ` in `g`, `β` in `l`, `γ` in `p`.)
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("gsm-parity", "GSM", "Θ(μ·lg(n/γ)/lg β)", |p| {
+        p.g * (1.0 + (p.n / p.p).max(2.0).log2() / p.l.max(2.0).log2())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

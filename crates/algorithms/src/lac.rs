@@ -475,6 +475,15 @@ pub fn lac_prefix(machine: &QsmMachine, input: &[Word], p: usize) -> Result<LacO
     })
 }
 
+/// Declared cost envelope of [`lac_dart`] in the `h = Θ(n/lg n)` regime the
+/// suite sweeps: the paper's `O(√(g·lg n) + g·lg lg n)` QSM claim
+/// (Section 6.2 / Section 8).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("lac-dart", "QSM", "O(√(g·lg n) + g·lg lg n)", |p| {
+        (p.g * p.lg_n()).sqrt() + p.g * p.lg_n().log2().max(1.0)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

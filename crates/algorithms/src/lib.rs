@@ -22,6 +22,7 @@
 //! | [`reductions`] | size-preserving reductions: Parity → list ranking / sorting; CLB → {Load Balancing, LAC, Padded Sort} (Theorem 6.1) |
 //! | [`workloads`] | seeded input generators, incl. Chromatic Load Balancing instances |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod balance;

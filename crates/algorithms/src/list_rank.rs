@@ -38,9 +38,11 @@ impl ListRankProgram {
     fn new(n: usize, op: ReduceOp, layout: &mut Layout) -> Self {
         assert!(n > 0, "empty list");
         let iters = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2 n), 0 for n=1
-        let mut succ_bufs = Vec::with_capacity(iters + 1);
-        let mut acc_bufs = Vec::with_capacity(iters + 1);
-        for _ in 0..=iters {
+                                                                      // Buffer `it` feeds iteration `it`'s reads; the final iteration
+                                                                      // writes the output region directly, so no buffer `iters` exists.
+        let mut succ_bufs = Vec::with_capacity(iters);
+        let mut acc_bufs = Vec::with_capacity(iters);
+        for _ in 0..iters {
             succ_bufs.push(layout.alloc(n));
             acc_bufs.push(layout.alloc(n));
         }
@@ -81,12 +83,12 @@ impl Program for ListRankProgram {
         if t == 1 {
             st.succ = env.delivered()[0].1;
             st.acc = env.delivered()[1].1;
-            env.write(self.succ_bufs[0] + pid, st.succ);
-            env.write(self.acc_bufs[0] + pid, st.acc);
             if self.iters == 0 {
                 env.write(self.out + pid, st.acc);
                 return Status::Done;
             }
+            env.write(self.succ_bufs[0] + pid, st.succ);
+            env.write(self.acc_bufs[0] + pid, st.acc);
             return Status::Active;
         }
         // Iteration it (0-based) = phases 2+3it, 3+3it, 4+3it:
@@ -110,6 +112,13 @@ impl Program for ListRankProgram {
                     st.acc = self.op.apply(st.acc, a2);
                     st.succ = s2;
                 }
+                if it + 1 == self.iters {
+                    // Last iteration: `acc` is final, so write the output
+                    // directly — publishing into a buffer nothing reads
+                    // would cost 2n dead writes plus a spacer phase.
+                    env.write(self.out + pid, st.acc);
+                    return Status::Done;
+                }
                 env.write(self.succ_bufs[it + 1] + pid, st.succ);
                 env.write(self.acc_bufs[it + 1] + pid, st.acc);
                 Status::Active
@@ -120,10 +129,6 @@ impl Program for ListRankProgram {
                 // they were issued in, so this is bookkeeping simplicity,
                 // not a correctness need; it keeps read/write sets of
                 // consecutive iterations in distinct phases).
-                if it + 1 == self.iters {
-                    env.write(self.out + pid, st.acc);
-                    return Status::Done;
-                }
                 Status::Active
             }
         }
@@ -170,6 +175,12 @@ pub fn list_rank(
 pub fn list_rank_distance(machine: &QsmMachine, succ: &[Word]) -> Result<VecOutcome> {
     let weights = vec![1; succ.len()];
     list_rank(machine, succ, &weights, ReduceOp::Sum)
+}
+
+/// Declared cost envelope of pointer-jumping list ranking: `Θ(g·lg n)` QSM
+/// time (Section 3, last paragraph — contention-1 reads, `⌈lg n⌉` rounds).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("list-rank", "QSM", "Θ(g·lg n)", |p| p.g * p.lg_n())
 }
 
 #[cfg(test)]

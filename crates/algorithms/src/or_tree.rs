@@ -172,6 +172,14 @@ pub fn or_write_tree_cost_max(n: usize, k: usize, g: u64) -> u64 {
     total + g // final publish
 }
 
+/// Declared cost envelope of the write-combining OR tree at the default
+/// fan-in `k = g`: `O(g·lg n / lg g)` QSM time (Section 8, Table 1).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("or-write-tree", "QSM", "O(g·lg n / lg g)", |p| {
+        p.g * p.lg_n() / p.g.max(2.0).log2()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

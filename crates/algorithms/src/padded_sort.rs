@@ -369,6 +369,15 @@ pub fn padded_output_size(n: usize, params: &PaddedSortParams) -> usize {
     n.div_ceil(s).max(1) * (s + params.pad)
 }
 
+/// Declared cost envelope of [`padded_sort_default`]: the bucket gather
+/// dominates at `O(lg²n·(g + lg lg n))` QSM time with the default
+/// `s = lg²n` buckets (Section 6.2).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("padded-sort", "QSM", "O(lg²n·(g + lg lg n))", |p| {
+        p.lg_n() * p.lg_n() * (p.g + p.lg_n().log2().max(1.0))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -293,6 +293,14 @@ pub fn parity_pattern_helper_cost_max(machine: &QsmMachine, n: usize, k: usize) 
     total
 }
 
+/// Declared cost envelope of the pattern-helper Parity algorithm at the
+/// default group width: `O(g·lg n / lg lg g)` QSM time (Section 8).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("parity-helper", "QSM", "O(g·lg n / lg lg g)", |p| {
+        p.g * p.lg_n() / p.g.max(4.0).log2().log2().max(1.0)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

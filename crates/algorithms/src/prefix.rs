@@ -107,8 +107,6 @@ impl Program for PrefixProgram {
             // Publish the block sum as the level-0 partial.
             1 => {
                 st.local = env.delivered().iter().map(|&(_, v)| v).collect();
-                let sum = self.op.fold(&st.local);
-                env.write(self.partials[0] + pid, sum);
                 if d == 0 {
                     // p == 1: no tree; go straight to output.
                     st.offset = self.op.identity();
@@ -119,6 +117,7 @@ impl Program for PrefixProgram {
                     }
                     return Status::Done;
                 }
+                env.write(self.partials[0] + pid, self.op.fold(&st.local));
                 Status::Active
             }
             // Up-sweep: level l occupies phases 2l and 2l+1.
@@ -133,7 +132,12 @@ impl Program for PrefixProgram {
                         }
                     } else {
                         let sums: Vec<Word> = env.delivered().iter().map(|&(_, v)| v).collect();
-                        env.write(self.partials[l] + pid, self.op.fold(&sums));
+                        // The root partial (l == d) is never read: the
+                        // down-sweep derives offsets from in-state child
+                        // sums, so publishing it would be a dead write.
+                        if l < d {
+                            env.write(self.partials[l] + pid, self.op.fold(&sums));
+                        }
                         while st.child_sums.len() < l {
                             st.child_sums.push(Vec::new());
                         }
@@ -230,6 +234,15 @@ pub fn prefix_rounds_count(n: usize, p: usize) -> usize {
 /// `2·g·⌈n/p⌉` (slack 2 covers the fan-in floor at `n = p`).
 pub fn prefix_round_budget(n: usize, p: usize, g: u64) -> u64 {
     parbounds_models::round_budget_qsm(n as u64, p as u64, g, 2)
+}
+
+/// Declared envelope of [`prefix_in_rounds`] measured in *rounds*:
+/// `Θ(lg n / lg(n/p))` phases (Section 2.3 / sub-table 4).
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("prefix-rounds", "QSM", "Θ(lg n / lg(n/p))", |p| {
+        1.0 + p.lg_n() / (p.n / p.p).max(2.0).log2()
+    })
+    .with_metric(parbounds_models::ContractMetric::Phases)
 }
 
 #[cfg(test)]

@@ -147,6 +147,14 @@ pub fn tree_reduce_cost(n: usize, k: usize, g: u64) -> u64 {
     total
 }
 
+/// Declared cost envelope of the fan-in-2 read tree: `Θ(g·lg n)` s-QSM
+/// time — the Section 8 Parity upper bound on the symmetric model.
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("parity-read-tree", "s-QSM", "Θ(g·lg n)", |p| {
+        p.g * p.lg_n()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

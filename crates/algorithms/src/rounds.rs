@@ -279,6 +279,15 @@ pub fn or_rounds_count(n: usize, p: usize, g: u64) -> usize {
     2 + 2 * crate::util::ceil_log(p, k) as usize
 }
 
+/// Declared envelope of [`or_in_rounds_qsm`] measured in *rounds*:
+/// `O(1 + lg p / lg(g·n/p))` phases — the tight sub-table 4 shape.
+pub fn cost_contract() -> parbounds_models::CostContract {
+    parbounds_models::CostContract::new("or-rounds", "QSM", "O(1 + lg p / lg(g·n/p))", |p| {
+        1.0 + p.p.max(2.0).log2() / (p.g * p.n / p.p).max(2.0).log2()
+    })
+    .with_metric(parbounds_models::ContractMetric::Phases)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

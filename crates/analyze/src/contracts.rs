@@ -1,0 +1,136 @@
+//! Cost-contract checking: fit a measured cost sweep against the
+//! asymptotic envelope an algorithm family declares.
+//!
+//! Each family exports a [`CostContract`] naming its Table 1 bound. The
+//! checker runs a sweep over input sizes, calibrates the hidden constant
+//! on the small-`n` prefix, and fails if any larger size exceeds the
+//! calibrated envelope by more than the tolerance — i.e. if the measured
+//! cost grows *faster* than the declared asymptotic shape.
+
+use parbounds_models::{ContractParams, CostContract, Result};
+
+/// One sweep point of a contract check.
+#[derive(Debug, Clone)]
+pub struct ContractPoint {
+    /// Input size.
+    pub n: usize,
+    /// Measured cost (ledger time or phase count, per the contract's
+    /// metric).
+    pub measured: u64,
+    /// Envelope value at this point's parameters (constant-free).
+    pub predicted: f64,
+    /// `measured / predicted`.
+    pub ratio: f64,
+}
+
+/// Outcome of checking one family's contract.
+#[derive(Debug, Clone)]
+pub struct ContractReport {
+    /// The family checked.
+    pub family: &'static str,
+    /// The declared formula (for rendering).
+    pub formula: &'static str,
+    /// The sweep.
+    pub points: Vec<ContractPoint>,
+    /// Hidden constant calibrated on the small-`n` prefix.
+    pub fitted_constant: f64,
+    /// Largest `ratio / fitted_constant` over the whole sweep.
+    pub worst_ratio: f64,
+    /// The tolerance the check ran with.
+    pub tolerance: f64,
+    /// True iff no point exceeded `tolerance · fitted_constant`.
+    pub passed: bool,
+}
+
+/// Checks `contract` against a measured sweep.
+///
+/// * `params_for(n)` supplies the model parameters the envelope is
+///   evaluated at;
+/// * `measure(n)` runs the family at size `n` and returns the measured
+///   cost in the contract's metric;
+/// * `ns` is the (ascending) sweep; the first half calibrates the
+///   constant, the rest must stay within `tolerance ×` of it.
+///
+/// `tolerance` absorbs both integer-granularity noise (ceilings in the
+/// implementations vs. the smooth envelope) and the slack of `O(·)`
+/// bounds on small inputs; 2–3 is typical.
+pub fn check_contract(
+    contract: &CostContract,
+    params_for: impl Fn(usize) -> ContractParams,
+    mut measure: impl FnMut(usize) -> Result<u64>,
+    ns: &[usize],
+    tolerance: f64,
+) -> Result<ContractReport> {
+    assert!(!ns.is_empty(), "contract sweep needs at least one size");
+    let mut points = Vec::with_capacity(ns.len());
+    for &n in ns {
+        let measured = measure(n)?;
+        let predicted = contract.envelope(&params_for(n));
+        points.push(ContractPoint {
+            n,
+            measured,
+            predicted,
+            ratio: measured as f64 / predicted,
+        });
+    }
+
+    let calib = points.len().div_ceil(2);
+    let fitted_constant = points[..calib]
+        .iter()
+        .map(|p| p.ratio)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let worst_ratio = points
+        .iter()
+        .map(|p| p.ratio / fitted_constant)
+        .fold(0.0, f64::max);
+    Ok(ContractReport {
+        family: contract.family,
+        formula: contract.formula,
+        points,
+        fitted_constant,
+        worst_ratio,
+        tolerance,
+        passed: worst_ratio <= tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_contract() -> CostContract {
+        CostContract::new("test-log", "QSM", "O(g·lg n)", |p| p.g * p.lg_n())
+    }
+
+    #[test]
+    fn conforming_sweep_passes() {
+        // Measured cost = 3·g·lg n exactly: constant 3 fits, ratios flat.
+        let report = check_contract(
+            &log_contract(),
+            |n| ContractParams::qsm(n, 4, 8),
+            |n| Ok((3.0 * 4.0 * (n as f64).log2()).round() as u64),
+            &[64, 128, 256, 512, 1024],
+            1.5,
+        )
+        .unwrap();
+        assert!(report.passed, "worst ratio {}", report.worst_ratio);
+        assert!(report.fitted_constant > 2.0 && report.fitted_constant < 4.0);
+    }
+
+    #[test]
+    fn super_envelope_growth_fails() {
+        // Measured cost = n, declared envelope lg n: the calibrated
+        // constant from small n cannot cover the large sizes.
+        let report = check_contract(
+            &log_contract(),
+            |n| ContractParams::qsm(n, 4, 8),
+            |n| Ok(n as u64),
+            &[64, 128, 256, 512, 1024, 2048],
+            2.0,
+        )
+        .unwrap();
+        assert!(!report.passed);
+        assert!(report.worst_ratio > 2.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Typed diagnostics emitted by the lint pass.
+
+use std::fmt;
+
+use parbounds_models::Addr;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the execution is model-legal but wasteful or suspicious
+    /// (dead reads, unconsumed writes, asymmetric s-QSM access).
+    Warning,
+    /// The execution violates a model-legality rule of Section 2 or a
+    /// bound the family declared.
+    Error,
+}
+
+/// The model-legality and hygiene rules the lint pass checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A cell was both read and written in the same phase. Section 2.1
+    /// forbids this ("each shared-memory location can be either read or
+    /// written, but not both, in the same phase"); the engines reject it
+    /// at run time, so seeing it in a trace means the trace was produced
+    /// by an external engine (e.g. an emulator) that skipped the check.
+    SamePhaseReadWrite,
+    /// Per-cell queue contention in some phase exceeded the bound the
+    /// family declared (`κ` beyond the declared fan-in means the measured
+    /// cost no longer tracks the family's Table 1 analysis).
+    ContentionOverBound,
+    /// On an s-QSM run, per-cell contention exceeded the declared
+    /// symmetric-access bound. The s-QSM charges contention through the
+    /// gap (`g·κ`, Section 2.1), so QSM-style high-fan-in access — cheap
+    /// where only `κ` is charged — wastes the symmetric charging here.
+    SqsmAsymmetry,
+    /// A BSP message was sent to a component that had already finished in
+    /// the sending superstep (or earlier): delivery happens *next*
+    /// superstep (Section 2.1.3), so the message is silently lost —
+    /// usually an off-by-one that effectively addressed the send to the
+    /// sending superstep.
+    BspUndeliverableSend,
+    /// A GSM write landed in the γ-packed input region. The initial
+    /// placement invariant of Section 2.2 (each cell holds information
+    /// about at most γ inputs, disjoint across cells) underpins the
+    /// lower-bound accounting; programs must treat `[0, ⌈n/γ⌉)` as
+    /// read-only.
+    GsmGammaViolation,
+    /// A processor issued reads in the phase it returned `Done`: the
+    /// engine discards those deliveries (they can never be consumed), yet
+    /// the phase still paid `g·m_rw` for them.
+    DeadRead,
+    /// A cell outside the declared output region was written but never
+    /// subsequently read: the write's information is lost, which usually
+    /// indicates a wrong address computation or an undeclared output.
+    UnconsumedWrite,
+}
+
+impl Rule {
+    /// Default severity of the rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::SamePhaseReadWrite
+            | Rule::ContentionOverBound
+            | Rule::BspUndeliverableSend
+            | Rule::GsmGammaViolation => Severity::Error,
+            Rule::SqsmAsymmetry | Rule::DeadRead | Rule::UnconsumedWrite => Severity::Warning,
+        }
+    }
+
+    /// Stable machine-readable name (used by the CLI renderer).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SamePhaseReadWrite => "same-phase-read-write",
+            Rule::ContentionOverBound => "contention-over-bound",
+            Rule::SqsmAsymmetry => "sqsm-asymmetry",
+            Rule::BspUndeliverableSend => "bsp-undeliverable-send",
+            Rule::GsmGammaViolation => "gsm-gamma-violation",
+            Rule::DeadRead => "dead-read",
+            Rule::UnconsumedWrite => "unconsumed-write",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where in an execution a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// The model the trace came from (`"QSM"`, `"s-QSM"`, `"BSP"`,
+    /// `"GSM"`).
+    pub model: &'static str,
+    /// Phase / superstep index.
+    pub phase: usize,
+    /// Processor or component, when the rule localizes to one.
+    pub pid: Option<usize>,
+    /// Shared-memory cell, when the rule localizes to one.
+    pub addr: Option<Addr>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} phase {}", self.model, self.phase)?;
+        if let Some(pid) = self.pid {
+            write!(f, " pid {pid}")?;
+        }
+        if let Some(addr) = self.addr {
+            write!(f, " cell {addr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding of the lint pass.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Severity (normally [`Rule::severity`]).
+    pub severity: Severity,
+    /// Where the violation happened.
+    pub location: Location,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at the rule's default severity.
+    pub fn new(rule: Rule, location: Location, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            location,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{sev}[{}] {}: {}",
+            self.rule, self.location, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_know_their_severity_and_name() {
+        assert_eq!(Rule::SamePhaseReadWrite.severity(), Severity::Error);
+        assert_eq!(Rule::DeadRead.severity(), Severity::Warning);
+        assert_eq!(Rule::GsmGammaViolation.name(), "gsm-gamma-violation");
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_is_compact_and_complete() {
+        let d = Diagnostic::new(
+            Rule::ContentionOverBound,
+            Location {
+                model: "QSM",
+                phase: 3,
+                pid: None,
+                addr: Some(17),
+            },
+            "contention 9 > declared bound 4".into(),
+        );
+        let s = d.to_string();
+        assert_eq!(
+            s,
+            "error[contention-over-bound] QSM phase 3 cell 17: contention 9 > declared bound 4"
+        );
+    }
+}

@@ -1,0 +1,643 @@
+//! The lint pass: model-legality and hygiene rules evaluated over
+//! execution traces.
+//!
+//! Each lint re-derives its measurement from the raw trace (who read and
+//! wrote what, when) rather than trusting the ledger, so the pass doubles
+//! as an independent audit of the engines' cost accounting assumptions.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Range;
+
+use parbounds_models::{Addr, BspTrace, ExecTrace, GsmTrace};
+
+use crate::diagnostics::{Diagnostic, Location, Rule};
+
+/// Which cells count as the program's *outputs* for the unconsumed-write
+/// rule (outputs are read by the host after termination, not in-trace).
+#[derive(Debug, Clone)]
+pub enum OutputSpec {
+    /// Explicit output cell ranges.
+    Cells(Vec<Range<Addr>>),
+    /// Cells last written during the final `k` phases that contain any
+    /// write are host-visible outputs. Bulk-synchronous algorithms deliver
+    /// results in their closing phases; an *earlier* write that nothing
+    /// ever reads is abandoned information.
+    TailPhases(usize),
+}
+
+impl OutputSpec {
+    fn tail_cutoff(&self, write_phases: &BTreeSet<usize>) -> Option<usize> {
+        match self {
+            OutputSpec::Cells(_) => None,
+            OutputSpec::TailPhases(k) => {
+                let k = (*k).min(write_phases.len());
+                write_phases.iter().rev().nth(k.checked_sub(1)?).copied()
+            }
+        }
+    }
+
+    fn covers(&self, addr: Addr) -> bool {
+        match self {
+            OutputSpec::Cells(ranges) => ranges.iter().any(|r| r.contains(&addr)),
+            OutputSpec::TailPhases(_) => false,
+        }
+    }
+}
+
+/// Configuration of the shared-memory (QSM/s-QSM/GSM) lint pass.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Model label used in diagnostic locations.
+    pub model: &'static str,
+    /// Per-cell queue-contention bound the family declares
+    /// ([`Rule::ContentionOverBound`]); `None` disables the rule.
+    pub contention_bound: Option<u64>,
+    /// On an s-QSM, the symmetric-access contention bound
+    /// ([`Rule::SqsmAsymmetry`]); `None` disables the rule.
+    pub sqsm_bound: Option<u64>,
+    /// GSM-only: size of the read-only γ-packed input region
+    /// `[0, ⌈n/γ⌉)` ([`Rule::GsmGammaViolation`]); 0 disables the rule.
+    pub input_cells: usize,
+    /// Output declaration for [`Rule::UnconsumedWrite`].
+    pub output: OutputSpec,
+}
+
+impl LintConfig {
+    /// A QSM config with no declared bounds.
+    pub fn qsm() -> Self {
+        LintConfig {
+            model: "QSM",
+            contention_bound: None,
+            sqsm_bound: None,
+            input_cells: 0,
+            output: OutputSpec::TailPhases(1),
+        }
+    }
+
+    /// An s-QSM config (enables the asymmetry rule at the given bound).
+    pub fn sqsm(sqsm_bound: u64) -> Self {
+        LintConfig {
+            model: "s-QSM",
+            sqsm_bound: Some(sqsm_bound),
+            ..Self::qsm()
+        }
+    }
+
+    /// A GSM config guarding the first `input_cells` cells.
+    pub fn gsm(input_cells: usize) -> Self {
+        LintConfig {
+            model: "GSM",
+            input_cells,
+            ..Self::qsm()
+        }
+    }
+
+    /// Declares the per-cell contention bound (builder-style).
+    pub fn with_contention_bound(mut self, bound: u64) -> Self {
+        self.contention_bound = Some(bound);
+        self
+    }
+
+    /// Declares the output cells (builder-style).
+    pub fn with_output(mut self, output: OutputSpec) -> Self {
+        self.output = output;
+        self
+    }
+}
+
+/// Configuration of the BSP lint pass.
+#[derive(Debug, Clone)]
+pub struct BspLintConfig {
+    /// Per-component message bound (`h` per superstep) the family
+    /// declares; `None` disables [`Rule::ContentionOverBound`].
+    pub h_bound: Option<u64>,
+}
+
+impl BspLintConfig {
+    /// No declared bounds (undeliverable-send rule only).
+    pub fn new() -> Self {
+        BspLintConfig { h_bound: None }
+    }
+
+    /// Declares the per-component message bound (builder-style).
+    pub fn with_h_bound(mut self, bound: u64) -> Self {
+        self.h_bound = Some(bound);
+        self
+    }
+}
+
+impl Default for BspLintConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Normalized per-phase access sets shared by the QSM and GSM passes.
+struct PhaseAccess {
+    /// Per-cell read-request count.
+    reads: BTreeMap<Addr, u64>,
+    /// Per-cell write-request count.
+    writes: BTreeMap<Addr, u64>,
+    /// Pids that issued reads while finishing this phase.
+    dead_readers: Vec<(usize, usize)>,
+}
+
+fn access_of(
+    reads_per_pid: impl Iterator<Item = (usize, Vec<Addr>)>,
+    writes_per_pid: impl Iterator<Item = (usize, Vec<Addr>)>,
+    finished: &[bool],
+) -> PhaseAccess {
+    let mut reads: BTreeMap<Addr, u64> = BTreeMap::new();
+    let mut writes: BTreeMap<Addr, u64> = BTreeMap::new();
+    let mut dead_readers = Vec::new();
+    for (pid, addrs) in reads_per_pid {
+        if !addrs.is_empty() && finished.get(pid).copied().unwrap_or(false) {
+            dead_readers.push((pid, addrs.len()));
+        }
+        for a in addrs {
+            *reads.entry(a).or_insert(0) += 1;
+        }
+    }
+    for (pid, addrs) in writes_per_pid {
+        let _ = pid;
+        for a in addrs {
+            *writes.entry(a).or_insert(0) += 1;
+        }
+    }
+    PhaseAccess {
+        reads,
+        writes,
+        dead_readers,
+    }
+}
+
+/// Runs every applicable rule over one phase's access sets; shared between
+/// the QSM and GSM passes.
+#[allow(clippy::too_many_arguments)]
+fn lint_phase(
+    cfg: &LintConfig,
+    phase: usize,
+    acc: &PhaseAccess,
+    last_write: &mut HashMap<Addr, usize>,
+    last_read: &mut HashMap<Addr, usize>,
+    write_phases: &mut BTreeSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let loc = |pid: Option<usize>, addr: Option<Addr>| Location {
+        model: cfg.model,
+        phase,
+        pid,
+        addr,
+    };
+
+    // Rule: a cell may be read or written in one phase, not both
+    // (Section 2.1). The engines reject this at run time; re-checking the
+    // trace guards emulator-produced and hand-built traces.
+    for (&addr, &r) in acc.reads.iter() {
+        if let Some(&w) = acc.writes.get(&addr) {
+            out.push(Diagnostic::new(
+                Rule::SamePhaseReadWrite,
+                loc(None, Some(addr)),
+                format!("cell has {r} read(s) and {w} write(s) in the same phase"),
+            ));
+        }
+    }
+
+    // Rule: per-cell queue contention within the declared bound.
+    if let Some(bound) = cfg.contention_bound {
+        for (&addr, &k) in acc.reads.iter().chain(acc.writes.iter()) {
+            if k > bound {
+                out.push(Diagnostic::new(
+                    Rule::ContentionOverBound,
+                    loc(None, Some(addr)),
+                    format!("contention {k} exceeds declared bound {bound}"),
+                ));
+            }
+        }
+    }
+
+    // Rule: s-QSM symmetric charging — contention beyond the declared
+    // symmetric bound means the program accesses memory QSM-style where
+    // κ is charged through the gap.
+    if cfg.model == "s-QSM" {
+        if let Some(bound) = cfg.sqsm_bound {
+            for (&addr, &k) in acc.reads.iter().chain(acc.writes.iter()) {
+                if k > bound {
+                    out.push(Diagnostic::new(
+                        Rule::SqsmAsymmetry,
+                        loc(None, Some(addr)),
+                        format!(
+                            "contention {k} > {bound} is charged g·κ on the s-QSM; \
+                             restructure toward symmetric fan-in"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Rule: reads issued in a processor's final phase are discarded.
+    for &(pid, n) in &acc.dead_readers {
+        out.push(Diagnostic::new(
+            Rule::DeadRead,
+            loc(Some(pid), None),
+            format!("{n} read(s) issued in the processor's final phase are never delivered"),
+        ));
+    }
+
+    // GSM rule: the γ-packed input region is read-only.
+    if cfg.input_cells > 0 {
+        for (&addr, _) in acc.writes.range(..cfg.input_cells) {
+            out.push(Diagnostic::new(
+                Rule::GsmGammaViolation,
+                loc(None, Some(addr)),
+                format!(
+                    "write into γ-packed input cell {addr} (input region is [0, {}))",
+                    cfg.input_cells
+                ),
+            ));
+        }
+    }
+
+    for (&addr, _) in acc.writes.iter() {
+        last_write.insert(addr, phase);
+    }
+    for (&addr, _) in acc.reads.iter() {
+        last_read.insert(addr, phase);
+    }
+    if !acc.writes.is_empty() {
+        write_phases.insert(phase);
+    }
+}
+
+/// Emits [`Rule::UnconsumedWrite`] diagnostics after all phases are folded.
+fn lint_unconsumed(
+    cfg: &LintConfig,
+    last_write: &HashMap<Addr, usize>,
+    last_read: &HashMap<Addr, usize>,
+    write_phases: &BTreeSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let cutoff = cfg.output.tail_cutoff(write_phases);
+    let mut offenders: Vec<(Addr, usize)> = last_write
+        .iter()
+        .filter(|&(&addr, &wp)| {
+            let read_after = last_read.get(&addr).is_some_and(|&rp| rp > wp);
+            let is_output = match cutoff {
+                Some(c) => wp >= c,
+                None => cfg.output.covers(addr),
+            };
+            !read_after && !is_output
+        })
+        .map(|(&addr, &wp)| (addr, wp))
+        .collect();
+    offenders.sort_unstable();
+    for (addr, wp) in offenders {
+        out.push(Diagnostic::new(
+            Rule::UnconsumedWrite,
+            Location {
+                model: cfg.model,
+                phase: wp,
+                pid: None,
+                addr: Some(addr),
+            },
+            "cell is written but its final value is never read and is not a declared output"
+                .to_string(),
+        ));
+    }
+}
+
+/// Lints a QSM/s-QSM execution trace.
+pub fn lint_qsm_trace(trace: &ExecTrace, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut last_write = HashMap::new();
+    let mut last_read = HashMap::new();
+    let mut write_phases = BTreeSet::new();
+    for (phase, pt) in trace.phases.iter().enumerate() {
+        let acc = access_of(
+            pt.reads
+                .iter()
+                .enumerate()
+                .map(|(pid, rs)| (pid, rs.iter().map(|&(a, _)| a).collect())),
+            pt.writes
+                .iter()
+                .enumerate()
+                .map(|(pid, ws)| (pid, ws.iter().map(|&(a, _)| a).collect())),
+            &pt.finished,
+        );
+        lint_phase(
+            cfg,
+            phase,
+            &acc,
+            &mut last_write,
+            &mut last_read,
+            &mut write_phases,
+            &mut out,
+        );
+    }
+    lint_unconsumed(cfg, &last_write, &last_read, &write_phases, &mut out);
+    out
+}
+
+/// Lints a GSM execution trace.
+pub fn lint_gsm_trace(trace: &GsmTrace, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut last_write = HashMap::new();
+    let mut last_read = HashMap::new();
+    let mut write_phases = BTreeSet::new();
+    for (phase, pt) in trace.phases.iter().enumerate() {
+        let acc = access_of(
+            pt.reads
+                .iter()
+                .enumerate()
+                .map(|(pid, rs)| (pid, rs.iter().map(|(a, _)| *a).collect())),
+            pt.writes
+                .iter()
+                .enumerate()
+                .map(|(pid, ws)| (pid, ws.iter().map(|&(a, _)| a).collect())),
+            &pt.finished,
+        );
+        lint_phase(
+            cfg,
+            phase,
+            &acc,
+            &mut last_write,
+            &mut last_read,
+            &mut write_phases,
+            &mut out,
+        );
+    }
+    // GSM cells accumulate information, so the input cells double as
+    // output unless explicitly declared; the unconsumed rule still runs
+    // over the merge cells.
+    lint_unconsumed(cfg, &last_write, &last_read, &write_phases, &mut out);
+    out
+}
+
+/// Lints a BSP superstep trace.
+pub fn lint_bsp_trace(trace: &BspTrace, cfg: &BspLintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let p = trace.steps.first().map_or(0, |s| s.finished.len());
+
+    // First step at which each component finished (it executes that step,
+    // then never again); deliveries scheduled at or after `finished_at + 1`
+    // are lost.
+    let mut finished_at: Vec<Option<usize>> = vec![None; p];
+    for (step, st) in trace.steps.iter().enumerate() {
+        for (pid, fin) in finished_at.iter_mut().enumerate() {
+            if st.finished[pid] && fin.is_none() {
+                *fin = Some(step);
+            }
+        }
+    }
+
+    for (step, st) in trace.steps.iter().enumerate() {
+        // Rule: messages are delivered *next* superstep (Section 2.1.3);
+        // a send to a component that finished at or before the sending
+        // superstep can never be received.
+        for (src, sends) in st.sent.iter().enumerate() {
+            for &(dest, msg) in sends {
+                if finished_at
+                    .get(dest)
+                    .copied()
+                    .flatten()
+                    .is_some_and(|f| f <= step)
+                {
+                    out.push(Diagnostic::new(
+                        Rule::BspUndeliverableSend,
+                        Location {
+                            model: "BSP",
+                            phase: step,
+                            pid: Some(src),
+                            addr: None,
+                        },
+                        format!(
+                            "message (tag {}, value {}) sent to component {dest}, which \
+                             finished in superstep {} — next-superstep delivery is lost",
+                            msg.tag,
+                            msg.value,
+                            finished_at[dest].unwrap()
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Rule: declared h-relation bound per component per superstep.
+        if let Some(bound) = cfg.h_bound {
+            for pid in 0..p {
+                let sent = st.sent[pid].len() as u64;
+                let recv = st.received[pid].len() as u64;
+                let h = sent.max(recv);
+                if h > bound {
+                    out.push(Diagnostic::new(
+                        Rule::ContentionOverBound,
+                        Location {
+                            model: "BSP",
+                            phase: step,
+                            pid: Some(pid),
+                            addr: None,
+                        },
+                        format!(
+                            "component routes {h} messages (sent {sent}, received {recv}), \
+                             exceeding the declared h-relation bound {bound}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_models::{BspStepTrace, GsmPhaseTrace, Msg, PhaseTrace};
+
+    fn qsm_phase(n: usize) -> PhaseTrace {
+        PhaseTrace {
+            reads: vec![Vec::new(); n],
+            writes: vec![Vec::new(); n],
+            committed: Vec::new(),
+            finished: vec![false; n],
+        }
+    }
+
+    #[test]
+    fn same_phase_read_write_is_flagged() {
+        let mut pt = qsm_phase(2);
+        pt.reads[0].push((5, 0));
+        pt.writes[1].push((5, 9));
+        let trace = ExecTrace { phases: vec![pt] };
+        let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
+        assert!(diags.iter().any(|d| d.rule == Rule::SamePhaseReadWrite
+            && d.location.addr == Some(5)
+            && d.location.phase == 0));
+    }
+
+    #[test]
+    fn contention_over_declared_bound_is_flagged() {
+        let mut pt = qsm_phase(4);
+        for pid in 0..4 {
+            pt.writes[pid].push((7, pid as i64));
+        }
+        let trace = ExecTrace { phases: vec![pt] };
+        let cfg = LintConfig::qsm().with_contention_bound(2);
+        let diags = lint_qsm_trace(&trace, &cfg);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::ContentionOverBound && d.location.addr == Some(7)));
+        // Within bound: clean.
+        let cfg = LintConfig::qsm().with_contention_bound(4);
+        let mut pt = qsm_phase(4);
+        for pid in 0..4 {
+            pt.writes[pid].push((7, pid as i64));
+        }
+        assert!(lint_qsm_trace(&ExecTrace { phases: vec![pt] }, &cfg)
+            .iter()
+            .all(|d| d.rule != Rule::ContentionOverBound));
+    }
+
+    #[test]
+    fn sqsm_asymmetry_fires_only_on_sqsm() {
+        let mk = || {
+            let mut pt = qsm_phase(8);
+            for pid in 0..8 {
+                pt.reads[pid].push((3, 0));
+            }
+            ExecTrace { phases: vec![pt] }
+        };
+        let diags = lint_qsm_trace(&mk(), &LintConfig::sqsm(2));
+        assert!(diags.iter().any(|d| d.rule == Rule::SqsmAsymmetry));
+        let diags = lint_qsm_trace(&mk(), &LintConfig::qsm());
+        assert!(diags.iter().all(|d| d.rule != Rule::SqsmAsymmetry));
+    }
+
+    #[test]
+    fn dead_read_in_final_phase_is_flagged() {
+        let mut pt = qsm_phase(1);
+        pt.reads[0].push((2, 0));
+        pt.finished[0] = true;
+        let trace = ExecTrace { phases: vec![pt] };
+        let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DeadRead && d.location.pid == Some(0)));
+    }
+
+    #[test]
+    fn unconsumed_write_respects_output_spec() {
+        // Phase 0 writes cells 10 (never read) and 11 (read in phase 1);
+        // phase 1 writes cell 12 (the tail write = output).
+        let mut p0 = qsm_phase(2);
+        p0.writes[0].push((10, 1));
+        p0.writes[1].push((11, 2));
+        let mut p1 = qsm_phase(2);
+        p1.reads[0].push((11, 2));
+        p1.writes[1].push((12, 3));
+        let trace = ExecTrace {
+            phases: vec![p0, p1],
+        };
+        let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
+        let unconsumed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::UnconsumedWrite)
+            .collect();
+        assert_eq!(unconsumed.len(), 1);
+        assert_eq!(unconsumed[0].location.addr, Some(10));
+        // Declaring cell 10 an output silences it.
+        let cfg = LintConfig::qsm().with_output(OutputSpec::Cells(vec![10..11, 12..13]));
+        let mut p0 = qsm_phase(2);
+        p0.writes[0].push((10, 1));
+        p0.writes[1].push((11, 2));
+        let mut p1 = qsm_phase(2);
+        p1.reads[0].push((11, 2));
+        p1.writes[1].push((12, 3));
+        let trace = ExecTrace {
+            phases: vec![p0, p1],
+        };
+        assert!(lint_qsm_trace(&trace, &cfg)
+            .iter()
+            .all(|d| d.rule != Rule::UnconsumedWrite));
+    }
+
+    #[test]
+    fn gsm_gamma_region_is_read_only() {
+        let mut pt = GsmPhaseTrace {
+            reads: vec![Vec::new()],
+            writes: vec![Vec::new()],
+            big_steps: 1,
+            finished: vec![true],
+        };
+        pt.writes[0].push((1, 7));
+        let trace = GsmTrace { phases: vec![pt] };
+        let diags = lint_gsm_trace(&trace, &LintConfig::gsm(4));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::GsmGammaViolation && d.location.addr == Some(1)));
+        // Writes past the input region are fine.
+        let mut pt = GsmPhaseTrace {
+            reads: vec![Vec::new()],
+            writes: vec![Vec::new()],
+            big_steps: 1,
+            finished: vec![true],
+        };
+        pt.writes[0].push((4, 7));
+        let trace = GsmTrace { phases: vec![pt] };
+        assert!(lint_gsm_trace(&trace, &LintConfig::gsm(4))
+            .iter()
+            .all(|d| d.rule != Rule::GsmGammaViolation));
+    }
+
+    #[test]
+    fn bsp_send_to_finished_component_is_flagged() {
+        // Step 0: component 1 finishes. Step 1: component 0 sends to 1.
+        let msg = Msg {
+            src: 0,
+            tag: 3,
+            value: 42,
+        };
+        let steps = vec![
+            BspStepTrace {
+                sent: vec![Vec::new(), Vec::new()],
+                received: vec![Vec::new(), Vec::new()],
+                executed: vec![true, true],
+                finished: vec![false, true],
+            },
+            BspStepTrace {
+                sent: vec![vec![(1, msg)], Vec::new()],
+                received: vec![Vec::new(), Vec::new()],
+                executed: vec![true, false],
+                finished: vec![true, false],
+            },
+        ];
+        let trace = BspTrace { steps };
+        let diags = lint_bsp_trace(&trace, &BspLintConfig::new());
+        assert!(diags.iter().any(|d| d.rule == Rule::BspUndeliverableSend
+            && d.location.phase == 1
+            && d.location.pid == Some(0)));
+    }
+
+    #[test]
+    fn bsp_h_relation_bound_is_enforced() {
+        let msg = Msg {
+            src: 0,
+            tag: 0,
+            value: 0,
+        };
+        let steps = vec![BspStepTrace {
+            sent: vec![vec![(1, msg); 5], Vec::new()],
+            received: vec![Vec::new(), Vec::new()],
+            executed: vec![true, true],
+            finished: vec![false, false],
+        }];
+        let trace = BspTrace { steps };
+        let cfg = BspLintConfig::new().with_h_bound(4);
+        assert!(lint_bsp_trace(&trace, &cfg)
+            .iter()
+            .any(|d| d.rule == Rule::ContentionOverBound));
+        let cfg = BspLintConfig::new().with_h_bound(5);
+        assert!(lint_bsp_trace(&trace, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,860 @@
+//! The analysis suite: every Section 8 algorithm family run through the
+//! three analyses (trace lints, race detection, cost-contract check).
+//!
+//! Families are registered by the same names their
+//! [`CostContract`](parbounds_models::CostContract)s declare; the CLI's
+//! `parbounds lint` subcommand drives [`analyze_all`] and renders the
+//! resulting [`AnalysisReport`].
+
+use std::ops::Range;
+
+use parbounds_algo::util::ReduceOp;
+use parbounds_algo::{
+    balance, broadcast, bsp_algos, gsm_algos, lac, list_rank, or_tree, padded_sort, parity, prefix,
+    reduce, rounds, workloads,
+};
+use parbounds_models::{
+    BspMachine, ContractParams, FnProgram, GsmMachine, ModelError, PhaseEnv, QsmMachine, Result,
+    RunResult, Status, Word,
+};
+
+use crate::contracts::{check_contract, ContractReport};
+use crate::diagnostics::Diagnostic;
+use crate::lints::{
+    lint_bsp_trace, lint_gsm_trace, lint_qsm_trace, BspLintConfig, LintConfig, OutputSpec,
+};
+use crate::race::{detect_races_qsm, detect_races_with, Probe, RaceConfig, RaceReport};
+
+/// Machine shape shared by the whole suite (matches the robustness grid of
+/// `parbounds::robustness`): QSM/s-QSM gap 8, BSP(16, 8, 64), GSM(4, 4, 16).
+const G: u64 = 8;
+const BSP_P: usize = 16;
+const BSP_L: u64 = 8 * G;
+const GSM_ALPHA: u64 = 4;
+const GSM_BETA: u64 = 4;
+const GSM_GAMMA: u64 = 16;
+
+/// Suite-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Input size of the lint + race runs.
+    pub n: usize,
+    /// Base seed for workloads and the race detector.
+    pub seed: u64,
+    /// Sweep sizes of the contract check (ascending).
+    pub contract_ns: Vec<usize>,
+    /// Contract tolerance (measured may exceed the calibrated envelope by
+    /// this factor before the check fails).
+    pub tolerance: f64,
+    /// Race-detector exhaustive-enumeration cap.
+    pub exhaustive_limit: u64,
+}
+
+impl SuiteConfig {
+    /// The standard configuration at size `n`.
+    pub fn standard(n: usize, seed: u64) -> Self {
+        let n = n.max(32);
+        SuiteConfig {
+            n,
+            seed,
+            contract_ns: vec![n / 8, n / 4, n / 2, n],
+            tolerance: 3.0,
+            exhaustive_limit: 64,
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn quick(seed: u64) -> Self {
+        SuiteConfig {
+            n: 64,
+            seed,
+            contract_ns: vec![32, 64, 128],
+            tolerance: 3.0,
+            exhaustive_limit: 16,
+        }
+    }
+
+    fn race(&self) -> RaceConfig {
+        let mut cfg = RaceConfig::new(self.seed);
+        cfg.exhaustive_limit = self.exhaustive_limit;
+        cfg
+    }
+}
+
+/// Everything the analyzer found about one family.
+#[derive(Debug)]
+pub struct FamilyReport {
+    /// Family name (matches its cost contract).
+    pub family: &'static str,
+    /// The model it runs on.
+    pub model: &'static str,
+    /// Lint findings over the traced run.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Race-detection outcome (`None` when the analysis does not apply).
+    pub race: Option<RaceReport>,
+    /// Contract-check outcome (`None` when skipped).
+    pub contract: Option<ContractReport>,
+}
+
+impl FamilyReport {
+    /// True when the family passed every analysis.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+            && self.race.as_ref().is_none_or(|r| r.is_deterministic())
+            && self.contract.as_ref().is_none_or(|c| c.passed)
+    }
+}
+
+/// The full suite outcome.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Per-family results, in registry order.
+    pub families: Vec<FamilyReport>,
+}
+
+impl AnalysisReport {
+    /// True when every family is clean.
+    pub fn clean(&self) -> bool {
+        self.families.iter().all(FamilyReport::clean)
+    }
+
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "model-conformance analysis (lint · race · contract)\n\
+             ---------------------------------------------------\n",
+        );
+        for f in &self.families {
+            let race = match &f.race {
+                None => "n/a".to_string(),
+                Some(r) if r.is_deterministic() => {
+                    if r.exhaustive {
+                        format!("deterministic (exhaustive, {} runs)", r.runs)
+                    } else {
+                        format!("deterministic (sampled, {} runs)", r.runs)
+                    }
+                }
+                Some(_) => "RACE".to_string(),
+            };
+            let contract = match &f.contract {
+                None => "n/a".to_string(),
+                Some(c) if c.passed => {
+                    format!("ok ({} within x{:.2})", c.formula, c.worst_ratio)
+                }
+                Some(c) => format!(
+                    "FAIL ({} exceeded: worst x{:.2} > tolerance {:.1})",
+                    c.formula, c.worst_ratio, c.tolerance
+                ),
+            };
+            s.push_str(&format!(
+                "{:<17} {:<5} lint: {:<2} race: {:<36} contract: {}\n",
+                f.family,
+                f.model,
+                f.diagnostics.len(),
+                race,
+                contract
+            ));
+            for d in &f.diagnostics {
+                s.push_str(&format!("    {d}\n"));
+            }
+            if let Some(w) = f.race.as_ref().and_then(|r| r.witness.as_ref()) {
+                s.push_str(&format!(
+                    "    race witness: policy {:?}, phase {}, cell {}, {} writers",
+                    w.policy, w.phase, w.addr, w.writers
+                ));
+                if !w.contending_pids.is_empty() {
+                    s.push_str(&format!(", pids {:?}", w.contending_pids));
+                }
+                s.push_str(&format!(
+                    "\n    baseline output {:?} vs divergent {:?}\n",
+                    w.baseline_output, w.divergent_output
+                ));
+            }
+        }
+        s.push_str(if self.clean() {
+            "result: clean\n"
+        } else {
+            "result: NOT CLEAN\n"
+        });
+        s
+    }
+}
+
+/// Names of the registered (clean) Section 8 families, in suite order.
+pub const FAMILIES: [&str; 12] = [
+    "or-write-tree",
+    "parity-helper",
+    "parity-read-tree",
+    "broadcast",
+    "prefix-rounds",
+    "or-rounds",
+    "load-balance",
+    "lac-dart",
+    "padded-sort",
+    "list-rank",
+    "bsp-parity",
+    "gsm-parity",
+];
+
+/// Runs the whole suite (every family in [`FAMILIES`]).
+pub fn analyze_all(cfg: &SuiteConfig) -> Result<AnalysisReport> {
+    let mut families = Vec::with_capacity(FAMILIES.len());
+    for name in FAMILIES {
+        families.push(analyze_family(name, cfg)?);
+    }
+    Ok(AnalysisReport { families })
+}
+
+/// Runs one family through the three analyses. Besides the registered
+/// families this also accepts `"racy-fixture"`, a deliberately racy
+/// program used to demonstrate (and test) non-clean reporting.
+pub fn analyze_family(name: &str, cfg: &SuiteConfig) -> Result<FamilyReport> {
+    match name {
+        "or-write-tree" => family_or_write_tree(cfg),
+        "parity-helper" => family_parity_helper(cfg),
+        "parity-read-tree" => family_parity_read_tree(cfg),
+        "broadcast" => family_broadcast(cfg),
+        "prefix-rounds" => family_prefix_rounds(cfg),
+        "or-rounds" => family_or_rounds(cfg),
+        "load-balance" => family_load_balance(cfg),
+        "lac-dart" => family_lac_dart(cfg),
+        "padded-sort" => family_padded_sort(cfg),
+        "list-rank" => family_list_rank(cfg),
+        "bsp-parity" => family_bsp_parity(cfg),
+        "gsm-parity" => family_gsm_parity(cfg),
+        "racy-fixture" => family_racy_fixture(cfg),
+        other => Err(ModelError::BadConfig(format!(
+            "unknown analysis family '{other}' (see `parbounds lint --list`)"
+        ))),
+    }
+}
+
+fn take_trace(run: &mut RunResult) -> parbounds_models::ExecTrace {
+    run.trace.take().unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// QSM families
+// ---------------------------------------------------------------------------
+
+fn family_or_write_tree(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let bits = workloads::random_bits(cfg.n, cfg.seed);
+    let k = or_tree::or_default_fanin(G);
+    let mut out = or_tree::or_write_tree(&machine, &bits, k)?;
+    let lint_cfg = LintConfig::qsm().with_contention_bound(k as u64);
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &lint_cfg);
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = or_tree::or_write_tree(&m, &bits, k)?;
+        Ok(Probe {
+            output: vec![o.value],
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &or_tree::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            Ok(
+                or_tree::or_write_tree(&m, &workloads::random_bits(n, cfg.seed), k)?
+                    .run
+                    .time(),
+            )
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "or-write-tree",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_parity_helper(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let bits = workloads::random_bits(cfg.n, cfg.seed);
+    let k = parity::parity_helper_default_k(&machine);
+    let mut out = parity::parity_pattern_helper(&machine, &bits, k)?;
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &LintConfig::qsm());
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = parity::parity_pattern_helper(&m, &bits, k)?;
+        Ok(Probe {
+            output: vec![o.value],
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &parity::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            Ok(
+                parity::parity_pattern_helper(&m, &workloads::random_bits(n, cfg.seed), k)?
+                    .run
+                    .time(),
+            )
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "parity-helper",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_parity_read_tree(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::sqsm(G).with_tracing();
+    let bits = workloads::random_bits(cfg.n, cfg.seed);
+    let mut out = reduce::parity_read_tree(&machine, &bits, 2)?;
+    let lint_cfg = LintConfig::sqsm(2).with_contention_bound(2);
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &lint_cfg);
+
+    let base = QsmMachine::sqsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = reduce::parity_read_tree(&m, &bits, 2)?;
+        Ok(Probe {
+            output: vec![o.value],
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &reduce::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::sqsm(G);
+            Ok(
+                reduce::parity_read_tree(&m, &workloads::random_bits(n, cfg.seed), 2)?
+                    .run
+                    .time(),
+            )
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "parity-read-tree",
+        model: "s-QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_broadcast(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let k = broadcast::broadcast_default_fanout(&machine);
+    let mut out = broadcast::broadcast(&machine, 7, cfg.n, k)?;
+    let lint_cfg = LintConfig::qsm().with_contention_bound(k as u64);
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &lint_cfg);
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = broadcast::broadcast(&m, 7, cfg.n, k)?;
+        Ok(Probe {
+            output: o.values,
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &broadcast::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            Ok(broadcast::broadcast(&m, 7, n, k)?.run.time())
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "broadcast",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_prefix_rounds(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let input = workloads::uniform_values(cfg.n, cfg.seed);
+    let p = (cfg.n / 4).max(1);
+    let mut out = prefix::prefix_in_rounds(&machine, &input, p, ReduceOp::Sum)?;
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &LintConfig::qsm());
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = prefix::prefix_in_rounds(&m, &input, p, ReduceOp::Sum)?;
+        Ok(Probe {
+            output: o.values,
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &prefix::cost_contract(),
+        |n| ContractParams::qsm(n, G, (n / 4).max(1)),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            let input = workloads::uniform_values(n, cfg.seed);
+            Ok(
+                prefix::prefix_in_rounds(&m, &input, (n / 4).max(1), ReduceOp::Sum)?
+                    .run
+                    .phases() as u64,
+            )
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "prefix-rounds",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_or_rounds(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let bits = workloads::random_bits(cfg.n, cfg.seed);
+    let p = (cfg.n / 2).max(2);
+    let mut out = rounds::or_in_rounds_qsm(&machine, &bits, p)?;
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &LintConfig::qsm());
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = rounds::or_in_rounds_qsm(&m, &bits, p)?;
+        Ok(Probe {
+            output: vec![o.value],
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &rounds::cost_contract(),
+        |n| ContractParams::qsm(n, G, (n / 2).max(2)),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            let bits = workloads::random_bits(n, cfg.seed);
+            Ok(rounds::or_in_rounds_qsm(&m, &bits, (n / 2).max(2))?
+                .run
+                .phases() as u64)
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "or-rounds",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_load_balance(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let counts: Vec<Word> = workloads::uniform_values(cfg.n, cfg.seed)
+        .iter()
+        .map(|v| v % 4)
+        .collect();
+    let p = (cfg.n / 4).max(1);
+    let mut out = balance::load_balance(&machine, &counts, p)?;
+
+    // Pass 1 (prefix ranks) feeds pass 2 (scatter/receive): every pass-1
+    // write is inter-pass data, so the whole final memory is "output".
+    let mut diagnostics = Vec::new();
+    for (i, run) in out.runs.iter_mut().enumerate() {
+        let lint_cfg = LintConfig::qsm().with_output(OutputSpec::TailPhases(if i + 1 == 2 {
+            1
+        } else {
+            usize::MAX
+        }));
+        diagnostics.extend(lint_qsm_trace(&take_trace(run), &lint_cfg));
+    }
+
+    let observable = |o: &balance::BalanceOutcome| -> Vec<Word> {
+        let mut flat = Vec::new();
+        for row in &o.mailbox {
+            let mut row = row.clone();
+            row.sort_unstable();
+            flat.extend(row);
+            flat.push(-1);
+        }
+        flat
+    };
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = balance::load_balance(&m, &counts, p)?;
+        let faults = o.runs.last().and_then(|r| r.faults.clone());
+        Ok(Probe {
+            output: observable(&o),
+            faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &balance::cost_contract(),
+        |n| ContractParams::qsm(n, G, (n / 4).max(1)),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            let counts: Vec<Word> = workloads::uniform_values(n, cfg.seed)
+                .iter()
+                .map(|v| v % 4)
+                .collect();
+            Ok(balance::load_balance(&m, &counts, (n / 4).max(1))?.total_time())
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "load-balance",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_lac_dart(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let h = (cfg.n / 8).max(4);
+    let input = workloads::sparse_items(cfg.n, h, cfg.seed);
+    let mut out = lac::lac_dart(&machine, &input, h, cfg.seed)?;
+    // Dart throwing leaves claimed-but-retried cells behind by design; the
+    // destination array is the output.
+    let dest = out.out_base..out.out_base + out.out_size;
+    #[allow(clippy::single_range_in_vec_init)]
+    let lint_cfg = LintConfig::qsm().with_output(OutputSpec::Cells(vec![dest]));
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &lint_cfg);
+
+    // The LAC contract allows ANY arrangement of the items in the O(h)
+    // destination cells: the canonical observable is the *set* of placed
+    // items, not their positions.
+    let canonical = |o: &lac::LacOutcome| -> Vec<Word> {
+        let mut placed: Vec<Word> = o.dest().into_iter().filter(|&v| v != 0).collect();
+        placed.sort_unstable();
+        placed
+    };
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = lac::lac_dart(&m, &input, h, cfg.seed)?;
+        Ok(Probe {
+            output: canonical(&o),
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &lac::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            let h = (n / 8).max(4);
+            let input = workloads::sparse_items(n, h, cfg.seed);
+            Ok(lac::lac_dart(&m, &input, h, cfg.seed)?.run.time())
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "lac-dart",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_padded_sort(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let values = workloads::uniform_values(cfg.n, cfg.seed);
+    let mut out = padded_sort::padded_sort_default(&machine, &values, cfg.seed)?;
+
+    let mut diagnostics = Vec::new();
+    let passes = out.runs.len();
+    for (i, run) in out.runs.iter_mut().enumerate() {
+        // Earlier passes feed later passes through memory; only the final
+        // pass has a crisp "output = tail writes" shape.
+        let lint_cfg = LintConfig::qsm().with_output(OutputSpec::TailPhases(if i + 1 == passes {
+            1
+        } else {
+            usize::MAX
+        }));
+        diagnostics.extend(lint_qsm_trace(&take_trace(run), &lint_cfg));
+    }
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = padded_sort::padded_sort_default(&m, &values, cfg.seed)?;
+        let faults = o.runs.last().and_then(|r| r.faults.clone());
+        Ok(Probe {
+            output: o.values(),
+            faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &padded_sort::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            let values = workloads::uniform_values(n, cfg.seed);
+            Ok(padded_sort::padded_sort_default(&m, &values, cfg.seed)?.total_time())
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "padded-sort",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_list_rank(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = QsmMachine::qsm(G).with_tracing();
+    let (succ, _head) = workloads::random_list(cfg.n, cfg.seed);
+    let mut out = list_rank::list_rank_distance(&machine, &succ)?;
+    // Oblivious pointer jumping publishes every node's (succ, acc) each
+    // iteration because a node cannot know whether anyone points at it;
+    // nodes within 2^it of the head have no reader at iteration `it`, so
+    // ~2n buffer cells are inherently written-but-unread. Scope the
+    // unconsumed-write rule out by declaring every write phase an output
+    // (all other rules stay active).
+    let lint_cfg = LintConfig::qsm().with_output(OutputSpec::TailPhases(usize::MAX));
+    let diagnostics = lint_qsm_trace(&take_trace(&mut out.run), &lint_cfg);
+
+    let base = QsmMachine::qsm(G);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = list_rank::list_rank_distance(&m, &succ)?;
+        Ok(Probe {
+            output: o.values,
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &list_rank::cost_contract(),
+        |n| ContractParams::qsm(n, G, n),
+        |n| {
+            let m = QsmMachine::qsm(G);
+            let (succ, _) = workloads::random_list(n, cfg.seed);
+            Ok(list_rank::list_rank_distance(&m, &succ)?.run.time())
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "list-rank",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// BSP / GSM families
+// ---------------------------------------------------------------------------
+
+fn family_bsp_parity(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = BspMachine::new(BSP_P, G, BSP_L)?.with_tracing();
+    let bits = workloads::random_bits(cfg.n, cfg.seed);
+    let out = bsp_algos::bsp_parity(&machine, &bits)?;
+    let h = bsp_algos::bsp_fanin(&machine) as u64;
+    let lint_cfg = BspLintConfig::new().with_h_bound(h);
+    let diagnostics = lint_bsp_trace(&out.trace.unwrap_or_default(), &lint_cfg);
+
+    // The BSP has no shared cells and delivers inboxes in a deterministic
+    // sorted order: there are no arbitration points to perturb, which the
+    // detector verifies via the empty choice log.
+    let base = BspMachine::new(BSP_P, G, BSP_L)?;
+    let race = detect_races_with(&cfg.race(), |_plan| {
+        let o = bsp_algos::bsp_parity(&base, &bits)?;
+        Ok(Probe {
+            output: vec![o.value],
+            faults: None,
+        })
+    })?;
+
+    let contract = check_contract(
+        &bsp_algos::cost_contract(),
+        |n| ContractParams::bsp(n, G, BSP_L, BSP_P),
+        |n| {
+            let m = BspMachine::new(BSP_P, G, BSP_L)?;
+            Ok(bsp_algos::bsp_parity(&m, &workloads::random_bits(n, cfg.seed))?.time())
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "bsp-parity",
+        model: "BSP",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+fn family_gsm_parity(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    let machine = GsmMachine::new(GSM_ALPHA, GSM_BETA, GSM_GAMMA).with_tracing();
+    let bits = workloads::random_bits(cfg.n, cfg.seed);
+    let mut out = gsm_algos::gsm_parity(&machine, &bits)?;
+    let lint_cfg = LintConfig::gsm(machine.input_cells(cfg.n))
+        .with_contention_bound(gsm_algos::gsm_default_fanin(&machine) as u64);
+    let diagnostics = lint_gsm_trace(&out.run.trace.take().unwrap_or_default(), &lint_cfg);
+
+    // GSM cells merge ALL concurrent writes (strong queuing): arbitration
+    // never chooses a winner, so the choice log stays empty.
+    let base = GsmMachine::new(GSM_ALPHA, GSM_BETA, GSM_GAMMA);
+    let race = detect_races_with(&cfg.race(), |plan| {
+        let m = base.clone().with_faults(plan.clone());
+        let o = gsm_algos::gsm_parity(&m, &bits)?;
+        Ok(Probe {
+            output: vec![o.value],
+            faults: o.run.faults,
+        })
+    })?;
+
+    let contract = check_contract(
+        &gsm_algos::cost_contract(),
+        |n| {
+            ContractParams::gsm(
+                n,
+                GsmMachine::new(GSM_ALPHA, GSM_BETA, GSM_GAMMA).mu(),
+                GSM_BETA,
+                GSM_GAMMA,
+            )
+        },
+        |n| {
+            let m = GsmMachine::new(GSM_ALPHA, GSM_BETA, GSM_GAMMA);
+            Ok(
+                gsm_algos::gsm_parity(&m, &workloads::random_bits(n, cfg.seed))?
+                    .run
+                    .ledger
+                    .total_time(),
+            )
+        },
+        &cfg.contract_ns,
+        cfg.tolerance,
+    )?;
+
+    Ok(FamilyReport {
+        family: "gsm-parity",
+        model: "GSM",
+        diagnostics,
+        race: Some(race),
+        contract: Some(contract),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The deliberately racy fixture (excluded from `analyze_all`)
+// ---------------------------------------------------------------------------
+
+fn family_racy_fixture(cfg: &SuiteConfig) -> Result<FamilyReport> {
+    // Four processors race to write their own pid into cell 0: the
+    // observable output is whatever writer the arbiter picks, and the
+    // declared contention bound of 1 is violated fourfold.
+    let prog = FnProgram::new(
+        4,
+        |_pid| 0 as Word,
+        |pid, _st: &mut Word, env: &mut PhaseEnv<'_>| {
+            env.write(0, pid as Word + 1);
+            Status::Done
+        },
+    );
+    let machine = QsmMachine::qsm(G);
+    let observe: Range<usize> = 0..1;
+    let race = detect_races_qsm(&machine, &prog, &[], observe, &cfg.race())?;
+
+    let (_, trace) = machine.run_traced(&prog, &[])?;
+    let lint_cfg = LintConfig::qsm().with_contention_bound(1);
+    let diagnostics = lint_qsm_trace(&trace, &lint_cfg);
+
+    Ok(FamilyReport {
+        family: "racy-fixture",
+        model: "QSM",
+        diagnostics,
+        race: Some(race),
+        contract: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn racy_fixture_is_flagged() {
+        let report = analyze_family("racy-fixture", &SuiteConfig::quick(3)).unwrap();
+        assert!(!report.clean());
+        let race = report.race.unwrap();
+        let w = race.witness.expect("racy fixture must yield a witness");
+        assert_eq!(w.addr, 0);
+        assert_eq!(w.contending_pids, vec![0, 1, 2, 3]);
+        assert!(!report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unknown_family_is_rejected() {
+        assert!(analyze_family("no-such-family", &SuiteConfig::quick(1)).is_err());
+    }
+
+    #[test]
+    fn report_render_mentions_every_family() {
+        let cfg = SuiteConfig::quick(5);
+        let report = AnalysisReport {
+            families: vec![
+                analyze_family("or-write-tree", &cfg).unwrap(),
+                analyze_family("racy-fixture", &cfg).unwrap(),
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("or-write-tree"));
+        assert!(text.contains("racy-fixture"));
+        assert!(text.contains("NOT CLEAN"));
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Ablation benches (DESIGN.md): fan-in sweeps for the OR tree and parity
 //! helpers, the LAC dart-schedule ablation, and the BSP fan-in sweep —
 //! the design choices whose crossovers the paper's sub-tables predict.

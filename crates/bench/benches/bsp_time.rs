@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion bench for experiment T1.BSP (sub-table 3): the BSP reduction,
 //! sort and compaction algorithms across (n, p, g, L).
 

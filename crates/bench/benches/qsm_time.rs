@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion bench for experiment T1.QSM (sub-table 1): host wall-clock of
 //! the Section 8 QSM algorithms across the (n, g) sweep. The *model* costs
 //! are printed by `--bin table_qsm`; this bench tracks simulator throughput

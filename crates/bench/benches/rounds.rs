@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion bench for experiment T1.ROUNDS (sub-table 4): the
 //! rounds-respecting algorithms across the n/p sweep.
 

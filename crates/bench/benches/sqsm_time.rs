@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion bench for experiment T1.SQSM (sub-table 2): the s-QSM
 //! algorithms (binary trees + darts) across the (n, g) sweep.
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates `MEASUREMENTS.md` at the repository root from live runs —
 //! the diffable reproduction artifact.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Model-time ablations of the design choices DESIGN.md calls out: fan-in
 //! sweeps for the OR tree, the parity-helper group size, broadcast fan-out,
 //! the LAC dart schedule, and the BSP reduction fan-in — each showing the

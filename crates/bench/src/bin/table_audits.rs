@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Lower-bound *audit* tables: Theorem 3.1's degree recurrence checked on
 //! exhaustively verified Parity programs (experiment TH3.1 in DESIGN.md),
 //! and Theorem 7.1's OR adversary defeating bounded-information algorithms

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates **sub-table 3** of Table 1 (BSP time bounds, q = min{n, p})
 //! with measured costs of the BSP algorithms.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates **sub-table 1** of Table 1 (QSM time bounds) and pairs every
 //! row with the measured cost of our implementation of the matching
 //! Section 8 algorithm, swept over `(n, g)`.

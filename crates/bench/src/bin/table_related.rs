@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The Theorem 6.1 *related problems* table: Load Balancing and Padded
 //! Sort measured against the LAC lower bounds that Theorem 6.1 transfers
 //! onto them, plus the GSM tightness panel (the strong-queuing tree meeting

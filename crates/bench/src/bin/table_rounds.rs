@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates **sub-table 4** of Table 1 (rounds of p-processor
 //! algorithms, p ≤ n) with the measured round counts of the
 //! rounds-respecting algorithms on all three models.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates **sub-table 2** of Table 1 (s-QSM time bounds) with measured
 //! costs of the Section 8 s-QSM algorithms.
 //!

@@ -2,6 +2,9 @@
 //! Criterion benches: a scoped-thread parallel sweep executor and the
 //! common row formatting.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::num::NonZeroUsize;
 
 /// Runs `f` over `items` on all available cores (order-preserving output).

@@ -22,6 +22,7 @@
 //! assert_eq!(poly::degree(&families::parity(6)), 6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod certificate;

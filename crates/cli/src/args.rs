@@ -1,5 +1,6 @@
-//! Minimal flag parsing (`--key value` pairs after a subcommand) — no
-//! external dependency needed for five subcommands.
+//! Minimal flag parsing (`--key value` pairs and bare `--flag` booleans
+//! after a subcommand) — no external dependency needed for a handful of
+//! subcommands.
 
 use std::collections::HashMap;
 
@@ -14,17 +15,27 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args`-style input (program name already stripped).
     pub fn parse<I: IntoIterator<Item = String>>(input: I) -> Result<Args, String> {
-        let mut it = input.into_iter();
+        let mut it = input.into_iter().peekable();
         let command = it.next().unwrap_or_default();
         let mut flags = HashMap::new();
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{tok}'"))?;
-            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            // `--flag value` consumes the value; a `--flag` followed by
+            // another flag (or end of input) is a boolean.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
+            };
             flags.insert(key.to_string(), value);
         }
         Ok(Args { command, flags })
+    }
+
+    /// A boolean flag: present (bare or `--flag true`) means true.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.get(key).is_some_and(|v| v != "false")
     }
 
     /// A u64 flag with a default.
@@ -81,8 +92,19 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(parse("run n 1024").is_err());
-        assert!(parse("run --n").is_err());
+        // A value-less flag parses as a boolean, so numeric access fails.
+        assert!(parse("run --n").unwrap().u64("n", 1).is_err());
         assert!(parse("run --n x").unwrap().u64("n", 1).is_err());
+    }
+
+    #[test]
+    fn bare_flags_are_booleans() {
+        let a = parse("lint --all --n 128").unwrap();
+        assert!(a.flag("all"));
+        assert!(!a.flag("list"));
+        assert_eq!(a.usize("n", 0).unwrap(), 128);
+        let a = parse("lint --list").unwrap();
+        assert!(a.flag("list"));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! parbounds adversary [--n N --mu MU --trials T]
 //! parbounds emulate   [--n N --p P --g G --l L]
 //! parbounds faults    [--n N --seed S]
+//! parbounds lint      [--all | --family F] [--n N --seed S --list]
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod args;
 
@@ -48,7 +51,8 @@ fn usage() -> &'static str {
   parbounds audit     [--r R --alpha A --beta B]
   parbounds adversary [--n N --mu MU --trials T]
   parbounds emulate   [--n N --p P --g G --l L]
-  parbounds faults    [--n N --seed S]"
+  parbounds faults    [--n N --seed S]
+  parbounds lint      [--all | --family F] [--n N --seed S --list]"
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
@@ -60,6 +64,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "adversary" => cmd_adversary(&args),
         "emulate" => cmd_emulate(&args),
         "faults" => cmd_faults(&args),
+        "lint" => cmd_lint(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -262,6 +267,38 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
         grid.completed(),
         grid.rows.len()
     );
+    Ok(())
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    args.assert_known(&["all", "family", "n", "seed", "list"])?;
+    use parbounds::analyze::{analyze_all, analyze_family, AnalysisReport, SuiteConfig, FAMILIES};
+
+    if args.flag("list") {
+        println!("registered analysis families:");
+        for f in FAMILIES {
+            println!("  {f}");
+        }
+        println!("  racy-fixture (deliberately racy demo; never clean)");
+        return Ok(());
+    }
+
+    let n = args.usize("n", 256)?;
+    let seed = args.u64("seed", 42)?;
+    let cfg = SuiteConfig::standard(n, seed);
+    let family = args.str("family", "");
+
+    let report = if family.is_empty() || args.flag("all") {
+        analyze_all(&cfg).map_err(|e| e.to_string())?
+    } else {
+        AnalysisReport {
+            families: vec![analyze_family(&family, &cfg).map_err(|e| e.to_string())?],
+        }
+    };
+    print!("{}", report.render());
+    if !report.clean() {
+        std::process::exit(1);
+    }
     Ok(())
 }
 

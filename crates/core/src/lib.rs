@@ -34,6 +34,7 @@
 //! assert!(out.run.time() as f64 >= lb);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
@@ -43,6 +44,7 @@ pub mod sweep;
 
 pub use parbounds_adversary as adversary;
 pub use parbounds_algo as algo;
+pub use parbounds_analyze as analyze;
 pub use parbounds_boolean as boolean;
 pub use parbounds_models as models;
 pub use parbounds_tables as tables;

@@ -11,6 +11,7 @@
 //! per-iteration times are printed to stdout. There is no statistical
 //! analysis, HTML report, or baseline comparison.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;

@@ -127,6 +127,35 @@ where
     }
 }
 
+/// Full record of what every component sent and received per superstep.
+///
+/// Populated by [`BspMachine::run_traced`] or by any run of a machine built
+/// [`BspMachine::with_tracing`]; consumed by the `parbounds-analyze` lint
+/// pass (e.g. to find sends addressed to components that have already
+/// finished and can never receive the delivery).
+#[derive(Debug, Clone, Default)]
+pub struct BspTrace {
+    /// One entry per superstep, in execution order.
+    pub steps: Vec<BspStepTrace>,
+}
+
+/// One superstep of a [`BspTrace`].
+#[derive(Debug, Clone, Default)]
+pub struct BspStepTrace {
+    /// `sent[pid]` = the `(dest, msg)` pairs component `pid` sent this
+    /// superstep (with `msg.src` stamped, before fault injection).
+    pub sent: Vec<Vec<(usize, Msg)>>,
+    /// `received[pid]` = the inbox component `pid` consumed this superstep
+    /// (sorted by `(src, tag)`).
+    pub received: Vec<Vec<Msg>>,
+    /// `executed[pid]` is true if the component ran this superstep (false
+    /// once it is done, or while an injected stall delays it).
+    pub executed: Vec<bool>,
+    /// `finished[pid]` is true if the component returned [`Status::Done`]
+    /// this superstep — later deliveries to it are silently lost.
+    pub finished: Vec<bool>,
+}
+
 /// Outcome of a BSP run.
 #[derive(Debug)]
 pub struct BspRunResult<S> {
@@ -136,6 +165,10 @@ pub struct BspRunResult<S> {
     pub ledger: CostLedger,
     /// What the fault injector did, if the machine carried a [`FaultPlan`].
     pub faults: Option<FaultLog>,
+    /// Full message trace, if the machine was built
+    /// [`BspMachine::with_tracing`] (or the run used
+    /// [`BspMachine::run_traced`]). `None` on untraced runs.
+    pub trace: Option<BspTrace>,
 }
 
 impl<S> BspRunResult<S> {
@@ -158,6 +191,7 @@ pub struct BspMachine {
     l: u64,
     max_steps: usize,
     faults: Option<FaultPlan>,
+    tracing: bool,
 }
 
 impl BspMachine {
@@ -181,6 +215,7 @@ impl BspMachine {
             l,
             max_steps: 1 << 20,
             faults: None,
+            tracing: false,
         })
     }
 
@@ -212,6 +247,14 @@ impl BspMachine {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Makes every subsequent [`BspMachine::run`] record a full
+    /// [`BspTrace`] into [`BspRunResult::trace`] (for algorithm entry
+    /// points that call `run` internally, e.g. the analyzer's lint pass).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// Number of components.
@@ -253,6 +296,27 @@ impl BspMachine {
 
     /// Runs `program` on `input` partitioned across the components.
     pub fn run<P: BspProgram>(&self, program: &P, input: &[Word]) -> Result<BspRunResult<P::Proc>> {
+        self.execute(program, input, self.tracing)
+    }
+
+    /// Runs `program` and records a full [`BspTrace`].
+    pub fn run_traced<P: BspProgram>(
+        &self,
+        program: &P,
+        input: &[Word],
+    ) -> Result<(BspRunResult<P::Proc>, BspTrace)> {
+        let mut result = self.execute(program, input, true)?;
+        let trace = result.trace.take().unwrap_or_default();
+        Ok((result, trace))
+    }
+
+    fn execute<P: BspProgram>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<BspRunResult<P::Proc>> {
+        let mut trace = want_trace.then(BspTrace::default);
         let parts = self.partition(input);
         let mut states: Vec<P::Proc> = parts
             .iter()
@@ -282,6 +346,12 @@ impl BspMachine {
             let mut max_sent: u64 = 0;
             let mut received: Vec<u64> = vec![0; self.p];
             let mut stalled: Vec<usize> = Vec::new();
+            let mut step_trace = trace.as_ref().map(|_| BspStepTrace {
+                sent: vec![Vec::new(); self.p],
+                received: vec![Vec::new(); self.p],
+                executed: vec![false; self.p],
+                finished: vec![false; self.p],
+            });
 
             for pid in 0..self.p {
                 if !active[pid] {
@@ -310,6 +380,10 @@ impl BspMachine {
                 let recv = inbox.len() as u64;
                 w = w.max(ctx.ops + sent + recv);
                 max_sent = max_sent.max(sent);
+                if let Some(st) = step_trace.as_mut() {
+                    st.executed[pid] = true;
+                    st.received[pid] = inbox.clone();
+                }
 
                 for (dest, mut msg) in ctx.outbox {
                     if dest >= self.p {
@@ -319,6 +393,9 @@ impl BspMachine {
                         });
                     }
                     msg.src = pid;
+                    if let Some(st) = step_trace.as_mut() {
+                        st.sent[pid].push((dest, msg));
+                    }
                     // Per-message faults: a drop delivers zero copies, a
                     // duplication two. `sent` above counts every attempt;
                     // `received` counts what actually arrives.
@@ -341,6 +418,9 @@ impl BspMachine {
                 }
                 if status == Status::Done {
                     active[pid] = false;
+                    if let Some(st) = step_trace.as_mut() {
+                        st.finished[pid] = true;
+                    }
                 }
             }
 
@@ -365,6 +445,9 @@ impl BspMachine {
             if let Some(inj) = injector.as_ref() {
                 inj.check_cost(ledger.total_time())?;
             }
+            if let (Some(t), Some(st)) = (trace.as_mut(), step_trace) {
+                t.steps.push(st);
+            }
             inboxes = next_inboxes;
             step_no += 1;
         }
@@ -373,6 +456,7 @@ impl BspMachine {
             states,
             ledger,
             faults: injector.map(FaultInjector::into_log),
+            trace,
         })
     }
 }
@@ -503,6 +587,39 @@ mod tests {
         let res = m.run(&prog, &[]).unwrap();
         assert_eq!(res.supersteps(), 4);
         assert_eq!(res.time(), 28);
+    }
+
+    #[test]
+    fn trace_records_sends_receipts_and_completion() {
+        let prog = BspFnProgram::new(
+            |_, _: &[Word]| (),
+            |pid, _, ctx: &mut Superstep<'_>| match ctx.step() {
+                0 => {
+                    if pid == 1 {
+                        ctx.send(0, 7, 42);
+                        Status::Done
+                    } else {
+                        Status::Active
+                    }
+                }
+                _ => Status::Done,
+            },
+        );
+        let m = BspMachine::new(2, 1, 1).unwrap();
+        assert!(m.run(&prog, &[]).unwrap().trace.is_none());
+        let (_, trace) = m.run_traced(&prog, &[]).unwrap();
+        assert_eq!(trace.steps.len(), 2);
+        let msg = Msg {
+            src: 1,
+            tag: 7,
+            value: 42,
+        };
+        assert_eq!(trace.steps[0].sent[1], vec![(0, msg)]);
+        assert_eq!(trace.steps[0].finished, vec![false, true]);
+        assert_eq!(trace.steps[1].received[0], vec![msg]);
+        assert_eq!(trace.steps[1].executed, vec![true, false]);
+        let traced = m.clone().with_tracing().run(&prog, &[]).unwrap();
+        assert_eq!(traced.trace.unwrap().steps.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Asymptotic cost contracts.
+//!
+//! Each algorithm family in `parbounds-algo` declares the envelope its
+//! measured cost is supposed to track — the Table 1 bound of the paper (e.g.
+//! LAC's `O(√(g·lg n) + g·lg lg n)` on the QSM). A [`CostContract`] packages
+//! the envelope as an evaluable function of the instance parameters; the
+//! `parbounds-analyze` contract checker sweeps `n`, fits the hidden constant
+//! on the small end of the sweep, and fails the family when later
+//! measurements grow past the fitted envelope (super-envelope growth means
+//! the implementation no longer matches its claimed bound).
+
+/// Instance parameters an envelope may depend on, pre-converted to `f64`.
+#[derive(Debug, Clone, Copy)]
+pub struct ContractParams {
+    /// Input size `n`.
+    pub n: f64,
+    /// Gap parameter `g` (bandwidth gap for BSP, `μ` for GSM contracts).
+    pub g: f64,
+    /// Latency `L` (BSP) or a secondary machine parameter (`β` for GSM);
+    /// 1.0 where unused.
+    pub l: f64,
+    /// Number of processors/components `p` (γ for GSM contracts); 1.0
+    /// where unused.
+    pub p: f64,
+}
+
+impl ContractParams {
+    /// Parameters for a QSM/s-QSM instance: size `n`, gap `g`, `p`
+    /// processors (`l` is unused and set to 1).
+    pub fn qsm(n: usize, g: u64, p: usize) -> Self {
+        ContractParams {
+            n: n as f64,
+            g: g as f64,
+            l: 1.0,
+            p: p as f64,
+        }
+    }
+
+    /// Parameters for a BSP instance: size `n`, gap `g`, latency `l`, `p`
+    /// components.
+    pub fn bsp(n: usize, g: u64, l: u64, p: usize) -> Self {
+        ContractParams {
+            n: n as f64,
+            g: g as f64,
+            l: l as f64,
+            p: p as f64,
+        }
+    }
+
+    /// Parameters for a GSM instance: size `n`, with `g = μ`, `l = β` and
+    /// `p = γ`.
+    pub fn gsm(n: usize, mu: u64, beta: u64, gamma: u64) -> Self {
+        ContractParams {
+            n: n as f64,
+            g: mu as f64,
+            l: beta as f64,
+            p: gamma as f64,
+        }
+    }
+
+    /// `lg n`, floored at 1 so envelopes stay positive on tiny instances.
+    pub fn lg_n(&self) -> f64 {
+        self.n.max(2.0).log2()
+    }
+}
+
+/// Which measured quantity the envelope bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractMetric {
+    /// Total model time ([`crate::CostLedger::total_time`]).
+    Time,
+    /// Number of phases / supersteps executed (for rounds-style bounds).
+    Phases,
+}
+
+/// A declared asymptotic envelope for one algorithm family.
+///
+/// `envelope` evaluates the bound *without* its hidden constant; the
+/// checker estimates the constant from measurements, so only the growth
+/// shape matters. Envelopes must be positive for all valid parameters.
+#[derive(Debug, Clone)]
+pub struct CostContract {
+    /// Family label (matches the analyzer suite's family name).
+    pub family: &'static str,
+    /// The model the bound is stated on (`"QSM"`, `"s-QSM"`, `"BSP"`,
+    /// `"GSM"`).
+    pub model: &'static str,
+    /// Human-readable form of the bound, e.g. `"O(g·lg n / lg g)"`.
+    pub formula: &'static str,
+    /// What the bound measures.
+    pub metric: ContractMetric,
+    envelope: fn(&ContractParams) -> f64,
+}
+
+impl CostContract {
+    /// Declares a [`ContractMetric::Time`] contract.
+    pub const fn new(
+        family: &'static str,
+        model: &'static str,
+        formula: &'static str,
+        envelope: fn(&ContractParams) -> f64,
+    ) -> Self {
+        CostContract {
+            family,
+            model,
+            formula,
+            metric: ContractMetric::Time,
+            envelope,
+        }
+    }
+
+    /// Switches the measured quantity (builder-style).
+    pub const fn with_metric(mut self, metric: ContractMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Evaluates the envelope at `params`, floored at 1 so measured/envelope
+    /// ratios are always finite.
+    pub fn envelope(&self, params: &ContractParams) -> f64 {
+        (self.envelope)(params).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_floored_at_one() {
+        let c = CostContract::new("t", "QSM", "O(0)", |_| 0.0);
+        assert_eq!(c.envelope(&ContractParams::qsm(16, 4, 2)), 1.0);
+        assert_eq!(c.metric, ContractMetric::Time);
+    }
+
+    #[test]
+    fn params_carry_machine_shape() {
+        let p = ContractParams::bsp(1024, 8, 64, 16);
+        assert_eq!(p.n, 1024.0);
+        assert_eq!(p.g, 8.0);
+        assert_eq!(p.l, 64.0);
+        assert_eq!(p.p, 16.0);
+        assert_eq!(p.lg_n(), 10.0);
+        // lg_n never goes below 1 (n clamped to 2).
+        assert_eq!(ContractParams::qsm(1, 1, 1).lg_n(), 1.0);
+    }
+
+    #[test]
+    fn metric_builder_switches_to_phases() {
+        let c = CostContract::new("t", "QSM", "O(lg n)", |p| p.lg_n())
+            .with_metric(ContractMetric::Phases);
+        assert_eq!(c.metric, ContractMetric::Phases);
+        assert!((c.envelope(&ContractParams::qsm(256, 1, 4)) - 8.0).abs() < 1e-9);
+    }
+}

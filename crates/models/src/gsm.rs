@@ -174,6 +174,9 @@ pub struct GsmPhaseTrace {
     pub writes: Vec<Vec<(Addr, Word)>>,
     /// Big-steps this phase took.
     pub big_steps: u64,
+    /// `finished[pid]` is true if processor `pid` returned [`Status::Done`]
+    /// in this phase — reads it issued here are discarded by the engine.
+    pub finished: Vec<bool>,
 }
 
 /// Outcome of a GSM run.
@@ -185,6 +188,10 @@ pub struct GsmRunResult {
     pub ledger: CostLedger,
     /// What the fault injector did, if the machine carried a [`FaultPlan`].
     pub faults: Option<FaultLog>,
+    /// Full execution trace, if the machine was built
+    /// [`GsmMachine::with_tracing`] (or the run used
+    /// [`GsmMachine::run_traced`]). `None` on untraced runs.
+    pub trace: Option<GsmTrace>,
 }
 
 impl GsmRunResult {
@@ -207,6 +214,7 @@ pub struct GsmMachine {
     gamma: u64,
     max_phases: usize,
     faults: Option<FaultPlan>,
+    tracing: bool,
 }
 
 impl GsmMachine {
@@ -218,6 +226,7 @@ impl GsmMachine {
             gamma: gamma.max(1),
             max_phases: 1 << 20,
             faults: None,
+            tracing: false,
         }
     }
 
@@ -251,6 +260,14 @@ impl GsmMachine {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Makes every subsequent [`GsmMachine::run`] record a full
+    /// [`GsmTrace`] into [`GsmRunResult::trace`] (for algorithm entry
+    /// points that call `run` internally, e.g. the analyzer's lint pass).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// `μ = max{α, β}` — the duration of one big-step.
@@ -308,7 +325,7 @@ impl GsmMachine {
 
     /// Runs `program` with `input` packed γ-per-cell from address 0.
     pub fn run<P: GsmProgram>(&self, program: &P, input: &[Word]) -> Result<GsmRunResult> {
-        self.execute(program, input, None)
+        self.execute(program, input, self.tracing)
     }
 
     /// Runs `program` and records a full [`GsmTrace`].
@@ -317,8 +334,8 @@ impl GsmMachine {
         program: &P,
         input: &[Word],
     ) -> Result<(GsmRunResult, GsmTrace)> {
-        let mut trace = GsmTrace::default();
-        let result = self.execute(program, input, Some(&mut trace))?;
+        let mut result = self.execute(program, input, true)?;
+        let trace = result.trace.take().unwrap_or_default();
         Ok((result, trace))
     }
 
@@ -326,8 +343,9 @@ impl GsmMachine {
         &self,
         program: &P,
         input: &[Word],
-        mut trace: Option<&mut GsmTrace>,
+        want_trace: bool,
     ) -> Result<GsmRunResult> {
+        let mut trace = want_trace.then(GsmTrace::default);
         let n_procs = program.num_procs();
         if n_procs == 0 {
             return Err(ModelError::BadConfig(
@@ -366,6 +384,7 @@ impl GsmMachine {
                 reads: vec![Vec::new(); n_procs],
                 writes: vec![Vec::new(); n_procs],
                 big_steps: 0,
+                finished: vec![false; n_procs],
             });
 
             for pid in 0..n_procs {
@@ -403,6 +422,9 @@ impl GsmMachine {
                 }
                 if status == Status::Done {
                     active[pid] = false;
+                    if let Some(pt) = phase_trace.as_mut() {
+                        pt.finished[pid] = true;
+                    }
                 }
             }
 
@@ -454,7 +476,7 @@ impl GsmMachine {
             if let Some(inj) = injector.as_ref() {
                 inj.check_cost(ledger.total_time())?;
             }
-            if let (Some(t), Some(mut pt)) = (trace.as_deref_mut(), phase_trace) {
+            if let (Some(t), Some(mut pt)) = (trace.as_mut(), phase_trace) {
                 pt.big_steps = b;
                 t.phases.push(pt);
             }
@@ -465,6 +487,7 @@ impl GsmMachine {
             memory,
             ledger,
             faults: injector.map(FaultInjector::into_log),
+            trace,
         })
     }
 }
@@ -636,5 +659,28 @@ mod tests {
         // Both readers observe both written values.
         let seen = &trace.phases[1].reads[0][0].1;
         assert_eq!(seen.len(), 2);
+        assert_eq!(trace.phases[1].finished, vec![false, false]);
+        assert_eq!(trace.phases[2].finished, vec![true, true]);
+    }
+
+    #[test]
+    fn with_tracing_populates_run_result_trace() {
+        let mk = || {
+            GsmFnProgram::new(
+                1,
+                |_| (),
+                |_, _, env: &mut GsmEnv<'_>| {
+                    env.write(2, 1);
+                    Status::Done
+                },
+            )
+        };
+        let m = GsmMachine::new(1, 1, 1);
+        assert!(m.run(&mk(), &[]).unwrap().trace.is_none());
+        let res = m.with_tracing().run(&mk(), &[]).unwrap();
+        let trace = res.trace.expect("tracing machine records a trace");
+        assert_eq!(trace.phases.len(), 1);
+        assert_eq!(trace.phases[0].writes[0], vec![(2, 1)]);
+        assert_eq!(trace.phases[0].finished, vec![true]);
     }
 }

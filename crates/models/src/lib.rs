@@ -44,9 +44,11 @@
 //! assert_eq!(result.time(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bsp;
+pub mod contract;
 mod cost;
 mod error;
 pub mod faults;
@@ -55,7 +57,10 @@ mod qsm;
 mod shared;
 pub mod work;
 
-pub use bsp::{BspFnProgram, BspMachine, BspProgram, BspRunResult, Msg, Superstep};
+pub use bsp::{
+    BspFnProgram, BspMachine, BspProgram, BspRunResult, BspStepTrace, BspTrace, Msg, Superstep,
+};
+pub use contract::{ContractMetric, ContractParams, CostContract};
 pub use cost::{round_budget_bsp, round_budget_gsm, round_budget_qsm, CostLedger, PhaseCost};
 pub use error::{ModelError, Result};
 pub use faults::{ChoicePoint, FaultInjector, FaultLog, FaultPlan, WinnerPolicy};

@@ -48,6 +48,10 @@ pub struct RunResult {
     pub ledger: CostLedger,
     /// What the fault injector did, if the machine carried a [`FaultPlan`].
     pub faults: Option<FaultLog>,
+    /// Full execution trace, if the machine was built
+    /// [`QsmMachine::with_tracing`] (or the run used
+    /// [`QsmMachine::run_traced`]). `None` on untraced runs.
+    pub trace: Option<ExecTrace>,
 }
 
 impl RunResult {
@@ -64,9 +68,11 @@ impl RunResult {
 
 /// Full record of what every processor read and wrote in each phase.
 ///
-/// Only populated by [`QsmMachine::run_traced`]; used by the lower-bound
-/// machinery to compute `Trace`, `Know` and `Aff` sets by exhaustive
-/// enumeration on small machines (Section 5.1 of the paper).
+/// Populated by [`QsmMachine::run_traced`] or by any run of a machine built
+/// [`QsmMachine::with_tracing`]; used by the lower-bound machinery to
+/// compute `Trace`, `Know` and `Aff` sets by exhaustive enumeration on
+/// small machines (Section 5.1 of the paper), and by the
+/// `parbounds-analyze` lint pass.
 #[derive(Debug, Clone, Default)]
 pub struct ExecTrace {
     /// `phases[t].reads[pid]` = the `(addr, value)` pairs processor `pid`
@@ -84,6 +90,9 @@ pub struct PhaseTrace {
     pub writes: Vec<Vec<(Addr, Word)>>,
     /// The writes that actually landed (cell, winning value).
     pub committed: Vec<(Addr, Word)>,
+    /// `finished[pid]` is true if processor `pid` returned [`Status::Done`]
+    /// in this phase — reads it issued here are discarded by the engine.
+    pub finished: Vec<bool>,
 }
 
 /// A QSM-family machine: a cost rule plus execution policies.
@@ -95,6 +104,7 @@ pub struct QsmMachine {
     max_phases: usize,
     mem_limit: usize,
     faults: Option<FaultPlan>,
+    tracing: bool,
 }
 
 impl QsmMachine {
@@ -131,6 +141,7 @@ impl QsmMachine {
             max_phases: 1 << 20,
             mem_limit: 1 << 34,
             faults: None,
+            tracing: false,
         }
     }
 
@@ -162,6 +173,15 @@ impl QsmMachine {
     /// Detaches any fault plan (used to obtain fault-free baselines).
     pub fn without_faults(mut self) -> Self {
         self.faults = None;
+        self
+    }
+
+    /// Makes every subsequent [`QsmMachine::run`] record a full
+    /// [`ExecTrace`] into [`RunResult::trace`]. This exposes traces for
+    /// algorithm entry points that call `run` internally (the analyzer's
+    /// lint pass relies on it) without changing their signatures.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
         self
     }
 
@@ -200,7 +220,7 @@ impl QsmMachine {
 
     /// Runs `program` on memory pre-initialized with `input` at address 0.
     pub fn run<P: Program>(&self, program: &P, input: &[Word]) -> Result<RunResult> {
-        self.execute(program, input, None).map(|(r, _)| r)
+        self.execute(program, input, self.tracing)
     }
 
     /// Runs `program` and additionally records a full [`ExecTrace`].
@@ -209,17 +229,18 @@ impl QsmMachine {
         program: &P,
         input: &[Word],
     ) -> Result<(RunResult, ExecTrace)> {
-        let mut trace = ExecTrace::default();
-        let result = self.execute(program, input, Some(&mut trace))?;
-        Ok((result.0, trace))
+        let mut result = self.execute(program, input, true)?;
+        let trace = result.trace.take().unwrap_or_default();
+        Ok((result, trace))
     }
 
     fn execute<P: Program>(
         &self,
         program: &P,
         input: &[Word],
-        mut trace: Option<&mut ExecTrace>,
-    ) -> Result<(RunResult, ())> {
+        want_trace: bool,
+    ) -> Result<RunResult> {
+        let mut trace = want_trace.then(ExecTrace::default);
         let n_procs = program.num_procs();
         if n_procs == 0 {
             return Err(ModelError::BadConfig(
@@ -267,6 +288,7 @@ impl QsmMachine {
                 reads: vec![Vec::new(); n_procs],
                 writes: vec![Vec::new(); n_procs],
                 committed: Vec::new(),
+                finished: vec![false; n_procs],
             });
 
             // New read requests (valued at end of phase loop, delivered next
@@ -316,6 +338,9 @@ impl QsmMachine {
                 }
                 if status == Status::Done {
                     active[pid] = false;
+                    if let Some(pt) = phase_trace.as_mut() {
+                        pt.finished[pid] = true;
+                    }
                 }
             }
 
@@ -384,20 +409,18 @@ impl QsmMachine {
             if let Some(inj) = injector.as_ref() {
                 inj.check_cost(ledger.total_time())?;
             }
-            if let (Some(t), Some(pt)) = (trace.as_deref_mut(), phase_trace) {
+            if let (Some(t), Some(pt)) = (trace.as_mut(), phase_trace) {
                 t.phases.push(pt);
             }
             phase_no += 1;
         }
 
-        Ok((
-            RunResult {
-                memory,
-                ledger,
-                faults: injector.map(FaultInjector::into_log),
-            },
-            (),
-        ))
+        Ok(RunResult {
+            memory,
+            ledger,
+            faults: injector.map(FaultInjector::into_log),
+            trace,
+        })
     }
 }
 
@@ -621,8 +644,31 @@ mod tests {
         assert_eq!(trace.phases[1].writes[0], vec![(10, 7)]);
         assert_eq!(trace.phases[1].writes[1], vec![(10, 8)]);
         assert_eq!(trace.phases[1].committed.len(), 1);
+        assert_eq!(trace.phases[0].finished, vec![false, false]);
+        assert_eq!(trace.phases[1].finished, vec![true, true]);
         let winner = res.memory.get(10);
         assert!(winner == 7 || winner == 8);
+    }
+
+    #[test]
+    fn with_tracing_populates_run_result_trace() {
+        let mk = || {
+            FnProgram::new(
+                2,
+                |_| (),
+                |pid, _, env: &mut PhaseEnv<'_>| {
+                    env.write(pid, 1);
+                    Status::Done
+                },
+            )
+        };
+        let plain = QsmMachine::qsm(1).run(&mk(), &[]).unwrap();
+        assert!(plain.trace.is_none());
+        let traced = QsmMachine::qsm(1).with_tracing().run(&mk(), &[]).unwrap();
+        let trace = traced.trace.expect("tracing machine records a trace");
+        assert_eq!(trace.phases.len(), 1);
+        assert_eq!(trace.phases[0].writes[1], vec![(1, 1)]);
+        assert_eq!(trace.phases[0].finished, vec![true, true]);
     }
 
     #[test]

@@ -68,13 +68,29 @@ impl<'a> PhaseEnv<'a> {
     }
 
     /// Value delivered for `addr`, if this processor read it last phase.
-    /// If the address was read more than once the first delivery is
-    /// returned.
+    ///
+    /// **First delivery wins**: if the address was read more than once in
+    /// the previous phase the engine delivers one `(addr, value)` pair per
+    /// request, all carrying the same committed value, and this accessor
+    /// returns the *first* of them. Use [`PhaseEnv::values`] to see every
+    /// delivery (e.g. to count duplicate requests).
     pub fn value(&self, addr: Addr) -> Option<Word> {
         self.delivered
             .iter()
             .find(|(a, _)| *a == addr)
             .map(|&(_, v)| v)
+    }
+
+    /// Every value delivered for `addr`, in request order — one entry per
+    /// read request the processor issued for that address last phase.
+    /// Empty if the address was not read. [`PhaseEnv::value`] returns only
+    /// the first of these ("first delivery wins").
+    pub fn values(&self, addr: Addr) -> Vec<Word> {
+        self.delivered
+            .iter()
+            .filter(|(a, _)| *a == addr)
+            .map(|&(_, v)| v)
+            .collect()
     }
 
     /// Issue a shared-memory read; the value arrives next phase.
@@ -162,7 +178,21 @@ impl Memory {
     }
 
     /// Bulk-initializes `values` starting at `base`.
+    ///
+    /// The load is *atomic with respect to failure*: the whole range
+    /// `base..base + values.len()` is validated against the address limit
+    /// up front, so a rejected load leaves the memory exactly as it was
+    /// (no partially-written prefix).
     pub fn load(&mut self, base: Addr, values: &[Word]) -> crate::error::Result<()> {
+        if let Some(last) = values.len().checked_sub(1) {
+            let last_addr = base.saturating_add(last);
+            if last_addr >= self.limit {
+                return Err(crate::error::ModelError::MemoryLimitExceeded {
+                    addr: base.max(self.limit),
+                    limit: self.limit,
+                });
+            }
+        }
         for (i, &v) in values.iter().enumerate() {
             self.set(base + i, v)?;
         }
@@ -250,7 +280,20 @@ mod tests {
     fn duplicate_reads_deliver_first_value() {
         let delivered = [(3usize, 7i64), (3, 8)];
         let env = PhaseEnv::new(0, &delivered);
+        // First delivery wins, even when later deliveries disagree (only
+        // possible for hand-built views; the engines deliver the single
+        // committed value for every duplicate request).
         assert_eq!(env.value(3), Some(7));
+        assert_eq!(env.values(3), vec![7, 8]);
+    }
+
+    #[test]
+    fn values_returns_all_deliveries_in_request_order() {
+        let delivered = [(3usize, 7i64), (5, -1), (3, 7), (3, 7)];
+        let env = PhaseEnv::new(0, &delivered);
+        assert_eq!(env.values(3), vec![7, 7, 7]);
+        assert_eq!(env.values(5), vec![-1]);
+        assert!(env.values(4).is_empty());
     }
 
     #[test]
@@ -276,6 +319,24 @@ mod tests {
         let mut m = Memory::with_limit(100);
         m.load(4, &[1, 2, 3]).unwrap();
         assert_eq!(m.slice(4, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_load_is_atomic_on_failure() {
+        let mut m = Memory::with_limit(8);
+        m.set(5, 42).unwrap();
+        // The tail of this load is out of range; nothing may be written.
+        let err = m.load(6, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ModelError::MemoryLimitExceeded { limit: 8, .. }
+        ));
+        assert_eq!(m.slice(0, 8), vec![0, 0, 0, 0, 0, 42, 0, 0]);
+        assert_eq!(m.extent(), 6);
+        // Entirely out-of-range loads fail too; empty loads never do.
+        assert!(m.load(9, &[1]).is_err());
+        assert!(m.load(1000, &[]).is_ok());
+        assert_eq!(m.extent(), 6);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * `?` inside a `proptest!` body converts any `std::error::Error` into a
 //!   test failure, as with the real crate's `TestCaseError`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::{Rng, RngCore, SeedableRng};

@@ -16,6 +16,7 @@
 //! * `gen_bool(p)` compares a fresh `f64` sample against `p`, which is
 //!   exact for `p = 0.0` and `p = 1.0` and within `2^-53` otherwise.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// The core of a random number generator: a source of uniform `u64`s.

@@ -7,6 +7,7 @@
 //! so output is deterministic in the seed and of cryptographic quality —
 //! more than enough for reproducible workloads and write arbitration.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::{RngCore, SeedableRng};

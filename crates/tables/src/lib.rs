@@ -28,6 +28,7 @@
 //! assert_eq!(b, Some(160.0));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cells;

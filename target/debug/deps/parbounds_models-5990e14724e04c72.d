@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/parbounds_models-5990e14724e04c72.d: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs Cargo.toml
+/root/repo/target/debug/deps/parbounds_models-5990e14724e04c72.d: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/contract.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs Cargo.toml
 
-/root/repo/target/debug/deps/libparbounds_models-5990e14724e04c72.rmeta: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs Cargo.toml
+/root/repo/target/debug/deps/libparbounds_models-5990e14724e04c72.rmeta: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/contract.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs Cargo.toml
 
 crates/models/src/lib.rs:
 crates/models/src/bsp.rs:
+crates/models/src/contract.rs:
 crates/models/src/cost.rs:
 crates/models/src/error.rs:
 crates/models/src/faults.rs:
@@ -13,5 +14,5 @@ crates/models/src/shared.rs:
 crates/models/src/work.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

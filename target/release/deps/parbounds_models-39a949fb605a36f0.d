@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/parbounds_models-39a949fb605a36f0.d: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs
+/root/repo/target/release/deps/parbounds_models-39a949fb605a36f0.d: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/contract.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs
 
-/root/repo/target/release/deps/libparbounds_models-39a949fb605a36f0.rlib: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs
+/root/repo/target/release/deps/libparbounds_models-39a949fb605a36f0.rlib: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/contract.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs
 
-/root/repo/target/release/deps/libparbounds_models-39a949fb605a36f0.rmeta: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs
+/root/repo/target/release/deps/libparbounds_models-39a949fb605a36f0.rmeta: crates/models/src/lib.rs crates/models/src/bsp.rs crates/models/src/contract.rs crates/models/src/cost.rs crates/models/src/error.rs crates/models/src/faults.rs crates/models/src/gsm.rs crates/models/src/qsm.rs crates/models/src/shared.rs crates/models/src/work.rs
 
 crates/models/src/lib.rs:
 crates/models/src/bsp.rs:
+crates/models/src/contract.rs:
 crates/models/src/cost.rs:
 crates/models/src/error.rs:
 crates/models/src/faults.rs:

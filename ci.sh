@@ -17,3 +17,13 @@ if target/release/parbounds lint --family racy-fixture >/dev/null; then
     echo "ci: racy fixture was NOT flagged by 'parbounds lint'" >&2
     exit 1
 fi
+
+# Static-analysis gate: every IR-lifted family's pre-execution ledger
+# prediction must match the measured ledger cell for cell, with a granted
+# race-freedom certificate (exit 1 on any divergence), and the racy plan
+# fixture must be refused a certificate (exit 1 from the analyzer).
+target/release/parbounds analyze --static --all
+if target/release/parbounds analyze --static --family racy-plan >/dev/null; then
+    echo "ci: racy plan was NOT flagged by 'parbounds analyze --static'" >&2
+    exit 1
+fi

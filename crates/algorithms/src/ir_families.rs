@@ -1,0 +1,205 @@
+//! Section 8 families lifted onto the PhaseIR.
+//!
+//! Each constructor pairs a [`PhasePlan`] with the concrete input the
+//! static-vs-measured cross-validation runs it on. Where a hand-written
+//! program exists in this crate (OR write tree, parity read tree,
+//! broadcast, BSP reduce), the plan mirrors it request for request, and
+//! the tests below assert that the IR interpreter reproduces the original
+//! ledger *exactly* — same phases, same `(m_op, m_rw, κ)`, same cost.
+//!
+//! The OR write tree is guarded (a leaf writes only when it saw a 1), so
+//! its saturating static prediction is a worst case; the family therefore
+//! ships an all-ones input, on which the worst case is attained. All
+//! other families are data-independent.
+
+use crate::or_tree::or_default_fanin;
+use crate::workloads::{random_bits, uniform_values};
+use parbounds_ir::{
+    broadcast, bsp_fan_in_reduce, bsp_prefix_scan, dart_round, fan_in_read_tree, fan_in_write_tree,
+    prefix_sweep, scatter_gather, CombineOp, ModelKind, PhasePlan, ValueRule,
+};
+use parbounds_models::Word;
+
+/// The QSM write-combining OR tree (fan-in `max(2, g)`) on an all-ones
+/// input, which saturates every guard and attains
+/// [`crate::or_tree::or_write_tree_cost_max`].
+pub fn or_write_tree_plan(n: usize, g: u64) -> (PhasePlan, Vec<Word>) {
+    let k = or_default_fanin(g);
+    (
+        fan_in_write_tree(n, k, ModelKind::Qsm { g }),
+        vec![1; n.max(1)],
+    )
+}
+
+/// The s-QSM binary parity read tree on random bits.
+pub fn parity_read_tree_plan(n: usize, g: u64, seed: u64) -> (PhasePlan, Vec<Word>) {
+    (
+        fan_in_read_tree(n, 2, CombineOp::Xor, ModelKind::SQsm { g }),
+        random_bits(n.max(1), seed),
+    )
+}
+
+/// The QSM fan-out-`(g+1)` broadcast of a single word to `n` cells.
+pub fn broadcast_plan(n: usize, g: u64) -> (PhasePlan, Vec<Word>) {
+    let k = (g as usize + 1).max(2);
+    (broadcast(n, k, ModelKind::Qsm { g }), vec![7])
+}
+
+/// The QSM `k`-ary Hillis–Steele prefix-sums sweep over uniform values.
+pub fn prefix_sweep_plan(n: usize, g: u64, seed: u64) -> (PhasePlan, Vec<Word>) {
+    let k = (g as usize).max(2);
+    (
+        prefix_sweep(n, k, CombineOp::Sum, ModelKind::Qsm { g }),
+        uniform_values(n.max(1), seed),
+    )
+}
+
+/// A contention-free gather/scatter rotation: processor `i` reads cell
+/// `(i+1) mod n` and writes it, reversed, into the output region.
+pub fn scatter_gather_plan(n: usize, g: u64, seed: u64) -> (PhasePlan, Vec<Word>) {
+    let n = n.max(1);
+    let sources: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+    let dests: Vec<usize> = (0..n).map(|i| n + (n - 1 - i)).collect();
+    (
+        scatter_gather(&sources, &dests, ModelKind::Qsm { g }),
+        uniform_values(n, seed),
+    )
+}
+
+/// The BSP fan-in-`max(2, L/g)` parity reduction over `n` random bits
+/// partitioned across `p` components.
+pub fn bsp_reduce_plan(p: usize, g: u64, l: u64, n: usize, seed: u64) -> (PhasePlan, Vec<Word>) {
+    let k = ((l / g.max(1)) as usize).max(2);
+    (
+        bsp_fan_in_reduce(p, k, CombineOp::Xor, g, l),
+        random_bits(n.max(1), seed),
+    )
+}
+
+/// The BSP `k`-ary doubling prefix scan of partition sums.
+pub fn bsp_prefix_scan_plan(
+    p: usize,
+    g: u64,
+    l: u64,
+    n: usize,
+    seed: u64,
+) -> (PhasePlan, Vec<Word>) {
+    let k = ((l / g.max(1)) as usize).max(2);
+    (
+        bsp_prefix_scan(p, k, CombineOp::Sum, g, l),
+        uniform_values(n.max(1), seed),
+    )
+}
+
+/// A deliberately racy dart round: four processors throw *different*
+/// constants at cell 0 in the same phase. The static certifier must
+/// refuse to certify it, and the exhaustive dynamic detector must exhibit
+/// an arbitration witness.
+pub fn racy_plan() -> (PhasePlan, Vec<Word>) {
+    let targets: Vec<(usize, ValueRule)> = (0..4)
+        .map(|pid| (0usize, ValueRule::Const(pid as Word + 1)))
+        .collect();
+    (dart_round(&targets, ModelKind::Qsm { g: 8 }), Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::broadcast as broadcast_algo;
+    use crate::bsp_algos::bsp_reduce;
+    use crate::or_tree::or_write_tree;
+    use crate::reduce::parity_read_tree;
+    use crate::util::ReduceOp;
+    use parbounds_ir::execute_plan;
+    use parbounds_models::{BspMachine, QsmMachine};
+
+    #[test]
+    fn or_write_tree_plan_mirrors_original_ledger() {
+        for (n, g) in [(1usize, 2u64), (7, 2), (16, 4), (33, 8), (100, 8)] {
+            let (plan, input) = or_write_tree_plan(n, g);
+            let run = execute_plan(&plan, &input).unwrap();
+            let machine = QsmMachine::qsm(g);
+            let orig = or_write_tree(&machine, &input, or_default_fanin(g)).unwrap();
+            assert_eq!(run.ledger, orig.run.ledger, "n={n} g={g}");
+            assert_eq!(run.output, vec![orig.value]);
+        }
+    }
+
+    #[test]
+    fn parity_read_tree_plan_mirrors_original_ledger() {
+        for (n, g) in [(1usize, 2u64), (2, 2), (9, 4), (31, 8)] {
+            let (plan, input) = parity_read_tree_plan(n, g, 11);
+            let run = execute_plan(&plan, &input).unwrap();
+            let machine = QsmMachine::sqsm(g);
+            let orig = parity_read_tree(&machine, &input, 2).unwrap();
+            assert_eq!(run.ledger, orig.run.ledger, "n={n} g={g}");
+            assert_eq!(run.output, vec![orig.value]);
+        }
+    }
+
+    #[test]
+    fn broadcast_plan_mirrors_original_ledger() {
+        for (n, g) in [(1usize, 2u64), (5, 2), (17, 4), (64, 8)] {
+            let (plan, input) = broadcast_plan(n, g);
+            let run = execute_plan(&plan, &input).unwrap();
+            let machine = QsmMachine::qsm(g);
+            let orig = broadcast_algo(&machine, input[0], n, (g as usize + 1).max(2)).unwrap();
+            assert_eq!(run.ledger, orig.run.ledger, "n={n} g={g}");
+            assert_eq!(run.output, orig.values);
+        }
+    }
+
+    #[test]
+    fn bsp_reduce_plan_mirrors_original_ledger() {
+        for (p, g, l, n) in [(1usize, 2u64, 8u64, 5usize), (4, 2, 8, 16), (16, 4, 32, 64)] {
+            let (plan, input) = bsp_reduce_plan(p, g, l, n, 5);
+            let run = execute_plan(&plan, &input).unwrap();
+            let machine = BspMachine::new(p, g, l).unwrap();
+            let k = ((l / g) as usize).max(2);
+            let orig = bsp_reduce(&machine, &input, k, ReduceOp::Xor).unwrap();
+            assert_eq!(run.ledger, orig.ledger, "p={p} g={g} l={l}");
+            assert_eq!(run.output[0], orig.value);
+        }
+    }
+
+    #[test]
+    fn prefix_and_scatter_plans_compute_correct_values() {
+        let (plan, input) = prefix_sweep_plan(23, 4, 3);
+        let run = execute_plan(&plan, &input).unwrap();
+        let mut acc = 0;
+        let want: Vec<Word> = input
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        assert_eq!(run.output, want);
+
+        let (plan, input) = scatter_gather_plan(9, 4, 3);
+        let run = execute_plan(&plan, &input).unwrap();
+        let want: Vec<Word> = (0..9).rev().map(|i| input[(i + 1) % 9]).collect();
+        assert_eq!(run.output, want);
+    }
+
+    #[test]
+    fn bsp_prefix_scan_plan_scans_partition_folds() {
+        let (plan, input) = bsp_prefix_scan_plan(6, 2, 8, 20, 9);
+        let run = execute_plan(&plan, &input).unwrap();
+        let machine = BspMachine::new(6, 2, 8).unwrap();
+        let parts: Vec<Word> = machine
+            .partition(&input)
+            .iter()
+            .map(|s| s.iter().sum())
+            .collect();
+        let mut acc = 0;
+        let want: Vec<Word> = parts
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        assert_eq!(run.output, want);
+    }
+}

@@ -30,6 +30,7 @@ pub mod broadcast;
 pub mod bsp_algos;
 pub mod emulation;
 pub mod gsm_algos;
+pub mod ir_families;
 pub mod lac;
 pub mod list_rank;
 pub mod or_tree;

@@ -53,6 +53,13 @@ pub enum Rule {
     /// subsequently read: the write's information is lost, which usually
     /// indicates a wrong address computation or an undeclared output.
     UnconsumedWrite,
+    /// A phase (or superstep) of a declared plan issues no requests,
+    /// charges no local work, and retires no processor: it contributes
+    /// nothing yet still pays the model's per-phase minimum (`g`, or `L`
+    /// on the BSP). Only the static analyzer can see this — a dynamic
+    /// trace cannot distinguish a dead phase from a data-dependent quiet
+    /// one.
+    DeadPhase,
 }
 
 impl Rule {
@@ -63,7 +70,9 @@ impl Rule {
             | Rule::ContentionOverBound
             | Rule::BspUndeliverableSend
             | Rule::GsmGammaViolation => Severity::Error,
-            Rule::SqsmAsymmetry | Rule::DeadRead | Rule::UnconsumedWrite => Severity::Warning,
+            Rule::SqsmAsymmetry | Rule::DeadRead | Rule::UnconsumedWrite | Rule::DeadPhase => {
+                Severity::Warning
+            }
         }
     }
 
@@ -77,6 +86,7 @@ impl Rule {
             Rule::GsmGammaViolation => "gsm-gamma-violation",
             Rule::DeadRead => "dead-read",
             Rule::UnconsumedWrite => "unconsumed-write",
+            Rule::DeadPhase => "dead-phase",
         }
     }
 }

@@ -22,10 +22,18 @@
 //!    [`CostContract`](parbounds_models::CostContract)); the checker fits
 //!    measured ledger sweeps against it and fails on super-envelope
 //!    growth.
+//! 4. **Static plan analysis** ([`statics`]): for schedules declared as a
+//!    `parbounds-ir` [`PhasePlan`](parbounds_ir::PhasePlan), predicts the
+//!    exact per-phase `(m_op, m_rw, κ)` / BSP `h` ledger *without
+//!    executing*, certifies race-freedom by write-set disjointness, and
+//!    applies the same rule table as the dynamic lints ([`rules`] is the
+//!    single source of truth for both passes). [`cross_validate`] then
+//!    runs the plan and asserts predicted == measured, cell for cell.
 //!
-//! [`suite`] wires all Section 8 families through the three analyses; the
-//! `parbounds lint` CLI subcommand renders the result and exits non-zero
-//! when anything is flagged.
+//! [`suite`] wires all Section 8 families through the dynamic analyses and
+//! [`statics`] cross-validates the IR-lifted families; the `parbounds
+//! lint` / `parbounds analyze --static` CLI subcommands render the results
+//! and exit non-zero when anything is flagged.
 //!
 //! [`WinnerPolicy`]: parbounds_models::WinnerPolicy
 //! [`ExecTrace`]: parbounds_models::ExecTrace
@@ -38,6 +46,8 @@ pub mod contracts;
 pub mod diagnostics;
 pub mod lints;
 pub mod race;
+pub mod rules;
+pub mod statics;
 pub mod suite;
 
 pub use contracts::{check_contract, ContractPoint, ContractReport};
@@ -46,4 +56,9 @@ pub use lints::{
     lint_bsp_trace, lint_gsm_trace, lint_qsm_trace, BspLintConfig, LintConfig, OutputSpec,
 };
 pub use race::{detect_races_qsm, detect_races_with, Probe, RaceConfig, RaceReport, RaceWitness};
+pub use statics::{
+    analyze_plan, analyze_static_all, analyze_static_family, certify_writes, cross_validate,
+    lint_plan, predict_ledger, CrossValidation, StaticAnalysis, StaticFamilyReport,
+    StaticRaceWitness, StaticReport, WriteCertificate, IR_FAMILIES,
+};
 pub use suite::{analyze_all, analyze_family, AnalysisReport, FamilyReport, SuiteConfig, FAMILIES};

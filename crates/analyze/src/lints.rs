@@ -11,6 +11,7 @@ use std::ops::Range;
 use parbounds_models::{Addr, BspTrace, ExecTrace, GsmTrace};
 
 use crate::diagnostics::{Diagnostic, Location, Rule};
+use crate::rules;
 
 /// Which cells count as the program's *outputs* for the unconsumed-write
 /// rule (outputs are read by the host after termination, not in-trace).
@@ -198,7 +199,7 @@ fn lint_phase(
             out.push(Diagnostic::new(
                 Rule::SamePhaseReadWrite,
                 loc(None, Some(addr)),
-                format!("cell has {r} read(s) and {w} write(s) in the same phase"),
+                rules::same_phase_read_write(r, w),
             ));
         }
     }
@@ -210,7 +211,7 @@ fn lint_phase(
                 out.push(Diagnostic::new(
                     Rule::ContentionOverBound,
                     loc(None, Some(addr)),
-                    format!("contention {k} exceeds declared bound {bound}"),
+                    rules::contention_over_bound(k, bound),
                 ));
             }
         }
@@ -226,10 +227,7 @@ fn lint_phase(
                     out.push(Diagnostic::new(
                         Rule::SqsmAsymmetry,
                         loc(None, Some(addr)),
-                        format!(
-                            "contention {k} > {bound} is charged g·κ on the s-QSM; \
-                             restructure toward symmetric fan-in"
-                        ),
+                        rules::sqsm_asymmetry(k, bound),
                     ));
                 }
             }
@@ -241,7 +239,7 @@ fn lint_phase(
         out.push(Diagnostic::new(
             Rule::DeadRead,
             loc(Some(pid), None),
-            format!("{n} read(s) issued in the processor's final phase are never delivered"),
+            rules::dead_read(n),
         ));
     }
 
@@ -251,10 +249,7 @@ fn lint_phase(
             out.push(Diagnostic::new(
                 Rule::GsmGammaViolation,
                 loc(None, Some(addr)),
-                format!(
-                    "write into γ-packed input cell {addr} (input region is [0, {}))",
-                    cfg.input_cells
-                ),
+                rules::gsm_gamma_violation(addr, cfg.input_cells),
             ));
         }
     }
@@ -301,8 +296,7 @@ fn lint_unconsumed(
                 pid: None,
                 addr: Some(addr),
             },
-            "cell is written but its final value is never read and is not a declared output"
-                .to_string(),
+            rules::unconsumed_write(),
         ));
     }
 }
@@ -411,12 +405,11 @@ pub fn lint_bsp_trace(trace: &BspTrace, cfg: &BspLintConfig) -> Vec<Diagnostic> 
                             pid: Some(src),
                             addr: None,
                         },
-                        format!(
-                            "message (tag {}, value {}) sent to component {dest}, which \
-                             finished in superstep {} — next-superstep delivery is lost",
+                        rules::bsp_undeliverable_send(
                             msg.tag,
                             msg.value,
-                            finished_at[dest].unwrap()
+                            dest,
+                            finished_at[dest].unwrap(),
                         ),
                     ));
                 }
@@ -438,10 +431,7 @@ pub fn lint_bsp_trace(trace: &BspTrace, cfg: &BspLintConfig) -> Vec<Diagnostic> 
                             pid: Some(pid),
                             addr: None,
                         },
-                        format!(
-                            "component routes {h} messages (sent {sent}, received {recv}), \
-                             exceeding the declared h-relation bound {bound}"
-                        ),
+                        rules::h_over_bound(h, sent, recv, bound),
                     ));
                 }
             }

@@ -1,0 +1,185 @@
+//! Static-vs-measured cross-validation of the IR-lifted Section 8
+//! families on a deterministic `(n, p, g, L)` grid.
+//!
+//! The static analyzer claims to reproduce the simulator's ledger without
+//! running anything; these tests hold it to that claim *cell for cell* —
+//! every phase's `(m_op, m_rw, κ, cost)` — and anchor the predicted
+//! totals against the paper's closed forms where those are exact. The
+//! racy fixture closes the loop in the other direction: the certificate
+//! the static pass refuses must correspond to a divergence the dynamic
+//! exhaustive detector of PR 2 can actually exhibit.
+
+use parbounds_algo::bsp_algos::bsp_reduce_supersteps;
+use parbounds_algo::ir_families::{
+    broadcast_plan, bsp_prefix_scan_plan, bsp_reduce_plan, or_write_tree_plan,
+    parity_read_tree_plan, prefix_sweep_plan, racy_plan, scatter_gather_plan,
+};
+use parbounds_algo::or_tree::{or_default_fanin, or_write_tree_cost_max};
+use parbounds_algo::reduce::tree_reduce_cost;
+use parbounds_analyze::{
+    analyze_static_all, certify_writes, cross_validate, detect_races_qsm, predict_ledger,
+    RaceConfig, WriteCertificate, IR_FAMILIES,
+};
+use parbounds_ir::{IrProgram, ModelKind, OutputDecl, PhasePlan};
+use parbounds_models::{QsmMachine, Word};
+
+const NS: [usize; 5] = [1, 9, 33, 100, 257];
+const GS: [u64; 3] = [2, 5, 8];
+
+fn assert_exact(plan: &PhasePlan, input: &[Word], label: &str) {
+    let cv = cross_validate(plan, input).unwrap();
+    assert_eq!(
+        cv.predicted.phases(),
+        cv.measured.phases(),
+        "{label}: static ledger must equal measured ledger cell for cell"
+    );
+}
+
+#[test]
+fn qsm_families_cross_validate_on_the_grid() {
+    for &n in &NS {
+        for &g in &GS {
+            let (plan, input) = or_write_tree_plan(n, g);
+            assert_exact(&plan, &input, &format!("or-write-tree n={n} g={g}"));
+
+            let (plan, input) = parity_read_tree_plan(n, g, 41);
+            assert_exact(&plan, &input, &format!("parity-read-tree n={n} g={g}"));
+
+            let (plan, input) = broadcast_plan(n, g);
+            assert_exact(&plan, &input, &format!("broadcast n={n} g={g}"));
+
+            let (plan, input) = prefix_sweep_plan(n, g, 42);
+            assert_exact(&plan, &input, &format!("prefix-sweep n={n} g={g}"));
+
+            let (plan, input) = scatter_gather_plan(n, g, 43);
+            assert_exact(&plan, &input, &format!("scatter-gather n={n} g={g}"));
+        }
+    }
+}
+
+#[test]
+fn bsp_families_cross_validate_on_the_grid() {
+    for &(p, g, l) in &[
+        (1usize, 2u64, 8u64),
+        (4, 2, 8),
+        (8, 4, 16),
+        (16, 4, 32),
+        (16, 8, 64),
+        (7, 3, 3),
+    ] {
+        for &n in &[1usize, 10, 64, 200] {
+            let (plan, input) = bsp_reduce_plan(p, g, l, n, 44);
+            assert_exact(
+                &plan,
+                &input,
+                &format!("bsp-reduce p={p} g={g} l={l} n={n}"),
+            );
+
+            let (plan, input) = bsp_prefix_scan_plan(p, g, l, n, 45);
+            assert_exact(
+                &plan,
+                &input,
+                &format!("bsp-prefix-scan p={p} g={g} l={l} n={n}"),
+            );
+        }
+    }
+}
+
+/// The predicted totals must land exactly on the closed forms the paper's
+/// Section 8 analysis gives for the tree families (the broadcast closed
+/// form is an upper bound, checked as such), and the BSP reduction must
+/// predict exactly `ceil_log(p) + 1` supersteps.
+#[test]
+fn predicted_totals_match_closed_forms() {
+    for &n in &NS {
+        for &g in &GS {
+            let (plan, _) = or_write_tree_plan(n, g);
+            let predicted = predict_ledger(&plan).unwrap().total_time();
+            assert_eq!(
+                predicted,
+                or_write_tree_cost_max(n, or_default_fanin(g), g),
+                "or-write-tree n={n} g={g}"
+            );
+
+            let (plan, _) = parity_read_tree_plan(n, g, 46);
+            let predicted = predict_ledger(&plan).unwrap().total_time();
+            assert_eq!(predicted, tree_reduce_cost(n, 2, g), "parity n={n} g={g}");
+
+            let (plan, _) = broadcast_plan(n, g);
+            let predicted = predict_ledger(&plan).unwrap().total_time();
+            let bound =
+                parbounds_algo::broadcast::broadcast_cost_max(n, (g as usize + 1).max(2), g);
+            assert!(
+                predicted <= bound,
+                "broadcast n={n} g={g}: predicted {predicted} > closed-form bound {bound}"
+            );
+        }
+    }
+    for &(p, g, l) in &[(4usize, 2u64, 8u64), (16, 4, 32), (16, 8, 64)] {
+        let (plan, _) = bsp_reduce_plan(p, g, l, 64, 47);
+        let k = ((l / g) as usize).max(2);
+        assert_eq!(plan.num_phases(), bsp_reduce_supersteps(p, k));
+    }
+}
+
+/// Statically certified race-free plans must be confirmed deterministic
+/// by the PR 2 exhaustive arbitration detector at small sizes, and the
+/// refused fixture must produce a concrete dynamic divergence witness.
+#[test]
+fn certificates_agree_with_the_exhaustive_detector() {
+    let mut cfg = RaceConfig::new(3);
+    cfg.exhaustive_limit = 4096;
+
+    for family in ["or-write-tree", "prefix-sweep", "broadcast"] {
+        let (plan, input) = match family {
+            "or-write-tree" => or_write_tree_plan(6, 2),
+            "prefix-sweep" => prefix_sweep_plan(5, 2, 48),
+            _ => broadcast_plan(7, 2),
+        };
+        assert!(
+            certify_writes(&plan).unwrap().is_race_free(),
+            "{family} must certify"
+        );
+        let OutputDecl::Region { base, len } = plan.output else {
+            panic!("shared plans declare a region");
+        };
+        let ModelKind::Qsm { g } = plan.model else {
+            panic!("fixture families are QSM");
+        };
+        let prog = IrProgram::new(&plan).unwrap();
+        let report =
+            detect_races_qsm(&QsmMachine::qsm(g), &prog, &input, base..base + len, &cfg).unwrap();
+        assert!(
+            report.is_deterministic(),
+            "{family}: detector contradicts the static certificate: {:?}",
+            report.witness
+        );
+    }
+
+    let (plan, input) = racy_plan();
+    let cert = certify_writes(&plan).unwrap();
+    let WriteCertificate::Racy { witnesses } = &cert else {
+        panic!("racy fixture must be refused a certificate");
+    };
+    let prog = IrProgram::new(&plan).unwrap();
+    let report = detect_races_qsm(&QsmMachine::qsm(8), &prog, &input, 0..1, &cfg).unwrap();
+    let dynamic = report
+        .witness
+        .expect("dynamic detector must exhibit the statically predicted race");
+    assert_eq!(dynamic.addr, witnesses[0].addr);
+    assert_eq!(dynamic.contending_pids, witnesses[0].pids);
+}
+
+/// The standard suite must be clean end to end (this is the assertion the
+/// ci.sh `parbounds analyze --static --all` gate runs in-process).
+#[test]
+fn full_static_suite_is_clean_at_several_sizes() {
+    for n in [32usize, 256, 500] {
+        let report = analyze_static_all(n, 11).unwrap();
+        assert_eq!(report.families.len(), IR_FAMILIES.len());
+        assert!(report.clean(), "n={n}:\n{}", report.render());
+        for f in &report.families {
+            assert!(f.matches, "{}: ledgers diverge at n={n}", f.family);
+        }
+    }
+}

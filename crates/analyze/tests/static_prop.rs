@@ -1,0 +1,100 @@
+//! Property tests for the static plan analyzer: on *random* `(n, p, g,
+//! L)` configurations, the per-phase sequence predicted without execution
+//! must equal the executed ledger exactly, and every statically certified
+//! race-free plan must be confirmed deterministic by the exhaustive
+//! arbitration detector at small sizes.
+
+use parbounds_algo::ir_families::{
+    broadcast_plan, bsp_prefix_scan_plan, bsp_reduce_plan, or_write_tree_plan,
+    parity_read_tree_plan, prefix_sweep_plan, scatter_gather_plan,
+};
+use parbounds_analyze::{certify_writes, cross_validate, detect_races_qsm, RaceConfig};
+use parbounds_ir::{IrProgram, ModelKind, OutputDecl};
+use parbounds_models::QsmMachine;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shared-memory families: exact static == measured per-phase
+    /// equality for arbitrary problem sizes, gaps and workload seeds.
+    #[test]
+    fn qsm_static_ledgers_are_exact(n in 1usize..120, g in 1u64..12, seed in any::<u64>()) {
+        for (label, (plan, input)) in [
+            ("or-write-tree", or_write_tree_plan(n, g)),
+            ("parity-read-tree", parity_read_tree_plan(n, g, seed)),
+            ("broadcast", broadcast_plan(n, g)),
+            ("prefix-sweep", prefix_sweep_plan(n, g, seed)),
+            ("scatter-gather", scatter_gather_plan(n, g, seed)),
+        ] {
+            let cv = cross_validate(&plan, &input)?;
+            prop_assert_eq!(
+                cv.predicted.phases(),
+                cv.measured.phases(),
+                "{} n={} g={}", label, n, g
+            );
+        }
+    }
+
+    /// BSP families: exact equality for arbitrary `(p, g, L)` with the
+    /// model's `L >= g` constraint respected by construction.
+    #[test]
+    fn bsp_static_ledgers_are_exact(
+        p in 1usize..10,
+        g in 1u64..8,
+        l_mult in 1u64..6,
+        n in 1usize..150,
+        seed in any::<u64>(),
+    ) {
+        let l = g * l_mult;
+        for (label, (plan, input)) in [
+            ("bsp-reduce", bsp_reduce_plan(p, g, l, n, seed)),
+            ("bsp-prefix-scan", bsp_prefix_scan_plan(p, g, l, n, seed)),
+        ] {
+            let cv = cross_validate(&plan, &input)?;
+            prop_assert_eq!(
+                cv.predicted.phases(),
+                cv.measured.phases(),
+                "{} p={} g={} l={} n={}", label, p, g, l, n
+            );
+        }
+    }
+
+    /// Static race-freedom certificates are confirmed by the exhaustive
+    /// dynamic detector on small instances (the arbitration space is
+    /// enumerable there, so this is a proof, not a sample).
+    #[test]
+    fn certified_plans_are_dynamically_deterministic(
+        n in 1usize..8,
+        g in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = RaceConfig::new(seed);
+        cfg.exhaustive_limit = 2048;
+        for (label, (plan, input)) in [
+            ("or-write-tree", or_write_tree_plan(n, g)),
+            ("broadcast", broadcast_plan(n, g)),
+            ("prefix-sweep", prefix_sweep_plan(n, g, seed)),
+        ] {
+            prop_assert!(certify_writes(&plan)?.is_race_free(), "{}", label);
+            let OutputDecl::Region { base, len } = plan.output else {
+                panic!("shared plans declare a region");
+            };
+            let ModelKind::Qsm { g } = plan.model else {
+                panic!("fixture families are QSM");
+            };
+            let prog = IrProgram::new(&plan)?;
+            let report = detect_races_qsm(
+                &QsmMachine::qsm(g),
+                &prog,
+                &input,
+                base..base + len,
+                &cfg,
+            )?;
+            prop_assert!(
+                report.is_deterministic(),
+                "{} n={} g={}: {:?}", label, n, g, report.witness
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! parbounds emulate   [--n N --p P --g G --l L]
 //! parbounds faults    [--n N --seed S]
 //! parbounds lint      [--all | --family F] [--n N --seed S --list]
+//! parbounds analyze   --static [--all | --family F] [--n N --seed S --list]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,7 +53,8 @@ fn usage() -> &'static str {
   parbounds adversary [--n N --mu MU --trials T]
   parbounds emulate   [--n N --p P --g G --l L]
   parbounds faults    [--n N --seed S]
-  parbounds lint      [--all | --family F] [--n N --seed S --list]"
+  parbounds lint      [--all | --family F] [--n N --seed S --list]
+  parbounds analyze   --static [--all | --family F] [--n N --seed S --list]"
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
@@ -65,6 +67,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "emulate" => cmd_emulate(&args),
         "faults" => cmd_faults(&args),
         "lint" => cmd_lint(&args),
+        "analyze" => cmd_analyze(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -296,6 +299,61 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         }
     };
     print!("{}", report.render());
+    if !report.clean() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    args.assert_known(&["static", "all", "family", "n", "seed", "list"])?;
+    use parbounds::analyze::{
+        analyze_static_all, analyze_static_family, StaticReport, IR_FAMILIES,
+    };
+    use parbounds::tables::{render_static_table, StaticRow};
+
+    if !args.flag("static") {
+        return Err(
+            "parbounds analyze requires --static (pre-execution plan analysis); \
+             dynamic trace analysis lives under `parbounds lint`"
+                .into(),
+        );
+    }
+    if args.flag("list") {
+        println!("registered PhaseIR families:");
+        for f in IR_FAMILIES {
+            println!("  {f}");
+        }
+        println!("  racy-plan (deliberately racy fixture; never clean)");
+        return Ok(());
+    }
+
+    let n = args.usize("n", 256)?;
+    let seed = args.u64("seed", 42)?;
+    let family = args.str("family", "");
+
+    let report = if family.is_empty() || args.flag("all") {
+        analyze_static_all(n, seed).map_err(|e| e.to_string())?
+    } else {
+        StaticReport {
+            families: vec![analyze_static_family(&family, n, seed).map_err(|e| e.to_string())?],
+        }
+    };
+    print!("{}", report.render());
+    println!();
+    let rows: Vec<StaticRow> = report
+        .families
+        .iter()
+        .map(|f| StaticRow {
+            family: f.family.to_string(),
+            model: f.model.to_string(),
+            phases: f.phases,
+            predicted: f.predicted_time,
+            measured: Some(f.measured_time),
+            formula: f.formula,
+        })
+        .collect();
+    print!("{}", render_static_table(&rows));
     if !report.clean() {
         std::process::exit(1);
     }

@@ -12,6 +12,9 @@
 //!   algebra of [`boolean`];
 //! * the full Table 1 bound registry and the Claim 2.1/2.2 GSM mappings
 //!   ([`tables`]);
+//! * a declarative schedule IR ([`ir`]) whose plans the static analyzer in
+//!   [`analyze`] costs, certifies race-free and lints *without executing*,
+//!   then cross-validates against the simulators cell for cell;
 //! * the [`experiment`] runner that regenerates each sub-table with
 //!   measured-vs-bound columns (driven by the `parbounds-bench` binaries).
 //!
@@ -46,6 +49,7 @@ pub use parbounds_adversary as adversary;
 pub use parbounds_algo as algo;
 pub use parbounds_analyze as analyze;
 pub use parbounds_boolean as boolean;
+pub use parbounds_ir as ir;
 pub use parbounds_models as models;
 pub use parbounds_tables as tables;
 

@@ -1,0 +1,555 @@
+//! Schedule combinators: builders that assemble [`PhasePlan`]s for the
+//! Section 8 algorithm families.
+//!
+//! Each combinator mirrors, phase for phase and request for request, the
+//! communication pattern of the corresponding hand-written program in
+//! `parbounds-algo` (where one exists), so that the IR's executed ledger is
+//! identical to the original algorithm's — the cross-validation tests in
+//! `parbounds-analyze` assert this cell for cell. The fan-in/fan-out
+//! parameter `k` is chosen by the caller from the model parameters (`g` on
+//! the QSM, `L/g` on the BSP) per the paper's recipes.
+
+use crate::plan::{
+    CombineOp, CompStep, Guard, InitRule, ModelKind, MsgStep, OutputDecl, PhasePlan, PlanBody,
+    ProcPhase, SharedPhase, Update, ValueRule,
+};
+use parbounds_models::Addr;
+
+/// `⌈log_k n⌉` computed by repeated ceiling division (matches
+/// `parbounds_algo::ceil_log`).
+fn ceil_log(n: usize, k: usize) -> usize {
+    assert!(k >= 2, "fan-in must be at least 2");
+    let mut width = n.max(1);
+    let mut levels = 0;
+    while width > 1 {
+        width = width.div_ceil(k);
+        levels += 1;
+    }
+    levels
+}
+
+/// `k^e`, saturating.
+fn kpow(k: usize, e: usize) -> usize {
+    let mut x = 1usize;
+    for _ in 0..e {
+        x = x.saturating_mul(k);
+    }
+    x
+}
+
+/// Highest tree level a leaf survives to: the largest `m <= depth` with
+/// `k^m | i` (matches the OR-tree's representative rule).
+fn rep_level(i: usize, k: usize, depth: usize) -> usize {
+    if i == 0 {
+        return depth;
+    }
+    let mut m = 0;
+    let mut stride = k;
+    while m < depth && i.is_multiple_of(stride) {
+        m += 1;
+        stride = stride.saturating_mul(k);
+    }
+    m
+}
+
+/// The round at which a processor joins a `k`-ary broadcast: 0 for pid 0,
+/// otherwise the `l` with `k^(l-1) <= pid < k^l`.
+fn join_round(i: usize, k: usize) -> usize {
+    if i == 0 {
+        return 0;
+    }
+    let mut reach = 1usize;
+    let mut l = 0;
+    while reach <= i {
+        reach = reach.saturating_mul(k);
+        l += 1;
+    }
+    l
+}
+
+/// `FanInTree{k}` over *writes*: the QSM OR tree of Section 8.
+///
+/// Leaves read their input bit; at each round the survivors that saw a 1
+/// write a common 1 into their group's cell (contention `<= k`, absorbed by
+/// the QSM's `max` cost rule), and one representative per group advances.
+/// The plan is race-free despite multi-writer cells because every
+/// concurrent write commits the same constant. On an all-ones input the
+/// executed schedule saturates every guard, matching the static
+/// (worst-case) prediction and `or_write_tree_cost_max` exactly.
+pub fn fan_in_write_tree(n: usize, k: usize, model: ModelKind) -> PhasePlan {
+    assert!(n >= 1, "fan_in_write_tree needs at least one leaf");
+    let depth = ceil_log(n, k);
+    // Layout mirror of the OR-tree program: levels above the n input
+    // cells, then the output cell.
+    let mut next = n;
+    let mut level_bases = Vec::with_capacity(depth);
+    let mut width = n;
+    for _ in 0..depth {
+        width = width.div_ceil(k);
+        level_bases.push(next);
+        next += width;
+    }
+    let out = next;
+
+    let mut phases = Vec::with_capacity(2 * depth + 2);
+    let mut leaf_read = SharedPhase::new("leaf-read");
+    for pid in 0..n {
+        leaf_read.procs.push(ProcPhase::idle(pid).read(pid));
+    }
+    phases.push(leaf_read);
+
+    for round in 1..=depth {
+        let stride = kpow(k, round - 1);
+        let group = stride.saturating_mul(k);
+        let mut write = SharedPhase::new(format!("level-{round}-write"));
+        for pid in (0..n).step_by(stride) {
+            let lvl = rep_level(pid, k, depth);
+            if lvl < round - 1 {
+                continue;
+            }
+            write.procs.push(
+                ProcPhase::idle(pid)
+                    .update(Update::Fold(CombineOp::Or))
+                    .guard(Guard::NonZero)
+                    .write(level_bases[round - 1] + pid / group, ValueRule::Const(1)),
+            );
+            if lvl == round - 1 {
+                write.finish.push(pid);
+            }
+        }
+        phases.push(write);
+
+        let mut read = SharedPhase::new(format!("level-{round}-read"));
+        for pid in (0..n).step_by(group) {
+            if rep_level(pid, k, depth) < round {
+                continue;
+            }
+            read.procs
+                .push(ProcPhase::idle(pid).read(level_bases[round - 1] + pid / group));
+        }
+        phases.push(read);
+    }
+
+    let mut publish = SharedPhase::new("publish");
+    publish.procs.push(
+        ProcPhase::idle(0)
+            .update(Update::Fold(CombineOp::Or))
+            .write(out, ValueRule::Reg(0)),
+    );
+    publish.finish.push(0);
+    phases.push(publish);
+
+    PhasePlan {
+        family: "fan-in-write-tree".into(),
+        model,
+        procs: n,
+        input_cells: n,
+        contention_bound: Some(k as u64),
+        output: OutputDecl::Region { base: out, len: 1 },
+        body: PlanBody::Shared(phases),
+    }
+}
+
+/// `FanInTree{k}` over *reads*: the s-QSM-friendly reduction tree.
+///
+/// One processor per internal node; a node reads its (up to `k`) children
+/// and writes their fold one cell up. Every cell is read by exactly one
+/// processor, so the contention is 1 everywhere — the symmetric pattern the
+/// s-QSM's `g·κ` charge demands.
+pub fn fan_in_read_tree(n: usize, k: usize, op: CombineOp, model: ModelKind) -> PhasePlan {
+    assert!(n >= 1, "fan_in_read_tree needs at least one leaf");
+    assert!(k >= 2, "fan-in must be at least 2");
+    // Width of each tree level, leaves first (mirrors TreeShape).
+    let mut widths = vec![n];
+    while *widths.last().expect("non-empty") > 1 {
+        widths.push(widths.last().expect("non-empty").div_ceil(k));
+    }
+    let depth = widths.len() - 1;
+    let mut level_bases = vec![0usize];
+    let mut next = n.max(1);
+    for &w in widths.iter().skip(1) {
+        level_bases.push(next);
+        next += w;
+    }
+    // Degenerate single-leaf tree: one proc copies the leaf to a fresh root.
+    let degenerate = depth == 0;
+    let proc_nodes: Vec<(usize, usize)> = if degenerate {
+        level_bases.push(next);
+        vec![(1, 0)]
+    } else {
+        let mut nodes = Vec::new();
+        for (level, &w) in widths.iter().enumerate().skip(1) {
+            for node in 0..w {
+                nodes.push((level, node));
+            }
+        }
+        nodes
+    };
+    let root = *level_bases.last().expect("non-empty");
+
+    let eff_depth = if degenerate { 1 } else { depth };
+    let mut phases: Vec<SharedPhase> = (0..2 * eff_depth)
+        .map(|t| {
+            let level = t / 2 + 1;
+            if t % 2 == 0 {
+                SharedPhase::new(format!("level-{level}-read"))
+            } else {
+                SharedPhase::new(format!("level-{level}-write"))
+            }
+        })
+        .collect();
+
+    for (pid, &(level, node)) in proc_nodes.iter().enumerate() {
+        let children = if degenerate {
+            1
+        } else {
+            k.min(widths[level - 1] - node * k)
+        };
+        let read_phase = 2 * (level - 1);
+        let mut entry = ProcPhase::idle(pid);
+        for c in 0..children {
+            entry = entry.read(level_bases[level - 1] + node * k + c);
+        }
+        phases[read_phase].procs.push(entry);
+        phases[read_phase + 1].procs.push(
+            ProcPhase::idle(pid)
+                .update(Update::Fold(op))
+                .write(level_bases[level] + node, ValueRule::Reg(0)),
+        );
+        phases[read_phase + 1].finish.push(pid);
+    }
+
+    PhasePlan {
+        family: "fan-in-read-tree".into(),
+        model,
+        procs: proc_nodes.len(),
+        input_cells: n,
+        contention_bound: Some(1),
+        output: OutputDecl::Region { base: root, len: 1 },
+        body: PlanBody::Shared(phases),
+    }
+}
+
+/// `Broadcast{replication}`: `k`-ary doubling broadcast of cell 0 to `n`
+/// output cells.
+///
+/// Round `l` processors read one of the `k^(l-1)` already-published copies
+/// (contention `<= k-1` per copy) and republish, mirroring the
+/// `parbounds_algo::broadcast` program exactly.
+pub fn broadcast(n: usize, k: usize, model: ModelKind) -> PhasePlan {
+    assert!(n >= 1, "broadcast needs at least one receiver");
+    assert!(k >= 2, "fan-out must be at least 2");
+    let out: Addr = 1;
+    let rounds = ceil_log(n, k);
+    let mut phases: Vec<SharedPhase> = (0..=rounds)
+        .flat_map(|l| {
+            [
+                SharedPhase::new(format!("round-{l}-read")),
+                SharedPhase::new(format!("round-{l}-write")),
+            ]
+        })
+        .collect();
+    for pid in 0..n {
+        let join = join_round(pid, k);
+        let src = if pid == 0 {
+            0
+        } else {
+            out + pid % kpow(k, join - 1)
+        };
+        phases[2 * join].procs.push(ProcPhase::idle(pid).read(src));
+        phases[2 * join + 1].procs.push(
+            ProcPhase::idle(pid)
+                .update(Update::Load)
+                .write(out + pid, ValueRule::Reg(0)),
+        );
+        phases[2 * join + 1].finish.push(pid);
+    }
+    PhasePlan {
+        family: "broadcast".into(),
+        model,
+        procs: n,
+        input_cells: 1,
+        contention_bound: Some((k as u64 - 1).max(1)),
+        output: OutputDecl::Region { base: out, len: n },
+        body: PlanBody::Shared(phases),
+    }
+}
+
+/// `PrefixSweep{k}`: a `k`-ary Hillis–Steele prefix scan on the shared
+/// memory models.
+///
+/// Processor `i` maintains the fold of the window of (up to) `k^t` inputs
+/// ending at `i`; each round it reads the `k-1` windows to its left at
+/// stride `k^t` and widens its window by a factor of `k`. After
+/// `⌈log_k n⌉` rounds cell `out + i` holds `op`-prefix `x_0 … x_i`. All
+/// window writes land at distinct cells, so the plan is race-free with
+/// read contention `<= k-1`.
+pub fn prefix_sweep(n: usize, k: usize, op: CombineOp, model: ModelKind) -> PhasePlan {
+    assert!(n >= 1, "prefix_sweep needs at least one element");
+    assert!(k >= 2, "fan-in must be at least 2");
+    let rounds = ceil_log(n, k);
+    let buf = [n, 2 * n]; // double buffers; `out` is the region at 3n.
+    let out = 3 * n;
+
+    let mut phases = Vec::with_capacity(2 * rounds + 2);
+    let mut input_read = SharedPhase::new("input-read");
+    for pid in 0..n {
+        input_read.procs.push(ProcPhase::idle(pid).read(pid));
+    }
+    phases.push(input_read);
+
+    // A window write is only issued when some later round will read it.
+    let wanted = |i: usize, t: usize| (1..k).any(|j| i + j * kpow(k, t) < n);
+    let mut seed = SharedPhase::new("window-seed");
+    for pid in 0..n {
+        let mut entry = ProcPhase::idle(pid).update(Update::Fold(op));
+        if rounds == 0 {
+            entry = entry.write(out + pid, ValueRule::Reg(0));
+            seed.finish.push(pid);
+        } else if wanted(pid, 0) {
+            entry = entry.write(buf[0] + pid, ValueRule::Reg(0));
+        }
+        seed.procs.push(entry);
+    }
+    phases.push(seed);
+
+    for t in 0..rounds {
+        let stride = kpow(k, t);
+        let cur = buf[t % 2];
+        let last = t + 1 == rounds;
+        let next = if last { out } else { buf[(t + 1) % 2] };
+
+        let mut read = SharedPhase::new(format!("sweep-{t}-read"));
+        for pid in stride..n {
+            let mut entry = ProcPhase::idle(pid);
+            for j in 1..k {
+                if j * stride <= pid {
+                    entry = entry.read(cur + pid - j * stride);
+                }
+            }
+            read.procs.push(entry);
+        }
+        phases.push(read);
+
+        let mut write = SharedPhase::new(format!("sweep-{t}-write"));
+        for pid in 0..n {
+            let mut entry = ProcPhase::idle(pid).update(Update::Accum(op));
+            if last {
+                entry = entry.write(out + pid, ValueRule::Reg(0));
+                write.finish.push(pid);
+            } else if wanted(pid, t + 1) {
+                entry = entry.write(next + pid, ValueRule::Reg(0));
+            }
+            write.procs.push(entry);
+        }
+        phases.push(write);
+    }
+
+    PhasePlan {
+        family: "prefix-sweep".into(),
+        model,
+        procs: n,
+        input_cells: n,
+        contention_bound: Some((k as u64 - 1).max(1)),
+        output: OutputDecl::Region { base: out, len: n },
+        body: PlanBody::Shared(phases),
+    }
+}
+
+/// `Scatter/Gather`: one read round from `sources`, one write round to
+/// `dests` (a data-movement permutation when both are duplicate-free).
+pub fn scatter_gather(sources: &[Addr], dests: &[Addr], model: ModelKind) -> PhasePlan {
+    assert_eq!(sources.len(), dests.len(), "sources and dests must pair up");
+    assert!(
+        !sources.is_empty(),
+        "scatter_gather needs at least one item"
+    );
+    let n = sources.len();
+    let base = *dests.iter().min().expect("non-empty");
+    let len = *dests.iter().max().expect("non-empty") - base + 1;
+    let multiplicity = |addrs: &[Addr]| {
+        let mut sorted = addrs.to_vec();
+        sorted.sort_unstable();
+        sorted
+            .chunk_by(|a, b| a == b)
+            .map(|c| c.len() as u64)
+            .max()
+            .unwrap_or(1)
+    };
+    let bound = multiplicity(sources).max(multiplicity(dests));
+
+    let mut gather = SharedPhase::new("gather");
+    let mut scatter = SharedPhase::new("scatter");
+    for (pid, (&src, &dst)) in sources.iter().zip(dests.iter()).enumerate() {
+        gather.procs.push(ProcPhase::idle(pid).read(src));
+        scatter.procs.push(
+            ProcPhase::idle(pid)
+                .update(Update::Load)
+                .write(dst, ValueRule::Reg(0)),
+        );
+        scatter.finish.push(pid);
+    }
+    PhasePlan {
+        family: "scatter-gather".into(),
+        model,
+        procs: n,
+        input_cells: sources.iter().max().map_or(0, |&m| m + 1),
+        contention_bound: Some(bound),
+        output: OutputDecl::Region { base, len },
+        body: PlanBody::Shared(phases_pair(gather, scatter)),
+    }
+}
+
+fn phases_pair(a: SharedPhase, b: SharedPhase) -> Vec<SharedPhase> {
+    vec![a, b]
+}
+
+/// `DartRound`: a single all-write phase, processor `i` throwing one dart
+/// at `targets[i]`. The building block of the LAC sampling rounds — and,
+/// with colliding targets, the canonical *racy* fixture the static race
+/// certifier must reject.
+pub fn dart_round(targets: &[(Addr, ValueRule)], model: ModelKind) -> PhasePlan {
+    assert!(!targets.is_empty(), "dart_round needs at least one dart");
+    let base = targets.iter().map(|&(a, _)| a).min().expect("non-empty");
+    let len = targets.iter().map(|&(a, _)| a).max().expect("non-empty") - base + 1;
+    let mut phase = SharedPhase::new("dart-throw");
+    for (pid, &(addr, value)) in targets.iter().enumerate() {
+        phase.procs.push(ProcPhase::idle(pid).write(addr, value));
+        phase.finish.push(pid);
+    }
+    PhasePlan {
+        family: "dart-round".into(),
+        model,
+        procs: targets.len(),
+        input_cells: 0,
+        contention_bound: Some(1),
+        output: OutputDecl::Region { base, len },
+        body: PlanBody::Shared(vec![phase]),
+    }
+}
+
+/// Senders into `pid` at tree round `r` of a `k`-ary fan-in over `p`
+/// components: `pid + j·k^r` for `j = 1..k`, bounded by `p`.
+fn fanin_senders(pid: usize, k: usize, r: usize, p: usize) -> u64 {
+    (1..k).filter(|&j| pid + j * kpow(k, r) < p).count() as u64
+}
+
+/// BSP `FanInTree{k}` reduce: the fan-in-`(L/g)` reduction of Section 8.
+///
+/// Each component seeds register 0 with the fold of its input partition;
+/// round `r` has the non-leaders among the surviving multiples of `k^r`
+/// send their value to their group leader and halt. Mirrors
+/// `parbounds_algo::bsp_reduce` superstep for superstep.
+pub fn bsp_fan_in_reduce(p: usize, k: usize, op: CombineOp, g: u64, l: u64) -> PhasePlan {
+    assert!(p >= 1, "bsp_fan_in_reduce needs at least one component");
+    assert!(k >= 2, "fan-in must be at least 2");
+    let depth = ceil_log(p, k);
+    let mut steps = Vec::with_capacity(depth + 1);
+    for r in 0..depth {
+        let stride = kpow(k, r);
+        let group = stride.saturating_mul(k);
+        let mut step = MsgStep::new(format!("fan-in-{r}"));
+        for pid in (0..p).step_by(stride) {
+            let ops = if r == 0 {
+                0
+            } else {
+                fanin_senders(pid, k, r - 1, p)
+            };
+            let mut comp = CompStep::idle(pid).update(Update::Accum(op)).local_ops(ops);
+            if pid % group != 0 {
+                comp = comp.send(pid - pid % group, 0, ValueRule::Reg(0));
+                step.finish.push(pid);
+            }
+            step.comps.push(comp);
+        }
+        steps.push(step);
+    }
+    let mut root = MsgStep::new("root-fold");
+    let ops = if depth == 0 {
+        0
+    } else {
+        fanin_senders(0, k, depth - 1, p)
+    };
+    root.comps
+        .push(CompStep::idle(0).update(Update::Accum(op)).local_ops(ops));
+    root.finish.push(0);
+    steps.push(root);
+
+    PhasePlan {
+        family: "bsp-fan-in-reduce".into(),
+        model: ModelKind::Bsp { p, g, l },
+        procs: p,
+        input_cells: 0,
+        contention_bound: Some((k as u64 - 1).max(1)),
+        output: OutputDecl::ComponentState,
+        body: PlanBody::Msg {
+            init: InitRule::FoldLocal(op),
+            steps,
+        },
+    }
+}
+
+/// BSP `PrefixSweep{k}`: a `k`-ary doubling prefix scan over component
+/// partitions. After the final superstep component `i` holds the
+/// `op`-prefix of partitions `0..=i` in register 0.
+pub fn bsp_prefix_scan(p: usize, k: usize, op: CombineOp, g: u64, l: u64) -> PhasePlan {
+    assert!(p >= 1, "bsp_prefix_scan needs at least one component");
+    assert!(k >= 2, "fan-out must be at least 2");
+    let rounds = ceil_log(p, k);
+    let mut steps = Vec::with_capacity(rounds + 1);
+    for t in 0..rounds {
+        let stride = kpow(k, t);
+        let mut step = MsgStep::new(format!("scan-{t}"));
+        for pid in 0..p {
+            let (update, ops) = if t == 0 {
+                (Update::Keep, 0)
+            } else {
+                (
+                    Update::Accum(op),
+                    (1..k).filter(|&j| pid >= j * kpow(k, t - 1)).count() as u64,
+                )
+            };
+            let mut comp = CompStep::idle(pid).update(update).local_ops(ops);
+            for j in 1..k {
+                let dest = pid + j * stride;
+                if dest < p {
+                    comp = comp.send(dest, 0, ValueRule::Reg(0));
+                }
+            }
+            step.comps.push(comp);
+        }
+        steps.push(step);
+    }
+    let mut fin = MsgStep::new("scan-final");
+    for pid in 0..p {
+        let ops = if rounds == 0 {
+            0
+        } else {
+            (1..k).filter(|&j| pid >= j * kpow(k, rounds - 1)).count() as u64
+        };
+        fin.comps.push(
+            CompStep::idle(pid)
+                .update(if rounds == 0 {
+                    Update::Keep
+                } else {
+                    Update::Accum(op)
+                })
+                .local_ops(ops),
+        );
+        fin.finish.push(pid);
+    }
+    steps.push(fin);
+
+    PhasePlan {
+        family: "bsp-prefix-scan".into(),
+        model: ModelKind::Bsp { p, g, l },
+        procs: p,
+        input_cells: 0,
+        contention_bound: Some((k as u64 - 1).max(1)),
+        output: OutputDecl::ComponentState,
+        body: PlanBody::Msg {
+            init: InitRule::FoldLocal(op),
+            steps,
+        },
+    }
+}

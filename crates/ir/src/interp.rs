@@ -1,0 +1,241 @@
+//! IR → `Program` interpreters: grounding a [`PhasePlan`] on the real
+//! simulators.
+//!
+//! [`IrProgram`] adapts a shared-memory plan to the `Program` trait run by
+//! [`QsmMachine`]; [`IrBspProgram`] adapts a message-passing plan to the
+//! `BspProgram` trait run by [`BspMachine`]. Both are thin: a processor's
+//! state is just its register file, and each phase looks up the plan entry
+//! for `(phase, pid)` and replays its declared update, guard, and
+//! requests. [`execute_plan`] picks the right machine from the plan's
+//! [`ModelKind`] and returns the measured ledger plus the declared output,
+//! which the static analyzer cross-validates against its prediction.
+
+use std::collections::HashMap;
+
+use crate::plan::{apply_update, Guard, InitRule, ModelKind, OutputDecl, PhasePlan, PlanBody};
+use parbounds_models::{
+    BspMachine, BspProgram, CostLedger, ModelError, PhaseEnv, Program, QsmMachine, Result, Status,
+    Superstep, Word,
+};
+
+/// Per-phase lookup tables for one plan body.
+struct PhaseTable {
+    /// `table[t][pid]` = index of the entry for `pid` in phase `t`.
+    table: Vec<HashMap<usize, usize>>,
+    /// `finish[pid]` = phase in which `pid` halts.
+    finish: Vec<usize>,
+}
+
+/// A shared-memory [`PhasePlan`] adapted to the simulators' `Program`
+/// trait. Construct with [`IrProgram::new`]; the plan is validated first.
+pub struct IrProgram<'a> {
+    plan: &'a PhasePlan,
+    phases: PhaseTable,
+}
+
+impl<'a> IrProgram<'a> {
+    /// Validates `plan` and builds the interpreter. Fails on structurally
+    /// invalid plans and on BSP (message-passing) plans.
+    pub fn new(plan: &'a PhasePlan) -> Result<Self> {
+        plan.validate()?;
+        let PlanBody::Shared(phases) = &plan.body else {
+            return Err(ModelError::BadConfig(format!(
+                "plan '{}': IrProgram interprets shared-memory plans; use IrBspProgram",
+                plan.family
+            )));
+        };
+        let table = phases
+            .iter()
+            .map(|phase| {
+                phase
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, entry)| (entry.pid, i))
+                    .collect()
+            })
+            .collect();
+        Ok(IrProgram {
+            plan,
+            phases: PhaseTable {
+                table,
+                finish: plan.finish_phases()?,
+            },
+        })
+    }
+}
+
+impl Program for IrProgram<'_> {
+    type Proc = Vec<Word>;
+
+    fn num_procs(&self) -> usize {
+        self.plan.procs
+    }
+
+    fn create(&self, _pid: usize) -> Self::Proc {
+        Vec::new()
+    }
+
+    fn phase(&self, pid: usize, regs: &mut Self::Proc, env: &mut PhaseEnv) -> Status {
+        let t = env.phase();
+        let PlanBody::Shared(phases) = &self.plan.body else {
+            unreachable!("IrProgram::new rejects non-shared plans");
+        };
+        if let Some(phase) = phases.get(t) {
+            if let Some(&i) = self.phases.table[t].get(&pid) {
+                let entry = &phase.procs[i];
+                let delivered: Vec<Word> = env.delivered().iter().map(|&(_, v)| v).collect();
+                apply_update(entry.update, regs, &delivered);
+                let fire = match entry.guard {
+                    Guard::Always => true,
+                    Guard::NonZero => regs.first().copied().unwrap_or(0) != 0,
+                };
+                if fire {
+                    if entry.local_ops > 0 {
+                        env.local_ops(entry.local_ops);
+                    }
+                    for &addr in &entry.reads {
+                        env.read(addr);
+                    }
+                    for w in &entry.writes {
+                        env.write(w.addr, w.value.eval(regs));
+                    }
+                }
+            }
+        }
+        if t >= self.phases.finish[pid] {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// A message-passing [`PhasePlan`] adapted to the `BspProgram` trait.
+pub struct IrBspProgram<'a> {
+    plan: &'a PhasePlan,
+    init: InitRule,
+    steps: PhaseTable,
+}
+
+impl<'a> IrBspProgram<'a> {
+    /// Validates `plan` and builds the interpreter. Fails on structurally
+    /// invalid plans and on shared-memory plans.
+    pub fn new(plan: &'a PhasePlan) -> Result<Self> {
+        plan.validate()?;
+        let PlanBody::Msg { init, steps } = &plan.body else {
+            return Err(ModelError::BadConfig(format!(
+                "plan '{}': IrBspProgram interprets message-passing plans; use IrProgram",
+                plan.family
+            )));
+        };
+        let table = steps
+            .iter()
+            .map(|step| {
+                step.comps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, entry)| (entry.pid, i))
+                    .collect()
+            })
+            .collect();
+        Ok(IrBspProgram {
+            plan,
+            init: *init,
+            steps: PhaseTable {
+                table,
+                finish: plan.finish_phases()?,
+            },
+        })
+    }
+}
+
+impl BspProgram for IrBspProgram<'_> {
+    type Proc = Vec<Word>;
+
+    fn create(&self, _pid: usize, local_input: &[Word]) -> Self::Proc {
+        vec![match self.init {
+            InitRule::Const(v) => v,
+            InitRule::FoldLocal(op) => op.fold(local_input),
+        }]
+    }
+
+    fn superstep(&self, pid: usize, regs: &mut Self::Proc, ctx: &mut Superstep) -> Status {
+        let t = ctx.step();
+        let PlanBody::Msg { steps, .. } = &self.plan.body else {
+            unreachable!("IrBspProgram::new rejects non-message plans");
+        };
+        if let Some(step) = steps.get(t) {
+            if let Some(&i) = self.steps.table[t].get(&pid) {
+                let entry = &step.comps[i];
+                let inbox: Vec<Word> = ctx.inbox().iter().map(|m| m.value).collect();
+                apply_update(entry.update, regs, &inbox);
+                if entry.local_ops > 0 {
+                    ctx.local_ops(entry.local_ops);
+                }
+                for send in &entry.sends {
+                    ctx.send(send.dest, send.tag, send.value.eval(regs));
+                }
+            }
+        }
+        if t >= self.steps.finish[pid] {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// The measured outcome of grounding a plan on its simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRun {
+    /// Per-phase cost records from the real machine.
+    pub ledger: CostLedger,
+    /// The declared output: the shared-memory region, or register 0 of
+    /// every BSP component in pid order.
+    pub output: Vec<Word>,
+}
+
+/// Runs `plan` on the simulator its [`ModelKind`] names and collects the
+/// measured ledger plus the declared output.
+///
+/// GSM plans are analyze-only (the GSM is this repo's lower-bound model;
+/// its programs are written against a different trait) and are rejected
+/// with `BadConfig`.
+pub fn execute_plan(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
+    match plan.model {
+        ModelKind::Qsm { g } | ModelKind::SQsm { g } | ModelKind::QsmUnitCr { g } => {
+            let machine = match plan.model {
+                ModelKind::Qsm { .. } => QsmMachine::qsm(g),
+                ModelKind::SQsm { .. } => QsmMachine::sqsm(g),
+                _ => QsmMachine::qsm_unit_cr(g),
+            };
+            let program = IrProgram::new(plan)?;
+            let result = machine.run(&program, input)?;
+            let OutputDecl::Region { base, len } = plan.output else {
+                unreachable!("validate() ties shared plans to Region outputs");
+            };
+            Ok(PlanRun {
+                ledger: result.ledger,
+                output: result.memory.slice(base, len),
+            })
+        }
+        ModelKind::Bsp { p, g, l } => {
+            let machine = BspMachine::new(p, g, l)?;
+            let program = IrBspProgram::new(plan)?;
+            let result = machine.run(&program, input)?;
+            Ok(PlanRun {
+                ledger: result.ledger,
+                output: result
+                    .states
+                    .iter()
+                    .map(|regs| regs.first().copied().unwrap_or(0))
+                    .collect(),
+            })
+        }
+        ModelKind::Gsm { .. } => Err(ModelError::BadConfig(format!(
+            "plan '{}': GSM plans are analyze-only (no IR interpreter)",
+            plan.family
+        ))),
+    }
+}

@@ -50,7 +50,7 @@ impl PhaseCost {
 /// against the paper's bounds": the total time of an algorithm is the sum of
 /// its phase costs (Section 2.1), and the number of *rounds* is the number
 /// of phases provided every phase satisfies the round budget (Section 2.3).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CostLedger {
     phases: Vec<PhaseCost>,
 }

@@ -95,9 +95,84 @@ pub fn render_rounds_table(pr: &Params) -> String {
     out
 }
 
+/// One row of the static-analysis summary table: a PhaseIR family's
+/// predicted and measured cost at a parameter point, with the paper's
+/// closed-form anchor when the Section 8 analysis gives one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticRow {
+    /// Family name (e.g. `or-write-tree`).
+    pub family: String,
+    /// Model name (`QSM`, `s-QSM`, `BSP`, `GSM`).
+    pub model: String,
+    /// Phases / supersteps in the plan.
+    pub phases: usize,
+    /// Statically predicted total model time.
+    pub predicted: u64,
+    /// Measured total model time; `None` for analyze-only plans (GSM).
+    pub measured: Option<u64>,
+    /// Closed-form cost from the paper's analysis, when available.
+    pub formula: Option<u64>,
+}
+
+/// Renders the static cross-validation summary (predicted vs measured vs
+/// closed form) in the same fixed-width style as the Table 1 renderers.
+pub fn render_static_table(rows: &[StaticRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Static PhaseIR cost prediction vs measured execution\n");
+    out.push_str(&format!(
+        "{:<18} | {:<5} | {:>6} | {:>9} | {:>9} | {:^5} | {:>11}\n",
+        "family", "model", "phases", "predicted", "measured", "match", "closed form"
+    ));
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for r in rows {
+        let measured = r
+            .measured
+            .map_or_else(|| "-".to_string(), |m| m.to_string());
+        let mark = match r.measured {
+            Some(m) if m == r.predicted => "=",
+            Some(_) => "!=",
+            None => "-",
+        };
+        let formula = r.formula.map_or_else(|| "-".to_string(), |f| f.to_string());
+        out.push_str(&format!(
+            "{:<18} | {:<5} | {:>6} | {:>9} | {:>9} | {:^5} | {:>11}\n",
+            r.family, r.model, r.phases, r.predicted, measured, mark, formula
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn static_table_marks_agreement_and_gaps() {
+        let rows = vec![
+            StaticRow {
+                family: "or-write-tree".into(),
+                model: "QSM".into(),
+                phases: 8,
+                predicted: 230,
+                measured: Some(230),
+                formula: Some(230),
+            },
+            StaticRow {
+                family: "gsm-tree".into(),
+                model: "GSM".into(),
+                phases: 5,
+                predicted: 40,
+                measured: None,
+                formula: None,
+            },
+        ];
+        let s = render_static_table(&rows);
+        assert!(s.contains("or-write-tree"));
+        assert!(s.contains('='));
+        assert!(s.contains("GSM"));
+        assert!(s.lines().any(|l| l.contains("gsm-tree") && l.contains('-')));
+    }
 
     #[test]
     fn time_tables_mention_every_problem_and_formula() {

@@ -27,3 +27,11 @@ if target/release/parbounds analyze --static --family racy-plan >/dev/null; then
     echo "ci: racy plan was NOT flagged by 'parbounds analyze --static'" >&2
     exit 1
 fi
+
+# Execution fast-path gate: the reduced hot-path grid must produce
+# bit-identical results on the dense and the reference engines (the binary
+# exits 1 on any divergence). Wall-clock speedups at smoke sizes are noise,
+# so no speedup threshold here — the perf trajectory is tracked by the full
+# run committed in BENCH_PR4.json.
+cargo run --release -q -p parbounds-bench --bin table_hotpath -- \
+    --smoke --out target/bench_smoke.json >/dev/null

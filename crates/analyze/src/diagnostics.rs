@@ -60,6 +60,13 @@ pub enum Rule {
     /// trace cannot distinguish a dead phase from a data-dependent quiet
     /// one.
     DeadPhase,
+    /// The trace retained fewer phases than the run executed (the
+    /// [`trace_phase_cap`] was hit). Every phase-indexed lint above only
+    /// saw a prefix of the execution, so a clean report does not certify
+    /// the whole run; re-run with a larger cap for a full audit.
+    ///
+    /// [`trace_phase_cap`]: parbounds_models::ExecOptions::trace_phase_cap
+    TruncatedTrace,
 }
 
 impl Rule {
@@ -70,9 +77,11 @@ impl Rule {
             | Rule::ContentionOverBound
             | Rule::BspUndeliverableSend
             | Rule::GsmGammaViolation => Severity::Error,
-            Rule::SqsmAsymmetry | Rule::DeadRead | Rule::UnconsumedWrite | Rule::DeadPhase => {
-                Severity::Warning
-            }
+            Rule::SqsmAsymmetry
+            | Rule::DeadRead
+            | Rule::UnconsumedWrite
+            | Rule::DeadPhase
+            | Rule::TruncatedTrace => Severity::Warning,
         }
     }
 
@@ -87,6 +96,7 @@ impl Rule {
             Rule::DeadRead => "dead-read",
             Rule::UnconsumedWrite => "unconsumed-write",
             Rule::DeadPhase => "dead-phase",
+            Rule::TruncatedTrace => "truncated-trace",
         }
     }
 }

@@ -301,9 +301,40 @@ fn lint_unconsumed(
     }
 }
 
+/// Flags a trace whose recording stopped at the phase cap: every
+/// phase-indexed rule only audited the retained prefix, and a clean report
+/// must not be read as certifying the whole run.
+fn lint_truncation(
+    model: &'static str,
+    recorded: usize,
+    total: usize,
+    truncated: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if truncated {
+        out.push(Diagnostic::new(
+            Rule::TruncatedTrace,
+            Location {
+                model,
+                phase: recorded,
+                pid: None,
+                addr: None,
+            },
+            rules::truncated_trace(recorded, total),
+        ));
+    }
+}
+
 /// Lints a QSM/s-QSM execution trace.
 pub fn lint_qsm_trace(trace: &ExecTrace, cfg: &LintConfig) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    lint_truncation(
+        cfg.model,
+        trace.phases.len(),
+        trace.total_phases,
+        trace.truncated,
+        &mut out,
+    );
     let mut last_write = HashMap::new();
     let mut last_read = HashMap::new();
     let mut write_phases = BTreeSet::new();
@@ -336,6 +367,13 @@ pub fn lint_qsm_trace(trace: &ExecTrace, cfg: &LintConfig) -> Vec<Diagnostic> {
 /// Lints a GSM execution trace.
 pub fn lint_gsm_trace(trace: &GsmTrace, cfg: &LintConfig) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    lint_truncation(
+        cfg.model,
+        trace.phases.len(),
+        trace.total_phases,
+        trace.truncated,
+        &mut out,
+    );
     let mut last_write = HashMap::new();
     let mut last_read = HashMap::new();
     let mut write_phases = BTreeSet::new();
@@ -371,6 +409,13 @@ pub fn lint_gsm_trace(trace: &GsmTrace, cfg: &LintConfig) -> Vec<Diagnostic> {
 /// Lints a BSP superstep trace.
 pub fn lint_bsp_trace(trace: &BspTrace, cfg: &BspLintConfig) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    lint_truncation(
+        "BSP",
+        trace.steps.len(),
+        trace.total_steps,
+        trace.truncated,
+        &mut out,
+    );
     let p = trace.steps.first().map_or(0, |s| s.finished.len());
 
     // First step at which each component finished (it executes that step,
@@ -454,12 +499,47 @@ mod tests {
         }
     }
 
+    fn trace_of(phases: Vec<PhaseTrace>) -> ExecTrace {
+        ExecTrace {
+            total_phases: phases.len(),
+            truncated: false,
+            phases,
+        }
+    }
+
+    #[test]
+    fn truncated_trace_is_flagged_and_full_trace_is_not() {
+        let mut trace = trace_of(vec![qsm_phase(2)]);
+        assert!(lint_qsm_trace(&trace, &LintConfig::qsm())
+            .iter()
+            .all(|d| d.rule != Rule::TruncatedTrace));
+        trace.total_phases = 9;
+        trace.truncated = true;
+        let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
+        assert!(diags.iter().any(|d| d.rule == Rule::TruncatedTrace
+            && d.location.phase == 1
+            && d.message.contains("1 of 9")));
+        let bsp = BspTrace {
+            steps: vec![BspStepTrace {
+                sent: vec![Vec::new(); 2],
+                received: vec![Vec::new(); 2],
+                executed: vec![true; 2],
+                finished: vec![false; 2],
+            }],
+            total_steps: 4,
+            truncated: true,
+        };
+        assert!(lint_bsp_trace(&bsp, &BspLintConfig::new())
+            .iter()
+            .any(|d| d.rule == Rule::TruncatedTrace));
+    }
+
     #[test]
     fn same_phase_read_write_is_flagged() {
         let mut pt = qsm_phase(2);
         pt.reads[0].push((5, 0));
         pt.writes[1].push((5, 9));
-        let trace = ExecTrace { phases: vec![pt] };
+        let trace = trace_of(vec![pt]);
         let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
         assert!(diags.iter().any(|d| d.rule == Rule::SamePhaseReadWrite
             && d.location.addr == Some(5)
@@ -472,7 +552,7 @@ mod tests {
         for pid in 0..4 {
             pt.writes[pid].push((7, pid as i64));
         }
-        let trace = ExecTrace { phases: vec![pt] };
+        let trace = trace_of(vec![pt]);
         let cfg = LintConfig::qsm().with_contention_bound(2);
         let diags = lint_qsm_trace(&trace, &cfg);
         assert!(diags
@@ -484,7 +564,7 @@ mod tests {
         for pid in 0..4 {
             pt.writes[pid].push((7, pid as i64));
         }
-        assert!(lint_qsm_trace(&ExecTrace { phases: vec![pt] }, &cfg)
+        assert!(lint_qsm_trace(&trace_of(vec![pt]), &cfg)
             .iter()
             .all(|d| d.rule != Rule::ContentionOverBound));
     }
@@ -496,7 +576,7 @@ mod tests {
             for pid in 0..8 {
                 pt.reads[pid].push((3, 0));
             }
-            ExecTrace { phases: vec![pt] }
+            trace_of(vec![pt])
         };
         let diags = lint_qsm_trace(&mk(), &LintConfig::sqsm(2));
         assert!(diags.iter().any(|d| d.rule == Rule::SqsmAsymmetry));
@@ -509,7 +589,7 @@ mod tests {
         let mut pt = qsm_phase(1);
         pt.reads[0].push((2, 0));
         pt.finished[0] = true;
-        let trace = ExecTrace { phases: vec![pt] };
+        let trace = trace_of(vec![pt]);
         let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
         assert!(diags
             .iter()
@@ -526,9 +606,7 @@ mod tests {
         let mut p1 = qsm_phase(2);
         p1.reads[0].push((11, 2));
         p1.writes[1].push((12, 3));
-        let trace = ExecTrace {
-            phases: vec![p0, p1],
-        };
+        let trace = trace_of(vec![p0, p1]);
         let diags = lint_qsm_trace(&trace, &LintConfig::qsm());
         let unconsumed: Vec<_> = diags
             .iter()
@@ -544,9 +622,7 @@ mod tests {
         let mut p1 = qsm_phase(2);
         p1.reads[0].push((11, 2));
         p1.writes[1].push((12, 3));
-        let trace = ExecTrace {
-            phases: vec![p0, p1],
-        };
+        let trace = trace_of(vec![p0, p1]);
         assert!(lint_qsm_trace(&trace, &cfg)
             .iter()
             .all(|d| d.rule != Rule::UnconsumedWrite));
@@ -561,7 +637,11 @@ mod tests {
             finished: vec![true],
         };
         pt.writes[0].push((1, 7));
-        let trace = GsmTrace { phases: vec![pt] };
+        let trace = GsmTrace {
+            total_phases: 1,
+            truncated: false,
+            phases: vec![pt],
+        };
         let diags = lint_gsm_trace(&trace, &LintConfig::gsm(4));
         assert!(diags
             .iter()
@@ -574,7 +654,11 @@ mod tests {
             finished: vec![true],
         };
         pt.writes[0].push((4, 7));
-        let trace = GsmTrace { phases: vec![pt] };
+        let trace = GsmTrace {
+            total_phases: 1,
+            truncated: false,
+            phases: vec![pt],
+        };
         assert!(lint_gsm_trace(&trace, &LintConfig::gsm(4))
             .iter()
             .all(|d| d.rule != Rule::GsmGammaViolation));
@@ -602,7 +686,11 @@ mod tests {
                 finished: vec![true, false],
             },
         ];
-        let trace = BspTrace { steps };
+        let trace = BspTrace {
+            total_steps: steps.len(),
+            truncated: false,
+            steps,
+        };
         let diags = lint_bsp_trace(&trace, &BspLintConfig::new());
         assert!(diags.iter().any(|d| d.rule == Rule::BspUndeliverableSend
             && d.location.phase == 1
@@ -622,7 +710,11 @@ mod tests {
             executed: vec![true, true],
             finished: vec![false, false],
         }];
-        let trace = BspTrace { steps };
+        let trace = BspTrace {
+            total_steps: steps.len(),
+            truncated: false,
+            steps,
+        };
         let cfg = BspLintConfig::new().with_h_bound(4);
         assert!(lint_bsp_trace(&trace, &cfg)
             .iter()

@@ -83,3 +83,14 @@ pub fn dead_phase(label: &str) -> String {
          processor — it only pays the model's idle minimum"
     )
 }
+
+/// [`Rule::TruncatedTrace`](crate::diagnostics::Rule::TruncatedTrace): the
+/// trace stopped recording at the phase cap, so the lint pass only audited
+/// a prefix of the run.
+pub fn truncated_trace(recorded: usize, total: usize) -> String {
+    format!(
+        "trace retains {recorded} of {total} executed phases (trace_phase_cap \
+         hit) — lints only audited the recorded prefix; raise the cap for a \
+         full audit"
+    )
+}

@@ -1,0 +1,53 @@
+//! Criterion bench of the execution fast paths: dense vs reference engines
+//! on the heaviest Section 8 workloads, at the largest standard size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use parbounds::ir::{execute_plan, execute_plan_reference, fan_in_read_tree, CombineOp, ModelKind};
+use parbounds::models::{QsmMachine, Routing, Word};
+use parbounds::qsm_time_row_on;
+use parbounds::tables::Problem;
+
+const N: usize = 1 << 14;
+
+fn bench_qsm_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_qsm");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    let dense = QsmMachine::qsm(8).with_routing(Routing::Dense);
+    let reference = QsmMachine::qsm(8).with_reference_routing();
+    group.bench_function("parity_dense", |b, _| {
+        b.iter(|| qsm_time_row_on(&dense, Problem::Parity, N, 0xbe7c).unwrap())
+    });
+    group.bench_function("parity_reference", |b, _| {
+        b.iter(|| qsm_time_row_on(&reference, Problem::Parity, N, 0xbe7c).unwrap())
+    });
+    group.bench_function("or_dense", |b, _| {
+        b.iter(|| qsm_time_row_on(&dense, Problem::Or, N, 0xbe7c).unwrap())
+    });
+    group.bench_function("or_reference", |b, _| {
+        b.iter(|| qsm_time_row_on(&reference, Problem::Or, N, 0xbe7c).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ir_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_ir");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    let plan = fan_in_read_tree(N, 3, CombineOp::Sum, ModelKind::SQsm { g: 4 });
+    let input: Vec<Word> = (0..N as Word).collect();
+    group.bench_function("read_tree_batch", |b, _| {
+        b.iter(|| execute_plan(&plan, &input).unwrap())
+    });
+    group.bench_function("read_tree_reference", |b, _| {
+        b.iter(|| execute_plan_reference(&plan, &input).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsm_paths, bench_ir_paths);
+criterion_main!(benches);

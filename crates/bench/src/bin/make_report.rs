@@ -10,6 +10,8 @@
 use parbounds::{generate_report, ReportOptions};
 
 fn main() {
+    // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
+    let _ = parbounds_bench::init_threads_from_cli();
     let report = generate_report(&ReportOptions::default()).expect("report generation failed");
     let path = "MEASUREMENTS.md";
     std::fs::write(path, &report).expect("cannot write MEASUREMENTS.md");

@@ -13,6 +13,8 @@ use parbounds::algo::{broadcast, bsp_algos, lac, or_tree, parity, util::ReduceOp
 use parbounds::models::{BspMachine, QsmMachine};
 
 fn main() {
+    // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
+    let _ = parbounds_bench::init_threads_from_cli();
     let n = 1 << 12;
     let bits = workloads::random_bits(n, 1);
 

@@ -12,6 +12,8 @@ use parbounds::tables::{render_time_table, Model, Params, Problem};
 use parbounds_bench::{fmt_opt, fmt_ratio, n_sweep, par_sweep};
 
 fn main() {
+    // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
+    let _ = parbounds_bench::init_threads_from_cli();
     let pr = Params::bsp(1_048_576.0, 8.0, 64.0, 4096.0);
     println!("{}", render_time_table(Model::Bsp, &pr));
     println!();

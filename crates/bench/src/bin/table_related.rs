@@ -17,6 +17,8 @@ use parbounds::{load_balance_row, padded_sort_row, qsm_time_row};
 use parbounds_bench::par_sweep;
 
 fn main() {
+    // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
+    let _ = parbounds_bench::init_threads_from_cli();
     println!("Theorem 6.1 transfers the LAC lower bounds to Load Balancing and Padded Sort.");
     println!("Measured (total model time across all passes) vs the transferred LAC rand LB:");
     println!();

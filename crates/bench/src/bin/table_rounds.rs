@@ -13,6 +13,8 @@ use parbounds::tables::{render_rounds_table, Model, Params, Problem};
 use parbounds_bench::par_sweep;
 
 fn main() {
+    // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
+    let _ = parbounds_bench::init_threads_from_cli();
     let pr = Params::bsp(1_048_576.0, 8.0, 64.0, 65_536.0);
     println!("{}", render_rounds_table(&pr));
     println!();

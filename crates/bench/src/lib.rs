@@ -6,8 +6,66 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Runs `f` over `items` on all available cores (order-preserving output).
+pub mod hotpath;
+
+/// Process-wide thread-count override set by [`set_threads`] (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the number of worker threads [`par_sweep`] uses. Takes precedence
+/// over the `PARBOUNDS_THREADS` environment variable.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The configured sweep width, if any: the [`set_threads`] override first,
+/// then the `PARBOUNDS_THREADS` environment variable. `None` means "use all
+/// available cores".
+pub fn configured_threads() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("PARBOUNDS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0),
+        n => Some(n),
+    }
+}
+
+/// Strips a `--threads N` flag from the process arguments, applying it via
+/// [`set_threads`], and returns the remaining (non-program-name) arguments.
+/// Every bench binary calls this first, so `--threads` works uniformly.
+pub fn init_threads_from_cli() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--threads expects a positive integer");
+                    std::process::exit(2);
+                });
+            set_threads(n);
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => set_threads(n),
+                _ => {
+                    eprintln!("--threads expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            out.push(arg);
+        }
+    }
+    out
+}
+
+/// Runs `f` over `items` on all available cores (order-preserving output),
+/// honoring [`configured_threads`] — i.e. `--threads` / `PARBOUNDS_THREADS`.
 /// The simulators are single-threaded and deterministic; sweeps across
 /// parameter points are embarrassingly parallel, so this is where the host
 /// machine's parallelism goes.
@@ -17,9 +75,12 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    let threads = configured_threads()
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
         .min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! parbounds tables    [--n N --g G --l L --p P]
-//! parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp
+//! parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp [--reference]
 //!                     [--n N --g G --l L --p P --seed S]
 //! parbounds audit     [--r R --alpha A --beta B]
 //! parbounds adversary [--n N --mu MU --trials T]
@@ -48,7 +48,7 @@ fn usage() -> &'static str {
     "usage:
   parbounds tables    [--n N --g G --l L --p P]
   parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp \\
-                      [--n N --g G --l L --p P --seed S]
+                      [--n N --g G --l L --p P --seed S --reference]
   parbounds audit     [--r R --alpha A --beta B]
   parbounds adversary [--n N --mu MU --trials T]
   parbounds emulate   [--n N --p P --g G --l L]
@@ -94,7 +94,7 @@ fn cmd_tables(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    args.assert_known(&["problem", "model", "n", "g", "l", "p", "seed"])?;
+    args.assert_known(&["problem", "model", "n", "g", "l", "p", "seed", "reference"])?;
     let n = args.usize("n", 4096)?;
     let g = args.u64("g", 8)?;
     let l = args.u64("l", 8 * g)?;
@@ -102,6 +102,31 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let seed = args.u64("seed", 42)?;
     let problem = args.str("problem", "parity");
     let model = args.str("model", "qsm");
+    // `--reference` runs on the pre-fast-path map-based engines (the
+    // executable spec of the dense routing tables) — results are identical,
+    // only wall-clock differs; useful for quick A/B sanity checks.
+    let reference = args.flag("reference");
+    let qsm = |m: QsmMachine| {
+        if reference {
+            m.with_reference_routing()
+        } else {
+            m
+        }
+    };
+    let gsm = |m: GsmMachine| {
+        if reference {
+            m.with_reference_routing()
+        } else {
+            m
+        }
+    };
+    let bsp = |m: BspMachine| {
+        if reference {
+            m.with_reference_routing()
+        } else {
+            m
+        }
+    };
 
     let bits = workloads::random_bits(n, seed);
     let items = workloads::sparse_items(n, (n / 8).max(1), seed);
@@ -109,13 +134,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let (value, time, phases, algo): (Word, u64, usize, &str) =
         match (problem.as_str(), model.as_str()) {
             ("parity", "qsm") => {
-                let m = QsmMachine::qsm(g);
+                let m = qsm(QsmMachine::qsm(g));
                 let k = parity::parity_helper_default_k(&m);
                 let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
                 (o.value, o.run.time(), o.run.phases(), "pattern-helper")
             }
             ("parity", "qsm-cr") => {
-                let m = QsmMachine::qsm_unit_cr(g);
+                let m = qsm(QsmMachine::qsm_unit_cr(g));
                 let k = parity::parity_helper_default_k(&m);
                 let o = parity::parity_pattern_helper(&m, &bits, k).map_err(|e| e.to_string())?;
                 (
@@ -126,12 +151,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 )
             }
             ("parity", "sqsm") => {
-                let m = QsmMachine::sqsm(g);
+                let m = qsm(QsmMachine::sqsm(g));
                 let o = reduce::parity_read_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
                 (o.value, o.run.time(), o.run.phases(), "binary read tree")
             }
             ("parity", "gsm") => {
-                let m = GsmMachine::new(1, g, 1);
+                let m = gsm(GsmMachine::new(1, g, 1));
                 let o = gsm_algos::gsm_parity(&m, &bits).map_err(|e| e.to_string())?;
                 (
                     o.value,
@@ -141,12 +166,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 )
             }
             ("parity", "bsp") => {
-                let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+                let m = bsp(BspMachine::new(p, g, l).map_err(|e| e.to_string())?);
                 let o = bsp_algos::bsp_parity(&m, &bits).map_err(|e| e.to_string())?;
                 (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
             }
             ("or", "qsm") => {
-                let m = QsmMachine::qsm(g);
+                let m = qsm(QsmMachine::qsm(g));
                 let o = or_tree::or_write_tree(&m, &bits, g as usize).map_err(|e| e.to_string())?;
                 (
                     o.value,
@@ -156,12 +181,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 )
             }
             ("or", "sqsm") => {
-                let m = QsmMachine::sqsm(g);
+                let m = qsm(QsmMachine::sqsm(g));
                 let o = or_tree::or_write_tree(&m, &bits, 2).map_err(|e| e.to_string())?;
                 (o.value, o.run.time(), o.run.phases(), "binary write tree")
             }
             ("or", "gsm") => {
-                let m = GsmMachine::new(1, g, 1);
+                let m = gsm(GsmMachine::new(1, g, 1));
                 let o = gsm_algos::gsm_or(&m, &bits).map_err(|e| e.to_string())?;
                 (
                     o.value,
@@ -171,16 +196,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 )
             }
             ("or", "bsp") => {
-                let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+                let m = bsp(BspMachine::new(p, g, l).map_err(|e| e.to_string())?);
                 let o = bsp_algos::bsp_or(&m, &bits).map_err(|e| e.to_string())?;
                 (o.value, o.time(), o.supersteps(), "fan-in L/g reduction")
             }
             ("lac", "qsm" | "sqsm") => {
-                let m = if model == "qsm" {
+                let m = qsm(if model == "qsm" {
                     QsmMachine::qsm(g)
                 } else {
                     QsmMachine::sqsm(g)
-                };
+                });
                 let o =
                     lac::lac_dart(&m, &items, (n / 8).max(1), seed).map_err(|e| e.to_string())?;
                 if !o.verify(&items) {
@@ -190,7 +215,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 (placed, o.run.time(), o.run.phases(), "dart-throwing")
             }
             ("lac", "bsp") => {
-                let m = BspMachine::new(p, g, l).map_err(|e| e.to_string())?;
+                let m = bsp(BspMachine::new(p, g, l).map_err(|e| e.to_string())?);
                 let o = bsp_algos::bsp_lac_dart(&m, &items, (n / 8).max(1), seed)
                     .map_err(|e| e.to_string())?;
                 if !o.verify(&items) {
@@ -216,6 +241,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     );
     println!("algorithm : {algo}");
+    println!(
+        "routing   : {}",
+        if reference {
+            "reference (map-based)"
+        } else {
+            "dense"
+        }
+    );
     println!("result    : {value}");
     println!("model time: {time}   phases/supersteps: {phases}");
 

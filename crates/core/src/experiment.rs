@@ -107,24 +107,37 @@ fn row(
 /// algorithm for `problem` on an n-bit workload and pairs it with the
 /// bounds.
 pub fn qsm_time_row(problem: Problem, n: usize, g: u64, seed: u64) -> Result<TableRow> {
-    let machine = QsmMachine::qsm(g);
+    qsm_time_row_on(&QsmMachine::qsm(g), problem, n, seed)
+}
+
+/// [`qsm_time_row`] on a caller-supplied machine: the row's `g` comes from
+/// the machine, and any execution options (routing, tracing, faults) the
+/// machine carries apply. This is what lets the hot-path benchmark run the
+/// same workload on the dense and the reference engine.
+pub fn qsm_time_row_on(
+    machine: &QsmMachine,
+    problem: Problem,
+    n: usize,
+    seed: u64,
+) -> Result<TableRow> {
+    let g = machine.g();
     let params = Params::qsm(n as f64, g as f64);
     let (measured, name) = match problem {
         Problem::Parity => {
             let bits = workloads::random_bits(n, seed);
-            let k = parity::parity_helper_default_k(&machine);
-            let out = parity::parity_pattern_helper(&machine, &bits, k)?;
+            let k = parity::parity_helper_default_k(machine);
+            let out = parity::parity_pattern_helper(machine, &bits, k)?;
             (out.run.time() as f64, "pattern-helper parity (k = log g)")
         }
         Problem::Or => {
             let bits = workloads::random_bits(n, seed);
-            let out = or_tree::or_write_tree(&machine, &bits, or_tree::or_default_fanin(g))?;
+            let out = or_tree::or_write_tree(machine, &bits, or_tree::or_default_fanin(g))?;
             (out.run.time() as f64, "write-combining OR tree (k = g)")
         }
         Problem::Lac => {
             let h = (n / 8).max(1);
             let items = workloads::sparse_items(n, h, seed);
-            let out = lac::lac_dart_accel(&machine, &items, h, seed ^ 0xd1ce)?;
+            let out = lac::lac_dart_accel(machine, &items, h, seed ^ 0xd1ce)?;
             verified(out.verify(&items), out.run.ledger.num_phases(), "LAC")?;
             (
                 out.run.ledger.total_time() as f64,
@@ -151,23 +164,33 @@ pub fn qsm_unit_cr_parity(n: usize, g: u64, seed: u64) -> Result<(f64, f64)> {
 
 /// Regenerates one row of sub-table 2 (s-QSM time).
 pub fn sqsm_time_row(problem: Problem, n: usize, g: u64, seed: u64) -> Result<TableRow> {
-    let machine = QsmMachine::sqsm(g);
+    sqsm_time_row_on(&QsmMachine::sqsm(g), problem, n, seed)
+}
+
+/// [`sqsm_time_row`] on a caller-supplied (s-QSM-flavored) machine.
+pub fn sqsm_time_row_on(
+    machine: &QsmMachine,
+    problem: Problem,
+    n: usize,
+    seed: u64,
+) -> Result<TableRow> {
+    let g = machine.g();
     let params = Params::qsm(n as f64, g as f64);
     let (measured, name) = match problem {
         Problem::Parity => {
             let bits = workloads::random_bits(n, seed);
-            let out = reduce::parity_read_tree(&machine, &bits, 2)?;
+            let out = reduce::parity_read_tree(machine, &bits, 2)?;
             (out.run.time() as f64, "binary read tree (Θ(g·log n))")
         }
         Problem::Or => {
             let bits = workloads::random_bits(n, seed);
-            let out = or_tree::or_write_tree(&machine, &bits, 2)?;
+            let out = or_tree::or_write_tree(machine, &bits, 2)?;
             (out.run.time() as f64, "binary write tree")
         }
         Problem::Lac => {
             let h = (n / 8).max(1);
             let items = workloads::sparse_items(n, h, seed);
-            let out = lac::lac_dart_accel(&machine, &items, h, seed ^ 0xd1ce)?;
+            let out = lac::lac_dart_accel(machine, &items, h, seed ^ 0xd1ce)?;
             verified(out.verify(&items), out.run.ledger.num_phases(), "LAC")?;
             (
                 out.run.ledger.total_time() as f64,
@@ -187,23 +210,34 @@ pub fn bsp_time_row(
     p: usize,
     seed: u64,
 ) -> Result<TableRow> {
-    let machine = BspMachine::new(p, g, l)?;
+    bsp_time_row_on(&BspMachine::new(p, g, l)?, problem, n, seed)
+}
+
+/// [`bsp_time_row`] on a caller-supplied machine; `(p, g, L)` come from the
+/// machine.
+pub fn bsp_time_row_on(
+    machine: &BspMachine,
+    problem: Problem,
+    n: usize,
+    seed: u64,
+) -> Result<TableRow> {
+    let (p, g, l) = (machine.p(), machine.g(), machine.l());
     let params = Params::bsp(n as f64, g as f64, l as f64, p as f64);
     let (measured, name) = match problem {
         Problem::Parity => {
             let bits = workloads::random_bits(n, seed);
-            let out = bsp_algos::bsp_parity(&machine, &bits)?;
+            let out = bsp_algos::bsp_parity(machine, &bits)?;
             (Some(out.time() as f64), "fan-in L/g reduction tree")
         }
         Problem::Or => {
             let bits = workloads::random_bits(n, seed);
-            let out = bsp_algos::bsp_or(&machine, &bits)?;
+            let out = bsp_algos::bsp_or(machine, &bits)?;
             (Some(out.time() as f64), "fan-in L/g reduction tree")
         }
         Problem::Lac => {
             let h = (n / 8).max(1);
             let items = workloads::sparse_items(n, h, seed);
-            let out = bsp_algos::bsp_lac_dart(&machine, &items, h, seed ^ 0xd1ce)?;
+            let out = bsp_algos::bsp_lac_dart(machine, &items, h, seed ^ 0xd1ce)?;
             verified(out.verify(&items), out.ledger.num_phases(), "BSP LAC")?;
             (
                 Some(out.ledger.total_time() as f64),

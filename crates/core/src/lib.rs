@@ -54,8 +54,9 @@ pub use parbounds_models as models;
 pub use parbounds_tables as tables;
 
 pub use experiment::{
-    bsp_time_row, load_balance_row, padded_sort_row, qsm_time_row, qsm_unit_cr_parity, rounds_row,
-    sqsm_time_row, RelatedRow, RoundsRow, TableRow,
+    bsp_time_row, bsp_time_row_on, load_balance_row, padded_sort_row, qsm_time_row,
+    qsm_time_row_on, qsm_unit_cr_parity, rounds_row, sqsm_time_row, sqsm_time_row_on, RelatedRow,
+    RoundsRow, TableRow,
 };
 pub use report::{generate_report, ReportOptions};
 pub use robustness::{degradation_grid, DegradationRow, RobustnessGrid, RowOutcome};

@@ -13,10 +13,13 @@
 use std::collections::HashMap;
 
 use crate::plan::{apply_update, Guard, InitRule, ModelKind, OutputDecl, PhasePlan, PlanBody};
+use parbounds_models::exec::{ContentionTable, WriteRouter};
 use parbounds_models::{
-    BspMachine, BspProgram, CostLedger, ModelError, PhaseEnv, Program, QsmMachine, Result, Status,
-    Superstep, Word,
+    Addr, BspMachine, BspProgram, CostLedger, Memory, ModelError, PhaseCost, PhaseEnv, Program,
+    QsmFlavor, QsmMachine, Result, Status, Superstep, Word,
 };
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Per-phase lookup tables for one plan body.
 struct PhaseTable {
@@ -196,20 +199,53 @@ pub struct PlanRun {
     pub output: Vec<Word>,
 }
 
+/// Builds the shared-memory machine a plan's [`ModelKind`] names.
+fn shared_machine(plan: &PhasePlan) -> Option<QsmMachine> {
+    match plan.model {
+        ModelKind::Qsm { g } => Some(QsmMachine::qsm(g)),
+        ModelKind::SQsm { g } => Some(QsmMachine::sqsm(g)),
+        ModelKind::QsmUnitCr { g } => Some(QsmMachine::qsm_unit_cr(g)),
+        _ => None,
+    }
+}
+
 /// Runs `plan` on the simulator its [`ModelKind`] names and collects the
 /// measured ledger plus the declared output.
+///
+/// Shared-memory plans go through the batch interpreter
+/// ([`run_shared_batch`]), which exploits the static schedule to skip the
+/// per-processor closure dispatch of the generic `Program` path while
+/// producing a bit-identical ledger and output; BSP plans run on the (also
+/// pooled) [`BspMachine`]. Use [`execute_plan_reference`] for the original
+/// closure-dispatch grounding.
 ///
 /// GSM plans are analyze-only (the GSM is this repo's lower-bound model;
 /// its programs are written against a different trait) and are rejected
 /// with `BadConfig`.
 pub fn execute_plan(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
     match plan.model {
-        ModelKind::Qsm { g } | ModelKind::SQsm { g } | ModelKind::QsmUnitCr { g } => {
-            let machine = match plan.model {
-                ModelKind::Qsm { .. } => QsmMachine::qsm(g),
-                ModelKind::SQsm { .. } => QsmMachine::sqsm(g),
-                _ => QsmMachine::qsm_unit_cr(g),
-            };
+        ModelKind::Qsm { .. } | ModelKind::SQsm { .. } | ModelKind::QsmUnitCr { .. } => {
+            let machine = shared_machine(plan).expect("matched shared flavors");
+            run_shared_batch(plan, &machine, input)
+        }
+        ModelKind::Bsp { .. } | ModelKind::Gsm { .. } => execute_plan_reference(plan, input),
+    }
+}
+
+/// Runs `plan` through the generic closure-dispatch interpreters
+/// ([`IrProgram`] / [`IrBspProgram`]) on the real machines, configured with
+/// [`Routing::Reference`] — i.e. the full pre-fast-path stack (per-processor
+/// closure dispatch feeding the map-based reference engines). This is the
+/// executable specification [`execute_plan`]'s batch path is differentially
+/// tested against; both return identical [`PlanRun`]s.
+///
+/// [`Routing::Reference`]: parbounds_models::Routing::Reference
+pub fn execute_plan_reference(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
+    match plan.model {
+        ModelKind::Qsm { .. } | ModelKind::SQsm { .. } | ModelKind::QsmUnitCr { .. } => {
+            let machine = shared_machine(plan)
+                .expect("matched shared flavors")
+                .with_reference_routing();
             let program = IrProgram::new(plan)?;
             let result = machine.run(&program, input)?;
             let OutputDecl::Region { base, len } = plan.output else {
@@ -221,7 +257,7 @@ pub fn execute_plan(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
             })
         }
         ModelKind::Bsp { p, g, l } => {
-            let machine = BspMachine::new(p, g, l)?;
+            let machine = BspMachine::new(p, g, l)?.with_reference_routing();
             let program = IrBspProgram::new(plan)?;
             let result = machine.run(&program, input)?;
             Ok(PlanRun {
@@ -238,4 +274,171 @@ pub fn execute_plan(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
             plan.family
         ))),
     }
+}
+
+/// Batch interpreter for shared-memory plans: executes the phase loop
+/// directly over the plan's entry lists — pre-sorted by pid once, no
+/// per-processor closure dispatch, no per-phase allocation — using the same
+/// dense routing tables as the engine fast path.
+///
+/// Observationally identical to `machine.run(&IrProgram::new(plan)?, input)`:
+/// same [`CostLedger`], same RNG consumption order for arbitrary-write
+/// arbitration (sorted-address, multi-writer cells only), same errors. The
+/// differential suite in `tests/batch_equiv.rs` enforces this against
+/// [`execute_plan_reference`].
+///
+/// Configurations the batch loop does not replicate (fault plans, trace
+/// recording) transparently fall back to the closure-dispatch path, so the
+/// guarantee holds for every machine.
+pub fn run_shared_batch(plan: &PhasePlan, machine: &QsmMachine, input: &[Word]) -> Result<PlanRun> {
+    plan.validate()?;
+    let PlanBody::Shared(phases) = &plan.body else {
+        return Err(ModelError::BadConfig(format!(
+            "plan '{}': run_shared_batch interprets shared-memory plans",
+            plan.family
+        )));
+    };
+    let OutputDecl::Region { base, len } = plan.output else {
+        unreachable!("validate() ties shared plans to Region outputs");
+    };
+    if machine.fault_plan().is_some() || machine.options().record_trace {
+        let program = IrProgram::new(plan)?;
+        let result = machine.run(&program, input)?;
+        return Ok(PlanRun {
+            ledger: result.ledger,
+            output: result.memory.slice(base, len),
+        });
+    }
+
+    let finish = plan.finish_phases()?;
+    // validate() guarantees some processor retires in the final phase and
+    // none issues afterwards, so the machine would execute exactly
+    // `phases.len()` phases — the limit check can happen up front.
+    let limit = machine.max_phases();
+    if phases.len() > limit {
+        return Err(ModelError::PhaseLimitExceeded { limit });
+    }
+
+    let mut memory = Memory::with_limit(machine.mem_limit());
+    memory.load(0, input)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(machine.seed());
+    let mut ledger = CostLedger::new();
+
+    // Entry indices per phase, sorted by pid: the generic path visits
+    // processors in pid order, and pid order is what fixes both delivery
+    // order within a write bucket and the RNG stream.
+    let order: Vec<Vec<usize>> = phases
+        .iter()
+        .map(|phase| {
+            let mut idx: Vec<usize> = (0..phase.procs.len()).collect();
+            idx.sort_unstable_by_key(|&i| phase.procs[i].pid);
+            idx
+        })
+        .collect();
+
+    let mut regs: Vec<Vec<Word>> = vec![Vec::new(); plan.procs];
+    // Values delivered to each pid by the previous phase's reads, plus the
+    // list of pids holding any — the machine discards deliveries to
+    // processors that skip a phase, so stale buffers are cleared wholesale.
+    let mut pending: Vec<Vec<Word>> = vec![Vec::new(); plan.procs];
+    let mut delivered_to: Vec<usize> = Vec::new();
+
+    let mut read_table = ContentionTable::default();
+    let mut writes = WriteRouter::default();
+    let mut new_reads: Vec<(usize, Addr)> = Vec::new();
+
+    for (t, phase) in phases.iter().enumerate() {
+        read_table.begin_phase();
+        writes.begin_phase();
+        new_reads.clear();
+        let mut m_op: u64 = 0;
+        let mut m_rw: u64 = 0;
+        let mut any_access = false;
+
+        for &i in &order[t] {
+            let entry = &phase.procs[i];
+            let pid = entry.pid;
+            apply_update(entry.update, &mut regs[pid], &pending[pid]);
+            let fire = match entry.guard {
+                Guard::Always => true,
+                Guard::NonZero => regs[pid].first().copied().unwrap_or(0) != 0,
+            };
+            if !fire {
+                continue;
+            }
+            let r_i = entry.reads.len() as u64;
+            let w_i = entry.writes.len() as u64;
+            m_op = m_op.max(entry.local_ops + r_i + w_i);
+            m_rw = m_rw.max(r_i.max(w_i));
+            any_access |= r_i + w_i > 0;
+            for &addr in &entry.reads {
+                read_table.incr(addr);
+                new_reads.push((pid, addr));
+            }
+            for w in &entry.writes {
+                writes.push(w.addr, w.value.eval(&regs[pid]));
+            }
+        }
+
+        // Deliveries are consumed exactly once: processors without an entry
+        // this phase (or past their finish) have theirs discarded, like the
+        // machine's take-and-drop.
+        for pid in delivered_to.drain(..) {
+            pending[pid].clear();
+        }
+
+        // Model rule: a cell may be read or written in a phase, not both.
+        // Sorted written-address order keeps the reported cell identical to
+        // the machine's.
+        writes.route();
+        for &addr in writes.sorted_addrs() {
+            if read_table.contains(addr) {
+                return Err(ModelError::ReadWriteConflict { addr, phase: t });
+            }
+        }
+
+        // Value reads against pre-write memory; deliveries reach only
+        // processors still active after this phase.
+        for &(pid, addr) in &new_reads {
+            let v = memory.get(addr);
+            if finish[pid] > t {
+                pending[pid].push(v);
+                delivered_to.push(pid);
+            }
+        }
+        // Commit in sorted-address order, arbitrating each cell's
+        // concurrent writers; the RNG advances only on multi-writer cells.
+        for (addr, values) in writes.groups() {
+            let value = if values.len() == 1 {
+                values[0]
+            } else {
+                values[rng.gen_range(0..values.len())]
+            };
+            memory.set(addr, value)?;
+        }
+
+        let write_contention = writes.max_contention();
+        let kappa = if any_access {
+            read_table.max_contention().max(write_contention)
+        } else {
+            1
+        };
+        let kappa = match machine.flavor() {
+            // Unit-time concurrent reads: only write contention queues.
+            QsmFlavor::QsmUnitConcurrentReads => write_contention,
+            _ => kappa,
+        };
+        let cost = machine.phase_cost(m_op, m_rw, kappa);
+        ledger.push(PhaseCost {
+            m_op,
+            m_rw: m_rw.max(1),
+            kappa,
+            cost,
+        });
+    }
+
+    Ok(PlanRun {
+        ledger,
+        output: memory.slice(base, len),
+    })
 }

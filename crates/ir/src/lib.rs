@@ -31,7 +31,9 @@ pub use combinators::{
     broadcast, bsp_fan_in_reduce, bsp_prefix_scan, dart_round, fan_in_read_tree, fan_in_write_tree,
     prefix_sweep, scatter_gather,
 };
-pub use interp::{execute_plan, IrBspProgram, IrProgram, PlanRun};
+pub use interp::{
+    execute_plan, execute_plan_reference, run_shared_batch, IrBspProgram, IrProgram, PlanRun,
+};
 pub use plan::{
     apply_update, CombineOp, CompStep, Guard, InitRule, ModelKind, MsgStep, OutputDecl, PhasePlan,
     PlanBody, ProcPhase, SendSpec, SharedPhase, Update, ValueRule, WriteSpec,

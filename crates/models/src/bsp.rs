@@ -11,6 +11,7 @@
 
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
+use crate::exec::{ExecOptions, Routing};
 use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::shared::{Status, Word};
 
@@ -41,6 +42,18 @@ impl<'a> Superstep<'a> {
             step,
             inbox,
             outbox: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// Like [`Superstep::new`] but around a recycled (empty) outbox buffer,
+    /// so steady-state supersteps of the fast path do no allocation.
+    fn with_buffer(step: usize, inbox: &'a [Msg], outbox: Vec<(usize, Msg)>) -> Self {
+        debug_assert!(outbox.is_empty());
+        Superstep {
+            step,
+            inbox,
+            outbox,
             ops: 0,
         }
     }
@@ -133,14 +146,19 @@ where
 /// [`BspMachine::with_tracing`]; consumed by the `parbounds-analyze` lint
 /// pass (e.g. to find sends addressed to components that have already
 /// finished and can never receive the delivery).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BspTrace {
-    /// One entry per superstep, in execution order.
+    /// One entry per superstep, in execution order. At most
+    /// [`ExecOptions::trace_phase_cap`] supersteps are retained.
     pub steps: Vec<BspStepTrace>,
+    /// Number of supersteps the run actually executed.
+    pub total_steps: usize,
+    /// True if the run executed more supersteps than the trace retained.
+    pub truncated: bool,
 }
 
 /// One superstep of a [`BspTrace`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BspStepTrace {
     /// `sent[pid]` = the `(dest, msg)` pairs component `pid` sent this
     /// superstep (with `msg.src` stamped, before fault injection).
@@ -191,7 +209,7 @@ pub struct BspMachine {
     l: u64,
     max_steps: usize,
     faults: Option<FaultPlan>,
-    tracing: bool,
+    opts: ExecOptions,
 }
 
 impl BspMachine {
@@ -215,7 +233,7 @@ impl BspMachine {
             l,
             max_steps: 1 << 20,
             faults: None,
-            tracing: false,
+            opts: ExecOptions::default(),
         })
     }
 
@@ -253,8 +271,38 @@ impl BspMachine {
     /// [`BspTrace`] into [`BspRunResult::trace`] (for algorithm entry
     /// points that call `run` internally, e.g. the analyzer's lint pass).
     pub fn with_tracing(mut self) -> Self {
-        self.tracing = true;
+        self.opts.record_trace = true;
         self
+    }
+
+    /// Replaces the execution options wholesale.
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Selects the execution strategy ([`Routing::Dense`] = the pooled
+    /// fast path, default).
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.opts.routing = routing;
+        self
+    }
+
+    /// Executes through the original per-superstep-allocating reference
+    /// path.
+    pub fn with_reference_routing(self) -> Self {
+        self.with_routing(Routing::Reference)
+    }
+
+    /// Sets the maximum number of supersteps a recorded trace retains.
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.opts.trace_phase_cap = cap;
+        self
+    }
+
+    /// The execution options currently in force.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
     }
 
     /// Number of components.
@@ -296,7 +344,7 @@ impl BspMachine {
 
     /// Runs `program` on `input` partitioned across the components.
     pub fn run<P: BspProgram>(&self, program: &P, input: &[Word]) -> Result<BspRunResult<P::Proc>> {
-        self.execute(program, input, self.tracing)
+        self.execute(program, input, self.opts.record_trace)
     }
 
     /// Runs `program` and records a full [`BspTrace`].
@@ -316,6 +364,21 @@ impl BspMachine {
         input: &[Word],
         want_trace: bool,
     ) -> Result<BspRunResult<P::Proc>> {
+        match self.opts.routing {
+            Routing::Dense => self.execute_pooled(program, input, want_trace),
+            Routing::Reference => self.execute_reference(program, input, want_trace),
+        }
+    }
+
+    /// The original execution path, kept as the executable specification
+    /// the pooled fast path is differentially tested against.
+    fn execute_reference<P: BspProgram>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<BspRunResult<P::Proc>> {
+        let cap = self.opts.trace_phase_cap;
         let mut trace = want_trace.then(BspTrace::default);
         let parts = self.partition(input);
         let mut states: Vec<P::Proc> = parts
@@ -346,12 +409,16 @@ impl BspMachine {
             let mut max_sent: u64 = 0;
             let mut received: Vec<u64> = vec![0; self.p];
             let mut stalled: Vec<usize> = Vec::new();
-            let mut step_trace = trace.as_ref().map(|_| BspStepTrace {
-                sent: vec![Vec::new(); self.p],
-                received: vec![Vec::new(); self.p],
-                executed: vec![false; self.p],
-                finished: vec![false; self.p],
-            });
+            let mut step_trace =
+                trace
+                    .as_ref()
+                    .filter(|t| t.steps.len() < cap)
+                    .map(|_| BspStepTrace {
+                        sent: vec![Vec::new(); self.p],
+                        received: vec![Vec::new(); self.p],
+                        executed: vec![false; self.p],
+                        finished: vec![false; self.p],
+                    });
 
             for pid in 0..self.p {
                 if !active[pid] {
@@ -445,10 +512,186 @@ impl BspMachine {
             if let Some(inj) = injector.as_ref() {
                 inj.check_cost(ledger.total_time())?;
             }
-            if let (Some(t), Some(st)) = (trace.as_mut(), step_trace) {
-                t.steps.push(st);
+            if let Some(t) = trace.as_mut() {
+                t.total_steps += 1;
+                match step_trace {
+                    Some(st) => t.steps.push(st),
+                    None => t.truncated = true,
+                }
             }
             inboxes = next_inboxes;
+            step_no += 1;
+        }
+
+        Ok(BspRunResult {
+            states,
+            ledger,
+            faults: injector.map(FaultInjector::into_log),
+            trace,
+        })
+    }
+
+    /// The pooled fast path: inbox double-buffering and outbox arena reuse
+    /// make steady-state supersteps allocation-free. Observationally
+    /// identical to [`BspMachine::execute_reference`].
+    fn execute_pooled<P: BspProgram>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<BspRunResult<P::Proc>> {
+        let cap = self.opts.trace_phase_cap;
+        let mut trace = want_trace.then(BspTrace::default);
+        let parts = self.partition(input);
+        let mut states: Vec<P::Proc> = parts
+            .iter()
+            .enumerate()
+            .map(|(pid, sl)| program.create(pid, sl))
+            .collect();
+        let mut active = vec![true; self.p];
+        let mut inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
+        // Double buffer for next-superstep deliveries: swapped with
+        // `inboxes` at the end of each step so capacities are recycled.
+        let mut next_inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
+        let mut ledger = CostLedger::new();
+        let mut injector = self.faults.as_ref().map(FaultInjector::new);
+        let step_limit = injector
+            .as_ref()
+            .map_or(self.max_steps, |i| i.effective_phase_limit(self.max_steps));
+        let mut local_step: Vec<usize> = vec![0; self.p];
+
+        // Per-run scratch, allocated once and reused across supersteps.
+        let mut received: Vec<u64> = vec![0; self.p];
+        let mut stalled: Vec<usize> = Vec::new();
+        let mut outbox_buf: Vec<(usize, Msg)> = Vec::new();
+
+        let mut step_no = 0usize;
+        while active.iter().any(|&a| a) {
+            if step_no >= step_limit {
+                return Err(ModelError::PhaseLimitExceeded { limit: step_limit });
+            }
+            for ib in next_inboxes.iter_mut() {
+                ib.clear();
+            }
+            received.fill(0);
+            stalled.clear();
+            let mut w: u64 = 0;
+            let mut max_sent: u64 = 0;
+            let mut step_trace =
+                trace
+                    .as_ref()
+                    .filter(|t| t.steps.len() < cap)
+                    .map(|_| BspStepTrace {
+                        sent: vec![Vec::new(); self.p],
+                        received: vec![Vec::new(); self.p],
+                        executed: vec![false; self.p],
+                        finished: vec![false; self.p],
+                    });
+
+            for pid in 0..self.p {
+                if !active[pid] {
+                    continue;
+                }
+                if let Some(inj) = injector.as_mut() {
+                    if inj.crash_at(pid, step_no) {
+                        return Err(ModelError::FaultAborted {
+                            phase: step_no,
+                            reason: format!("component {pid} crashed"),
+                        });
+                    }
+                    if inj.stall_at(pid, step_no) {
+                        stalled.push(pid);
+                        continue;
+                    }
+                }
+                let inbox = std::mem::take(&mut inboxes[pid]);
+                let mut ctx = Superstep::with_buffer(
+                    local_step[pid],
+                    &inbox,
+                    std::mem::take(&mut outbox_buf),
+                );
+                let status = program.superstep(pid, &mut states[pid], &mut ctx);
+                local_step[pid] += 1;
+
+                let sent = ctx.outbox.len() as u64;
+                let recv = inbox.len() as u64;
+                w = w.max(ctx.ops + sent + recv);
+                max_sent = max_sent.max(sent);
+                if let Some(st) = step_trace.as_mut() {
+                    st.executed[pid] = true;
+                    st.received[pid] = inbox.clone();
+                }
+
+                let mut outbox = ctx.outbox;
+                for (dest, mut msg) in outbox.drain(..) {
+                    if dest >= self.p {
+                        return Err(ModelError::BadProcessor {
+                            pid: dest,
+                            num_procs: self.p,
+                        });
+                    }
+                    msg.src = pid;
+                    if let Some(st) = step_trace.as_mut() {
+                        st.sent[pid].push((dest, msg));
+                    }
+                    let copies = match injector.as_mut() {
+                        Some(inj) => {
+                            if inj.drop_message() {
+                                0
+                            } else if inj.duplicate_message() {
+                                2
+                            } else {
+                                1
+                            }
+                        }
+                        None => 1,
+                    };
+                    for _ in 0..copies {
+                        received[dest] += 1;
+                        next_inboxes[dest].push(msg);
+                    }
+                }
+                outbox_buf = outbox;
+                if status == Status::Done {
+                    active[pid] = false;
+                    if let Some(st) = step_trace.as_mut() {
+                        st.finished[pid] = true;
+                    }
+                }
+                // Recycle the consumed inbox: after the end-of-step swap it
+                // becomes a delivery buffer for a later superstep.
+                let mut ib = inbox;
+                ib.clear();
+                inboxes[pid] = ib;
+            }
+
+            for &pid in &stalled {
+                let retained = std::mem::take(&mut inboxes[pid]);
+                next_inboxes[pid].splice(0..0, retained);
+            }
+            for ib in next_inboxes.iter_mut() {
+                ib.sort_unstable_by_key(|m| (m.src, m.tag));
+            }
+
+            let h = max_sent.max(received.iter().copied().max().unwrap_or(0));
+            let cost = self.superstep_cost(w, h);
+            ledger.push(PhaseCost {
+                m_op: w,
+                m_rw: h.max(1),
+                kappa: 1,
+                cost,
+            });
+            if let Some(inj) = injector.as_ref() {
+                inj.check_cost(ledger.total_time())?;
+            }
+            if let Some(t) = trace.as_mut() {
+                t.total_steps += 1;
+                match step_trace {
+                    Some(st) => t.steps.push(st),
+                    None => t.truncated = true,
+                }
+            }
+            std::mem::swap(&mut inboxes, &mut next_inboxes);
             step_no += 1;
         }
 

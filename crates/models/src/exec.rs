@@ -1,0 +1,411 @@
+//! Execution policies and the dense request-routing fast path.
+//!
+//! The cost semantics of Section 2 constrain *what* a phase is charged, not
+//! *how* the simulator aggregates requests. The engines in this crate
+//! therefore ship two request-routing strategies selected by
+//! [`ExecOptions::routing`]:
+//!
+//! * [`Routing::Reference`] — the original `HashMap`/`BTreeMap` aggregation,
+//!   kept verbatim as the executable specification;
+//! * [`Routing::Dense`] (default) — epoch-stamped, address-indexed scratch
+//!   tables ([`ContentionTable`], [`WriteRouter`]) allocated once per run and
+//!   reused across phases, with a sparse fallback above
+//!   [`DENSE_ADDR_CAP`].
+//!
+//! Both strategies are **bit-identical** observationally: same
+//! [`CostLedger`](crate::cost::CostLedger), same arbitration winners (RNG
+//! draws and [`FaultInjector`](crate::faults::FaultInjector) choice points
+//! happen in the same order), same fault behaviour, same committed memory.
+//! The differential suite in `models/tests/fastpath_equiv.rs` enforces this.
+//!
+//! Tracing is opt-in ([`ExecOptions::record_trace`]) and bounded: at most
+//! [`ExecOptions::trace_phase_cap`] phases are retained, and traces carry a
+//! `total_phases`/`truncated` header so consumers can detect capping instead
+//! of silently analysing a prefix.
+
+use std::collections::HashMap;
+
+use crate::shared::{Addr, Word};
+
+/// Addresses below this bound use the dense (vector-indexed) scratch lanes;
+/// higher addresses fall back to a hash map. 2^22 words of `u32` lanes is a
+/// few tens of MiB at worst — large enough for every Table 1 sweep while
+/// bounding worst-case footprint against the 2^34 default address limit.
+pub const DENSE_ADDR_CAP: usize = 1 << 22;
+
+/// Default number of phases retained by a recorded trace. Full traces are
+/// `O(phases · requests)`; the cap turns unbounded growth on long runs into
+/// an explicit, surfaced truncation (`ExecTrace::truncated`).
+pub const DEFAULT_TRACE_PHASE_CAP: usize = 1 << 16;
+
+/// Which request-routing implementation an engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Dense epoch-stamped scratch tables (the fast path, default).
+    #[default]
+    Dense,
+    /// The original map-based aggregation (the executable specification).
+    Reference,
+}
+
+/// Per-machine execution policies orthogonal to the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Record an execution trace into the run result. Off by default:
+    /// sweeps and benches skip tracing entirely; `parbounds lint` turns it
+    /// on via the machines' `with_tracing` builders.
+    pub record_trace: bool,
+    /// Maximum number of phases/supersteps retained when tracing
+    /// ([`DEFAULT_TRACE_PHASE_CAP`] by default). Further phases still
+    /// execute and are counted in the trace header, but their per-request
+    /// detail is dropped and the trace is marked truncated.
+    pub trace_phase_cap: usize,
+    /// Request-routing strategy (dense fast path by default).
+    pub routing: Routing,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            record_trace: false,
+            trace_phase_cap: DEFAULT_TRACE_PHASE_CAP,
+            routing: Routing::Dense,
+        }
+    }
+}
+
+/// Epoch-stamped per-address access counter.
+///
+/// `begin_phase` is O(1): instead of clearing, the table bumps an epoch and
+/// lazily treats stale dense lanes as zero. Dense lanes grow on demand up to
+/// `dense_cap`; addresses at or above the cap are counted in a hash map that
+/// is cleared per phase (it only ever holds that phase's high addresses).
+#[derive(Debug)]
+pub struct ContentionTable {
+    epoch: u32,
+    stamp: Vec<u32>,
+    count: Vec<u32>,
+    sparse: HashMap<Addr, u32>,
+    max: u32,
+    dense_cap: usize,
+}
+
+impl Default for ContentionTable {
+    fn default() -> Self {
+        Self::new(DENSE_ADDR_CAP)
+    }
+}
+
+impl ContentionTable {
+    /// Creates an empty table with the given dense-lane address cap.
+    pub fn new(dense_cap: usize) -> Self {
+        ContentionTable {
+            epoch: 0,
+            stamp: Vec::new(),
+            count: Vec::new(),
+            sparse: HashMap::new(),
+            max: 0,
+            dense_cap,
+        }
+    }
+
+    /// Resets the table for a new phase without touching the dense lanes.
+    pub fn begin_phase(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One full clear every 2^32 phases keeps stale stamps unable to
+            // alias the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.sparse.clear();
+        self.max = 0;
+    }
+
+    fn grow_dense(&mut self, addr: Addr) {
+        let want = (addr + 1).next_power_of_two().min(self.dense_cap);
+        self.stamp.resize(want, 0);
+        self.count.resize(want, 0);
+    }
+
+    /// Counts one access to `addr`.
+    pub fn incr(&mut self, addr: Addr) {
+        let c = if addr < self.dense_cap {
+            if addr >= self.stamp.len() {
+                self.grow_dense(addr);
+            }
+            if self.stamp[addr] == self.epoch {
+                self.count[addr] += 1;
+            } else {
+                self.stamp[addr] = self.epoch;
+                self.count[addr] = 1;
+            }
+            self.count[addr]
+        } else {
+            let e = self.sparse.entry(addr).or_insert(0);
+            *e += 1;
+            *e
+        };
+        self.max = self.max.max(c);
+    }
+
+    /// Whether `addr` was accessed in the current phase.
+    pub fn contains(&self, addr: Addr) -> bool {
+        if addr < self.dense_cap {
+            addr < self.stamp.len() && self.stamp[addr] == self.epoch && self.count[addr] > 0
+        } else {
+            self.sparse.contains_key(&addr)
+        }
+    }
+
+    /// Whether nothing was counted this phase.
+    pub fn is_empty(&self) -> bool {
+        self.max == 0
+    }
+
+    /// Maximum per-address count this phase, floored at 1 (the paper's
+    /// convention: a phase with no accesses has contention 1).
+    pub fn max_contention(&self) -> u64 {
+        u64::from(self.max.max(1))
+    }
+}
+
+/// Dense write aggregator: buckets attempted writes per address, preserving
+/// processor order within each address, and yields the buckets in sorted
+/// address order (the coordinate system scripted winner policies rely on).
+///
+/// Writes are appended flat during the processor loop; [`WriteRouter::route`]
+/// then counting-sorts them into per-address groups. Like
+/// [`ContentionTable`], per-address lanes are epoch-stamped so `begin_phase`
+/// does not clear the dense arrays.
+#[derive(Debug)]
+pub struct WriteRouter {
+    epoch: u32,
+    stamp: Vec<u32>,
+    count: Vec<u32>,
+    cursor: Vec<u32>,
+    sparse: HashMap<Addr, SparseLane>,
+    /// Attempted writes in arrival (pid/request) order.
+    flat: Vec<(Addr, Word)>,
+    /// Distinct addresses touched this phase, sorted by [`WriteRouter::route`].
+    touched: Vec<Addr>,
+    /// Values scattered into contiguous per-address groups.
+    bucket: Vec<Word>,
+    max: u32,
+    dense_cap: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SparseLane {
+    count: u32,
+    cursor: u32,
+}
+
+impl Default for WriteRouter {
+    fn default() -> Self {
+        Self::new(DENSE_ADDR_CAP)
+    }
+}
+
+impl WriteRouter {
+    /// Creates an empty router with the given dense-lane address cap.
+    pub fn new(dense_cap: usize) -> Self {
+        WriteRouter {
+            epoch: 0,
+            stamp: Vec::new(),
+            count: Vec::new(),
+            cursor: Vec::new(),
+            sparse: HashMap::new(),
+            flat: Vec::new(),
+            touched: Vec::new(),
+            bucket: Vec::new(),
+            max: 0,
+            dense_cap,
+        }
+    }
+
+    /// Resets the router for a new phase without touching the dense lanes.
+    pub fn begin_phase(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.sparse.clear();
+        self.flat.clear();
+        self.touched.clear();
+        self.max = 0;
+    }
+
+    fn grow_dense(&mut self, addr: Addr) {
+        let want = (addr + 1).next_power_of_two().min(self.dense_cap);
+        self.stamp.resize(want, 0);
+        self.count.resize(want, 0);
+        self.cursor.resize(want, 0);
+    }
+
+    /// Records one attempted write.
+    pub fn push(&mut self, addr: Addr, value: Word) {
+        let c = if addr < self.dense_cap {
+            if addr >= self.stamp.len() {
+                self.grow_dense(addr);
+            }
+            if self.stamp[addr] == self.epoch {
+                self.count[addr] += 1;
+            } else {
+                self.stamp[addr] = self.epoch;
+                self.count[addr] = 1;
+                self.touched.push(addr);
+            }
+            self.count[addr]
+        } else {
+            let lane = self.sparse.entry(addr).or_default();
+            if lane.count == 0 {
+                self.touched.push(addr);
+            }
+            lane.count += 1;
+            lane.count
+        };
+        self.max = self.max.max(c);
+        self.flat.push((addr, value));
+    }
+
+    fn count_of(&self, addr: Addr) -> u32 {
+        if addr < self.dense_cap {
+            self.count[addr]
+        } else {
+            self.sparse[&addr].count
+        }
+    }
+
+    fn set_cursor(&mut self, addr: Addr, v: u32) {
+        if addr < self.dense_cap {
+            self.cursor[addr] = v;
+        } else if let Some(lane) = self.sparse.get_mut(&addr) {
+            lane.cursor = v;
+        }
+    }
+
+    fn cursor_of(&self, addr: Addr) -> u32 {
+        if addr < self.dense_cap {
+            self.cursor[addr]
+        } else {
+            self.sparse[&addr].cursor
+        }
+    }
+
+    /// Sorts the touched addresses and scatters the flat writes into
+    /// contiguous per-address groups (counting sort: O(writes + addrs·log)).
+    /// Processor/request order is preserved within each address.
+    pub fn route(&mut self) {
+        self.touched.sort_unstable();
+        let mut off = 0u32;
+        for i in 0..self.touched.len() {
+            let a = self.touched[i];
+            let c = self.count_of(a);
+            self.set_cursor(a, off);
+            off += c;
+        }
+        self.bucket.clear();
+        self.bucket.resize(self.flat.len(), 0);
+        for i in 0..self.flat.len() {
+            let (a, v) = self.flat[i];
+            let cur = self.cursor_of(a);
+            self.bucket[cur as usize] = v;
+            self.set_cursor(a, cur + 1);
+        }
+    }
+
+    /// Distinct written addresses in sorted order. Only meaningful after
+    /// [`WriteRouter::route`].
+    pub fn sorted_addrs(&self) -> &[Addr] {
+        &self.touched
+    }
+
+    /// Iterates `(addr, attempted values)` groups in sorted address order
+    /// with values in processor/request order. Only meaningful after
+    /// [`WriteRouter::route`].
+    pub fn groups(&self) -> impl Iterator<Item = (Addr, &[Word])> + '_ {
+        let mut start = 0usize;
+        self.touched.iter().map(move |&a| {
+            let c = self.count_of(a) as usize;
+            let s = start;
+            start += c;
+            (a, &self.bucket[s..s + c])
+        })
+    }
+
+    /// Whether no write was recorded this phase.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Maximum per-address write count this phase, floored at 1.
+    pub fn max_contention(&self) -> u64 {
+        u64::from(self.max.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_table_counts_and_resets() {
+        let mut t = ContentionTable::new(16);
+        t.begin_phase();
+        assert!(t.is_empty());
+        assert_eq!(t.max_contention(), 1);
+        t.incr(3);
+        t.incr(3);
+        t.incr(5);
+        assert!(t.contains(3));
+        assert!(t.contains(5));
+        assert!(!t.contains(4));
+        assert_eq!(t.max_contention(), 2);
+        // Sparse fallback above the cap.
+        t.incr(1000);
+        t.incr(1000);
+        t.incr(1000);
+        assert!(t.contains(1000));
+        assert_eq!(t.max_contention(), 3);
+        // New phase: O(1) reset, stale lanes read as absent.
+        t.begin_phase();
+        assert!(!t.contains(3));
+        assert!(!t.contains(1000));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn write_router_groups_sorted_with_pid_order_values() {
+        let mut r = WriteRouter::new(8);
+        r.begin_phase();
+        r.push(5, 50);
+        r.push(2, 20);
+        r.push(5, 51);
+        r.push(100, 1); // sparse lane
+        r.push(2, 21);
+        r.push(100, 2);
+        r.route();
+        assert_eq!(r.sorted_addrs(), &[2, 5, 100]);
+        let groups: Vec<(Addr, Vec<Word>)> = r.groups().map(|(a, vs)| (a, vs.to_vec())).collect();
+        assert_eq!(
+            groups,
+            vec![(2, vec![20, 21]), (5, vec![50, 51]), (100, vec![1, 2])]
+        );
+        assert_eq!(r.max_contention(), 2);
+        r.begin_phase();
+        assert!(r.is_empty());
+        r.route();
+        assert_eq!(r.sorted_addrs(), &[] as &[Addr]);
+        assert_eq!(r.max_contention(), 1);
+    }
+
+    #[test]
+    fn exec_options_default_is_dense_untraced() {
+        let o = ExecOptions::default();
+        assert!(!o.record_trace);
+        assert_eq!(o.routing, Routing::Dense);
+        assert_eq!(o.trace_phase_cap, DEFAULT_TRACE_PHASE_CAP);
+    }
+}

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
+use crate::exec::{ContentionTable, ExecOptions, Routing};
 use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::shared::{Addr, Status, Word};
 
@@ -41,6 +42,23 @@ impl<'a> GsmEnv<'a> {
             delivered,
             reads: Vec::new(),
             writes: Vec::new(),
+        }
+    }
+
+    /// Like [`GsmEnv::new`] but around recycled (empty) request buffers, so
+    /// steady-state phases of the dense fast path do no allocation.
+    fn with_buffers(
+        phase: usize,
+        delivered: &'a [(Addr, CellContent)],
+        reads: Vec<Addr>,
+        writes: Vec<(Addr, Word)>,
+    ) -> Self {
+        debug_assert!(reads.is_empty() && writes.is_empty());
+        GsmEnv {
+            phase,
+            delivered,
+            reads,
+            writes,
         }
     }
 
@@ -136,7 +154,7 @@ where
 }
 
 /// GSM shared memory: every cell accumulates all information written to it.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GsmMemory {
     cells: HashMap<Addr, CellContent>,
 }
@@ -159,14 +177,19 @@ impl GsmMemory {
 }
 
 /// Full GSM execution trace: `Trace(v, t, f)` material for the adversary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GsmTrace {
-    /// `phases[t].reads[pid]` = (cell, contents-at-read) pairs.
+    /// `phases[t].reads[pid]` = (cell, contents-at-read) pairs. At most
+    /// [`ExecOptions::trace_phase_cap`] phases are retained.
     pub phases: Vec<GsmPhaseTrace>,
+    /// Number of phases the run actually executed.
+    pub total_phases: usize,
+    /// True if the run executed more phases than the trace retained.
+    pub truncated: bool,
 }
 
 /// One phase of a [`GsmTrace`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GsmPhaseTrace {
     /// Per-processor reads, with the contents observed.
     pub reads: Vec<Vec<(Addr, CellContent)>>,
@@ -214,7 +237,7 @@ pub struct GsmMachine {
     gamma: u64,
     max_phases: usize,
     faults: Option<FaultPlan>,
-    tracing: bool,
+    opts: ExecOptions,
 }
 
 impl GsmMachine {
@@ -226,7 +249,7 @@ impl GsmMachine {
             gamma: gamma.max(1),
             max_phases: 1 << 20,
             faults: None,
-            tracing: false,
+            opts: ExecOptions::default(),
         }
     }
 
@@ -266,8 +289,36 @@ impl GsmMachine {
     /// [`GsmTrace`] into [`GsmRunResult::trace`] (for algorithm entry
     /// points that call `run` internally, e.g. the analyzer's lint pass).
     pub fn with_tracing(mut self) -> Self {
-        self.tracing = true;
+        self.opts.record_trace = true;
         self
+    }
+
+    /// Replaces the execution options wholesale.
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Selects the request-routing strategy (dense fast path by default).
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.opts.routing = routing;
+        self
+    }
+
+    /// Routes requests through the original map-based reference path.
+    pub fn with_reference_routing(self) -> Self {
+        self.with_routing(Routing::Reference)
+    }
+
+    /// Sets the maximum number of phases a recorded trace retains.
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.opts.trace_phase_cap = cap;
+        self
+    }
+
+    /// The execution options currently in force.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
     }
 
     /// `μ = max{α, β}` — the duration of one big-step.
@@ -325,7 +376,7 @@ impl GsmMachine {
 
     /// Runs `program` with `input` packed γ-per-cell from address 0.
     pub fn run<P: GsmProgram>(&self, program: &P, input: &[Word]) -> Result<GsmRunResult> {
-        self.execute(program, input, self.tracing)
+        self.execute(program, input, self.opts.record_trace)
     }
 
     /// Runs `program` and records a full [`GsmTrace`].
@@ -345,6 +396,21 @@ impl GsmMachine {
         input: &[Word],
         want_trace: bool,
     ) -> Result<GsmRunResult> {
+        match self.opts.routing {
+            Routing::Dense => self.execute_dense(program, input, want_trace),
+            Routing::Reference => self.execute_reference(program, input, want_trace),
+        }
+    }
+
+    /// The original map-based execution path, kept as the executable
+    /// specification the dense fast path is differentially tested against.
+    fn execute_reference<P: GsmProgram>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<GsmRunResult> {
+        let cap = self.opts.trace_phase_cap;
         let mut trace = want_trace.then(GsmTrace::default);
         let n_procs = program.num_procs();
         if n_procs == 0 {
@@ -380,12 +446,16 @@ impl GsmMachine {
             let mut any_access = false;
             let mut new_reads: Vec<(usize, Addr)> = Vec::new();
             let mut new_writes: Vec<(usize, Addr, Word)> = Vec::new();
-            let mut phase_trace = trace.as_ref().map(|_| GsmPhaseTrace {
-                reads: vec![Vec::new(); n_procs],
-                writes: vec![Vec::new(); n_procs],
-                big_steps: 0,
-                finished: vec![false; n_procs],
-            });
+            let mut phase_trace =
+                trace
+                    .as_ref()
+                    .filter(|t| t.phases.len() < cap)
+                    .map(|_| GsmPhaseTrace {
+                        reads: vec![Vec::new(); n_procs],
+                        writes: vec![Vec::new(); n_procs],
+                        big_steps: 0,
+                        finished: vec![false; n_procs],
+                    });
 
             for pid in 0..n_procs {
                 if !active[pid] {
@@ -428,8 +498,11 @@ impl GsmMachine {
                 }
             }
 
-            for (&addr, _) in read_count.iter() {
-                if write_count.contains_key(&addr) {
+            // Model rule: a cell may be read or written in a phase, not
+            // both. Checked over the writes in request order so the
+            // reported conflict cell is deterministic.
+            for &(_, addr, _) in &new_writes {
+                if read_count.contains_key(&addr) {
                     return Err(ModelError::ReadWriteConflict {
                         addr,
                         phase: phase_no,
@@ -476,9 +549,196 @@ impl GsmMachine {
             if let Some(inj) = injector.as_ref() {
                 inj.check_cost(ledger.total_time())?;
             }
-            if let (Some(t), Some(mut pt)) = (trace.as_mut(), phase_trace) {
-                pt.big_steps = b;
-                t.phases.push(pt);
+            if let Some(t) = trace.as_mut() {
+                t.total_phases += 1;
+                match phase_trace {
+                    Some(mut pt) => {
+                        pt.big_steps = b;
+                        t.phases.push(pt);
+                    }
+                    None => t.truncated = true,
+                }
+            }
+            phase_no += 1;
+        }
+
+        Ok(GsmRunResult {
+            memory,
+            ledger,
+            faults: injector.map(FaultInjector::into_log),
+            trace,
+        })
+    }
+
+    /// The dense fast path: epoch-stamped contention tables and
+    /// arena-pooled request buffers. Observationally identical to
+    /// [`GsmMachine::execute_reference`].
+    fn execute_dense<P: GsmProgram>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<GsmRunResult> {
+        let cap = self.opts.trace_phase_cap;
+        let mut trace = want_trace.then(GsmTrace::default);
+        let n_procs = program.num_procs();
+        if n_procs == 0 {
+            return Err(ModelError::BadConfig(
+                "program declares zero processors".into(),
+            ));
+        }
+        let mut memory = self.initial_memory(input);
+        let mut ledger = CostLedger::new();
+
+        let mut states: Vec<P::Proc> = (0..n_procs).map(|pid| program.create(pid)).collect();
+        let mut active = vec![true; n_procs];
+        let mut pending: Vec<Vec<(Addr, CellContent)>> = vec![Vec::new(); n_procs];
+        let mut injector = self.faults.as_ref().map(FaultInjector::new);
+        let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
+            i.effective_phase_limit(self.max_phases)
+        });
+        let mut local_phase: Vec<usize> = vec![0; n_procs];
+
+        // Per-run scratch, allocated once and reused across phases.
+        let mut read_table = ContentionTable::default();
+        let mut write_table = ContentionTable::default();
+        let mut new_reads: Vec<(usize, Addr)> = Vec::new();
+        let mut new_writes: Vec<(usize, Addr, Word)> = Vec::new();
+        let mut read_buf: Vec<Addr> = Vec::new();
+        let mut write_buf: Vec<(Addr, Word)> = Vec::new();
+
+        let mut phase_no = 0usize;
+        while active.iter().any(|&a| a) {
+            if phase_no >= phase_limit {
+                return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
+            }
+            read_table.begin_phase();
+            write_table.begin_phase();
+            new_reads.clear();
+            new_writes.clear();
+
+            let mut m_rw: u64 = 0;
+            let mut any_access = false;
+            let mut phase_trace =
+                trace
+                    .as_ref()
+                    .filter(|t| t.phases.len() < cap)
+                    .map(|_| GsmPhaseTrace {
+                        reads: vec![Vec::new(); n_procs],
+                        writes: vec![Vec::new(); n_procs],
+                        big_steps: 0,
+                        finished: vec![false; n_procs],
+                    });
+
+            for pid in 0..n_procs {
+                if !active[pid] {
+                    continue;
+                }
+                if let Some(inj) = injector.as_mut() {
+                    if inj.crash_at(pid, phase_no) {
+                        return Err(ModelError::FaultAborted {
+                            phase: phase_no,
+                            reason: format!("processor {pid} crashed"),
+                        });
+                    }
+                    if inj.stall_at(pid, phase_no) {
+                        continue;
+                    }
+                }
+                let delivered = std::mem::take(&mut pending[pid]);
+                let mut env = GsmEnv::with_buffers(
+                    local_phase[pid],
+                    &delivered,
+                    std::mem::take(&mut read_buf),
+                    std::mem::take(&mut write_buf),
+                );
+                let status = program.phase(pid, &mut states[pid], &mut env);
+                local_phase[pid] += 1;
+
+                let r_i = env.reads.len() as u64;
+                let w_i = env.writes.len() as u64;
+                m_rw = m_rw.max(r_i.max(w_i));
+                any_access |= r_i + w_i > 0;
+
+                for &addr in &env.reads {
+                    read_table.incr(addr);
+                    new_reads.push((pid, addr));
+                }
+                for &(addr, value) in &env.writes {
+                    write_table.incr(addr);
+                    new_writes.push((pid, addr, value));
+                }
+                if status == Status::Done {
+                    active[pid] = false;
+                    if let Some(pt) = phase_trace.as_mut() {
+                        pt.finished[pid] = true;
+                    }
+                }
+                // Recycle every buffer touched this phase.
+                let (mut r_vec, mut w_vec) = (env.reads, env.writes);
+                r_vec.clear();
+                w_vec.clear();
+                read_buf = r_vec;
+                write_buf = w_vec;
+                let mut d = delivered;
+                d.clear();
+                pending[pid] = d;
+            }
+
+            for &(_, addr, _) in &new_writes {
+                if read_table.contains(addr) {
+                    return Err(ModelError::ReadWriteConflict {
+                        addr,
+                        phase: phase_no,
+                    });
+                }
+            }
+
+            // Value reads against pre-write contents.
+            for &(pid, addr) in &new_reads {
+                let contents: CellContent = memory.get(addr).to_vec();
+                if let Some(pt) = phase_trace.as_mut() {
+                    pt.reads[pid].push((addr, contents.clone()));
+                }
+                if active[pid] {
+                    pending[pid].push((addr, contents));
+                }
+            }
+            // Strong queuing: all written information merges into the cell.
+            for &(pid, addr, value) in &new_writes {
+                memory.push(addr, value);
+                if let Some(pt) = phase_trace.as_mut() {
+                    pt.writes[pid].push((addr, value));
+                }
+            }
+
+            let kappa = if any_access {
+                read_table
+                    .max_contention()
+                    .max(write_table.max_contention())
+            } else {
+                1
+            };
+            let b = self.big_steps(m_rw.max(1), kappa);
+            let cost = self.mu() * b;
+            ledger.push(PhaseCost {
+                m_op: 0,
+                m_rw: m_rw.max(1),
+                kappa,
+                cost,
+            });
+            if let Some(inj) = injector.as_ref() {
+                inj.check_cost(ledger.total_time())?;
+            }
+            if let Some(t) = trace.as_mut() {
+                t.total_phases += 1;
+                match phase_trace {
+                    Some(mut pt) => {
+                        pt.big_steps = b;
+                        t.phases.push(pt);
+                    }
+                    None => t.truncated = true,
+                }
             }
             phase_no += 1;
         }

@@ -51,6 +51,7 @@ mod bsp;
 pub mod contract;
 mod cost;
 mod error;
+pub mod exec;
 pub mod faults;
 mod gsm;
 mod qsm;
@@ -63,6 +64,7 @@ pub use bsp::{
 pub use contract::{ContractMetric, ContractParams, CostContract};
 pub use cost::{round_budget_bsp, round_budget_gsm, round_budget_qsm, CostLedger, PhaseCost};
 pub use error::{ModelError, Result};
+pub use exec::{ExecOptions, Routing, DEFAULT_TRACE_PHASE_CAP, DENSE_ADDR_CAP};
 pub use faults::{ChoicePoint, FaultInjector, FaultLog, FaultPlan, WinnerPolicy};
 pub use gsm::{
     CellContent, GsmEnv, GsmFnProgram, GsmMachine, GsmMemory, GsmPhaseTrace, GsmProgram,

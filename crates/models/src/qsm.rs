@@ -20,6 +20,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
+use crate::exec::{ContentionTable, ExecOptions, Routing, WriteRouter};
 use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::shared::{Addr, Memory, PhaseEnv, Program, Status, Word};
 
@@ -73,16 +74,24 @@ impl RunResult {
 /// compute `Trace`, `Know` and `Aff` sets by exhaustive enumeration on
 /// small machines (Section 5.1 of the paper), and by the
 /// `parbounds-analyze` lint pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecTrace {
     /// `phases[t].reads[pid]` = the `(addr, value)` pairs processor `pid`
     /// read in phase `t`; `phases[t].writes[pid]` = the `(addr, value)`
-    /// pairs it attempted to write (before arbitration).
+    /// pairs it attempted to write (before arbitration). At most
+    /// [`ExecOptions::trace_phase_cap`] phases are retained.
     pub phases: Vec<PhaseTrace>,
+    /// Number of phases the run actually executed. Equals `phases.len()`
+    /// unless the trace was truncated at the phase cap.
+    pub total_phases: usize,
+    /// True if the run executed more phases than the trace retained
+    /// (`total_phases > phases.len()`); consumers must not treat a
+    /// truncated trace as the whole execution.
+    pub truncated: bool,
 }
 
 /// One phase of an [`ExecTrace`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseTrace {
     /// Reads per processor, in request order.
     pub reads: Vec<Vec<(Addr, Word)>>,
@@ -104,7 +113,7 @@ pub struct QsmMachine {
     max_phases: usize,
     mem_limit: usize,
     faults: Option<FaultPlan>,
-    tracing: bool,
+    opts: ExecOptions,
 }
 
 impl QsmMachine {
@@ -141,7 +150,7 @@ impl QsmMachine {
             max_phases: 1 << 20,
             mem_limit: 1 << 34,
             faults: None,
-            tracing: false,
+            opts: ExecOptions::default(),
         }
     }
 
@@ -176,13 +185,55 @@ impl QsmMachine {
         self
     }
 
-    /// Makes every subsequent [`QsmMachine::run`] record a full
-    /// [`ExecTrace`] into [`RunResult::trace`]. This exposes traces for
-    /// algorithm entry points that call `run` internally (the analyzer's
-    /// lint pass relies on it) without changing their signatures.
+    /// Makes every subsequent [`QsmMachine::run`] record an [`ExecTrace`]
+    /// into [`RunResult::trace`] (bounded by the trace phase cap). This
+    /// exposes traces for algorithm entry points that call `run` internally
+    /// (the analyzer's lint pass relies on it) without changing their
+    /// signatures.
     pub fn with_tracing(mut self) -> Self {
-        self.tracing = true;
+        self.opts.record_trace = true;
         self
+    }
+
+    /// Replaces the execution options wholesale.
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Selects the request-routing strategy (dense fast path by default).
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.opts.routing = routing;
+        self
+    }
+
+    /// Routes requests through the original map-based reference path
+    /// (shorthand for [`QsmMachine::with_routing`] with
+    /// [`Routing::Reference`]); used by the differential suite and the
+    /// hot-path benchmarks.
+    pub fn with_reference_routing(self) -> Self {
+        self.with_routing(Routing::Reference)
+    }
+
+    /// Sets the maximum number of phases a recorded trace retains.
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.opts.trace_phase_cap = cap;
+        self
+    }
+
+    /// The execution options currently in force.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
+    }
+
+    /// The RNG seed used for arbitrary-write arbitration.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shared-memory address limit.
+    pub fn mem_limit(&self) -> usize {
+        self.mem_limit
     }
 
     /// The attached fault plan, if any.
@@ -220,7 +271,7 @@ impl QsmMachine {
 
     /// Runs `program` on memory pre-initialized with `input` at address 0.
     pub fn run<P: Program>(&self, program: &P, input: &[Word]) -> Result<RunResult> {
-        self.execute(program, input, self.tracing)
+        self.execute(program, input, self.opts.record_trace)
     }
 
     /// Runs `program` and additionally records a full [`ExecTrace`].
@@ -240,7 +291,22 @@ impl QsmMachine {
         input: &[Word],
         want_trace: bool,
     ) -> Result<RunResult> {
+        match self.opts.routing {
+            Routing::Dense => self.execute_dense(program, input, want_trace),
+            Routing::Reference => self.execute_reference(program, input, want_trace),
+        }
+    }
+
+    /// The original map-based execution path, kept as the executable
+    /// specification the dense fast path is differentially tested against.
+    fn execute_reference<P: Program>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<RunResult> {
         let mut trace = want_trace.then(ExecTrace::default);
+        let cap = self.opts.trace_phase_cap;
         let n_procs = program.num_procs();
         if n_procs == 0 {
             return Err(ModelError::BadConfig(
@@ -284,12 +350,16 @@ impl QsmMachine {
             let mut m_op: u64 = 0;
             let mut m_rw: u64 = 0;
             let mut any_access = false;
-            let mut phase_trace = trace.as_ref().map(|_| PhaseTrace {
-                reads: vec![Vec::new(); n_procs],
-                writes: vec![Vec::new(); n_procs],
-                committed: Vec::new(),
-                finished: vec![false; n_procs],
-            });
+            let mut phase_trace =
+                trace
+                    .as_ref()
+                    .filter(|t| t.phases.len() < cap)
+                    .map(|_| PhaseTrace {
+                        reads: vec![Vec::new(); n_procs],
+                        writes: vec![Vec::new(); n_procs],
+                        committed: Vec::new(),
+                        finished: vec![false; n_procs],
+                    });
 
             // New read requests (valued at end of phase loop, delivered next
             // phase). Collected as (pid, addr) to avoid per-proc Vec churn.
@@ -344,9 +414,11 @@ impl QsmMachine {
                 }
             }
 
-            // Model rule: a cell may be read or written in a phase, not both.
-            for (&addr, _) in read_count.iter() {
-                if writes_by_addr.contains_key(&addr) {
+            // Model rule: a cell may be read or written in a phase, not
+            // both. Checked in sorted written-address order so the reported
+            // conflict cell is deterministic.
+            for (&addr, _) in writes_by_addr.iter() {
+                if read_count.contains_key(&addr) {
                     return Err(ModelError::ReadWriteConflict {
                         addr,
                         phase: phase_no,
@@ -409,8 +481,208 @@ impl QsmMachine {
             if let Some(inj) = injector.as_ref() {
                 inj.check_cost(ledger.total_time())?;
             }
-            if let (Some(t), Some(pt)) = (trace.as_mut(), phase_trace) {
-                t.phases.push(pt);
+            if let Some(t) = trace.as_mut() {
+                t.total_phases += 1;
+                match phase_trace {
+                    Some(pt) => t.phases.push(pt),
+                    None => t.truncated = true,
+                }
+            }
+            phase_no += 1;
+        }
+
+        Ok(RunResult {
+            memory,
+            ledger,
+            faults: injector.map(FaultInjector::into_log),
+            trace,
+        })
+    }
+
+    /// The dense fast path: epoch-stamped address-indexed routing tables and
+    /// arena-pooled request buffers. Observationally identical to
+    /// [`QsmMachine::execute_reference`] — same ledger, same RNG and
+    /// fault-injector consumption order, same committed memory, same errors.
+    fn execute_dense<P: Program>(
+        &self,
+        program: &P,
+        input: &[Word],
+        want_trace: bool,
+    ) -> Result<RunResult> {
+        let mut trace = want_trace.then(ExecTrace::default);
+        let cap = self.opts.trace_phase_cap;
+        let n_procs = program.num_procs();
+        if n_procs == 0 {
+            return Err(ModelError::BadConfig(
+                "program declares zero processors".into(),
+            ));
+        }
+        let mut memory = Memory::with_limit(self.mem_limit);
+        memory.load(0, input)?;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut ledger = CostLedger::new();
+        let mut injector = self.faults.as_ref().map(FaultInjector::new);
+        let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
+            i.effective_phase_limit(self.max_phases)
+        });
+
+        let mut states: Vec<P::Proc> = (0..n_procs).map(|pid| program.create(pid)).collect();
+        let mut active: Vec<bool> = vec![true; n_procs];
+        let mut pending: Vec<Vec<(Addr, Word)>> = vec![Vec::new(); n_procs];
+        let mut local_phase: Vec<usize> = vec![0; n_procs];
+
+        // Per-run scratch, allocated once and reused across phases.
+        let mut read_table = ContentionTable::default();
+        let mut writes = WriteRouter::default();
+        let mut new_reads: Vec<(usize, Addr)> = Vec::new();
+        // Arena-recycled PhaseEnv request buffers: steady-state phases
+        // allocate nothing.
+        let mut read_buf: Vec<Addr> = Vec::new();
+        let mut write_buf: Vec<(Addr, Word)> = Vec::new();
+
+        let mut phase_no = 0usize;
+        while active.iter().any(|&a| a) {
+            if phase_no >= phase_limit {
+                return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
+            }
+            read_table.begin_phase();
+            writes.begin_phase();
+            new_reads.clear();
+
+            let mut m_op: u64 = 0;
+            let mut m_rw: u64 = 0;
+            let mut any_access = false;
+            let mut phase_trace =
+                trace
+                    .as_ref()
+                    .filter(|t| t.phases.len() < cap)
+                    .map(|_| PhaseTrace {
+                        reads: vec![Vec::new(); n_procs],
+                        writes: vec![Vec::new(); n_procs],
+                        committed: Vec::new(),
+                        finished: vec![false; n_procs],
+                    });
+
+            for pid in 0..n_procs {
+                if !active[pid] {
+                    continue;
+                }
+                if let Some(inj) = injector.as_mut() {
+                    if inj.crash_at(pid, phase_no) {
+                        return Err(ModelError::FaultAborted {
+                            phase: phase_no,
+                            reason: format!("processor {pid} crashed"),
+                        });
+                    }
+                    if inj.stall_at(pid, phase_no) {
+                        continue;
+                    }
+                }
+                let delivered = std::mem::take(&mut pending[pid]);
+                let mut env = PhaseEnv::with_buffers(
+                    local_phase[pid],
+                    &delivered,
+                    std::mem::take(&mut read_buf),
+                    std::mem::take(&mut write_buf),
+                );
+                let status = program.phase(pid, &mut states[pid], &mut env);
+                local_phase[pid] += 1;
+
+                let (r_vec, w_vec, ops) = env.into_requests();
+                let r_i = r_vec.len() as u64;
+                let w_i = w_vec.len() as u64;
+                let c_i = ops + r_i + w_i;
+                m_op = m_op.max(c_i);
+                m_rw = m_rw.max(r_i.max(w_i));
+                any_access |= r_i + w_i > 0;
+
+                for &addr in &r_vec {
+                    read_table.incr(addr);
+                    new_reads.push((pid, addr));
+                }
+                for &(addr, value) in &w_vec {
+                    writes.push(addr, value);
+                    if let Some(pt) = phase_trace.as_mut() {
+                        pt.writes[pid].push((addr, value));
+                    }
+                }
+                if status == Status::Done {
+                    active[pid] = false;
+                    if let Some(pt) = phase_trace.as_mut() {
+                        pt.finished[pid] = true;
+                    }
+                }
+                // Recycle every buffer touched this phase.
+                read_buf = r_vec;
+                read_buf.clear();
+                write_buf = w_vec;
+                write_buf.clear();
+                let mut d = delivered;
+                d.clear();
+                pending[pid] = d;
+            }
+
+            // Counting-sort the writes into sorted-address groups, then
+            // apply the same checks/commits as the reference path.
+            writes.route();
+            for &addr in writes.sorted_addrs() {
+                if read_table.contains(addr) {
+                    return Err(ModelError::ReadWriteConflict {
+                        addr,
+                        phase: phase_no,
+                    });
+                }
+            }
+
+            for &(pid, addr) in &new_reads {
+                let v = memory.get(addr);
+                if active[pid] {
+                    pending[pid].push((addr, v));
+                }
+                if let Some(pt) = phase_trace.as_mut() {
+                    pt.reads[pid].push((addr, v));
+                }
+            }
+            for (addr, values) in writes.groups() {
+                let value = match injector.as_mut() {
+                    Some(inj) => inj.pick_winner(phase_no, addr, values),
+                    None if values.len() == 1 => values[0],
+                    None => values[rng.gen_range(0..values.len())],
+                };
+                memory.set(addr, value)?;
+                if let Some(pt) = phase_trace.as_mut() {
+                    pt.committed.push((addr, value));
+                }
+            }
+
+            let write_contention = writes.max_contention();
+            let kappa = if any_access {
+                read_table.max_contention().max(write_contention)
+            } else {
+                1
+            };
+            let kappa = match self.flavor {
+                QsmFlavor::QsmUnitConcurrentReads => write_contention,
+                _ => kappa,
+            };
+
+            let cost = self.phase_cost(m_op, m_rw, kappa);
+            ledger.push(PhaseCost {
+                m_op,
+                m_rw: m_rw.max(1),
+                kappa,
+                cost,
+            });
+            if let Some(inj) = injector.as_ref() {
+                inj.check_cost(ledger.total_time())?;
+            }
+            if let Some(t) = trace.as_mut() {
+                t.total_phases += 1;
+                match phase_trace {
+                    Some(pt) => t.phases.push(pt),
+                    None => t.truncated = true,
+                }
             }
             phase_no += 1;
         }

@@ -50,6 +50,25 @@ impl<'a> PhaseEnv<'a> {
         }
     }
 
+    /// Builds a phase view around caller-provided (typically recycled)
+    /// request buffers, so steady-state phases of the dense fast path do no
+    /// allocation. The buffers must be empty.
+    pub(crate) fn with_buffers(
+        phase: usize,
+        delivered: &'a [(Addr, Word)],
+        reads: Vec<Addr>,
+        writes: Vec<(Addr, Word)>,
+    ) -> Self {
+        debug_assert!(reads.is_empty() && writes.is_empty());
+        PhaseEnv {
+            phase,
+            delivered,
+            reads,
+            writes,
+            ops: 0,
+        }
+    }
+
     /// Dismantles the view into `(reads, writes, local_ops)` — the
     /// counterpart of [`PhaseEnv::new`] for external engines.
     pub fn into_requests(self) -> (Vec<Addr>, Vec<(Addr, Word)>, u64) {
@@ -132,7 +151,11 @@ pub trait Program {
 }
 
 /// Dense shared memory with default value 0, grown on demand.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares the backing cells (hence the touched extent) and the
+/// limit; the fast-path differential tests use it to assert bit-identical
+/// committed memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Memory {
     cells: Vec<Word>,
     limit: usize,

@@ -28,10 +28,25 @@ if target/release/parbounds analyze --static --family racy-plan >/dev/null; then
     exit 1
 fi
 
+# Parallel-execution gate: the differential suites must hold with the
+# intra-phase executor at explicit thread counts AND with Parallelism::Auto
+# resolving through PARBOUNDS_THREADS — the same knob --threads sets. The
+# suites sweep Fixed{1,2,4,7} internally; the env sweep below additionally
+# pins the Auto path at 1 and 4 workers.
+for threads in 1 4; do
+    PARBOUNDS_THREADS=$threads cargo test --release -q \
+        -p parbounds-models --test fastpath_equiv >/dev/null
+    PARBOUNDS_THREADS=$threads cargo test --release -q \
+        -p parbounds-ir --test batch_equiv >/dev/null
+done
+
 # Execution fast-path gate: the reduced hot-path grid must produce
-# bit-identical results on the dense and the reference engines (the binary
+# bit-identical results on the dense and the reference engines, and every
+# thread-scaling point must match its single-threaded baseline (the binary
 # exits 1 on any divergence). Wall-clock speedups at smoke sizes are noise,
-# so no speedup threshold here — the perf trajectory is tracked by the full
-# run committed in BENCH_PR4.json.
+# so no dense-vs-reference threshold here — the perf trajectory is tracked
+# by the full run committed in BENCH_PR5.json. The 4-worker scaling floor
+# only binds on hosts with >= 4 threads (the binary prints a skip message
+# otherwise: more simulator workers than cores cannot beat wall-clock).
 cargo run --release -q -p parbounds-bench --bin table_hotpath -- \
-    --smoke --out target/bench_smoke.json >/dev/null
+    --smoke --check-scaling 1.8 --out target/bench_smoke.json >/dev/null

@@ -128,7 +128,8 @@ pub fn audit_parity_program<P, F>(
     r: usize,
 ) -> Result<ParityAuditReport>
 where
-    P: GsmProgram,
+    P: GsmProgram + Sync,
+    P::Proc: Send,
     F: Fn() -> P,
 {
     assert!(r <= 16, "exhaustive audit limited to r <= 16 inputs");

@@ -141,7 +141,8 @@ impl OrRefine {
         threshold: u64,
     ) -> Result<Self>
     where
-        P: GsmProgram,
+        P: GsmProgram + Sync,
+        P::Proc: Send,
         F: Fn() -> P,
     {
         assert!(r <= 12);

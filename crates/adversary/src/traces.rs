@@ -47,7 +47,8 @@ impl TraceEnsemble {
     /// `r ≤ 12` keeps this exhaustive step tractable.
     pub fn build<P, F>(machine: &GsmMachine, make_program: F, r: usize) -> Result<Self>
     where
-        P: GsmProgram,
+        P: GsmProgram + Sync,
+        P::Proc: Send,
         F: Fn() -> P,
     {
         assert!(r <= 12, "exhaustive ensemble limited to r <= 12");

@@ -67,6 +67,13 @@ pub enum Rule {
     ///
     /// [`trace_phase_cap`]: parbounds_models::ExecOptions::trace_phase_cap
     TruncatedTrace,
+    /// The plan declares fewer processors than the host threads requested
+    /// for intra-phase parallel execution. Worker `w` owns the `w`-th
+    /// contiguous pid range, so extra workers own *empty* ranges: they are
+    /// spawned, handed zero entries per phase, and pay two channel hops
+    /// per barrier for nothing. The run stays bit-identical — it just
+    /// cannot speed up past one thread per simulated processor.
+    ParallelUnderfill,
 }
 
 impl Rule {
@@ -81,7 +88,8 @@ impl Rule {
             | Rule::DeadRead
             | Rule::UnconsumedWrite
             | Rule::DeadPhase
-            | Rule::TruncatedTrace => Severity::Warning,
+            | Rule::TruncatedTrace
+            | Rule::ParallelUnderfill => Severity::Warning,
         }
     }
 
@@ -97,6 +105,7 @@ impl Rule {
             Rule::UnconsumedWrite => "unconsumed-write",
             Rule::DeadPhase => "dead-phase",
             Rule::TruncatedTrace => "truncated-trace",
+            Rule::ParallelUnderfill => "parallel-underfill",
         }
     }
 }

@@ -28,8 +28,8 @@ use parbounds::ir::{
     execute_plan, execute_plan_reference, fan_in_read_tree, prefix_sweep, CombineOp, ModelKind,
 };
 use parbounds::models::{
-    BspFnProgram, BspMachine, FnProgram, PhaseEnv, Program, QsmMachine, Routing, Status, Superstep,
-    Word,
+    BspFnProgram, BspMachine, FnProgram, GsmEnv, GsmFnProgram, GsmMachine, Parallelism, PhaseEnv,
+    Program, QsmMachine, Routing, Status, Superstep, Word,
 };
 use parbounds::tables::Problem;
 use parbounds::{bsp_time_row_on, qsm_time_row_on, sqsm_time_row_on};
@@ -64,11 +64,38 @@ impl HotPoint {
     }
 }
 
+/// One thread-scaling measurement: a hot workload at size `n` executed
+/// with the intra-phase parallel executor ([`Parallelism::Fixed`]) at a
+/// given host worker count. The `threads == 1` point of each
+/// (engine, workload, n) group is the baseline its siblings are scaled
+/// against.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Engine exercised.
+    pub engine: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Input size.
+    pub n: usize,
+    /// Host worker threads the run used.
+    pub threads: usize,
+    /// Best-of-reps wall-clock, seconds.
+    pub seconds: f64,
+    /// Whether the run's observable state matched the single-threaded run.
+    pub equal: bool,
+}
+
 /// The full benchmark result: every grid point plus run configuration.
 #[derive(Debug, Clone)]
 pub struct HotReport {
     /// Benchmarked points.
     pub points: Vec<HotPoint>,
+    /// Thread-scaling curve of the hot workloads (largest grid size only).
+    pub scaling: Vec<ScalePoint>,
+    /// Host threads available when the report was produced — scaling
+    /// numbers measured with more workers than host threads cannot show
+    /// speedup, so consumers must gate on this.
+    pub host_threads: usize,
     /// Repetitions per point (best-of).
     pub reps: u32,
     /// Whether this was the reduced smoke grid.
@@ -108,9 +135,29 @@ impl HotReport {
         self.geomean_at_largest_n("e2e")
     }
 
-    /// True when every point's dense run matched its reference run.
+    /// True when every point's dense run matched its reference run and
+    /// every scaling point matched its single-threaded baseline.
     pub fn all_equal(&self) -> bool {
-        self.points.iter().all(|p| p.equal)
+        self.points.iter().all(|p| p.equal) && self.scaling.iter().all(|p| p.equal)
+    }
+
+    /// Geometric-mean wall-clock speedup of the `threads`-worker scaling
+    /// points over their single-threaded baselines (same engine, workload
+    /// and size). 1.0 when no such points exist.
+    pub fn scaling_geomean(&self, threads: usize) -> f64 {
+        let mut ratios = Vec::new();
+        for p in self.scaling.iter().filter(|p| p.threads == threads) {
+            let base = self.scaling.iter().find(|b| {
+                b.threads == 1 && b.engine == p.engine && b.workload == p.workload && b.n == p.n
+            });
+            if let Some(b) = base {
+                ratios.push(b.seconds / p.seconds.max(1e-12));
+            }
+        }
+        if ratios.is_empty() {
+            return 1.0;
+        }
+        (ratios.iter().map(|s| s.ln()).sum::<f64>() / ratios.len() as f64).exp()
     }
 
     /// Renders the report as JSON (hand-rolled: the workspace carries no
@@ -130,6 +177,11 @@ impl HotReport {
             self.largest_n_e2e_geomean_speedup()
         ));
         s.push_str(&format!("  \"all_equal\": {},\n", self.all_equal()));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str(&format!(
+            "  \"scaling_geomean_at_4_threads\": {:.4},\n",
+            self.scaling_geomean(4)
+        ));
         s.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             s.push_str(&format!(
@@ -146,6 +198,21 @@ impl HotReport {
                 p.speedup(),
                 p.equal,
                 if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"thread_scaling\": [\n");
+        for (i, p) in self.scaling.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"n\": {}, \
+                 \"threads\": {}, \"seconds\": {:.6}, \"equal\": {}}}{}\n",
+                p.engine,
+                p.workload,
+                p.n,
+                p.threads,
+                p.seconds,
+                p.equal,
+                if i + 1 < self.scaling.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
@@ -176,6 +243,7 @@ enum Spec {
     Bsp(Problem, usize, u64, u64, usize),
     QsmScatter(usize),
     SqsmScatter(usize),
+    GsmScatter(usize),
     BspExchange(usize),
     IrReadTree(usize, u64),
     IrPrefix(usize, u64),
@@ -210,6 +278,58 @@ fn scatter_program(n: usize) -> impl Program<Proc = Word> {
 const SCATTER_PHASES: usize = 8;
 const EXCHANGE_STEPS: usize = 32;
 const EXCHANGE_FANOUT: usize = 16;
+
+/// GSM variant of the scatter rounds: same access pattern as
+/// [`scatter_program`], but reads deliver full accumulated cell contents
+/// (strong queuing), so the engine's routing layer moves strictly more
+/// data per request. Reads stay in the γ-packed input region (read-only by
+/// the Section 2.2 placement invariant); writes land above it.
+fn gsm_scatter_program(n: usize) -> impl parbounds::models::GsmProgram<Proc = Word> {
+    let buckets = (n / 8).max(1);
+    GsmFnProgram::new(
+        n,
+        |_pid| 0 as Word,
+        move |pid, acc: &mut Word, env: &mut GsmEnv<'_>| {
+            let t = env.phase();
+            *acc += env
+                .delivered()
+                .iter()
+                .map(|(_, c)| c.iter().sum::<Word>())
+                .sum::<Word>();
+            for j in 0..2usize {
+                env.read((pid * 7 + t * 13 + j * 29) % n);
+                env.write(n + ((pid + j * 11) % buckets), *acc + pid as Word);
+            }
+            if t + 1 >= SCATTER_PHASES {
+                Status::Done
+            } else {
+                Status::Active
+            }
+        },
+    )
+}
+
+fn run_gsm_scatter(n: usize, reps: u32) -> HotPoint {
+    let prog = gsm_scatter_program(n);
+    let input: Vec<Word> = (0..n as Word).collect();
+    let machine = GsmMachine::new(1, 2, 1);
+    let dense = machine.clone().with_routing(Routing::Dense);
+    let reference = machine.with_reference_routing();
+    let (ds, dr) = best_of(reps, || dense.run(&prog, &input));
+    let (rs, rr) = best_of(reps, || reference.run(&prog, &input));
+    HotPoint {
+        engine: "GSM",
+        workload: "scatter/8x2rw".into(),
+        n,
+        dense_s: ds,
+        reference_s: rs,
+        equal: match (dr, rr) {
+            (Ok(d), Ok(r)) => d.ledger == r.ledger && d.memory == r.memory,
+            _ => false,
+        },
+        suite: "hot",
+    }
+}
 
 /// Message-exchange supersteps: every component sends [`EXCHANGE_FANOUT`]
 /// point-to-point messages per superstep for [`EXCHANGE_STEPS`] supersteps.
@@ -327,6 +447,7 @@ fn run_spec(spec: Spec, reps: u32) -> HotPoint {
         }
         Spec::QsmScatter(n) => run_scatter(QsmMachine::qsm(4), "QSM", n, reps),
         Spec::SqsmScatter(n) => run_scatter(QsmMachine::sqsm(4), "s-QSM", n, reps),
+        Spec::GsmScatter(n) => run_gsm_scatter(n, reps),
         Spec::BspExchange(n) => {
             let p = bsp_p(n);
             let prog = exchange_program(p);
@@ -385,14 +506,110 @@ fn run_spec(spec: Spec, reps: u32) -> HotPoint {
     }
 }
 
+/// Thread counts the scaling sweep measures; `1` is the baseline.
+pub const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Runs the thread-scaling sweep: the hot engine workloads at size `n`,
+/// once per entry of [`SCALING_THREADS`], timed best-of-`reps`. Runs
+/// strictly serially (each measured run is itself multi-threaded, so a
+/// parallel sweep would let the points steal cores from each other) and
+/// cross-checks every run's observable state against the single-threaded
+/// baseline — a scaling curve over runs that computed different things
+/// would be meaningless.
+fn run_scaling(n: usize, reps: u32) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+
+    let input: Vec<Word> = (0..n as Word).collect();
+    for (engine, machine) in [("QSM", QsmMachine::qsm(4)), ("s-QSM", QsmMachine::sqsm(4))] {
+        let prog = scatter_program(n);
+        let machine = machine
+            .with_routing(Routing::Dense)
+            .with_mem_limit(2 * n + 16);
+        let base = machine.run(&prog, &input);
+        for &threads in &SCALING_THREADS {
+            let par = machine
+                .clone()
+                .with_parallelism(Parallelism::Fixed(threads));
+            let (s, r) = best_of(reps, || par.run(&prog, &input));
+            out.push(ScalePoint {
+                engine,
+                workload: "scatter/8x2rw".into(),
+                n,
+                threads,
+                seconds: s,
+                equal: matches!(
+                    (&base, &r),
+                    (Ok(b), Ok(v)) if b.ledger == v.ledger && b.memory == v.memory
+                ),
+            });
+        }
+    }
+
+    {
+        let prog = gsm_scatter_program(n);
+        let machine = GsmMachine::new(1, 2, 1).with_routing(Routing::Dense);
+        let base = machine.run(&prog, &input);
+        for &threads in &SCALING_THREADS {
+            let par = machine
+                .clone()
+                .with_parallelism(Parallelism::Fixed(threads));
+            let (s, r) = best_of(reps, || par.run(&prog, &input));
+            out.push(ScalePoint {
+                engine: "GSM",
+                workload: "scatter/8x2rw".into(),
+                n,
+                threads,
+                seconds: s,
+                equal: matches!(
+                    (&base, &r),
+                    (Ok(b), Ok(v)) if b.ledger == v.ledger && b.memory == v.memory
+                ),
+            });
+        }
+    }
+
+    {
+        let p = bsp_p(n);
+        let prog = exchange_program(p);
+        let input: Vec<Word> = (0..(p * 4) as Word).collect();
+        let machine = BspMachine::new(p, 2, 16)
+            .expect("valid BSP config")
+            .with_routing(Routing::Dense);
+        let base = machine.run(&prog, &input);
+        for &threads in &SCALING_THREADS {
+            let par = machine
+                .clone()
+                .with_parallelism(Parallelism::Fixed(threads));
+            let (s, r) = best_of(reps, || par.run(&prog, &input));
+            out.push(ScalePoint {
+                engine: "BSP",
+                workload: format!("exchange/p={p}"),
+                n,
+                threads,
+                seconds: s,
+                equal: matches!(
+                    (&base, &r),
+                    (Ok(b), Ok(v)) if b.ledger == v.ledger && b.states == v.states
+                ),
+            });
+        }
+    }
+
+    out
+}
+
 /// Runs the full grid: every engine × workload at every `n` in `ns`, each
-/// timed best-of-`reps` on both paths. Points sweep in parallel (see
-/// [`crate::par_sweep`]); each individual timing is single-threaded.
+/// timed best-of-`reps` on both paths, plus the thread-scaling sweep at
+/// the largest `n`. Dense-vs-reference points sweep in parallel (see
+/// [`crate::par_sweep`]); each individual timing is single-threaded. The
+/// scaling sweep runs serially afterwards, since its runs are themselves
+/// multi-threaded.
 pub fn run_grid(ns: &[usize], reps: u32, smoke: bool) -> HotReport {
     let mut specs = Vec::new();
     for &n in ns {
         specs.push(Spec::QsmScatter(n));
         specs.push(Spec::SqsmScatter(n));
+        specs.push(Spec::GsmScatter(n));
         specs.push(Spec::BspExchange(n));
         specs.push(Spec::IrReadTree(n, 4));
         specs.push(Spec::IrPrefix(n, 2));
@@ -403,8 +620,20 @@ pub fn run_grid(ns: &[usize], reps: u32, smoke: bool) -> HotReport {
         }
     }
     let points = par_sweep(&specs, |&spec| run_spec(spec, reps));
+    // The scaling sweep needs enough work per phase for the shard/merge
+    // machinery to amortize, so its size is floored at 4096 even on the
+    // smoke grid — otherwise the curve measures channel overhead, not the
+    // compute stage.
+    let scaling = match ns.iter().max() {
+        Some(&n) => run_scaling(n.max(4096), reps),
+        None => Vec::new(),
+    };
     HotReport {
         points,
+        scaling,
+        host_threads: std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
         reps,
         smoke,
     }
@@ -430,8 +659,20 @@ mod tests {
         let report = run_grid(&[64], 1, true);
         assert!(report.all_equal(), "dense and reference paths diverged");
         assert!(report.points.len() > 5);
+        // Satellite coverage: the GSM dense-routing row is part of the grid.
+        assert!(report
+            .points
+            .iter()
+            .any(|p| p.engine == "GSM" && p.suite == "hot"));
+        // Thread-scaling curve: four engines × SCALING_THREADS, all
+        // bit-identical to the single-threaded baseline.
+        assert_eq!(report.scaling.len(), 4 * SCALING_THREADS.len());
+        assert!(report.host_threads >= 1);
+        assert!(report.scaling_geomean(1) > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"table_hotpath\""));
         assert!(json.contains("\"all_equal\": true"));
+        assert!(json.contains("\"host_threads\""));
+        assert!(json.contains("\"thread_scaling\""));
     }
 }

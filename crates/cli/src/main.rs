@@ -4,13 +4,13 @@
 //! ```text
 //! parbounds tables    [--n N --g G --l L --p P]
 //! parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp [--reference]
-//!                     [--n N --g G --l L --p P --seed S]
+//!                     [--n N --g G --l L --p P --seed S --parallel K]
 //! parbounds audit     [--r R --alpha A --beta B]
 //! parbounds adversary [--n N --mu MU --trials T]
 //! parbounds emulate   [--n N --p P --g G --l L]
 //! parbounds faults    [--n N --seed S]
 //! parbounds lint      [--all | --family F] [--n N --seed S --list]
-//! parbounds analyze   --static [--all | --family F] [--n N --seed S --list]
+//! parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -24,7 +24,8 @@ use parbounds::adversary::{
 };
 use parbounds::algo::{bsp_algos, emulation, gsm_algos, lac, or_tree, parity, reduce, workloads};
 use parbounds::models::{
-    BspMachine, GsmEnv, GsmFnProgram, GsmMachine, GsmProgram, QsmMachine, Status, Word,
+    BspMachine, GsmEnv, GsmFnProgram, GsmMachine, GsmProgram, ModelError, Parallelism, QsmMachine,
+    Status, Word,
 };
 use parbounds::tables::{
     best_lower_bound, render_rounds_table, render_time_table, upper_bound_time, Metric, Mode,
@@ -48,13 +49,13 @@ fn usage() -> &'static str {
     "usage:
   parbounds tables    [--n N --g G --l L --p P]
   parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp \\
-                      [--n N --g G --l L --p P --seed S --reference]
+                      [--n N --g G --l L --p P --seed S --reference --parallel K]
   parbounds audit     [--r R --alpha A --beta B]
   parbounds adversary [--n N --mu MU --trials T]
   parbounds emulate   [--n N --p P --g G --l L]
   parbounds faults    [--n N --seed S]
   parbounds lint      [--all | --family F] [--n N --seed S --list]
-  parbounds analyze   --static [--all | --family F] [--n N --seed S --list]"
+  parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]"
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
@@ -93,8 +94,39 @@ fn cmd_tables(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the `--parallel K` flag for `parbounds run`. `0` (the default)
+/// keeps the single-threaded dense path. Combining `--parallel` with
+/// `--reference` is rejected with a typed [`ModelError::BadConfig`]: the
+/// reference engines *are* the single-threaded executable spec, so there
+/// is no parallel variant of them to run.
+fn run_parallelism(threads: usize, reference: bool) -> Result<Parallelism, String> {
+    if threads > 0 && reference {
+        return Err(ModelError::BadConfig(
+            "--parallel cannot be combined with --reference: the reference \
+             engines are the single-threaded executable spec"
+                .into(),
+        )
+        .to_string());
+    }
+    Ok(if threads > 0 {
+        Parallelism::Fixed(threads)
+    } else {
+        Parallelism::Off
+    })
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
-    args.assert_known(&["problem", "model", "n", "g", "l", "p", "seed", "reference"])?;
+    args.assert_known(&[
+        "problem",
+        "model",
+        "n",
+        "g",
+        "l",
+        "p",
+        "seed",
+        "reference",
+        "parallel",
+    ])?;
     let n = args.usize("n", 4096)?;
     let g = args.u64("g", 8)?;
     let l = args.u64("l", 8 * g)?;
@@ -106,7 +138,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     // executable spec of the dense routing tables) — results are identical,
     // only wall-clock differs; useful for quick A/B sanity checks.
     let reference = args.flag("reference");
+    // `--parallel K` shards the inside of every phase across K host worker
+    // threads; results stay bit-identical to the single-threaded path.
+    let threads = args.usize("parallel", 0)?;
+    let parallelism = run_parallelism(threads, reference)?;
     let qsm = |m: QsmMachine| {
+        let m = m.with_parallelism(parallelism);
         if reference {
             m.with_reference_routing()
         } else {
@@ -114,6 +151,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     };
     let gsm = |m: GsmMachine| {
+        let m = m.with_parallelism(parallelism);
         if reference {
             m.with_reference_routing()
         } else {
@@ -121,6 +159,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     };
     let bsp = |m: BspMachine| {
+        let m = m.with_parallelism(parallelism);
         if reference {
             m.with_reference_routing()
         } else {
@@ -249,6 +288,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             "dense"
         }
     );
+    if threads > 0 {
+        println!("parallel  : {threads} host worker thread(s)");
+    }
     println!("result    : {value}");
     println!("model time: {time}   phases/supersteps: {phases}");
 
@@ -339,9 +381,10 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    args.assert_known(&["static", "all", "family", "n", "seed", "list"])?;
+    args.assert_known(&["static", "all", "family", "n", "seed", "list", "parallel"])?;
     use parbounds::analyze::{
-        analyze_static_all, analyze_static_family, StaticReport, IR_FAMILIES,
+        analyze_static_all, analyze_static_family, ir_family_plan, lint_parallelism, StaticReport,
+        IR_FAMILIES,
     };
     use parbounds::tables::{render_static_table, StaticRow};
 
@@ -387,6 +430,26 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         })
         .collect();
     print!("{}", render_static_table(&rows));
+    // `--parallel K`: additionally check each analyzed plan against the
+    // requested intra-phase thread count (the parallel-underfill lint —
+    // warns when a plan has fewer processors than host workers, so the
+    // extra shards would stay empty every phase).
+    let threads = args.usize("parallel", 0)?;
+    if threads > 0 {
+        println!();
+        println!("parallelism fit at {threads} host worker thread(s):");
+        for f in &report.families {
+            let (_, plan, _) = ir_family_plan(f.family, n, seed).map_err(|e| e.to_string())?;
+            let diags = lint_parallelism(&plan, threads).map_err(|e| e.to_string())?;
+            if diags.is_empty() {
+                println!("  {:<17} ok ({} processor(s))", f.family, plan.procs);
+            } else {
+                for d in &diags {
+                    println!("  {:<17} {d}", f.family);
+                }
+            }
+        }
+    }
     if !report.clean() {
         std::process::exit(1);
     }
@@ -588,4 +651,40 @@ fn tournament_parity(n: usize) -> impl parbounds::models::Program<Proc = Word> {
             }
         },
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_flag_resolves_and_rejects_reference_combo() {
+        assert_eq!(run_parallelism(0, false).unwrap(), Parallelism::Off);
+        assert_eq!(run_parallelism(0, true).unwrap(), Parallelism::Off);
+        assert_eq!(run_parallelism(4, false).unwrap(), Parallelism::Fixed(4));
+        let err = run_parallelism(4, true).unwrap_err();
+        assert!(
+            err.contains("--parallel cannot be combined with --reference"),
+            "{err}"
+        );
+        // The same rejection surfaces through the full subcommand path.
+        let argv: Vec<String> = "run --problem or --model qsm --n 64 --reference --parallel 2"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let err = run(argv).unwrap_err();
+        assert!(
+            err.contains("--parallel cannot be combined with --reference"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn run_accepts_parallel_threads() {
+        let argv: Vec<String> = "run --problem or --model sqsm --n 96 --parallel 3"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        run(argv).unwrap();
+    }
 }

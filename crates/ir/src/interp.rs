@@ -14,9 +14,10 @@ use std::collections::HashMap;
 
 use crate::plan::{apply_update, Guard, InitRule, ModelKind, OutputDecl, PhasePlan, PlanBody};
 use parbounds_models::exec::{ContentionTable, WriteRouter};
+use parbounds_models::par::{shard_ranges, with_pool};
 use parbounds_models::{
-    Addr, BspMachine, BspProgram, CostLedger, Memory, ModelError, PhaseCost, PhaseEnv, Program,
-    QsmFlavor, QsmMachine, Result, Status, Superstep, Word,
+    Addr, BspMachine, BspProgram, CostLedger, Memory, ModelError, Msg, PhaseCost, PhaseEnv,
+    Program, QsmFlavor, QsmMachine, Result, Status, Superstep, Word,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -213,11 +214,11 @@ fn shared_machine(plan: &PhasePlan) -> Option<QsmMachine> {
 /// measured ledger plus the declared output.
 ///
 /// Shared-memory plans go through the batch interpreter
-/// ([`run_shared_batch`]), which exploits the static schedule to skip the
-/// per-processor closure dispatch of the generic `Program` path while
-/// producing a bit-identical ledger and output; BSP plans run on the (also
-/// pooled) [`BspMachine`]. Use [`execute_plan_reference`] for the original
-/// closure-dispatch grounding.
+/// ([`run_shared_batch`]) and BSP plans through its message-passing
+/// counterpart ([`run_msg_batch`]); both exploit the static schedule to
+/// skip the per-processor closure dispatch of the generic program paths
+/// while producing a bit-identical ledger and output. Use
+/// [`execute_plan_reference`] for the original closure-dispatch grounding.
 ///
 /// GSM plans are analyze-only (the GSM is this repo's lower-bound model;
 /// its programs are written against a different trait) and are rejected
@@ -228,7 +229,11 @@ pub fn execute_plan(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
             let machine = shared_machine(plan).expect("matched shared flavors");
             run_shared_batch(plan, &machine, input)
         }
-        ModelKind::Bsp { .. } | ModelKind::Gsm { .. } => execute_plan_reference(plan, input),
+        ModelKind::Bsp { p, g, l } => {
+            let machine = BspMachine::new(p, g, l)?;
+            run_msg_batch(plan, &machine, input)
+        }
+        ModelKind::Gsm { .. } => execute_plan_reference(plan, input),
     }
 }
 
@@ -317,6 +322,11 @@ pub fn run_shared_batch(plan: &PhasePlan, machine: &QsmMachine, input: &[Word]) 
     let limit = machine.max_phases();
     if phases.len() > limit {
         return Err(ModelError::PhaseLimitExceeded { limit });
+    }
+
+    let workers = machine.options().parallelism.workers(plan.procs);
+    if workers > 1 {
+        return run_shared_batch_par(plan, machine, input, &finish, workers);
     }
 
     let mut memory = Memory::with_limit(machine.mem_limit());
@@ -440,5 +450,361 @@ pub fn run_shared_batch(plan: &PhasePlan, machine: &QsmMachine, input: &[Word]) 
     Ok(PlanRun {
         ledger,
         output: memory.slice(base, len),
+    })
+}
+
+/// One worker's slice of the batch interpreter in the parallel path: its
+/// contiguous pid range's register files and pending deliveries, plus the
+/// request arenas it refills each phase.
+struct BatchShard {
+    base: usize,
+    phase_no: usize,
+    regs: Vec<Vec<Word>>,
+    pending: Vec<Vec<Word>>,
+    /// `(pid, addr)` read requests, in entry order within the shard.
+    reads: Vec<(usize, Addr)>,
+    /// `(addr, value)` write requests, in entry order within the shard.
+    writes: Vec<(Addr, Word)>,
+    m_op: u64,
+    m_rw: u64,
+    any_access: bool,
+}
+
+/// The parallel batch interpreter: the per-phase entry loop is sharded by
+/// contiguous pid ranges across `workers` scoped threads (each owning its
+/// range's register files), and shard request arenas merge back in pid
+/// order into the same [`WriteRouter`] / [`ContentionTable`] apply stage as
+/// the sequential loop — so ledgers, RNG draws, errors and outputs are
+/// bit-identical to [`run_shared_batch`] at every thread count.
+fn run_shared_batch_par(
+    plan: &PhasePlan,
+    machine: &QsmMachine,
+    input: &[Word],
+    finish: &[usize],
+    workers: usize,
+) -> Result<PlanRun> {
+    let PlanBody::Shared(phases) = &plan.body else {
+        unreachable!("run_shared_batch dispatches shared plans only");
+    };
+    let OutputDecl::Region { base, len } = plan.output else {
+        unreachable!("validate() ties shared plans to Region outputs");
+    };
+
+    let mut memory = Memory::with_limit(machine.mem_limit());
+    memory.load(0, input)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(machine.seed());
+    let mut ledger = CostLedger::new();
+
+    let order: Vec<Vec<usize>> = phases
+        .iter()
+        .map(|phase| {
+            let mut idx: Vec<usize> = (0..phase.procs.len()).collect();
+            idx.sort_unstable_by_key(|&i| phase.procs[i].pid);
+            idx
+        })
+        .collect();
+
+    let ranges = shard_ranges(plan.procs, workers);
+    // pid -> owning shard, for routing deliveries back after the apply
+    // stage (shards own the pending buffers of their pid range).
+    let mut shard_of = vec![0usize; plan.procs];
+    for (s, r) in ranges.iter().enumerate() {
+        for pid in r.clone() {
+            shard_of[pid] = s;
+        }
+    }
+    // `sub[t][w]` = the slice of `order[t]` whose pids fall in shard `w`'s
+    // range (entries are pid-sorted, so each shard owns a contiguous run).
+    let sub: Vec<Vec<std::ops::Range<usize>>> = phases
+        .iter()
+        .enumerate()
+        .map(|(t, phase)| {
+            ranges
+                .iter()
+                .map(|r| {
+                    let lo = order[t].partition_point(|&i| phase.procs[i].pid < r.start);
+                    let hi = order[t].partition_point(|&i| phase.procs[i].pid < r.end);
+                    lo..hi
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut shards: Vec<Option<BatchShard>> = ranges
+        .iter()
+        .map(|r| {
+            Some(BatchShard {
+                base: r.start,
+                phase_no: 0,
+                regs: vec![Vec::new(); r.len()],
+                pending: vec![Vec::new(); r.len()],
+                reads: Vec::new(),
+                writes: Vec::new(),
+                m_op: 0,
+                m_rw: 0,
+                any_access: false,
+            })
+        })
+        .collect();
+
+    let work = |wk: usize, mut shard: BatchShard| {
+        shard.reads.clear();
+        shard.writes.clear();
+        shard.m_op = 0;
+        shard.m_rw = 0;
+        shard.any_access = false;
+        let t = shard.phase_no;
+        let phase = &phases[t];
+        for &i in &order[t][sub[t][wk].clone()] {
+            let entry = &phase.procs[i];
+            let pid = entry.pid;
+            let li = pid - shard.base;
+            apply_update(entry.update, &mut shard.regs[li], &shard.pending[li]);
+            let fire = match entry.guard {
+                Guard::Always => true,
+                Guard::NonZero => shard.regs[li].first().copied().unwrap_or(0) != 0,
+            };
+            if !fire {
+                continue;
+            }
+            let r_i = entry.reads.len() as u64;
+            let w_i = entry.writes.len() as u64;
+            shard.m_op = shard.m_op.max(entry.local_ops + r_i + w_i);
+            shard.m_rw = shard.m_rw.max(r_i.max(w_i));
+            shard.any_access |= r_i + w_i > 0;
+            for &addr in &entry.reads {
+                shard.reads.push((pid, addr));
+            }
+            for w in &entry.writes {
+                shard.writes.push((w.addr, w.value.eval(&shard.regs[li])));
+            }
+        }
+        // Deliveries are consumed exactly once (entry or not), like the
+        // sequential loop's wholesale clear.
+        for p in shard.pending.iter_mut() {
+            p.clear();
+        }
+        shard
+    };
+
+    with_pool(workers, work, move |pool| {
+        let mut read_table = ContentionTable::default();
+        let mut writes = WriteRouter::default();
+        let mut new_reads: Vec<(usize, Addr)> = Vec::new();
+
+        for t in 0..phases.len() {
+            read_table.begin_phase();
+            writes.begin_phase();
+            new_reads.clear();
+            let mut m_op: u64 = 0;
+            let mut m_rw: u64 = 0;
+            let mut any_access = false;
+
+            // Compute stage: dispatch shards, merge arenas in pid order.
+            let mut tasks = Vec::with_capacity(shards.len());
+            for slot in shards.iter_mut() {
+                let mut shard = slot.take().expect("shard not in flight");
+                shard.phase_no = t;
+                tasks.push(shard);
+            }
+            pool.run_round(tasks, |wk, shard| {
+                m_op = m_op.max(shard.m_op);
+                m_rw = m_rw.max(shard.m_rw);
+                any_access |= shard.any_access;
+                for &(pid, addr) in &shard.reads {
+                    read_table.incr(addr);
+                    new_reads.push((pid, addr));
+                }
+                for &(addr, v) in &shard.writes {
+                    writes.push(addr, v);
+                }
+                shards[wk] = Some(shard);
+            });
+
+            // Apply stage: identical to the sequential loop.
+            writes.route();
+            for &addr in writes.sorted_addrs() {
+                if read_table.contains(addr) {
+                    return Err(ModelError::ReadWriteConflict { addr, phase: t });
+                }
+            }
+            for &(pid, addr) in &new_reads {
+                let v = memory.get(addr);
+                if finish[pid] > t {
+                    let sh = shards[shard_of[pid]].as_mut().expect("shard not in flight");
+                    let li = pid - sh.base;
+                    sh.pending[li].push(v);
+                }
+            }
+            for (addr, values) in writes.groups() {
+                let value = if values.len() == 1 {
+                    values[0]
+                } else {
+                    values[rng.gen_range(0..values.len())]
+                };
+                memory.set(addr, value)?;
+            }
+
+            let write_contention = writes.max_contention();
+            let kappa = if any_access {
+                read_table.max_contention().max(write_contention)
+            } else {
+                1
+            };
+            let kappa = match machine.flavor() {
+                QsmFlavor::QsmUnitConcurrentReads => write_contention,
+                _ => kappa,
+            };
+            let cost = machine.phase_cost(m_op, m_rw, kappa);
+            ledger.push(PhaseCost {
+                m_op,
+                m_rw: m_rw.max(1),
+                kappa,
+                cost,
+            });
+        }
+
+        Ok(PlanRun {
+            ledger,
+            output: memory.slice(base, len),
+        })
+    })
+}
+
+/// Batch interpreter for message-passing (BSP) plans: executes the
+/// superstep loop directly over the plan's component lists — pre-sorted by
+/// pid once, no per-component closure dispatch — with double-buffered
+/// inboxes.
+///
+/// Observationally identical to `machine.run(&IrBspProgram::new(plan)?,
+/// input)`: same [`CostLedger`] (every active component contributes its
+/// inbox size to `w` whether or not it has an entry), same `(src, tag)`
+/// inbox ordering, same errors. The differential suite in
+/// `tests/batch_equiv.rs` enforces this against [`execute_plan_reference`].
+///
+/// Configurations the batch loop does not replicate (fault plans, trace
+/// recording) transparently fall back to the closure-dispatch path.
+pub fn run_msg_batch(plan: &PhasePlan, machine: &BspMachine, input: &[Word]) -> Result<PlanRun> {
+    plan.validate()?;
+    let PlanBody::Msg { init, steps } = &plan.body else {
+        return Err(ModelError::BadConfig(format!(
+            "plan '{}': run_msg_batch interprets message-passing plans",
+            plan.family
+        )));
+    };
+    if machine.fault_plan().is_some() || machine.options().record_trace {
+        let program = IrBspProgram::new(plan)?;
+        let result = machine.run(&program, input)?;
+        return Ok(PlanRun {
+            ledger: result.ledger,
+            output: result
+                .states
+                .iter()
+                .map(|regs| regs.first().copied().unwrap_or(0))
+                .collect(),
+        });
+    }
+
+    let finish = plan.finish_phases()?;
+    // validate() pins the machine width to the plan's component count and
+    // guarantees some component retires in the final superstep, so the
+    // machine would execute exactly `steps.len()` supersteps.
+    let p = machine.p();
+    let limit = machine.max_steps();
+    if steps.len() > limit {
+        return Err(ModelError::PhaseLimitExceeded { limit });
+    }
+
+    let mut regs: Vec<Vec<Word>> = machine
+        .partition(input)
+        .iter()
+        .map(|local| {
+            vec![match init {
+                InitRule::Const(v) => *v,
+                InitRule::FoldLocal(op) => op.fold(local),
+            }]
+        })
+        .collect();
+
+    // Entry indices per superstep, sorted by pid, so the component loop can
+    // walk plan entries with a cursor instead of a hash lookup.
+    let order: Vec<Vec<usize>> = steps
+        .iter()
+        .map(|step| {
+            let mut idx: Vec<usize> = (0..step.comps.len()).collect();
+            idx.sort_unstable_by_key(|&i| step.comps[i].pid);
+            idx
+        })
+        .collect();
+
+    let mut ledger = CostLedger::new();
+    let mut inboxes: Vec<Vec<Msg>> = vec![Vec::new(); p];
+    let mut next_inboxes: Vec<Vec<Msg>> = vec![Vec::new(); p];
+    let mut received: Vec<u64> = vec![0; p];
+    let mut inbox_vals: Vec<Word> = Vec::new();
+
+    for (t, step) in steps.iter().enumerate() {
+        for ib in next_inboxes.iter_mut() {
+            ib.clear();
+        }
+        received.fill(0);
+        let mut w: u64 = 0;
+        let mut max_sent: u64 = 0;
+        let mut cursor = 0usize;
+
+        for pid in 0..p {
+            // A component is active through its finish superstep and
+            // skipped afterwards, like the machine's `active` flags.
+            if t > finish[pid] {
+                continue;
+            }
+            let recv = inboxes[pid].len() as u64;
+            let mut ops: u64 = 0;
+            let mut sent: u64 = 0;
+            while cursor < order[t].len() && step.comps[order[t][cursor]].pid < pid {
+                cursor += 1;
+            }
+            if cursor < order[t].len() && step.comps[order[t][cursor]].pid == pid {
+                let entry = &step.comps[order[t][cursor]];
+                inbox_vals.clear();
+                inbox_vals.extend(inboxes[pid].iter().map(|m| m.value));
+                apply_update(entry.update, &mut regs[pid], &inbox_vals);
+                ops = entry.local_ops;
+                sent = entry.sends.len() as u64;
+                for send in &entry.sends {
+                    // validate() already rejected out-of-range destinations.
+                    let msg = Msg {
+                        src: pid,
+                        tag: send.tag,
+                        value: send.value.eval(&regs[pid]),
+                    };
+                    received[send.dest] += 1;
+                    next_inboxes[send.dest].push(msg);
+                }
+            }
+            w = w.max(ops + sent + recv);
+            max_sent = max_sent.max(sent);
+        }
+
+        for ib in next_inboxes.iter_mut() {
+            ib.sort_unstable_by_key(|m| (m.src, m.tag));
+        }
+        let h = max_sent.max(received.iter().copied().max().unwrap_or(0));
+        let cost = machine.superstep_cost(w, h);
+        ledger.push(PhaseCost {
+            m_op: w,
+            m_rw: h.max(1),
+            kappa: 1,
+            cost,
+        });
+        std::mem::swap(&mut inboxes, &mut next_inboxes);
+    }
+
+    Ok(PlanRun {
+        ledger,
+        output: regs
+            .iter()
+            .map(|r| r.first().copied().unwrap_or(0))
+            .collect(),
     })
 }

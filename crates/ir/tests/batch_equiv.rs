@@ -1,16 +1,17 @@
-//! Differential suite: the batch interpreter ([`parbounds_ir::execute_plan`]
-//! for shared plans, [`parbounds_ir::run_shared_batch`] directly) must return
-//! exactly the same [`PlanRun`] — ledger, phase count, output — as the
-//! closure-dispatch grounding [`parbounds_ir::execute_plan_reference`], for
-//! every Section 8 family the combinators build, on every QSM flavor the IR
-//! schedules, across fan-ins and gap parameters.
+//! Differential suite: the batch interpreters ([`parbounds_ir::execute_plan`]
+//! for shared and BSP plans, [`parbounds_ir::run_shared_batch`] /
+//! [`parbounds_ir::run_msg_batch`] directly) must return exactly the same
+//! [`PlanRun`] — ledger, phase count, output — as the closure-dispatch
+//! grounding [`parbounds_ir::execute_plan_reference`], for every Section 8
+//! family the combinators build, on every model kind the IR schedules,
+//! across fan-ins, gap parameters, and host thread counts {1, 2, 4, 7}.
 
 use parbounds_ir::{
-    broadcast, dart_round, execute_plan, execute_plan_reference, fan_in_read_tree,
-    fan_in_write_tree, prefix_sweep, run_shared_batch, scatter_gather, CombineOp, ModelKind,
-    PhasePlan, ValueRule,
+    broadcast, bsp_fan_in_reduce, bsp_prefix_scan, dart_round, execute_plan,
+    execute_plan_reference, fan_in_read_tree, fan_in_write_tree, prefix_sweep, run_msg_batch,
+    run_shared_batch, scatter_gather, CombineOp, ModelKind, PhasePlan, ValueRule,
 };
-use parbounds_models::{QsmMachine, Word};
+use parbounds_models::{BspMachine, Parallelism, QsmMachine, Word};
 
 /// All shared-memory model kinds at a given gap.
 fn shared_models(g: u64) -> Vec<ModelKind> {
@@ -180,6 +181,84 @@ fn batch_falls_back_for_traced_machines() {
     let plain = execute_plan(&plan, &ramp(9)).unwrap();
     assert_eq!(traced.ledger, plain.ledger);
     assert_eq!(traced.output, plain.output);
+}
+
+#[test]
+fn bsp_plans_match_reference() {
+    for (g, l) in [(1u64, 1u64), (2, 8), (4, 16)] {
+        for p in [1usize, 2, 5, 8, 13] {
+            for k in [2usize, 3] {
+                for op in [CombineOp::Sum, CombineOp::Max, CombineOp::Xor] {
+                    let input: Vec<Word> = (0..(3 * p + 1) as Word).map(|x| 2 * x - 5).collect();
+                    let plan = bsp_fan_in_reduce(p, k, op, g, l);
+                    assert_equiv(&plan, &input);
+                    let plan = bsp_prefix_scan(p, k, op, g, l);
+                    assert_equiv(&plan, &input);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn msg_batch_falls_back_for_traced_machines() {
+    let plan = bsp_prefix_scan(6, 2, CombineOp::Sum, 2, 8);
+    let input: Vec<Word> = (0..20).collect();
+    let machine = BspMachine::new(6, 2, 8).unwrap().with_tracing();
+    let traced = run_msg_batch(&plan, &machine, &input).unwrap();
+    let plain = execute_plan(&plan, &input).unwrap();
+    assert_eq!(traced.ledger, plain.ledger);
+    assert_eq!(traced.output, plain.output);
+}
+
+#[test]
+fn msg_batch_rejects_shared_plans() {
+    let plan = broadcast(4, 2, ModelKind::Qsm { g: 1 });
+    let machine = BspMachine::new(4, 1, 1).unwrap();
+    assert!(run_msg_batch(&plan, &machine, &[1]).is_err());
+}
+
+/// The parallel batch interpreter must be bit-identical to the sequential
+/// one at every thread count, including oversubscription (more workers
+/// than plan processors) and heavy multi-writer arbitration.
+#[test]
+fn shared_batch_is_thread_count_invariant() {
+    let targets: Vec<(usize, ValueRule)> = (0..24)
+        .map(|i| (100 + i % 3, ValueRule::Const(i as Word)))
+        .collect();
+    for model in shared_models(2) {
+        let plans = [
+            prefix_sweep(31, 3, CombineOp::Sum, model),
+            fan_in_write_tree(33, 2, model),
+            dart_round(&targets, model),
+        ];
+        let inputs: [Vec<Word>; 3] = [ramp(31), bits(33, 3), Vec::new()];
+        for (plan, input) in plans.iter().zip(&inputs) {
+            let machine = match model {
+                ModelKind::Qsm { g } => QsmMachine::qsm(g),
+                ModelKind::SQsm { g } => QsmMachine::sqsm(g),
+                ModelKind::QsmUnitCr { g } => QsmMachine::qsm_unit_cr(g),
+                _ => unreachable!("shared_models yields shared kinds"),
+            };
+            let sequential = run_shared_batch(plan, &machine, input).unwrap();
+            for threads in [1usize, 2, 4, 7, 64] {
+                let par = machine
+                    .clone()
+                    .with_parallelism(Parallelism::Fixed(threads));
+                let got = run_shared_batch(plan, &par, input).unwrap();
+                assert_eq!(
+                    got.ledger, sequential.ledger,
+                    "ledger '{}' threads={threads}",
+                    plan.family
+                );
+                assert_eq!(
+                    got.output, sequential.output,
+                    "output '{}' threads={threads}",
+                    plan.family
+                );
+            }
+        }
+    }
 }
 
 #[test]

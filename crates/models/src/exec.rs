@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use crate::par::Parallelism;
 use crate::shared::{Addr, Word};
 
 /// Addresses below this bound use the dense (vector-indexed) scratch lanes;
@@ -62,6 +63,12 @@ pub struct ExecOptions {
     pub trace_phase_cap: usize,
     /// Request-routing strategy (dense fast path by default).
     pub routing: Routing,
+    /// Host-thread budget for the intra-phase compute stage
+    /// ([`Parallelism::Off`] by default — single-threaded, no pool).
+    /// Only the dense fast path shards across threads; reference routing
+    /// and fault-plan runs always execute sequentially. Results are
+    /// bit-identical at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExecOptions {
@@ -70,6 +77,7 @@ impl Default for ExecOptions {
             record_trace: false,
             trace_phase_cap: DEFAULT_TRACE_PHASE_CAP,
             routing: Routing::Dense,
+            parallelism: Parallelism::Off,
         }
     }
 }
@@ -406,6 +414,7 @@ mod tests {
         let o = ExecOptions::default();
         assert!(!o.record_trace);
         assert_eq!(o.routing, Routing::Dense);
+        assert_eq!(o.parallelism, Parallelism::Off);
         assert_eq!(o.trace_phase_cap, DEFAULT_TRACE_PHASE_CAP);
     }
 }

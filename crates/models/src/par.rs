@@ -1,0 +1,249 @@
+//! Intra-phase parallel execution: a dependency-free scoped-thread SPMD
+//! pool that shards the *inside* of a phase/superstep across host cores.
+//!
+//! The bulk-synchronous models this crate simulates (QSM, s-QSM, GSM, BSP)
+//! only couple processors at the phase barrier: within a phase, every
+//! simulated processor runs against values delivered by the *previous*
+//! barrier, and its shared-memory requests take effect only at the *next*
+//! one. That independence is exactly what a host-level executor can
+//! exploit — the compute stage of a phase is a pure function of
+//! (delivered values, per-processor state), so contiguous pid chunks can
+//! run on separate host threads with no locks and no memory snapshots,
+//! emitting requests into per-shard arena buffers.
+//!
+//! Determinism is preserved by construction: shard outputs are merged
+//! back in pid order (worker `w` always owns the `w`-th contiguous pid
+//! range, and results are consumed in worker order), so the request
+//! streams fed to the sequential apply stage — contention tables, the
+//! counting-sort [`crate::exec::WriteRouter`], arbitration RNG draws,
+//! fault-injection choice points, ledgers, and traces — are *bit
+//! identical* to the single-threaded dense path at every thread count.
+//!
+//! The pool is built on [`std::thread::scope`] only (the workspace forbids
+//! `unsafe` and carries no thread-pool dependency). One pool is spawned
+//! per run, not per phase: workers block on a task channel between
+//! phases, so the per-phase cost is two channel hops per worker.
+
+use std::ops::Range;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread;
+
+/// How many host threads a run may use for the intra-phase compute stage.
+///
+/// The default is [`Parallelism::Off`]: every existing entry point keeps
+/// running the single-threaded dense path unless a caller opts in. `Auto`
+/// defers to the `PARBOUNDS_THREADS` environment variable (the same knob
+/// the bench layer's `--threads` flag sets) and falls back to
+/// [`std::thread::available_parallelism`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded execution (the default; identical to PR 4's dense
+    /// path, no pool is ever spawned).
+    #[default]
+    Off,
+    /// Use `PARBOUNDS_THREADS` if set, otherwise the host's available
+    /// parallelism.
+    Auto,
+    /// Use exactly this many worker threads (clamped to at least 1 and to
+    /// the number of simulated processors).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolves the number of worker threads for a run over `num_procs`
+    /// simulated processors. Always at least 1; never more than
+    /// `num_procs` (extra workers would own empty pid ranges).
+    pub fn workers(&self, num_procs: usize) -> usize {
+        let requested = match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(k) => (*k).max(1),
+            Parallelism::Auto => auto_threads(),
+        };
+        requested.min(num_procs.max(1))
+    }
+}
+
+/// `Auto` resolution: `PARBOUNDS_THREADS` env var, then host parallelism.
+fn auto_threads() -> usize {
+    if let Ok(v) = std::env::var("PARBOUNDS_THREADS") {
+        if let Ok(k) = v.trim().parse::<usize>() {
+            if k >= 1 {
+                return k;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into `shards` contiguous ranges; the first `n % shards`
+/// ranges get one extra element. Ranges may be empty when `shards > n`
+/// (oversubscription), but their concatenation is always exactly `0..n`
+/// in order — which is what keeps shard merges pid-ordered.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    debug_assert_eq!(lo, n);
+    out
+}
+
+/// A running SPMD pool: `workers` scoped threads, each with its own task
+/// and result channel. Created by [`with_pool`]; lives for one run.
+pub struct ShardPool<T, R> {
+    task_txs: Vec<Sender<T>>,
+    result_rxs: Vec<Receiver<R>>,
+}
+
+impl<T: Send, R: Send> ShardPool<T, R> {
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.task_txs.len()
+    }
+
+    /// Runs one round: sends `tasks[w]` to worker `w`, then consumes
+    /// results **in worker order** (`consume(0, ..)`, `consume(1, ..)`,
+    /// ...). Consuming worker 0's output overlaps with later workers
+    /// still computing, and the in-order merge is what keeps the apply
+    /// stage's request streams bit-identical to sequential execution.
+    pub fn run_round(&self, tasks: Vec<T>, mut consume: impl FnMut(usize, R)) {
+        let n = tasks.len();
+        assert!(n <= self.workers(), "more tasks than pool workers");
+        for (w, task) in tasks.into_iter().enumerate() {
+            self.task_txs[w]
+                .send(task)
+                .expect("parallel worker thread terminated unexpectedly");
+        }
+        for (w, rx) in self.result_rxs.iter().enumerate().take(n) {
+            match rx.recv() {
+                Ok(out) => consume(w, out),
+                Err(_) => panic!("parallel worker thread terminated unexpectedly"),
+            }
+        }
+    }
+}
+
+/// Spawns a pool of `workers` scoped threads, runs `body` against it, and
+/// joins the pool before returning. Worker `w` runs `work(w, task)` for
+/// every task sent to it and ships the result back; `work` only needs
+/// `Sync` because every thread shares one reference to it.
+///
+/// Panics in `work` propagate: the worker's channels close, the next
+/// `run_round` send/recv fails, and [`std::thread::scope`] resurfaces the
+/// original worker panic on join.
+pub fn with_pool<T, R, O>(
+    workers: usize,
+    work: impl Fn(usize, T) -> R + Sync,
+    body: impl FnOnce(&ShardPool<T, R>) -> O,
+) -> O
+where
+    T: Send,
+    R: Send,
+{
+    let workers = workers.max(1);
+    thread::scope(|scope| {
+        let mut task_txs = Vec::with_capacity(workers);
+        let mut result_rxs = Vec::with_capacity(workers);
+        let work = &work;
+        for w in 0..workers {
+            let (task_tx, task_rx) = mpsc::channel::<T>();
+            let (result_tx, result_rx) = mpsc::channel::<R>();
+            task_txs.push(task_tx);
+            result_rxs.push(result_rx);
+            scope.spawn(move || {
+                while let Ok(task) = task_rx.recv() {
+                    if result_tx.send(work(w, task)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        let pool = ShardPool {
+            task_txs,
+            result_rxs,
+        };
+        body(&pool)
+        // Dropping the pool closes the task channels; workers drain and
+        // exit; the scope joins them before `with_pool` returns.
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_default_is_off() {
+        assert_eq!(Parallelism::default(), Parallelism::Off);
+        assert_eq!(Parallelism::Off.workers(1024), 1);
+    }
+
+    #[test]
+    fn fixed_workers_clamp_to_procs_and_one() {
+        assert_eq!(Parallelism::Fixed(4).workers(1024), 4);
+        assert_eq!(Parallelism::Fixed(0).workers(1024), 1);
+        assert_eq!(Parallelism::Fixed(16).workers(3), 3);
+        assert_eq!(Parallelism::Fixed(16).workers(0), 1);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_in_order() {
+        for n in [0usize, 1, 2, 7, 64, 65] {
+            for shards in 1..=9 {
+                let ranges = shard_ranges(n, shards);
+                assert_eq!(ranges.len(), shards);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (max, min) = (lens.iter().max().unwrap(), lens.iter().min().unwrap());
+                assert!(max - min <= 1, "uneven shards: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_rounds_preserve_worker_order() {
+        let seen = with_pool(
+            4,
+            |w, task: usize| (w, task * 2),
+            |pool| {
+                let mut all = Vec::new();
+                for round in 0..3usize {
+                    let tasks: Vec<usize> = (0..4).map(|w| round * 10 + w).collect();
+                    pool.run_round(tasks, |w, out| all.push((w, out)));
+                }
+                all
+            },
+        );
+        for round in 0..3usize {
+            for w in 0..4usize {
+                assert_eq!(seen[round * 4 + w], (w, (w, (round * 10 + w) * 2)));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_allows_partial_rounds() {
+        with_pool(
+            4,
+            |_w, task: usize| task + 1,
+            |pool| {
+                let mut got = Vec::new();
+                pool.run_round(vec![7, 8], |w, out| got.push((w, out)));
+                assert_eq!(got, vec![(0, 8), (1, 9)]);
+            },
+        );
+    }
+}

@@ -94,15 +94,16 @@ fn run_script_on_qsm(
     script: &Script,
     input: &[Word],
 ) -> (parbounds_models::RunResult, Vec<Vec<Vec<Word>>>) {
-    use std::cell::RefCell;
-    let observed: RefCell<Vec<Vec<Vec<Word>>>> = RefCell::new(vec![Vec::new(); script.procs]);
+    use std::sync::Mutex;
+    let observed: Mutex<Vec<Vec<Vec<Word>>>> = Mutex::new(vec![Vec::new(); script.procs]);
     let prog = FnProgram::new(
         script.procs,
         |_| (),
         |pid, _, env: &mut PhaseEnv<'_>| {
             let t = env.phase();
             if t > 0 {
-                observed.borrow_mut()[pid].push(env.delivered().iter().map(|&(_, v)| v).collect());
+                observed.lock().unwrap()[pid]
+                    .push(env.delivered().iter().map(|&(_, v)| v).collect());
             }
             if t >= script.phases {
                 return Status::Done;
@@ -117,7 +118,7 @@ fn run_script_on_qsm(
         },
     );
     let run = machine.run(&prog, input).unwrap();
-    (run, observed.into_inner())
+    (run, observed.into_inner().unwrap())
 }
 
 #[test]

@@ -50,3 +50,13 @@ done
 # otherwise: more simulator workers than cores cannot beat wall-clock).
 cargo run --release -q -p parbounds-bench --bin table_hotpath -- \
     --smoke --check-scaling 1.8 --out target/bench_smoke.json >/dev/null
+
+# Service soak gate: ~10 seconds of chaos against the in-process oracle
+# service at a fixed seed — seeded fault injection (malformed frames,
+# disconnects, deadline trips, duplicate storms, a budget-exhausting
+# tenant) with the robustness invariants enforced: zero panics, every
+# degraded answer a valid static ledger, cache-consistent full answers,
+# monotone cumulative hit rate, bounded cache, no latency past 2x the
+# deadline budget. Exits 1 on any violation; the JSON report continues
+# the BENCH_PR4/PR5 perf trajectory.
+cargo run --release -q -p parbounds-cli -- soak --smoke --out BENCH_PR6.json

@@ -37,7 +37,8 @@ use parbounds_algo::or_tree::{or_default_fanin, or_write_tree_cost_max};
 use parbounds_algo::reduce::tree_reduce_cost;
 use parbounds_ir::{execute_plan, ModelKind, OutputDecl, PhasePlan, PlanBody, ValueRule};
 use parbounds_models::{
-    Addr, BspMachine, CostLedger, GsmMachine, ModelError, PhaseCost, QsmMachine, Result, Word,
+    Addr, BspMachine, CancelToken, CostLedger, GsmMachine, ModelError, PhaseCost, QsmMachine,
+    Result, Word,
 };
 
 use crate::diagnostics::{Diagnostic, Location, Rule, Severity};
@@ -47,11 +48,20 @@ use crate::rules;
 /// the simulator will produce, without executing. Saturating: guarded
 /// requests are assumed issued.
 pub fn predict_ledger(plan: &PhasePlan) -> Result<CostLedger> {
+    predict_ledger_with(plan, &CancelToken::new())
+}
+
+/// [`predict_ledger`] with a cooperative [`CancelToken`]: the fold checks
+/// the token at every phase boundary and stops with
+/// [`ModelError::DeadlineExceeded`] once it trips, so even static analysis
+/// of adversarially long plans respects a caller's deadline.
+pub fn predict_ledger_with(plan: &PhasePlan, cancel: &CancelToken) -> Result<CostLedger> {
     plan.validate()?;
     let mut ledger = CostLedger::new();
     match &plan.body {
         PlanBody::Shared(phases) => {
-            for phase in phases {
+            for (t, phase) in phases.iter().enumerate() {
+                cancel.check(t)?;
                 let mut m_op = 0u64;
                 let mut m_rw = 0u64;
                 let mut any_access = false;
@@ -128,6 +138,7 @@ pub fn predict_ledger(plan: &PhasePlan) -> Result<CostLedger> {
             // Messages awaiting consumption at the start of each superstep.
             let mut inbox = vec![0u64; p];
             for (t, step) in steps.iter().enumerate() {
+                cancel.check(t)?;
                 let mut declared = vec![(0u64, 0u64); p];
                 let mut received = vec![0u64; p];
                 let mut next_inbox = vec![0u64; p];

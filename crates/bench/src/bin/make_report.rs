@@ -7,13 +7,23 @@
 //! cargo run --release -p parbounds-bench --bin make_report
 //! ```
 
+use parbounds::models::ModelError;
 use parbounds::{generate_report, ReportOptions};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), ModelError> {
     // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
-    let _ = parbounds_bench::init_threads_from_cli();
-    let report = generate_report(&ReportOptions::default()).expect("report generation failed");
+    parbounds_bench::init_threads_from_cli()?;
+    let report = generate_report(&ReportOptions::default())?;
     let path = "MEASUREMENTS.md";
-    std::fs::write(path, &report).expect("cannot write MEASUREMENTS.md");
+    std::fs::write(path, &report)
+        .map_err(|e| ModelError::Io(format!("cannot write {path}: {e}")))?;
     println!("wrote {path} ({} lines)", report.lines().count());
+    Ok(())
 }

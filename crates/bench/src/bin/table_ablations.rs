@@ -14,7 +14,10 @@ use parbounds::models::{BspMachine, QsmMachine};
 
 fn main() {
     // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
-    let _ = parbounds_bench::init_threads_from_cli();
+    if let Err(e) = parbounds_bench::init_threads_from_cli() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let n = 1 << 12;
     let bits = workloads::random_bits(n, 1);
 

@@ -71,7 +71,10 @@ fn tree_parity(r: usize) -> (impl GsmProgram<Proc = ()> + use<>, usize) {
 
 fn main() {
     // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
-    let _ = parbounds_bench::init_threads_from_cli();
+    if let Err(e) = parbounds_bench::init_threads_from_cli() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     println!("Experiment TH3.1 — Theorem 3.1 degree-recurrence audit");
     println!("(exhaustive over all 2^r inputs; tree parity on GSM(α,β,γ))");
     println!(

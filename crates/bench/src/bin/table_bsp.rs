@@ -13,7 +13,10 @@ use parbounds_bench::{fmt_opt, fmt_ratio, n_sweep, par_sweep};
 
 fn main() {
     // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
-    let _ = parbounds_bench::init_threads_from_cli();
+    if let Err(e) = parbounds_bench::init_threads_from_cli() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let pr = Params::bsp(1_048_576.0, 8.0, 64.0, 4096.0);
     println!("{}", render_time_table(Model::Bsp, &pr));
     println!();

@@ -25,7 +25,10 @@ use parbounds_bench::hotpath::{default_ns, run_grid, smoke_ns};
 use parbounds_bench::init_threads_from_cli;
 
 fn main() {
-    let args = init_threads_from_cli();
+    let args = init_threads_from_cli().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check_speedup: Option<f64> = None;

@@ -18,7 +18,10 @@ use parbounds_bench::par_sweep;
 
 fn main() {
     // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
-    let _ = parbounds_bench::init_threads_from_cli();
+    if let Err(e) = parbounds_bench::init_threads_from_cli() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     println!("Theorem 6.1 transfers the LAC lower bounds to Load Balancing and Padded Sort.");
     println!("Measured (total model time across all passes) vs the transferred LAC rand LB:");
     println!();

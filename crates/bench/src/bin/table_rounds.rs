@@ -14,7 +14,10 @@ use parbounds_bench::par_sweep;
 
 fn main() {
     // `--threads N` / `PARBOUNDS_THREADS` pin the sweep width.
-    let _ = parbounds_bench::init_threads_from_cli();
+    if let Err(e) = parbounds_bench::init_threads_from_cli() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let pr = Params::bsp(1_048_576.0, 8.0, 64.0, 65_536.0);
     println!("{}", render_rounds_table(&pr));
     println!();

@@ -9,6 +9,7 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod hotpath;
+pub mod soak;
 
 /// Process-wide thread-count override set by [`set_threads`] (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -35,33 +36,42 @@ pub fn configured_threads() -> Option<usize> {
 /// Strips a `--threads N` flag from the process arguments, applying it via
 /// [`set_threads`], and returns the remaining (non-program-name) arguments.
 /// Every bench binary calls this first, so `--threads` works uniformly.
-pub fn init_threads_from_cli() -> Vec<String> {
+///
+/// A malformed `--threads` value is a typed
+/// [`ModelError::BadConfig`](parbounds::models::ModelError) — the library
+/// never prints or exits; each binary reports the error at its own edge.
+pub fn init_threads_from_cli() -> Result<Vec<String>, parbounds::models::ModelError> {
+    init_threads_from_args(std::env::args().skip(1))
+}
+
+/// The testable core of [`init_threads_from_cli`]: same contract, explicit
+/// argument source.
+pub fn init_threads_from_args<I: IntoIterator<Item = String>>(
+    input: I,
+) -> Result<Vec<String>, parbounds::models::ModelError> {
+    let bad = || {
+        parbounds::models::ModelError::BadConfig("--threads expects a positive integer".to_string())
+    };
     let mut out = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = input.into_iter();
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args
                 .next()
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("--threads expects a positive integer");
-                    std::process::exit(2);
-                });
+                .ok_or_else(bad)?;
             set_threads(n);
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             match v.parse::<usize>() {
                 Ok(n) if n > 0 => set_threads(n),
-                _ => {
-                    eprintln!("--threads expects a positive integer");
-                    std::process::exit(2);
-                }
+                _ => return Err(bad()),
             }
         } else {
             out.push(arg);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Runs `f` over `items` on all available cores (order-preserving output),

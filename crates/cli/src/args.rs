@@ -25,7 +25,10 @@ impl Args {
             // `--flag value` consumes the value; a `--flag` followed by
             // another flag (or end of input) is a boolean.
             let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                // `unwrap_or_default` instead of `unwrap`: the peek
+                // guarantees a value, but argument parsing must not carry
+                // a panic path.
+                Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
                 _ => "true".to_string(),
             };
             flags.insert(key.to_string(), value);

@@ -11,6 +11,9 @@
 //! parbounds faults    [--n N --seed S]
 //! parbounds lint      [--all | --family F] [--n N --seed S --list]
 //! parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
+//! parbounds serve     [--addr HOST:PORT | --stdio] [--workers K --queue-cap Q
+//!                     --deadline-ms D --budget B --cache-cap C]
+//! parbounds soak      [--smoke] [--seed S --requests R --clients C --workers K --out PATH]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,7 +58,10 @@ fn usage() -> &'static str {
   parbounds emulate   [--n N --p P --g G --l L]
   parbounds faults    [--n N --seed S]
   parbounds lint      [--all | --family F] [--n N --seed S --list]
-  parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]"
+  parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
+  parbounds serve     [--addr HOST:PORT | --stdio] [--workers K --queue-cap Q \\
+                      --deadline-ms D --budget B --cache-cap C]
+  parbounds soak      [--smoke] [--seed S --requests R --clients C --workers K --out PATH]"
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
@@ -69,6 +75,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "faults" => cmd_faults(&args),
         "lint" => cmd_lint(&args),
         "analyze" => cmd_analyze(&args),
+        "serve" => cmd_serve(&args),
+        "soak" => cmd_soak(&args),
         "" | "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -451,6 +459,96 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         }
     }
     if !report.clean() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `parbounds serve`: the cost-oracle service over TCP (or stdio, one
+/// line-delimited JSON request per line — handy for piping and tests).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "addr",
+        "stdio",
+        "workers",
+        "queue-cap",
+        "deadline-ms",
+        "budget",
+        "cache-cap",
+    ])?;
+    use parbounds::serve::{OracleConfig, Server, ServerConfig};
+    use std::time::Duration;
+
+    let stdio = args.flag("stdio");
+    let addr = args.str("addr", "127.0.0.1:7411");
+    let cfg = ServerConfig {
+        workers: args.usize("workers", 0)?,
+        queue_cap: args.usize("queue-cap", 64)?,
+        oracle: OracleConfig {
+            cache_cap: args.usize("cache-cap", 1024)?,
+            default_deadline: Duration::from_millis(args.u64("deadline-ms", 2_000)?),
+            tenant_budget: args.u64("budget", u64::MAX)?,
+        },
+        ..ServerConfig::default()
+    };
+    if cfg.queue_cap == 0 {
+        return Err(ModelError::BadConfig("--queue-cap must be positive".into()).to_string());
+    }
+
+    let server = std::sync::Arc::new(Server::start(cfg));
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server.serve_connection(stdin.lock(), stdout.lock());
+        return Ok(());
+    }
+    let listener = std::net::TcpListener::bind(&addr)
+        .map_err(|e| ModelError::Io(format!("cannot bind {addr}: {e}")).to_string())?;
+    eprintln!("parbounds serve: listening on {addr}");
+    server
+        .serve_tcp(listener)
+        .map_err(|e| ModelError::Io(format!("accept loop failed: {e}")).to_string())
+}
+
+/// `parbounds soak`: the chaos/soak harness. Exits nonzero when any
+/// robustness invariant is violated; `--out PATH` writes the JSON report.
+fn cmd_soak(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "smoke", "seed", "requests", "clients", "batches", "workers", "out",
+    ])?;
+    use parbounds_bench::soak::{run_soak, SoakConfig};
+
+    let base = SoakConfig::smoke();
+    let cfg = SoakConfig {
+        seed: args.u64("seed", base.seed)?,
+        requests: args.usize("requests", base.requests)?,
+        clients: args.usize("clients", base.clients)?,
+        batches: args.usize("batches", base.batches)?,
+        workers: args.usize("workers", base.workers)?,
+        ..base
+    };
+    if cfg.requests == 0 || cfg.clients == 0 || cfg.batches == 0 {
+        return Err(ModelError::BadConfig(
+            "--requests, --clients and --batches must be positive".into(),
+        )
+        .to_string());
+    }
+
+    let report = run_soak(&cfg);
+    print!("{}", report.render());
+    if let Some(path) = {
+        let p = args.str("out", "");
+        if p.is_empty() {
+            None
+        } else {
+            Some(p)
+        }
+    } {
+        std::fs::write(&path, report.to_json(&cfg))
+            .map_err(|e| ModelError::Io(format!("cannot write {path}: {e}")).to_string())?;
+        println!("report written to {path}");
+    }
+    if !report.passed() {
         std::process::exit(1);
     }
     Ok(())

@@ -51,6 +51,7 @@ pub use parbounds_analyze as analyze;
 pub use parbounds_boolean as boolean;
 pub use parbounds_ir as ir;
 pub use parbounds_models as models;
+pub use parbounds_serve as serve;
 pub use parbounds_tables as tables;
 
 pub use experiment::{

@@ -16,8 +16,8 @@ use crate::plan::{apply_update, Guard, InitRule, ModelKind, OutputDecl, PhasePla
 use parbounds_models::exec::{ContentionTable, WriteRouter};
 use parbounds_models::par::{shard_ranges, with_pool};
 use parbounds_models::{
-    Addr, BspMachine, BspProgram, CostLedger, Memory, ModelError, Msg, PhaseCost, PhaseEnv,
-    Program, QsmFlavor, QsmMachine, Result, Status, Superstep, Word,
+    Addr, BspMachine, BspProgram, CancelToken, CostLedger, Memory, ModelError, Msg, PhaseCost,
+    PhaseEnv, Program, QsmFlavor, QsmMachine, Result, Status, Superstep, Word,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -224,13 +224,30 @@ fn shared_machine(plan: &PhasePlan) -> Option<QsmMachine> {
 /// its programs are written against a different trait) and are rejected
 /// with `BadConfig`.
 pub fn execute_plan(plan: &PhasePlan, input: &[Word]) -> Result<PlanRun> {
+    execute_plan_cancellable(plan, input, &CancelToken::new())
+}
+
+/// [`execute_plan`] with a cooperative [`CancelToken`] attached to the
+/// machine it builds: the run is checked at every phase/superstep boundary
+/// and stops with [`ModelError::DeadlineExceeded`] once the token trips.
+/// This is the entry point serving layers use to bound measured runs by a
+/// per-request deadline.
+///
+/// [`ModelError::DeadlineExceeded`]: parbounds_models::ModelError::DeadlineExceeded
+pub fn execute_plan_cancellable(
+    plan: &PhasePlan,
+    input: &[Word],
+    cancel: &CancelToken,
+) -> Result<PlanRun> {
     match plan.model {
         ModelKind::Qsm { .. } | ModelKind::SQsm { .. } | ModelKind::QsmUnitCr { .. } => {
-            let machine = shared_machine(plan).expect("matched shared flavors");
+            let machine = shared_machine(plan)
+                .expect("matched shared flavors")
+                .with_cancel(cancel.clone());
             run_shared_batch(plan, &machine, input)
         }
         ModelKind::Bsp { p, g, l } => {
-            let machine = BspMachine::new(p, g, l)?;
+            let machine = BspMachine::new(p, g, l)?.with_cancel(cancel.clone());
             run_msg_batch(plan, &machine, input)
         }
         ModelKind::Gsm { .. } => execute_plan_reference(plan, input),
@@ -358,6 +375,9 @@ pub fn run_shared_batch(plan: &PhasePlan, machine: &QsmMachine, input: &[Word]) 
     let mut new_reads: Vec<(usize, Addr)> = Vec::new();
 
     for (t, phase) in phases.iter().enumerate() {
+        if let Some(token) = machine.cancel_token() {
+            token.check(t)?;
+        }
         read_table.begin_phase();
         writes.begin_phase();
         new_reads.clear();
@@ -593,6 +613,9 @@ fn run_shared_batch_par(
         let mut new_reads: Vec<(usize, Addr)> = Vec::new();
 
         for t in 0..phases.len() {
+            if let Some(token) = machine.cancel_token() {
+                token.check(t)?;
+            }
             read_table.begin_phase();
             writes.begin_phase();
             new_reads.clear();
@@ -744,6 +767,9 @@ pub fn run_msg_batch(plan: &PhasePlan, machine: &BspMachine, input: &[Word]) -> 
     let mut inbox_vals: Vec<Word> = Vec::new();
 
     for (t, step) in steps.iter().enumerate() {
+        if let Some(token) = machine.cancel_token() {
+            token.check(t)?;
+        }
         for ib in next_inboxes.iter_mut() {
             ib.clear();
         }

@@ -32,8 +32,8 @@ pub use combinators::{
     prefix_sweep, scatter_gather,
 };
 pub use interp::{
-    execute_plan, execute_plan_reference, run_msg_batch, run_shared_batch, IrBspProgram, IrProgram,
-    PlanRun,
+    execute_plan, execute_plan_cancellable, execute_plan_reference, run_msg_batch,
+    run_shared_batch, IrBspProgram, IrProgram, PlanRun,
 };
 pub use plan::{
     apply_update, CombineOp, CompStep, Guard, InitRule, ModelKind, MsgStep, OutputDecl, PhasePlan,

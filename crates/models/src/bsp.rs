@@ -9,6 +9,7 @@
 //! machine. Input is partitioned uniformly: component `i` is assigned either
 //! `⌈n/p⌉` or `⌊n/p⌋` inputs.
 
+use crate::cancel::CancelToken;
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
 use crate::exec::{ExecOptions, Routing};
@@ -210,6 +211,7 @@ pub struct BspMachine {
     l: u64,
     max_steps: usize,
     faults: Option<FaultPlan>,
+    cancel: Option<CancelToken>,
     opts: ExecOptions,
 }
 
@@ -234,6 +236,7 @@ impl BspMachine {
             l,
             max_steps: 1 << 20,
             faults: None,
+            cancel: None,
             opts: ExecOptions::default(),
         })
     }
@@ -266,6 +269,27 @@ impl BspMachine {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Attaches a [`CancelToken`]: every subsequent run checks it at each
+    /// superstep boundary and stops with [`ModelError::DeadlineExceeded`]
+    /// once it trips, before the superstep's effects are applied.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Superstep-boundary cancellation checkpoint (no-op without a token).
+    fn check_cancel(&self, step: usize) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(step),
+            None => Ok(()),
+        }
     }
 
     /// Makes every subsequent [`BspMachine::run`] record a full
@@ -424,6 +448,12 @@ impl BspMachine {
         let step_limit = injector
             .as_ref()
             .map_or(self.max_steps, |i| i.effective_phase_limit(self.max_steps));
+        if let Some(inj) = injector.as_mut() {
+            let workers = self.opts.parallelism.workers(self.p);
+            if workers > 1 {
+                inj.note(crate::qsm::parallel_fallback_notice(workers));
+            }
+        }
         // Each component's own superstep counter: advances only when it
         // actually executes, so an injected stall is a pure delay from the
         // program's point of view. Without faults this equals the global
@@ -435,6 +465,7 @@ impl BspMachine {
             if step_no >= step_limit {
                 return Err(ModelError::PhaseLimitExceeded { limit: step_limit });
             }
+            self.check_cancel(step_no)?;
             let mut next_inboxes: Vec<Vec<Msg>> = vec![Vec::new(); self.p];
             let mut w: u64 = 0;
             let mut max_sent: u64 = 0;
@@ -589,6 +620,12 @@ impl BspMachine {
         let step_limit = injector
             .as_ref()
             .map_or(self.max_steps, |i| i.effective_phase_limit(self.max_steps));
+        if let Some(inj) = injector.as_mut() {
+            let workers = self.opts.parallelism.workers(self.p);
+            if workers > 1 {
+                inj.note(crate::qsm::parallel_fallback_notice(workers));
+            }
+        }
         let mut local_step: Vec<usize> = vec![0; self.p];
 
         // Per-run scratch, allocated once and reused across supersteps.
@@ -601,6 +638,7 @@ impl BspMachine {
             if step_no >= step_limit {
                 return Err(ModelError::PhaseLimitExceeded { limit: step_limit });
             }
+            self.check_cancel(step_no)?;
             for ib in next_inboxes.iter_mut() {
                 ib.clear();
             }
@@ -836,6 +874,7 @@ impl BspMachine {
                 if step_no >= step_limit {
                     return Err(ModelError::PhaseLimitExceeded { limit: step_limit });
                 }
+                self.check_cancel(step_no)?;
                 for ib in next_inboxes.iter_mut() {
                     ib.clear();
                 }

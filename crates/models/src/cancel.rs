@@ -1,0 +1,171 @@
+//! Cooperative cancellation and per-request deadlines for simulator runs.
+//!
+//! The bulk-synchronous engines only couple processors at phase barriers,
+//! which makes the barrier the natural cancellation checkpoint: a
+//! [`CancelToken`] is checked once per phase/superstep, *before* the
+//! phase's effects are applied, so a cancelled run never leaves partial
+//! shared-memory state behind — the run either completes a phase in full
+//! or stops cleanly with [`ModelError::DeadlineExceeded`].
+//!
+//! Tokens are attached to machines with `with_cancel` (on
+//! [`crate::QsmMachine`], [`crate::GsmMachine`] and [`crate::BspMachine`]);
+//! the IR batch executors and the static analyzer accept the same token,
+//! so a serving layer can bound *every* way of answering a request with
+//! one deadline. Three trip conditions are supported, all observed at the
+//! next phase boundary:
+//!
+//! * an explicit [`CancelToken::cancel`] call from any thread,
+//! * a wall-clock deadline ([`CancelToken::with_deadline`]),
+//! * a deterministic phase trip ([`CancelToken::tripping_at_phase`]) used
+//!   by tests and the chaos harness to cancel at an exact, reproducible
+//!   point with no timing dependence.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{ModelError, Result};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    phase_trip: Option<usize>,
+}
+
+/// A cloneable cancellation handle shared between a requester and a run.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// state: cancelling one clone cancels them all. The default token never
+/// trips, so attaching it is free for callers that only want the plumbing.
+///
+/// ```
+/// use parbounds_models::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(token.check(0).is_ok());
+/// token.cancel();
+/// assert!(token.check(3).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never trips unless [`cancel`](Self::cancel) is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that trips once `budget` wall-clock time has elapsed
+    /// (measured from now), in addition to explicit cancellation.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+                phase_trip: None,
+            }),
+        }
+    }
+
+    /// A token that trips deterministically when a run reaches global
+    /// phase `phase` (i.e. `check(p)` fails for every `p >= phase`).
+    /// Timing-independent by construction — the chaos harness and the
+    /// cancellation proptest use this to cut runs at exact phases.
+    pub fn tripping_at_phase(phase: usize) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                phase_trip: Some(phase),
+            }),
+        }
+    }
+
+    /// Requests cancellation; every clone of this token starts failing
+    /// [`check`](Self::check) at its next phase boundary.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (explicitly or by deadline)?
+    /// Deterministic phase trips are not reflected here — they depend on
+    /// the phase number only [`check`](Self::check) sees.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The wall-clock time remaining until the deadline, if one is set.
+    /// `Some(Duration::ZERO)` once the deadline has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The phase-boundary checkpoint: returns
+    /// [`ModelError::DeadlineExceeded`] if the token has tripped, tagging
+    /// the error with `phase` (the phase that was *about* to run).
+    pub fn check(&self, phase: usize) -> Result<()> {
+        let tripped = self.is_cancelled() || self.inner.phase_trip.is_some_and(|t| phase >= t);
+        if tripped {
+            Err(ModelError::DeadlineExceeded { phase })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_trips() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_none());
+        for phase in [0usize, 1, 1 << 20] {
+            assert!(t.check(phase).is_ok());
+        }
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(clone.check(0).is_ok());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(
+            clone.check(7),
+            Err(ModelError::DeadlineExceeded { phase: 7 })
+        );
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        assert!(t.check(0).is_err());
+
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3000));
+        assert!(far.check(0).is_ok());
+    }
+
+    #[test]
+    fn phase_trip_is_deterministic() {
+        let t = CancelToken::tripping_at_phase(3);
+        assert!(!t.is_cancelled(), "phase trips are not wall-clock state");
+        assert!(t.check(0).is_ok());
+        assert!(t.check(2).is_ok());
+        assert_eq!(t.check(3), Err(ModelError::DeadlineExceeded { phase: 3 }));
+        assert_eq!(t.check(9), Err(ModelError::DeadlineExceeded { phase: 9 }));
+    }
+}

@@ -61,6 +61,18 @@ pub enum ModelError {
         /// Human-readable cause.
         reason: String,
     },
+    /// The run was cancelled cooperatively at a phase boundary — either its
+    /// [`crate::CancelToken`] deadline elapsed or a caller requested
+    /// cancellation. Raised before the phase's effects are applied, so a
+    /// cancelled run leaves no partial shared-memory state behind.
+    DeadlineExceeded {
+        /// Global phase/superstep at which the cancellation was observed.
+        phase: usize,
+    },
+    /// An I/O failure in a request path (CLI argument stream, wire frame,
+    /// report file). Serving processes surface these as typed errors
+    /// instead of aborting.
+    Io(String),
 }
 
 impl fmt::Display for ModelError {
@@ -96,6 +108,10 @@ impl fmt::Display for ModelError {
                     "phase {phase}: execution aborted by injected fault: {reason}"
                 )
             }
+            ModelError::DeadlineExceeded { phase } => {
+                write!(f, "phase {phase}: run cancelled at the phase boundary (deadline exceeded or cancellation requested)")
+            }
+            ModelError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -148,6 +164,13 @@ mod tests {
         };
         assert!(e.to_string().contains("phase 4"));
         assert!(e.to_string().contains("crash of pid 2"));
+
+        let e = ModelError::DeadlineExceeded { phase: 12 };
+        assert!(e.to_string().contains("phase 12"));
+        assert!(e.to_string().contains("cancelled"));
+
+        let e = ModelError::Io("connection reset".into());
+        assert!(e.to_string().contains("connection reset"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use crate::cancel::CancelToken;
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
 use crate::exec::{ContentionTable, ExecOptions, Routing};
@@ -238,6 +239,7 @@ pub struct GsmMachine {
     gamma: u64,
     max_phases: usize,
     faults: Option<FaultPlan>,
+    cancel: Option<CancelToken>,
     opts: ExecOptions,
 }
 
@@ -250,6 +252,7 @@ impl GsmMachine {
             gamma: gamma.max(1),
             max_phases: 1 << 20,
             faults: None,
+            cancel: None,
             opts: ExecOptions::default(),
         }
     }
@@ -284,6 +287,27 @@ impl GsmMachine {
     /// The attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Attaches a [`CancelToken`]: every subsequent run checks it at each
+    /// phase boundary and stops with [`ModelError::DeadlineExceeded`] once
+    /// it trips, before the phase's effects are applied.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Phase-boundary cancellation checkpoint (no-op without a token).
+    fn check_cancel(&self, phase: usize) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(phase),
+            None => Ok(()),
+        }
     }
 
     /// Makes every subsequent [`GsmMachine::run`] record a full
@@ -450,6 +474,12 @@ impl GsmMachine {
         let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
             i.effective_phase_limit(self.max_phases)
         });
+        if let Some(inj) = injector.as_mut() {
+            let workers = self.opts.parallelism.workers(n_procs);
+            if workers > 1 {
+                inj.note(crate::qsm::parallel_fallback_notice(workers));
+            }
+        }
         // Per-processor phase counters so an injected stall is a pure delay.
         let mut local_phase: Vec<usize> = vec![0; n_procs];
 
@@ -461,6 +491,7 @@ impl GsmMachine {
             if phase_no >= phase_limit {
                 return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
             }
+            self.check_cancel(phase_no)?;
             read_count.clear();
             write_count.clear();
 
@@ -619,6 +650,12 @@ impl GsmMachine {
         let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
             i.effective_phase_limit(self.max_phases)
         });
+        if let Some(inj) = injector.as_mut() {
+            let workers = self.opts.parallelism.workers(n_procs);
+            if workers > 1 {
+                inj.note(crate::qsm::parallel_fallback_notice(workers));
+            }
+        }
         let mut local_phase: Vec<usize> = vec![0; n_procs];
 
         // Per-run scratch, allocated once and reused across phases.
@@ -634,6 +671,7 @@ impl GsmMachine {
             if phase_no >= phase_limit {
                 return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
             }
+            self.check_cancel(phase_no)?;
             read_table.begin_phase();
             write_table.begin_phase();
             new_reads.clear();
@@ -881,6 +919,7 @@ impl GsmMachine {
                 if phase_no >= phase_limit {
                     return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
                 }
+                self.check_cancel(phase_no)?;
                 read_table.begin_phase();
                 write_table.begin_phase();
                 new_reads.clear();

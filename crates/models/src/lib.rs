@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod bsp;
+pub mod cancel;
 pub mod contract;
 mod cost;
 mod error;
@@ -62,6 +63,7 @@ pub mod work;
 pub use bsp::{
     BspFnProgram, BspMachine, BspProgram, BspRunResult, BspStepTrace, BspTrace, Msg, Superstep,
 };
+pub use cancel::CancelToken;
 pub use contract::{ContractMetric, ContractParams, CostContract};
 pub use cost::{round_budget_bsp, round_budget_gsm, round_budget_qsm, CostLedger, PhaseCost};
 pub use error::{ModelError, Result};

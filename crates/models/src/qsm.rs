@@ -18,12 +18,24 @@ use std::collections::{BTreeMap, HashMap};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::cancel::CancelToken;
 use crate::cost::{CostLedger, PhaseCost};
 use crate::error::{ModelError, Result};
 use crate::exec::{ContentionTable, ExecOptions, Routing, WriteRouter};
 use crate::faults::{FaultInjector, FaultLog, FaultPlan};
 use crate::par::{shard_ranges, with_pool, Parallelism};
 use crate::shared::{Addr, Memory, PhaseEnv, Program, Status, Word};
+
+/// One-line [`FaultLog`] notice emitted when a run requested intra-phase
+/// parallelism but carries a fault plan: fault-plan runs always execute
+/// sequentially (bit-identical to [`Parallelism::Fixed`]`(1)`). Shared by
+/// the QSM, GSM and BSP engines so differential suites see one string.
+pub(crate) fn parallel_fallback_notice(workers: usize) -> String {
+    format!(
+        "requested {workers}-way intra-phase parallelism disabled: \
+         fault-plan runs execute sequentially (bit-identical to Fixed(1))"
+    )
+}
 
 /// Which cost rule the machine charges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +126,7 @@ pub struct QsmMachine {
     max_phases: usize,
     mem_limit: usize,
     faults: Option<FaultPlan>,
+    cancel: Option<CancelToken>,
     opts: ExecOptions,
 }
 
@@ -151,6 +164,7 @@ impl QsmMachine {
             max_phases: 1 << 20,
             mem_limit: 1 << 34,
             faults: None,
+            cancel: None,
             opts: ExecOptions::default(),
         }
     }
@@ -184,6 +198,27 @@ impl QsmMachine {
     pub fn without_faults(mut self) -> Self {
         self.faults = None;
         self
+    }
+
+    /// Attaches a [`CancelToken`]: every subsequent run checks it at each
+    /// phase boundary and stops with [`ModelError::DeadlineExceeded`] once
+    /// it trips, before the phase's effects are applied.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Phase-boundary cancellation checkpoint (no-op without a token).
+    fn check_cancel(&self, phase: usize) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(phase),
+            None => Ok(()),
+        }
     }
 
     /// Makes every subsequent [`QsmMachine::run`] record an [`ExecTrace`]
@@ -348,6 +383,12 @@ impl QsmMachine {
         let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
             i.effective_phase_limit(self.max_phases)
         });
+        if let Some(inj) = injector.as_mut() {
+            let workers = self.opts.parallelism.workers(n_procs);
+            if workers > 1 {
+                inj.note(parallel_fallback_notice(workers));
+            }
+        }
 
         let mut states: Vec<P::Proc> = (0..n_procs).map(|pid| program.create(pid)).collect();
         let mut active: Vec<bool> = vec![true; n_procs];
@@ -370,6 +411,7 @@ impl QsmMachine {
             if phase_no >= phase_limit {
                 return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
             }
+            self.check_cancel(phase_no)?;
             read_count.clear();
             writes_by_addr.clear();
 
@@ -552,6 +594,12 @@ impl QsmMachine {
         let phase_limit = injector.as_ref().map_or(self.max_phases, |i| {
             i.effective_phase_limit(self.max_phases)
         });
+        if let Some(inj) = injector.as_mut() {
+            let workers = self.opts.parallelism.workers(n_procs);
+            if workers > 1 {
+                inj.note(parallel_fallback_notice(workers));
+            }
+        }
 
         let mut states: Vec<P::Proc> = (0..n_procs).map(|pid| program.create(pid)).collect();
         let mut active: Vec<bool> = vec![true; n_procs];
@@ -572,6 +620,7 @@ impl QsmMachine {
             if phase_no >= phase_limit {
                 return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
             }
+            self.check_cancel(phase_no)?;
             read_table.begin_phase();
             writes.begin_phase();
             new_reads.clear();
@@ -839,6 +888,7 @@ impl QsmMachine {
                 if phase_no >= phase_limit {
                     return Err(ModelError::PhaseLimitExceeded { limit: phase_limit });
                 }
+                self.check_cancel(phase_no)?;
                 read_table.begin_phase();
                 writes.begin_phase();
                 new_reads.clear();

@@ -79,7 +79,14 @@ fn qsm_par_equiv<T>(
                 let (s, p) = (run_of(s), run_of(p));
                 assert_eq!(s.ledger, p.ledger, "{label} threads={threads}: ledger");
                 assert_eq!(s.memory, p.memory, "{label} threads={threads}: memory");
-                assert_eq!(s.faults, p.faults, "{label} threads={threads}: fault log");
+                // Injected faults must match bit for bit; host-execution
+                // notices intentionally differ (a requested-parallel run
+                // records its sequential fallback, the baseline does not).
+                assert_eq!(
+                    s.faults.as_ref().map(|f| f.sans_notices()),
+                    p.faults.as_ref().map(|f| f.sans_notices()),
+                    "{label} threads={threads}: fault log"
+                );
                 assert_eq!(s.trace, p.trace, "{label} threads={threads}: trace");
             }
             (Err(se), Err(pe)) => {
@@ -184,6 +191,45 @@ fn qsm_fault_plans_parallel_falls_back_identically() {
             |o| &o.run,
         );
     }
+}
+
+/// Regression test for the PR 5 edge case where a fault-plan run that
+/// requests intra-phase parallelism silently fell back to sequential
+/// execution: the fallback must be bit-identical to `Fixed(1)` (same
+/// ledger, memory, trace and injected faults), and the run must now say so
+/// with a one-line [`parbounds_models::FaultLog`] notice instead of
+/// staying silent.
+#[test]
+fn qsm_fault_fallback_is_noted_and_identical_to_one_thread() {
+    let input = bits(64, 2);
+    let plan = FaultPlan::new(11).with_stall(0, 1).with_stall(3, 2);
+    let machine = QsmMachine::qsm(3).with_faults(plan).with_tracing();
+
+    let one = or_write_tree(
+        &machine.clone().with_parallelism(Parallelism::Fixed(1)),
+        &input,
+        2,
+    )
+    .unwrap();
+    let four = or_write_tree(&machine.with_parallelism(Parallelism::Fixed(4)), &input, 2).unwrap();
+
+    // Bit-identical execution record.
+    assert_eq!(one.run.ledger, four.run.ledger);
+    assert_eq!(one.run.memory, four.run.memory);
+    assert_eq!(one.run.trace, four.run.trace);
+    let (one_log, four_log) = (one.run.faults.unwrap(), four.run.faults.unwrap());
+    assert_eq!(one_log.sans_notices(), four_log.sans_notices());
+
+    // Fixed(1) requests no host parallelism, so nothing to disclose; the
+    // Fixed(4) fallback must announce itself in exactly one notice.
+    assert!(one_log.notices.is_empty(), "{:?}", one_log.notices);
+    assert_eq!(four_log.notices.len(), 1, "{:?}", four_log.notices);
+    assert!(
+        four_log.notices[0].contains("4-way intra-phase parallelism disabled"),
+        "{:?}",
+        four_log.notices
+    );
+    assert!(four_log.notices[0].contains("bit-identical to Fixed(1)"));
 }
 
 #[test]

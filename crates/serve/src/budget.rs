@@ -1,0 +1,83 @@
+//! Per-tenant cost budgets.
+//!
+//! Measured runs are the expensive oracle queries, so admission charges
+//! each tenant the *statically predicted* model time of the plan before
+//! executing it — the same ledger the degraded path serves, computed in
+//! microseconds. A tenant whose cumulative predicted spend would exceed
+//! its budget is refused with the models' own
+//! [`ModelError::CostBudgetExceeded`], the same error a
+//! [`FaultPlan`](parbounds_models::FaultPlan) cost cap raises inside a
+//! simulator.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use parbounds_models::{ModelError, Result};
+
+/// Tracks predicted-cost spend per tenant against a uniform budget.
+#[derive(Debug)]
+pub struct TenantBudgets {
+    budget: u64,
+    spent: Mutex<HashMap<String, u64>>,
+}
+
+impl TenantBudgets {
+    /// Budgets every tenant `budget` units of predicted model time.
+    pub fn new(budget: u64) -> Self {
+        TenantBudgets {
+            budget,
+            spent: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Atomically charges `cost` to `tenant`. On success returns the
+    /// budget remaining after the charge; when the charge would overdraw,
+    /// nothing is charged and [`ModelError::CostBudgetExceeded`] reports
+    /// the budget and the spend the request would have reached.
+    pub fn try_charge(&self, tenant: &str, cost: u64) -> Result<u64> {
+        let mut spent = self.spent.lock().expect("budget lock poisoned");
+        let entry = spent.entry(tenant.to_string()).or_insert(0);
+        let would_be = entry.saturating_add(cost);
+        if would_be > self.budget {
+            return Err(ModelError::CostBudgetExceeded {
+                budget: self.budget,
+                cost: would_be,
+            });
+        }
+        *entry = would_be;
+        Ok(self.budget - would_be)
+    }
+
+    /// Total predicted cost charged to `tenant` so far.
+    pub fn spent(&self, tenant: &str) -> u64 {
+        self.spent
+            .lock()
+            .expect("budget lock poisoned")
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_are_isolated_per_tenant_and_refused_at_the_line() {
+        let budgets = TenantBudgets::new(100);
+        assert_eq!(budgets.try_charge("a", 60).unwrap(), 40);
+        assert_eq!(budgets.try_charge("b", 90).unwrap(), 10);
+        // The refusal carries the models' own typed error, and does not
+        // charge.
+        match budgets.try_charge("a", 50) {
+            Err(ModelError::CostBudgetExceeded { budget, cost }) => {
+                assert_eq!(budget, 100);
+                assert_eq!(cost, 110);
+            }
+            other => panic!("expected CostBudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(budgets.spent("a"), 60);
+        assert_eq!(budgets.try_charge("a", 40).unwrap(), 0);
+    }
+}

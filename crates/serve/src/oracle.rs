@@ -1,0 +1,290 @@
+//! The cost oracle: resolves, analyzes and executes one request.
+//!
+//! The oracle is the pure request→response core the server's worker pool
+//! calls. It owns the single-flight cache and the tenant budgets, and
+//! implements the degradation state machine:
+//!
+//! ```text
+//! resolve plan ──bad──▶ bad_request
+//!   │ok
+//! predict ledger (static, fresh token)
+//!   │
+//! measured kind? ──yes──▶ charge tenant budget ──over──▶ budget_exhausted
+//!   │no                       │ok
+//! cache lookup (single-flight)│
+//!   │lead                     │
+//! compute under deadline token│execute under deadline token
+//!   │                         ├─ ok ───────▶ answer (cached for next time)
+//!   │                         └─ deadline ─▶ static ledger, degraded: true
+//! ```
+//!
+//! Errors are never cached; degraded answers are never cached (a later,
+//! less-loaded request should get the chance to produce the full answer).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parbounds_analyze::{certify_writes, ir_family_plan, lint_plan, predict_ledger_with};
+use parbounds_ir::{execute_plan_cancellable, PhasePlan};
+use parbounds_models::{CancelToken, ModelError, Word};
+
+use crate::budget::TenantBudgets;
+use crate::cache::{CacheSnapshot, Lease, OracleCache};
+use crate::wire::{
+    Answer, ErrorCode, PlanSource, QueryKind, Request, Response, WireDiag, WireError,
+};
+
+/// Oracle tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Ready answers the content-addressed cache retains.
+    pub cache_cap: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Predicted-model-time budget per tenant.
+    pub tenant_budget: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            cache_cap: 1024,
+            default_deadline: Duration::from_millis(2_000),
+            tenant_budget: u64::MAX,
+        }
+    }
+}
+
+/// The request→response core shared by every worker.
+#[derive(Debug)]
+pub struct Oracle {
+    cache: OracleCache,
+    budgets: TenantBudgets,
+    cfg: OracleConfig,
+    analyses: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl Oracle {
+    /// Builds an oracle from its config.
+    pub fn new(cfg: OracleConfig) -> Self {
+        Oracle {
+            cache: OracleCache::new(cfg.cache_cap),
+            budgets: TenantBudgets::new(cfg.tenant_budget),
+            cfg,
+            analyses: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of answers actually computed (cache leaders), the
+    /// observable the single-flight tests assert on.
+    pub fn analyses_performed(&self) -> u64 {
+        self.analyses.load(Ordering::Relaxed)
+    }
+
+    /// Number of degraded (static-fallback) answers served.
+    pub fn degraded_served(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheSnapshot {
+        self.cache.stats()
+    }
+
+    /// Predicted cost charged to `tenant` so far.
+    pub fn tenant_spent(&self, tenant: &str) -> u64 {
+        self.budgets.spent(tenant)
+    }
+
+    /// True when the content address `key` currently has a cached answer
+    /// (used by the cancellation tests to prove cancelled runs leave no
+    /// partial state behind).
+    pub fn cache_contains(&self, key: u64) -> bool {
+        self.cache.contains(key)
+    }
+
+    /// Handles one request end to end. Never panics on malformed input —
+    /// every failure mode maps to a typed error or a degraded answer.
+    pub fn handle(&self, req: &Request) -> Response {
+        match self.try_handle(req) {
+            Ok(resp) => resp,
+            Err(err) => Response {
+                id: req.id,
+                result: Err(wire_error(&err)),
+                cached: false,
+                degraded: false,
+            },
+        }
+    }
+
+    fn try_handle(&self, req: &Request) -> Result<Response, ModelError> {
+        // 1. Resolve the plan and input.
+        let (plan, input) = self.resolve(req)?;
+        plan.validate()?;
+
+        // 2. The static prediction, under a fresh token: it doubles as the
+        //    budget gatekeeper and the degraded answer, so it must not be
+        //    poisoned by an already-tripped request deadline. It is cheap
+        //    (no execution), but a hostile million-phase plan is still
+        //    bounded by the server default deadline.
+        let predicted = predict_ledger_with(
+            &plan,
+            &CancelToken::with_deadline(self.cfg.default_deadline),
+        )?;
+
+        // 3. Measured kinds charge the tenant the predicted model time up
+        //    front; refusal is the models' own CostBudgetExceeded.
+        if req.kind.is_measured() {
+            self.budgets
+                .try_charge(&req.tenant, predicted.total_time())?;
+        }
+
+        // 4. Single-flight cache.
+        let key = req.cache_key(&plan, &input);
+        match self.cache.get_or_begin(key) {
+            Lease::Hit(answer) => Ok(Response {
+                id: req.id,
+                result: Ok((*answer).clone()),
+                cached: true,
+                degraded: false,
+            }),
+            Lease::Lead => {
+                let token = self.request_token(req);
+                self.analyses.fetch_add(1, Ordering::Relaxed);
+                match self.compute(req, &plan, &input, &predicted, &token) {
+                    Ok(answer) => {
+                        let answer = Arc::new(answer);
+                        self.cache.fulfill(key, Arc::clone(&answer));
+                        Ok(Response {
+                            id: req.id,
+                            result: Ok((*answer).clone()),
+                            cached: false,
+                            degraded: false,
+                        })
+                    }
+                    Err(ModelError::DeadlineExceeded { .. }) if req.kind.is_measured() => {
+                        // Graceful degradation: the measured run blew its
+                        // deadline, but the static ledger is already in
+                        // hand. Not cached — the next request should get a
+                        // chance at the full answer.
+                        self.cache.abandon(key);
+                        self.degraded.fetch_add(1, Ordering::Relaxed);
+                        Ok(Response {
+                            id: req.id,
+                            result: Ok(Answer::Ledger { ledger: predicted }),
+                            cached: false,
+                            degraded: true,
+                        })
+                    }
+                    Err(err) => {
+                        self.cache.abandon(key);
+                        Err(err)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the cancellation token governing the measured/analyzed part
+    /// of a request: a deterministic phase trip when the request asks for
+    /// one (tests, chaos), otherwise the wall-clock deadline.
+    fn request_token(&self, req: &Request) -> CancelToken {
+        if let Some(phase) = req.trip_at_phase {
+            CancelToken::tripping_at_phase(phase)
+        } else {
+            let ms = req.deadline_ms.map(Duration::from_millis);
+            CancelToken::with_deadline(ms.unwrap_or(self.cfg.default_deadline))
+        }
+    }
+
+    fn resolve(&self, req: &Request) -> Result<(PhasePlan, Vec<Word>), ModelError> {
+        match &req.plan {
+            PlanSource::Inline(plan) => {
+                let input = req
+                    .input
+                    .clone()
+                    .unwrap_or_else(|| vec![0; plan.input_cells]);
+                Ok((plan.clone(), input))
+            }
+            PlanSource::Family { name, n, seed } => {
+                let (_, plan, canonical) = ir_family_plan(name, *n, *seed)?;
+                Ok((plan, req.input.clone().unwrap_or(canonical)))
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        req: &Request,
+        plan: &PhasePlan,
+        input: &[Word],
+        predicted: &parbounds_models::CostLedger,
+        token: &CancelToken,
+    ) -> Result<Answer, ModelError> {
+        match req.kind {
+            QueryKind::Static => Ok(Answer::Ledger {
+                // Re-fold under the request token so an explicit phase
+                // trip or tight deadline is honoured deterministically.
+                ledger: predict_ledger_with(plan, token)?,
+            }),
+            QueryKind::Lint => Ok(Answer::Lint {
+                diagnostics: lint_plan(plan)?
+                    .into_iter()
+                    .map(|d| WireDiag {
+                        severity: format!("{:?}", d.severity).to_lowercase(),
+                        rule: format!("{:?}", d.rule),
+                        message: d.message,
+                    })
+                    .collect(),
+            }),
+            QueryKind::Certify => {
+                let cert = certify_writes(plan)?;
+                let witnesses = match &cert {
+                    parbounds_analyze::WriteCertificate::Racy { witnesses } => witnesses.len(),
+                    parbounds_analyze::WriteCertificate::RaceFree { .. } => 0,
+                };
+                Ok(Answer::Certificate {
+                    race_free: cert.is_race_free(),
+                    phases: plan.num_phases(),
+                    witnesses,
+                })
+            }
+            QueryKind::Run => {
+                let run = execute_plan_cancellable(plan, input, token)?;
+                Ok(Answer::Run {
+                    ledger: run.ledger,
+                    output: run.output,
+                })
+            }
+            QueryKind::Compare => {
+                let run = execute_plan_cancellable(plan, input, token)?;
+                let matches = *predicted == run.ledger;
+                Ok(Answer::Compare {
+                    predicted: predicted.clone(),
+                    measured: run.ledger,
+                    matches,
+                    output: run.output,
+                })
+            }
+        }
+    }
+}
+
+/// Maps a [`ModelError`] to its typed wire error.
+pub fn wire_error(err: &ModelError) -> WireError {
+    let code = match err {
+        ModelError::BadConfig(_) => ErrorCode::BadRequest,
+        ModelError::CostBudgetExceeded { .. } => ErrorCode::BudgetExhausted,
+        ModelError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+        ModelError::Io(_) => ErrorCode::Io,
+        _ => ErrorCode::ModelRule,
+    };
+    WireError {
+        code,
+        message: err.to_string(),
+        retry_after_ms: None,
+    }
+}

@@ -28,6 +28,20 @@ if target/release/parbounds analyze --static --family racy-plan >/dev/null; then
     exit 1
 fi
 
+# Symbolic-conformance gate: every covered family's Θ-normal-form ledger
+# must be Θ-equivalent to its Table 1 row, the Claim 2.1/2.2 model
+# mappings must hold symbolically, and the symbolic ledgers must evaluate
+# bit-identically to the numeric predictor on the CI grid (exit 1 on any
+# inequivalence, regression, claim failure, or cell-level divergence).
+# Inverse check: the deliberately padded write tree derives Θ(g·log n) —
+# strictly dominating its Table 1 row Θ(g·log n / log g) — and must trip
+# the bound-regression lint (exit 1 from the analyzer).
+target/release/parbounds analyze --symbolic --all
+if target/release/parbounds analyze --symbolic --family or-write-tree-padded >/dev/null; then
+    echo "ci: padded plan did NOT trip bound-regression under '--symbolic'" >&2
+    exit 1
+fi
+
 # Parallel-execution gate: the differential suites must hold with the
 # intra-phase executor at explicit thread counts AND with Parallelism::Auto
 # resolving through PARBOUNDS_THREADS — the same knob --threads sets. The

@@ -15,20 +15,63 @@
 use crate::or_tree::or_default_fanin;
 use crate::workloads::{random_bits, uniform_values};
 use parbounds_ir::{
-    broadcast, bsp_fan_in_reduce, bsp_prefix_scan, dart_round, fan_in_read_tree, fan_in_write_tree,
-    prefix_sweep, scatter_gather, CombineOp, ModelKind, PhasePlan, ValueRule,
+    broadcast, bsp_fan_in_reduce, bsp_prefix_scan, ceil_log, dart_round, fan_in_read_tree,
+    fan_in_write_tree, prefix_sweep, scatter_gather, CombineOp, FanRecipe, ModelKind, PhasePlan,
+    PlanBody, ProcPhase, ShapePoint, SharedPhase, ValueRule,
 };
 use parbounds_models::Word;
+
+/// The shape point a shared-memory family is instantiated at.
+fn shared_point(n: usize, g: u64) -> ShapePoint {
+    ShapePoint {
+        n: n as u64,
+        p: n as u64,
+        g,
+        l: 0,
+    }
+}
+
+/// The shape point a BSP family is instantiated at.
+fn bsp_point(p: usize, g: u64, l: u64) -> ShapePoint {
+    ShapePoint {
+        n: 0,
+        p: p as u64,
+        g,
+        l,
+    }
+}
 
 /// The QSM write-combining OR tree (fan-in `max(2, g)`) on an all-ones
 /// input, which saturates every guard and attains
 /// [`crate::or_tree::or_write_tree_cost_max`].
 pub fn or_write_tree_plan(n: usize, g: u64) -> (PhasePlan, Vec<Word>) {
-    let k = or_default_fanin(g);
+    let k = FanRecipe::OrFanIn.fan(shared_point(n, g)) as usize;
+    debug_assert_eq!(k, or_default_fanin(g));
     (
         fan_in_write_tree(n, k, ModelKind::Qsm { g }),
         vec![1; n.max(1)],
     )
+}
+
+/// The OR write tree padded with `⌈log₂ n⌉` busy-wait self-reads before
+/// the publish phase — a deliberately asymptotically-worse schedule
+/// (`Θ(g·log n)` instead of Table 1's `Θ(g·log n / log g)`) kept as the
+/// fixture that must trip the `bound-regression` lint.
+pub fn or_write_tree_padded_plan(n: usize, g: u64) -> (PhasePlan, Vec<Word>) {
+    let (mut plan, input) = or_write_tree_plan(n, g);
+    plan.family = "fan-in-write-tree-padded".into();
+    if let PlanBody::Shared(phases) = &mut plan.body {
+        let publish = phases.pop().expect("write tree always has a publish phase");
+        for i in 0..ceil_log(n.max(1) as u64, 2) {
+            let mut pad = SharedPhase::new(format!("pad-{i}"));
+            // Only the root is still alive this late in the schedule; it
+            // re-reads its input cell, costing a full gap `g` per phase.
+            pad.procs.push(ProcPhase::idle(0).read(0));
+            phases.push(pad);
+        }
+        phases.push(publish);
+    }
+    (plan, input)
 }
 
 /// The s-QSM binary parity read tree on random bits.
@@ -41,13 +84,13 @@ pub fn parity_read_tree_plan(n: usize, g: u64, seed: u64) -> (PhasePlan, Vec<Wor
 
 /// The QSM fan-out-`(g+1)` broadcast of a single word to `n` cells.
 pub fn broadcast_plan(n: usize, g: u64) -> (PhasePlan, Vec<Word>) {
-    let k = (g as usize + 1).max(2);
+    let k = FanRecipe::BroadcastFanOut.fan(shared_point(n, g)) as usize;
     (broadcast(n, k, ModelKind::Qsm { g }), vec![7])
 }
 
 /// The QSM `k`-ary Hillis–Steele prefix-sums sweep over uniform values.
 pub fn prefix_sweep_plan(n: usize, g: u64, seed: u64) -> (PhasePlan, Vec<Word>) {
-    let k = (g as usize).max(2);
+    let k = FanRecipe::SweepFanIn.fan(shared_point(n, g)) as usize;
     (
         prefix_sweep(n, k, CombineOp::Sum, ModelKind::Qsm { g }),
         uniform_values(n.max(1), seed),
@@ -69,7 +112,7 @@ pub fn scatter_gather_plan(n: usize, g: u64, seed: u64) -> (PhasePlan, Vec<Word>
 /// The BSP fan-in-`max(2, L/g)` parity reduction over `n` random bits
 /// partitioned across `p` components.
 pub fn bsp_reduce_plan(p: usize, g: u64, l: u64, n: usize, seed: u64) -> (PhasePlan, Vec<Word>) {
-    let k = ((l / g.max(1)) as usize).max(2);
+    let k = FanRecipe::BspFanIn.fan(bsp_point(p, g, l)) as usize;
     (
         bsp_fan_in_reduce(p, k, CombineOp::Xor, g, l),
         random_bits(n.max(1), seed),
@@ -84,7 +127,7 @@ pub fn bsp_prefix_scan_plan(
     n: usize,
     seed: u64,
 ) -> (PhasePlan, Vec<Word>) {
-    let k = ((l / g.max(1)) as usize).max(2);
+    let k = FanRecipe::BspFanIn.fan(bsp_point(p, g, l)) as usize;
     (
         bsp_prefix_scan(p, k, CombineOp::Sum, g, l),
         uniform_values(n.max(1), seed),

@@ -67,6 +67,18 @@ pub enum Rule {
     ///
     /// [`trace_phase_cap`]: parbounds_models::ExecOptions::trace_phase_cap
     TruncatedTrace,
+    /// A plan recognized as an instance of a symbolically-covered §8
+    /// family whose symbolic ledger, evaluated at the plan's parameter
+    /// point, disagrees with the numeric `predict_ledger` cell for cell.
+    /// Either the schedule silently diverged from the family's recipe or
+    /// the closed-form derivation is stale — both break the Table 1
+    /// conformance story.
+    SymbolicMismatch,
+    /// A family's derived Θ-normal-form total strictly dominates its
+    /// Table 1 row: the schedule asymptotically overpays the bound the
+    /// paper proves for the problem. Both normal forms are quoted in the
+    /// message.
+    BoundRegression,
     /// The plan declares fewer processors than the host threads requested
     /// for intra-phase parallel execution. Worker `w` owns the `w`-th
     /// contiguous pid range, so extra workers own *empty* ranges: they are
@@ -83,7 +95,9 @@ impl Rule {
             Rule::SamePhaseReadWrite
             | Rule::ContentionOverBound
             | Rule::BspUndeliverableSend
-            | Rule::GsmGammaViolation => Severity::Error,
+            | Rule::GsmGammaViolation
+            | Rule::SymbolicMismatch
+            | Rule::BoundRegression => Severity::Error,
             Rule::SqsmAsymmetry
             | Rule::DeadRead
             | Rule::UnconsumedWrite
@@ -105,6 +119,8 @@ impl Rule {
             Rule::UnconsumedWrite => "unconsumed-write",
             Rule::DeadPhase => "dead-phase",
             Rule::TruncatedTrace => "truncated-trace",
+            Rule::SymbolicMismatch => "symbolic-mismatch",
+            Rule::BoundRegression => "bound-regression",
             Rule::ParallelUnderfill => "parallel-underfill",
         }
     }

@@ -49,6 +49,7 @@ pub mod race;
 pub mod rules;
 pub mod statics;
 pub mod suite;
+pub mod symbolic;
 
 pub use contracts::{check_contract, ContractPoint, ContractReport};
 pub use diagnostics::{Diagnostic, Location, Rule, Severity};
@@ -63,3 +64,9 @@ pub use statics::{
     WriteCertificate, IR_FAMILIES,
 };
 pub use suite::{analyze_all, analyze_family, AnalysisReport, FamilyReport, SuiteConfig, FAMILIES};
+pub use symbolic::{
+    analyze_symbolic_all, analyze_symbolic_family, check_all_families, check_claims, check_family,
+    predict_ledger_symbolic, recognize_plan, table1_fixture, theta, ClaimCheck, FamilyConformance,
+    GridPoint, PlanSymbolicCheck, SymExpr, SymLedger, SymbolicFamilyReport, SymbolicReport, Theta,
+    SYMBOLIC_FAMILIES,
+};

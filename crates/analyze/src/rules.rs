@@ -105,3 +105,25 @@ pub fn truncated_trace(recorded: usize, total: usize) -> String {
          full audit"
     )
 }
+
+/// [`Rule::SymbolicMismatch`](crate::diagnostics::Rule::SymbolicMismatch):
+/// a plan recognized as a family instance whose symbolic ledger, evaluated
+/// at the plan's parameter point, disagrees with the numeric prediction.
+pub fn symbolic_mismatch(family: &str, n: u64, p: u64, g: u64, l: u64) -> String {
+    format!(
+        "plan is a recognized '{family}' instance but its symbolic ledger \
+         evaluated at (n={n}, p={p}, g={g}, L={l}) differs from the numeric \
+         prediction — the family's closed form no longer describes this \
+         schedule"
+    )
+}
+
+/// [`Rule::BoundRegression`](crate::diagnostics::Rule::BoundRegression):
+/// a family's derived Θ-normal form strictly dominates its Table 1 row.
+pub fn bound_regression(family: &str, derived: &str, fixture: &str) -> String {
+    format!(
+        "family '{family}' derives to {derived}, which strictly dominates \
+         its Table 1 bound {fixture} — the schedule asymptotically overpays \
+         the paper's analysis"
+    )
+}

@@ -30,8 +30,8 @@ use std::collections::BTreeMap;
 
 use parbounds_algo::broadcast::broadcast_cost_max;
 use parbounds_algo::ir_families::{
-    broadcast_plan, bsp_prefix_scan_plan, bsp_reduce_plan, or_write_tree_plan,
-    parity_read_tree_plan, prefix_sweep_plan, racy_plan, scatter_gather_plan,
+    broadcast_plan, bsp_prefix_scan_plan, bsp_reduce_plan, or_write_tree_padded_plan,
+    or_write_tree_plan, parity_read_tree_plan, prefix_sweep_plan, racy_plan, scatter_gather_plan,
 };
 use parbounds_algo::or_tree::{or_default_fanin, or_write_tree_cost_max};
 use parbounds_algo::reduce::tree_reduce_cost;
@@ -475,6 +475,7 @@ pub fn lint_plan(plan: &PhasePlan) -> Result<Vec<Diagnostic>> {
             }
         }
     }
+    diags.extend(crate::symbolic::lint_plan_symbolic(plan)?);
     Ok(diags)
 }
 
@@ -568,11 +569,11 @@ pub const IR_FAMILIES: [&str; 7] = [
 ];
 
 /// Gap used by the standard static suite (matches the dynamic suite).
-const G: u64 = 8;
+pub const SUITE_G: u64 = 8;
 /// BSP width used by the standard static suite.
-const BSP_P: usize = 16;
+pub const SUITE_BSP_P: usize = 16;
 /// BSP latency used by the standard static suite.
-const BSP_L: u64 = 8 * G;
+pub const SUITE_BSP_L: u64 = 8 * SUITE_G;
 
 /// One family's static report: prediction, measurement, certificate,
 /// lints and (where the paper gives one) the closed-form anchor.
@@ -624,15 +625,22 @@ pub fn ir_family_plan(
 ) -> Result<(&'static str, PhasePlan, Vec<Word>)> {
     let n = n.max(8);
     let (name, (plan, input)) = match family {
-        "or-write-tree" => ("or-write-tree", or_write_tree_plan(n, G)),
-        "parity-read-tree" => ("parity-read-tree", parity_read_tree_plan(n, G, seed)),
-        "broadcast" => ("broadcast", broadcast_plan(n, G)),
-        "prefix-sweep" => ("prefix-sweep", prefix_sweep_plan(n, G, seed)),
-        "scatter-gather" => ("scatter-gather", scatter_gather_plan(n, G, seed)),
-        "bsp-reduce" => ("bsp-reduce", bsp_reduce_plan(BSP_P, G, BSP_L, n, seed)),
+        "or-write-tree" => ("or-write-tree", or_write_tree_plan(n, SUITE_G)),
+        "or-write-tree-padded" => (
+            "or-write-tree-padded",
+            or_write_tree_padded_plan(n, SUITE_G),
+        ),
+        "parity-read-tree" => ("parity-read-tree", parity_read_tree_plan(n, SUITE_G, seed)),
+        "broadcast" => ("broadcast", broadcast_plan(n, SUITE_G)),
+        "prefix-sweep" => ("prefix-sweep", prefix_sweep_plan(n, SUITE_G, seed)),
+        "scatter-gather" => ("scatter-gather", scatter_gather_plan(n, SUITE_G, seed)),
+        "bsp-reduce" => (
+            "bsp-reduce",
+            bsp_reduce_plan(SUITE_BSP_P, SUITE_G, SUITE_BSP_L, n, seed),
+        ),
         "bsp-prefix-scan" => (
             "bsp-prefix-scan",
-            bsp_prefix_scan_plan(BSP_P, G, BSP_L, n, seed),
+            bsp_prefix_scan_plan(SUITE_BSP_P, SUITE_G, SUITE_BSP_L, n, seed),
         ),
         "racy-plan" => ("racy-plan", racy_plan()),
         other => {
@@ -653,9 +661,17 @@ pub fn analyze_static_family(family: &str, n: usize, seed: u64) -> Result<Static
     let certificate = certify_writes(&plan)?;
     let diagnostics = lint_plan(&plan)?;
     let formula = match name {
-        "or-write-tree" => Some(or_write_tree_cost_max(n, or_default_fanin(G), G)),
-        "parity-read-tree" => Some(tree_reduce_cost(n, 2, G)),
-        "broadcast" => Some(broadcast_cost_max(n, (G as usize + 1).max(2), G)),
+        "or-write-tree" => Some(or_write_tree_cost_max(
+            n,
+            or_default_fanin(SUITE_G),
+            SUITE_G,
+        )),
+        "parity-read-tree" => Some(tree_reduce_cost(n, 2, SUITE_G)),
+        "broadcast" => Some(broadcast_cost_max(
+            n,
+            (SUITE_G as usize + 1).max(2),
+            SUITE_G,
+        )),
         _ => None,
     };
     Ok(StaticFamilyReport {

@@ -1,0 +1,367 @@
+//! The Table 1 bound-conformance checker.
+//!
+//! Three layers of evidence that the implementation meets the paper:
+//!
+//! 1. **Θ-equivalence** ([`check_family`]): each family's derived
+//!    symbolic total is normalized and compared against the Table 1
+//!    fixture row. A derived form that *strictly dominates* its fixture
+//!    is a bound regression — the schedule is asymptotically worse than
+//!    the paper claims.
+//! 2. **Claim 2.1/2.2** ([`check_claims`]): the GSM→QSM/s-QSM/BSP
+//!    parameter substitutions of the cross-model mapping, verified as
+//!    Θ-equivalences of symbolic expressions rather than at sampled
+//!    points.
+//! 3. **Differential** ([`grid_differential`]): symbolic-eval-at-a-point
+//!    must equal the numeric `predict_ledger` of the instantiated plan
+//!    cell for cell, on a fixed `(n, p, g, L)` grid.
+
+use parbounds_algo::ir_families as fam;
+use parbounds_models::ModelError;
+
+use super::expr::build::{c, cdiv, clog, maxx, mul};
+use super::expr::{GridPoint, SymExpr};
+use super::ledgers::{predict_ledger_symbolic, SymModel, SYMBOLIC_FAMILIES};
+use super::theta::{theta, Theta};
+use crate::statics::predict_ledger;
+
+/// Table 1's Θ-formula for a family, as a symbolic fixture expression.
+///
+/// The prefix-sums row encodes the *implemented* `k`-ary sweep recipe
+/// (`Θ(g²·log n/log g)` — each of the `⌈log_k n⌉` rounds pays `g·(k−1)`
+/// with `k = max(2, g)`); the BSP rows are in `log p`, not `log n`,
+/// because the per-component partition fold is free under the plan's
+/// `InitRule` (components start holding their partition's fold).
+pub fn table1_fixture(family: &str) -> Result<SymExpr, ModelError> {
+    let qsm_tree = || mul(vec![SymExpr::G, clog(SymExpr::N, SymExpr::G)]);
+    let bsp_tree = || {
+        mul(vec![
+            SymExpr::L,
+            clog(SymExpr::P, cdiv(SymExpr::L, SymExpr::G)),
+        ])
+    };
+    Ok(match family {
+        // Table 1, OR on the QSM: Θ(g·log n/log g).
+        "or-write-tree" => qsm_tree(),
+        // The padded fixture is still *claimed* at the OR row — that is
+        // the point: its derived ledger must strictly dominate this.
+        "or-write-tree-padded" => qsm_tree(),
+        // Table 1, parity on the s-QSM: Θ(g·log n).
+        "parity-read-tree" => mul(vec![SymExpr::G, clog(SymExpr::N, c(2))]),
+        // Broadcast rides the same QSM tree bound.
+        "broadcast" => qsm_tree(),
+        // The k-ary sweep's own recipe (see doc comment above).
+        "prefix-sweep" => mul(vec![SymExpr::G, SymExpr::G, clog(SymExpr::N, SymExpr::G)]),
+        // One permutation round-trip: Θ(g).
+        "scatter-gather" => SymExpr::G,
+        // Table 1, OR/parity/prefix on the BSP: Θ(L·log p/log(L/g)).
+        "bsp-reduce" | "bsp-prefix-scan" => bsp_tree(),
+        other => {
+            return Err(ModelError::BadConfig(format!(
+                "no Table 1 fixture for family '{other}'"
+            )))
+        }
+    })
+}
+
+/// Outcome of the Θ-equivalence check for one family.
+#[derive(Debug, Clone)]
+pub struct FamilyConformance {
+    /// Registry family name.
+    pub family: &'static str,
+    /// Human-readable model tag (`QSM`/`s-QSM`/`BSP`).
+    pub model: &'static str,
+    /// The derived symbolic total, simplified.
+    pub derived_total: SymExpr,
+    /// Θ-normal form of the derived total.
+    pub derived: Theta,
+    /// Θ-normal form of the Table 1 fixture.
+    pub fixture: Theta,
+    /// Derived ≡Θ fixture.
+    pub equivalent: bool,
+    /// Derived strictly dominates fixture — the bound-regression flag.
+    pub regression: bool,
+}
+
+impl FamilyConformance {
+    /// One-word verdict for tables and logs.
+    pub fn verdict(&self) -> &'static str {
+        if self.regression {
+            "REGRESSION"
+        } else if self.equivalent {
+            "match"
+        } else {
+            "mismatch"
+        }
+    }
+}
+
+/// Runs the Θ-equivalence check for one family (the padded fixture is a
+/// legal argument and is expected to report a regression).
+pub fn check_family(family: &str) -> Result<FamilyConformance, ModelError> {
+    let ledger = predict_ledger_symbolic(family)?;
+    let model = match ledger.model {
+        SymModel::Qsm => "QSM",
+        SymModel::SQsm => "s-QSM",
+        SymModel::Bsp => "BSP",
+    };
+    let derived_total = ledger.total_expr();
+    let derived = theta(&derived_total)
+        .map_err(|e| ModelError::BadConfig(format!("Θ-normalization of {family}: {e}")))?;
+    let fixture = theta(&table1_fixture(family)?)
+        .map_err(|e| ModelError::BadConfig(format!("Θ-normalization of {family} fixture: {e}")))?;
+    Ok(FamilyConformance {
+        family: ledger.family,
+        model,
+        equivalent: derived.equivalent(&fixture),
+        regression: derived.strictly_dominates(&fixture),
+        derived_total,
+        derived,
+        fixture,
+    })
+}
+
+/// Checks every covered family (not the padded fixture).
+pub fn check_all_families() -> Result<Vec<FamilyConformance>, ModelError> {
+    SYMBOLIC_FAMILIES.iter().map(|f| check_family(f)).collect()
+}
+
+/// One verified cross-model mapping equivalence.
+#[derive(Debug, Clone)]
+pub struct ClaimCheck {
+    /// Which claim and instantiation.
+    pub claim: &'static str,
+    /// Θ-normal form of the mapped GSM bound.
+    pub mapped: Theta,
+    /// Θ-normal form of the target model's Table 1 row.
+    pub row: Theta,
+    /// The two normal forms are Θ-equivalent.
+    pub holds: bool,
+}
+
+/// The GSM deterministic parity theorem's time bound with the machine
+/// parameters left symbolic: `μ·⌈log_μ⌈n/γ⌉⌉` with `μ = max(α, β, 2)`
+/// (mirrors `parbounds_tables::gsm_parity_det_time`).
+fn gsm_parity_time(alpha: SymExpr, beta: SymExpr, gamma: SymExpr) -> SymExpr {
+    let mu = maxx(vec![alpha, beta, c(2)]);
+    mul(vec![mu.clone(), clog(cdiv(SymExpr::N, gamma), mu)])
+}
+
+/// Verifies the Claim 2.1/2.2 model mappings symbolically: each
+/// substitution of GSM parameters must land, Θ-exactly, on the target
+/// model's Table 1 row.
+pub fn check_claims() -> Result<Vec<ClaimCheck>, ModelError> {
+    let norm = |e: &SymExpr, what: &str| {
+        theta(e).map_err(|err| ModelError::BadConfig(format!("Θ-normalization of {what}: {err}")))
+    };
+    let ldg = cdiv(SymExpr::L, SymExpr::G);
+    let cases: Vec<(&'static str, SymExpr, SymExpr)> = vec![
+        (
+            "Claim 2.1(1): QSM(g) = GSM(1, g, 1)",
+            gsm_parity_time(c(1), SymExpr::G, c(1)),
+            table1_fixture("or-write-tree")?,
+        ),
+        (
+            "Claim 2.1(2): s-QSM(g) = g·GSM(1, 1, 1)",
+            mul(vec![SymExpr::G, gsm_parity_time(c(1), c(1), c(1))]),
+            table1_fixture("parity-read-tree")?,
+        ),
+        (
+            "Claim 2.1(3): BSP(p, g, L) = g·GSM(L/g, L/g, n/p)",
+            mul(vec![
+                SymExpr::G,
+                gsm_parity_time(ldg.clone(), ldg.clone(), cdiv(SymExpr::N, SymExpr::P)),
+            ]),
+            table1_fixture("bsp-reduce")?,
+        ),
+        (
+            "Claim 2.2: QSM(g, d)|d=1 = d·GSM(1, ⌈g/d⌉, 1)",
+            mul(vec![
+                c(1),
+                gsm_parity_time(c(1), cdiv(SymExpr::G, c(1)), c(1)),
+            ]),
+            table1_fixture("or-write-tree")?,
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(claim, mapped, row)| {
+            let mapped = norm(&mapped, claim)?;
+            let row = norm(&row, claim)?;
+            Ok(ClaimCheck {
+                claim,
+                holds: mapped.equivalent(&row),
+                mapped,
+                row,
+            })
+        })
+        .collect()
+}
+
+/// The fixed CI grid for shared-memory families.
+pub fn shared_grid() -> Vec<GridPoint> {
+    let mut pts = Vec::new();
+    for n in [8u64, 9, 16, 33, 64, 100, 257, 1024] {
+        for g in [1u64, 2, 3, 8, 16] {
+            pts.push(GridPoint::shared(n, g));
+        }
+    }
+    pts
+}
+
+/// The fixed CI grid for BSP families (`p ≥ 2`, `g ≤ L`).
+pub fn bsp_grid() -> Vec<GridPoint> {
+    let mut pts = Vec::new();
+    for p in [2u64, 3, 8, 16, 64, 100] {
+        for (g, l) in [(1u64, 2u64), (2, 8), (8, 64), (4, 12), (8, 12), (16, 32)] {
+            pts.push(GridPoint::bsp(p, g, l));
+        }
+    }
+    pts
+}
+
+/// The default differential grid for a family.
+pub fn default_grid(family: &str) -> Vec<GridPoint> {
+    match family {
+        "bsp-reduce" | "bsp-prefix-scan" => bsp_grid(),
+        _ => shared_grid(),
+    }
+}
+
+/// Result of the symbolic-vs-numeric differential for one family.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// Registry family name.
+    pub family: &'static str,
+    /// Points compared.
+    pub points: usize,
+    /// Human-readable descriptions of any cell-level divergences.
+    pub mismatches: Vec<String>,
+}
+
+impl DifferentialReport {
+    /// No divergences.
+    pub fn clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Instantiates the family's plan at `pt` and returns its numeric
+/// prediction.
+pub fn numeric_ledger_at(
+    family: &str,
+    pt: GridPoint,
+) -> Result<parbounds_models::CostLedger, ModelError> {
+    let n = pt.n as usize;
+    let p = pt.p as usize;
+    let (plan, _input) = match family {
+        "or-write-tree" => fam::or_write_tree_plan(n, pt.g),
+        "or-write-tree-padded" => fam::or_write_tree_padded_plan(n, pt.g),
+        "parity-read-tree" => fam::parity_read_tree_plan(n, pt.g, 1),
+        "broadcast" => fam::broadcast_plan(n, pt.g),
+        "prefix-sweep" => fam::prefix_sweep_plan(n, pt.g, 1),
+        "scatter-gather" => fam::scatter_gather_plan(n, pt.g, 1),
+        "bsp-reduce" => fam::bsp_reduce_plan(p, pt.g, pt.l, 64, 1),
+        "bsp-prefix-scan" => fam::bsp_prefix_scan_plan(p, pt.g, pt.l, 64, 1),
+        other => {
+            return Err(ModelError::BadConfig(format!(
+                "no numeric instantiation for family '{other}'"
+            )))
+        }
+    };
+    predict_ledger(&plan)
+}
+
+/// Cross-validates symbolic evaluation against the numeric predictor,
+/// cell for cell, over `points`.
+pub fn grid_differential(
+    family: &str,
+    points: &[GridPoint],
+) -> Result<DifferentialReport, ModelError> {
+    let ledger = predict_ledger_symbolic(family)?;
+    let mut mismatches = Vec::new();
+    for &pt in points {
+        let symbolic = ledger
+            .eval_ledger(pt)
+            .map_err(|e| ModelError::BadConfig(format!("symbolic eval of {family}: {e}")))?;
+        let numeric = numeric_ledger_at(family, pt)?;
+        if symbolic != numeric {
+            let detail = (0..symbolic.num_phases().max(numeric.num_phases()))
+                .find_map(|i| {
+                    let s = symbolic.phases().get(i);
+                    let m = numeric.phases().get(i);
+                    (s != m).then(|| format!("phase {i}: symbolic {s:?} vs numeric {m:?}"))
+                })
+                .unwrap_or_else(|| "phase counts differ".to_string());
+            mismatches.push(format!(
+                "{family} at n={} p={} g={} L={}: {detail}",
+                pt.n, pt.p, pt.g, pt.l
+            ));
+        }
+    }
+    Ok(DifferentialReport {
+        family: ledger.family,
+        points: points.len(),
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_is_theta_equivalent_to_its_row() {
+        for conf in check_all_families().unwrap() {
+            assert!(
+                conf.equivalent,
+                "{}: derived {} vs fixture {}",
+                conf.family, conf.derived, conf.fixture
+            );
+            assert!(!conf.regression, "{} regressed", conf.family);
+        }
+    }
+
+    #[test]
+    fn padded_fixture_regresses() {
+        let conf = check_family("or-write-tree-padded").unwrap();
+        assert!(
+            conf.regression,
+            "derived {} vs fixture {}",
+            conf.derived, conf.fixture
+        );
+        assert!(!conf.equivalent);
+    }
+
+    #[test]
+    fn claims_hold_symbolically() {
+        for check in check_claims().unwrap() {
+            assert!(
+                check.holds,
+                "{}: {} vs {}",
+                check.claim, check.mapped, check.row
+            );
+        }
+    }
+
+    #[test]
+    fn differential_is_bit_identical_on_the_ci_grid() {
+        for family in SYMBOLIC_FAMILIES
+            .iter()
+            .chain(["or-write-tree-padded"].iter())
+        {
+            let report = grid_differential(family, &default_grid(family)).unwrap();
+            assert!(
+                report.clean(),
+                "{family}: {} mismatches, first: {}",
+                report.mismatches.len(),
+                report.mismatches.first().map(String::as_str).unwrap_or("")
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_family_is_a_typed_error() {
+        assert!(check_family("list-ranking").is_err());
+        assert!(table1_fixture("list-ranking").is_err());
+    }
+}

@@ -1,0 +1,735 @@
+//! The symbolic cost-expression algebra over the free model parameters.
+//!
+//! [`SymExpr`] is a small closed term language — sums, products, `max`,
+//! `min`, saturating subtraction, ceiling/floor division, powers,
+//! `⌈log_k·⌉` by repeated ceiling division, and two bounded iterators
+//! (`Σ` over a round index, `max` over an inner index) — whose
+//! evaluation semantics mirror, operation for operation, the integer
+//! arithmetic the combinators and the numeric predictor perform. That is
+//! the whole point: `eval` at a concrete `(n, p, g, L)` point must be
+//! *bit-identical* to `predict_ledger`, not merely asymptotically equal,
+//! so the differential gate in [`crate::symbolic::conformance`] can
+//! compare ledgers cell for cell.
+
+use std::fmt;
+
+/// A concrete evaluation point for the free parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridPoint {
+    /// Problem size `n`.
+    pub n: u64,
+    /// BSP component count `p`.
+    pub p: u64,
+    /// Bandwidth gap `g`.
+    pub g: u64,
+    /// BSP periodicity `L`.
+    pub l: u64,
+}
+
+impl GridPoint {
+    /// A shared-memory point (no BSP coordinates).
+    pub fn shared(n: u64, g: u64) -> Self {
+        GridPoint { n, p: n, g, l: 0 }
+    }
+
+    /// A BSP point (`n` unused by the BSP tree families' ledgers).
+    pub fn bsp(p: u64, g: u64, l: u64) -> Self {
+        GridPoint { n: 0, p, g, l }
+    }
+}
+
+/// Errors from evaluation or normalization of a symbolic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymError {
+    /// A bound index (`R`/`J`) was evaluated outside its binder.
+    FreeIndex(&'static str),
+    /// An iterator count exceeded the sanity bound.
+    RunawayIterator(u64),
+    /// Θ-normalization met a construct it cannot classify.
+    Unsupported(String),
+}
+
+impl fmt::Display for SymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymError::FreeIndex(ix) => write!(f, "free index {ix} outside its binder"),
+            SymError::RunawayIterator(c) => write!(f, "iterator count {c} exceeds sanity bound"),
+            SymError::Unsupported(what) => write!(f, "unsupported for Θ-normalization: {what}"),
+        }
+    }
+}
+
+/// A symbolic cost expression over `n, p, g, L` and two bound indices.
+///
+/// All arithmetic saturates at `u64::MAX` and divisions floor their
+/// divisor at 1, matching the defensive integer arithmetic used
+/// everywhere else in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymExpr {
+    /// A literal constant.
+    Const(u64),
+    /// Problem size `n`.
+    N,
+    /// BSP component count `p`.
+    P,
+    /// Bandwidth gap `g`.
+    G,
+    /// BSP periodicity `L`.
+    L,
+    /// The outer (round) index bound by [`SymExpr::Sum`], 0-based.
+    R,
+    /// The inner index bound by [`SymExpr::MaxOver`], 0-based.
+    J,
+    /// Saturating sum of the operands.
+    Add(Vec<SymExpr>),
+    /// Saturating product of the operands.
+    Mul(Vec<SymExpr>),
+    /// Maximum of the operands (0 when empty).
+    Max(Vec<SymExpr>),
+    /// Minimum of the operands.
+    Min(Vec<SymExpr>),
+    /// Saturating subtraction `a ∸ b`.
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    /// `⌈a / max(1, b)⌉`.
+    CeilDiv(Box<SymExpr>, Box<SymExpr>),
+    /// `⌊a / max(1, b)⌋`.
+    FloorDiv(Box<SymExpr>, Box<SymExpr>),
+    /// `a^b`, saturating.
+    Pow(Box<SymExpr>, Box<SymExpr>),
+    /// `⌈log_max(2,b) max(1,a)⌉` by repeated ceiling division — the
+    /// exact round count of every tree combinator.
+    CeilLog(Box<SymExpr>, Box<SymExpr>),
+    /// `Σ_{R=0}^{count-1} body`.
+    Sum {
+        /// Number of summands.
+        count: Box<SymExpr>,
+        /// The summand, which may reference [`SymExpr::R`].
+        body: Box<SymExpr>,
+    },
+    /// `max_{J=0}^{count-1} body` (0 when `count` is 0).
+    MaxOver {
+        /// Number of candidates.
+        count: Box<SymExpr>,
+        /// The candidate, which may reference [`SymExpr::J`].
+        body: Box<SymExpr>,
+    },
+}
+
+/// Iterator sanity bound: every legitimate count in this codebase is a
+/// `⌈log⌉` or a fan-in, far below this.
+const MAX_ITER: u64 = 1 << 20;
+
+/// Shorthand constructors, used heavily by the family ledgers.
+pub mod build {
+    use super::SymExpr;
+
+    /// Constant.
+    pub fn c(v: u64) -> SymExpr {
+        SymExpr::Const(v)
+    }
+    /// Saturating sum.
+    pub fn add(xs: Vec<SymExpr>) -> SymExpr {
+        SymExpr::Add(xs)
+    }
+    /// Saturating product.
+    pub fn mul(xs: Vec<SymExpr>) -> SymExpr {
+        SymExpr::Mul(xs)
+    }
+    /// Maximum.
+    pub fn maxx(xs: Vec<SymExpr>) -> SymExpr {
+        SymExpr::Max(xs)
+    }
+    /// Minimum.
+    pub fn minn(xs: Vec<SymExpr>) -> SymExpr {
+        SymExpr::Min(xs)
+    }
+    /// Saturating subtraction.
+    pub fn sub(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::Sub(Box::new(a), Box::new(b))
+    }
+    /// Ceiling division.
+    pub fn cdiv(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::CeilDiv(Box::new(a), Box::new(b))
+    }
+    /// Floor division.
+    pub fn fdiv(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::FloorDiv(Box::new(a), Box::new(b))
+    }
+    /// Saturating power.
+    pub fn pow(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::Pow(Box::new(a), Box::new(b))
+    }
+    /// Ceiling logarithm.
+    pub fn clog(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::CeilLog(Box::new(a), Box::new(b))
+    }
+    /// Bounded sum over the round index `R`.
+    pub fn sum(count: SymExpr, body: SymExpr) -> SymExpr {
+        SymExpr::Sum {
+            count: Box::new(count),
+            body: Box::new(body),
+        }
+    }
+    /// Bounded maximum over the inner index `J`.
+    pub fn maxover(count: SymExpr, body: SymExpr) -> SymExpr {
+        SymExpr::MaxOver {
+            count: Box::new(count),
+            body: Box::new(body),
+        }
+    }
+}
+
+/// `⌈log_k n⌉` on `u64`, identical to `parbounds_ir::ceil_log`.
+pub fn ceil_log_u64(n: u64, k: u64) -> u64 {
+    let k = k.max(2);
+    let mut width = n.max(1);
+    let mut levels = 0;
+    while width > 1 {
+        width = width.div_ceil(k);
+        levels += 1;
+    }
+    levels
+}
+
+/// `k^e`, saturating — identical to the combinators' `kpow`.
+pub fn kpow_u64(k: u64, e: u64) -> u64 {
+    let mut x = 1u64;
+    for _ in 0..e {
+        x = x.saturating_mul(k);
+    }
+    x
+}
+
+impl SymExpr {
+    /// Evaluates at `pt` with no bound indices in scope.
+    pub fn eval(&self, pt: GridPoint) -> Result<u64, SymError> {
+        self.eval_with(pt, None, None)
+    }
+
+    /// Evaluates at `pt` with the round index `R` (and optionally `J`)
+    /// bound.
+    pub fn eval_with(
+        &self,
+        pt: GridPoint,
+        r: Option<u64>,
+        j: Option<u64>,
+    ) -> Result<u64, SymError> {
+        Ok(match self {
+            SymExpr::Const(v) => *v,
+            SymExpr::N => pt.n,
+            SymExpr::P => pt.p,
+            SymExpr::G => pt.g,
+            SymExpr::L => pt.l,
+            SymExpr::R => r.ok_or(SymError::FreeIndex("R"))?,
+            SymExpr::J => j.ok_or(SymError::FreeIndex("J"))?,
+            SymExpr::Add(xs) => {
+                let mut acc = 0u64;
+                for x in xs {
+                    acc = acc.saturating_add(x.eval_with(pt, r, j)?);
+                }
+                acc
+            }
+            SymExpr::Mul(xs) => {
+                let mut acc = 1u64;
+                for x in xs {
+                    acc = acc.saturating_mul(x.eval_with(pt, r, j)?);
+                }
+                acc
+            }
+            SymExpr::Max(xs) => {
+                let mut acc = 0u64;
+                for x in xs {
+                    acc = acc.max(x.eval_with(pt, r, j)?);
+                }
+                acc
+            }
+            SymExpr::Min(xs) => {
+                let mut acc = u64::MAX;
+                for x in xs {
+                    acc = acc.min(x.eval_with(pt, r, j)?);
+                }
+                acc
+            }
+            SymExpr::Sub(a, b) => a
+                .eval_with(pt, r, j)?
+                .saturating_sub(b.eval_with(pt, r, j)?),
+            SymExpr::CeilDiv(a, b) => a
+                .eval_with(pt, r, j)?
+                .div_ceil(b.eval_with(pt, r, j)?.max(1)),
+            SymExpr::FloorDiv(a, b) => a.eval_with(pt, r, j)? / b.eval_with(pt, r, j)?.max(1),
+            SymExpr::Pow(a, b) => kpow_u64(a.eval_with(pt, r, j)?, b.eval_with(pt, r, j)?),
+            SymExpr::CeilLog(a, b) => ceil_log_u64(a.eval_with(pt, r, j)?, b.eval_with(pt, r, j)?),
+            SymExpr::Sum { count, body } => {
+                let count = count.eval_with(pt, r, j)?;
+                if count > MAX_ITER {
+                    return Err(SymError::RunawayIterator(count));
+                }
+                let mut acc = 0u64;
+                for i in 0..count {
+                    acc = acc.saturating_add(body.eval_with(pt, Some(i), j)?);
+                }
+                acc
+            }
+            SymExpr::MaxOver { count, body } => {
+                let count = count.eval_with(pt, r, j)?;
+                if count > MAX_ITER {
+                    return Err(SymError::RunawayIterator(count));
+                }
+                let mut acc = 0u64;
+                for i in 0..count {
+                    acc = acc.max(body.eval_with(pt, r, Some(i))?);
+                }
+                acc
+            }
+        })
+    }
+
+    /// True when the expression references the round index `R`.
+    pub fn uses_r(&self) -> bool {
+        match self {
+            SymExpr::R => true,
+            SymExpr::Const(_) | SymExpr::N | SymExpr::P | SymExpr::G | SymExpr::L | SymExpr::J => {
+                false
+            }
+            SymExpr::Add(xs) | SymExpr::Mul(xs) | SymExpr::Max(xs) | SymExpr::Min(xs) => {
+                xs.iter().any(SymExpr::uses_r)
+            }
+            SymExpr::Sub(a, b)
+            | SymExpr::CeilDiv(a, b)
+            | SymExpr::FloorDiv(a, b)
+            | SymExpr::Pow(a, b)
+            | SymExpr::CeilLog(a, b) => a.uses_r() || b.uses_r(),
+            // A Sum rebinds R; only its count can leak an outer R. Our
+            // ledgers never nest Sums, but stay precise anyway.
+            SymExpr::Sum { count, .. } => count.uses_r(),
+            SymExpr::MaxOver { count, body } => count.uses_r() || body.uses_r(),
+        }
+    }
+
+    /// Substitutes the round index `R` with `replacement` (not entering
+    /// nested `Sum` binders, which rebind it).
+    pub fn subst_r(&self, replacement: &SymExpr) -> SymExpr {
+        self.subst(&SymExpr::R, replacement)
+    }
+
+    /// Substitutes the inner index `J` with `replacement` (not entering
+    /// nested `MaxOver` binders).
+    pub fn subst_j(&self, replacement: &SymExpr) -> SymExpr {
+        self.subst(&SymExpr::J, replacement)
+    }
+
+    fn subst(&self, var: &SymExpr, replacement: &SymExpr) -> SymExpr {
+        if self == var {
+            return replacement.clone();
+        }
+        let go = |x: &SymExpr| x.subst(var, replacement);
+        let gob = |x: &SymExpr| Box::new(go(x));
+        match self {
+            SymExpr::Add(xs) => SymExpr::Add(xs.iter().map(go).collect()),
+            SymExpr::Mul(xs) => SymExpr::Mul(xs.iter().map(go).collect()),
+            SymExpr::Max(xs) => SymExpr::Max(xs.iter().map(go).collect()),
+            SymExpr::Min(xs) => SymExpr::Min(xs.iter().map(go).collect()),
+            SymExpr::Sub(a, b) => SymExpr::Sub(gob(a), gob(b)),
+            SymExpr::CeilDiv(a, b) => SymExpr::CeilDiv(gob(a), gob(b)),
+            SymExpr::FloorDiv(a, b) => SymExpr::FloorDiv(gob(a), gob(b)),
+            SymExpr::Pow(a, b) => SymExpr::Pow(gob(a), gob(b)),
+            SymExpr::CeilLog(a, b) => SymExpr::CeilLog(gob(a), gob(b)),
+            SymExpr::Sum { count, body } => SymExpr::Sum {
+                count: gob(count),
+                // R is rebound inside; only substitute J through.
+                body: if *var == SymExpr::R {
+                    body.clone()
+                } else {
+                    gob(body)
+                },
+            },
+            SymExpr::MaxOver { count, body } => SymExpr::MaxOver {
+                count: gob(count),
+                body: if *var == SymExpr::J {
+                    body.clone()
+                } else {
+                    gob(body)
+                },
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Structural simplification: constant folding, flattening of nested
+    /// variadic nodes, identity/absorbing elements, canonical operand
+    /// ordering, and iterator unrolling into closed products where the
+    /// body ignores its index. Evaluation is preserved *exactly* at every
+    /// point (the proptests assert this), and the pass is idempotent.
+    pub fn simplify(&self) -> SymExpr {
+        match self {
+            SymExpr::Add(xs) => {
+                let mut flat = Vec::new();
+                let mut konst = 0u64;
+                for x in xs {
+                    match x.simplify() {
+                        SymExpr::Const(v) => konst = konst.saturating_add(v),
+                        SymExpr::Add(inner) => {
+                            for y in inner {
+                                if let SymExpr::Const(v) = y {
+                                    konst = konst.saturating_add(v);
+                                } else {
+                                    flat.push(y);
+                                }
+                            }
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if konst > 0 {
+                    flat.push(SymExpr::Const(konst));
+                }
+                flat.sort();
+                match flat.len() {
+                    0 => SymExpr::Const(0),
+                    1 => flat.pop().unwrap(),
+                    _ => SymExpr::Add(flat),
+                }
+            }
+            SymExpr::Mul(xs) => {
+                let mut flat = Vec::new();
+                let mut konst = 1u64;
+                for x in xs {
+                    match x.simplify() {
+                        SymExpr::Const(0) => return SymExpr::Const(0),
+                        SymExpr::Const(v) => konst = konst.saturating_mul(v),
+                        SymExpr::Mul(inner) => {
+                            for y in inner {
+                                match y {
+                                    SymExpr::Const(0) => return SymExpr::Const(0),
+                                    SymExpr::Const(v) => konst = konst.saturating_mul(v),
+                                    other => flat.push(other),
+                                }
+                            }
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if konst == 0 {
+                    return SymExpr::Const(0);
+                }
+                if konst != 1 {
+                    flat.push(SymExpr::Const(konst));
+                }
+                flat.sort();
+                match flat.len() {
+                    0 => SymExpr::Const(1),
+                    1 => flat.pop().unwrap(),
+                    _ => SymExpr::Mul(flat),
+                }
+            }
+            SymExpr::Max(xs) => {
+                let mut flat = Vec::new();
+                let mut konst: Option<u64> = None;
+                for x in xs {
+                    match x.simplify() {
+                        SymExpr::Const(v) => konst = Some(konst.unwrap_or(0).max(v)),
+                        SymExpr::Max(inner) => {
+                            for y in inner {
+                                if let SymExpr::Const(v) = y {
+                                    konst = Some(konst.unwrap_or(0).max(v));
+                                } else {
+                                    flat.push(y);
+                                }
+                            }
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                // max's identity is 0: a 0 constant is droppable once any
+                // operand remains.
+                match konst {
+                    Some(0) if !flat.is_empty() => {}
+                    Some(v) => flat.push(SymExpr::Const(v)),
+                    None => {}
+                }
+                flat.sort();
+                flat.dedup();
+                match flat.len() {
+                    0 => SymExpr::Const(0),
+                    1 => flat.pop().unwrap(),
+                    _ => SymExpr::Max(flat),
+                }
+            }
+            SymExpr::Min(xs) => {
+                let mut flat = Vec::new();
+                let mut konst: Option<u64> = None;
+                for x in xs {
+                    match x.simplify() {
+                        SymExpr::Const(v) => konst = Some(konst.map_or(v, |k: u64| k.min(v))),
+                        SymExpr::Min(inner) => {
+                            for y in inner {
+                                if let SymExpr::Const(v) = y {
+                                    konst = Some(konst.map_or(v, |k: u64| k.min(v)));
+                                } else {
+                                    flat.push(y);
+                                }
+                            }
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if konst == Some(0) {
+                    return SymExpr::Const(0);
+                }
+                if let Some(v) = konst {
+                    flat.push(SymExpr::Const(v));
+                }
+                flat.sort();
+                flat.dedup();
+                match flat.len() {
+                    0 => SymExpr::Const(u64::MAX),
+                    1 => flat.pop().unwrap(),
+                    _ => SymExpr::Min(flat),
+                }
+            }
+            SymExpr::Sub(a, b) => match (a.simplify(), b.simplify()) {
+                (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(x.saturating_sub(y)),
+                (a, SymExpr::Const(0)) => a,
+                (a, b) => SymExpr::Sub(Box::new(a), Box::new(b)),
+            },
+            SymExpr::CeilDiv(a, b) => match (a.simplify(), b.simplify()) {
+                (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(x.div_ceil(y.max(1))),
+                (a, SymExpr::Const(0) | SymExpr::Const(1)) => a,
+                (a, b) => SymExpr::CeilDiv(Box::new(a), Box::new(b)),
+            },
+            SymExpr::FloorDiv(a, b) => match (a.simplify(), b.simplify()) {
+                (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(x / y.max(1)),
+                (a, SymExpr::Const(0) | SymExpr::Const(1)) => a,
+                (a, b) => SymExpr::FloorDiv(Box::new(a), Box::new(b)),
+            },
+            SymExpr::Pow(a, b) => match (a.simplify(), b.simplify()) {
+                (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(kpow_u64(x, y)),
+                (_, SymExpr::Const(0)) => SymExpr::Const(1),
+                (a, SymExpr::Const(1)) => a,
+                (a, b) => SymExpr::Pow(Box::new(a), Box::new(b)),
+            },
+            SymExpr::CeilLog(a, b) => match (a.simplify(), b.simplify()) {
+                (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(ceil_log_u64(x, y)),
+                (SymExpr::Const(0) | SymExpr::Const(1), _) => SymExpr::Const(0),
+                (a, b) => SymExpr::CeilLog(Box::new(a), Box::new(b)),
+            },
+            SymExpr::Sum { count, body } => {
+                let count = count.simplify();
+                let body = body.simplify();
+                if count == SymExpr::Const(0) || body == SymExpr::Const(0) {
+                    return SymExpr::Const(0);
+                }
+                if !body.uses_r() {
+                    // Σ_{r<c} b = c·b exactly (saturation included:
+                    // repeated saturating add of b equals saturating c·b).
+                    return SymExpr::Mul(vec![count, body]).simplify();
+                }
+                if count == SymExpr::Const(1) {
+                    return body.subst_r(&SymExpr::Const(0)).simplify();
+                }
+                SymExpr::Sum {
+                    count: Box::new(count),
+                    body: Box::new(body),
+                }
+            }
+            SymExpr::MaxOver { count, body } => {
+                let count = count.simplify();
+                let body = body.simplify();
+                if count == SymExpr::Const(0) || body == SymExpr::Const(0) {
+                    return SymExpr::Const(0);
+                }
+                if let SymExpr::Const(c) = count {
+                    if !body.contains_j() {
+                        // Constant positive count, index-free body: the
+                        // max over c ≥ 1 copies is the body itself.
+                        debug_assert!(c >= 1);
+                        return body;
+                    }
+                    if c == 1 {
+                        return body.subst_j(&SymExpr::Const(0)).simplify();
+                    }
+                }
+                SymExpr::MaxOver {
+                    count: Box::new(count),
+                    body: Box::new(body),
+                }
+            }
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// True when the expression references the inner index `J`.
+    pub fn contains_j(&self) -> bool {
+        match self {
+            SymExpr::J => true,
+            SymExpr::Const(_) | SymExpr::N | SymExpr::P | SymExpr::G | SymExpr::L | SymExpr::R => {
+                false
+            }
+            SymExpr::Add(xs) | SymExpr::Mul(xs) | SymExpr::Max(xs) | SymExpr::Min(xs) => {
+                xs.iter().any(SymExpr::contains_j)
+            }
+            SymExpr::Sub(a, b)
+            | SymExpr::CeilDiv(a, b)
+            | SymExpr::FloorDiv(a, b)
+            | SymExpr::Pow(a, b)
+            | SymExpr::CeilLog(a, b) => a.contains_j() || b.contains_j(),
+            SymExpr::Sum { count, body } => count.contains_j() || body.contains_j(),
+            SymExpr::MaxOver { count, .. } => count.contains_j(),
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, xs: &[SymExpr], sep: &str) -> fmt::Result {
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "{sep}")?;
+                }
+                write!(f, "{x}")?;
+            }
+            Ok(())
+        }
+        match self {
+            SymExpr::Const(v) => write!(f, "{v}"),
+            SymExpr::N => write!(f, "n"),
+            SymExpr::P => write!(f, "p"),
+            SymExpr::G => write!(f, "g"),
+            SymExpr::L => write!(f, "L"),
+            SymExpr::R => write!(f, "r"),
+            SymExpr::J => write!(f, "j"),
+            SymExpr::Add(xs) => {
+                write!(f, "(")?;
+                join(f, xs, " + ")?;
+                write!(f, ")")
+            }
+            SymExpr::Mul(xs) => join(f, xs, "·"),
+            SymExpr::Max(xs) => {
+                write!(f, "max(")?;
+                join(f, xs, ", ")?;
+                write!(f, ")")
+            }
+            SymExpr::Min(xs) => {
+                write!(f, "min(")?;
+                join(f, xs, ", ")?;
+                write!(f, ")")
+            }
+            SymExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            SymExpr::CeilDiv(a, b) => write!(f, "⌈{a}/{b}⌉"),
+            SymExpr::FloorDiv(a, b) => write!(f, "⌊{a}/{b}⌋"),
+            SymExpr::Pow(a, b) => write!(f, "{a}^{b}"),
+            SymExpr::CeilLog(a, b) => write!(f, "⌈log_{b}({a})⌉"),
+            SymExpr::Sum { count, body } => write!(f, "Σ_{{r<{count}}} {body}"),
+            SymExpr::MaxOver { count, body } => write!(f, "max_{{j<{count}}} {body}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn eval_matches_saturating_integer_semantics() {
+        let pt = GridPoint {
+            n: 100,
+            p: 16,
+            g: 8,
+            l: 64,
+        };
+        assert_eq!(add(vec![SymExpr::N, c(1)]).eval(pt).unwrap(), 101);
+        assert_eq!(cdiv(SymExpr::N, c(0)).eval(pt).unwrap(), 100); // divisor floored at 1
+        assert_eq!(sub(c(3), c(7)).eval(pt).unwrap(), 0);
+        assert_eq!(
+            clog(SymExpr::N, SymExpr::G).eval(pt).unwrap(),
+            ceil_log_u64(100, 8)
+        );
+        assert_eq!(clog(c(1), c(2)).eval(pt).unwrap(), 0); // log 1 = 0
+        assert_eq!(pow(c(2), c(70)).eval(pt).unwrap(), u64::MAX);
+        let s = sum(c(4), add(vec![SymExpr::R, c(1)]));
+        assert_eq!(s.eval(pt).unwrap(), 1 + 2 + 3 + 4);
+        let m = maxover(c(3), mul(vec![c(2), SymExpr::J]));
+        assert_eq!(m.eval(pt).unwrap(), 4);
+        assert_eq!(maxover(c(0), SymExpr::J).eval(pt).unwrap(), 0);
+    }
+
+    #[test]
+    fn free_index_is_an_error() {
+        let pt = GridPoint {
+            n: 4,
+            p: 2,
+            g: 1,
+            l: 2,
+        };
+        assert_eq!(SymExpr::R.eval(pt), Err(SymError::FreeIndex("R")));
+        assert_eq!(SymExpr::J.eval(pt), Err(SymError::FreeIndex("J")));
+        // Bound occurrences are fine.
+        assert!(sum(c(2), SymExpr::R).eval(pt).is_ok());
+    }
+
+    #[test]
+    fn simplify_folds_and_flattens() {
+        let e = add(vec![c(2), add(vec![c(3), SymExpr::N]), c(0)]);
+        assert_eq!(e.simplify(), add(vec![c(5), SymExpr::N]));
+        let e = mul(vec![c(1), SymExpr::G, mul(vec![c(4), SymExpr::N])]);
+        assert_eq!(e.simplify(), mul(vec![c(4), SymExpr::N, SymExpr::G]));
+        let e = mul(vec![SymExpr::N, c(0)]);
+        assert_eq!(e.simplify(), c(0));
+        assert_eq!(pow(SymExpr::G, c(0)).simplify(), c(1));
+        assert_eq!(cdiv(SymExpr::N, c(1)).simplify(), SymExpr::N);
+        assert_eq!(clog(c(1), SymExpr::G).simplify(), c(0));
+        // Index-free sums collapse to products.
+        assert_eq!(
+            sum(SymExpr::N, SymExpr::G).simplify(),
+            mul(vec![SymExpr::N, SymExpr::G]).simplify()
+        );
+    }
+
+    #[test]
+    fn simplify_preserves_eval_on_a_grid() {
+        let exprs = vec![
+            add(vec![c(2), add(vec![c(3), SymExpr::N]), c(0)]),
+            mul(vec![
+                maxx(vec![SymExpr::G, c(2)]),
+                clog(SymExpr::N, SymExpr::G),
+            ]),
+            sum(
+                clog(SymExpr::N, c(2)),
+                minn(vec![SymExpr::G, cdiv(SymExpr::N, pow(c(2), SymExpr::R))]),
+            ),
+            maxover(
+                minn(vec![SymExpr::G, SymExpr::P]),
+                add(vec![SymExpr::J, c(1)]),
+            ),
+            sub(fdiv(SymExpr::L, SymExpr::G), c(1)),
+        ];
+        for n in [1u64, 2, 7, 64, 100] {
+            for g in [1u64, 3, 8] {
+                let pt = GridPoint {
+                    n,
+                    p: n.max(2),
+                    g,
+                    l: 8 * g,
+                };
+                for e in &exprs {
+                    assert_eq!(e.eval(pt), e.simplify().eval(pt), "{e} at {pt:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_samples() {
+        let exprs = vec![
+            add(vec![c(2), add(vec![c(3), SymExpr::N]), c(0)]),
+            maxx(vec![c(0), SymExpr::G, maxx(vec![SymExpr::G, c(2)])]),
+            minn(vec![SymExpr::G, minn(vec![c(5), SymExpr::N])]),
+            sum(clog(SymExpr::N, c(2)), add(vec![SymExpr::R, SymExpr::G])),
+        ];
+        for e in &exprs {
+            let once = e.simplify();
+            assert_eq!(once, once.simplify(), "{e}");
+        }
+    }
+}

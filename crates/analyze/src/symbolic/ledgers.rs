@@ -1,0 +1,555 @@
+//! Symbolic per-phase ledgers for the §8 plan families.
+//!
+//! Each family's [`SymLedger`] states, with `n, p, g, L` left free, the
+//! exact `(m_op, m_rw, κ)` triple (shared models) or `(w, h)` pair (BSP)
+//! of every phase its combinator emits, grouped into round-indexed
+//! [`SymGroup`]s. "Exact" is meant literally: boundary rounds with
+//! partial groups, guard saturation, and the `max(1)` floors are all in
+//! the expressions, so [`SymLedger::eval_ledger`] reproduces
+//! `predict_ledger`'s numeric output *cell for cell* at every valid
+//! parameter point (`n ≥ 2` / `p ≥ 2`; the registry floors sizes at 8).
+//!
+//! The derivations mirror `parbounds_ir::combinators` phase for phase;
+//! the differential suite in [`crate::symbolic::conformance`] is the
+//! machine-checked proof that they stay in sync.
+
+use parbounds_models::{CostLedger, ModelError, PhaseCost};
+
+use super::expr::build::{add, c, cdiv, clog, fdiv, maxover, maxx, minn, mul, pow, sub, sum};
+use super::expr::{GridPoint, SymError, SymExpr};
+
+/// Which model's phase-cost rule closes a symbolic ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymModel {
+    /// QSM: `max(m_op, g·m_rw, κ)`.
+    Qsm,
+    /// s-QSM: `max(m_op, g·m_rw, g·κ)`.
+    SQsm,
+    /// BSP: `max(w, g·h, L)` (the `m_op`/`m_rw` slots carry `w`/`h`).
+    Bsp,
+}
+
+/// One phase inside a group; the expressions may reference the group's
+/// round index `R`.
+#[derive(Debug, Clone)]
+pub struct SymPhase {
+    /// Display label (mirrors the combinator's phase label prefix).
+    pub label: &'static str,
+    /// Shared models: `m_op`. BSP: the superstep work bound `w`.
+    pub m_op: SymExpr,
+    /// Shared models: `m_rw`. BSP: the `h`-relation.
+    pub m_rw: SymExpr,
+    /// Shared models: κ. Ignored on the BSP (recorded as 1).
+    pub kappa: SymExpr,
+}
+
+/// A run of structurally-identical phases indexed by `R = 0..count`.
+#[derive(Debug, Clone)]
+pub struct SymGroup {
+    /// Number of iterations of this group.
+    pub count: SymExpr,
+    /// Phases emitted per iteration, in plan order.
+    pub phases: Vec<SymPhase>,
+}
+
+/// A family's full symbolic ledger.
+#[derive(Debug, Clone)]
+pub struct SymLedger {
+    /// Registry family name.
+    pub family: &'static str,
+    /// Cost model closing the ledger.
+    pub model: SymModel,
+    /// Phase groups in plan order.
+    pub groups: Vec<SymGroup>,
+}
+
+impl SymLedger {
+    /// The symbolic cost of one phase under this ledger's model.
+    pub fn cost_expr(&self, ph: &SymPhase) -> SymExpr {
+        match self.model {
+            SymModel::Qsm => maxx(vec![
+                ph.m_op.clone(),
+                mul(vec![SymExpr::G, maxx(vec![ph.m_rw.clone(), c(1)])]),
+                maxx(vec![ph.kappa.clone(), c(1)]),
+            ]),
+            SymModel::SQsm => maxx(vec![
+                ph.m_op.clone(),
+                mul(vec![SymExpr::G, maxx(vec![ph.m_rw.clone(), c(1)])]),
+                mul(vec![SymExpr::G, maxx(vec![ph.kappa.clone(), c(1)])]),
+            ]),
+            SymModel::Bsp => maxx(vec![
+                ph.m_op.clone(),
+                mul(vec![SymExpr::G, ph.m_rw.clone()]),
+                SymExpr::L,
+            ]),
+        }
+    }
+
+    /// Total symbolic time: `Σ` over groups of the per-iteration phase
+    /// costs (collapsed to closed products where the round index is
+    /// unused).
+    pub fn total_expr(&self) -> SymExpr {
+        let mut terms = Vec::new();
+        for grp in &self.groups {
+            let body = add(grp.phases.iter().map(|ph| self.cost_expr(ph)).collect());
+            terms.push(sum(grp.count.clone(), body));
+        }
+        add(terms).simplify()
+    }
+
+    /// Total symbolic phase count.
+    pub fn phase_count_expr(&self) -> SymExpr {
+        add(self
+            .groups
+            .iter()
+            .map(|grp| mul(vec![grp.count.clone(), c(grp.phases.len() as u64)]))
+            .collect())
+        .simplify()
+    }
+
+    /// Evaluates the ledger at a concrete point, producing the same
+    /// [`CostLedger`] the numeric predictor derives from the
+    /// instantiated plan — bit for bit.
+    pub fn eval_ledger(&self, pt: GridPoint) -> Result<CostLedger, SymError> {
+        let mut out = CostLedger::new();
+        for grp in &self.groups {
+            let count = grp.count.eval(pt)?;
+            for r in 0..count {
+                for ph in &grp.phases {
+                    let m_op = ph.m_op.eval_with(pt, Some(r), None)?;
+                    let m_rw = ph.m_rw.eval_with(pt, Some(r), None)?;
+                    let kappa = ph.kappa.eval_with(pt, Some(r), None)?;
+                    let (cell, cost) = match self.model {
+                        SymModel::Qsm => {
+                            let m_rw = m_rw.max(1);
+                            let kappa = kappa.max(1);
+                            (
+                                PhaseCost {
+                                    m_op,
+                                    m_rw,
+                                    kappa,
+                                    cost: 0,
+                                },
+                                m_op.max(pt.g.saturating_mul(m_rw)).max(kappa),
+                            )
+                        }
+                        SymModel::SQsm => {
+                            let m_rw = m_rw.max(1);
+                            let kappa = kappa.max(1);
+                            (
+                                PhaseCost {
+                                    m_op,
+                                    m_rw,
+                                    kappa,
+                                    cost: 0,
+                                },
+                                m_op.max(pt.g.saturating_mul(m_rw))
+                                    .max(pt.g.saturating_mul(kappa)),
+                            )
+                        }
+                        SymModel::Bsp => {
+                            // w rides in m_op, h in m_rw; the ledger
+                            // records m_rw = max(h, 1) and κ = 1, exactly
+                            // as the numeric BSP fold does.
+                            let (w, h) = (m_op, m_rw);
+                            (
+                                PhaseCost {
+                                    m_op: w,
+                                    m_rw: h.max(1),
+                                    kappa: 1,
+                                    cost: 0,
+                                },
+                                w.max(pt.g.saturating_mul(h)).max(pt.l),
+                            )
+                        }
+                    };
+                    out.push(PhaseCost { cost, ..cell });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The `k` recipe of a family, as a symbolic expression (mirrors
+/// `parbounds_ir::FanRecipe`).
+fn k_or() -> SymExpr {
+    maxx(vec![SymExpr::G, c(2)])
+}
+fn k_broadcast() -> SymExpr {
+    maxx(vec![add(vec![SymExpr::G, c(1)]), c(2)])
+}
+fn k_bsp() -> SymExpr {
+    maxx(vec![fdiv(SymExpr::L, maxx(vec![SymExpr::G, c(1)])), c(2)])
+}
+
+/// A unit-triple phase: one op, one access, contention 1.
+fn unit(label: &'static str) -> SymPhase {
+    SymPhase {
+        label,
+        m_op: c(1),
+        m_rw: c(1),
+        kappa: c(1),
+    }
+}
+
+/// `min(k − 1, ⌈(p − x)/k^m⌉ − 1)` — the BSP combinators' sender count
+/// `fanin_senders(x, k, m, p)`, i.e. how many level-`m` children a node
+/// at pid `x` actually has. Saturating: an empty tail yields 0.
+fn bsp_children(k: SymExpr, x: SymExpr, m: SymExpr) -> SymExpr {
+    minn(vec![
+        sub(k.clone(), c(1)),
+        sub(cdiv(sub(SymExpr::P, x), pow(k, m)), c(1)),
+    ])
+}
+
+/// The QSM OR write tree (`fan-in-write-tree`, recipe `k = max(2, g)`).
+///
+/// Leaf read; `D = ⌈log_k n⌉` rounds of a guarded group write (contention
+/// `min(k, ⌈n/k^R⌉)` at the densest group) followed by a representative
+/// read; publish.
+pub fn or_write_tree_ledger() -> SymLedger {
+    let k = k_or();
+    let depth = clog(SymExpr::N, k.clone());
+    SymLedger {
+        family: "or-write-tree",
+        model: SymModel::Qsm,
+        groups: vec![
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("leaf-read")],
+            },
+            SymGroup {
+                count: depth,
+                phases: vec![
+                    SymPhase {
+                        label: "level-write",
+                        m_op: c(1),
+                        m_rw: c(1),
+                        kappa: minn(vec![k.clone(), cdiv(SymExpr::N, pow(k, SymExpr::R))]),
+                    },
+                    unit("level-read"),
+                ],
+            },
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("publish")],
+            },
+        ],
+    }
+}
+
+/// The padded OR write tree: the regression fixture. Identical to
+/// [`or_write_tree_ledger`] plus `⌈log₂ n⌉` root self-reads before the
+/// publish phase, each a full gap `g` — enough to lift the total from
+/// `Θ(g·log n/log g)` to `Θ(g·log n)`.
+pub fn or_write_tree_padded_ledger() -> SymLedger {
+    let mut ledger = or_write_tree_ledger();
+    ledger.family = "or-write-tree-padded";
+    let publish = ledger.groups.pop().expect("write tree ends in publish");
+    ledger.groups.push(SymGroup {
+        count: clog(SymExpr::N, c(2)),
+        phases: vec![unit("pad")],
+    });
+    ledger.groups.push(publish);
+    ledger
+}
+
+/// The s-QSM binary parity read tree (`fan-in-read-tree`, `k = 2`).
+///
+/// `D = ⌈log₂ n⌉` rounds of (node reads its two children; node writes
+/// its fold one level up); all contentions are 1. Valid for `n ≥ 2`
+/// (the degenerate single-leaf tree has a different two-phase shape).
+pub fn parity_read_tree_ledger() -> SymLedger {
+    SymLedger {
+        family: "parity-read-tree",
+        model: SymModel::SQsm,
+        groups: vec![SymGroup {
+            count: clog(SymExpr::N, c(2)),
+            phases: vec![
+                SymPhase {
+                    label: "gather",
+                    m_op: c(2),
+                    m_rw: c(2),
+                    kappa: c(1),
+                },
+                unit("fold"),
+            ],
+        }],
+    }
+}
+
+/// The QSM broadcast (`fan-out k = max(2, g + 1)`).
+///
+/// Root round (read, write), then `R = ⌈log_k n⌉` rounds in which the
+/// joiners of round `R+1` read their parent's cell — the residue-0 class
+/// is the densest, with `min(k, ⌈n/k^R⌉) − 1` readers — and write their
+/// own copy.
+pub fn broadcast_ledger() -> SymLedger {
+    let k = k_broadcast();
+    SymLedger {
+        family: "broadcast",
+        model: SymModel::Qsm,
+        groups: vec![
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("seed-read"), unit("seed-write")],
+            },
+            SymGroup {
+                count: clog(SymExpr::N, k.clone()),
+                phases: vec![
+                    SymPhase {
+                        label: "fan-read",
+                        m_op: c(1),
+                        m_rw: c(1),
+                        kappa: sub(
+                            minn(vec![k.clone(), cdiv(SymExpr::N, pow(k, SymExpr::R))]),
+                            c(1),
+                        ),
+                    },
+                    unit("fan-write"),
+                ],
+            },
+        ],
+    }
+}
+
+/// The QSM `k`-ary prefix sweep (`k = max(2, g)`).
+///
+/// Input read; window seed; `R = ⌈log_k n⌉` rounds of (strided gather of
+/// up to `k − 1` cells — cell 0's stripe is the most contended, read by
+/// `min(k − 1, ⌈n/k^R⌉ − 1)` processors — then a window write). Valid
+/// for `n ≥ 2`.
+pub fn prefix_sweep_ledger() -> SymLedger {
+    let k = k_or();
+    let reach = minn(vec![
+        sub(k.clone(), c(1)),
+        sub(cdiv(SymExpr::N, pow(k.clone(), SymExpr::R)), c(1)),
+    ]);
+    SymLedger {
+        family: "prefix-sweep",
+        model: SymModel::Qsm,
+        groups: vec![
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("input-read")],
+            },
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("window-seed")],
+            },
+            SymGroup {
+                count: clog(SymExpr::N, k),
+                phases: vec![
+                    SymPhase {
+                        label: "stride-read",
+                        m_op: reach.clone(),
+                        m_rw: reach.clone(),
+                        kappa: reach,
+                    },
+                    unit("stride-write"),
+                ],
+            },
+        ],
+    }
+}
+
+/// The contention-free gather/scatter rotation: two unit phases.
+pub fn scatter_gather_ledger() -> SymLedger {
+    SymLedger {
+        family: "scatter-gather",
+        model: SymModel::Qsm,
+        groups: vec![
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("gather")],
+            },
+            SymGroup {
+                count: c(1),
+                phases: vec![unit("scatter")],
+            },
+        ],
+    }
+}
+
+/// The BSP fan-in reduction (`k = max(2, ⌊L/g⌋)`, `D = ⌈log_k p⌉`,
+/// valid for `p ≥ 2`).
+///
+/// Superstep 0: every leaf sends to its parent (`w = 1`, `h` = the
+/// root's child count). Supersteps `r = R + 1` for `R = 0..D−1`: a
+/// surviving node folds the `c` messages of the previous round (2 ops
+/// per message at the root, one extra op at the densest *non-root*
+/// survivor `pid = k^{R+1}` which also sends), with `h` the root's
+/// next-round in-degree. Root fold: `2·c` ops, no sends.
+pub fn bsp_reduce_ledger() -> SymLedger {
+    let k = k_bsp();
+    let depth = clog(SymExpr::P, k.clone());
+    let root_children = |m: SymExpr| bsp_children(k.clone(), c(0), m);
+    SymLedger {
+        family: "bsp-reduce",
+        model: SymModel::Bsp,
+        groups: vec![
+            SymGroup {
+                count: c(1),
+                phases: vec![SymPhase {
+                    label: "leaf-send",
+                    m_op: c(1),
+                    m_rw: root_children(c(0)),
+                    kappa: c(1),
+                }],
+            },
+            SymGroup {
+                count: sub(depth.clone(), c(1)),
+                phases: vec![SymPhase {
+                    label: "fan-in",
+                    // Round r = R+1 folds round-R messages: the root does
+                    // 2·c_R(0) ops; the first surviving non-root,
+                    // pid = k^{R+1}, does 1 (send) + 2·c_R(k^{R+1}).
+                    m_op: maxx(vec![
+                        mul(vec![c(2), root_children(SymExpr::R)]),
+                        add(vec![
+                            c(1),
+                            mul(vec![
+                                c(2),
+                                bsp_children(
+                                    k.clone(),
+                                    pow(k.clone(), add(vec![SymExpr::R, c(1)])),
+                                    SymExpr::R,
+                                ),
+                            ]),
+                        ]),
+                    ]),
+                    m_rw: root_children(add(vec![SymExpr::R, c(1)])),
+                    kappa: c(1),
+                }],
+            },
+            SymGroup {
+                count: c(1),
+                phases: vec![SymPhase {
+                    label: "root-fold",
+                    m_op: mul(vec![c(2), root_children(sub(depth, c(1)))]),
+                    m_rw: c(0),
+                    kappa: c(1),
+                }],
+            },
+        ],
+    }
+}
+
+/// The BSP `k`-ary doubling prefix scan (`k = max(2, ⌊L/g⌋)`,
+/// `R = ⌈log_k p⌉`, valid for `p ≥ 2`).
+///
+/// Step 0: pid 0 fans its value out to `min(k−1, p−1)` successors.
+/// Steps `t = R + 1`: the active senders are pids `j·k^t` for
+/// `j < min(k, ⌊(p−1)/k^R⌋ + 1)`…— the per-pid work is
+/// `2·(arrivals so far) + (sends now)`, maximized over the candidate
+/// residues by an explicit `max_j`. Final step: every pid folds, the
+/// busiest having received `2·min(k−1, ⌊(p−1)/k^{R−1}⌋)` messages' worth
+/// of work; nobody sends.
+pub fn bsp_prefix_scan_ledger() -> SymLedger {
+    let k = k_bsp();
+    let rounds = clog(SymExpr::P, k.clone());
+    // c_scan(m) = min(k − 1, ⌊(p − 1)/k^m⌋): messages a pid receives at
+    // doubling distance k^m.
+    let c_scan = |m: SymExpr| {
+        minn(vec![
+            sub(k.clone(), c(1)),
+            fdiv(sub(SymExpr::P, c(1)), pow(k.clone(), m)),
+        ])
+    };
+    SymLedger {
+        family: "bsp-prefix-scan",
+        model: SymModel::Bsp,
+        groups: vec![
+            SymGroup {
+                count: c(1),
+                phases: vec![SymPhase {
+                    label: "scan-seed",
+                    m_op: c_scan(c(0)),
+                    m_rw: c_scan(c(0)),
+                    kappa: c(1),
+                }],
+            },
+            SymGroup {
+                count: sub(rounds.clone(), c(1)),
+                phases: vec![SymPhase {
+                    label: "scan-step",
+                    // Step t = R+1: candidate senders sit at pids
+                    // j·k^{t−1}; sender j has folded 2j messages so far
+                    // and now sends to min(k−1, ⌈(p − j·k^{t−1})/k^t⌉ − 1)
+                    // successors.
+                    m_op: maxover(
+                        minn(vec![
+                            k.clone(),
+                            add(vec![
+                                fdiv(sub(SymExpr::P, c(1)), pow(k.clone(), SymExpr::R)),
+                                c(1),
+                            ]),
+                        ]),
+                        add(vec![
+                            mul(vec![c(2), SymExpr::J]),
+                            minn(vec![
+                                sub(k.clone(), c(1)),
+                                sub(
+                                    cdiv(
+                                        sub(
+                                            SymExpr::P,
+                                            mul(vec![SymExpr::J, pow(k.clone(), SymExpr::R)]),
+                                        ),
+                                        pow(k.clone(), add(vec![SymExpr::R, c(1)])),
+                                    ),
+                                    c(1),
+                                ),
+                            ]),
+                        ]),
+                    ),
+                    m_rw: c_scan(add(vec![SymExpr::R, c(1)])),
+                    kappa: c(1),
+                }],
+            },
+            SymGroup {
+                count: c(1),
+                phases: vec![SymPhase {
+                    label: "scan-final",
+                    m_op: mul(vec![c(2), c_scan(sub(rounds, c(1)))]),
+                    m_rw: c(0),
+                    kappa: c(1),
+                }],
+            },
+        ],
+    }
+}
+
+/// Families with symbolic coverage, in registry order (the numeric
+/// `IR_FAMILIES` list; the padded fixture is reachable by name but
+/// deliberately excluded, mirroring `racy-plan`).
+pub const SYMBOLIC_FAMILIES: [&str; 7] = [
+    "or-write-tree",
+    "parity-read-tree",
+    "broadcast",
+    "prefix-sweep",
+    "scatter-gather",
+    "bsp-reduce",
+    "bsp-prefix-scan",
+];
+
+/// Derives the symbolic ledger of a named family with all parameters
+/// left free — the generalized `predict_ledger` of the tentpole.
+pub fn predict_ledger_symbolic(family: &str) -> Result<SymLedger, ModelError> {
+    Ok(match family {
+        "or-write-tree" => or_write_tree_ledger(),
+        "or-write-tree-padded" => or_write_tree_padded_ledger(),
+        "parity-read-tree" => parity_read_tree_ledger(),
+        "broadcast" => broadcast_ledger(),
+        "prefix-sweep" => prefix_sweep_ledger(),
+        "scatter-gather" => scatter_gather_ledger(),
+        "bsp-reduce" => bsp_reduce_ledger(),
+        "bsp-prefix-scan" => bsp_prefix_scan_ledger(),
+        other => {
+            return Err(ModelError::BadConfig(format!(
+                "no symbolic ledger for family '{other}' (known: {})",
+                SYMBOLIC_FAMILIES.join(", ")
+            )))
+        }
+    })
+}

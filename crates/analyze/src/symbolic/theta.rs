@@ -1,0 +1,602 @@
+//! Θ-normal forms: an asymptotic quotient of [`SymExpr`].
+//!
+//! A normal form is a set of [`Monomial`]s over a fixed atom vocabulary
+//! (`n, p, g, L, L/g` and their logs), with dominated monomials pruned.
+//! Two expressions are Θ-equivalent when their normal forms dominate
+//! each other; a derived bound *regresses* against a fixture when it
+//! strictly dominates it (grows strictly faster).
+//!
+//! ## The decision procedure
+//!
+//! Monomial dominance `a ⊒ b` is decided by certifying `a − b ≥ 0`
+//! exponent-wise after *credit cancellation*: a negative exponent on an
+//! atom may be paid for by a positive exponent on any atom known to be
+//! pointwise at least as large under the paper's standing parameter
+//! regime (`2 ≤ p ≤ n`, `1 ≤ g ≤ n`, `g ≤ L`, `L/g ≤ p`). The donor
+//! table encodes exactly those inequalities:
+//!
+//! | needs credit | donors (tried in order) |
+//! |--------------|-------------------------|
+//! | `p`          | `n`                     |
+//! | `g`          | `L`, `n`                |
+//! | `L/g`        | `L`, `p`, `n`           |
+//! | `log p`      | `log n`                 |
+//! | `log g`      | `log L`, `log n`        |
+//! | `log(L/g)`   | `log L`, `log p`, `log n` |
+//!
+//! This is deliberately a *decision procedure for this vocabulary*, not
+//! a general asymptotics oracle: every Table 1 row and every derived
+//! family ledger lands in it, and anything outside raises a typed
+//! [`SymError::Unsupported`] instead of guessing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use super::expr::{SymError, SymExpr};
+
+/// The atom vocabulary of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// Problem size `n`.
+    N,
+    /// BSP component count `p`.
+    P,
+    /// Bandwidth gap `g`.
+    G,
+    /// BSP periodicity `L`.
+    L,
+    /// The composite `L/g` (the BSP fan-in).
+    LdivG,
+    /// `log n`.
+    LogN,
+    /// `log p`.
+    LogP,
+    /// `log g`.
+    LogG,
+    /// `log L`.
+    LogL,
+    /// `log(L/g)`.
+    LogLdivG,
+}
+
+impl Atom {
+    fn render(self) -> &'static str {
+        match self {
+            Atom::N => "n",
+            Atom::P => "p",
+            Atom::G => "g",
+            Atom::L => "L",
+            Atom::LdivG => "L/g",
+            Atom::LogN => "log n",
+            Atom::LogP => "log p",
+            Atom::LogG => "log g",
+            Atom::LogL => "log L",
+            Atom::LogLdivG => "log(L/g)",
+        }
+    }
+}
+
+/// A product of atom powers; the empty monomial is the constant 1.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(BTreeMap<Atom, i32>);
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Monomial::default()
+    }
+
+    /// The single-atom monomial.
+    pub fn atom(a: Atom) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(a, 1);
+        Monomial(m)
+    }
+
+    /// Product of two monomials (exponents add; zeros are elided).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = self.0.clone();
+        for (&a, &e) in &other.0 {
+            let entry = out.entry(a).or_insert(0);
+            *entry += e;
+            if *entry == 0 {
+                out.remove(&a);
+            }
+        }
+        Monomial(out)
+    }
+
+    /// Quotient `self / other`.
+    pub fn div(&self, other: &Monomial) -> Monomial {
+        self.mul(&other.inverse())
+    }
+
+    fn inverse(&self) -> Monomial {
+        Monomial(self.0.iter().map(|(&a, &e)| (a, -e)).collect())
+    }
+
+    /// `self` raised to a non-negative power.
+    pub fn pow(&self, e: i32) -> Monomial {
+        if e == 0 {
+            return Monomial::one();
+        }
+        Monomial(self.0.iter().map(|(&a, &x)| (a, x * e)).collect())
+    }
+
+    fn exponent(&self, a: Atom) -> i32 {
+        self.0.get(&a).copied().unwrap_or(0)
+    }
+
+    /// True when every atom is a machine parameter (`g`, `L`, `L/g` or
+    /// a log of one) — i.e. the monomial does not grow with the problem
+    /// size. Used to break `min` ties: a pure-machine bound is the
+    /// asymptotic minimum against anything that grows in `n` or `p`.
+    pub fn machine_only(&self) -> bool {
+        self.0.keys().all(|a| {
+            matches!(
+                a,
+                Atom::G | Atom::L | Atom::LdivG | Atom::LogG | Atom::LogL | Atom::LogLdivG
+            )
+        })
+    }
+
+    /// Certifies `self ≥ other` pointwise (up to constants) under the
+    /// standing regime, by credit cancellation on the exponent vector of
+    /// `self / other`.
+    pub fn dominates(&self, other: &Monomial) -> bool {
+        // Donor table: (debtor, donors ordered cheapest-first). Each
+        // credit consumes one donor exponent to pay one debtor exponent,
+        // justified by donor ≥ debtor pointwise in the regime.
+        const DONORS: &[(Atom, &[Atom])] = &[
+            (Atom::P, &[Atom::N]),
+            (Atom::G, &[Atom::L, Atom::N]),
+            (Atom::LdivG, &[Atom::L, Atom::P, Atom::N]),
+            (Atom::LogP, &[Atom::LogN]),
+            (Atom::LogG, &[Atom::LogL, Atom::LogN]),
+            (Atom::LogLdivG, &[Atom::LogL, Atom::LogP, Atom::LogN]),
+        ];
+        let mut diff = self.div(other).0;
+        for &(debtor, donors) in DONORS {
+            while diff.get(&debtor).copied().unwrap_or(0) < 0 {
+                let Some(&donor) = donors
+                    .iter()
+                    .find(|d| diff.get(d).copied().unwrap_or(0) > 0)
+                else {
+                    break;
+                };
+                *diff.entry(debtor).or_insert(0) += 1;
+                *diff.entry(donor).or_insert(0) -= 1;
+            }
+        }
+        diff.values().all(|&e| e >= 0)
+    }
+
+    fn render(&self) -> String {
+        if self.0.is_empty() {
+            return "1".to_string();
+        }
+        let fmt_side = |pairs: &[(Atom, i32)]| {
+            pairs
+                .iter()
+                .map(|&(a, e)| {
+                    if e == 1 {
+                        a.render().to_string()
+                    } else {
+                        format!("{}^{}", a.render(), e)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("·")
+        };
+        let num: Vec<(Atom, i32)> = self
+            .0
+            .iter()
+            .filter(|&(_, &e)| e > 0)
+            .map(|(&a, &e)| (a, e))
+            .collect();
+        let den: Vec<(Atom, i32)> = self
+            .0
+            .iter()
+            .filter(|&(_, &e)| e < 0)
+            .map(|(&a, &e)| (a, -e))
+            .collect();
+        match (num.is_empty(), den.is_empty()) {
+            (true, true) => "1".to_string(),
+            (false, true) => fmt_side(&num),
+            (true, false) => format!("1/({})", fmt_side(&den)),
+            (false, false) => format!("{}/({})", fmt_side(&num), fmt_side(&den)),
+        }
+    }
+}
+
+/// A Θ-normal form: the antichain of non-dominated monomials of a sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theta(BTreeSet<Monomial>);
+
+impl Theta {
+    /// The normal form of the constant 0 (the empty set).
+    pub fn zero() -> Self {
+        Theta(BTreeSet::new())
+    }
+
+    /// The monomials of the normal form.
+    pub fn monomials(&self) -> impl Iterator<Item = &Monomial> {
+        self.0.iter()
+    }
+
+    /// `self` is an asymptotic upper bound for `other`: every monomial
+    /// of `other` is dominated by some monomial of `self`.
+    pub fn dominates(&self, other: &Theta) -> bool {
+        other
+            .0
+            .iter()
+            .all(|m| self.0.iter().any(|s| s.dominates(m)))
+    }
+
+    /// Θ-equivalence: mutual domination.
+    pub fn equivalent(&self, other: &Theta) -> bool {
+        self.dominates(other) && other.dominates(self)
+    }
+
+    /// `self` grows *strictly* faster than `other`: it dominates, and
+    /// some monomial of `self` is not matched by `other`. This is the
+    /// bound-regression predicate (derived strictly dominating fixture).
+    pub fn strictly_dominates(&self, other: &Theta) -> bool {
+        self.dominates(other) && !other.dominates(self)
+    }
+
+    fn from_set(set: BTreeSet<Monomial>) -> Theta {
+        // Prune: drop m when another element dominates it strictly (or
+        // mutually — keep the lexicographically largest of a mutual
+        // class so pruning is deterministic and one survivor remains).
+        let kept: BTreeSet<Monomial> = set
+            .iter()
+            .filter(|m| {
+                !set.iter().any(|other| {
+                    other != *m && other.dominates(m) && (!m.dominates(other) || other > m)
+                })
+            })
+            .cloned()
+            .collect();
+        Theta(kept)
+    }
+}
+
+impl fmt::Display for Theta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "Θ(0)");
+        }
+        let terms: Vec<String> = self.0.iter().map(Monomial::render).collect();
+        write!(f, "Θ({})", terms.join(" + "))
+    }
+}
+
+/// Normalizes an expression to its Θ-normal form.
+///
+/// The expression must be closed (no free `R`/`J`; bound indices are
+/// eliminated by the iterator rules below). Rules of note:
+///
+/// * `Σ_{r<c} body` → `Θ(c · body[r:=0])` — sound because every family
+///   ledger's per-round cost is non-increasing in the round index, so
+///   the round-0 term is the Θ-maximum and `c` of it bound the sum both
+///   ways (up to the constant 2 the geometric tail costs).
+/// * `max_{j<c} body` → `Θ(body[j:=c−1])` — the BSP scan's candidate
+///   expression is maximized at the largest pid index.
+/// * `min(a, b)` keeps a side the other provably dominates; otherwise a
+///   pure-machine side wins against a size-growing side (machine
+///   parameters are Θ-constants relative to `n, p`).
+/// * `a ∸ b` normalizes as `a` (saturating subtraction only trims lower
+///   order terms in this vocabulary).
+pub fn theta(expr: &SymExpr) -> Result<Theta, SymError> {
+    norm(&expr.simplify()).map(Theta::from_set)
+}
+
+fn norm(expr: &SymExpr) -> Result<BTreeSet<Monomial>, SymError> {
+    let prune = |set: BTreeSet<Monomial>| Theta::from_set(set).0;
+    Ok(match expr {
+        SymExpr::Const(0) => BTreeSet::new(),
+        SymExpr::Const(_) => BTreeSet::from([Monomial::one()]),
+        SymExpr::N => BTreeSet::from([Monomial::atom(Atom::N)]),
+        SymExpr::P => BTreeSet::from([Monomial::atom(Atom::P)]),
+        SymExpr::G => BTreeSet::from([Monomial::atom(Atom::G)]),
+        SymExpr::L => BTreeSet::from([Monomial::atom(Atom::L)]),
+        SymExpr::R | SymExpr::J => return Err(SymError::FreeIndex("R/J in Θ-normalization")),
+        SymExpr::Add(xs) | SymExpr::Max(xs) => {
+            let mut out = BTreeSet::new();
+            for x in xs {
+                out.extend(norm(x)?);
+            }
+            prune(out)
+        }
+        SymExpr::Mul(xs) => {
+            let mut out = BTreeSet::from([Monomial::one()]);
+            for x in xs {
+                let rhs = norm(x)?;
+                let mut next = BTreeSet::new();
+                for a in &out {
+                    for b in &rhs {
+                        next.insert(a.mul(b));
+                    }
+                }
+                out = prune(next);
+            }
+            out
+        }
+        SymExpr::Min(xs) => {
+            let mut arms: Vec<Result<BTreeSet<Monomial>, SymError>> = xs.iter().map(norm).collect();
+            // Fold pairwise; an arm whose normalization fails is treated
+            // as +∞ (min ignores it) as long as another arm succeeds.
+            let mut acc: Option<BTreeSet<Monomial>> = None;
+            for arm in arms.drain(..) {
+                let Ok(arm) = arm else { continue };
+                acc = Some(match acc {
+                    None => arm,
+                    Some(cur) => min_theta(cur, arm)?,
+                });
+            }
+            acc.ok_or_else(|| {
+                SymError::Unsupported(format!("min with no normalizable arm: {expr}"))
+            })?
+        }
+        SymExpr::Sub(a, _) => norm(a)?,
+        SymExpr::CeilDiv(a, b) => {
+            let num = norm(a)?;
+            let den = dominant(&norm(b)?);
+            let mut out: BTreeSet<Monomial> = match den {
+                Some(d) => num.iter().map(|m| m.div(&d)).collect(),
+                None => num, // dividing by Θ(0): divisor floors at 1
+            };
+            out.insert(Monomial::one()); // a ceiling is at least 1
+            prune(out)
+        }
+        SymExpr::FloorDiv(a, b) => {
+            let num = norm(a)?;
+            let den = dominant(&norm(b)?);
+            match den {
+                Some(d) => prune(num.iter().map(|m| m.div(&d)).collect()),
+                None => num,
+            }
+        }
+        SymExpr::Pow(a, b) => {
+            let SymExpr::Const(e) = **b else {
+                return Err(SymError::Unsupported(format!(
+                    "non-constant exponent: {expr}"
+                )));
+            };
+            let e = i32::try_from(e)
+                .map_err(|_| SymError::Unsupported(format!("huge exponent: {expr}")))?;
+            let base = norm(a)?;
+            let mut out = BTreeSet::from([Monomial::one()]);
+            for _ in 0..e {
+                let mut next = BTreeSet::new();
+                for x in &out {
+                    for y in &base {
+                        next.insert(x.mul(y));
+                    }
+                }
+                out = prune(next);
+            }
+            out
+        }
+        SymExpr::CeilLog(a, b) => {
+            let arg = norm(a)?;
+            if arg.is_empty() {
+                // log of Θ(0): the argument is ≤ 1, so the round count is 0.
+                return Ok(BTreeSet::new());
+            }
+            let Some(arg_dom) = dominant(&arg) else {
+                // Θ(1) argument: the round count is a constant.
+                return Ok(BTreeSet::from([Monomial::one()]));
+            };
+            let Some(arg_log) = log_atom(&arg_dom)? else {
+                return Ok(BTreeSet::from([Monomial::one()]));
+            };
+            let base_log = match dominant(&norm(b)?) {
+                Some(base_dom) => log_atom(&base_dom)?,
+                None => None,
+            };
+            let mut m = Monomial::atom(arg_log);
+            if let Some(bl) = base_log {
+                m = m.div(&Monomial::atom(bl));
+            }
+            BTreeSet::from([m])
+        }
+        SymExpr::Sum { count, body } => {
+            let head = body.subst_r(&SymExpr::Const(0)).simplify();
+            norm(&SymExpr::Mul(vec![(**count).clone(), head]).simplify())?
+        }
+        SymExpr::MaxOver { count, body } => {
+            let last = SymExpr::Sub(count.clone(), Box::new(SymExpr::Const(1)));
+            norm(&body.subst_j(&last).simplify())?
+        }
+    })
+}
+
+/// `min` of two normal forms.
+fn min_theta(a: BTreeSet<Monomial>, b: BTreeSet<Monomial>) -> Result<BTreeSet<Monomial>, SymError> {
+    let ta = Theta(a.clone());
+    let tb = Theta(b.clone());
+    if tb.dominates(&ta) {
+        return Ok(a); // a ≤ b everywhere ⇒ min is a
+    }
+    if ta.dominates(&tb) {
+        return Ok(b);
+    }
+    let machine_a = a.iter().all(Monomial::machine_only);
+    let machine_b = b.iter().all(Monomial::machine_only);
+    match (machine_a, machine_b) {
+        (true, false) => Ok(a),
+        (false, true) => Ok(b),
+        _ => Err(SymError::Unsupported(format!(
+            "incomparable min arms: {ta} vs {tb}"
+        ))),
+    }
+}
+
+/// The dominant monomial of a normalized sum, when unique up to
+/// domination ties; `None` for Θ(0) and Θ(1) (where logs vanish).
+fn dominant(set: &BTreeSet<Monomial>) -> Option<Monomial> {
+    let best = set.iter().max_by(|a, b| {
+        use std::cmp::Ordering;
+        match (a.dominates(b), b.dominates(a)) {
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            _ => a.cmp(b),
+        }
+    })?;
+    if *best == Monomial::one() {
+        return None;
+    }
+    Some(best.clone())
+}
+
+/// Maps a monomial to the log-scale atom of its logarithm:
+/// `log Θ(n) = Θ(log n)` and so on. Products would need a log-sum the
+/// vocabulary does not carry, so anything beyond a single atom (or the
+/// `L/g` composite) is a typed error.
+fn log_atom(m: &Monomial) -> Result<Option<Atom>, SymError> {
+    if m.0.is_empty() {
+        return Ok(None);
+    }
+    let single = |a: Atom| m.0.len() == 1 && m.exponent(a) == 1;
+    if single(Atom::N) {
+        return Ok(Some(Atom::LogN));
+    }
+    if single(Atom::P) {
+        return Ok(Some(Atom::LogP));
+    }
+    if single(Atom::G) {
+        return Ok(Some(Atom::LogG));
+    }
+    if single(Atom::L) {
+        return Ok(Some(Atom::LogL));
+    }
+    if single(Atom::LdivG)
+        || (m.0.len() == 2 && m.exponent(Atom::L) == 1 && m.exponent(Atom::G) == -1)
+    {
+        return Ok(Some(Atom::LogLdivG));
+    }
+    Err(SymError::Unsupported(format!(
+        "log of composite monomial {}",
+        m.render()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::expr::build::*;
+    use super::*;
+
+    fn th(e: &SymExpr) -> Theta {
+        theta(e).unwrap()
+    }
+
+    #[test]
+    fn table1_shapes_normalize_to_their_rows() {
+        // g·⌈log_g n⌉ — the QSM OR/broadcast row.
+        let qsm = mul(vec![SymExpr::G, clog(SymExpr::N, SymExpr::G)]);
+        assert_eq!(format!("{}", th(&qsm)), "Θ(g·log n/(log g))");
+        // g·⌈log₂ n⌉ — the s-QSM row.
+        let sqsm = mul(vec![SymExpr::G, clog(SymExpr::N, c(2))]);
+        assert_eq!(format!("{}", th(&sqsm)), "Θ(g·log n)");
+        // L·⌈log_{L/g} p⌉ — the BSP rows.
+        let bsp = mul(vec![
+            SymExpr::L,
+            clog(SymExpr::P, cdiv(SymExpr::L, SymExpr::G)),
+        ]);
+        assert_eq!(format!("{}", th(&bsp)), "Θ(L·log p/(log(L/g)))");
+    }
+
+    #[test]
+    fn log_of_one_and_constant_arguments_vanish() {
+        assert_eq!(th(&clog(c(1), SymExpr::G)), Theta::zero());
+        assert_eq!(th(&clog(c(0), c(2))), Theta::zero());
+        // Θ(1) argument: constant round count, kept as Θ(1).
+        let e = clog(c(7), SymExpr::G);
+        assert!(th(&e).equivalent(&th(&c(1))));
+    }
+
+    #[test]
+    fn dominated_terms_are_pruned() {
+        // g·log n + g·log n/log g + 1 = Θ(g·log n).
+        let e = add(vec![
+            mul(vec![SymExpr::G, clog(SymExpr::N, c(2))]),
+            mul(vec![SymExpr::G, clog(SymExpr::N, SymExpr::G)]),
+            c(1),
+        ]);
+        let want = mul(vec![SymExpr::G, clog(SymExpr::N, c(2))]);
+        assert!(th(&e).equivalent(&th(&want)));
+        assert_eq!(th(&e).monomials().count(), 1);
+    }
+
+    #[test]
+    fn dominated_term_ties_keep_one_survivor() {
+        // n + n: identical monomials dedupe to one.
+        let e = add(vec![SymExpr::N, SymExpr::N, mul(vec![c(3), SymExpr::N])]);
+        assert_eq!(th(&e).monomials().count(), 1);
+        // p vs n: n wins via the p ≤ n credit.
+        let e = add(vec![SymExpr::P, SymExpr::N]);
+        assert!(th(&e).equivalent(&th(&SymExpr::N)));
+    }
+
+    #[test]
+    fn p_equals_one_collapse_is_sound_via_credits() {
+        // n/p + p: both survive (incomparable), as they must — at p=1
+        // the first term is n, at p=n the second is.
+        let e = add(vec![cdiv(SymExpr::N, SymExpr::P), SymExpr::P]);
+        assert_eq!(th(&e).monomials().count(), 2);
+    }
+
+    #[test]
+    fn min_prefers_machine_bounds_against_size_growth() {
+        // min(g, n) = Θ(g): machine parameter vs problem size.
+        let e = minn(vec![SymExpr::G, SymExpr::N]);
+        assert!(th(&e).equivalent(&th(&SymExpr::G)));
+        // min(k−1, ⌈n/k^0⌉−1) with k = max(2, g): the fan-in side.
+        let k = maxx(vec![SymExpr::G, c(2)]);
+        let e = minn(vec![
+            sub(k.clone(), c(1)),
+            sub(cdiv(SymExpr::N, c(1)), c(1)),
+        ]);
+        assert!(th(&e).equivalent(&th(&SymExpr::G)));
+    }
+
+    #[test]
+    fn strict_dominance_detects_regressions() {
+        let paper = mul(vec![SymExpr::G, clog(SymExpr::N, SymExpr::G)]);
+        let padded = mul(vec![SymExpr::G, clog(SymExpr::N, c(2))]);
+        assert!(th(&padded).strictly_dominates(&th(&paper)));
+        assert!(!th(&paper).strictly_dominates(&th(&padded)));
+        assert!(!th(&paper).strictly_dominates(&th(&paper)));
+    }
+
+    #[test]
+    fn claim_2_1_bsp_shape_normalizes() {
+        // g · (L/g) · log(n/(n/p)) / log(L/g) = Θ(L·log p/log(L/g)).
+        let ldg = cdiv(SymExpr::L, SymExpr::G);
+        let mu = maxx(vec![ldg.clone(), ldg.clone(), c(2)]);
+        let e = mul(vec![
+            SymExpr::G,
+            mu.clone(),
+            clog(cdiv(SymExpr::N, cdiv(SymExpr::N, SymExpr::P)), mu),
+        ]);
+        let row = mul(vec![
+            SymExpr::L,
+            clog(SymExpr::P, cdiv(SymExpr::L, SymExpr::G)),
+        ]);
+        assert!(th(&e).equivalent(&th(&row)), "{} vs {}", th(&e), th(&row));
+    }
+
+    #[test]
+    fn normalization_is_stable_under_simplify() {
+        let exprs = vec![
+            mul(vec![SymExpr::G, clog(SymExpr::N, SymExpr::G)]),
+            sum(clog(SymExpr::N, c(2)), maxx(vec![c(2), SymExpr::G])),
+            minn(vec![SymExpr::G, SymExpr::N]),
+        ];
+        for e in exprs {
+            assert_eq!(theta(&e).unwrap(), theta(&e.simplify()).unwrap(), "{e}");
+        }
+    }
+}

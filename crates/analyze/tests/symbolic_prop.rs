@@ -1,0 +1,125 @@
+//! Property tests for the symbolic cost layer: Θ-normalization must be
+//! idempotent, expression simplification must preserve exact evaluation,
+//! and — the load-bearing property — every family's symbolic ledger
+//! evaluated at a *random* `(n, p, g, L)` point must equal the numeric
+//! `predict_ledger` of the instantiated plan cell for cell.
+
+use parbounds_analyze::symbolic::expr::build::{add, c, cdiv, clog, maxx, mul};
+use parbounds_analyze::symbolic::{
+    grid_differential, predict_ledger_symbolic, theta, GridPoint, SymExpr, SYMBOLIC_FAMILIES,
+};
+use proptest::prelude::*;
+
+/// A small pool of structurally diverse expressions, indexed by the
+/// proptest-drawn selector (expressions are built deterministically; the
+/// randomness is in which ones and at which points we evaluate).
+fn expr_pool() -> Vec<SymExpr> {
+    vec![
+        mul(vec![SymExpr::G, clog(SymExpr::N, SymExpr::G)]),
+        mul(vec![SymExpr::G, clog(SymExpr::N, c(2))]),
+        mul(vec![
+            SymExpr::L,
+            clog(SymExpr::P, cdiv(SymExpr::L, SymExpr::G)),
+        ]),
+        maxx(vec![
+            cdiv(SymExpr::N, SymExpr::P),
+            mul(vec![SymExpr::G, clog(SymExpr::P, c(2))]),
+        ]),
+        add(vec![
+            mul(vec![SymExpr::G, SymExpr::G]),
+            clog(SymExpr::N, c(2)),
+            c(7),
+        ]),
+        maxx(vec![SymExpr::L, mul(vec![SymExpr::G, SymExpr::N]), c(1)]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `simplify` is idempotent and preserves exact evaluation at random
+    /// points — the algebra never changes a ledger's value, only its form.
+    #[test]
+    fn simplify_is_idempotent_and_eval_preserving(
+        idx in 0usize..6,
+        n in 1u64..5000,
+        p in 1u64..512,
+        g in 1u64..40,
+        l_mult in 1u64..20,
+    ) {
+        let pt = GridPoint { n, p, g, l: g * l_mult };
+        let e = expr_pool()[idx].clone();
+        let s = e.simplify();
+        prop_assert_eq!(s.clone().simplify(), s.clone(), "idempotence");
+        prop_assert_eq!(e.eval(pt).unwrap(), s.eval(pt).unwrap(), "eval preserved");
+    }
+
+    /// Θ-normalization is stable: normalizing the simplified form gives
+    /// the same normal form as normalizing the original.
+    #[test]
+    fn theta_is_stable_under_simplify(idx in 0usize..6) {
+        let e = expr_pool()[idx].clone();
+        prop_assert_eq!(theta(&e).unwrap(), theta(&e.simplify()).unwrap());
+    }
+
+    /// Shared-memory families: the symbolic ledger evaluated at a random
+    /// `(n, g)` equals the numeric prediction cell for cell (small `n`
+    /// included — the closed forms must be exact, not asymptotic).
+    #[test]
+    fn shared_symbolic_ledgers_evaluate_exactly(n in 2u64..2000, g in 1u64..32) {
+        let pt = GridPoint::shared(n, g);
+        for family in SYMBOLIC_FAMILIES {
+            if family.starts_with("bsp-") {
+                continue;
+            }
+            let report = grid_differential(family, &[pt]).unwrap();
+            prop_assert!(
+                report.clean(),
+                "{} n={} g={}: {:?}", family, n, g, report.mismatches
+            );
+        }
+    }
+
+    /// BSP families: the same exactness for random `(p, g, L)` with the
+    /// model's `L >= g` constraint respected by construction.
+    #[test]
+    fn bsp_symbolic_ledgers_evaluate_exactly(
+        p in 2u64..300,
+        g in 1u64..16,
+        l_mult in 1u64..16,
+    ) {
+        let pt = GridPoint::bsp(p, g, g * l_mult);
+        for family in ["bsp-reduce", "bsp-prefix-scan"] {
+            let report = grid_differential(family, &[pt]).unwrap();
+            prop_assert!(
+                report.clean(),
+                "{} p={} g={} l={}: {:?}", family, p, g, g * l_mult, report.mismatches
+            );
+        }
+    }
+
+    /// The padded fixture also evaluates exactly at random points — its
+    /// regression is asymptotic, never a modelling error.
+    #[test]
+    fn padded_fixture_evaluates_exactly(n in 2u64..2000, g in 1u64..32) {
+        let report =
+            grid_differential("or-write-tree-padded", &[GridPoint::shared(n, g)]).unwrap();
+        prop_assert!(report.clean(), "n={} g={}: {:?}", n, g, report.mismatches);
+    }
+
+    /// The symbolic total expression (the Σ-closed form) evaluates to the
+    /// same number as summing the evaluated per-phase ledger.
+    #[test]
+    fn total_expression_agrees_with_ledger_fold(n in 2u64..2000, g in 1u64..32) {
+        let pt = GridPoint::shared(n, g);
+        for family in SYMBOLIC_FAMILIES {
+            if family.starts_with("bsp-") {
+                continue;
+            }
+            let ledger = predict_ledger_symbolic(family).unwrap();
+            let total = ledger.total_expr().eval(pt).unwrap();
+            let folded = ledger.eval_ledger(pt).unwrap().total_time();
+            prop_assert_eq!(total, folded, "{} n={} g={}", family, n, g);
+        }
+    }
+}

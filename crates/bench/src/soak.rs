@@ -281,6 +281,7 @@ fn kind_code(kind: QueryKind) -> u8 {
         QueryKind::Certify => 2,
         QueryKind::Run => 3,
         QueryKind::Compare => 4,
+        QueryKind::Symbolic => 5,
     }
 }
 

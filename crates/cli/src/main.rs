@@ -11,6 +11,7 @@
 //! parbounds faults    [--n N --seed S]
 //! parbounds lint      [--all | --family F] [--n N --seed S --list]
 //! parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
+//! parbounds analyze   --symbolic [--all | --family F] [--n N --list]
 //! parbounds serve     [--addr HOST:PORT | --stdio] [--workers K --queue-cap Q
 //!                     --deadline-ms D --budget B --cache-cap C]
 //! parbounds soak      [--smoke] [--seed S --requests R --clients C --workers K --out PATH]
@@ -59,6 +60,7 @@ fn usage() -> &'static str {
   parbounds faults    [--n N --seed S]
   parbounds lint      [--all | --family F] [--n N --seed S --list]
   parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
+  parbounds analyze   --symbolic [--all | --family F] [--n N --list]
   parbounds serve     [--addr HOST:PORT | --stdio] [--workers K --queue-cap Q \\
                       --deadline-ms D --budget B --cache-cap C]
   parbounds soak      [--smoke] [--seed S --requests R --clients C --workers K --out PATH]"
@@ -389,17 +391,23 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    args.assert_known(&["static", "all", "family", "n", "seed", "list", "parallel"])?;
+    args.assert_known(&[
+        "static", "symbolic", "all", "family", "n", "seed", "list", "parallel",
+    ])?;
     use parbounds::analyze::{
         analyze_static_all, analyze_static_family, ir_family_plan, lint_parallelism, StaticReport,
         IR_FAMILIES,
     };
     use parbounds::tables::{render_static_table, StaticRow};
 
+    if args.flag("symbolic") {
+        return cmd_analyze_symbolic(args);
+    }
     if !args.flag("static") {
         return Err(
-            "parbounds analyze requires --static (pre-execution plan analysis); \
-             dynamic trace analysis lives under `parbounds lint`"
+            "parbounds analyze requires --static (pre-execution plan analysis) or \
+             --symbolic (Θ-normal-form ledgers vs Table 1); dynamic trace analysis \
+             lives under `parbounds lint`"
                 .into(),
         );
     }
@@ -458,6 +466,84 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             }
         }
     }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `parbounds analyze --symbolic`: the Θ-normal-form conformance suite —
+/// derive each family's symbolic ledger, compare its normal form against
+/// the Table 1 fixture, verify the Claim 2.1/2.2 mappings, and anchor the
+/// algebra with a bit-identical evaluation at the suite point.
+fn cmd_analyze_symbolic(args: &Args) -> Result<(), String> {
+    use parbounds::analyze::symbolic::{
+        analyze_symbolic_all, analyze_symbolic_family, check_claims, SymbolicReport,
+        SYMBOLIC_FAMILIES,
+    };
+    use parbounds::tables::{render_symbolic_table, SymbolicRow};
+
+    if args.flag("list") {
+        println!("symbolically covered PhaseIR families:");
+        for f in SYMBOLIC_FAMILIES {
+            println!("  {f}");
+        }
+        println!("  or-write-tree-padded (deliberately padded fixture; trips bound-regression)");
+        return Ok(());
+    }
+
+    let n = args.usize("n", 256)?;
+    let family = args.str("family", "");
+    let report = if family.is_empty() || args.flag("all") {
+        analyze_symbolic_all(n).map_err(|e| e.to_string())?
+    } else {
+        SymbolicReport {
+            families: vec![analyze_symbolic_family(&family, n).map_err(|e| e.to_string())?],
+            claims: check_claims().map_err(|e| e.to_string())?,
+        }
+    };
+
+    let rows: Vec<SymbolicRow> = report
+        .families
+        .iter()
+        .map(|f| SymbolicRow {
+            family: f.conformance.family.to_string(),
+            model: f.conformance.model.to_string(),
+            derived: f.conformance.derived.to_string(),
+            fixture: f.conformance.fixture.to_string(),
+            verdict: f.conformance.verdict().to_string(),
+            symbolic: f.symbolic_total,
+            numeric: f.numeric_total,
+        })
+        .collect();
+    print!("{}", render_symbolic_table(&rows));
+
+    println!();
+    println!("symbolic-vs-numeric grid differential:");
+    for f in &report.families {
+        let d = &f.differential;
+        if d.clean() {
+            println!("  {:<20} {} point(s), bit-identical", d.family, d.points);
+        } else {
+            println!(
+                "  {:<20} {} point(s), {} MISMATCH(ES):",
+                d.family,
+                d.points,
+                d.mismatches.len()
+            );
+            for m in &d.mismatches {
+                println!("    {m}");
+            }
+        }
+    }
+
+    println!();
+    println!("cross-model mapping claims:");
+    for c in &report.claims {
+        let verdict = if c.holds { "holds" } else { "FAILS" };
+        println!("  {:<40} {} ≡ {} … {verdict}", c.claim, c.mapped, c.row);
+    }
+
     if !report.clean() {
         std::process::exit(1);
     }

@@ -26,6 +26,7 @@
 pub mod combinators;
 pub mod interp;
 pub mod plan;
+pub mod shape;
 
 pub use combinators::{
     broadcast, bsp_fan_in_reduce, bsp_prefix_scan, dart_round, fan_in_read_tree, fan_in_write_tree,
@@ -38,6 +39,10 @@ pub use interp::{
 pub use plan::{
     apply_update, CombineOp, CompStep, Guard, InitRule, ModelKind, MsgStep, OutputDecl, PhasePlan,
     PlanBody, ProcPhase, SendSpec, SharedPhase, Update, ValueRule, WriteSpec,
+};
+pub use shape::{
+    ceil_log, family_shape, shape_for_combinator, FamilyShape, FanRecipe, ShapePoint, Skeleton,
+    FAMILY_SHAPES,
 };
 
 #[cfg(test)]

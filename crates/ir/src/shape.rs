@@ -1,0 +1,354 @@
+//! Parameterized family shapes: the size of each §8 schedule as a
+//! function of the free model parameters, without building the plan.
+//!
+//! The combinators in [`crate::combinators`] instantiate one concrete
+//! [`crate::plan::PhasePlan`] per `(n, k)` point. The symbolic cost layer
+//! in `parbounds-analyze` needs the *shape* of those plans — the fan-in
+//! recipe that picks `k` from the model parameters, and the resulting
+//! phase count — with the parameters left free. This module states both,
+//! mirroring the constructors exactly, so the analyzer can (a) recognise
+//! that a concrete plan is an instance of a family at some parameter
+//! point, and (b) prove the match by comparing phase counts.
+
+use crate::plan::ModelKind;
+
+/// A concrete parameter point `(n, p, g, L)` at which a shape — or a
+/// symbolic ledger derived from it — is instantiated.
+///
+/// Shared-memory families read `n` and `g`; BSP families read `p`, `g`
+/// and `l`. Unused coordinates are ignored, not validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapePoint {
+    /// Problem size (leaves of a tree, cells of a sweep).
+    pub n: u64,
+    /// BSP component count.
+    pub p: u64,
+    /// Per-request bandwidth gap.
+    pub g: u64,
+    /// BSP periodicity `L`.
+    pub l: u64,
+}
+
+/// `⌈log_k n⌉` by repeated ceiling division — the exact round count the
+/// combinators use (`k` is floored at 2, `n` at 1).
+pub fn ceil_log(n: u64, k: u64) -> u64 {
+    let k = k.max(2);
+    let mut width = n.max(1);
+    let mut levels = 0;
+    while width > 1 {
+        width = width.div_ceil(k);
+        levels += 1;
+    }
+    levels
+}
+
+/// The paper's recipe choosing a combinator's fan-in/fan-out `k` from the
+/// model parameters. Each variant mirrors one `parbounds-algo` family
+/// constructor; [`FanRecipe::fan`] reproduces its arithmetic exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FanRecipe {
+    /// `max(2, g)` — the QSM OR write tree.
+    OrFanIn,
+    /// Constant 2 — the s-QSM parity read tree.
+    Binary,
+    /// `max(2, g + 1)` — the QSM broadcast fan-out.
+    BroadcastFanOut,
+    /// `max(2, g)` — the QSM prefix sweep.
+    SweepFanIn,
+    /// `max(2, ⌊L / max(1, g)⌋)` — both BSP tree families.
+    BspFanIn,
+}
+
+impl FanRecipe {
+    /// Evaluates the recipe at a parameter point.
+    pub fn fan(self, pt: ShapePoint) -> u64 {
+        match self {
+            FanRecipe::OrFanIn | FanRecipe::SweepFanIn => pt.g.max(2),
+            FanRecipe::Binary => 2,
+            FanRecipe::BroadcastFanOut => (pt.g + 1).max(2),
+            FanRecipe::BspFanIn => (pt.l / pt.g.max(1)).max(2),
+        }
+    }
+}
+
+/// The phase-level skeleton of one combinator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Skeleton {
+    /// Leaf read, `D` rounds of (write, read), publish: `2 + 2D` phases.
+    FanInWriteTree,
+    /// [`Skeleton::FanInWriteTree`] plus `⌈log₂ n⌉` padding phases —
+    /// the deliberately-worse fixture the bound-regression lint exists
+    /// to catch.
+    FanInWriteTreePadded,
+    /// `D` rounds of (read, write), floored at one round: `2·max(D, 1)`.
+    FanInReadTree,
+    /// Root round plus `R` fan-out rounds, each (read, write):
+    /// `2(R + 1)`.
+    Broadcast,
+    /// Input read, window seed, `R` rounds of (read, write): `2 + 2R`.
+    PrefixSweep,
+    /// One gather phase, one scatter phase: 2.
+    ScatterGather,
+    /// `D` fan-in supersteps plus the root fold: `D + 1`.
+    BspFanInReduce,
+    /// `R` doubling supersteps plus the final fold: `R + 1`.
+    BspPrefixScan,
+}
+
+/// A named family shape: skeleton plus fan recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FamilyShape {
+    /// The analyzer-registry family name (e.g. `"or-write-tree"`).
+    pub name: &'static str,
+    /// The phase-level skeleton.
+    pub skeleton: Skeleton,
+    /// How `k` is chosen from the parameters.
+    pub recipe: FanRecipe,
+}
+
+impl FamilyShape {
+    /// Size parameter the skeleton's round count is driven by: `p` for
+    /// BSP families, `n` otherwise.
+    pub fn size(&self, pt: ShapePoint) -> u64 {
+        match self.skeleton {
+            Skeleton::BspFanInReduce | Skeleton::BspPrefixScan => pt.p,
+            _ => pt.n,
+        }
+    }
+
+    /// Exact number of phases the combinator emits at `pt` — the witness
+    /// the analyzer compares against `PhasePlan::num_phases`.
+    pub fn phase_count(&self, pt: ShapePoint) -> u64 {
+        let k = self.recipe.fan(pt);
+        let rounds = ceil_log(self.size(pt), k);
+        match self.skeleton {
+            Skeleton::FanInWriteTree => 2 + 2 * rounds,
+            Skeleton::FanInWriteTreePadded => 2 + 2 * rounds + ceil_log(pt.n, 2),
+            Skeleton::FanInReadTree => 2 * rounds.max(1),
+            Skeleton::Broadcast => 2 * (rounds + 1),
+            Skeleton::PrefixSweep => 2 + 2 * rounds,
+            Skeleton::ScatterGather => 2,
+            Skeleton::BspFanInReduce | Skeleton::BspPrefixScan => rounds + 1,
+        }
+    }
+
+    /// The parameter point a concrete instance of this shape was built
+    /// at, reconstructed from the plan-level facts `(procs, input_cells)`
+    /// and the model. Returns `None` when the model kind does not match
+    /// the family (e.g. a BSP shape asked about a QSM plan).
+    pub fn point_from_plan(
+        &self,
+        model: ModelKind,
+        procs: u64,
+        input_cells: u64,
+    ) -> Option<ShapePoint> {
+        match (self.skeleton, model) {
+            (Skeleton::BspFanInReduce | Skeleton::BspPrefixScan, ModelKind::Bsp { p: _, g, l }) => {
+                Some(ShapePoint {
+                    n: input_cells,
+                    p: procs,
+                    g,
+                    l,
+                })
+            }
+            (Skeleton::FanInReadTree, ModelKind::SQsm { g }) => {
+                // Read-tree processors are internal nodes; `n` is the
+                // input width.
+                Some(ShapePoint {
+                    n: input_cells,
+                    p: procs,
+                    g,
+                    l: 0,
+                })
+            }
+            (
+                Skeleton::FanInWriteTree
+                | Skeleton::FanInWriteTreePadded
+                | Skeleton::Broadcast
+                | Skeleton::PrefixSweep
+                | Skeleton::ScatterGather,
+                ModelKind::Qsm { g },
+            ) => Some(ShapePoint {
+                n: procs,
+                p: procs,
+                g,
+                l: 0,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Registry of every family shape the symbolic analyzer covers, keyed by
+/// the `parbounds-analyze` family name. The padded write tree is included
+/// so the bound-regression fixture resolves like any other family.
+pub const FAMILY_SHAPES: &[FamilyShape] = &[
+    FamilyShape {
+        name: "or-write-tree",
+        skeleton: Skeleton::FanInWriteTree,
+        recipe: FanRecipe::OrFanIn,
+    },
+    FamilyShape {
+        name: "or-write-tree-padded",
+        skeleton: Skeleton::FanInWriteTreePadded,
+        recipe: FanRecipe::OrFanIn,
+    },
+    FamilyShape {
+        name: "parity-read-tree",
+        skeleton: Skeleton::FanInReadTree,
+        recipe: FanRecipe::Binary,
+    },
+    FamilyShape {
+        name: "broadcast",
+        skeleton: Skeleton::Broadcast,
+        recipe: FanRecipe::BroadcastFanOut,
+    },
+    FamilyShape {
+        name: "prefix-sweep",
+        skeleton: Skeleton::PrefixSweep,
+        recipe: FanRecipe::SweepFanIn,
+    },
+    FamilyShape {
+        name: "scatter-gather",
+        skeleton: Skeleton::ScatterGather,
+        recipe: FanRecipe::OrFanIn,
+    },
+    FamilyShape {
+        name: "bsp-reduce",
+        skeleton: Skeleton::BspFanInReduce,
+        recipe: FanRecipe::BspFanIn,
+    },
+    FamilyShape {
+        name: "bsp-prefix-scan",
+        skeleton: Skeleton::BspPrefixScan,
+        recipe: FanRecipe::BspFanIn,
+    },
+];
+
+/// Looks a family shape up by registry name.
+pub fn family_shape(name: &str) -> Option<&'static FamilyShape> {
+    FAMILY_SHAPES.iter().find(|s| s.name == name)
+}
+
+/// Maps a plan's combinator tag (`PhasePlan::family`) to the registry
+/// family name it instantiates, if the symbolic layer covers it.
+pub fn shape_for_combinator(family: &str) -> Option<&'static FamilyShape> {
+    let name = match family {
+        "fan-in-write-tree" => "or-write-tree",
+        "fan-in-write-tree-padded" => "or-write-tree-padded",
+        "fan-in-read-tree" => "parity-read-tree",
+        "broadcast" => "broadcast",
+        "prefix-sweep" => "prefix-sweep",
+        "scatter-gather" => "scatter-gather",
+        "bsp-fan-in-reduce" => "bsp-reduce",
+        "bsp-prefix-scan" => "bsp-prefix-scan",
+        _ => return None,
+    };
+    family_shape(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::{
+        broadcast, bsp_fan_in_reduce, bsp_prefix_scan, fan_in_read_tree, fan_in_write_tree,
+        prefix_sweep, scatter_gather,
+    };
+    use crate::plan::CombineOp;
+
+    fn pt(n: u64, p: u64, g: u64, l: u64) -> ShapePoint {
+        ShapePoint { n, p, g, l }
+    }
+
+    #[test]
+    fn ceil_log_matches_degenerate_and_exact_cases() {
+        assert_eq!(ceil_log(1, 2), 0);
+        assert_eq!(ceil_log(0, 2), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(9, 2), 4); // 9→5→3→2→1
+        assert_eq!(ceil_log(8, 9), 1);
+        assert_eq!(ceil_log(10, 1), 4); // k floored at 2
+    }
+
+    #[test]
+    fn phase_counts_match_the_combinators() {
+        for n in [2usize, 3, 8, 9, 16, 33, 100, 257] {
+            for g in [1u64, 2, 3, 8, 16] {
+                let p = pt(n as u64, 0, g, 0);
+                let k_or = g.max(2) as usize;
+                let plan = fan_in_write_tree(n, k_or, ModelKind::Qsm { g });
+                let shape = family_shape("or-write-tree").unwrap();
+                assert_eq!(
+                    shape.phase_count(p),
+                    plan.num_phases() as u64,
+                    "or n={n} g={g}"
+                );
+
+                let plan = fan_in_read_tree(n, 2, CombineOp::Xor, ModelKind::SQsm { g });
+                let shape = family_shape("parity-read-tree").unwrap();
+                assert_eq!(
+                    shape.phase_count(p),
+                    plan.num_phases() as u64,
+                    "parity n={n}"
+                );
+
+                let k_bc = (g as usize + 1).max(2);
+                let plan = broadcast(n, k_bc, ModelKind::Qsm { g });
+                let shape = family_shape("broadcast").unwrap();
+                assert_eq!(
+                    shape.phase_count(p),
+                    plan.num_phases() as u64,
+                    "bcast n={n} g={g}"
+                );
+
+                let plan = prefix_sweep(n, k_or, CombineOp::Sum, ModelKind::Qsm { g });
+                let shape = family_shape("prefix-sweep").unwrap();
+                assert_eq!(
+                    shape.phase_count(p),
+                    plan.num_phases() as u64,
+                    "sweep n={n} g={g}"
+                );
+
+                let sources: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+                let dests: Vec<usize> = (0..n).map(|i| n + (n - 1 - i)).collect();
+                let plan = scatter_gather(&sources, &dests, ModelKind::Qsm { g });
+                let shape = family_shape("scatter-gather").unwrap();
+                assert_eq!(shape.phase_count(p), plan.num_phases() as u64);
+            }
+        }
+        for procs in [2usize, 3, 8, 16, 64, 100] {
+            for (g, l) in [(1u64, 2u64), (2, 8), (8, 64), (8, 12), (16, 32)] {
+                let p = pt(0, procs as u64, g, l);
+                let k = ((l / g.max(1)) as usize).max(2);
+                let plan = bsp_fan_in_reduce(procs, k, CombineOp::Xor, g, l);
+                let shape = family_shape("bsp-reduce").unwrap();
+                assert_eq!(
+                    shape.phase_count(p),
+                    plan.num_phases() as u64,
+                    "reduce p={procs}"
+                );
+
+                let plan = bsp_prefix_scan(procs, k, CombineOp::Sum, g, l);
+                let shape = family_shape("bsp-prefix-scan").unwrap();
+                assert_eq!(
+                    shape.phase_count(p),
+                    plan.num_phases() as u64,
+                    "scan p={procs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recipes_match_the_family_constructors() {
+        let p = pt(64, 16, 8, 64);
+        assert_eq!(FanRecipe::OrFanIn.fan(p), 8);
+        assert_eq!(FanRecipe::Binary.fan(p), 2);
+        assert_eq!(FanRecipe::BroadcastFanOut.fan(p), 9);
+        assert_eq!(FanRecipe::BspFanIn.fan(p), 8);
+        let tiny = pt(64, 16, 1, 1);
+        assert_eq!(FanRecipe::OrFanIn.fan(tiny), 2);
+        assert_eq!(FanRecipe::BroadcastFanOut.fan(tiny), 2);
+        assert_eq!(FanRecipe::BspFanIn.fan(tiny), 2);
+    }
+}

@@ -269,6 +269,34 @@ impl Oracle {
                     output: run.output,
                 })
             }
+            QueryKind::Symbolic => {
+                // Per-family derivation: only family plans name one. The
+                // suite point mirrors what `resolve` instantiated, so the
+                // evaluated symbolic ledger must equal `predicted` cell
+                // for cell.
+                let PlanSource::Family { name, n, .. } = &req.plan else {
+                    return Err(ModelError::BadConfig(
+                        "symbolic queries require a family plan source (the \
+                         Θ-derivation is per family, not per inline schedule)"
+                            .into(),
+                    ));
+                };
+                let conf = parbounds_analyze::check_family(name)?;
+                let pt = parbounds_analyze::symbolic::suite_point(name, *n);
+                let ledger = parbounds_analyze::predict_ledger_symbolic(name)?;
+                let evaluated = ledger
+                    .eval_ledger(pt)
+                    .map_err(|e| ModelError::BadConfig(format!("symbolic eval of {name}: {e}")))?;
+                Ok(Answer::Symbolic {
+                    family: conf.family.to_string(),
+                    derived: conf.derived.to_string(),
+                    fixture: conf.fixture.to_string(),
+                    equivalent: conf.equivalent,
+                    regression: conf.regression,
+                    matches: evaluated == *predicted,
+                    total: evaluated.total_time(),
+                })
+            }
         }
     }
 }

@@ -28,6 +28,12 @@ pub enum QueryKind {
     Run,
     /// Predict, execute, and report whether the ledgers agree.
     Compare,
+    /// Derive the family's Θ-normal-form symbolic ledger, compare it
+    /// against its Table 1 row, and anchor the algebra by evaluating at
+    /// the suite point. Family plans only (the derivation is per family,
+    /// not per inline schedule); input-independent, so permanently
+    /// cacheable.
+    Symbolic,
 }
 
 impl QueryKind {
@@ -39,6 +45,7 @@ impl QueryKind {
             QueryKind::Certify => "certify",
             QueryKind::Run => "run",
             QueryKind::Compare => "compare",
+            QueryKind::Symbolic => "symbolic",
         }
     }
 
@@ -49,6 +56,7 @@ impl QueryKind {
             "certify" => QueryKind::Certify,
             "run" => QueryKind::Run,
             "compare" => QueryKind::Compare,
+            "symbolic" => QueryKind::Symbolic,
             _ => return None,
         })
     }
@@ -150,6 +158,25 @@ pub enum Answer {
         matches: bool,
         /// The plan's declared output.
         output: Vec<Word>,
+    },
+    /// The family's symbolic ledger in Θ-normal form, checked against its
+    /// Table 1 row and anchored at the suite point.
+    Symbolic {
+        /// Family name the derivation covers.
+        family: String,
+        /// Θ-normal form derived from the symbolic ledger.
+        derived: String,
+        /// The family's Table 1 row in Θ-normal form.
+        fixture: String,
+        /// Derived ≡Θ fixture.
+        equivalent: bool,
+        /// Derived strictly dominates the fixture (bound regression).
+        regression: bool,
+        /// Symbolic total evaluated at the request's suite point equals
+        /// the numeric prediction cell for cell.
+        matches: bool,
+        /// The evaluated symbolic total at that point.
+        total: u64,
     },
 }
 
@@ -450,6 +477,24 @@ impl Answer {
                 ("matches".to_string(), Json::Bool(*matches)),
                 ("output".to_string(), words_to_json(output)),
             ]),
+            Answer::Symbolic {
+                family,
+                derived,
+                fixture,
+                equivalent,
+                regression,
+                matches,
+                total,
+            } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("symbolic".to_string())),
+                ("family".to_string(), Json::Str(family.clone())),
+                ("derived".to_string(), Json::Str(derived.clone())),
+                ("fixture".to_string(), Json::Str(fixture.clone())),
+                ("equivalent".to_string(), Json::Bool(*equivalent)),
+                ("regression".to_string(), Json::Bool(*regression)),
+                ("matches".to_string(), Json::Bool(*matches)),
+                ("total".to_string(), Json::Num(i128::from(*total))),
+            ]),
         }
     }
 
@@ -512,6 +557,36 @@ impl Answer {
                     .and_then(Json::as_bool)
                     .ok_or("bad 'matches'")?,
                 output: words_from_json(v.get("output").ok_or("missing 'output'")?)?,
+            }),
+            Some("symbolic") => Ok(Answer::Symbolic {
+                family: v
+                    .get("family")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'family'")?
+                    .to_string(),
+                derived: v
+                    .get("derived")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'derived'")?
+                    .to_string(),
+                fixture: v
+                    .get("fixture")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'fixture'")?
+                    .to_string(),
+                equivalent: v
+                    .get("equivalent")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad 'equivalent'")?,
+                regression: v
+                    .get("regression")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad 'regression'")?,
+                matches: v
+                    .get("matches")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad 'matches'")?,
+                total: v.get("total").and_then(Json::as_u64).ok_or("bad 'total'")?,
             }),
             _ => Err("unknown answer kind".to_string()),
         }
@@ -1144,5 +1219,27 @@ mod tests {
             Some(15),
             "retry hint survives the wire"
         );
+    }
+
+    #[test]
+    fn symbolic_codec_round_trips_unicode_normal_forms() {
+        assert_eq!(QueryKind::from_name("symbolic"), Some(QueryKind::Symbolic));
+        assert!(!QueryKind::Symbolic.is_measured());
+        let resp = Response {
+            id: 7,
+            result: Ok(Answer::Symbolic {
+                family: "or-write-tree".to_string(),
+                derived: "Θ(g·log n/(log g))".to_string(),
+                fixture: "Θ(g·log n/(log g))".to_string(),
+                equivalent: true,
+                regression: false,
+                matches: true,
+                total: 64,
+            }),
+            cached: false,
+            degraded: false,
+        };
+        let back = Response::from_json(&parse(&resp.to_json().render()).unwrap()).unwrap();
+        assert_eq!(resp, back);
     }
 }

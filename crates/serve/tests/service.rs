@@ -335,3 +335,75 @@ fn zero_deadline_run_degrades() {
     }
     thread::sleep(Duration::from_millis(1));
 }
+
+#[test]
+fn symbolic_queries_answer_on_the_cached_static_path() {
+    let server = small_server();
+
+    // A clean family: Θ-equivalent to its Table 1 row, anchored at the
+    // suite point against the numeric prediction.
+    let resp = server.submit(family_request(
+        1,
+        QueryKind::Symbolic,
+        "or-write-tree",
+        64,
+        1,
+    ));
+    assert!(!resp.cached);
+    match resp.result.unwrap() {
+        Answer::Symbolic {
+            family,
+            derived,
+            fixture,
+            equivalent,
+            regression,
+            matches,
+            total,
+        } => {
+            assert_eq!(family, "or-write-tree");
+            assert_eq!(derived, fixture);
+            assert!(equivalent && !regression && matches);
+            let (_, plan, _) = ir_family_plan("or-write-tree", 64, 1).unwrap();
+            assert_eq!(total, predict_ledger(&plan).unwrap().total_time());
+        }
+        other => panic!("expected symbolic, got {other:?}"),
+    }
+
+    // Input-independent ⇒ the repeat is served from the cache.
+    let resp = server.submit(family_request(
+        2,
+        QueryKind::Symbolic,
+        "or-write-tree",
+        64,
+        1,
+    ));
+    assert!(resp.cached, "symbolic answers are permanently cacheable");
+
+    // The padded fixture reports its regression rather than erroring.
+    let resp = server.submit(family_request(
+        3,
+        QueryKind::Symbolic,
+        "or-write-tree-padded",
+        64,
+        1,
+    ));
+    match resp.result.unwrap() {
+        Answer::Symbolic {
+            equivalent,
+            regression,
+            matches,
+            ..
+        } => {
+            assert!(regression && !equivalent);
+            assert!(matches, "padded ledger still evaluates exactly");
+        }
+        other => panic!("expected symbolic, got {other:?}"),
+    }
+
+    // Inline plans cannot name a family derivation: typed bad request.
+    let (_, plan, _) = ir_family_plan("or-write-tree", 64, 1).unwrap();
+    let mut req = family_request(4, QueryKind::Symbolic, "or-write-tree", 64, 1);
+    req.plan = PlanSource::Inline(plan);
+    let err = server.submit(req).result.unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+}

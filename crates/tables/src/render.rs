@@ -143,9 +143,94 @@ pub fn render_static_table(rows: &[StaticRow]) -> String {
     out
 }
 
+/// One row of the symbolic Table 1 conformance report: the Θ-normal
+/// form derived from a family's symbolic ledger next to the paper's row,
+/// plus the evaluation of the symbolic total at the suite point against
+/// the numeric predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicRow {
+    /// Family name (e.g. `or-write-tree`).
+    pub family: String,
+    /// Model name (`QSM`, `s-QSM`, `BSP`).
+    pub model: String,
+    /// Θ-normal form derived from the symbolic ledger.
+    pub derived: String,
+    /// The family's Table 1 fixture in Θ-normal form.
+    pub fixture: String,
+    /// Conformance verdict (`match`, `mismatch`, `REGRESSION`).
+    pub verdict: String,
+    /// Symbolic total evaluated at the suite point.
+    pub symbolic: u64,
+    /// Numeric `predict_ledger` total at the same point.
+    pub numeric: u64,
+}
+
+/// Renders the symbolic Θ-conformance table: derived normal form vs the
+/// paper's Table 1 row, with the point evaluation as a bit-level anchor.
+pub fn render_symbolic_table(rows: &[SymbolicRow]) -> String {
+    let derived_w = rows
+        .iter()
+        .map(|r| r.derived.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max("derived Θ".chars().count());
+    let fixture_w = rows
+        .iter()
+        .map(|r| r.fixture.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max("Table 1 row".chars().count());
+    let mut out = String::new();
+    out.push_str("Symbolic Θ-normal-form ledgers vs Table 1\n");
+    out.push_str(&format!(
+        "{:<18} | {:<5} | {:<derived_w$} | {:<fixture_w$} | {:<10} | {:>9} | {:>9} | {:^5}\n",
+        "family", "model", "derived Θ", "Table 1 row", "verdict", "symbolic", "numeric", "match"
+    ));
+    out.push_str(&"-".repeat(80 + derived_w + fixture_w));
+    out.push('\n');
+    for r in rows {
+        let mark = if r.symbolic == r.numeric { "=" } else { "!=" };
+        out.push_str(&format!(
+            "{:<18} | {:<5} | {:<derived_w$} | {:<fixture_w$} | {:<10} | {:>9} | {:>9} | {:^5}\n",
+            r.family, r.model, r.derived, r.fixture, r.verdict, r.symbolic, r.numeric, mark
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn symbolic_table_aligns_unicode_normal_forms() {
+        let rows = vec![
+            SymbolicRow {
+                family: "or-write-tree".into(),
+                model: "QSM".into(),
+                derived: "Θ(g·log n/(log g))".into(),
+                fixture: "Θ(g·log n/(log g))".into(),
+                verdict: "match".into(),
+                symbolic: 230,
+                numeric: 230,
+            },
+            SymbolicRow {
+                family: "or-write-tree-padded".into(),
+                model: "QSM".into(),
+                derived: "Θ(g·log n)".into(),
+                fixture: "Θ(g·log n/(log g))".into(),
+                verdict: "REGRESSION".into(),
+                symbolic: 278,
+                numeric: 278,
+            },
+        ];
+        let s = render_symbolic_table(&rows);
+        assert!(s.contains("Θ(g·log n/(log g))"));
+        assert!(s.contains("REGRESSION"));
+        assert!(s
+            .lines()
+            .any(|l| l.contains("or-write-tree ") && l.contains(" = ")));
+    }
 
     #[test]
     fn static_table_marks_agreement_and_gaps() {

@@ -42,6 +42,28 @@ if target/release/parbounds analyze --symbolic --family or-write-tree-padded >/d
     exit 1
 fi
 
+# Audit-conformance gate: the memoized symbolic adversary must agree with
+# the enumerative 2^r goodness checker field for field wherever the
+# enumeration is feasible (exit 1 on any mismatch), every registered
+# family's budget-respecting refinement trajectory must stay t-good at
+# n = 4096 with no lower bound exceeding its Table 1 upper (exit 1 on a
+# violation verdict), and the fixed-seed Monte-Carlo adversary must
+# witness root-trace sensitivity at the Know-completion time. Inverse
+# check: the padded fixture is swept symbolically but deliberately has no
+# lower-bound audit, so the audit-gap lint must exit nonzero and name it.
+target/release/parbounds audit --symbolic --differential --max-r 6
+target/release/parbounds audit --symbolic --all --n 4096
+target/release/parbounds audit --symbolic --mc --family parity-read-tree \
+    --n 4096 --seed 42 --samples 16 >/dev/null
+if target/release/parbounds audit --symbolic --lint-gap >/dev/null; then
+    echo "ci: audit-gap lint did NOT flag the unaudited padded fixture" >&2
+    exit 1
+fi
+(target/release/parbounds audit --symbolic --lint-gap || true) | grep "audit-gap" >/dev/null || {
+    echo "ci: audit-gap lint output missing the 'audit-gap' rule name" >&2
+    exit 1
+}
+
 # Parallel-execution gate: the differential suites must hold with the
 # intra-phase executor at explicit thread counts AND with Parallelism::Auto
 # resolving through PARBOUNDS_THREADS — the same knob --threads sets. The

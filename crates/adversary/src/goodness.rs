@@ -71,7 +71,9 @@ impl TGoodness {
     /// its refinements: States/Know/Aff are computed over the subcube.
     #[allow(clippy::needless_range_loop)] // index i is the variable id
     pub fn check(ens: &TraceEnsemble, f: &PartialInput, t: usize) -> TGoodness {
-        let masks = refinement_masks(f);
+        // Ensembles are capped at r <= 12, so u32 mask enumeration
+        // cannot fail; the subcube is walked lazily, never materialized.
+        let masks = || refinement_masks(f).expect("ensemble arity fits u32 masks");
         let r = ens.num_inputs();
         let mut max_states_degree = 0;
         let mut max_states = 0;
@@ -79,7 +81,7 @@ impl TGoodness {
         for v in ens.entities() {
             // States over the subcube: distinct trace keys among refinements.
             let mut keys = std::collections::HashSet::new();
-            for &m in &masks {
+            for m in masks() {
                 keys.insert(ens.trace_key(v, t, m));
             }
             max_states = max_states.max(keys.len());
@@ -90,10 +92,9 @@ impl TGoodness {
                     continue;
                 }
                 let bit = 1u32 << i;
-                if masks
-                    .iter()
-                    .filter(|&&m| m & bit == 0)
-                    .any(|&m| ens.trace_key(v, t, m) != ens.trace_key(v, t, m | bit))
+                if masks()
+                    .filter(|&m| m & bit == 0)
+                    .any(|m| ens.trace_key(v, t, m) != ens.trace_key(v, t, m | bit))
                 {
                     support += 1;
                 }

@@ -26,21 +26,30 @@
 //!   enumerable probe games;
 //! * [`goodness`] — the Section 5.2 *t-goodness* conditions evaluated
 //!   exactly against trace ensembles, with the paper's `d_t/k_t/r_t`
-//!   growth sequences.
+//!   growth sequences;
+//! * [`mask`] — bitset-backed wide input masks and the lazy
+//!   refinement-subcube iterator the exact checkers walk;
+//! * [`symbolic`] — the memoized, closed-form `Know`/`AffProc`/`AffCell`
+//!   analysis along the REFINE/GENERATE trajectory, the large-`n`
+//!   lower-bound audits with `SymExpr` growth budgets, and the seeded
+//!   Monte-Carlo adversary mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod degree_audit;
 pub mod goodness;
+pub mod mask;
 pub mod or_adversary;
 pub mod or_refine;
 pub mod random_adversary;
+pub mod symbolic;
 pub mod traces;
 pub mod yao;
 
 pub use degree_audit::{audit_parity_program, DegreeAudit, ParityAuditReport};
 pub use goodness::{worst_certificate_size, GrowthSequences, TGoodness};
+pub use mask::{BitMask, RefinementMasks, TooManyInputs};
 pub use or_adversary::{or_success_rate, probe_k_or, OrDistribution};
 pub use or_refine::{
     materialize_distribution, random_fix, random_restrict, MapSet, OrRefine, OrRefineStep,
@@ -48,6 +57,12 @@ pub use or_refine::{
 pub use random_adversary::{
     f_star, generate, mask_refines, random_set, refinement_masks, refines, BiasedBits, GsmRefine,
     InputDistribution, PartialInput, Refine, UniformBits,
+};
+pub use symbolic::{
+    audit_all, audit_differential, audit_family, audit_registration, lint_audit_gap, mc_audit,
+    mc_trace_sensitivity, paper_horizon, wilson, AuditFamily, AuditMismatch, AuditOutcome,
+    AuditScope, AuditStyle, AuditVerdict, FanRule, FoldOp, FoldTree, McAuditOutcome, McEstimate,
+    MemoGoodness, SymBudgets, AUDIT_FAMILIES,
 };
 pub use traces::{Entity, TraceEnsemble};
 pub use yao::{check_yao_sampled, parity_probe_game, Game};

@@ -1,0 +1,285 @@
+//! Wide input masks and lazy refinement enumeration.
+//!
+//! The Random Adversary machinery quantifies over the complete inputs
+//! refining a partial map `f`. The original implementation materialized
+//! all `2^r` candidate masks into a `Vec<u32>` and filtered — an
+//! exponential allocation — and silently assumed `r ≤ 32` (shifting out
+//! of range beyond that). This module provides:
+//!
+//! * [`BitMask`] — a bitset-backed complete-input mask over arbitrarily
+//!   many boolean inputs, for the large-`n` symbolic/Monte-Carlo paths
+//!   where `u32` masks cannot represent an input at all;
+//! * [`RefinementMasks`] — a lazy iterator over exactly the refinements
+//!   of a partial map, produced by scattering a counter over the unset
+//!   positions only (no allocation proportional to `2^r`, no filtering);
+//! * [`TooManyInputs`] — the typed error returned instead of shifting
+//!   out of range when a `u32`-mask operation is asked to handle more
+//!   than 32 inputs.
+
+use std::fmt;
+
+/// A partial input map over `r` boolean inputs. `None` is the paper's `*`.
+/// (Re-declared here to keep this module dependency-free; the canonical
+/// alias lives in [`crate::random_adversary`].)
+type Partial = [Option<bool>];
+
+/// Typed error: an operation restricted to `u32` masks was asked to
+/// handle more inputs than a `u32` can index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyInputs {
+    /// Number of inputs requested.
+    pub len: usize,
+    /// The operation's hard limit (32 for `u32`-mask enumeration).
+    pub limit: usize,
+}
+
+impl fmt::Display for TooManyInputs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs exceed the {}-input limit of u32 mask enumeration \
+             (use BitMask for wide inputs)",
+            self.len, self.limit
+        )
+    }
+}
+
+impl std::error::Error for TooManyInputs {}
+
+/// A complete input assignment over arbitrarily many boolean inputs,
+/// stored as a bitset (64 inputs per block). Bit `i` is the value of
+/// input `x_i` — the same convention as the `u32` masks used on small
+/// machines, without the 32-input cap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitMask {
+    len: usize,
+    blocks: Vec<u64>,
+}
+
+impl BitMask {
+    /// The all-zeros assignment over `len` inputs.
+    pub fn zeros(len: usize) -> Self {
+        BitMask {
+            len,
+            blocks: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Widens a `u32` mask over `len ≤ 32` inputs. Bits at positions
+    /// `≥ 32` are zero by construction, so this is exact.
+    pub fn from_u32(len: usize, mask: u32) -> Result<Self, TooManyInputs> {
+        if len > 32 {
+            return Err(TooManyInputs { len, limit: 32 });
+        }
+        let mut m = BitMask::zeros(len);
+        if !m.blocks.is_empty() {
+            m.blocks[0] = u64::from(mask);
+        }
+        Ok(m)
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no inputs at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of input `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "input {i} out of range for {} inputs",
+            self.len
+        );
+        self.blocks[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets input `i` to `v`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(
+            i < self.len,
+            "input {i} out of range for {} inputs",
+            self.len
+        );
+        let (b, o) = (i / 64, i % 64);
+        if v {
+            self.blocks[b] |= 1 << o;
+        } else {
+            self.blocks[b] &= !(1 << o);
+        }
+    }
+
+    /// Number of inputs set to 1.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Narrows to a `u32` mask; typed error if the mask has more than 32
+    /// inputs (narrowing would silently drop assignments).
+    pub fn to_u32(&self) -> Result<u32, TooManyInputs> {
+        if self.len > 32 {
+            return Err(TooManyInputs {
+                len: self.len,
+                limit: 32,
+            });
+        }
+        Ok(self.blocks.first().copied().unwrap_or(0) as u32)
+    }
+
+    /// Does this complete input refine the partial map `f`? Wide
+    /// counterpart of [`crate::random_adversary::mask_refines`], with no
+    /// input-count cap. Panics if lengths differ.
+    pub fn refines(&self, f: &Partial) -> bool {
+        assert_eq!(self.len, f.len(), "mask/partial length mismatch");
+        f.iter()
+            .enumerate()
+            .all(|(i, v)| v.is_none_or(|b| self.get(i) == b))
+    }
+}
+
+/// Lazy iterator over exactly the complete `u32` inputs refining a
+/// partial map: the fixed bits form a constant base and a counter is
+/// scattered over the unset positions. Yields `2^unset` masks without
+/// ever materializing them.
+#[derive(Debug, Clone)]
+pub struct RefinementMasks {
+    base: u32,
+    unset: Vec<u32>,
+    next: u64,
+    count: u64,
+}
+
+impl RefinementMasks {
+    /// Builds the iterator for `f`; typed error beyond 32 inputs (the
+    /// masks would not fit a `u32`).
+    pub fn over(f: &Partial) -> Result<Self, TooManyInputs> {
+        if f.len() > 32 {
+            return Err(TooManyInputs {
+                len: f.len(),
+                limit: 32,
+            });
+        }
+        let mut base = 0u32;
+        let mut unset = Vec::new();
+        for (i, v) in f.iter().enumerate() {
+            match v {
+                Some(true) => base |= 1 << i,
+                Some(false) => {}
+                None => unset.push(i as u32),
+            }
+        }
+        let count = 1u64 << unset.len();
+        Ok(RefinementMasks {
+            base,
+            unset,
+            next: 0,
+            count,
+        })
+    }
+
+    /// Total number of refinements, `2^unset` (up to `2^32`, hence `u64`).
+    pub fn num_masks(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Iterator for RefinementMasks {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next == self.count {
+            return None;
+        }
+        let mut m = self.base;
+        for (idx, &pos) in self.unset.iter().enumerate() {
+            if self.next >> idx & 1 == 1 {
+                m |= 1 << pos;
+            }
+        }
+        self.next += 1;
+        Some(m)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.count - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmask_roundtrips_u32() {
+        let m = BitMask::from_u32(12, 0b1010_1100_0011).unwrap();
+        assert_eq!(m.to_u32().unwrap(), 0b1010_1100_0011);
+        assert_eq!(m.count_ones(), 6);
+        assert!(m.get(0) && m.get(1) && !m.get(2));
+    }
+
+    #[test]
+    fn bitmask_handles_wide_inputs() {
+        let mut m = BitMask::zeros(4096);
+        m.set(0, true);
+        m.set(4095, true);
+        m.set(100, true);
+        m.set(100, false);
+        assert_eq!(m.count_ones(), 2);
+        assert!(m.get(4095) && !m.get(100));
+        assert_eq!(
+            m.to_u32(),
+            Err(TooManyInputs {
+                len: 4096,
+                limit: 32
+            })
+        );
+    }
+
+    #[test]
+    fn wide_refinement_check() {
+        let mut f = vec![None; 100];
+        f[7] = Some(true);
+        f[63] = Some(false);
+        let mut m = BitMask::zeros(100);
+        m.set(7, true);
+        assert!(m.refines(&f));
+        m.set(63, true);
+        assert!(!m.refines(&f));
+    }
+
+    #[test]
+    fn refinement_masks_enumerate_the_subcube_without_filtering() {
+        let f = vec![None, Some(true), None, Some(false)];
+        let it = RefinementMasks::over(&f).unwrap();
+        assert_eq!(it.num_masks(), 4);
+        let got: Vec<u32> = it.collect();
+        assert_eq!(got, vec![0b0010, 0b0011, 0b0110, 0b0111]);
+    }
+
+    #[test]
+    fn refinement_masks_reject_wide_inputs() {
+        let f = vec![None; 33];
+        assert!(RefinementMasks::over(&f).is_err());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let f = vec![None; 5];
+        let mut it = RefinementMasks::over(&f).unwrap();
+        assert_eq!(it.size_hint(), (32, Some(32)));
+        it.next();
+        assert_eq!(it.size_hint(), (31, Some(31)));
+    }
+
+    #[test]
+    fn error_message_names_the_limit() {
+        let e = TooManyInputs { len: 40, limit: 32 };
+        let s = e.to_string();
+        assert!(s.contains("40") && s.contains("32"));
+    }
+}

@@ -20,6 +20,7 @@ use rand::Rng;
 
 use parbounds_models::{GsmMachine, GsmProgram, Result, Word};
 
+use crate::mask::{RefinementMasks, TooManyInputs};
 use crate::traces::{Entity, TraceEnsemble};
 
 /// A partial input map over `r` boolean inputs. `None` is the paper's `*`.
@@ -38,18 +39,26 @@ pub fn refines(fine: &PartialInput, coarse: &PartialInput) -> bool {
         .all(|(c, f)| c.is_none() || c == f)
 }
 
-/// Does complete input `mask` refine `f`?
-pub fn mask_refines(mask: u32, f: &PartialInput) -> bool {
-    f.iter()
+/// Does complete input `mask` refine `f`? Typed [`TooManyInputs`] error
+/// beyond 32 inputs instead of shifting out of range; the wide-input
+/// counterpart is [`crate::mask::BitMask::refines`].
+pub fn mask_refines(mask: u32, f: &PartialInput) -> std::result::Result<bool, TooManyInputs> {
+    if f.len() > 32 {
+        return Err(TooManyInputs {
+            len: f.len(),
+            limit: 32,
+        });
+    }
+    Ok(f.iter()
         .enumerate()
-        .all(|(i, v)| v.is_none_or(|b| (mask >> i & 1 == 1) == b))
+        .all(|(i, v)| v.is_none_or(|b| (mask >> i & 1 == 1) == b)))
 }
 
-/// All complete inputs refining `f`.
-pub fn refinement_masks(f: &PartialInput) -> Vec<u32> {
-    (0..1u32 << f.len())
-        .filter(|&m| mask_refines(m, f))
-        .collect()
+/// Lazy iterator over all complete inputs refining `f` — exactly the
+/// `2^unset` subcube members, produced without materializing or
+/// filtering the full `2^r` cube.
+pub fn refinement_masks(f: &PartialInput) -> std::result::Result<RefinementMasks, TooManyInputs> {
+    RefinementMasks::over(f)
 }
 
 /// An input distribution over `{0,1}^r`, queried through the conditionals
@@ -236,13 +245,14 @@ impl GsmRefine {
 impl<D: InputDistribution> Refine<D> for GsmRefine {
     fn refine<R: Rng>(&mut self, t: u64, f: &mut PartialInput, dist: &D, rng: &mut R) -> u64 {
         let phase = t as usize;
+        // The exhaustive REFINE asserts r <= 10 at build time, so u32
+        // mask enumeration cannot fail here.
+        let masks = |f: &PartialInput| refinement_masks(f).expect("r <= 10 fits u32 masks");
         // Lines (4)-(10): force the max-traffic processor's behaviour.
         let max_count_rw;
         loop {
-            let masks = refinement_masks(f);
-            let (h, pid, _count) = masks
-                .iter()
-                .map(|&m| {
+            let (h, pid, _count) = masks(f)
+                .map(|m| {
                     let (pid, c) = self.max_rw_at(m, phase);
                     (m, pid, c)
                 })
@@ -256,7 +266,7 @@ impl<D: InputDistribution> Refine<D> for GsmRefine {
                 .collect();
             self.inputs_fixed += cert_vars.len();
             random_set(dist, f, &cert_vars, rng);
-            if mask_refines(h, f) || cert_vars.is_empty() {
+            if mask_refines(h, f).expect("r <= 10 fits u32 masks") || cert_vars.is_empty() {
                 max_count_rw = self.max_rw_at(h, phase).1 as u64;
                 break;
             }
@@ -264,10 +274,8 @@ impl<D: InputDistribution> Refine<D> for GsmRefine {
         // Lines (12)-(21): force the max-contention cell's traffic.
         let max_contention;
         loop {
-            let masks = refinement_masks(f);
-            let (h, cell, _count) = masks
-                .iter()
-                .map(|&m| {
+            let (h, cell, _count) = masks(f)
+                .map(|m| {
                     let (cell, c) = self.contention_at(m, phase);
                     (m, cell, c)
                 })
@@ -281,7 +289,7 @@ impl<D: InputDistribution> Refine<D> for GsmRefine {
                 .collect();
             self.inputs_fixed += cert_vars.len();
             random_set(dist, f, &cert_vars, rng);
-            if mask_refines(h, f) || cert_vars.is_empty() {
+            if mask_refines(h, f).expect("r <= 10 fits u32 masks") || cert_vars.is_empty() {
                 max_contention = self.contention_at(h, phase).1 as u64;
                 break;
             }
@@ -307,9 +315,14 @@ mod tests {
         assert!(refines(&fine, &coarse));
         assert!(!refines(&coarse, &fine));
         assert!(refines(&coarse, &f_star(3)));
-        assert!(mask_refines(0b010, &coarse));
-        assert!(!mask_refines(0b001, &coarse));
-        assert_eq!(refinement_masks(&coarse).len(), 4);
+        assert!(mask_refines(0b010, &coarse).unwrap());
+        assert!(!mask_refines(0b001, &coarse).unwrap());
+        let it = refinement_masks(&coarse).unwrap();
+        assert_eq!(it.num_masks(), 4);
+        assert_eq!(it.count(), 4);
+        // Beyond 32 inputs the u32 enumeration reports a typed error.
+        assert!(mask_refines(0, &f_star(33)).is_err());
+        assert!(refinement_masks(&f_star(33)).is_err());
     }
 
     /// Fact 4.1: any interleaving of RANDOMSET calls produces the target
@@ -410,7 +423,7 @@ mod tests {
         // All returned bounds are >= 1 and the trajectory stays refinable.
         let x1 = Refine::<UniformBits>::refine(&mut refiner, 1, &mut f, &dist, &mut rng);
         assert!(x1 >= 1);
-        assert!(!refinement_masks(&f).is_empty());
+        assert!(refinement_masks(&f).unwrap().num_masks() >= 1);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Seeded Monte-Carlo adversary mode.
+//!
+//! Where even the memoized analysis wants a *dynamic* witness — does the
+//! real executable program's trace actually depend on a random leaf, at a
+//! size where the `2^r` ensemble is unbuildable? — we sample: draw a
+//! completion `x` of the partial map from a seeded ChaCha stream (held in
+//! a wide [`BitMask`]), flip one random unset leaf, run the program twice,
+//! and compare the target entity's trace keys. The fraction of flips that
+//! change the trace estimates the trace's *sensitivity*; the 95% Wilson
+//! interval around it is reported, and on enumerable machines the interval
+//! is checked to cover the exactly-computed value.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use parbounds_models::{GsmMachine, ModelError, Word};
+
+use crate::mask::BitMask;
+use crate::random_adversary::{refinement_masks, PartialInput};
+use crate::symbolic::sets::FoldTree;
+use crate::traces::{Entity, TraceEnsemble};
+
+/// A sampled sensitivity estimate with its 95% Wilson interval.
+#[derive(Debug, Clone, Copy)]
+pub struct McEstimate {
+    /// Number of (completion, flip) samples drawn.
+    pub samples: u64,
+    /// Samples whose flip changed the target's trace key.
+    pub successes: u64,
+    /// Point estimate `successes / samples`.
+    pub p_hat: f64,
+    /// Lower end of the 95% Wilson score interval.
+    pub lo: f64,
+    /// Upper end of the 95% Wilson score interval.
+    pub hi: f64,
+}
+
+/// The 95% Wilson score interval for `successes` out of `samples`.
+pub fn wilson(successes: u64, samples: u64) -> (f64, f64) {
+    if samples == 0 {
+        return (0.0, 1.0);
+    }
+    let s = samples as f64;
+    let p = successes as f64 / s;
+    let z = 1.96f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / s;
+    let center = p + z2 / (2.0 * s);
+    let margin = z * (p * (1.0 - p) / s + z2 / (4.0 * s * s)).sqrt();
+    (
+        ((center - margin) / denom).max(0.0),
+        ((center + margin) / denom).min(1.0),
+    )
+}
+
+/// Estimates the sensitivity of `tree`'s root-processor trace at time `t`
+/// under partial map `f`: the probability, over a uniform completion of
+/// `f` and a uniform unset leaf, that flipping the leaf changes the root's
+/// `Trace(v, t, ·)` key. Two real GSM executions per sample; `samples`
+/// controls the Wilson interval width.
+pub fn mc_trace_sensitivity(
+    tree: &FoldTree,
+    f: &PartialInput,
+    t: usize,
+    seed: u64,
+    samples: u64,
+) -> Result<McEstimate, ModelError> {
+    assert_eq!(f.len(), tree.n(), "partial map arity mismatch");
+    let unset: Vec<usize> = (0..f.len()).filter(|&i| f[i].is_none()).collect();
+    assert!(!unset.is_empty(), "MC sensitivity needs an unset leaf");
+    let machine = GsmMachine::new(1, 1, 1);
+    let prog = tree.program();
+    let root = Entity::Proc(tree.root_proc());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut successes = 0u64;
+    for _ in 0..samples {
+        // Sample a completion of f into a wide bitmask.
+        let mut bits = BitMask::zeros(f.len());
+        for (i, v) in f.iter().enumerate() {
+            let b = v.unwrap_or_else(|| rng.gen_bool(0.5));
+            if b {
+                bits.set(i, true);
+            }
+        }
+        let i = unset[rng.gen_range(0..unset.len())];
+        let input: Vec<Word> = (0..f.len()).map(|j| Word::from(bits.get(j))).collect();
+        let mut flipped = input.clone();
+        flipped[i] ^= 1;
+        let k1 = TraceEnsemble::single_run_keys(&machine, &prog, &input)?;
+        let k2 = TraceEnsemble::single_run_keys(&machine, &prog, &flipped)?;
+        let key_at = |m: &std::collections::HashMap<Entity, Vec<u64>>| {
+            m.get(&root)
+                .and_then(|ks| ks.get(t - 1).or(ks.last()))
+                .copied()
+        };
+        if key_at(&k1) != key_at(&k2) {
+            successes += 1;
+        }
+    }
+    let (lo, hi) = wilson(successes, samples);
+    Ok(McEstimate {
+        samples,
+        successes,
+        p_hat: successes as f64 / samples.max(1) as f64,
+        lo,
+        hi,
+    })
+}
+
+/// The exact quantity [`mc_trace_sensitivity`] estimates, computed from an
+/// exhaustive ensemble (so only available at `r ≤ 12`): the average over
+/// refinements of `f` and unset leaves of the flip-changes-trace
+/// indicator. The coverage tests check the Wilson interval contains it.
+pub fn exact_trace_sensitivity(ens: &TraceEnsemble, v: Entity, t: usize, f: &PartialInput) -> f64 {
+    let unset: Vec<usize> = (0..f.len()).filter(|&i| f[i].is_none()).collect();
+    assert!(!unset.is_empty());
+    let masks = refinement_masks(f).expect("ensemble arity fits u32 masks");
+    let total = masks.num_masks() * unset.len() as u64;
+    let mut hits = 0u64;
+    for m in refinement_masks(f).expect("ensemble arity fits u32 masks") {
+        for &i in &unset {
+            if ens.trace_key(v, t, m) != ens.trace_key(v, t, m ^ (1 << i)) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_adversary::f_star;
+    use crate::symbolic::sets::FoldOp;
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        let (lo, hi) = wilson(30, 100);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(hi - lo < 0.2);
+        // Degenerate endpoints stay inside [0, 1].
+        let (lo, hi) = wilson(100, 100);
+        assert!(lo > 0.9 && hi <= 1.0);
+        let (lo, hi) = wilson(0, 100);
+        assert!(lo >= 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn xor_root_sensitivity_is_one() {
+        // Flipping any leaf always flips some child parity the root reads.
+        let tree = FoldTree::new(64, 2, FoldOp::Xor);
+        let t = tree.t_know_complete();
+        let est = mc_trace_sensitivity(&tree, &f_star(64), t, 7, 24).unwrap();
+        assert_eq!(est.successes, est.samples);
+        assert!(est.hi >= 1.0 - 1e-12);
+        assert!(est.lo > 0.8);
+    }
+
+    #[test]
+    fn mc_interval_covers_the_exact_value_on_enumerable_machines() {
+        let n = 6;
+        let tree = FoldTree::new(n, 2, FoldOp::Or);
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, || tree.program(), n).unwrap();
+        let t = tree.t_know_complete();
+        let exact = exact_trace_sensitivity(&ens, Entity::Proc(tree.root_proc()), t, &f_star(n));
+        assert!(exact > 0.0 && exact < 1.0, "exact = {exact}");
+        let mut covered = 0;
+        for seed in 1..=5 {
+            let est = mc_trace_sensitivity(&tree, &f_star(n), t, seed, 200).unwrap();
+            if est.lo <= exact && exact <= est.hi {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 4, "only {covered}/5 seeds covered exact {exact}");
+    }
+
+    #[test]
+    fn mc_is_deterministic_per_seed() {
+        let tree = FoldTree::new(32, 2, FoldOp::Or);
+        let t = tree.t_know_complete();
+        let a = mc_trace_sensitivity(&tree, &f_star(32), t, 42, 16).unwrap();
+        let b = mc_trace_sensitivity(&tree, &f_star(32), t, 42, 16).unwrap();
+        assert_eq!(a.successes, b.successes);
+    }
+}

@@ -1,0 +1,669 @@
+//! Symbolic adversary sets: the static lower-bound analysis layer.
+//!
+//! The exhaustive machinery in [`crate::traces`] and [`crate::goodness`]
+//! checks the Section 5 proof obligations by enumerating all `2^r` inputs
+//! — exact, and dead beyond `r ≈ 12`. This module replaces the enumeration
+//! for the §8 tree families with memoized, shared set representations:
+//!
+//! * [`sets`] — interval/prefix-sum-backed `Know`/`AffProc`/`AffCell` and
+//!   `States` bookkeeping ([`FoldTree::memo_goodness`]), incremental along
+//!   the REFINE/GENERATE trajectory instead of re-derived from a
+//!   `TraceEnsemble`, with the §5.2 budgets `d_t`/`k_t`/`r_t` carried as
+//!   [`SymExpr`] terms ([`SymBudgets`]) and t-goodness decided in the log
+//!   domain;
+//! * [`mc`] — the seeded Monte-Carlo adversary mode: sampled refinements
+//!   driven through the *real* GSM program with Wilson-interval
+//!   confidence reporting;
+//! * this file — the large-`n` audit driver: [`audit_family`] walks a
+//!   budget-respecting refinement trajectory at `n ≥ 4096`, checks every
+//!   step t-good, derives the Know-completion lower bound as a Θ-normal
+//!   form, and pairs it with the family's Table 1 upper-bound fixture;
+//!   [`audit_differential`] gates the memoized path against the
+//!   enumerative one wherever enumeration is feasible, and
+//!   [`lint_audit_gap`] flags swept families whose audit is missing or
+//!   lags, through the shared `analyze` rule table.
+
+pub mod mc;
+pub mod sets;
+
+pub use mc::{exact_trace_sensitivity, mc_trace_sensitivity, wilson, McEstimate};
+pub use sets::{FoldOp, FoldTree, MemoGoodness, SymBudgets};
+
+use parbounds_analyze::diagnostics::{Diagnostic, Location, Rule};
+use parbounds_analyze::rules;
+use parbounds_analyze::symbolic::expr::{build, ceil_log_u64, floor_root_u64, kpow_u64};
+use parbounds_analyze::symbolic::{
+    suite_point, table1_fixture, theta, GridPoint, SymExpr, Theta, SYMBOLIC_FAMILIES,
+};
+use parbounds_models::ModelError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::goodness::TGoodness;
+use crate::random_adversary::f_star;
+use crate::traces::TraceEnsemble;
+
+/// How a family's lower-bound audit is carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditStyle {
+    /// Fold-tree families: walk the refinement trajectory with memoized
+    /// t-goodness, lower-bound from Know completion at the root.
+    Fold(FoldOp),
+    /// Broadcast-shaped families: audit the Lemma 5.1-style `AffCell`
+    /// growth and lower-bound from coverage completion.
+    Spread,
+    /// Constant-round families: one permutation round trip.
+    Single,
+}
+
+/// Which model scope sets the audited size and per-round cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditScope {
+    /// Shared-memory (QSM/s-QSM/GSM): size `n`, rounds cost `g`.
+    Shared,
+    /// BSP: size `p`, supersteps cost `L`.
+    Bsp,
+}
+
+/// How the audited tree's fan-in derives from the parameter point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanRule {
+    /// Fixed binary fan (the s-QSM parity tree).
+    Two,
+    /// `max(2, g)` (the QSM tree recipe).
+    MaxG,
+    /// `max(2, ⌈L/g⌉)` (the BSP tree recipe).
+    CdivLG,
+}
+
+/// One registered family audit.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditFamily {
+    /// Family name, matching the `analyze` sweep registry.
+    pub name: &'static str,
+    /// Audit mechanism.
+    pub style: AuditStyle,
+    /// Size/cost scope.
+    pub scope: AuditScope,
+    /// Fan derivation.
+    pub fan_rule: FanRule,
+}
+
+/// The audit registry, in [`SYMBOLIC_FAMILIES`] order. The padded fixture
+/// is deliberately absent: it is swept on the upper-bound side but has no
+/// lower-bound audit, which is exactly what [`lint_audit_gap`] flags.
+pub const AUDIT_FAMILIES: &[AuditFamily] = &[
+    AuditFamily {
+        name: "or-write-tree",
+        style: AuditStyle::Fold(FoldOp::Or),
+        scope: AuditScope::Shared,
+        fan_rule: FanRule::MaxG,
+    },
+    AuditFamily {
+        name: "parity-read-tree",
+        style: AuditStyle::Fold(FoldOp::Xor),
+        scope: AuditScope::Shared,
+        fan_rule: FanRule::Two,
+    },
+    AuditFamily {
+        name: "broadcast",
+        style: AuditStyle::Spread,
+        scope: AuditScope::Shared,
+        fan_rule: FanRule::MaxG,
+    },
+    AuditFamily {
+        name: "prefix-sweep",
+        style: AuditStyle::Fold(FoldOp::Xor),
+        scope: AuditScope::Shared,
+        fan_rule: FanRule::MaxG,
+    },
+    AuditFamily {
+        name: "scatter-gather",
+        style: AuditStyle::Single,
+        scope: AuditScope::Shared,
+        fan_rule: FanRule::MaxG,
+    },
+    AuditFamily {
+        name: "bsp-reduce",
+        style: AuditStyle::Fold(FoldOp::Xor),
+        scope: AuditScope::Bsp,
+        fan_rule: FanRule::CdivLG,
+    },
+    AuditFamily {
+        name: "bsp-prefix-scan",
+        style: AuditStyle::Fold(FoldOp::Xor),
+        scope: AuditScope::Bsp,
+        fan_rule: FanRule::CdivLG,
+    },
+];
+
+/// Looks up a family's audit registration.
+pub fn audit_registration(family: &str) -> Option<&'static AuditFamily> {
+    AUDIT_FAMILIES.iter().find(|f| f.name == family)
+}
+
+impl AuditFamily {
+    /// The audited problem size at `pt`.
+    pub fn size(&self, pt: GridPoint) -> u64 {
+        match self.scope {
+            AuditScope::Shared => pt.n,
+            AuditScope::Bsp => pt.p,
+        }
+    }
+
+    /// Numeric fan-in at `pt` (clamped to ≥ 2, mirroring `ceil_log`'s
+    /// base clamp).
+    pub fn fan(&self, pt: GridPoint) -> u64 {
+        match self.fan_rule {
+            FanRule::Two => 2,
+            FanRule::MaxG => pt.g.max(2),
+            FanRule::CdivLG => pt.l.div_ceil(pt.g.max(1)).max(2),
+        }
+    }
+
+    /// The audited lower bound with parameters left free: per-round cost
+    /// times the Know-completion round count.
+    pub fn lower_expr(&self) -> SymExpr {
+        let fan_sym = match self.fan_rule {
+            FanRule::Two => build::c(2),
+            FanRule::MaxG => SymExpr::G,
+            FanRule::CdivLG => build::cdiv(SymExpr::L, SymExpr::G),
+        };
+        match (self.style, self.scope) {
+            (AuditStyle::Single, _) => SymExpr::G,
+            (_, AuditScope::Shared) => {
+                build::mul(vec![SymExpr::G, build::clog(SymExpr::N, fan_sym)])
+            }
+            (_, AuditScope::Bsp) => build::mul(vec![SymExpr::L, build::clog(SymExpr::P, fan_sym)]),
+        }
+    }
+}
+
+/// Lower-vs-upper pairing outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// The audited lower bound is Θ-equivalent to the Table 1 upper.
+    Tight,
+    /// Lower below upper: the pairing leaves an asymptotic gap (expected
+    /// for families audited against a coarser adversary).
+    Consistent,
+    /// The audited lower bound exceeds the claimed upper — one of the two
+    /// derivations is wrong.
+    Violation,
+}
+
+impl AuditVerdict {
+    /// Stable lowercase name for renderers.
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditVerdict::Tight => "tight",
+            AuditVerdict::Consistent => "consistent",
+            AuditVerdict::Violation => "violation",
+        }
+    }
+}
+
+/// The result of one family's large-`n` lower-bound audit.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Audited family.
+    pub family: &'static str,
+    /// Parameter point the audit ran at.
+    pub point: GridPoint,
+    /// Audited size (`n` on shared models, `p` on the BSP).
+    pub size: u64,
+    /// Tree fan-in used.
+    pub fan: u64,
+    /// Tree depth `L`.
+    pub levels: u64,
+    /// Trajectory steps whose t-goodness was checked.
+    pub steps_checked: usize,
+    /// Steps at which the interval the adversary wanted to pin was
+    /// clamped to the remaining `r_t` budget.
+    pub budget_clamped: usize,
+    /// Every checked step satisfied the §5.2 conditions.
+    pub all_good: bool,
+    /// First `t` at which some entity's `Know` covers the whole input.
+    pub t_know: u64,
+    /// The audited lower bound (parameters free).
+    pub lower: SymExpr,
+    /// Θ-normal form of the lower bound.
+    pub lower_theta: Theta,
+    /// The family's Table 1 upper-bound fixture.
+    pub upper: SymExpr,
+    /// Θ-normal form of the upper bound.
+    pub upper_theta: Theta,
+    /// Pairing verdict.
+    pub verdict: AuditVerdict,
+    /// Live working-set entries of the memoized analysis (for the bench
+    /// comparison against the `2^r`-keyed enumerative path).
+    pub peak_set_entries: u64,
+}
+
+impl AuditOutcome {
+    /// The audit passed: trajectory good and no bound violation.
+    pub fn passed(&self) -> bool {
+        self.all_good && self.verdict != AuditVerdict::Violation
+    }
+}
+
+fn verdict_of(lower: &Theta, upper: &Theta) -> AuditVerdict {
+    if lower.equivalent(upper) {
+        AuditVerdict::Tight
+    } else if lower.strictly_dominates(upper) {
+        AuditVerdict::Violation
+    } else {
+        AuditVerdict::Consistent
+    }
+}
+
+/// Runs the registered audit for `family` at suite size `n`.
+///
+/// Fold families walk a deterministic interval-pinning refinement
+/// trajectory: at step `t` the adversary pins the leftmost unset run of
+/// `fan^{⌊(t−1)/2⌋}` leaves to 0 — the certificate of the deepest active
+/// level — clamped so the cumulative fixed count respects the paper's
+/// `r_t = t·n^{2/3}` budget (late steps *would* overshoot it, which is
+/// why the paper only drives the adversary for `O(n^{1/3})` steps; the
+/// clamp records where that kicks in). Every step is checked t-good
+/// against the [`SymBudgets`] with `ν = 1`, `μ = fan`. The reported lower
+/// bound is Know-completion: no entity's trace can determine the answer
+/// before `t = 2L − 1`, so the schedule pays at least `cost·⌈log_fan
+/// size⌉`.
+pub fn audit_family(family: &str, n: usize) -> Result<AuditOutcome, ModelError> {
+    let Some(reg) = audit_registration(family) else {
+        return Err(ModelError::BadConfig(format!(
+            "family '{family}' has no lower-bound audit registered (known: {})",
+            AUDIT_FAMILIES
+                .iter()
+                .map(|f| f.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    };
+    let pt = suite_point(family, n);
+    let size = reg.size(pt);
+    let fan = reg.fan(pt);
+    let lower = reg.lower_expr();
+    let lower_theta = theta(&lower).map_err(|e| {
+        ModelError::BadConfig(format!(
+            "audit lower bound of {family} not normalizable: {e}"
+        ))
+    })?;
+    let upper = table1_fixture(family)?;
+    let upper_theta = theta(&upper).map_err(|e| {
+        ModelError::BadConfig(format!("Table 1 fixture of {family} not normalizable: {e}"))
+    })?;
+    let verdict = verdict_of(&lower_theta, &upper_theta);
+    let sym_err = |e| ModelError::BadConfig(format!("budget eval for {family}: {e}"));
+    match reg.style {
+        AuditStyle::Fold(op) => {
+            let tree = FoldTree::new(size as usize, fan as usize, op);
+            let budgets = SymBudgets { nu: 1, mu: fan };
+            let mut f = f_star(size as usize);
+            let mut fixed = 0u64;
+            let mut next_unset = 0usize;
+            let mut budget_clamped = 0;
+            let mut all_good = true;
+            let steps = tree.num_phases();
+            for t in 1..=steps {
+                // Pin the deepest active level's certificate interval,
+                // within the remaining r_t budget.
+                let intended = kpow_u64(fan, (t as u64 - 1) / 2).min(size);
+                let budget = budgets
+                    .r_budget(t as u64)
+                    .eval(pt)
+                    .map_err(sym_err)?
+                    .saturating_sub(fixed);
+                if intended > budget {
+                    budget_clamped += 1;
+                }
+                let mut to_fix = intended.min(budget);
+                while to_fix > 0 && next_unset < f.len() {
+                    if f[next_unset].is_none() {
+                        f[next_unset] = Some(false);
+                        fixed += 1;
+                        to_fix -= 1;
+                    }
+                    next_unset += 1;
+                }
+                let good = tree.memo_goodness(&f, t);
+                if !budgets.holds(&good, t as u64, pt).map_err(sym_err)? {
+                    all_good = false;
+                }
+            }
+            Ok(AuditOutcome {
+                family: reg.name,
+                point: pt,
+                size,
+                fan,
+                levels: tree.levels() as u64,
+                steps_checked: steps,
+                budget_clamped,
+                all_good,
+                t_know: tree.t_know_complete() as u64,
+                lower,
+                lower_theta,
+                upper,
+                upper_theta,
+                verdict,
+                peak_set_entries: tree.peak_set_entries(),
+            })
+        }
+        AuditStyle::Spread => {
+            // Coverage audit: |AffCell(source, t)| grows at most
+            // geometrically (Lemma 5.1 flavour) and needs L doublings to
+            // reach all `size` cells.
+            let levels = ceil_log_u64(size, fan);
+            let budgets = SymBudgets { nu: 1, mu: fan };
+            let mut all_good = true;
+            let steps = (2 * levels) as usize;
+            for t in 1..=steps {
+                let reach: u64 = (0..=(t as u64 / 2))
+                    .map(|j| kpow_u64(fan, j))
+                    .fold(0u64, u64::saturating_add)
+                    .min(2 * size);
+                let log2_k = budgets.log2_k(t as u64).eval(pt).map_err(sym_err)?;
+                if ceil_log_u64(reach.max(1), 2) > log2_k {
+                    all_good = false;
+                }
+            }
+            Ok(AuditOutcome {
+                family: reg.name,
+                point: pt,
+                size,
+                fan,
+                levels,
+                steps_checked: steps,
+                budget_clamped: 0,
+                all_good,
+                t_know: 2 * levels,
+                lower,
+                lower_theta,
+                upper,
+                upper_theta,
+                verdict,
+                peak_set_entries: 2 * (size + 1),
+            })
+        }
+        AuditStyle::Single => Ok(AuditOutcome {
+            family: reg.name,
+            point: pt,
+            size,
+            fan,
+            levels: 1,
+            steps_checked: 1,
+            budget_clamped: 0,
+            all_good: true,
+            t_know: 1,
+            lower,
+            lower_theta,
+            upper,
+            upper_theta,
+            verdict,
+            peak_set_entries: 2 * (size + 1),
+        }),
+    }
+}
+
+/// Audits every registered family at suite size `n`, in registry order.
+pub fn audit_all(n: usize) -> Result<Vec<AuditOutcome>, ModelError> {
+    AUDIT_FAMILIES
+        .iter()
+        .map(|f| audit_family(f.name, n))
+        .collect()
+}
+
+/// One exact-vs-memoized comparison cell of the audit differential.
+#[derive(Debug, Clone)]
+pub struct AuditMismatch {
+    /// Leaves, fan, op of the offending tree.
+    pub shape: (usize, usize, FoldOp),
+    /// Time step.
+    pub t: usize,
+    /// The partial map on which the paths disagreed.
+    pub f: Vec<Option<bool>>,
+    /// Enumerative goodness vector.
+    pub exact: TGoodness,
+    /// Memoized goodness vector.
+    pub memo: TGoodness,
+}
+
+/// Exact differential: for every enumerable tree (`n ≤ max_r`, fans 2–3,
+/// both ops), compare [`FoldTree::memo_goodness`] against
+/// [`TGoodness::check`] field for field — on `f*`, on every single-fixed
+/// map, and on seeded random maps. Returns `(comparisons, mismatches)`;
+/// the CI gate requires the mismatch list empty.
+pub fn audit_differential(max_r: usize) -> Result<(u64, Vec<AuditMismatch>), ModelError> {
+    let max_r = max_r.min(10);
+    let machine = parbounds_models::GsmMachine::new(1, 1, 1);
+    let mut comparisons = 0u64;
+    let mut mismatches = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5eed);
+    for n in 2..=max_r {
+        for fan in [2usize, 3] {
+            for op in [FoldOp::Xor, FoldOp::Or] {
+                let tree = FoldTree::new(n, fan, op);
+                let ens = TraceEnsemble::build(&machine, || tree.program(), n)?;
+                let mut maps: Vec<Vec<Option<bool>>> = vec![f_star(n)];
+                for i in 0..n {
+                    for b in [false, true] {
+                        let mut f = f_star(n);
+                        f[i] = Some(b);
+                        maps.push(f);
+                    }
+                }
+                for _ in 0..8 {
+                    let f: Vec<Option<bool>> = (0..n)
+                        .map(|_| match rng.gen_range(0..3) {
+                            0 => None,
+                            1 => Some(false),
+                            _ => Some(true),
+                        })
+                        .collect();
+                    maps.push(f);
+                }
+                for f in &maps {
+                    for t in 1..=tree.num_phases() {
+                        let exact = TGoodness::check(&ens, f, t);
+                        let memo = tree.memo_goodness(f, t).inner;
+                        comparisons += 1;
+                        let eq = memo.max_states_degree == exact.max_states_degree
+                            && memo.max_states == exact.max_states
+                            && memo.max_know == exact.max_know
+                            && memo.max_aff_proc == exact.max_aff_proc
+                            && memo.max_aff_cell == exact.max_aff_cell
+                            && memo.fixed == exact.fixed;
+                        if !eq {
+                            mismatches.push(AuditMismatch {
+                                shape: (n, fan, op),
+                                t,
+                                f: f.clone(),
+                                exact,
+                                memo,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((comparisons, mismatches))
+}
+
+/// The Monte-Carlo audit of one Fold family: drive the real program at
+/// size `n` on sampled refinements and report the root-trace sensitivity
+/// with its Wilson interval. (A sensitivity interval excluding 0 is the
+/// dynamic witness that the root still depends on unset leaves at
+/// `t = 2L − 1` — the Know-completion time the static audit derives.)
+#[derive(Debug, Clone)]
+pub struct McAuditOutcome {
+    /// Audited family.
+    pub family: &'static str,
+    /// Leaves of the sampled tree.
+    pub size: u64,
+    /// Fan-in.
+    pub fan: u64,
+    /// Time the sensitivity was sampled at (`2L − 1`).
+    pub t: usize,
+    /// Seed the ChaCha stream started from.
+    pub seed: u64,
+    /// The estimate.
+    pub estimate: McEstimate,
+}
+
+/// Runs the Monte-Carlo audit for a Fold-style family.
+pub fn mc_audit(
+    family: &str,
+    n: usize,
+    seed: u64,
+    samples: u64,
+) -> Result<McAuditOutcome, ModelError> {
+    let Some(reg) = audit_registration(family) else {
+        return Err(ModelError::BadConfig(format!(
+            "family '{family}' has no lower-bound audit registered"
+        )));
+    };
+    let AuditStyle::Fold(op) = reg.style else {
+        return Err(ModelError::BadConfig(format!(
+            "family '{family}' is not a fold family; the MC mode samples fold trees"
+        )));
+    };
+    let pt = suite_point(family, n);
+    let size = reg.size(pt);
+    let fan = reg.fan(pt);
+    let tree = FoldTree::new(size as usize, fan as usize, op);
+    let t = tree.t_know_complete();
+    let estimate = mc_trace_sensitivity(&tree, &f_star(size as usize), t, seed, samples)?;
+    Ok(McAuditOutcome {
+        family: reg.name,
+        size,
+        fan,
+        t,
+        seed,
+        estimate,
+    })
+}
+
+/// The audit-gap lint: for every family the symbolic upper-bound sweep
+/// covers (the [`SYMBOLIC_FAMILIES`] registry plus the padded fixture it
+/// deliberately sweeps alongside), emit an error-severity
+/// [`Rule::AuditGap`] diagnostic when the family has no entry in
+/// [`AUDIT_FAMILIES`], or when the largest `n` its audit covered
+/// (`audited_n`) is below the sweep's largest `n` (`swept_n`).
+pub fn lint_audit_gap(audited_n: u64, swept_n: u64) -> Vec<Diagnostic> {
+    let swept = SYMBOLIC_FAMILIES
+        .iter()
+        .copied()
+        .chain(std::iter::once("or-write-tree-padded"));
+    let mut diags = Vec::new();
+    for family in swept {
+        let gap = match audit_registration(family) {
+            None => Some(None),
+            Some(_) if audited_n < swept_n => Some(Some(audited_n)),
+            Some(_) => None,
+        };
+        if let Some(audited) = gap {
+            diags.push(Diagnostic::new(
+                Rule::AuditGap,
+                Location {
+                    model: "GSM",
+                    phase: 0,
+                    pid: None,
+                    addr: None,
+                },
+                rules::audit_gap(family, audited, swept_n),
+            ));
+        }
+    }
+    diags
+}
+
+/// `⌊n^{1/3}⌋` — the horizon the paper drives the adversary for, exposed
+/// for reporting next to `steps_checked`.
+pub fn paper_horizon(n: u64) -> u64 {
+    floor_root_u64(n, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_swept_families_except_padded() {
+        for family in SYMBOLIC_FAMILIES {
+            assert!(
+                audit_registration(family).is_some(),
+                "{family} missing from AUDIT_FAMILIES"
+            );
+        }
+        assert!(audit_registration("or-write-tree-padded").is_none());
+        assert_eq!(AUDIT_FAMILIES.len(), SYMBOLIC_FAMILIES.len());
+    }
+
+    #[test]
+    fn audits_pass_at_large_n_with_expected_verdicts() {
+        let outcomes = audit_all(4096).unwrap();
+        assert_eq!(outcomes.len(), AUDIT_FAMILIES.len());
+        for o in &outcomes {
+            assert!(o.all_good, "{}: trajectory not t-good", o.family);
+            assert!(o.passed(), "{}: {:?}", o.family, o.verdict);
+            let expected = match o.family {
+                "prefix-sweep" => AuditVerdict::Consistent,
+                _ => AuditVerdict::Tight,
+            };
+            assert_eq!(o.verdict, expected, "{}", o.family);
+        }
+        let parity = outcomes
+            .iter()
+            .find(|o| o.family == "parity-read-tree")
+            .unwrap();
+        assert_eq!(parity.size, 4096);
+        assert_eq!(parity.fan, 2);
+        assert_eq!(parity.levels, 12);
+        assert_eq!(parity.t_know, 23);
+        // Late steps want to pin whole subtrees past r_t.
+        assert!(parity.budget_clamped > 0);
+    }
+
+    #[test]
+    fn differential_is_exact_on_small_machines() {
+        let (comparisons, mismatches) = audit_differential(6).unwrap();
+        assert!(comparisons > 500, "only {comparisons} comparisons");
+        assert!(
+            mismatches.is_empty(),
+            "first mismatch: {:?}",
+            mismatches.first()
+        );
+    }
+
+    #[test]
+    fn audit_gap_lint_trips_exactly_on_the_padded_fixture() {
+        let diags = lint_audit_gap(4096, 4096);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::AuditGap);
+        assert!(diags[0].message.contains("or-write-tree-padded"));
+        // A lagging audit flags every family.
+        let diags = lint_audit_gap(256, 4096);
+        assert_eq!(diags.len(), SYMBOLIC_FAMILIES.len() + 1);
+    }
+
+    #[test]
+    fn mc_audit_reports_full_sensitivity_for_parity() {
+        let out = mc_audit("parity-read-tree", 256, 11, 12).unwrap();
+        assert_eq!(out.estimate.successes, out.estimate.samples);
+        assert_eq!(out.t, 2 * 8 - 1);
+    }
+
+    #[test]
+    fn unregistered_families_error_cleanly() {
+        assert!(audit_family("or-write-tree-padded", 64).is_err());
+        assert!(mc_audit("broadcast", 64, 1, 4).is_err());
+    }
+
+    #[test]
+    fn paper_horizon_is_the_cube_root() {
+        assert_eq!(paper_horizon(4096), 16);
+        assert_eq!(paper_horizon(65536), 40);
+    }
+}

@@ -1,0 +1,409 @@
+//! Memoized, closed-form `Know`/`AffProc`/`AffCell`/`States` analysis for
+//! the fold-tree program family.
+//!
+//! The exhaustive [`TraceEnsemble`](crate::traces::TraceEnsemble) computes
+//! the Section 5.1 sets by running the program on all `2^r` inputs — exact,
+//! but dead at `r > 12`. For the tree-shaped programs the §8 families
+//! compile to, every one of those sets has a *closed form* in terms of leaf
+//! intervals: the trace of the node covering leaves `[lo, hi)` depends on
+//! exactly the unset inputs of `[lo, hi)` (XOR), or of its 1-free child
+//! intervals (OR). [`FoldTree::memo_goodness`] evaluates the full
+//! [`TGoodness`] vector from two prefix-sum arrays in `O(n)` per check —
+//! the same six numbers `TGoodness::check` derives from `2^r` executions,
+//! which the differential tests verify on every enumerable machine.
+//!
+//! [`SymBudgets`] carries the §5.2 growth sequences `d_t`, `k_t`, `r_t` as
+//! [`SymExpr`] terms (with `n^{2/3}` as `⌊(n²)^{1/3}⌋`), so t-goodness at
+//! `n ≥ 4096` is decided in the log domain without ever materializing
+//! `k_t = 2^{ν(μ+1)^{4(t+1)}}`.
+
+use parbounds_analyze::symbolic::expr::{build, ceil_log_u64, kpow_u64};
+use parbounds_analyze::symbolic::{GridPoint, SymError, SymExpr};
+use parbounds_models::{GsmEnv, GsmFnProgram, GsmProgram, Status, Word};
+
+use crate::goodness::TGoodness;
+use crate::random_adversary::PartialInput;
+
+/// The associative fold a tree family computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldOp {
+    /// Parity: every input always matters.
+    Xor,
+    /// Disjunction: a fixed 1 anywhere in an interval makes its fold
+    /// constant, killing downstream dependence.
+    Or,
+}
+
+/// A `fan`-ary fold tree over `n` boolean leaves, in the same GSM layout
+/// the goodness tests use: node `(l, j)` covers leaves
+/// `[j·fan^l, (j+1)·fan^l) ∩ [0, n)`, reads its children at 0-based phase
+/// `2(l−1)` and writes cell `bases[l] + j` at phase `2l−1`.
+#[derive(Debug, Clone)]
+pub struct FoldTree {
+    n: usize,
+    fan: usize,
+    op: FoldOp,
+    /// `widths[l]` = number of nodes at level `l` (`widths[0] = n` leaves).
+    widths: Vec<usize>,
+    /// `bases[l]` = first cell address of level `l` (`bases[0] = 0` is the
+    /// γ-packed input region, `bases[1] = n`).
+    bases: Vec<usize>,
+}
+
+impl FoldTree {
+    /// Builds the tree shape. `n ≥ 2`, `fan ≥ 2`.
+    pub fn new(n: usize, fan: usize, op: FoldOp) -> FoldTree {
+        assert!(n >= 2, "fold tree needs at least 2 leaves");
+        assert!(fan >= 2, "fold tree needs fan-in at least 2");
+        let mut widths = vec![n];
+        let mut bases = vec![0usize, n];
+        let mut width = n;
+        while width > 1 {
+            width = width.div_ceil(fan);
+            widths.push(width);
+            bases.push(bases.last().unwrap() + width);
+        }
+        bases.pop();
+        FoldTree {
+            n,
+            fan,
+            op,
+            widths,
+            bases,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fan-in.
+    pub fn fan(&self) -> usize {
+        self.fan
+    }
+
+    /// The fold operation.
+    pub fn op(&self) -> FoldOp {
+        self.op
+    }
+
+    /// Number of internal levels `L = ⌈log_fan n⌉`.
+    pub fn levels(&self) -> usize {
+        self.widths.len() - 1
+    }
+
+    /// Total phases of the program, `2L`.
+    pub fn num_phases(&self) -> usize {
+        2 * self.levels()
+    }
+
+    /// Pid of the root node (the last node in level-major order).
+    pub fn root_proc(&self) -> usize {
+        self.widths[1..].iter().sum::<usize>() - 1
+    }
+
+    /// Cell address the root writes.
+    pub fn root_cell(&self) -> usize {
+        self.bases[self.levels()]
+    }
+
+    /// First phase (1-based) at which some entity's `Know` is all of
+    /// `[0, n)`: the root processor right after its read, `2L − 1`.
+    pub fn t_know_complete(&self) -> usize {
+        2 * self.levels() - 1
+    }
+
+    /// Live working-set entries of one memoized check: the two prefix-sum
+    /// arrays (the enumerative path holds `2^r` keys per entity instead).
+    pub fn peak_set_entries(&self) -> u64 {
+        2 * (self.n as u64 + 1)
+    }
+
+    /// The executable GSM program for this shape, matching the memoized
+    /// analysis phase for phase.
+    pub fn program(&self) -> impl GsmProgram<Proc = ()> + use<> {
+        let fan = self.fan;
+        let op = self.op;
+        let bases = self.bases.clone();
+        let mut nodes = Vec::new();
+        for (l, &w) in self.widths.iter().enumerate().skip(1) {
+            for j in 0..w {
+                nodes.push((l, j, self.widths[l - 1]));
+            }
+        }
+        GsmFnProgram::new(
+            nodes.len().max(1),
+            move |_| (),
+            move |pid, _, env: &mut GsmEnv<'_>| {
+                let (level, j, prev_width) = nodes[pid];
+                let read_phase = 2 * (level - 1);
+                match env.phase() {
+                    t if t < read_phase => Status::Active,
+                    t if t == read_phase => {
+                        for c in 0..fan {
+                            if fan * j + c < prev_width {
+                                env.read(bases[level - 1] + fan * j + c);
+                            }
+                        }
+                        Status::Active
+                    }
+                    _ => {
+                        let fold = |a: Word, b: Word| match op {
+                            FoldOp::Xor => a ^ (b & 1),
+                            FoldOp::Or => a | (b & 1),
+                        };
+                        let x: Word = env
+                            .delivered()
+                            .iter()
+                            .map(|(_, c)| c.iter().fold(0, |a, &b| fold(a, b)))
+                            .fold(0, fold);
+                        env.write(bases[level] + j, x);
+                        Status::Done
+                    }
+                }
+            },
+        )
+    }
+
+    /// Leaf interval `[lo, hi)` of node `j` at level `l`.
+    fn cover(&self, l: usize, j: usize) -> (usize, usize) {
+        let span = kpow_u64(self.fan as u64, l as u64);
+        let lo = (j as u64).saturating_mul(span).min(self.n as u64) as usize;
+        let hi = (lo as u64).saturating_add(span).min(self.n as u64) as usize;
+        (lo, hi)
+    }
+
+    /// The six [`TGoodness`] quantities of `(f, t)`, computed from prefix
+    /// sums instead of trace enumeration. Mirrors `TGoodness::check` on
+    /// this program exactly (the differential tests assert field equality
+    /// on every enumerable machine).
+    pub fn memo_goodness(&self, f: &PartialInput, t: usize) -> MemoGoodness {
+        assert_eq!(f.len(), self.n, "partial map arity mismatch");
+        assert!(t >= 1, "t counts completed phases, 1-based");
+        // unset_ps[i] / ones_ps[i] = #unset / #fixed-1 among f[0..i].
+        let mut unset_ps = vec![0u64; self.n + 1];
+        let mut ones_ps = vec![0u64; self.n + 1];
+        for (i, v) in f.iter().enumerate() {
+            unset_ps[i + 1] = unset_ps[i] + u64::from(v.is_none());
+            ones_ps[i + 1] = ones_ps[i] + u64::from(*v == Some(true));
+        }
+        let unset = |lo: usize, hi: usize| unset_ps[hi] - unset_ps[lo];
+        let ones = |lo: usize, hi: usize| ones_ps[hi] - ones_ps[lo];
+        let any_unset = unset_ps[self.n] > 0;
+        let levels = self.levels();
+        // A child interval contributes a distinguishable value (and its
+        // unset leaves) iff it has an unset leaf and — for OR — no fixed 1.
+        let qualifies = |lo: usize, hi: usize| {
+            unset(lo, hi) > 0 && !(self.op == FoldOp::Or && ones(lo, hi) > 0)
+        };
+        let l_max_proc = levels.min(t.div_ceil(2)); // active iff t ≥ 2l−1
+        let l_max_cell = levels.min(t / 2); // written iff t ≥ 2l
+        let mut max_states_log2 = 0usize;
+        let mut max_know = 0u64;
+        // Leaf cells hold their input bit from the first phase on.
+        if any_unset {
+            max_states_log2 = 1;
+            max_know = 1;
+        }
+        for l in 1..=l_max_proc {
+            for j in 0..self.widths[l] {
+                let mut distinct_children = 0usize;
+                let mut know = 0u64;
+                for c in 0..self.fan {
+                    let cc = self.fan * j + c;
+                    if cc >= self.widths[l - 1] {
+                        break;
+                    }
+                    let (lo, hi) = self.cover(l - 1, cc);
+                    if qualifies(lo, hi) {
+                        distinct_children += 1;
+                        know += unset(lo, hi);
+                    }
+                }
+                max_states_log2 = max_states_log2.max(distinct_children);
+                max_know = max_know.max(know);
+            }
+        }
+        for l in 1..=l_max_cell {
+            for j in 0..self.widths[l] {
+                let (lo, hi) = self.cover(l, j);
+                if qualifies(lo, hi) {
+                    max_states_log2 = max_states_log2.max(1);
+                    max_know = max_know.max(unset(lo, hi));
+                }
+            }
+        }
+        // Full-cube quantities (TGoodness::check uses f-independent Aff
+        // sets and class degrees; see its Fact 2.2(4) comment).
+        let max_states_degree =
+            kpow_u64(self.fan as u64, l_max_proc as u64).min(self.n as u64) as usize;
+        let max_aff_proc = if any_unset { l_max_proc } else { 0 };
+        let max_aff_cell = if any_unset { 1 + l_max_cell } else { 0 };
+        MemoGoodness {
+            inner: TGoodness {
+                max_states_degree,
+                max_states: 1usize
+                    .checked_shl(max_states_log2 as u32)
+                    .unwrap_or(usize::MAX),
+                max_know: max_know as usize,
+                max_aff_proc,
+                max_aff_cell,
+                fixed: self.n - unset_ps[self.n] as usize,
+            },
+            max_states_log2,
+        }
+    }
+}
+
+/// A memoized goodness vector: the exact [`TGoodness`] mirror plus the
+/// log-domain state count (so `|States| ≤ k_t` never leaves the exponent).
+#[derive(Debug, Clone)]
+pub struct MemoGoodness {
+    /// The six quantities, field-compatible with `TGoodness::check`.
+    pub inner: TGoodness,
+    /// `log2(max_v |States(v, t, f)|)` — exact, since tree state counts
+    /// are powers of two.
+    pub max_states_log2: usize,
+}
+
+/// The §5.2 growth sequences as symbolic terms: `d_t = ν(μ+1)^{2t}`,
+/// `log2 k_t = ν(μ+1)^{4(t+1)}`, `r_t = t·n^{2/3}` (as `t·⌊(n²)^{1/3}⌋`,
+/// flooring on the strict side).
+#[derive(Debug, Clone, Copy)]
+pub struct SymBudgets {
+    /// `ν = γ·ρ` — inputs initially packed per cell.
+    pub nu: u64,
+    /// `μ = max{α, β}`.
+    pub mu: u64,
+}
+
+impl SymBudgets {
+    /// `d_t` as a (constant) symbolic term.
+    pub fn d(&self, t: u64) -> SymExpr {
+        build::mul(vec![
+            build::c(self.nu),
+            build::pow(build::c(self.mu + 1), build::c(2 * t)),
+        ])
+    }
+
+    /// `log2(k_t)` as a (constant) symbolic term — the budget is only ever
+    /// compared in the log domain.
+    pub fn log2_k(&self, t: u64) -> SymExpr {
+        build::mul(vec![
+            build::c(self.nu),
+            build::pow(build::c(self.mu + 1), build::c(4 * (t + 1))),
+        ])
+    }
+
+    /// `r_t = t·⌊(n²)^{1/3}⌋`, with `n` free.
+    pub fn r_budget(&self, t: u64) -> SymExpr {
+        build::mul(vec![
+            build::c(t),
+            build::froot(build::pow(SymExpr::N, build::c(2)), build::c(3)),
+        ])
+    }
+
+    /// The t-goodness predicate of `TGoodness::holds`, decided against the
+    /// symbolic budgets evaluated at `pt` — all counted quantities are
+    /// compared in the log domain, so `k_t` itself is never materialized.
+    pub fn holds(&self, g: &MemoGoodness, t: u64, pt: GridPoint) -> Result<bool, SymError> {
+        let d = self.d(t).eval(pt)?;
+        let log2_k = self.log2_k(t).eval(pt)?;
+        let r = self.r_budget(t).eval(pt)?;
+        let log2 = |x: usize| ceil_log_u64(x.max(1) as u64, 2);
+        Ok(g.inner.max_states_degree as u64 <= d
+            && g.max_states_log2 as u64 <= log2_k
+            && log2(g.inner.max_know) <= log2_k
+            && log2(g.inner.max_aff_proc) <= log2_k
+            && log2(g.inner.max_aff_cell) <= log2_k
+            && g.inner.fixed as u64 <= r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_adversary::f_star;
+    use crate::traces::TraceEnsemble;
+    use parbounds_models::GsmMachine;
+
+    #[test]
+    fn shape_matches_the_ceil_log_recurrence() {
+        for n in 2..40 {
+            for fan in 2..5 {
+                let tree = FoldTree::new(n, fan, FoldOp::Xor);
+                assert_eq!(
+                    tree.levels() as u64,
+                    ceil_log_u64(n as u64, fan as u64),
+                    "n={n} fan={fan}"
+                );
+                assert_eq!(tree.num_phases(), 2 * tree.levels());
+                assert_eq!(tree.t_know_complete(), 2 * tree.levels() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn memo_matches_enumeration_on_the_anchor_machine() {
+        // The r = 8 fan-2 anchors the goodness tests pin exactly.
+        let r = 8;
+        let tree = FoldTree::new(r, 2, FoldOp::Xor);
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, || tree.program(), r).unwrap();
+        assert_eq!(ens.num_phases(), tree.num_phases());
+        for t in 1..=tree.num_phases() {
+            let exact = TGoodness::check(&ens, &f_star(r), t);
+            let memo = tree.memo_goodness(&f_star(r), t).inner;
+            assert_eq!(memo.max_states_degree, exact.max_states_degree, "t={t}");
+            assert_eq!(memo.max_states, exact.max_states, "t={t}");
+            assert_eq!(memo.max_know, exact.max_know, "t={t}");
+            assert_eq!(memo.max_aff_proc, exact.max_aff_proc, "t={t}");
+            assert_eq!(memo.max_aff_cell, exact.max_aff_cell, "t={t}");
+            assert_eq!(memo.fixed, exact.fixed, "t={t}");
+        }
+    }
+
+    #[test]
+    fn or_trees_lose_dependence_under_fixed_ones() {
+        let n = 8;
+        let tree = FoldTree::new(n, 2, FoldOp::Or);
+        let t = tree.num_phases();
+        let mut f = f_star(n);
+        let free = tree.memo_goodness(&f, t).inner;
+        assert_eq!(free.max_know, n); // the root knows everything
+        f[0] = Some(true); // kills x1's visibility beyond the first pair
+        let pinned = tree.memo_goodness(&f, t).inner;
+        assert!(pinned.max_know < n - 1, "{pinned:?}");
+    }
+
+    #[test]
+    fn budgets_evaluate_like_the_float_sequences() {
+        let b = SymBudgets { nu: 1, mu: 1 };
+        let pt = GridPoint::shared(4096, 1);
+        assert_eq!(b.d(0).eval(pt).unwrap(), 1);
+        assert_eq!(b.d(1).eval(pt).unwrap(), 4);
+        assert_eq!(b.d(2).eval(pt).unwrap(), 16);
+        assert_eq!(b.log2_k(0).eval(pt).unwrap(), 16);
+        assert_eq!(b.log2_k(1).eval(pt).unwrap(), 256);
+        // r_2 = 2·⌊(4096²)^{1/3}⌋ = 2·256.
+        assert_eq!(b.r_budget(2).eval(pt).unwrap(), 512);
+    }
+
+    #[test]
+    fn holds_accepts_the_free_tree_and_rejects_overfixing() {
+        let n = 4096;
+        let tree = FoldTree::new(n, 2, FoldOp::Xor);
+        let b = SymBudgets { nu: 1, mu: 2 };
+        let pt = GridPoint::shared(n as u64, 1);
+        let g = tree.memo_goodness(&f_star(n), 3);
+        assert!(b.holds(&g, 3, pt).unwrap());
+        // 2000 fixed inputs blow r_1 = 256.
+        let mut f = f_star(n);
+        for v in f.iter_mut().take(2000) {
+            *v = Some(false);
+        }
+        let g = tree.memo_goodness(&f, 1);
+        assert!(!b.holds(&g, 1, pt).unwrap());
+    }
+}

@@ -239,6 +239,35 @@ impl TraceEnsemble {
             .unwrap_or(0)
     }
 
+    /// Trace keys of ONE execution of `prog` on `input` — the same
+    /// per-entity incremental `Trace(v, t, ·)` hash chain the exhaustive
+    /// ensemble records, but computed for a single concrete input, so it
+    /// works at any `n`. The Monte-Carlo adversary samples refinements and
+    /// compares these keys across bit flips to estimate trace sensitivity
+    /// at sizes where the `2^r` ensemble is unbuildable. Index a returned
+    /// vector at `t - 1` for the key after `t` completed phases (vectors
+    /// may be shorter than the run for entities that stop changing; the
+    /// last entry is the stable key, matching [`TraceEnsemble::trace_key`]).
+    pub fn single_run_keys<P>(
+        machine: &GsmMachine,
+        prog: &P,
+        input: &[Word],
+    ) -> Result<HashMap<Entity, Vec<u64>>>
+    where
+        P: GsmProgram + Sync,
+        P::Proc: Send,
+    {
+        let (_, trace) = machine.run_traced(prog, input)?;
+        let mut cells = Vec::new();
+        Ok(Self::keys_of(
+            &trace,
+            prog.num_procs(),
+            &mut cells,
+            machine,
+            input,
+        ))
+    }
+
     /// `Cert(v, t, f)`-style certificate: the lexicographically smallest
     /// minimum input set that pins `v`'s trace on input `mask`, via the
     /// certificate machinery of `parbounds-boolean` applied to the
@@ -302,6 +331,22 @@ mod tests {
         let ens = TraceEnsemble::build(&m, two_proc_program, 2).unwrap();
         assert_eq!(ens.aff_proc(0, 2), vec![0, 1]);
         assert_eq!(ens.aff_proc(1, 2), vec![1]);
+    }
+
+    #[test]
+    fn single_run_keys_agree_with_the_ensemble() {
+        let m = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&m, two_proc_program, 2).unwrap();
+        for mask in 0..4u32 {
+            let input: Vec<Word> = (0..2).map(|i| Word::from(mask >> i & 1 == 1)).collect();
+            let prog = two_proc_program();
+            let keys = TraceEnsemble::single_run_keys(&m, &prog, &input).unwrap();
+            for (v, ks) in &keys {
+                for t in 1..=ks.len() {
+                    assert_eq!(ks[t - 1], ens.trace_key(*v, t, mask), "{v:?} t={t}");
+                }
+            }
+        }
     }
 
     #[test]

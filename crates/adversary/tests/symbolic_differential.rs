@@ -1,0 +1,72 @@
+//! Differential property tests for the symbolic adversary layer: wherever
+//! the `2^r` enumeration is feasible, the memoized closed forms must agree
+//! with it *exactly*, and the Monte-Carlo mode's Wilson intervals must
+//! cover the exactly-computed sensitivities.
+
+use proptest::prelude::*;
+
+use parbounds_adversary::goodness::TGoodness;
+use parbounds_adversary::random_adversary::f_star;
+use parbounds_adversary::symbolic::{
+    exact_trace_sensitivity, mc_trace_sensitivity, FoldOp, FoldTree,
+};
+use parbounds_adversary::traces::{Entity, TraceEnsemble};
+use parbounds_models::GsmMachine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole gate as a property: on every enumerable fold tree and
+    /// every partial map, the memoized goodness vector equals the one
+    /// derived from the exhaustive trace ensemble, field for field, at
+    /// every phase.
+    #[test]
+    fn memoized_goodness_matches_the_enumerative_ensemble(
+        n in 2usize..=7,
+        fan in 2usize..=3,
+        xor in any::<bool>(),
+        raw in prop::collection::vec(prop::option::of(any::<bool>()), 7),
+    ) {
+        let f: Vec<Option<bool>> = (0..n).map(|i| raw.get(i).copied().flatten()).collect();
+        let op = if xor { FoldOp::Xor } else { FoldOp::Or };
+        let tree = FoldTree::new(n, fan, op);
+        let machine = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&machine, || tree.program(), n).unwrap();
+        for t in 1..=tree.num_phases() {
+            let exact = TGoodness::check(&ens, &f, t);
+            let memo = tree.memo_goodness(&f, t).inner;
+            prop_assert_eq!(memo.max_states_degree, exact.max_states_degree,
+                "states_degree at t={}", t);
+            prop_assert_eq!(memo.max_states, exact.max_states, "states at t={}", t);
+            prop_assert_eq!(memo.max_know, exact.max_know, "know at t={}", t);
+            prop_assert_eq!(memo.max_aff_proc, exact.max_aff_proc, "aff_proc at t={}", t);
+            prop_assert_eq!(memo.max_aff_cell, exact.max_aff_cell, "aff_cell at t={}", t);
+            prop_assert_eq!(memo.fixed, exact.fixed, "fixed at t={}", t);
+        }
+    }
+
+    /// Monte-Carlo coverage: across random enumerable OR trees and seeds,
+    /// the 95% Wilson interval covers the exact sensitivity essentially
+    /// always (we tolerate the nominal miss rate with margin).
+    #[test]
+    fn wilson_intervals_cover_the_exact_sensitivity(
+        n in 4usize..=7,
+        seed in 0u64..1000,
+    ) {
+        let tree = FoldTree::new(n, 2, FoldOp::Or);
+        let machine = GsmMachine::new(1, 1, 1);
+        let ens = TraceEnsemble::build(&machine, || tree.program(), n).unwrap();
+        let t = tree.t_know_complete();
+        let f = f_star(n);
+        let exact = exact_trace_sensitivity(&ens, Entity::Proc(tree.root_proc()), t, &f);
+        let mut covered = 0;
+        for s in 0..5u64 {
+            let est = mc_trace_sensitivity(&tree, &f, t, seed.wrapping_mul(31).wrapping_add(s), 160)
+                .unwrap();
+            if est.lo <= exact && exact <= est.hi {
+                covered += 1;
+            }
+        }
+        prop_assert!(covered >= 4, "{}/5 intervals covered exact {}", covered, exact);
+    }
+}

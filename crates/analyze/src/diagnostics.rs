@@ -79,6 +79,14 @@ pub enum Rule {
     /// paper proves for the problem. Both normal forms are quoted in the
     /// message.
     BoundRegression,
+    /// A §8 family carried through the symbolic upper-bound sweep whose
+    /// adversary-side *lower-bound audit* is missing or lags behind: either
+    /// the family has no entry in the audit registry at all, or the largest
+    /// `n` its audit covered is smaller than the largest `n` the sweep
+    /// exercised. Until the audit catches up, the family's Table 1 pairing
+    /// is one-sided — the upper bound is checked at sizes where the lower
+    /// bound is not.
+    AuditGap,
     /// The plan declares fewer processors than the host threads requested
     /// for intra-phase parallel execution. Worker `w` owns the `w`-th
     /// contiguous pid range, so extra workers own *empty* ranges: they are
@@ -97,7 +105,8 @@ impl Rule {
             | Rule::BspUndeliverableSend
             | Rule::GsmGammaViolation
             | Rule::SymbolicMismatch
-            | Rule::BoundRegression => Severity::Error,
+            | Rule::BoundRegression
+            | Rule::AuditGap => Severity::Error,
             Rule::SqsmAsymmetry
             | Rule::DeadRead
             | Rule::UnconsumedWrite
@@ -121,6 +130,7 @@ impl Rule {
             Rule::TruncatedTrace => "truncated-trace",
             Rule::SymbolicMismatch => "symbolic-mismatch",
             Rule::BoundRegression => "bound-regression",
+            Rule::AuditGap => "audit-gap",
             Rule::ParallelUnderfill => "parallel-underfill",
         }
     }

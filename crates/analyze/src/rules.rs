@@ -118,6 +118,24 @@ pub fn symbolic_mismatch(family: &str, n: u64, p: u64, g: u64, l: u64) -> String
     )
 }
 
+/// [`Rule::AuditGap`](crate::diagnostics::Rule::AuditGap): a swept family
+/// whose lower-bound audit is missing or covers a smaller `n` than the
+/// upper-bound sweep.
+pub fn audit_gap(family: &str, audited_n: Option<u64>, swept_n: u64) -> String {
+    match audited_n {
+        None => format!(
+            "family '{family}' is swept symbolically up to n={swept_n} but has \
+             no adversary lower-bound audit registered — its Table 1 pairing \
+             is one-sided"
+        ),
+        Some(a) => format!(
+            "family '{family}' is swept symbolically up to n={swept_n} but its \
+             adversary lower-bound audit only covers n={a} — the audit lags \
+             the sweep"
+        ),
+    }
+}
+
 /// [`Rule::BoundRegression`](crate::diagnostics::Rule::BoundRegression):
 /// a family's derived Θ-normal form strictly dominates its Table 1 row.
 pub fn bound_regression(family: &str, derived: &str, fixture: &str) -> String {

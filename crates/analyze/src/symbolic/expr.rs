@@ -99,6 +99,10 @@ pub enum SymExpr {
     /// `⌈log_max(2,b) max(1,a)⌉` by repeated ceiling division — the
     /// exact round count of every tree combinator.
     CeilLog(Box<SymExpr>, Box<SymExpr>),
+    /// `⌊a^(1/max(1,b))⌋` — the integer `b`-th root, used by the
+    /// adversary growth budgets (`r_t = t·n^{2/3}` is `t·⌊(n²)^{1/3}⌋`).
+    /// Flooring understates the budget, i.e. errs on the strict side.
+    FloorRoot(Box<SymExpr>, Box<SymExpr>),
     /// `Σ_{R=0}^{count-1} body`.
     Sum {
         /// Number of summands.
@@ -163,6 +167,10 @@ pub mod build {
     pub fn clog(a: SymExpr, b: SymExpr) -> SymExpr {
         SymExpr::CeilLog(Box::new(a), Box::new(b))
     }
+    /// Floor root.
+    pub fn froot(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::FloorRoot(Box::new(a), Box::new(b))
+    }
     /// Bounded sum over the round index `R`.
     pub fn sum(count: SymExpr, body: SymExpr) -> SymExpr {
         SymExpr::Sum {
@@ -198,6 +206,45 @@ pub fn kpow_u64(k: u64, e: u64) -> u64 {
         x = x.saturating_mul(k);
     }
     x
+}
+
+/// Does `b^k <= x` hold, decided without saturation artifacts? An
+/// overflowing partial product already exceeds `u64::MAX >= x`.
+fn pow_leq(b: u64, k: u64, x: u64) -> bool {
+    if b <= 1 {
+        return b <= x;
+    }
+    let mut acc = 1u64;
+    for _ in 0..k {
+        acc = match acc.checked_mul(b) {
+            Some(v) => v,
+            None => return false,
+        };
+        if acc > x {
+            return false;
+        }
+    }
+    true
+}
+
+/// `⌊x^(1/k)⌋` on `u64` by binary search (`k` floored at 1, matching
+/// the divisor convention; `k = 1` is the identity).
+pub fn floor_root_u64(x: u64, k: u64) -> u64 {
+    let k = k.max(1);
+    if k == 1 || x <= 1 {
+        return x;
+    }
+    // For k >= 2 the root is below 2^32.
+    let (mut lo, mut hi) = (1u64, x.min((1 << 32) - 1));
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if pow_leq(mid, k, x) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
 }
 
 impl SymExpr {
@@ -259,6 +306,9 @@ impl SymExpr {
             SymExpr::FloorDiv(a, b) => a.eval_with(pt, r, j)? / b.eval_with(pt, r, j)?.max(1),
             SymExpr::Pow(a, b) => kpow_u64(a.eval_with(pt, r, j)?, b.eval_with(pt, r, j)?),
             SymExpr::CeilLog(a, b) => ceil_log_u64(a.eval_with(pt, r, j)?, b.eval_with(pt, r, j)?),
+            SymExpr::FloorRoot(a, b) => {
+                floor_root_u64(a.eval_with(pt, r, j)?, b.eval_with(pt, r, j)?)
+            }
             SymExpr::Sum { count, body } => {
                 let count = count.eval_with(pt, r, j)?;
                 if count > MAX_ITER {
@@ -298,7 +348,8 @@ impl SymExpr {
             | SymExpr::CeilDiv(a, b)
             | SymExpr::FloorDiv(a, b)
             | SymExpr::Pow(a, b)
-            | SymExpr::CeilLog(a, b) => a.uses_r() || b.uses_r(),
+            | SymExpr::CeilLog(a, b)
+            | SymExpr::FloorRoot(a, b) => a.uses_r() || b.uses_r(),
             // A Sum rebinds R; only its count can leak an outer R. Our
             // ledgers never nest Sums, but stay precise anyway.
             SymExpr::Sum { count, .. } => count.uses_r(),
@@ -334,6 +385,7 @@ impl SymExpr {
             SymExpr::FloorDiv(a, b) => SymExpr::FloorDiv(gob(a), gob(b)),
             SymExpr::Pow(a, b) => SymExpr::Pow(gob(a), gob(b)),
             SymExpr::CeilLog(a, b) => SymExpr::CeilLog(gob(a), gob(b)),
+            SymExpr::FloorRoot(a, b) => SymExpr::FloorRoot(gob(a), gob(b)),
             SymExpr::Sum { count, body } => SymExpr::Sum {
                 count: gob(count),
                 // R is rebound inside; only substitute J through.
@@ -513,6 +565,11 @@ impl SymExpr {
                 (SymExpr::Const(0) | SymExpr::Const(1), _) => SymExpr::Const(0),
                 (a, b) => SymExpr::CeilLog(Box::new(a), Box::new(b)),
             },
+            SymExpr::FloorRoot(a, b) => match (a.simplify(), b.simplify()) {
+                (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(floor_root_u64(x, y)),
+                (a, SymExpr::Const(0) | SymExpr::Const(1)) => a,
+                (a, b) => SymExpr::FloorRoot(Box::new(a), Box::new(b)),
+            },
             SymExpr::Sum { count, body } => {
                 let count = count.simplify();
                 let body = body.simplify();
@@ -572,7 +629,8 @@ impl SymExpr {
             | SymExpr::CeilDiv(a, b)
             | SymExpr::FloorDiv(a, b)
             | SymExpr::Pow(a, b)
-            | SymExpr::CeilLog(a, b) => a.contains_j() || b.contains_j(),
+            | SymExpr::CeilLog(a, b)
+            | SymExpr::FloorRoot(a, b) => a.contains_j() || b.contains_j(),
             SymExpr::Sum { count, body } => count.contains_j() || body.contains_j(),
             SymExpr::MaxOver { count, .. } => count.contains_j(),
         }
@@ -619,6 +677,7 @@ impl fmt::Display for SymExpr {
             SymExpr::FloorDiv(a, b) => write!(f, "⌊{a}/{b}⌋"),
             SymExpr::Pow(a, b) => write!(f, "{a}^{b}"),
             SymExpr::CeilLog(a, b) => write!(f, "⌈log_{b}({a})⌉"),
+            SymExpr::FloorRoot(a, b) => write!(f, "⌊{a}^(1/{b})⌋"),
             SymExpr::Sum { count, body } => write!(f, "Σ_{{r<{count}}} {body}"),
             SymExpr::MaxOver { count, body } => write!(f, "max_{{j<{count}}} {body}"),
         }
@@ -652,6 +711,39 @@ mod tests {
         let m = maxover(c(3), mul(vec![c(2), SymExpr::J]));
         assert_eq!(m.eval(pt).unwrap(), 4);
         assert_eq!(maxover(c(0), SymExpr::J).eval(pt).unwrap(), 0);
+    }
+
+    #[test]
+    fn floor_root_matches_integer_root_semantics() {
+        // ⌊(n²)^(1/3)⌋ at n = 4096: (2^24)^(1/3) = 2^8 = 256 exactly.
+        let pt = GridPoint {
+            n: 4096,
+            p: 4096,
+            g: 1,
+            l: 0,
+        };
+        let e = froot(pow(SymExpr::N, c(2)), c(3));
+        assert_eq!(e.eval(pt).unwrap(), 256);
+        // Exhaustive check of ⌊x^(1/k)⌋ on a grid against the definition.
+        for x in (0u64..200).chain([u64::MAX - 1, u64::MAX]) {
+            for k in 1u64..6 {
+                let r = floor_root_u64(x, k);
+                assert!(pow_leq(r, k, x), "root {r} too big for x={x}, k={k}");
+                if r < u64::MAX {
+                    assert!(!pow_leq(r + 1, k, x), "root {r} too small for x={x}, k={k}");
+                }
+            }
+        }
+        assert_eq!(floor_root_u64(u64::MAX, 2), (1 << 32) - 1);
+        assert_eq!(floor_root_u64(7, 1), 7);
+        assert_eq!(floor_root_u64(5, 0), 5); // k floored at 1
+        assert_eq!(floor_root_u64(0, 3), 0);
+        // Huge exponents terminate and land on 1 for any x ≥ 1.
+        assert_eq!(floor_root_u64(u64::MAX, u64::MAX), 1);
+        // simplify const-folds and treats root-1 as identity.
+        assert_eq!(froot(c(4096), c(3)).simplify(), c(16));
+        assert_eq!(froot(SymExpr::N, c(1)).simplify(), SymExpr::N);
+        assert_eq!(format!("{}", froot(SymExpr::N, c(3))), "⌊n^(1/3)⌋");
     }
 
     #[test]

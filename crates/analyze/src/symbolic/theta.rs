@@ -402,6 +402,13 @@ fn norm(expr: &SymExpr) -> Result<BTreeSet<Monomial>, SymError> {
             }
             BTreeSet::from([m])
         }
+        SymExpr::FloorRoot(..) => {
+            // Fractional powers (n^{2/3}-style adversary budgets) are outside
+            // the Table 1 vocabulary on purpose: refuse rather than guess.
+            return Err(SymError::Unsupported(format!(
+                "floor root outside the Θ vocabulary: {expr}"
+            )));
+        }
         SymExpr::Sum { count, body } => {
             let head = body.subst_r(&SymExpr::Const(0)).simplify();
             norm(&SymExpr::Mul(vec![(**count).clone(), head]).simplify())?

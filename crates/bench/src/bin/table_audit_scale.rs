@@ -1,0 +1,142 @@
+#![forbid(unsafe_code)]
+
+//! Adversary-audit scaling table: the enumerative `2^r` goodness checker
+//! against the memoized symbolic analysis and the seeded Monte-Carlo mode,
+//! with wall time and live working-set size per route (experiment SYM-AUD
+//! in DESIGN.md). Writes the machine-readable row set to `BENCH_PR8.json`
+//! when `--out PATH` is given.
+//!
+//! ```text
+//! cargo run --release -p parbounds-bench --bin table_audit_scale -- --out BENCH_PR8.json
+//! ```
+
+use std::time::Instant;
+
+use parbounds::adversary::symbolic::{audit_family, mc_audit, FoldOp, FoldTree};
+use parbounds::adversary::{f_star, TGoodness, TraceEnsemble};
+use parbounds::models::GsmMachine;
+
+struct Row {
+    route: &'static str,
+    n: usize,
+    steps: usize,
+    entries: u64,
+    micros: u128,
+    note: String,
+}
+
+fn enumerative_row(n: usize) -> Row {
+    let tree = FoldTree::new(n, 2, FoldOp::Xor);
+    let machine = GsmMachine::new(1, 1, 1);
+    let f = f_star(n);
+    let start = Instant::now();
+    let ens = TraceEnsemble::build(&machine, || tree.program(), n).expect("enumerable");
+    let mut good = 0usize;
+    for t in 1..=tree.num_phases() {
+        if TGoodness::check(&ens, &f, t).max_know > 0 {
+            good += 1;
+        }
+    }
+    Row {
+        route: "enumerative",
+        n,
+        steps: tree.num_phases(),
+        // The ensemble keys every (entity, mask) pair: 2^n masks over the
+        // tree's processors and cells.
+        entries: (tree.peak_set_entries()) << n,
+        micros: start.elapsed().as_micros(),
+        note: format!("{good} phases with Know > 0"),
+    }
+}
+
+fn memoized_row(n: usize) -> Row {
+    let start = Instant::now();
+    let o = audit_family("parity-read-tree", n).expect("registered family");
+    Row {
+        route: "memoized",
+        n,
+        steps: o.steps_checked,
+        entries: o.peak_set_entries,
+        micros: start.elapsed().as_micros(),
+        note: format!(
+            "{} ({} clamped), verdict {}",
+            if o.all_good {
+                "all t-good"
+            } else {
+                "NOT t-good"
+            },
+            o.budget_clamped,
+            o.verdict.name()
+        ),
+    }
+}
+
+fn mc_row(n: usize, samples: u64) -> Row {
+    let start = Instant::now();
+    let o = mc_audit("parity-read-tree", n, 42, samples).expect("fold family");
+    Row {
+        route: "monte-carlo",
+        n,
+        steps: o.t,
+        entries: 2 * samples, // two live executions per sample
+        micros: start.elapsed().as_micros(),
+        note: format!(
+            "sensitivity {:.3} in [{:.3}, {:.3}] over {} samples",
+            o.estimate.p_hat, o.estimate.lo, o.estimate.hi, o.estimate.samples
+        ),
+    }
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"route\":\"{}\",\"n\":{},\"steps\":{},\"set_entries\":{},\"micros\":{}}}",
+                r.route, r.n, r.steps, r.entries, r.micros
+            )
+        })
+        .collect();
+    format!(
+        "{{\"table\":\"audit-scale\",\"rows\":[{}]}}\n",
+        cells.join(",")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let mut rows = Vec::new();
+    for n in [8usize, 10, 12] {
+        rows.push(enumerative_row(n));
+        rows.push(memoized_row(n));
+    }
+    for n in [1 << 12, 1 << 14, 1 << 16] {
+        rows.push(memoized_row(n));
+    }
+    rows.push(mc_row(1 << 12, 48));
+    rows.push(mc_row(1 << 14, 16));
+
+    println!("Adversary audit scaling: enumerative vs memoized vs Monte-Carlo");
+    println!(
+        "{:<12} | {:>7} | {:>5} | {:>16} | {:>10} | note",
+        "route", "n", "steps", "set entries", "wall (us)"
+    );
+    println!("{}", "-".repeat(96));
+    for r in &rows {
+        println!(
+            "{:<12} | {:>7} | {:>5} | {:>16} | {:>10} | {}",
+            r.route, r.n, r.steps, r.entries, r.micros, r.note
+        );
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, to_json(&rows)).expect("write report");
+        println!();
+        println!("report written to {path}");
+    }
+}

@@ -282,6 +282,7 @@ fn kind_code(kind: QueryKind) -> u8 {
         QueryKind::Run => 3,
         QueryKind::Compare => 4,
         QueryKind::Symbolic => 5,
+        QueryKind::Audit => 6,
     }
 }
 

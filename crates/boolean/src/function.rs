@@ -170,6 +170,20 @@ impl BoolFn {
     pub fn total_influence_count(&self) -> usize {
         (0..self.n).map(|i| self.influence_count(i)).sum()
     }
+
+    /// The junta support as a bitmask: bit `i` is set iff `f` depends on
+    /// variable `i` anywhere on the cube. This is exactly the `Know` set
+    /// of Section 5.1 when `f` is a trace-class map, and the adversary's
+    /// memoized analysis is validated against it.
+    pub fn junta_support(&self) -> u32 {
+        let mut support = 0u32;
+        for i in 0..self.n {
+            if self.influence_count(i) > 0 {
+                support |= 1 << i;
+            }
+        }
+        support
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +199,16 @@ mod tests {
         assert!(!f.eval(0b011));
         assert!(f.eval(0b111));
         assert_eq!(f.count_ones(), 4);
+    }
+
+    #[test]
+    fn junta_support_is_the_set_of_influential_variables() {
+        // x0 ⊕ x2 ignores x1.
+        let f = BoolFn::from_fn(3, |a| (a & 1 != 0) ^ (a >> 2 & 1 != 0));
+        assert_eq!(f.junta_support(), 0b101);
+        let c = BoolFn::from_fn(3, |_| true);
+        assert_eq!(c.junta_support(), 0);
+        assert_eq!(families::or(4).junta_support(), 0b1111);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp [--reference]
 //!                     [--n N --g G --l L --p P --seed S --parallel K]
 //! parbounds audit     [--r R --alpha A --beta B]
+//! parbounds audit     --symbolic [--all | --family F] [--n N --list]
+//! parbounds audit     --symbolic --mc [--family F --n N --seed S --samples K]
+//! parbounds audit     --symbolic --differential [--max-r R]
+//! parbounds audit     --symbolic --lint-gap [--n N]
 //! parbounds adversary [--n N --mu MU --trials T]
 //! parbounds emulate   [--n N --p P --g G --l L]
 //! parbounds faults    [--n N --seed S]
@@ -55,6 +59,10 @@ fn usage() -> &'static str {
   parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp \\
                       [--n N --g G --l L --p P --seed S --reference --parallel K]
   parbounds audit     [--r R --alpha A --beta B]
+  parbounds audit     --symbolic [--all | --family F] [--n N --list]
+  parbounds audit     --symbolic --mc [--family F --n N --seed S --samples K]
+  parbounds audit     --symbolic --differential [--max-r R]
+  parbounds audit     --symbolic --lint-gap [--n N]
   parbounds adversary [--n N --mu MU --trials T]
   parbounds emulate   [--n N --p P --g G --l L]
   parbounds faults    [--n N --seed S]
@@ -641,7 +649,25 @@ fn cmd_soak(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_audit(args: &Args) -> Result<(), String> {
-    args.assert_known(&["r", "alpha", "beta"])?;
+    args.assert_known(&[
+        "r",
+        "alpha",
+        "beta",
+        "symbolic",
+        "all",
+        "family",
+        "n",
+        "mc",
+        "seed",
+        "samples",
+        "list",
+        "differential",
+        "max-r",
+        "lint-gap",
+    ])?;
+    if args.flag("symbolic") {
+        return cmd_audit_symbolic(args);
+    }
     let r = args.usize("r", 8)?;
     if r > 14 {
         return Err("--r must be <= 14 (exhaustive over 2^r inputs)".into());
@@ -670,6 +696,145 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
         report.max_time,
         DegreeAudit::theorem_3_1_bound(machine.mu(), r)
     );
+    Ok(())
+}
+
+/// `parbounds audit --symbolic`: the memoized lower-bound audit suite.
+/// Walks each registered family's budget-respecting refinement trajectory
+/// at large `n`, checks every step t-good in the log domain, and pairs the
+/// Know-completion lower bound (Θ-normal form) with the Table 1 upper
+/// fixture. `--differential` gates the memoized closed forms against the
+/// `2^r` enumeration; `--mc` runs the seeded Monte-Carlo adversary;
+/// `--lint-gap` runs the audit-gap lint over the swept families (the
+/// padded fixture has deliberately no audit, so this exits nonzero).
+fn cmd_audit_symbolic(args: &Args) -> Result<(), String> {
+    use parbounds::adversary::symbolic::{
+        audit_all, audit_family, lint_audit_gap, mc_audit, paper_horizon, AuditStyle, AuditVerdict,
+        AUDIT_FAMILIES,
+    };
+    use parbounds::tables::{render_audit_table, AuditRow};
+
+    if args.flag("list") {
+        println!("families with registered lower-bound audits:");
+        for f in AUDIT_FAMILIES {
+            let style = match f.style {
+                AuditStyle::Fold(op) => format!("fold ({op:?})"),
+                AuditStyle::Spread => "spread".into(),
+                AuditStyle::Single => "single-round".into(),
+            };
+            println!("  {:<18} {style}", f.name);
+        }
+        println!("  or-write-tree-padded (swept but unaudited; trips the audit-gap lint)");
+        return Ok(());
+    }
+
+    let n = args.usize("n", 4096)?;
+
+    if args.flag("differential") {
+        let max_r = args.usize("max-r", 6)?;
+        let (comparisons, mismatches) =
+            parbounds::adversary::symbolic::audit_differential(max_r).map_err(|e| e.to_string())?;
+        println!(
+            "audit differential: memoized vs enumerative goodness, n <= {max_r}, \
+             fans 2-3, XOR and OR"
+        );
+        println!("comparisons : {comparisons}");
+        println!("mismatches  : {}", mismatches.len());
+        for m in mismatches.iter().take(5) {
+            println!(
+                "  shape {:?} t={} exact {:?} memo {:?}",
+                m.shape, m.t, m.exact, m.memo
+            );
+        }
+        if !mismatches.is_empty() {
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
+
+    if args.flag("lint-gap") {
+        let diags = lint_audit_gap(n as u64, n as u64);
+        println!("audit-gap lint over the symbolic sweep registry (n = {n}):");
+        if diags.is_empty() {
+            println!("  clean: every swept family has an up-to-date audit");
+            return Ok(());
+        }
+        for d in &diags {
+            println!("  {d}");
+        }
+        std::process::exit(1);
+    }
+
+    if args.flag("mc") {
+        let family = args.str("family", "parity-read-tree");
+        let seed = args.u64("seed", 42)?;
+        let samples = args.u64("samples", 64)?;
+        let out = mc_audit(&family, n, seed, samples).map_err(|e| e.to_string())?;
+        println!(
+            "Monte-Carlo adversary: {} at size {}, fan {}, t = {} (Know completion)",
+            out.family, out.size, out.fan, out.t
+        );
+        let e = out.estimate;
+        println!(
+            "seed {} / {} samples : {} trace flips",
+            out.seed, e.samples, e.successes
+        );
+        println!(
+            "sensitivity          : {:.3} (95% Wilson [{:.3}, {:.3}])",
+            e.p_hat, e.lo, e.hi
+        );
+        if e.successes == 0 {
+            println!("VIOLATION: root trace insensitive at Know-completion time");
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
+
+    let family = args.str("family", "");
+    let outcomes = if family.is_empty() || args.flag("all") {
+        audit_all(n).map_err(|e| e.to_string())?
+    } else {
+        vec![audit_family(&family, n).map_err(|e| e.to_string())?]
+    };
+    let rows: Vec<AuditRow> = outcomes
+        .iter()
+        .map(|o| AuditRow {
+            family: o.family.to_string(),
+            size: o.size,
+            fan: o.fan,
+            steps: o.steps_checked,
+            clamped: o.budget_clamped,
+            lower: o.lower_theta.to_string(),
+            upper: o.upper_theta.to_string(),
+            verdict: match o.verdict {
+                AuditVerdict::Violation => "VIOLATION".into(),
+                v => v.name().to_string(),
+            },
+        })
+        .collect();
+    print!("{}", render_audit_table(&rows));
+    println!();
+    println!(
+        "trajectory accounting (paper horizon ⌊n^(1/3)⌋ = {}):",
+        paper_horizon(n as u64)
+    );
+    for o in &outcomes {
+        println!(
+            "  {:<18} levels {:>2}, Know complete at t = {:>2}, {} live set entries ({})",
+            o.family,
+            o.levels,
+            o.t_know,
+            o.peak_set_entries,
+            if o.all_good {
+                "all steps t-good"
+            } else {
+                "NOT t-good"
+            }
+        );
+    }
+    if outcomes.iter().any(|o| !o.passed()) {
+        std::process::exit(1);
+    }
     Ok(())
 }
 
@@ -870,5 +1035,24 @@ mod tests {
             .map(String::from)
             .collect();
         run(argv).unwrap();
+    }
+
+    #[test]
+    fn audit_symbolic_subcommands_run_end_to_end() {
+        for line in [
+            "audit --symbolic --family parity-read-tree --n 512",
+            "audit --symbolic --mc --family parity-read-tree --n 256 --seed 7 --samples 8",
+            "audit --symbolic --list",
+        ] {
+            let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+            run(argv).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // Unknown family surfaces the registry in the error.
+        let argv: Vec<String> = "audit --symbolic --family no-such-family"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let err = run(argv).unwrap_err();
+        assert!(err.contains("no lower-bound audit registered"), "{err}");
     }
 }

@@ -297,6 +297,30 @@ impl Oracle {
                     total: evaluated.total_time(),
                 })
             }
+            QueryKind::Audit => {
+                // The adversary audit is per family and input-independent,
+                // like the symbolic derivation; the resolved plan/input are
+                // unused beyond admission costing.
+                let PlanSource::Family { name, n, .. } = &req.plan else {
+                    return Err(ModelError::BadConfig(
+                        "audit queries require a family plan source (the \
+                         lower-bound audit is per family, not per inline schedule)"
+                            .into(),
+                    ));
+                };
+                let o = parbounds_adversary::audit_family(name, *n)?;
+                Ok(Answer::Audit {
+                    family: o.family.to_string(),
+                    size: o.size,
+                    fan: o.fan,
+                    steps: o.steps_checked,
+                    clamped: o.budget_clamped,
+                    all_good: o.all_good,
+                    lower: o.lower_theta.to_string(),
+                    upper: o.upper_theta.to_string(),
+                    verdict: o.verdict.name().to_string(),
+                })
+            }
         }
     }
 }

@@ -34,6 +34,13 @@ pub enum QueryKind {
     /// not per inline schedule); input-independent, so permanently
     /// cacheable.
     Symbolic,
+    /// Run the family's adversary lower-bound audit: walk the
+    /// budget-respecting refinement trajectory with the memoized
+    /// `Know`/`AffProc`/`AffCell` analysis, check every step t-good, and
+    /// pair the Know-completion lower bound with the Table 1 upper
+    /// fixture. Family plans only; input-independent and deterministic,
+    /// so permanently cacheable.
+    Audit,
 }
 
 impl QueryKind {
@@ -46,6 +53,7 @@ impl QueryKind {
             QueryKind::Run => "run",
             QueryKind::Compare => "compare",
             QueryKind::Symbolic => "symbolic",
+            QueryKind::Audit => "audit",
         }
     }
 
@@ -57,6 +65,7 @@ impl QueryKind {
             "run" => QueryKind::Run,
             "compare" => QueryKind::Compare,
             "symbolic" => QueryKind::Symbolic,
+            "audit" => QueryKind::Audit,
             _ => return None,
         })
     }
@@ -177,6 +186,28 @@ pub enum Answer {
         matches: bool,
         /// The evaluated symbolic total at that point.
         total: u64,
+    },
+    /// The family's adversary lower-bound audit: trajectory facts plus
+    /// the Θ-normal-form lower bound paired with its Table 1 upper.
+    Audit {
+        /// Family name the audit covers.
+        family: String,
+        /// Audited size (`n` on shared models, `p` on the BSP).
+        size: u64,
+        /// Tree fan-in used.
+        fan: u64,
+        /// Refinement steps whose t-goodness was checked.
+        steps: usize,
+        /// Steps clamped by the `r_t` fixing budget.
+        clamped: usize,
+        /// Every checked step satisfied the §5.2 conditions.
+        all_good: bool,
+        /// Audited lower bound in Θ-normal form.
+        lower: String,
+        /// Table 1 upper bound in Θ-normal form.
+        upper: String,
+        /// Pairing verdict (`tight`, `consistent`, `violation`).
+        verdict: String,
     },
 }
 
@@ -495,6 +526,28 @@ impl Answer {
                 ("matches".to_string(), Json::Bool(*matches)),
                 ("total".to_string(), Json::Num(i128::from(*total))),
             ]),
+            Answer::Audit {
+                family,
+                size,
+                fan,
+                steps,
+                clamped,
+                all_good,
+                lower,
+                upper,
+                verdict,
+            } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("audit".to_string())),
+                ("family".to_string(), Json::Str(family.clone())),
+                ("size".to_string(), Json::Num(i128::from(*size))),
+                ("fan".to_string(), Json::Num(i128::from(*fan))),
+                ("steps".to_string(), Json::Num(*steps as i128)),
+                ("clamped".to_string(), Json::Num(*clamped as i128)),
+                ("all_good".to_string(), Json::Bool(*all_good)),
+                ("lower".to_string(), Json::Str(lower.clone())),
+                ("upper".to_string(), Json::Str(upper.clone())),
+                ("verdict".to_string(), Json::Str(verdict.clone())),
+            ]),
         }
     }
 
@@ -588,6 +641,34 @@ impl Answer {
                     .ok_or("bad 'matches'")?,
                 total: v.get("total").and_then(Json::as_u64).ok_or("bad 'total'")?,
             }),
+            Some("audit") => {
+                let s = |k: &str| {
+                    v.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("missing '{k}'"))
+                };
+                Ok(Answer::Audit {
+                    family: s("family")?,
+                    size: v.get("size").and_then(Json::as_u64).ok_or("bad 'size'")?,
+                    fan: v.get("fan").and_then(Json::as_u64).ok_or("bad 'fan'")?,
+                    steps: v
+                        .get("steps")
+                        .and_then(Json::as_usize)
+                        .ok_or("bad 'steps'")?,
+                    clamped: v
+                        .get("clamped")
+                        .and_then(Json::as_usize)
+                        .ok_or("bad 'clamped'")?,
+                    all_good: v
+                        .get("all_good")
+                        .and_then(Json::as_bool)
+                        .ok_or("bad 'all_good'")?,
+                    lower: s("lower")?,
+                    upper: s("upper")?,
+                    verdict: s("verdict")?,
+                })
+            }
             _ => Err("unknown answer kind".to_string()),
         }
     }
@@ -1237,6 +1318,33 @@ mod tests {
                 total: 64,
             }),
             cached: false,
+            degraded: false,
+        };
+        let back = Response::from_json(&parse(&resp.to_json().render()).unwrap()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn audit_codec_round_trips_and_stays_unmeasured() {
+        assert_eq!(QueryKind::from_name("audit"), Some(QueryKind::Audit));
+        assert!(
+            !QueryKind::Audit.is_measured(),
+            "audits are static analyses: no tenant budget charge"
+        );
+        let resp = Response {
+            id: 11,
+            result: Ok(Answer::Audit {
+                family: "parity-read-tree".to_string(),
+                size: 4096,
+                fan: 2,
+                steps: 24,
+                clamped: 1,
+                all_good: true,
+                lower: "Θ(g·log n)".to_string(),
+                upper: "Θ(g·log n)".to_string(),
+                verdict: "tight".to_string(),
+            }),
+            cached: true,
             degraded: false,
         };
         let back = Response::from_json(&parse(&resp.to_json().render()).unwrap()).unwrap();

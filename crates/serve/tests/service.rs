@@ -407,3 +407,75 @@ fn symbolic_queries_answer_on_the_cached_static_path() {
     let err = server.submit(req).result.unwrap_err();
     assert_eq!(err.code, ErrorCode::BadRequest);
 }
+
+#[test]
+fn audit_queries_pair_bounds_and_cache_like_symbolic() {
+    let server = small_server();
+
+    let resp = server.submit(family_request(
+        1,
+        QueryKind::Audit,
+        "parity-read-tree",
+        512,
+        1,
+    ));
+    assert!(!resp.cached);
+    match resp.result.unwrap() {
+        Answer::Audit {
+            family,
+            size,
+            fan,
+            steps,
+            all_good,
+            lower,
+            upper,
+            verdict,
+            ..
+        } => {
+            assert_eq!(family, "parity-read-tree");
+            assert_eq!(size, 512);
+            assert_eq!(fan, 2);
+            assert!(steps > 0);
+            assert!(all_good, "trajectory must be t-good at n = 512");
+            assert_eq!(lower, upper, "parity audit is tight against Table 1");
+            assert_eq!(verdict, "tight");
+        }
+        other => panic!("expected audit, got {other:?}"),
+    }
+
+    // Deterministic and input-independent ⇒ served from the cache.
+    let resp = server.submit(family_request(
+        2,
+        QueryKind::Audit,
+        "parity-read-tree",
+        512,
+        1,
+    ));
+    assert!(resp.cached, "audit answers are permanently cacheable");
+
+    // The padded fixture has no audit: typed bad request, and the swept
+    // family name is surfaced for the audit-gap lint to act on.
+    let err = server
+        .submit(family_request(
+            3,
+            QueryKind::Audit,
+            "or-write-tree-padded",
+            64,
+            1,
+        ))
+        .result
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+    assert!(
+        err.message.contains("no lower-bound audit"),
+        "{}",
+        err.message
+    );
+
+    // Inline plans cannot name a family audit: typed bad request.
+    let (_, plan, _) = ir_family_plan("or-write-tree", 64, 1).unwrap();
+    let mut req = family_request(4, QueryKind::Audit, "or-write-tree", 64, 1);
+    req.plan = PlanSource::Inline(plan);
+    let err = server.submit(req).result.unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+}

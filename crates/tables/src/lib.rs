@@ -42,7 +42,7 @@ pub use cells::{
     best_lower_bound, lower_bounds, Bound, Metric, Mode, Model, Params, Problem, Tightness, TABLE1,
 };
 pub use render::{
-    render_rounds_table, render_static_table, render_symbolic_table, render_time_table, StaticRow,
-    SymbolicRow,
+    render_audit_table, render_rounds_table, render_static_table, render_symbolic_table,
+    render_time_table, AuditRow, StaticRow, SymbolicRow,
 };
 pub use upper::{parity_unit_cr_upper, upper_bound_rounds, upper_bound_time};

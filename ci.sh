@@ -28,6 +28,22 @@ if target/release/parbounds analyze --static --family racy-plan >/dev/null; then
     exit 1
 fi
 
+# Plan-compilation gate: every Section 8 family must be eligible for the
+# straight-line compiled schedule (the analyzer prints per-family
+# eligibility and exits 1 on any compile-ineligible family), and the racy
+# fixture is the inverse witness — it must exit nonzero AND the output
+# must name the compile-ineligible rule with the blocking node.
+target/release/parbounds analyze --static --all --compiled
+if target/release/parbounds analyze --static --family racy-plan --compiled >/dev/null; then
+    echo "ci: racy plan was NOT refused under 'analyze --static --compiled'" >&2
+    exit 1
+fi
+(target/release/parbounds analyze --static --family racy-plan --compiled || true) \
+    | grep "compile-ineligible" >/dev/null || {
+    echo "ci: compile-ineligible lint output missing the rule name" >&2
+    exit 1
+}
+
 # Symbolic-conformance gate: every covered family's Θ-normal-form ledger
 # must be Θ-equivalent to its Table 1 row, the Claim 2.1/2.2 model
 # mappings must hold symbolically, and the symbolic ledgers must evaluate
@@ -74,18 +90,27 @@ for threads in 1 4; do
         -p parbounds-models --test fastpath_equiv >/dev/null
     PARBOUNDS_THREADS=$threads cargo test --release -q \
         -p parbounds-ir --test batch_equiv >/dev/null
+    PARBOUNDS_THREADS=$threads cargo test --release -q \
+        -p parbounds-ir --test compiled_equiv >/dev/null
 done
 
-# Execution fast-path gate: the reduced hot-path grid must produce
-# bit-identical results on the dense and the reference engines, and every
-# thread-scaling point must match its single-threaded baseline (the binary
-# exits 1 on any divergence). Wall-clock speedups at smoke sizes are noise,
-# so no dense-vs-reference threshold here — the perf trajectory is tracked
-# by the full run committed in BENCH_PR5.json. The 4-worker scaling floor
-# only binds on hosts with >= 4 threads (the binary prints a skip message
-# otherwise: more simulator workers than cores cannot beat wall-clock).
+# Execution fast-path gate: the reduced hot-path grid (now including the
+# compiled straight-line schedules, whose three-way equality —
+# compiled == interpreted == reference — is part of all_equal) must
+# produce bit-identical results on every path, and every thread-scaling
+# point must match its single-threaded baseline (the binary exits 1 on
+# any divergence). Timing batches each point until the timed region is
+# long enough to measure, so microsecond points are no longer pure noise;
+# the smoke floor of 0.5x is a coarse tripwire against a real dense-path
+# regression (the strict >= 1.0x "dense never loses" floor and the
+# compiled >= 1.5x geomean are enforced on the committed full run in
+# BENCH_PR9.json, where reps = 3 makes them stable). The 4-worker scaling
+# floor self-skips ONLY on hosts with < 4 threads (more simulator workers
+# than cores cannot beat wall-clock); on >= 4-thread hosts it binds and
+# must pass.
 cargo run --release -q -p parbounds-bench --bin table_hotpath -- \
-    --smoke --check-scaling 1.8 --out target/bench_smoke.json >/dev/null
+    --smoke --check-floor 0.5 --check-scaling 1.8 \
+    --out target/bench_smoke.json >/dev/null
 
 # Service soak gate: ~10 seconds of chaos against the in-process oracle
 # service at a fixed seed — seeded fault injection (malformed frames,

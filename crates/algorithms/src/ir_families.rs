@@ -226,6 +226,39 @@ mod tests {
     }
 
     #[test]
+    fn every_family_plan_takes_the_compiled_path() {
+        use parbounds_ir::{compile_plan, execute_plan_compiled, CompileOutcome};
+        let plans: Vec<(PhasePlan, Vec<Word>)> = vec![
+            or_write_tree_plan(33, 8),
+            parity_read_tree_plan(33, 8, 7),
+            broadcast_plan(33, 8),
+            prefix_sweep_plan(33, 8, 7),
+            scatter_gather_plan(33, 8, 7),
+            bsp_reduce_plan(8, 2, 8, 33, 7),
+            bsp_prefix_scan_plan(8, 2, 8, 33, 7),
+        ];
+        for (plan, input) in &plans {
+            match compile_plan(plan).unwrap() {
+                CompileOutcome::Compiled(_) => {}
+                CompileOutcome::Ineligible(why) => {
+                    panic!("'{}' must compile: {}", plan.family, why.describe())
+                }
+            }
+            assert_eq!(
+                execute_plan_compiled(plan, input).unwrap(),
+                execute_plan(plan, input).unwrap(),
+                "compiled run diverges for '{}'",
+                plan.family
+            );
+        }
+        let (racy, _) = racy_plan();
+        assert!(
+            matches!(compile_plan(&racy).unwrap(), CompileOutcome::Ineligible(_)),
+            "the racy fixture is the inverse witness and must stay ineligible"
+        );
+    }
+
+    #[test]
     fn bsp_prefix_scan_plan_scans_partition_folds() {
         let (plan, input) = bsp_prefix_scan_plan(6, 2, 8, 20, 9);
         let run = execute_plan(&plan, &input).unwrap();

@@ -87,6 +87,15 @@ pub enum Rule {
     /// is one-sided — the upper bound is checked at sizes where the lower
     /// bound is not.
     AuditGap,
+    /// The plan cannot take the compiled straight-line fast path
+    /// (`ir::compile`): a node breaks one of the eligibility rules — a
+    /// same-phase read/write cell (the compiled loop elides the conflict
+    /// check), a multi-writer cell without a certified common constant
+    /// (arbitration would be observable), a duplicate BSP `(source, tag)`
+    /// inbox key (slot order would be unstable), or an analyze-only GSM
+    /// model. The plan still runs correctly on the checked interpreter —
+    /// it just keeps paying per-phase routing and arbitration.
+    CompileIneligible,
     /// The plan declares fewer processors than the host threads requested
     /// for intra-phase parallel execution. Worker `w` owns the `w`-th
     /// contiguous pid range, so extra workers own *empty* ranges: they are
@@ -112,6 +121,7 @@ impl Rule {
             | Rule::UnconsumedWrite
             | Rule::DeadPhase
             | Rule::TruncatedTrace
+            | Rule::CompileIneligible
             | Rule::ParallelUnderfill => Severity::Warning,
         }
     }
@@ -131,6 +141,7 @@ impl Rule {
             Rule::SymbolicMismatch => "symbolic-mismatch",
             Rule::BoundRegression => "bound-regression",
             Rule::AuditGap => "audit-gap",
+            Rule::CompileIneligible => "compile-ineligible",
             Rule::ParallelUnderfill => "parallel-underfill",
         }
     }

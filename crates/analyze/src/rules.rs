@@ -95,6 +95,16 @@ pub fn parallel_underfill(procs: usize, workers: usize) -> String {
     )
 }
 
+/// [`Rule::CompileIneligible`](crate::diagnostics::Rule::CompileIneligible):
+/// a node blocks the compiled straight-line fast path; `node` names it and
+/// `reason` quotes the violated eligibility rule.
+pub fn compile_ineligible(node: &str, reason: &str) -> String {
+    format!(
+        "{node} blocks plan compilation: {reason} — the plan runs on the \
+         checked interpreter instead of the straight-line schedule"
+    )
+}
+
 /// [`Rule::TruncatedTrace`](crate::diagnostics::Rule::TruncatedTrace): the
 /// trace stopped recording at the phase cap, so the lint pass only audited
 /// a prefix of the run.

@@ -35,7 +35,10 @@ use parbounds_algo::ir_families::{
 };
 use parbounds_algo::or_tree::{or_default_fanin, or_write_tree_cost_max};
 use parbounds_algo::reduce::tree_reduce_cost;
-use parbounds_ir::{execute_plan, ModelKind, OutputDecl, PhasePlan, PlanBody, ValueRule};
+use parbounds_ir::{
+    compile_plan, execute_plan, CompileOutcome, ModelKind, OutputDecl, PhasePlan, PlanBody,
+    ValueRule,
+};
 use parbounds_models::{
     Addr, BspMachine, CancelToken, CostLedger, GsmMachine, ModelError, PhaseCost, QsmMachine,
     Result, Word,
@@ -506,6 +509,28 @@ pub fn lint_parallelism(plan: &PhasePlan, workers: usize) -> Result<Vec<Diagnost
     Ok(diags)
 }
 
+/// Statics handoff to the plan compiler: decides whether `plan` can take
+/// the compiled straight-line fast path (`ir::compile`) and, if not,
+/// reports the first offending node as a [`Rule::CompileIneligible`]
+/// warning through the shared rule table. An empty report means
+/// [`parbounds_ir::compile_plan`] yields a schedule; the warning means the
+/// plan still runs, on the checked interpreter.
+pub fn lint_compile(plan: &PhasePlan) -> Result<Vec<Diagnostic>> {
+    match compile_plan(plan)? {
+        CompileOutcome::Compiled(_) => Ok(Vec::new()),
+        CompileOutcome::Ineligible(why) => Ok(vec![Diagnostic::new(
+            Rule::CompileIneligible,
+            Location {
+                model: plan.model.name(),
+                phase: why.phase.unwrap_or(0),
+                pid: why.pid,
+                addr: why.addr,
+            },
+            rules::compile_ineligible(&why.node, &why.reason),
+        )]),
+    }
+}
+
 /// Everything the static analyzer can say about a plan, bundled.
 #[derive(Debug)]
 pub struct StaticAnalysis {
@@ -848,6 +873,35 @@ mod tests {
             }
             other => panic!("racy plan must be refused, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn compile_lint_clears_every_suite_family() {
+        for family in IR_FAMILIES {
+            let (_, plan, _) = ir_family_plan(family, 64, 42).unwrap();
+            let diags = lint_compile(&plan).unwrap();
+            assert!(
+                diags.is_empty(),
+                "{family} should take the compiled path, got {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_lint_flags_racy_plan_as_ineligible() {
+        let (racy, _) = racy_plan();
+        let diags = lint_compile(&racy).unwrap();
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rule, Rule::CompileIneligible);
+        assert_eq!(d.rule.name(), "compile-ineligible");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.location.addr, Some(0));
+        assert!(
+            d.message.contains("blocks plan compilation"),
+            "shared rule table must phrase the finding: {}",
+            d.message
+        );
     }
 
     #[test]

@@ -1,0 +1,91 @@
+#![forbid(unsafe_code)]
+
+//! Ad-hoc microprofile of the BSP pooled vs reference executors: long
+//! interleaved repetition blocks give ground-truth ratios for the
+//! microsecond-scale BSP grid points that the main benchmark's batched
+//! timing can only bound (dev tool backing the `--check-floor` margin).
+
+use parbounds::algo::bsp_algos::{bsp_lac_dart, bsp_or, bsp_parity};
+use parbounds::algo::workloads;
+use parbounds::models::{BspMachine, Routing};
+use std::time::Instant;
+
+fn machines(p: usize, g: u64, l: u64) -> (BspMachine, BspMachine) {
+    let dense = BspMachine::new(p, g, l)
+        .unwrap()
+        .with_routing(Routing::Dense);
+    let reference = BspMachine::new(p, g, l).unwrap().with_reference_routing();
+    (dense, reference)
+}
+
+fn profile(label: &str, iters: u32, mut dense: impl FnMut(), mut reference: impl FnMut()) {
+    let mut td = 0.0f64;
+    let mut tr = 0.0f64;
+    // Interleaved blocks so cache/allocator state is shared fairly.
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        for _ in 0..iters / 10 {
+            dense();
+        }
+        td += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..iters / 10 {
+            reference();
+        }
+        tr += t0.elapsed().as_secs_f64();
+    }
+    println!(
+        "{label}: dense {:.3}us/run  reference {:.3}us/run  dense speedup {:.3}x",
+        td * 1e6 / iters as f64,
+        tr * 1e6 / iters as f64,
+        tr / td
+    );
+}
+
+fn main() {
+    let seed = 0xbe7cu64;
+
+    for (n, p) in [(256usize, 4usize), (1024, 16), (4096, 64), (65536, 512)] {
+        // Scale iteration counts down with run length so each family
+        // profiles in a few seconds at every size.
+        let iters = (20_000_000 / n as u32).max(100);
+        let bits = workloads::random_bits(n, seed);
+        let (d, r) = machines(p, 4, 16);
+        {
+            let (bd, br) = (bits.clone(), bits.clone());
+            profile(
+                &format!("parity n={n} p={p}"),
+                iters,
+                || {
+                    std::hint::black_box(bsp_parity(&d, &bd).unwrap());
+                },
+                || {
+                    std::hint::black_box(bsp_parity(&r, &br).unwrap());
+                },
+            );
+        }
+        profile(
+            &format!("or     n={n} p={p}"),
+            iters,
+            || {
+                std::hint::black_box(bsp_or(&d, &bits).unwrap());
+            },
+            || {
+                std::hint::black_box(bsp_or(&r, &bits).unwrap());
+            },
+        );
+
+        let h = (n / 8).max(1);
+        let items = workloads::sparse_items(n, h, seed);
+        profile(
+            &format!("lac    n={n} p={p}"),
+            iters / 2,
+            || {
+                std::hint::black_box(bsp_lac_dart(&d, &items, h, seed ^ 0xd1ce).unwrap());
+            },
+            || {
+                std::hint::black_box(bsp_lac_dart(&r, &items, h, seed ^ 0xd1ce).unwrap());
+            },
+        );
+    }
+}

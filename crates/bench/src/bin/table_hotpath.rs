@@ -9,17 +9,22 @@
 //! ```text
 //! cargo run --release -p parbounds-bench --bin table_hotpath -- \
 //!     [--smoke] [--out BENCH_PR5.json] [--threads N] \
-//!     [--check-speedup X] [--check-scaling X]
+//!     [--check-speedup X] [--check-compiled X] [--check-floor X] \
+//!     [--check-scaling X]
 //! ```
 //!
 //! Exits nonzero if any point's dense run disagrees with its reference run
 //! or any scaling run disagrees with its single-threaded baseline (the
 //! equivalence gates); if `--check-speedup X` is given and the
-//! geometric-mean speedup on the largest-`n` sweep falls below `X`; or if
-//! `--check-scaling X` is given, the host has at least 4 threads, and the
-//! 4-worker scaling geomean falls below `X` (on hosts with fewer than 4
-//! threads the scaling floor is skipped — more simulator workers than
-//! cores cannot show wall-clock speedup).
+//! geometric-mean speedup on the largest-`n` sweep falls below `X`; if
+//! `--check-compiled X` is given and the compiled-suite geomean at the
+//! largest `n` falls below `X`; if `--check-floor X` is given and ANY
+//! point of any suite or size comes in below `X` — the "dense never
+//! loses to reference" assertion; or if `--check-scaling X` is given,
+//! the host has at least 4 threads, and the 4-worker scaling geomean
+//! falls below `X` (on hosts with fewer than 4 threads the scaling floor
+//! is skipped — more simulator workers than cores cannot show wall-clock
+//! speedup).
 
 use parbounds_bench::hotpath::{default_ns, run_grid, smoke_ns};
 use parbounds_bench::init_threads_from_cli;
@@ -32,6 +37,8 @@ fn main() {
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check_speedup: Option<f64> = None;
+    let mut check_compiled: Option<f64> = None;
+    let mut check_floor: Option<f64> = None;
     let mut check_scaling: Option<f64> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -44,6 +51,22 @@ fn main() {
                     .unwrap_or_else(|| usage("--check-speedup needs a number"));
                 check_speedup = Some(v.parse().unwrap_or_else(|_| {
                     usage("--check-speedup expects a number");
+                }));
+            }
+            "--check-compiled" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--check-compiled needs a number"));
+                check_compiled = Some(v.parse().unwrap_or_else(|_| {
+                    usage("--check-compiled expects a number");
+                }));
+            }
+            "--check-floor" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--check-floor needs a number"));
+                check_floor = Some(v.parse().unwrap_or_else(|_| {
+                    usage("--check-floor expects a number");
                 }));
             }
             "--check-scaling" => {
@@ -94,6 +117,17 @@ fn main() {
         report.largest_n(),
         report.largest_n_e2e_geomean_speedup()
     );
+    println!(
+        "largest-n (n = {}) compiled-vs-interpreter geomean speedup: {:.2}x",
+        report.largest_n(),
+        report.largest_n_compiled_geomean_speedup()
+    );
+    if let Some((got, p)) = report.min_speedup() {
+        println!(
+            "slowest point vs reference: {got:.2}x ({} {} {} n = {})",
+            p.suite, p.engine, p.workload, p.n
+        );
+    }
 
     if !report.scaling.is_empty() {
         println!();
@@ -151,6 +185,24 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(x) = check_compiled {
+        let got = report.largest_n_compiled_geomean_speedup();
+        if got < x {
+            eprintln!("FAIL: compiled-suite geomean speedup {got:.2}x < required {x:.2}x");
+            std::process::exit(1);
+        }
+    }
+    if let Some(x) = check_floor {
+        if let Some((got, p)) = report.min_speedup() {
+            if got < x {
+                eprintln!(
+                    "FAIL: dense lost to reference: {} {} {} n={} at {got:.2}x < floor {x:.2}x",
+                    p.suite, p.engine, p.workload, p.n
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(x) = check_scaling {
         if report.host_threads < 4 {
             println!(
@@ -172,7 +224,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: table_hotpath [--smoke] [--out PATH] [--threads N] \
-         [--check-speedup X] [--check-scaling X]"
+         [--check-speedup X] [--check-compiled X] [--check-floor X] \
+         [--check-scaling X]"
     );
     std::process::exit(2);
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! parbounds tables    [--n N --g G --l L --p P]
 //! parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp [--reference]
-//!                     [--n N --g G --l L --p P --seed S --parallel K]
+//!                     [--n N --g G --l L --p P --seed S --parallel K --compiled]
 //! parbounds audit     [--r R --alpha A --beta B]
 //! parbounds audit     --symbolic [--all | --family F] [--n N --list]
 //! parbounds audit     --symbolic --mc [--family F --n N --seed S --samples K]
@@ -14,7 +14,8 @@
 //! parbounds emulate   [--n N --p P --g G --l L]
 //! parbounds faults    [--n N --seed S]
 //! parbounds lint      [--all | --family F] [--n N --seed S --list]
-//! parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
+//! parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K
+//!                     --compiled]
 //! parbounds analyze   --symbolic [--all | --family F] [--n N --list]
 //! parbounds serve     [--addr HOST:PORT | --stdio] [--workers K --queue-cap Q
 //!                     --deadline-ms D --budget B --cache-cap C]
@@ -57,7 +58,7 @@ fn usage() -> &'static str {
     "usage:
   parbounds tables    [--n N --g G --l L --p P]
   parbounds run       --problem parity|or|lac --model qsm|sqsm|qsm-cr|gsm|bsp \\
-                      [--n N --g G --l L --p P --seed S --reference --parallel K]
+                      [--n N --g G --l L --p P --seed S --reference --parallel K --compiled]
   parbounds audit     [--r R --alpha A --beta B]
   parbounds audit     --symbolic [--all | --family F] [--n N --list]
   parbounds audit     --symbolic --mc [--family F --n N --seed S --samples K]
@@ -67,7 +68,8 @@ fn usage() -> &'static str {
   parbounds emulate   [--n N --p P --g G --l L]
   parbounds faults    [--n N --seed S]
   parbounds lint      [--all | --family F] [--n N --seed S --list]
-  parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K]
+  parbounds analyze   --static [--all | --family F] [--n N --seed S --list --parallel K \\
+                      --compiled]
   parbounds analyze   --symbolic [--all | --family F] [--n N --list]
   parbounds serve     [--addr HOST:PORT | --stdio] [--workers K --queue-cap Q \\
                       --deadline-ms D --budget B --cache-cap C]
@@ -133,6 +135,126 @@ fn run_parallelism(threads: usize, reference: bool) -> Result<Parallelism, Strin
     })
 }
 
+/// Resolves the `--compiled` flag for `parbounds run`. Combining
+/// `--compiled` with `--reference` is rejected with a typed
+/// [`ModelError::BadConfig`]: the reference engines specify exactly the
+/// routing, conflict-check and arbitration machinery the compiled
+/// schedule elides, so there is no reference variant of the compiled path
+/// to run. (Fault plans are handled at the executor level — a faulted
+/// machine always falls back to the checked interpreter.)
+fn run_compiled_flag(flag: bool, reference: bool) -> Result<bool, String> {
+    if flag && reference {
+        return Err(ModelError::BadConfig(
+            "--compiled cannot be combined with --reference: the reference \
+             engines specify the routing and arbitration the compiled \
+             schedule elides"
+                .into(),
+        )
+        .to_string());
+    }
+    Ok(flag)
+}
+
+/// Machine-grid knobs a `run --compiled` invocation carries to the plan
+/// builders: input size, gap/latency/processor parameters, workload seed
+/// and the intra-phase parallelism the executor shards with.
+struct CompiledRunCfg {
+    n: usize,
+    g: u64,
+    l: u64,
+    p: usize,
+    seed: u64,
+    parallelism: Parallelism,
+}
+
+/// `parbounds run --compiled`: lifts the `(problem, model)` pair onto its
+/// PhaseIR family, compiles the plan to a straight-line schedule
+/// (`ir::compile`), and runs it — honoring `--parallel K` through the
+/// sharded-apply executor. Pairs without a PhaseIR lift are a typed
+/// `BadConfig`.
+fn run_compiled_lift(
+    problem: &str,
+    model: &str,
+    cfg: &CompiledRunCfg,
+) -> Result<(Word, u64, usize, &'static str), String> {
+    use parbounds::algo::or_tree::or_default_fanin;
+    use parbounds::ir::{
+        bsp_fan_in_reduce, compile_plan, fan_in_read_tree, fan_in_write_tree, run_compiled_batch,
+        run_compiled_msg_batch, CombineOp, CompileOutcome, ModelKind, PhasePlan,
+    };
+
+    let &CompiledRunCfg {
+        n,
+        g,
+        l,
+        p,
+        seed,
+        parallelism,
+    } = cfg;
+    let bsp_k = ((l / g.max(1)) as usize).max(2);
+    let (plan, algo): (PhasePlan, &'static str) = match (problem, model) {
+        ("parity", "sqsm") => (
+            fan_in_read_tree(n, 2, CombineOp::Xor, ModelKind::SQsm { g }),
+            "binary read tree (compiled)",
+        ),
+        ("or", "qsm") => (
+            fan_in_write_tree(n, or_default_fanin(g), ModelKind::Qsm { g }),
+            "write-combining tree (compiled)",
+        ),
+        ("or", "sqsm") => (
+            fan_in_write_tree(n, 2, ModelKind::SQsm { g }),
+            "binary write tree (compiled)",
+        ),
+        ("parity", "bsp") => (
+            bsp_fan_in_reduce(p, bsp_k, CombineOp::Xor, g, l),
+            "fan-in L/g reduction (compiled)",
+        ),
+        ("or", "bsp") => (
+            bsp_fan_in_reduce(p, bsp_k, CombineOp::Or, g, l),
+            "fan-in L/g reduction (compiled)",
+        ),
+        (pb, md) => {
+            return Err(ModelError::BadConfig(format!(
+                "--compiled has no PhaseIR lift for problem '{pb}' on model '{md}' \
+                 (compiled pairs: parity/or on sqsm, or on qsm, parity/or on bsp)"
+            ))
+            .to_string())
+        }
+    };
+    let cp = match compile_plan(&plan).map_err(|e| e.to_string())? {
+        CompileOutcome::Compiled(cp) => cp,
+        CompileOutcome::Ineligible(why) => {
+            return Err(format!(
+                "plan '{}' cannot take the compiled path: {}",
+                plan.family,
+                why.describe()
+            ))
+        }
+    };
+    let bits = workloads::random_bits(n, seed);
+    let run = if let ModelKind::Bsp { p, g, l } = plan.model {
+        let m = BspMachine::new(p, g, l)
+            .map_err(|e| e.to_string())?
+            .with_parallelism(parallelism);
+        run_compiled_msg_batch(&plan, &cp, &m, &bits).map_err(|e| e.to_string())?
+    } else {
+        let m = match plan.model {
+            ModelKind::Qsm { g } => QsmMachine::qsm(g),
+            ModelKind::SQsm { g } => QsmMachine::sqsm(g),
+            _ => unreachable!("compiled lifts are QSM/s-QSM/BSP"),
+        }
+        .with_parallelism(parallelism);
+        run_compiled_batch(&plan, &cp, &m, &bits).map_err(|e| e.to_string())?
+    };
+    let value = run.output.first().copied().unwrap_or(0);
+    Ok((
+        value,
+        run.ledger.total_time(),
+        run.ledger.num_phases(),
+        algo,
+    ))
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     args.assert_known(&[
         "problem",
@@ -144,6 +266,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "seed",
         "reference",
         "parallel",
+        "compiled",
     ])?;
     let n = args.usize("n", 4096)?;
     let g = args.u64("g", 8)?;
@@ -160,6 +283,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     // threads; results stay bit-identical to the single-threaded path.
     let threads = args.usize("parallel", 0)?;
     let parallelism = run_parallelism(threads, reference)?;
+    // `--compiled` runs the problem's PhaseIR lift through the plan
+    // compiler instead of the closure-dispatch algorithms.
+    let compiled = run_compiled_flag(args.flag("compiled"), reference)?;
     let qsm = |m: QsmMachine| {
         let m = m.with_parallelism(parallelism);
         if reference {
@@ -188,7 +314,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let bits = workloads::random_bits(n, seed);
     let items = workloads::sparse_items(n, (n / 8).max(1), seed);
 
-    let (value, time, phases, algo): (Word, u64, usize, &str) =
+    let (value, time, phases, algo): (Word, u64, usize, &str) = if compiled {
+        run_compiled_lift(
+            problem.as_str(),
+            model.as_str(),
+            &CompiledRunCfg {
+                n,
+                g,
+                l,
+                p,
+                seed,
+                parallelism,
+            },
+        )?
+    } else {
         match (problem.as_str(), model.as_str()) {
             ("parity", "qsm") => {
                 let m = qsm(QsmMachine::qsm(g));
@@ -286,7 +425,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 )
             }
             (pb, md) => return Err(format!("no algorithm for problem '{pb}' on model '{md}'")),
-        };
+        }
+    };
 
     println!("problem   : {problem} (n = {n})");
     println!(
@@ -302,6 +442,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "routing   : {}",
         if reference {
             "reference (map-based)"
+        } else if compiled {
+            "compiled straight-line schedule"
         } else {
             "dense"
         }
@@ -400,11 +542,11 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     args.assert_known(&[
-        "static", "symbolic", "all", "family", "n", "seed", "list", "parallel",
+        "static", "symbolic", "all", "family", "n", "seed", "list", "parallel", "compiled",
     ])?;
     use parbounds::analyze::{
-        analyze_static_all, analyze_static_family, ir_family_plan, lint_parallelism, StaticReport,
-        IR_FAMILIES,
+        analyze_static_all, analyze_static_family, ir_family_plan, lint_compile, lint_parallelism,
+        StaticReport, IR_FAMILIES,
     };
     use parbounds::tables::{render_static_table, StaticRow};
 
@@ -474,7 +616,32 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             }
         }
     }
-    if !report.clean() {
+    // `--compiled`: report each analyzed plan's eligibility for the
+    // straight-line compiled fast path (the compile-ineligible lint). A
+    // flagged plan still runs — on the checked interpreter — but the
+    // report exits non-zero so CI can pin which families compile.
+    let mut compile_clean = true;
+    if args.flag("compiled") {
+        println!();
+        println!("plan compilation eligibility:");
+        for f in &report.families {
+            let (_, plan, _) = ir_family_plan(f.family, n, seed).map_err(|e| e.to_string())?;
+            let diags = lint_compile(&plan).map_err(|e| e.to_string())?;
+            if diags.is_empty() {
+                println!(
+                    "  {:<17} compiled ({} phase(s), straight-line)",
+                    f.family,
+                    plan.num_phases()
+                );
+            } else {
+                compile_clean = false;
+                for d in &diags {
+                    println!("  {:<17} {d}", f.family);
+                }
+            }
+        }
+    }
+    if !report.clean() || !compile_clean {
         std::process::exit(1);
     }
     Ok(())
@@ -1035,6 +1202,47 @@ mod tests {
             .map(String::from)
             .collect();
         run(argv).unwrap();
+    }
+
+    #[test]
+    fn compiled_flag_resolves_and_rejects_reference_combo() {
+        assert!(!run_compiled_flag(false, false).unwrap());
+        assert!(!run_compiled_flag(false, true).unwrap());
+        assert!(run_compiled_flag(true, false).unwrap());
+        let err = run_compiled_flag(true, true).unwrap_err();
+        assert!(
+            err.contains("--compiled cannot be combined with --reference"),
+            "{err}"
+        );
+        // The same rejection surfaces through the full subcommand path.
+        let argv: Vec<String> = "run --problem or --model qsm --n 64 --reference --compiled"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let err = run(argv).unwrap_err();
+        assert!(
+            err.contains("--compiled cannot be combined with --reference"),
+            "{err}"
+        );
+        // Pairs without a PhaseIR lift are a typed BadConfig, not a crash.
+        let argv: Vec<String> = "run --problem lac --model qsm --n 64 --compiled"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let err = run(argv).unwrap_err();
+        assert!(err.contains("no PhaseIR lift"), "{err}");
+    }
+
+    #[test]
+    fn run_accepts_compiled_and_compiled_parallel() {
+        for line in [
+            "run --problem or --model qsm --n 96 --compiled",
+            "run --problem parity --model sqsm --n 96 --compiled --parallel 3",
+            "run --problem parity --model bsp --n 96 --p 8 --compiled",
+        ] {
+            let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+            run(argv).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
     }
 
     #[test]

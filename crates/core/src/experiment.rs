@@ -6,7 +6,7 @@
 use parbounds_algo::{
     bsp_algos, lac, or_tree, parity, prefix, reduce, rounds as algo_rounds, workloads,
 };
-use parbounds_models::{BspMachine, CostLedger, ModelError, QsmMachine, Result};
+use parbounds_models::{BspMachine, CostLedger, ModelError, QsmMachine, Result, Word};
 use parbounds_tables::{
     best_lower_bound, upper_bound_rounds, upper_bound_time, Metric, Mode, Model, Params, Problem,
 };
@@ -103,6 +103,41 @@ fn row(
     }
 }
 
+/// A pregenerated Section 8 table-row workload: the seeded input a
+/// `*_time_row_on` call would otherwise generate inline. Benchmarks
+/// comparing two engine configurations on the same row use this to hoist
+/// the (engine-independent, allocation-heavy) input generation out of
+/// their timed regions, so the timing compares the engines rather than
+/// the workload generator.
+#[derive(Debug, Clone)]
+pub struct RowInput {
+    problem: Problem,
+    n: usize,
+    seed: u64,
+    /// Random bits for Parity/Or; sparse LAC items for Lac.
+    data: Vec<Word>,
+    /// LAC occupancy bound `h = max(n/8, 1)`; 0 for the bit problems.
+    h: usize,
+}
+
+/// Generates the seeded workload for one `(problem, n, seed)` row.
+pub fn row_input(problem: Problem, n: usize, seed: u64) -> RowInput {
+    let (data, h) = match problem {
+        Problem::Parity | Problem::Or => (workloads::random_bits(n, seed), 0),
+        Problem::Lac => {
+            let h = (n / 8).max(1);
+            (workloads::sparse_items(n, h, seed), h)
+        }
+    };
+    RowInput {
+        problem,
+        n,
+        seed,
+        data,
+        h,
+    }
+}
+
 /// Regenerates one row of sub-table 1 (QSM time): runs the Section 8 QSM
 /// algorithm for `problem` on an n-bit workload and pairs it with the
 /// bounds.
@@ -120,32 +155,33 @@ pub fn qsm_time_row_on(
     n: usize,
     seed: u64,
 ) -> Result<TableRow> {
+    qsm_time_row_on_input(machine, &row_input(problem, n, seed))
+}
+
+/// [`qsm_time_row_on`] over a pregenerated [`RowInput`].
+pub fn qsm_time_row_on_input(machine: &QsmMachine, input: &RowInput) -> Result<TableRow> {
     let g = machine.g();
-    let params = Params::qsm(n as f64, g as f64);
-    let (measured, name) = match problem {
+    let params = Params::qsm(input.n as f64, g as f64);
+    let (measured, name) = match input.problem {
         Problem::Parity => {
-            let bits = workloads::random_bits(n, seed);
             let k = parity::parity_helper_default_k(machine);
-            let out = parity::parity_pattern_helper(machine, &bits, k)?;
+            let out = parity::parity_pattern_helper(machine, &input.data, k)?;
             (out.run.time() as f64, "pattern-helper parity (k = log g)")
         }
         Problem::Or => {
-            let bits = workloads::random_bits(n, seed);
-            let out = or_tree::or_write_tree(machine, &bits, or_tree::or_default_fanin(g))?;
+            let out = or_tree::or_write_tree(machine, &input.data, or_tree::or_default_fanin(g))?;
             (out.run.time() as f64, "write-combining OR tree (k = g)")
         }
         Problem::Lac => {
-            let h = (n / 8).max(1);
-            let items = workloads::sparse_items(n, h, seed);
-            let out = lac::lac_dart_accel(machine, &items, h, seed ^ 0xd1ce)?;
-            verified(out.verify(&items), out.run.ledger.num_phases(), "LAC")?;
+            let out = lac::lac_dart_accel(machine, &input.data, input.h, input.seed ^ 0xd1ce)?;
+            verified(out.verify(&input.data), out.run.ledger.num_phases(), "LAC")?;
             (
                 out.run.ledger.total_time() as f64,
                 "accelerated dart LAC (h = n/8)",
             )
         }
     };
-    Ok(row(problem, Model::Qsm, params, Some(measured), name))
+    Ok(row(input.problem, Model::Qsm, params, Some(measured), name))
 }
 
 /// Sub-table 1 variant: Parity on the QSM with unit-time concurrent reads
@@ -174,31 +210,38 @@ pub fn sqsm_time_row_on(
     n: usize,
     seed: u64,
 ) -> Result<TableRow> {
+    sqsm_time_row_on_input(machine, &row_input(problem, n, seed))
+}
+
+/// [`sqsm_time_row_on`] over a pregenerated [`RowInput`].
+pub fn sqsm_time_row_on_input(machine: &QsmMachine, input: &RowInput) -> Result<TableRow> {
     let g = machine.g();
-    let params = Params::qsm(n as f64, g as f64);
-    let (measured, name) = match problem {
+    let params = Params::qsm(input.n as f64, g as f64);
+    let (measured, name) = match input.problem {
         Problem::Parity => {
-            let bits = workloads::random_bits(n, seed);
-            let out = reduce::parity_read_tree(machine, &bits, 2)?;
+            let out = reduce::parity_read_tree(machine, &input.data, 2)?;
             (out.run.time() as f64, "binary read tree (Θ(g·log n))")
         }
         Problem::Or => {
-            let bits = workloads::random_bits(n, seed);
-            let out = or_tree::or_write_tree(machine, &bits, 2)?;
+            let out = or_tree::or_write_tree(machine, &input.data, 2)?;
             (out.run.time() as f64, "binary write tree")
         }
         Problem::Lac => {
-            let h = (n / 8).max(1);
-            let items = workloads::sparse_items(n, h, seed);
-            let out = lac::lac_dart_accel(machine, &items, h, seed ^ 0xd1ce)?;
-            verified(out.verify(&items), out.run.ledger.num_phases(), "LAC")?;
+            let out = lac::lac_dart_accel(machine, &input.data, input.h, input.seed ^ 0xd1ce)?;
+            verified(out.verify(&input.data), out.run.ledger.num_phases(), "LAC")?;
             (
                 out.run.ledger.total_time() as f64,
                 "accelerated dart LAC (h = n/8)",
             )
         }
     };
-    Ok(row(problem, Model::SQsm, params, Some(measured), name))
+    Ok(row(
+        input.problem,
+        Model::SQsm,
+        params,
+        Some(measured),
+        name,
+    ))
 }
 
 /// Regenerates one row of sub-table 3 (BSP time).
@@ -221,31 +264,32 @@ pub fn bsp_time_row_on(
     n: usize,
     seed: u64,
 ) -> Result<TableRow> {
+    bsp_time_row_on_input(machine, &row_input(problem, n, seed))
+}
+
+/// [`bsp_time_row_on`] over a pregenerated [`RowInput`].
+pub fn bsp_time_row_on_input(machine: &BspMachine, input: &RowInput) -> Result<TableRow> {
     let (p, g, l) = (machine.p(), machine.g(), machine.l());
-    let params = Params::bsp(n as f64, g as f64, l as f64, p as f64);
-    let (measured, name) = match problem {
+    let params = Params::bsp(input.n as f64, g as f64, l as f64, p as f64);
+    let (measured, name) = match input.problem {
         Problem::Parity => {
-            let bits = workloads::random_bits(n, seed);
-            let out = bsp_algos::bsp_parity(machine, &bits)?;
+            let out = bsp_algos::bsp_parity(machine, &input.data)?;
             (Some(out.time() as f64), "fan-in L/g reduction tree")
         }
         Problem::Or => {
-            let bits = workloads::random_bits(n, seed);
-            let out = bsp_algos::bsp_or(machine, &bits)?;
+            let out = bsp_algos::bsp_or(machine, &input.data)?;
             (Some(out.time() as f64), "fan-in L/g reduction tree")
         }
         Problem::Lac => {
-            let h = (n / 8).max(1);
-            let items = workloads::sparse_items(n, h, seed);
-            let out = bsp_algos::bsp_lac_dart(machine, &items, h, seed ^ 0xd1ce)?;
-            verified(out.verify(&items), out.ledger.num_phases(), "BSP LAC")?;
+            let out = bsp_algos::bsp_lac_dart(machine, &input.data, input.h, input.seed ^ 0xd1ce)?;
+            verified(out.verify(&input.data), out.ledger.num_phases(), "BSP LAC")?;
             (
                 Some(out.ledger.total_time() as f64),
                 "message dart-throwing LAC",
             )
         }
     };
-    Ok(row(problem, Model::Bsp, params, measured, name))
+    Ok(row(input.problem, Model::Bsp, params, measured, name))
 }
 
 /// One measured row of sub-table 4 (rounds of p-processor algorithms).

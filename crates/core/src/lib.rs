@@ -55,9 +55,10 @@ pub use parbounds_serve as serve;
 pub use parbounds_tables as tables;
 
 pub use experiment::{
-    bsp_time_row, bsp_time_row_on, load_balance_row, padded_sort_row, qsm_time_row,
-    qsm_time_row_on, qsm_unit_cr_parity, rounds_row, sqsm_time_row, sqsm_time_row_on, RelatedRow,
-    RoundsRow, TableRow,
+    bsp_time_row, bsp_time_row_on, bsp_time_row_on_input, load_balance_row, padded_sort_row,
+    qsm_time_row, qsm_time_row_on, qsm_time_row_on_input, qsm_unit_cr_parity, rounds_row,
+    row_input, sqsm_time_row, sqsm_time_row_on, sqsm_time_row_on_input, RelatedRow, RoundsRow,
+    RowInput, TableRow,
 };
 pub use report::{generate_report, ReportOptions};
 pub use robustness::{degradation_grid, DegradationRow, RobustnessGrid, RowOutcome};

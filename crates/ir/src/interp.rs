@@ -201,7 +201,7 @@ pub struct PlanRun {
 }
 
 /// Builds the shared-memory machine a plan's [`ModelKind`] names.
-fn shared_machine(plan: &PhasePlan) -> Option<QsmMachine> {
+pub(crate) fn shared_machine(plan: &PhasePlan) -> Option<QsmMachine> {
     match plan.model {
         ModelKind::Qsm { g } => Some(QsmMachine::qsm(g)),
         ModelKind::SQsm { g } => Some(QsmMachine::sqsm(g)),

@@ -18,12 +18,18 @@
 //! * [`interp`] — generic IR→`Program` interpreters grounding one plan on
 //!   the QSM/s-QSM simulators or the BSP machine, so the same definition
 //!   both *runs* and is *analyzed statically* (see `parbounds-analyze`),
-//!   and the two ledgers can be compared cell for cell.
+//!   and the two ledgers can be compared cell for cell;
+//! * [`compile`] — a one-shot compiler lowering an eligible plan into a
+//!   straight-line [`compile::CompiledPlan`] schedule (pre-resolved dense
+//!   request tables, contention counts and ledger rows baked in) with a
+//!   bit-identical executor that skips routing, conflict checks, and
+//!   arbitration on phases proved race-free at plan time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod combinators;
+pub mod compile;
 pub mod interp;
 pub mod plan;
 pub mod shape;
@@ -31,6 +37,11 @@ pub mod shape;
 pub use combinators::{
     broadcast, bsp_fan_in_reduce, bsp_prefix_scan, dart_round, fan_in_read_tree, fan_in_write_tree,
     prefix_sweep, scatter_gather,
+};
+pub use compile::{
+    compile_plan, execute_compiled_cancellable, execute_plan_compiled,
+    execute_plan_compiled_cancellable, run_compiled_batch, run_compiled_msg_batch, CompileOutcome,
+    CompiledPlan, Ineligibility,
 };
 pub use interp::{
     execute_plan, execute_plan_cancellable, execute_plan_reference, run_msg_batch,

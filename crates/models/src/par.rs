@@ -24,8 +24,10 @@
 //! per run, not per phase: workers block on a task channel between
 //! phases, so the per-phase cost is two channel hops per worker.
 
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
 /// How many host threads a run may use for the intra-phase compute stage.
@@ -176,6 +178,159 @@ where
     })
 }
 
+/// Shared state of a [`StealPool`]: one queue every worker drains.
+struct StealState<T, R> {
+    tasks: VecDeque<(usize, T)>,
+    results: Vec<(usize, R)>,
+    shutdown: bool,
+    dead_workers: usize,
+}
+
+/// A work-stealing pool: `workers` scoped threads draining one shared
+/// task queue, so a skewed round (one shard much heavier than the rest)
+/// keeps every core busy — idle workers steal the remaining tasks
+/// instead of waiting at the barrier. Created by [`with_steal_pool`].
+///
+/// Unlike [`ShardPool`], rounds may carry *more* tasks than workers
+/// (oversubscription is the point: finer tasks give the stealer
+/// something to steal), and task→worker assignment is nondeterministic.
+/// Determinism is instead restored at the barrier: [`StealPool::run_round`]
+/// reassembles results by task index, so callers observe the same
+/// `Vec<R>` regardless of which worker ran which task.
+pub struct StealPool<'env, T, R> {
+    state: &'env Mutex<StealState<T, R>>,
+    cv: &'env Condvar,
+    workers: usize,
+}
+
+impl<T: Send, R: Send> StealPool<'_, T, R> {
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one round: enqueues every task, lets the workers race to
+    /// drain the queue, and blocks until all results are back. The
+    /// returned vector is indexed by task position (`out[i]` is the
+    /// result of `tasks[i]`) — bit-identical across runs and thread
+    /// counts even though the task→worker mapping is racy.
+    pub fn run_round(&self, tasks: Vec<T>) -> Vec<R> {
+        let n = tasks.len();
+        let mut st = self.state.lock().expect("steal pool lock poisoned");
+        debug_assert!(st.tasks.is_empty() && st.results.is_empty());
+        for pair in tasks.into_iter().enumerate() {
+            st.tasks.push_back(pair);
+        }
+        self.cv.notify_all();
+        while st.results.len() < n {
+            if st.dead_workers > 0 {
+                panic!("parallel worker thread terminated unexpectedly");
+            }
+            st = self.cv.wait(st).expect("steal pool lock poisoned");
+        }
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in st.results.drain(..) {
+            out[i] = Some(r);
+        }
+        drop(st);
+        out.into_iter()
+            .map(|r| r.expect("steal pool produced one result per task"))
+            .collect()
+    }
+}
+
+/// Sets `shutdown` and wakes the workers when the pool scope unwinds —
+/// on the normal exit path *and* when `body` (or `run_round`) panics, so
+/// the scope join never hangs on workers parked at the condvar.
+struct StealShutdown<'a, T, R> {
+    state: &'a Mutex<StealState<T, R>>,
+    cv: &'a Condvar,
+}
+
+impl<T, R> Drop for StealShutdown<'_, T, R> {
+    fn drop(&mut self) {
+        match self.state.lock() {
+            Ok(mut st) => st.shutdown = true,
+            Err(poisoned) => poisoned.into_inner().shutdown = true,
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Worker-side guard: if the worker unwinds (a panic inside `work`),
+/// bump `dead_workers` and wake the round coordinator so `run_round`
+/// panics instead of waiting forever for a result that will never come.
+struct StealObituary<'a, T, R> {
+    state: &'a Mutex<StealState<T, R>>,
+    cv: &'a Condvar,
+}
+
+impl<T, R> Drop for StealObituary<'_, T, R> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            if let Ok(mut st) = self.state.lock() {
+                st.dead_workers += 1;
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Spawns a work-stealing pool of `workers` scoped threads, runs `body`
+/// against it, and joins the pool before returning. Every worker runs
+/// `work(w, task)` for whichever tasks it wins from the shared queue.
+///
+/// Panics in `work` propagate: the dying worker registers itself, the
+/// blocked `run_round` panics in turn, and [`std::thread::scope`]
+/// resurfaces the original worker panic on join.
+pub fn with_steal_pool<T, R, O>(
+    workers: usize,
+    work: impl Fn(usize, T) -> R + Sync,
+    body: impl FnOnce(&StealPool<'_, T, R>) -> O,
+) -> O
+where
+    T: Send,
+    R: Send,
+{
+    let workers = workers.max(1);
+    let state: Mutex<StealState<T, R>> = Mutex::new(StealState {
+        tasks: VecDeque::new(),
+        results: Vec::new(),
+        shutdown: false,
+        dead_workers: 0,
+    });
+    let cv = Condvar::new();
+    thread::scope(|scope| {
+        let (state, cv, work) = (&state, &cv, &work);
+        for w in 0..workers {
+            scope.spawn(move || {
+                let _obituary = StealObituary { state, cv };
+                loop {
+                    let (idx, task) = {
+                        let mut st = state.lock().expect("steal pool lock poisoned");
+                        loop {
+                            if let Some(pair) = st.tasks.pop_front() {
+                                break pair;
+                            }
+                            if st.shutdown {
+                                return;
+                            }
+                            st = cv.wait(st).expect("steal pool lock poisoned");
+                        }
+                    };
+                    let result = work(w, task);
+                    let mut st = state.lock().expect("steal pool lock poisoned");
+                    st.results.push((idx, result));
+                    cv.notify_all();
+                }
+            });
+        }
+        let pool = StealPool { state, cv, workers };
+        let _shutdown = StealShutdown { state, cv };
+        body(&pool)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +398,93 @@ mod tests {
                 let mut got = Vec::new();
                 pool.run_round(vec![7, 8], |w, out| got.push((w, out)));
                 assert_eq!(got, vec![(0, 8), (1, 9)]);
+            },
+        );
+    }
+
+    #[test]
+    fn steal_pool_reassembles_by_task_index() {
+        let out = with_steal_pool(
+            3,
+            |_w, task: usize| task * task,
+            |pool| {
+                assert_eq!(pool.workers(), 3);
+                let mut all = Vec::new();
+                for round in 0..4usize {
+                    // Oversubscribed rounds: 11 tasks over 3 workers.
+                    let tasks: Vec<usize> = (0..11).map(|i| round * 100 + i).collect();
+                    all.push(pool.run_round(tasks));
+                }
+                all
+            },
+        );
+        for (round, results) in out.iter().enumerate() {
+            let want: Vec<usize> = (0..11).map(|i| (round * 100 + i).pow(2)).collect();
+            assert_eq!(results, &want, "round {round} out of order");
+        }
+    }
+
+    #[test]
+    fn steal_pool_balances_skewed_rounds() {
+        // One heavy task plus many light ones: the round completes and the
+        // heavy result lands at its task index regardless of which worker
+        // picked it up.
+        let results = with_steal_pool(
+            4,
+            |_w, weight: u64| {
+                let mut acc = 0u64;
+                for i in 0..weight * 1000 {
+                    acc = acc.wrapping_add(i ^ weight);
+                }
+                acc
+            },
+            |pool| {
+                let mut tasks = vec![200u64];
+                tasks.extend(std::iter::repeat(1u64).take(15));
+                pool.run_round(tasks)
+            },
+        );
+        assert_eq!(results.len(), 16);
+        let serial: Vec<u64> = {
+            let work = |weight: u64| {
+                let mut acc = 0u64;
+                for i in 0..weight * 1000 {
+                    acc = acc.wrapping_add(i ^ weight);
+                }
+                acc
+            };
+            let mut tasks = vec![200u64];
+            tasks.extend(std::iter::repeat(1u64).take(15));
+            tasks.into_iter().map(work).collect()
+        };
+        assert_eq!(results, serial);
+    }
+
+    #[test]
+    fn steal_pool_handles_empty_rounds() {
+        with_steal_pool(
+            2,
+            |_w, task: usize| task,
+            |pool| {
+                assert!(pool.run_round(Vec::new()).is_empty());
+                assert_eq!(pool.run_round(vec![5]), vec![5]);
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker thread terminated unexpectedly")]
+    fn steal_pool_propagates_worker_panics() {
+        with_steal_pool(
+            2,
+            |_w, task: usize| {
+                if task == 3 {
+                    panic!("boom");
+                }
+                task
+            },
+            |pool| {
+                pool.run_round(vec![1, 2, 3, 4, 5, 6, 7, 8]);
             },
         );
     }

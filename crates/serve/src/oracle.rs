@@ -21,19 +21,96 @@
 //! Errors are never cached; degraded answers are never cached (a later,
 //! less-loaded request should get the chance to produce the full answer).
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use parbounds_analyze::{certify_writes, ir_family_plan, lint_plan, predict_ledger_with};
-use parbounds_ir::{execute_plan_cancellable, PhasePlan};
+use parbounds_ir::{
+    compile_plan, execute_compiled_cancellable, execute_plan_cancellable, CompileOutcome,
+    CompiledPlan, PhasePlan,
+};
 use parbounds_models::{CancelToken, ModelError, Word};
 
 use crate::budget::TenantBudgets;
 use crate::cache::{CacheSnapshot, Lease, OracleCache};
+use crate::json::fnv1a;
 use crate::wire::{
-    Answer, ErrorCode, PlanSource, QueryKind, Request, Response, WireDiag, WireError,
+    plan_to_json, Answer, ErrorCode, PlanSource, QueryKind, Request, Response, WireDiag, WireError,
 };
+
+/// Bounded FIFO cache of compiled plans, keyed by the plan's content
+/// address alone (no input, kind, or tenant): the answer cache dedups
+/// identical questions, but the *schedule* is reusable across different
+/// inputs and across `run`/`compare` kinds, so the one-shot `ir::compile`
+/// lowering is paid once per distinct plan. Ineligible plans are cached
+/// as `None` so the eligibility scan is not repeated per request either.
+#[derive(Debug)]
+struct CompiledCache {
+    cap: usize,
+    inner: Mutex<CompiledCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CompiledCacheInner {
+    map: HashMap<u64, Option<Arc<CompiledPlan>>>,
+    fifo: VecDeque<u64>,
+}
+
+impl CompiledCache {
+    fn new(cap: usize) -> Self {
+        CompiledCache {
+            cap: cap.max(1),
+            inner: Mutex::new(CompiledCacheInner::default()),
+        }
+    }
+
+    /// Number of distinct plans currently cached (compiled or ineligible).
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("compiled cache lock poisoned")
+            .map
+            .len()
+    }
+
+    /// Returns the cached compilation of `plan`, compiling on miss.
+    /// `None` means the plan is compile-ineligible and callers should use
+    /// the checked interpreter.
+    fn get_or_compile(&self, plan: &PhasePlan) -> Result<Option<Arc<CompiledPlan>>, ModelError> {
+        let key = fnv1a(plan_to_json(plan).render().as_bytes());
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .expect("compiled cache lock poisoned")
+            .map
+            .get(&key)
+        {
+            return Ok(hit.clone());
+        }
+        // Compile outside the lock: lowering is pure and idempotent, so a
+        // racing duplicate costs one redundant compile, never a stall.
+        let compiled = match compile_plan(plan)? {
+            CompileOutcome::Compiled(cp) => Some(Arc::new(cp)),
+            CompileOutcome::Ineligible(_) => None,
+        };
+        let mut st = self.inner.lock().expect("compiled cache lock poisoned");
+        // A racing duplicate may have landed the entry first; keep theirs
+        // so the cached Arc identity is stable.
+        if let Some(hit) = st.map.get(&key) {
+            return Ok(hit.clone());
+        }
+        if st.fifo.len() >= self.cap {
+            if let Some(old) = st.fifo.pop_front() {
+                st.map.remove(&old);
+            }
+        }
+        st.fifo.push_back(key);
+        st.map.insert(key, compiled.clone());
+        Ok(compiled)
+    }
+}
 
 /// Oracle tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +137,7 @@ impl Default for OracleConfig {
 #[derive(Debug)]
 pub struct Oracle {
     cache: OracleCache,
+    compiled: CompiledCache,
     budgets: TenantBudgets,
     cfg: OracleConfig,
     analyses: AtomicU64,
@@ -71,10 +149,34 @@ impl Oracle {
     pub fn new(cfg: OracleConfig) -> Self {
         Oracle {
             cache: OracleCache::new(cfg.cache_cap),
+            compiled: CompiledCache::new(cfg.cache_cap),
             budgets: TenantBudgets::new(cfg.tenant_budget),
             cfg,
             analyses: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of distinct plans whose compilation (or ineligibility) is
+    /// currently cached.
+    pub fn compiled_plans_cached(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Executes `plan` on `input` through the per-plan compiled cache:
+    /// eligible plans replay their straight-line schedule (lowered once
+    /// per distinct plan, reused across inputs and query kinds),
+    /// ineligible ones take the checked interpreter. Both paths are
+    /// bit-identical, so answers and the answer cache are unaffected.
+    fn execute_cached(
+        &self,
+        plan: &PhasePlan,
+        input: &[Word],
+        token: &CancelToken,
+    ) -> Result<parbounds_ir::PlanRun, ModelError> {
+        match self.compiled.get_or_compile(plan)? {
+            Some(cp) => execute_compiled_cancellable(plan, &cp, input, token),
+            None => execute_plan_cancellable(plan, input, token),
         }
     }
 
@@ -253,14 +355,14 @@ impl Oracle {
                 })
             }
             QueryKind::Run => {
-                let run = execute_plan_cancellable(plan, input, token)?;
+                let run = self.execute_cached(plan, input, token)?;
                 Ok(Answer::Run {
                     ledger: run.ledger,
                     output: run.output,
                 })
             }
             QueryKind::Compare => {
-                let run = execute_plan_cancellable(plan, input, token)?;
+                let run = self.execute_cached(plan, input, token)?;
                 let matches = *predicted == run.ledger;
                 Ok(Answer::Compare {
                     predicted: predicted.clone(),
@@ -338,5 +440,67 @@ pub fn wire_error(err: &ModelError) -> WireError {
         code,
         message: err.to_string(),
         retry_after_ms: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbounds_ir::{dart_round, execute_plan, prefix_sweep, CombineOp, ModelKind, ValueRule};
+
+    fn sweep_plan(n: usize) -> PhasePlan {
+        prefix_sweep(n, 4, CombineOp::Sum, ModelKind::Qsm { g: 2 })
+    }
+
+    #[test]
+    fn compiled_cache_reuses_one_lowering_per_plan() {
+        let oracle = Oracle::new(OracleConfig::default());
+        let token = CancelToken::with_deadline(Duration::from_secs(10));
+        let plan = sweep_plan(64);
+        for seed in 0..3 {
+            let input: Vec<Word> = (0..64).map(|x: Word| x ^ seed).collect();
+            let got = oracle.execute_cached(&plan, &input, &token).unwrap();
+            assert_eq!(got, execute_plan(&plan, &input).unwrap());
+        }
+        assert_eq!(
+            oracle.compiled_plans_cached(),
+            1,
+            "three runs of one plan must share one compilation"
+        );
+    }
+
+    #[test]
+    fn compiled_cache_caches_ineligibility_and_falls_back() {
+        let oracle = Oracle::new(OracleConfig::default());
+        let token = CancelToken::with_deadline(Duration::from_secs(10));
+        let targets: Vec<(usize, ValueRule)> = (0..4)
+            .map(|pid| (0usize, ValueRule::Const(pid as Word + 1)))
+            .collect();
+        let racy = dart_round(&targets, ModelKind::Qsm { g: 8 });
+        let input: Vec<Word> = Vec::new();
+        let got = oracle.execute_cached(&racy, &input, &token).unwrap();
+        assert_eq!(got, execute_plan(&racy, &input).unwrap());
+        // The racy plan is compile-ineligible; its verdict is cached so the
+        // eligibility scan runs once, and repeats stay on the interpreter.
+        assert_eq!(oracle.compiled_plans_cached(), 1);
+        oracle.execute_cached(&racy, &input, &token).unwrap();
+        assert_eq!(oracle.compiled_plans_cached(), 1);
+    }
+
+    #[test]
+    fn compiled_cache_is_bounded_fifo() {
+        let cache = CompiledCache::new(2);
+        for n in [8usize, 16, 32, 64] {
+            cache.get_or_compile(&sweep_plan(n)).unwrap();
+            assert!(cache.len() <= 2);
+        }
+        // Oldest entries were evicted; the newest survives.
+        let key = fnv1a(plan_to_json(&sweep_plan(64)).render().as_bytes());
+        assert!(cache
+            .inner
+            .lock()
+            .expect("compiled cache lock poisoned")
+            .map
+            .contains_key(&key));
     }
 }
